@@ -1,0 +1,65 @@
+// Shared helpers for the figure-reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/repository.h"
+#include "net/fabric.h"
+
+namespace evostore::bench {
+
+/// A Polaris-like cluster slice (paper §5.1/§5.4): `gpus` workers, 4 per
+/// node, one provider per node, 25 GB/s full-duplex NICs, 1.5 us fabric
+/// latency. The controller gets its own node.
+struct Cluster {
+  sim::Simulation sim;
+  net::Fabric fabric;
+  net::RpcSystem rpc;
+  common::NodeId controller;
+  std::vector<common::NodeId> nodes;          // compute nodes
+  std::vector<common::NodeId> workers;        // one entry per GPU
+  std::vector<common::NodeId> provider_nodes; // co-located, one per node
+
+  explicit Cluster(int gpus, int gpus_per_node = 4)
+      : fabric(sim, net::FabricConfig{.latency = 1.5e-6, .local_latency = 2e-7}),
+        rpc(fabric) {
+    controller = fabric.add_node(25e9, 25e9, "controller");
+    int n_nodes = (gpus + gpus_per_node - 1) / gpus_per_node;
+    for (int n = 0; n < n_nodes; ++n) {
+      auto node = fabric.add_node(25e9, 25e9);
+      nodes.push_back(node);
+      provider_nodes.push_back(node);
+      for (int g = 0; g < gpus_per_node &&
+                      static_cast<int>(workers.size()) < gpus;
+           ++g) {
+        workers.push_back(node);
+      }
+    }
+  }
+};
+
+inline int arg_int(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == flag) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+inline bool arg_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace evostore::bench

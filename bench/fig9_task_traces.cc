@@ -1,0 +1,113 @@
+// Figure 9 — Task evolution on 128 GPUs: start/finish timestamps of every
+// training task, for DH-NoTransfer, EvoStore, and HDF5+PFS.
+//
+// Paper §5.6 claims to reproduce: (a) DH-NoTransfer tasks start/finish in
+// regular waves; (b) transfer learning makes the pattern irregular (variable
+// frozen fractions -> uneven durations); (c) HDF5+PFS tasks run visibly
+// longer; (d) task-duration variability: stddev ~17.91 (HDF5+PFS) vs ~16.15
+// (EvoStore); overhead breakdown ~18% I/O, ~24% metadata, rest variability.
+//
+// Full traces are written as CSV next to the binary for plotting; the stdout
+// report prints wave structure and duration statistics.
+//
+// Flags: --gpus N (default 128), --candidates N (default 1000)
+#include <cmath>
+#include <fstream>
+
+#include "bench/nas_bench.h"
+
+using namespace evostore;
+using bench::Approach;
+
+namespace {
+
+// Wave regularity: bucket each worker's task starts into rounds; regular
+// waves (paper: DH-NoTransfer) keep a small within-round start-time spread
+// relative to the task length. Rounds 2-5 are used — round 1 is aligned by
+// construction and late rounds blur for every approach.
+double wave_irregularity(const nas::NasResult& r, int gpus) {
+  std::vector<std::vector<double>> per_worker(gpus);
+  for (const auto& t : r.traces) per_worker[t.worker].push_back(t.start);
+  for (auto& v : per_worker) std::sort(v.begin(), v.end());
+  sim::Accumulator spread;
+  for (size_t round = 1; round <= 4; ++round) {
+    sim::Accumulator starts;
+    for (auto& v : per_worker) {
+      if (round < v.size()) starts.add(v[round]);
+    }
+    if (starts.count() > 1) spread.add(starts.stddev());
+  }
+  return spread.mean() / std::max(1e-9, r.mean_task_seconds);
+}
+
+void dump_csv(const nas::NasResult& r, const std::string& path) {
+  std::ofstream out(path);
+  out << "worker,start,finish,accuracy,lcp_fraction,io_seconds\n";
+  for (const auto& t : r.traces) {
+    out << t.worker << ',' << t.start << ',' << t.finish << ',' << t.accuracy
+        << ',' << t.lcp_fraction << ',' << t.io_seconds << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int gpus = bench::arg_int(argc, argv, "--gpus", 128);
+  size_t candidates =
+      static_cast<size_t>(bench::arg_int(argc, argv, "--candidates", 1000));
+
+  bench::print_header("Figure 9", "per-GPU task start/finish traces");
+  std::printf("%d GPUs, %zu candidates; CSVs: fig9_trace_<approach>.csv\n\n",
+              gpus, candidates);
+
+  struct Row {
+    std::string name;
+    nas::NasResult result;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"DH-NoTransfer",
+                  bench::run_nas_approach(Approach::kNoTransfer, gpus,
+                                          candidates, 42)
+                      .result});
+  rows.push_back({"EvoStore", bench::run_nas_approach(Approach::kEvoStore,
+                                                      gpus, candidates, 42)
+                                  .result});
+  rows.push_back({"HDF5+PFS", bench::run_nas_approach(Approach::kHdf5Pfs,
+                                                      gpus, candidates, 42)
+                                  .result});
+
+  std::printf("%-16s %10s %10s %14s %12s %12s\n", "approach", "mean task",
+              "stddev", "irregularity", "makespan", "io/task");
+  for (auto& row : rows) {
+    const auto& r = row.result;
+    dump_csv(r, "fig9_trace_" + row.name + ".csv");
+    std::printf("%-16s %9.1fs %9.2fs %14.2f %11.1fs %11.2fs\n",
+                row.name.c_str(), r.mean_task_seconds, r.stddev_task_seconds,
+                wave_irregularity(r, gpus), r.makespan,
+                r.total_io_seconds / static_cast<double>(r.traces.size()));
+  }
+
+  const auto& nt = rows[0].result;
+  const auto& evo = rows[1].result;
+  const auto& h5 = rows[2].result;
+  std::printf("\nshape checks vs paper:\n");
+  std::printf("  - wave regularity: DH-NoTransfer irregularity %.2f < "
+              "EvoStore %.2f (paper: transfer learning makes the start/"
+              "finish pattern irregular)\n",
+              wave_irregularity(nt, gpus), wave_irregularity(evo, gpus));
+  std::printf("  - task durations: HDF5 %.1fs > EvoStore %.1fs "
+              "(paper: HDF5 tasks visibly longer)\n",
+              h5.mean_task_seconds, evo.mean_task_seconds);
+  std::printf("  - duration stddev: HDF5 %.2f vs EvoStore %.2f "
+              "(paper: 17.91 vs 16.15)\n",
+              h5.stddev_task_seconds, evo.stddev_task_seconds);
+  double overhead = h5.mean_task_seconds - evo.mean_task_seconds;
+  if (overhead > 0) {
+    double io_part = (h5.total_io_seconds - evo.total_io_seconds) /
+                     static_cast<double>(h5.traces.size());
+    std::printf("  - HDF5 per-task overhead %.2fs, of which I/O+metadata "
+                "%.2fs (paper: 18%% I/O + 24%% metadata of the gap)\n",
+                overhead, io_part);
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Micro-benchmarks for the KV store backends (MemKv vs LogKv).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "storage/log_kv.h"
+#include "storage/mem_kv.h"
+
+namespace {
+
+using namespace evostore;
+using common::Buffer;
+
+void BM_MemKvPut(benchmark::State& state) {
+  storage::MemKv kv;
+  size_t value_size = static_cast<size_t>(state.range(0));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto st = kv.put("key" + std::to_string(i++ % 4096),
+                     Buffer::synthetic(value_size, i));
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(value_size));
+}
+BENCHMARK(BM_MemKvPut)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_MemKvGet(benchmark::State& state) {
+  storage::MemKv kv;
+  for (int i = 0; i < 4096; ++i) {
+    (void)kv.put("key" + std::to_string(i), Buffer::synthetic(1024, i));
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto r = kv.get("key" + std::to_string(i++ % 4096));
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_MemKvGet);
+
+void BM_LogKvPut(benchmark::State& state) {
+  auto dir = std::filesystem::temp_directory_path() / "evostore_bench_logkv";
+  std::filesystem::remove_all(dir);
+  auto kv = std::move(storage::LogKv::open(dir).value());
+  size_t value_size = static_cast<size_t>(state.range(0));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto st = kv->put("key" + std::to_string(i++ % 4096),
+                      Buffer::synthetic(value_size, i));
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(value_size));
+  kv.reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_LogKvPut)->Arg(64)->Arg(4096);
+
+void BM_LogKvGet(benchmark::State& state) {
+  auto dir = std::filesystem::temp_directory_path() / "evostore_bench_logkv_g";
+  std::filesystem::remove_all(dir);
+  auto kv = std::move(storage::LogKv::open(dir).value());
+  for (int i = 0; i < 1024; ++i) {
+    (void)kv->put("key" + std::to_string(i), Buffer::synthetic(1024, i));
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto r = kv->get("key" + std::to_string(i++ % 1024));
+    benchmark::DoNotOptimize(r.ok());
+  }
+  kv.reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_LogKvGet);
+
+void BM_LogKvCompact(benchmark::State& state) {
+  auto dir = std::filesystem::temp_directory_path() / "evostore_bench_logkv_c";
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    auto kv = std::move(storage::LogKv::open(dir).value());
+    for (int round = 0; round < 4; ++round) {
+      for (int i = 0; i < 256; ++i) {
+        (void)kv->put("key" + std::to_string(i), Buffer::synthetic(512, i));
+      }
+    }
+    state.ResumeTiming();
+    auto r = kv->compact();
+    benchmark::DoNotOptimize(r.ok());
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_LogKvCompact);
+
+void BM_BufferSyntheticRead(benchmark::State& state) {
+  Buffer b = Buffer::synthetic(static_cast<size_t>(state.range(0)), 7);
+  common::Bytes out(b.size());
+  for (auto _ : state) {
+    b.read(0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BufferSyntheticRead)->Arg(4096)->Arg(1 << 20);
+
+void BM_BufferContentHash(benchmark::State& state) {
+  // Cache-defeating: fresh buffer per iteration.
+  size_t n = static_cast<size_t>(state.range(0));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Buffer b = Buffer::synthetic(n, ++seed);
+    benchmark::DoNotOptimize(b.content_hash());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BufferContentHash)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Quickstart: deploy a small EvoStore cluster, store a model, derive a
+// child through an LCP query + transfer, read it back, and retire both.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/repository.h"
+#include "net/fabric.h"
+
+using namespace evostore;
+
+// Build input -> dense(w) x n chain, mutating the last `mutated` layers.
+static model::ArchGraph make_graph(int layers, int mutated) {
+  std::vector<model::LayerDef> defs;
+  defs.push_back(model::make_input(64));
+  for (int i = 0; i < layers; ++i) {
+    int64_t out = (i >= layers - mutated) ? 96 + i : 64;
+    defs.push_back(model::make_dense(64, out));
+  }
+  return std::move(model::ArchGraph::flatten(model::make_chain(std::move(defs))))
+      .value();
+}
+
+static sim::CoTask<int> scenario(core::EvoStoreRepository& repo,
+                                 common::NodeId worker) {
+  auto& client = repo.client(worker);
+
+  // 1. Store a model trained from scratch.
+  auto base_graph = make_graph(8, 0);
+  auto base = model::Model::random(repo.allocate_id(), base_graph, /*seed=*/1);
+  base.set_quality(0.82);
+  auto status = co_await client.put_model(base, nullptr);
+  std::printf("stored base model %s (%zu layers, %.1f KB): %s\n",
+              base.id().to_string().c_str(), base_graph.size(),
+              base.total_bytes() / 1024.0, status.to_string().c_str());
+
+  // 2. A new candidate architecture: same prefix, two new layers.
+  auto child_graph = make_graph(8, 2);
+
+  // 3. Ask the repository for the best transfer-learning ancestor
+  //    (broadcast LCP query + reduce) and fetch the prefix tensors.
+  auto prep = co_await client.prepare_transfer(child_graph, /*payload=*/true);
+  if (!prep.ok() || !prep->has_value()) {
+    std::printf("no ancestor found!?\n");
+    co_return 1;
+  }
+  auto& tc = prep->value();
+  std::printf("best ancestor: %s, LCP = %zu of %zu leaf layers\n",
+              tc.ancestor.to_string().c_str(), tc.lcp_len(),
+              child_graph.size());
+
+  // 4. "Train": inherit + freeze the prefix, randomize the rest.
+  auto child = model::Model::random(repo.allocate_id(), child_graph, 2);
+  for (size_t i = 0; i < tc.matches.size(); ++i) {
+    child.segment(tc.matches[i].first) = tc.prefix_segments[i];
+  }
+  child.set_quality(0.88);
+
+  // 5. Store incrementally: only the modified tensors travel.
+  status = co_await client.put_model(child, &tc);
+  std::printf("stored derived model %s incrementally: %s\n",
+              child.id().to_string().c_str(), status.to_string().c_str());
+  std::printf("repository payload: %.1f KB (full copies would be %.1f KB)\n",
+              repo.stored_payload_bytes() / 1024.0,
+              (base.total_bytes() + child.total_bytes()) / 1024.0);
+
+  // 6. Read the child back and verify.
+  auto loaded = co_await client.get_model(child.id());
+  bool identical = loaded.ok();
+  if (identical) {
+    for (common::VertexId v = 0; v < child.vertex_count(); ++v) {
+      identical &= loaded->segment(v).content_equals(child.segment(v));
+    }
+  }
+  std::printf("read-back verification: %s\n", identical ? "OK" : "MISMATCH");
+
+  // 7. Provenance: who owns each layer of the child?
+  auto contribs = co_await client.contributions(child.id());
+  if (contribs.ok()) {
+    for (const auto& c : *contribs) {
+      std::printf("  owner %s contributes %zu leaf layer(s)\n",
+                  c.owner.to_string().c_str(), c.vertices.size());
+    }
+  }
+
+  // 8. Retire both; shared tensors are freed when the last reference drops.
+  (void)co_await client.retire(base.id());
+  (void)co_await client.retire(child.id());
+  std::printf("after retirement: %zu bytes stored, %zu segments\n",
+              repo.stored_payload_bytes(), repo.total_segments());
+  co_return identical ? 0 : 1;
+}
+
+int main() {
+  sim::Simulation sim;
+  net::Fabric fabric(sim);
+  std::vector<common::NodeId> providers;
+  for (int i = 0; i < 4; ++i) {
+    providers.push_back(fabric.add_node(25e9, 25e9));
+  }
+  auto worker = fabric.add_node(25e9, 25e9);
+  net::RpcSystem rpc(fabric);
+  core::EvoStoreRepository repo(rpc, providers);
+
+  int rc = sim.run_until_complete(scenario(repo, worker));
+  std::printf("simulated time: %.3f ms\n", sim.now() * 1e3);
+  return rc;
+}

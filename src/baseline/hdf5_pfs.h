@@ -1,0 +1,86 @@
+// HDF5+PFS baseline repository (paper §5.2): full-model serialization into
+// an HDF5-style container stored on the parallel file system, optionally
+// paired with Redis-Queries for LCP metadata.
+//
+// Cost model mirrors the Keras store/load path the paper measured:
+//  - store: copy every tensor into staging (NumPy) arrays at memory-copy
+//    bandwidth inside a freshly-launched execution context, create one HDF5
+//    dataset per tensor, then write the file through Lustre striping;
+//  - load: the reverse;
+//  - partial reads (transfer learning) fetch the TOC then issue one
+//    small ranged read PER TENSOR — each paying PFS metadata latency, which
+//    is exactly the "bulk-optimized formats penalize fine-grain access"
+//    effect (§1, §5.6 overhead breakdown).
+//
+// No dedup: every model stores its full payload; retiring relies on Redis
+// reference counts to decide when to delete the file.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "baseline/redis_queries.h"
+#include "core/repository.h"
+#include "storage/h5file.h"
+#include "storage/pfs.h"
+
+namespace evostore::baseline {
+
+struct Hdf5PfsConfig {
+  /// Tensor <-> NumPy staging copy bandwidth (bytes/s).
+  double staging_bandwidth = 12e9;
+  /// Launching the separate execution context per store/load.
+  double context_setup_seconds = 2e-3;
+  /// Per-dataset HDF5 overhead (create/lookup, chunk bookkeeping).
+  double per_dataset_seconds = 60e-6;
+  /// Client-side cost per ranged dataset read during transfer learning
+  /// (h5py chunked access over a loaded Lustre client; the paper's "formats
+  /// optimized for bulk I/O penalize fine-grain access"). Zero by default;
+  /// end-to-end NAS runs set a realistic value.
+  double partial_read_seconds = 0.0;
+};
+
+class Hdf5PfsRepository final : public core::ModelRepository {
+ public:
+  /// `redis` may be null (no metadata server: prepare_transfer always
+  /// reports "no ancestor" and retire deletes unconditionally) — the Fig. 4
+  /// configuration.
+  Hdf5PfsRepository(storage::Pfs& pfs, RedisQueries* redis,
+                    Hdf5PfsConfig config = {});
+
+  std::string name() const override {
+    return redis_ != nullptr ? "HDF5+PFS+Redis" : "HDF5+PFS";
+  }
+  ModelId allocate_id() override { return ModelId::make(1, ++id_seq_); }
+
+  sim::CoTask<Result<std::optional<core::TransferContext>>> prepare_transfer(
+      NodeId client, const ArchGraph& g, bool fetch_payload) override;
+  sim::CoTask<Status> store(NodeId client, const model::Model& m,
+                            const core::TransferContext* tc) override;
+  sim::CoTask<Result<model::Model>> load(NodeId client, ModelId id) override;
+  sim::CoTask<Status> retire(NodeId client, ModelId id) override;
+
+  size_t stored_payload_bytes() const override { return pfs_->stored_bytes(); }
+
+  /// I/O accounting for the paper's overhead breakdowns.
+  struct IoStats {
+    uint64_t stores = 0;
+    uint64_t loads = 0;
+    uint64_t ranged_reads = 0;
+    double staged_bytes = 0;
+  };
+  const IoStats& io_stats() const { return io_; }
+
+ private:
+  static std::string dataset_path(common::VertexId v, size_t slot);
+  sim::CoTask<void> charge_staging(double bytes, size_t datasets);
+
+  storage::Pfs* pfs_;
+  RedisQueries* redis_;
+  Hdf5PfsConfig config_;
+  sim::Simulation* sim_;
+  uint32_t id_seq_ = 0;
+  IoStats io_;
+};
+
+}  // namespace evostore::baseline

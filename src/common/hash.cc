@@ -1,0 +1,42 @@
+#include "common/hash.h"
+
+namespace evostore::common {
+
+uint64_t fnv1a64(const void* data, size_t len, uint64_t seed) {
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  // Process 8 bytes per round to keep the loop cheap; mix the tail bytewise.
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, p + i, 8);
+    h = (h ^ word) * kPrime;
+    h = (h ^ (h >> 47)) * kPrime;
+  }
+  for (; i < len; ++i) {
+    h = (h ^ p[i]) * kPrime;
+  }
+  return mix64(h);
+}
+
+std::string Hash128::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  uint64_t parts[2] = {hi, lo};
+  for (int part = 0; part < 2; ++part) {
+    for (int nibble = 0; nibble < 16; ++nibble) {
+      out[part * 16 + nibble] =
+          kDigits[(parts[part] >> (60 - 4 * nibble)) & 0xf];
+    }
+  }
+  return out;
+}
+
+Hash128 hash128_bytes(const void* data, size_t len, uint64_t seed) {
+  Hasher128 h(seed);
+  h.bytes(std::span<const std::byte>(static_cast<const std::byte*>(data), len));
+  return h.finish();
+}
+
+}  // namespace evostore::common

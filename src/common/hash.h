@@ -1,0 +1,112 @@
+// Hashing primitives used across EvoStore.
+//
+// Two families:
+//  - fast 64-bit mixing / streaming FNV-1a for hash tables and placement;
+//  - 128-bit content hashes (`Hash128`) for canonical layer identities and
+//    tensor-content fingerprints, where accidental collisions must be
+//    negligible across tens of millions of objects.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace evostore::common {
+
+/// SplitMix64 finalizer: a strong, cheap 64-bit mixer.
+constexpr uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit hashes (order-sensitive).
+constexpr uint64_t hash_combine(uint64_t seed, uint64_t v) {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Streaming FNV-1a over raw bytes.
+uint64_t fnv1a64(const void* data, size_t len, uint64_t seed = 0xcbf29ce484222325ULL);
+
+inline uint64_t fnv1a64(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+/// 128-bit hash value. Totally ordered so it can key ordered containers and
+/// be formatted deterministically.
+struct Hash128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend auto operator<=>(const Hash128&, const Hash128&) = default;
+
+  bool is_zero() const { return hi == 0 && lo == 0; }
+
+  /// Lowercase 32-char hex, hi first.
+  std::string hex() const;
+};
+
+/// Hash a byte range into 128 bits (two decorrelated FNV/mix streams).
+Hash128 hash128_bytes(const void* data, size_t len, uint64_t seed = 0);
+
+inline Hash128 hash128_bytes(std::span<const std::byte> bytes, uint64_t seed = 0) {
+  return hash128_bytes(bytes.data(), bytes.size(), seed);
+}
+inline Hash128 hash128_str(std::string_view s, uint64_t seed = 0) {
+  return hash128_bytes(s.data(), s.size(), seed);
+}
+
+/// Incremental 128-bit hasher for structured content. Feed scalars and byte
+/// ranges in a canonical order; the result is independent of how the input
+/// was chunked only if the same sequence of typed appends is used (this is a
+/// structural hash, not a raw byte hash).
+class Hasher128 {
+ public:
+  explicit Hasher128(uint64_t seed = 0) : a_(mix64(seed ^ kSeedA)), b_(mix64(seed ^ kSeedB)) {}
+
+  Hasher128& u64(uint64_t v) {
+    a_ = hash_combine(a_, v);
+    b_ = hash_combine(b_, ~v);
+    return *this;
+  }
+  Hasher128& i64(int64_t v) { return u64(static_cast<uint64_t>(v)); }
+  Hasher128& f64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return u64(bits);
+  }
+  Hasher128& str(std::string_view s) {
+    u64(s.size());
+    a_ = fnv1a64(s, a_);
+    b_ = fnv1a64(s, mix64(b_));
+    return *this;
+  }
+  Hasher128& bytes(std::span<const std::byte> s) {
+    u64(s.size());
+    a_ = fnv1a64(s.data(), s.size(), a_);
+    b_ = fnv1a64(s.data(), s.size(), mix64(b_));
+    return *this;
+  }
+  Hasher128& h128(const Hash128& h) { return u64(h.hi), u64(h.lo), *this; }
+
+  Hash128 finish() const { return {mix64(a_), mix64(b_)}; }
+
+ private:
+  static constexpr uint64_t kSeedA = 0x243f6a8885a308d3ULL;  // pi digits
+  static constexpr uint64_t kSeedB = 0x13198a2e03707344ULL;
+  uint64_t a_;
+  uint64_t b_;
+};
+
+}  // namespace evostore::common
+
+template <>
+struct std::hash<evostore::common::Hash128> {
+  size_t operator()(const evostore::common::Hash128& h) const noexcept {
+    return static_cast<size_t>(h.hi ^ evostore::common::mix64(h.lo));
+  }
+};

@@ -1,0 +1,50 @@
+// Minimal leveled logging. Defaults to warnings+errors only so tests and
+// benchmarks stay quiet; set EVOSTORE_LOG=debug|info|warn|error or call
+// set_log_level() to change at runtime.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace evostore::common {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one log line (thread-safe, single write to stderr).
+void log_message(LogLevel level, std::string_view file, int line,
+                 const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { log_message(level_, file_, line_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace evostore::common
+
+#define EVO_LOG(level)                                                  \
+  if (::evostore::common::log_level() <= ::evostore::common::LogLevel::level) \
+  ::evostore::common::detail::LogLine(                                  \
+      ::evostore::common::LogLevel::level, __FILE__, __LINE__)
+
+#define EVO_DEBUG EVO_LOG(kDebug)
+#define EVO_INFO EVO_LOG(kInfo)
+#define EVO_WARN EVO_LOG(kWarn)
+#define EVO_ERROR EVO_LOG(kError)

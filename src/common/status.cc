@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace evostore::common {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kAlreadyExists: return "AlreadyExists";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kFailedPrecondition: return "FailedPrecondition";
+    case ErrorCode::kOutOfRange: return "OutOfRange";
+    case ErrorCode::kCorruption: return "Corruption";
+    case ErrorCode::kIoError: return "IoError";
+    case ErrorCode::kUnavailable: return "Unavailable";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "Ok";
+  std::string out(error_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace evostore::common

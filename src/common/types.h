@@ -1,0 +1,69 @@
+// Core identifier types shared across the repository layers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/hash.h"
+
+namespace evostore::common {
+
+/// Identifies a DL model stored in (or being prepared for) the repository.
+/// 64 bits; allocated by clients from (client id, local counter) so ids are
+/// unique without coordination.
+struct ModelId {
+  uint64_t value = 0;
+
+  static constexpr ModelId invalid() { return ModelId{0}; }
+  bool valid() const { return value != 0; }
+
+  friend auto operator<=>(const ModelId&, const ModelId&) = default;
+  std::string to_string() const { return "m" + std::to_string(value); }
+
+  /// Compose a globally unique id from an allocator (client/worker) id and
+  /// its local sequence number.
+  static ModelId make(uint32_t allocator, uint32_t seq) {
+    return ModelId{(static_cast<uint64_t>(allocator) << 32) | seq};
+  }
+};
+
+/// Index of a leaf-layer vertex inside a flattened architecture graph.
+/// Vertex ids are assigned by deterministic BFS during flattening.
+using VertexId = uint32_t;
+
+/// Addresses one leaf layer's consolidated parameter segment: the segment is
+/// stored under the model that *owns* it (most recent ancestor that modified
+/// it). This is the 128-bit unit the paper's owner maps are built from.
+struct SegmentKey {
+  ModelId owner;
+  VertexId vertex = 0;
+
+  friend auto operator<=>(const SegmentKey&, const SegmentKey&) = default;
+  std::string to_string() const {
+    return owner.to_string() + "/v" + std::to_string(vertex);
+  }
+};
+
+/// Identifies a provider (data+metadata server) in the deployment.
+using ProviderId = uint32_t;
+
+/// Identifies a node in the simulated cluster fabric.
+using NodeId = uint32_t;
+
+}  // namespace evostore::common
+
+template <>
+struct std::hash<evostore::common::ModelId> {
+  size_t operator()(const evostore::common::ModelId& id) const noexcept {
+    return static_cast<size_t>(evostore::common::mix64(id.value));
+  }
+};
+
+template <>
+struct std::hash<evostore::common::SegmentKey> {
+  size_t operator()(const evostore::common::SegmentKey& k) const noexcept {
+    return static_cast<size_t>(
+        evostore::common::hash_combine(k.owner.value, k.vertex));
+  }
+};

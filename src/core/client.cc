@@ -1,0 +1,476 @@
+#include "core/client.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace evostore::core {
+
+using common::VertexId;
+
+namespace {
+
+Status combine(Status acc, const Status& next) {
+  return acc.ok() ? next : acc;
+}
+
+}  // namespace
+
+Client::Client(net::RpcSystem& rpc, NodeId self, uint32_t client_id,
+               std::vector<NodeId> provider_nodes)
+    : rpc_(&rpc),
+      self_(self),
+      client_id_(client_id),
+      provider_nodes_(std::move(provider_nodes)) {
+  assert(!provider_nodes_.empty());
+}
+
+// ---- LCP query: broadcast + reduce ---------------------------------------
+
+namespace {
+sim::CoTask<Result<wire::LcpQueryResponse>> lcp_one(net::RpcSystem* rpc,
+                                                    NodeId from, NodeId to,
+                                                    wire::LcpQueryRequest req) {
+  auto r = co_await net::typed_call<wire::LcpQueryResponse>(
+      *rpc, from, to, Provider::kLcpQuery, req);
+  co_return r;
+}
+}  // namespace
+
+sim::CoTask<Result<wire::LcpQueryResponse>> Client::query_lcp(
+    const ArchGraph& g) {
+  wire::LcpQueryRequest req;
+  req.graph = g;
+  auto& sim = rpc_->simulation();
+  std::vector<sim::Future<Result<wire::LcpQueryResponse>>> futures;
+  futures.reserve(provider_nodes_.size());
+  for (NodeId node : provider_nodes_) {
+    futures.push_back(sim.spawn(lcp_one(rpc_, self_, node, req)));
+  }
+  wire::LcpQueryResponse best;
+  for (auto& f : futures) {
+    auto r = co_await f;
+    if (!r.ok()) co_return r.status();
+    const auto& resp = r.value();
+    if (!resp.found) continue;
+    bool better = false;
+    if (!best.found) {
+      better = true;
+    } else if (resp.lcp_len() != best.lcp_len()) {
+      better = resp.lcp_len() > best.lcp_len();
+    } else if (resp.quality != best.quality) {
+      better = resp.quality > best.quality;
+    } else {
+      better = resp.ancestor < best.ancestor;
+    }
+    if (better) best = resp;
+  }
+  co_return best;
+}
+
+// ---- put -----------------------------------------------------------------
+
+namespace {
+// Spawned coroutines must take their request BY VALUE: a lazily-started
+// frame holding a reference to a loop-local request would dangle.
+sim::CoTask<Result<wire::ModifyRefsResponse>> refs_one(
+    net::RpcSystem* rpc, NodeId from, NodeId to, wire::ModifyRefsRequest req) {
+  co_return co_await net::typed_call<wire::ModifyRefsResponse>(
+      *rpc, from, to, Provider::kModifyRefs, req);
+}
+
+sim::CoTask<Status> put_one(net::RpcSystem* rpc, NodeId from, NodeId home,
+                            wire::PutModelRequest req, size_t payload_bytes) {
+  // Data plane first: the consolidated new tensors cross via bulk RDMA,
+  // then the (small) metadata RPC publishes the model.
+  co_await rpc->bulk(from, home, common::Buffer::synthetic(payload_bytes, 0));
+  auto r = co_await net::typed_call<wire::PutModelResponse>(
+      *rpc, from, home, Provider::kPutModel, req);
+  if (!r.ok()) co_return r.status();
+  co_return r->status;
+}
+
+}  // namespace
+
+sim::CoTask<Status> Client::modify_refs(std::vector<common::SegmentKey> keys,
+                                        bool increment,
+                                        uint32_t* missing_out) {
+  std::map<common::ProviderId, std::vector<common::SegmentKey>> groups;
+  for (const auto& key : keys) {
+    groups[home_of(key.owner)].push_back(key);
+  }
+  auto& sim = rpc_->simulation();
+  std::vector<sim::Future<Result<wire::ModifyRefsResponse>>> futures;
+  futures.reserve(groups.size());
+  for (auto& [provider, group_keys] : groups) {
+    wire::ModifyRefsRequest req;
+    req.increment = increment;
+    req.keys = std::move(group_keys);
+    futures.push_back(sim.spawn(
+        refs_one(rpc_, self_, provider_node(provider), std::move(req))));
+  }
+  Status status;
+  uint32_t missing = 0;
+  for (auto& f : futures) {
+    auto r = co_await f;
+    if (!r.ok()) {
+      status = combine(status, r.status());
+      continue;
+    }
+    missing += r->missing;
+    if (missing_out == nullptr) {
+      // Caller treats missing keys as an error.
+      status = combine(status, r->status);
+    }
+  }
+  if (missing_out != nullptr) *missing_out = missing;
+  co_return status;
+}
+
+sim::CoTask<Status> Client::fan_out_refs(const OwnerMap& owners,
+                                         bool increment,
+                                         ModelId exclude_owner) {
+  std::vector<common::SegmentKey> keys;
+  for (const auto& entry : owners.entries()) {
+    if (entry.owner == exclude_owner) continue;
+    keys.push_back(entry);
+  }
+  co_return co_await modify_refs(std::move(keys), increment, nullptr);
+}
+
+sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc) {
+  size_t n = m.vertex_count();
+  OwnerMap owners =
+      tc != nullptr
+          ? OwnerMap::derive(m.id(), n, tc->ancestor_owners, tc->matches)
+          : OwnerMap::self_owned(m.id(), n);
+
+  wire::PutModelRequest req;
+  req.id = m.id();
+  req.ancestor = tc != nullptr ? tc->ancestor : ModelId::invalid();
+  req.quality = m.quality();
+  req.graph = m.graph();
+  req.owners = owners;
+  size_t payload = 0;
+  for (VertexId v : owners.vertices_owned_by(m.id())) {
+    payload += m.segment(v).nbytes();
+    req.new_segments.emplace_back(v, m.segment(v));
+  }
+
+  NodeId home = provider_node(home_of(m.id()));
+  auto& sim = rpc_->simulation();
+  // The home-provider write and the inherited-segment ref increments
+  // proceed in parallel (distinct providers). A pinned transfer already
+  // holds +1 on every inherited segment — that pin simply becomes this
+  // model's reference.
+  auto put_future = sim.spawn(put_one(rpc_, self_, home, std::move(req), payload));
+  Status ref_status;
+  if (tc == nullptr || !tc->pinned) {
+    ref_status =
+        co_await fan_out_refs(owners, /*increment=*/true, /*exclude=*/m.id());
+  }
+  Status put_status = co_await put_future;
+  co_return combine(put_status, ref_status);
+}
+
+// ---- reads ---------------------------------------------------------------
+
+sim::CoTask<Result<ModelMeta>> Client::get_meta(ModelId id) {
+  wire::GetMetaRequest req{id};
+  auto r = co_await net::typed_call<wire::GetMetaResponse>(
+      *rpc_, self_, provider_node(home_of(id)), Provider::kGetMeta, req);
+  if (!r.ok()) co_return r.status();
+  if (!r->found) co_return Status::NotFound("model " + id.to_string());
+  ModelMeta meta;
+  meta.graph = std::move(r->graph);
+  meta.owners = std::move(r->owners);
+  meta.quality = r->quality;
+  meta.ancestor = r->ancestor;
+  meta.store_time = r->store_time;
+  meta.store_seq = r->store_seq;
+  co_return meta;
+}
+
+namespace {
+struct ReadGroup {
+  std::vector<VertexId> local_vertices;
+  wire::ReadSegmentsRequest req;
+};
+
+sim::CoTask<Result<wire::ReadSegmentsResponse>> read_one(
+    net::RpcSystem* rpc, NodeId from, NodeId to,
+    wire::ReadSegmentsRequest req) {
+  auto r = co_await net::typed_call<wire::ReadSegmentsResponse>(
+      *rpc, from, to, Provider::kReadSegments, req);
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  // RDMA-style payload pull: charge the bulk bytes provider -> client.
+  co_await rpc->bulk(to, from, common::Buffer::synthetic(r->payload_bytes, 0));
+  co_return std::move(r).value();
+}
+}  // namespace
+
+sim::CoTask<Result<std::vector<Segment>>> Client::read_segments(
+    const OwnerMap& owners, const std::vector<VertexId>& vertices) {
+  // Group requested vertices by the provider hosting their owner's segment.
+  std::map<common::ProviderId, ReadGroup> groups;
+  for (VertexId v : vertices) {
+    const auto& key = owners.entry(v);
+    auto& group = groups[home_of(key.owner)];
+    group.local_vertices.push_back(v);
+    group.req.keys.push_back(key);
+  }
+  auto& sim = rpc_->simulation();
+  std::vector<std::vector<VertexId>> order;
+  std::vector<sim::Future<Result<wire::ReadSegmentsResponse>>> futures;
+  for (auto& [provider, group] : groups) {
+    order.push_back(std::move(group.local_vertices));
+    futures.push_back(sim.spawn(
+        read_one(rpc_, self_, provider_node(provider), std::move(group.req))));
+  }
+  std::map<VertexId, Segment> collected;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto r = co_await futures[i];
+    if (!r.ok()) co_return r.status();
+    auto& resp = r.value();
+    if (resp.segments.size() != order[i].size()) {
+      co_return Status::Internal("segment count mismatch in read fan-out");
+    }
+    for (size_t j = 0; j < order[i].size(); ++j) {
+      collected[order[i][j]] = std::move(resp.segments[j]);
+    }
+  }
+  std::vector<Segment> out;
+  out.reserve(vertices.size());
+  for (VertexId v : vertices) out.push_back(std::move(collected[v]));
+  co_return out;
+}
+
+sim::CoTask<Result<Model>> Client::get_model(ModelId id) {
+  auto meta = co_await get_meta(id);
+  if (!meta.ok()) co_return meta.status();
+  std::vector<VertexId> all(meta->graph.size());
+  for (VertexId v = 0; v < all.size(); ++v) all[v] = v;
+  auto segments = co_await read_segments(meta->owners, all);
+  if (!segments.ok()) co_return segments.status();
+  Model m(id, std::move(meta->graph));
+  m.set_quality(meta->quality);
+  for (VertexId v = 0; v < all.size(); ++v) {
+    m.segment(v) = std::move(segments.value()[v]);
+  }
+  co_return m;
+}
+
+sim::CoTask<Result<Model>> Client::get_model_via_chain(ModelId id) {
+  auto meta = co_await get_meta(id);
+  if (!meta.ok()) co_return meta.status();
+  Model m(id, meta->graph);
+  m.set_quality(meta->quality);
+  // The leaf's owner map stands in for the per-level diff records a
+  // chain-based design would store; what this path deliberately does NOT do
+  // is exploit it for one-shot parallel reads — each lineage level costs its
+  // own metadata round trip and its own read round, as in the naive scheme.
+  const OwnerMap& owners = meta->owners;
+  ModelId cur = id;
+  size_t remaining = m.vertex_count();
+  while (cur.valid() && remaining > 0) {
+    ModelMeta level;
+    if (cur == id) {
+      level = *meta;
+    } else {
+      auto r = co_await get_meta(cur);
+      if (!r.ok()) co_return r.status();
+      level = std::move(r).value();
+    }
+    std::vector<common::VertexId> mine;
+    for (common::VertexId v = 0; v < owners.size(); ++v) {
+      if (owners.entry(v).owner == cur) mine.push_back(v);
+    }
+    if (!mine.empty()) {
+      auto segs = co_await read_segments(owners, mine);
+      if (!segs.ok()) co_return segs.status();
+      for (size_t i = 0; i < mine.size(); ++i) {
+        m.segment(mine[i]) = std::move(segs.value()[i]);
+      }
+      remaining -= mine.size();
+    }
+    cur = level.ancestor;
+  }
+  if (remaining > 0) {
+    co_return Status::NotFound(
+        "chain reconstruction incomplete: an ancestor was retired");
+  }
+  co_return m;
+}
+
+sim::CoTask<Result<std::optional<TransferContext>>> Client::prepare_transfer(
+    const ArchGraph& g, bool fetch_payload) {
+  auto q = co_await query_lcp(g);
+  if (!q.ok()) co_return q.status();
+  if (!q->found) co_return std::optional<TransferContext>{};
+  auto meta = co_await get_meta(q->ancestor);
+  if (!meta.ok()) {
+    if (meta.status().code() == common::ErrorCode::kNotFound) {
+      // The ancestor was retired between the query and the read; treat as
+      // "no ancestor" (the caller trains from scratch).
+      co_return std::optional<TransferContext>{};
+    }
+    co_return meta.status();
+  }
+  TransferContext tc;
+  tc.ancestor = q->ancestor;
+  tc.ancestor_quality = q->quality;
+  tc.matches = std::move(q->matches);
+  tc.ancestor_owners = std::move(meta->owners);
+
+  // Pin the prefix segments so a concurrent retirement of the ancestor (or
+  // of the original owners along its lineage) cannot free them while this
+  // transfer trains. The pin later becomes the derived model's reference.
+  std::vector<common::SegmentKey> pin_keys;
+  pin_keys.reserve(tc.matches.size());
+  for (auto [gv, av] : tc.matches) {
+    (void)gv;
+    pin_keys.push_back(tc.ancestor_owners.entry(av));
+  }
+  uint32_t missing = 0;
+  Status pin_status = co_await modify_refs(pin_keys, /*increment=*/true,
+                                           &missing);
+  if (!pin_status.ok()) co_return pin_status;
+  if (missing > 0) {
+    // Lost the race with a retire mid-pin: roll the successful increments
+    // back (decrements of already-freed keys are reported missing, which is
+    // fine) and fall back to training from scratch.
+    (void)co_await modify_refs(pin_keys, /*increment=*/false, &missing);
+    co_return std::optional<TransferContext>{};
+  }
+  tc.pinned = true;
+
+  if (fetch_payload) {
+    std::vector<VertexId> ancestor_vertices;
+    ancestor_vertices.reserve(tc.matches.size());
+    for (auto [gv, av] : tc.matches) {
+      (void)gv;
+      ancestor_vertices.push_back(av);
+    }
+    auto segs = co_await read_segments(tc.ancestor_owners, ancestor_vertices);
+    if (!segs.ok()) {
+      (void)co_await modify_refs(std::move(pin_keys), /*increment=*/false,
+                                 &missing);
+      co_return segs.status();
+    }
+    tc.prefix_segments = std::move(segs).value();
+  }
+  co_return std::optional<TransferContext>(std::move(tc));
+}
+
+sim::CoTask<Status> Client::abandon_transfer(const TransferContext& tc) {
+  if (!tc.pinned) co_return Status::Ok();
+  std::vector<common::SegmentKey> keys;
+  keys.reserve(tc.matches.size());
+  for (auto [gv, av] : tc.matches) {
+    (void)gv;
+    keys.push_back(tc.ancestor_owners.entry(av));
+  }
+  co_return co_await modify_refs(std::move(keys), /*increment=*/false,
+                                 nullptr);
+}
+
+// ---- retire ----------------------------------------------------------------
+
+sim::CoTask<Status> Client::retire(ModelId id) {
+  wire::RetireRequest req{id};
+  auto r = co_await net::typed_call<wire::RetireResponse>(
+      *rpc_, self_, provider_node(home_of(id)), Provider::kRetire, req);
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  // Decrement every tensor the retired model referenced — its own segments
+  // and the inherited ones alike (O(k), k = leaf layers).
+  co_return co_await fan_out_refs(r->owners, /*increment=*/false,
+                                  ModelId::invalid());
+}
+
+// ---- provenance ------------------------------------------------------------
+
+sim::CoTask<Result<std::vector<ModelId>>> Client::lineage(ModelId id) {
+  std::vector<ModelId> chain;
+  ModelId cur = id;
+  while (cur.valid()) {
+    auto meta = co_await get_meta(cur);
+    if (!meta.ok()) {
+      if (!chain.empty() &&
+          meta.status().code() == common::ErrorCode::kNotFound) {
+        break;  // ancestor already retired; chain ends here
+      }
+      co_return meta.status();
+    }
+    chain.push_back(cur);
+    cur = meta->ancestor;
+  }
+  co_return chain;
+}
+
+sim::CoTask<Result<std::vector<Client::Contribution>>> Client::contributions(
+    ModelId id) {
+  auto meta = co_await get_meta(id);
+  if (!meta.ok()) co_return meta.status();
+  std::vector<Contribution> out;
+  for (auto& [owner, pairs] : meta->owners.by_owner()) {
+    Contribution c;
+    c.owner = owner;
+    for (auto [local_v, owner_v] : pairs) {
+      (void)owner_v;
+      c.vertices.push_back(local_v);
+    }
+    if (owner == id) {
+      c.store_time = meta->store_time;
+    } else {
+      auto owner_meta = co_await get_meta(owner);
+      c.store_time = owner_meta.ok() ? owner_meta->store_time : 0.0;
+    }
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(), [](const Contribution& a,
+                                       const Contribution& b) {
+    if (a.store_time != b.store_time) return a.store_time > b.store_time;
+    return a.owner < b.owner;
+  });
+  co_return out;
+}
+
+sim::CoTask<Result<ModelId>> Client::most_recent_common_ancestor(ModelId a,
+                                                                 ModelId b) {
+  auto meta_a = co_await get_meta(a);
+  if (!meta_a.ok()) co_return meta_a.status();
+  auto meta_b = co_await get_meta(b);
+  if (!meta_b.ok()) co_return meta_b.status();
+  auto ca = meta_a->owners.contributors();
+  auto cb = meta_b->owners.contributors();
+  std::sort(ca.begin(), ca.end());
+  std::sort(cb.begin(), cb.end());
+  std::vector<ModelId> common_owners;
+  std::set_intersection(ca.begin(), ca.end(), cb.begin(), cb.end(),
+                        std::back_inserter(common_owners));
+  if (common_owners.empty()) {
+    co_return Status::NotFound("no common ancestor");
+  }
+  ModelId best;
+  double best_time = -1;
+  for (ModelId c : common_owners) {
+    double t = 0.0;
+    if (c == a) {
+      t = meta_a->store_time;
+    } else if (c == b) {
+      t = meta_b->store_time;
+    } else {
+      auto meta_c = co_await get_meta(c);
+      t = meta_c.ok() ? meta_c->store_time : 0.0;
+    }
+    if (t > best_time || (t == best_time && c < best)) {
+      best = c;
+      best_time = t;
+    }
+  }
+  co_return best;
+}
+
+}  // namespace evostore::core

@@ -1,0 +1,163 @@
+// EvoStore client library (paper §4.3): the side applications link against.
+//
+// The client interprets owner maps, talks to the home provider for metadata,
+// fans bulk reads/writes out to the providers owning each segment in
+// parallel, broadcasts LCP queries and reduces the replies, and drives the
+// distributed reference-count updates for put/retire.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/owner_map.h"
+#include "core/placement.h"
+#include "core/provider.h"
+#include "core/wire.h"
+#include "net/rpc.h"
+
+namespace evostore::core {
+
+using common::ModelId;
+using common::NodeId;
+using common::Result;
+using common::Status;
+using model::ArchGraph;
+using model::Model;
+using model::Segment;
+
+/// Everything needed to perform one transfer-learning operation: produced by
+/// `prepare_transfer`, consumed by training (prefix segments) and by
+/// `put_model` (owner-map derivation + ref increments).
+struct TransferContext {
+  ModelId ancestor;
+  double ancestor_quality = 0;
+  /// (child vertex, ancestor vertex) pairs of the LCP.
+  std::vector<std::pair<common::VertexId, common::VertexId>> matches;
+  OwnerMap ancestor_owners;
+  /// Prefix segments, in `matches` order (filled by prepare_transfer when
+  /// fetch_payload is requested).
+  std::vector<Segment> prefix_segments;
+  /// True when prepare_transfer already incremented the refcount of every
+  /// inherited segment (a *pin*, protecting the transfer against concurrent
+  /// retirement of the ancestor). put_model turns the pin into the stored
+  /// model's reference; abandon_transfer releases it.
+  bool pinned = false;
+
+  size_t lcp_len() const { return matches.size(); }
+};
+
+/// Full metadata of a stored model.
+struct ModelMeta {
+  ArchGraph graph;
+  OwnerMap owners;
+  double quality = 0;
+  ModelId ancestor;
+  double store_time = 0;
+  uint64_t store_seq = 0;
+};
+
+class Client {
+ public:
+  /// `provider_nodes[i]` is the fabric node hosting provider i.
+  Client(net::RpcSystem& rpc, NodeId self, uint32_t client_id,
+         std::vector<NodeId> provider_nodes);
+
+  NodeId node() const { return self_; }
+
+  /// Allocate a fresh globally-unique model id.
+  ModelId allocate_id() { return ModelId::make(client_id_, ++id_seq_); }
+
+  /// Broadcast an LCP query to all providers and reduce to the global best
+  /// (longest prefix; ties by quality, then lower id). `found == false`
+  /// means no stored model shares even the input layer.
+  sim::CoTask<Result<wire::LcpQueryResponse>> query_lcp(const ArchGraph& g);
+
+  /// query_lcp + fetch the ancestor's owner map, PIN the prefix segments
+  /// (refcount +1, so a concurrent retire cannot free them mid-transfer),
+  /// and read the prefix payloads when `fetch_payload`. Returns nullopt
+  /// (inside the Result) if no ancestor exists or it vanished while racing a
+  /// retire. The pin is consumed by put_model or released by
+  /// abandon_transfer.
+  sim::CoTask<Result<std::optional<TransferContext>>> prepare_transfer(
+      const ArchGraph& g, bool fetch_payload = true);
+
+  /// Release a pinned transfer without storing a derived model.
+  sim::CoTask<Status> abandon_transfer(const TransferContext& tc);
+
+  /// Store a model. For derived models pass the TransferContext so that only
+  /// self-owned segments travel; inherited segments get their refcounts
+  /// incremented on their owners' providers.
+  sim::CoTask<Status> put_model(const Model& m, const TransferContext* tc);
+
+  /// Fetch metadata (graph, owner map, quality, lineage pointer).
+  sim::CoTask<Result<ModelMeta>> get_meta(ModelId id);
+
+  /// Reconstruct a full model: one owner-map lookup + parallel bulk reads
+  /// from every owning provider.
+  sim::CoTask<Result<Model>> get_model(ModelId id);
+
+  /// ABLATION BASELINE (paper §4.1's "simple solution"): reconstruct by
+  /// walking the ancestor chain level by level — one metadata round trip
+  /// plus one read round per ancestor, instead of consulting a single owner
+  /// map. Read cost grows with chain length; `bench/ablation_chain_reads`
+  /// quantifies the gap that motivates owner maps. Fails if any ancestor on
+  /// the chain was already retired.
+  sim::CoTask<Result<Model>> get_model_via_chain(ModelId id);
+
+  /// Read the segments for an arbitrary vertex subset (in `vertices` order)
+  /// by following `owners`.
+  sim::CoTask<Result<std::vector<Segment>>> read_segments(
+      const OwnerMap& owners, const std::vector<common::VertexId>& vertices);
+
+  /// Retire a model: metadata removed eagerly; every owner-map entry's
+  /// refcount decremented (parallel fan-out); payloads freed at zero.
+  sim::CoTask<Status> retire(ModelId id);
+
+  // ---- Provenance queries (paper §4.1 "owner maps as a foundation") ----
+
+  /// Ancestor chain id, parent, grandparent, ... (stops at a from-scratch
+  /// model or at the first retired ancestor whose metadata is gone).
+  sim::CoTask<Result<std::vector<ModelId>>> lineage(ModelId id);
+
+  /// Contributors to a model's composition with the vertex sets they own,
+  /// ordered by recency (store time descending) — directly from one owner
+  /// map plus the contributors' store timestamps.
+  struct Contribution {
+    ModelId owner;
+    std::vector<common::VertexId> vertices;
+    double store_time = 0;
+  };
+  sim::CoTask<Result<std::vector<Contribution>>> contributions(ModelId id);
+
+  /// Most recent common ancestor of two models: the common owner-map
+  /// contributor with the latest store time. NotFound if none.
+  sim::CoTask<Result<ModelId>> most_recent_common_ancestor(ModelId a,
+                                                           ModelId b);
+
+ private:
+  NodeId provider_node(common::ProviderId p) const {
+    return provider_nodes_[p];
+  }
+  common::ProviderId home_of(ModelId id) const {
+    return provider_for(id, provider_nodes_.size());
+  }
+
+  // Fan one ModifyRefs round out to the providers hosting `keys`.
+  // Returns the number of keys the providers reported missing via
+  // `missing_out` (optional).
+  sim::CoTask<Status> modify_refs(std::vector<common::SegmentKey> keys,
+                                  bool increment, uint32_t* missing_out);
+  // Convenience: all entries of `owners` except those owned by
+  // `exclude_owner` (pass invalid() to include everything).
+  sim::CoTask<Status> fan_out_refs(const OwnerMap& owners, bool increment,
+                                   ModelId exclude_owner);
+
+  net::RpcSystem* rpc_;
+  NodeId self_;
+  uint32_t client_id_;
+  uint32_t id_seq_ = 0;
+  std::vector<NodeId> provider_nodes_;
+};
+
+}  // namespace evostore::core

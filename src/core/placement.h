@@ -1,0 +1,17 @@
+// Static hash placement of models onto providers (paper §4.1): the owner map
+// fully describes a model's composition, so a stateless hash of the model id
+// suffices to locate its home provider — no directory service needed.
+#pragma once
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace evostore::core {
+
+inline common::ProviderId provider_for(common::ModelId id,
+                                       size_t provider_count) {
+  return static_cast<common::ProviderId>(common::mix64(id.value) %
+                                         provider_count);
+}
+
+}  // namespace evostore::core

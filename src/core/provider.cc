@@ -1,0 +1,364 @@
+#include "core/provider.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+#include "core/lcp.h"
+
+namespace evostore::core {
+
+using common::Bytes;
+using common::ModelId;
+using common::Status;
+
+namespace {
+template <typename Response>
+Bytes pack(const Response& response) {
+  common::Serializer s;
+  response.serialize(s);
+  return std::move(s).take();
+}
+}  // namespace
+
+Provider::Provider(net::RpcSystem& rpc, common::NodeId node,
+                   common::ProviderId id, ProviderConfig config,
+                   storage::KvStore* backend)
+    : sim_(&rpc.simulation()),
+      flows_(&rpc.fabric().flows()),
+      node_(node),
+      id_(id),
+      config_(config),
+      backend_(backend) {
+  if (config_.pool_bandwidth > 0) {
+    pool_port_ = flows_->add_port(config_.pool_bandwidth,
+                                  "pool" + std::to_string(id));
+    pool_enabled_ = true;
+  }
+  if (backend_ != nullptr) restore_from_backend();
+  register_handlers(rpc);
+}
+
+// ---- persistence --------------------------------------------------------
+
+std::string Provider::meta_key(common::ModelId id) {
+  return "meta/" + std::to_string(id.value);
+}
+
+std::string Provider::segment_key(const common::SegmentKey& key) {
+  return "seg/" + std::to_string(key.owner.value) + "/" +
+         std::to_string(key.vertex);
+}
+
+void Provider::persist_meta(common::ModelId id, const MetaRecord& meta) {
+  if (backend_ == nullptr) return;
+  common::Serializer s;
+  meta.graph.serialize(s);
+  meta.owners.serialize(s);
+  s.f64(meta.quality);
+  s.u64(meta.ancestor.value);
+  s.f64(meta.store_time);
+  s.u64(meta.store_seq);
+  auto st = backend_->put(meta_key(id),
+                          common::Buffer::dense(std::move(s).take()));
+  if (!st.ok()) EVO_WARN << "persist_meta: " << st.to_string();
+}
+
+void Provider::erase_meta(common::ModelId id) {
+  if (backend_ == nullptr) return;
+  (void)backend_->erase(meta_key(id));
+}
+
+void Provider::persist_segment(const common::SegmentKey& key,
+                               const SegEntry& entry) {
+  if (backend_ == nullptr) return;
+  common::Serializer s;
+  s.i64(entry.refs);
+  entry.segment.serialize(s);
+  auto st = backend_->put(segment_key(key),
+                          common::Buffer::dense(std::move(s).take()));
+  if (!st.ok()) EVO_WARN << "persist_segment: " << st.to_string();
+}
+
+void Provider::erase_segment_record(const common::SegmentKey& key) {
+  if (backend_ == nullptr) return;
+  (void)backend_->erase(segment_key(key));
+}
+
+void Provider::restore_from_backend() {
+  for (const auto& key : backend_->keys()) {
+    auto value = backend_->get(key);
+    if (!value.ok()) continue;
+    common::Buffer buf = value.value().materialize();
+    common::Deserializer d(buf.dense_span());
+    if (key.rfind("meta/", 0) == 0) {
+      common::ModelId id{std::strtoull(key.c_str() + 5, nullptr, 10)};
+      MetaRecord meta;
+      meta.graph = model::ArchGraph::deserialize(d);
+      meta.owners = OwnerMap::deserialize(d);
+      meta.quality = d.f64();
+      meta.ancestor.value = d.u64();
+      meta.store_time = d.f64();
+      meta.store_seq = d.u64();
+      if (!d.finish().ok()) {
+        EVO_WARN << "restore: corrupt metadata record '" << key << "'";
+        continue;
+      }
+      seq_ = std::max(seq_, meta.store_seq);
+      models_.emplace(id, std::move(meta));
+    } else if (key.rfind("seg/", 0) == 0) {
+      const char* p = key.c_str() + 4;
+      char* end = nullptr;
+      common::ModelId owner{std::strtoull(p, &end, 10)};
+      if (end == nullptr || *end != '/') continue;
+      auto vertex = static_cast<common::VertexId>(
+          std::strtoul(end + 1, nullptr, 10));
+      SegEntry entry;
+      entry.refs = static_cast<int32_t>(d.i64());
+      entry.segment = model::Segment::deserialize(d);
+      if (!d.finish().ok()) {
+        EVO_WARN << "restore: corrupt segment record '" << key << "'";
+        continue;
+      }
+      payload_bytes_ += entry.segment.nbytes();
+      segments_.emplace(common::SegmentKey{owner, vertex}, std::move(entry));
+    }
+  }
+}
+
+sim::CoTask<void> Provider::charge_pool(double bytes) {
+  if (!pool_enabled_ || bytes <= 0) co_return;
+  std::vector<sim::PortId> path;
+  path.push_back(pool_port_);
+  co_await flows_->transfer(std::move(path), bytes);
+}
+
+void Provider::register_handlers(net::RpcSystem& rpc) {
+  rpc.register_handler(node_, kPutModel, [this](Bytes b) {
+    return handle_put(std::move(b));
+  });
+  rpc.register_handler(node_, kGetMeta, [this](Bytes b) {
+    return handle_get_meta(std::move(b));
+  });
+  rpc.register_handler(node_, kReadSegments, [this](Bytes b) {
+    return handle_read_segments(std::move(b));
+  });
+  rpc.register_handler(node_, kModifyRefs, [this](Bytes b) {
+    return handle_modify_refs(std::move(b));
+  });
+  rpc.register_handler(node_, kRetire, [this](Bytes b) {
+    return handle_retire(std::move(b));
+  });
+  rpc.register_handler(node_, kLcpQuery, [this](Bytes b) {
+    return handle_lcp_query(std::move(b));
+  });
+}
+
+int Provider::refcount(const common::SegmentKey& key) const {
+  auto it = segments_.find(key);
+  return it == segments_.end() ? 0 : it->second.refs;
+}
+
+size_t Provider::metadata_bytes() const {
+  size_t n = 0;
+  for (const auto& [id, meta] : models_) {
+    n += meta.owners.metadata_bytes();
+    // Compact graph: per vertex, a signature (16B) plus edge list entries.
+    n += meta.graph.size() * 16 + meta.graph.edge_count() * 4;
+  }
+  return n;
+}
+
+std::vector<ModelId> Provider::model_ids() const {
+  std::vector<ModelId> out;
+  out.reserve(models_.size());
+  for (const auto& [id, meta] : models_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+sim::CoTask<Bytes> Provider::handle_put(Bytes request) {
+  common::Deserializer d(request);
+  auto req = wire::PutModelRequest::deserialize(d);
+  wire::PutModelResponse resp;
+  if (!d.ok()) {
+    resp.status = d.status();
+    co_return pack(resp);
+  }
+  ++stats_.puts;
+  co_await sim_->delay(config_.op_seconds +
+                       config_.per_segment_seconds *
+                           static_cast<double>(req.new_segments.size()));
+  if (models_.find(req.id) != models_.end()) {
+    resp.status = Status::AlreadyExists("model " + req.id.to_string());
+    co_return pack(resp);
+  }
+  size_t payload = 0;
+  for (const auto& [v, seg] : req.new_segments) payload += seg.nbytes();
+  co_await charge_pool(static_cast<double>(payload));
+  MetaRecord meta;
+  meta.graph = std::move(req.graph);
+  meta.owners = std::move(req.owners);
+  meta.quality = req.quality;
+  meta.ancestor = req.ancestor;
+  meta.store_time = sim_->now();
+  meta.store_seq = ++seq_;
+  resp.store_seq = meta.store_seq;
+  persist_meta(req.id, meta);
+  models_.emplace(req.id, std::move(meta));
+  for (auto& [v, seg] : req.new_segments) {
+    common::SegmentKey key{req.id, v};
+    payload_bytes_ += seg.nbytes();
+    segments_[key] = SegEntry{std::move(seg), 1};
+    persist_segment(key, segments_[key]);
+  }
+  resp.status = Status::Ok();
+  co_return pack(resp);
+}
+
+sim::CoTask<Bytes> Provider::handle_get_meta(Bytes request) {
+  common::Deserializer d(request);
+  auto req = wire::GetMetaRequest::deserialize(d);
+  wire::GetMetaResponse resp;
+  ++stats_.meta_gets;
+  co_await sim_->delay(config_.op_seconds);
+  auto it = models_.find(req.id);
+  if (it != models_.end() && d.ok()) {
+    resp.found = true;
+    resp.graph = it->second.graph;
+    resp.owners = it->second.owners;
+    resp.quality = it->second.quality;
+    resp.ancestor = it->second.ancestor;
+    resp.store_time = it->second.store_time;
+    resp.store_seq = it->second.store_seq;
+  }
+  co_return pack(resp);
+}
+
+sim::CoTask<Bytes> Provider::handle_read_segments(Bytes request) {
+  common::Deserializer d(request);
+  auto req = wire::ReadSegmentsRequest::deserialize(d);
+  wire::ReadSegmentsResponse resp;
+  if (!d.ok()) {
+    resp.status = d.status();
+    co_return pack(resp);
+  }
+  ++stats_.segment_reads;
+  co_await sim_->delay(config_.op_seconds +
+                       config_.per_segment_seconds *
+                           static_cast<double>(req.keys.size()));
+  for (const auto& key : req.keys) {
+    auto it = segments_.find(key);
+    if (it == segments_.end()) {
+      resp.segments.clear();
+      resp.payload_bytes = 0;
+      resp.status = Status::NotFound("segment " + key.to_string());
+      co_return pack(resp);
+    }
+    resp.payload_bytes += it->second.segment.nbytes();
+    resp.segments.push_back(it->second.segment);
+  }
+  co_await charge_pool(static_cast<double>(resp.payload_bytes));
+  resp.status = Status::Ok();
+  co_return pack(resp);
+}
+
+sim::CoTask<Bytes> Provider::handle_modify_refs(Bytes request) {
+  common::Deserializer d(request);
+  auto req = wire::ModifyRefsRequest::deserialize(d);
+  wire::ModifyRefsResponse resp;
+  if (!d.ok()) {
+    resp.status = d.status();
+    co_return pack(resp);
+  }
+  co_await sim_->delay(config_.per_segment_seconds *
+                       static_cast<double>(req.keys.size()));
+  for (const auto& key : req.keys) {
+    auto it = segments_.find(key);
+    if (it == segments_.end()) {
+      ++resp.missing;
+      continue;
+    }
+    if (req.increment) {
+      ++it->second.refs;
+      ++stats_.refs_added;
+      persist_segment(key, it->second);
+    } else {
+      ++stats_.refs_removed;
+      if (--it->second.refs <= 0) {
+        resp.freed_bytes += it->second.segment.nbytes();
+        payload_bytes_ -= it->second.segment.nbytes();
+        segments_.erase(it);
+        erase_segment_record(key);
+        ++stats_.segments_freed;
+      } else {
+        persist_segment(key, it->second);
+      }
+    }
+  }
+  resp.status = resp.missing == 0
+                    ? Status::Ok()
+                    : Status::NotFound(std::to_string(resp.missing) +
+                                       " segment(s) missing");
+  co_return pack(resp);
+}
+
+sim::CoTask<Bytes> Provider::handle_retire(Bytes request) {
+  common::Deserializer d(request);
+  auto req = wire::RetireRequest::deserialize(d);
+  wire::RetireResponse resp;
+  ++stats_.retires;
+  co_await sim_->delay(config_.op_seconds);
+  auto it = models_.find(req.id);
+  if (it == models_.end() || !d.ok()) {
+    resp.status = Status::NotFound("model " + req.id.to_string());
+    co_return pack(resp);
+  }
+  resp.owners = std::move(it->second.owners);
+  // Metadata is removed eagerly; segment payloads survive until their
+  // reference counts (decremented by the client fan-out) reach zero.
+  models_.erase(it);
+  erase_meta(req.id);
+  resp.status = Status::Ok();
+  co_return pack(resp);
+}
+
+sim::CoTask<Bytes> Provider::handle_lcp_query(Bytes request) {
+  common::Deserializer d(request);
+  auto req = wire::LcpQueryRequest::deserialize(d);
+  wire::LcpQueryResponse resp;
+  if (!d.ok()) co_return pack(resp);
+  ++stats_.lcp_queries;
+  LcpCost cost;
+  LcpWorkspace ws;
+  // Scan the local catalog with Algorithm 1; keep the best by
+  // (prefix length, quality, lower id).
+  for (const auto& [id, meta] : models_) {
+    LcpResult r = ws.run(req.graph, meta.graph, &cost);
+    if (r.length() == 0) continue;
+    bool better = false;
+    if (!resp.found) {
+      better = true;
+    } else if (r.length() != resp.matches.size()) {
+      better = r.length() > resp.matches.size();
+    } else if (meta.quality != resp.quality) {
+      better = meta.quality > resp.quality;
+    } else {
+      better = id < resp.ancestor;
+    }
+    if (better) {
+      resp.found = true;
+      resp.ancestor = id;
+      resp.quality = meta.quality;
+      resp.matches = std::move(r.matches);
+    }
+  }
+  stats_.lcp_models_scanned += models_.size();
+  stats_.lcp_vertex_visits += cost.vertex_visits;
+  // Charge the scan's CPU time (the map step of the collective query).
+  co_await sim_->delay(
+      config_.lcp_per_model_seconds * static_cast<double>(models_.size()) +
+      config_.lcp_visit_seconds * static_cast<double>(cost.vertex_visits));
+  co_return pack(resp);
+}
+
+}  // namespace evostore::core

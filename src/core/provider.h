@@ -1,0 +1,147 @@
+// EvoStore provider: the combined data + metadata server (paper §4.1).
+//
+// Each provider stores, for the models hashed to it: the compact architecture
+// graph, the owner map, the quality metric — and, for every vertex the model
+// *owns*, the consolidated parameter segment with its reference count.
+// Because metadata and data are co-located, one provider answers both the
+// owner-map lookup and the bulk read for locally-owned tensors, and the
+// provider fleet collectively answers LCP queries by scanning only local
+// catalogs (map) followed by a client-side reduce.
+//
+// Garbage collection: a segment is created with refcount 1 (its owner's own
+// owner-map reference). Deriving a model increments every inherited
+// segment's count; retiring decrements every owner-map entry. Payloads are
+// freed at zero; model metadata is removed eagerly on retire (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/wire.h"
+#include "net/rpc.h"
+#include "storage/kv_store.h"
+
+namespace evostore::core {
+
+struct ProviderConfig {
+  /// CPU cost per vertex visit in the local LCP scan (Algorithm 1).
+  double lcp_visit_seconds = 15e-9;
+  /// Fixed CPU cost per locally stored model considered in a scan (a root
+  /// signature compare on the compact in-memory graph).
+  double lcp_per_model_seconds = 8e-9;
+  /// Local KV bookkeeping cost per put/get/retire operation.
+  double op_seconds = 2e-6;
+  /// Additional cost per segment touched (insert/lookup/free).
+  double per_segment_seconds = 200e-9;
+  /// Bandwidth of the in-memory KV pool (synchronized memory pool memcpy);
+  /// put/read payload bytes flow through a per-provider fair-share port.
+  /// 0 disables pool modelling (metadata-only deployments).
+  double pool_bandwidth = 7e9;
+};
+
+struct ProviderStats {
+  uint64_t puts = 0;
+  uint64_t meta_gets = 0;
+  uint64_t segment_reads = 0;
+  uint64_t lcp_queries = 0;
+  uint64_t lcp_models_scanned = 0;
+  uint64_t lcp_vertex_visits = 0;
+  uint64_t retires = 0;
+  uint64_t refs_added = 0;
+  uint64_t refs_removed = 0;
+  uint64_t segments_freed = 0;
+};
+
+class Provider {
+ public:
+  /// Constructs the provider and registers its RPC handlers on `node`.
+  /// `backend` (optional, non-owning) is the provider's persistent KV store
+  /// (paper §4.3: "in-memory [or] persistently using underlying backends
+  /// such as ... RocksDB"): metadata, segments, and reference counts are
+  /// written through to it, and a provider constructed over a non-empty
+  /// backend recovers its full state from it (restart/crash recovery).
+  Provider(net::RpcSystem& rpc, common::NodeId node, common::ProviderId id,
+           ProviderConfig config = {}, storage::KvStore* backend = nullptr);
+
+  common::NodeId node() const { return node_; }
+  common::ProviderId id() const { return id_; }
+
+  // -- Introspection (same-process access for tests, benches, GC audits) --
+  size_t model_count() const { return models_.size(); }
+  size_t segment_count() const { return segments_.size(); }
+  /// Logical payload bytes of all live segments.
+  size_t stored_payload_bytes() const { return payload_bytes_; }
+  /// Owner-map + graph metadata footprint estimate.
+  size_t metadata_bytes() const;
+  bool has_model(common::ModelId id) const {
+    return models_.find(id) != models_.end();
+  }
+  bool has_segment(const common::SegmentKey& key) const {
+    return segments_.find(key) != segments_.end();
+  }
+  int refcount(const common::SegmentKey& key) const;
+  const ProviderStats& stats() const { return stats_; }
+  std::vector<common::ModelId> model_ids() const;
+
+  static constexpr const char* kPutModel = "evostore.put_model";
+  static constexpr const char* kGetMeta = "evostore.get_meta";
+  static constexpr const char* kReadSegments = "evostore.read_segments";
+  static constexpr const char* kModifyRefs = "evostore.modify_refs";
+  static constexpr const char* kRetire = "evostore.retire";
+  static constexpr const char* kLcpQuery = "evostore.lcp_query";
+
+ private:
+  struct MetaRecord {
+    model::ArchGraph graph;
+    OwnerMap owners;
+    double quality = 0;
+    common::ModelId ancestor;
+    double store_time = 0;
+    uint64_t store_seq = 0;
+  };
+  struct SegEntry {
+    model::Segment segment;
+    int32_t refs = 0;
+  };
+
+  void register_handlers(net::RpcSystem& rpc);
+  // Charge `bytes` through the provider's memory-pool port (no-op when pool
+  // modelling is disabled).
+  sim::CoTask<void> charge_pool(double bytes);
+
+  // ---- persistence (no-ops when backend_ == nullptr) ----
+  struct MetaRecord;
+  struct SegEntry;
+  void persist_meta(common::ModelId id, const MetaRecord& meta);
+  void erase_meta(common::ModelId id);
+  void persist_segment(const common::SegmentKey& key, const SegEntry& entry);
+  void erase_segment_record(const common::SegmentKey& key);
+  /// Rebuild models_/segments_ from the backend (called at construction).
+  void restore_from_backend();
+  static std::string meta_key(common::ModelId id);
+  static std::string segment_key(const common::SegmentKey& key);
+
+  sim::CoTask<common::Bytes> handle_put(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_get_meta(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_read_segments(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_modify_refs(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_retire(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_lcp_query(common::Bytes request);
+
+  sim::Simulation* sim_;
+  sim::FlowScheduler* flows_;
+  common::NodeId node_;
+  common::ProviderId id_;
+  ProviderConfig config_;
+  storage::KvStore* backend_ = nullptr;
+  sim::PortId pool_port_ = 0;
+  bool pool_enabled_ = false;
+  uint64_t seq_ = 0;
+
+  std::unordered_map<common::ModelId, MetaRecord> models_;
+  std::unordered_map<common::SegmentKey, SegEntry> segments_;
+  size_t payload_bytes_ = 0;
+  ProviderStats stats_;
+};
+
+}  // namespace evostore::core

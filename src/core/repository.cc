@@ -1,0 +1,74 @@
+#include "core/repository.h"
+
+namespace evostore::core {
+
+EvoStoreRepository::EvoStoreRepository(net::RpcSystem& rpc,
+                                       std::vector<NodeId> provider_nodes,
+                                       ProviderConfig config,
+                                       std::vector<storage::KvStore*> backends)
+    : rpc_(&rpc), provider_nodes_(std::move(provider_nodes)) {
+  providers_.reserve(provider_nodes_.size());
+  for (size_t i = 0; i < provider_nodes_.size(); ++i) {
+    storage::KvStore* backend = i < backends.size() ? backends[i] : nullptr;
+    providers_.push_back(std::make_unique<Provider>(
+        rpc, provider_nodes_[i], static_cast<common::ProviderId>(i), config,
+        backend));
+  }
+}
+
+Client& EvoStoreRepository::client(NodeId node) {
+  auto it = clients_.find(node);
+  if (it == clients_.end()) {
+    it = clients_
+             .emplace(node, std::make_unique<Client>(*rpc_, node,
+                                                     next_client_id_++,
+                                                     provider_nodes_))
+             .first;
+  }
+  return *it->second;
+}
+
+sim::CoTask<Result<std::optional<TransferContext>>>
+EvoStoreRepository::prepare_transfer(NodeId node, const ArchGraph& g,
+                                     bool fetch_payload) {
+  co_return co_await client(node).prepare_transfer(g, fetch_payload);
+}
+
+sim::CoTask<Status> EvoStoreRepository::store(NodeId node, const Model& m,
+                                              const TransferContext* tc) {
+  co_return co_await client(node).put_model(m, tc);
+}
+
+sim::CoTask<Result<Model>> EvoStoreRepository::load(NodeId node, ModelId id) {
+  co_return co_await client(node).get_model(id);
+}
+
+sim::CoTask<Status> EvoStoreRepository::retire(NodeId node, ModelId id) {
+  co_return co_await client(node).retire(id);
+}
+
+size_t EvoStoreRepository::stored_payload_bytes() const {
+  size_t n = 0;
+  for (const auto& p : providers_) n += p->stored_payload_bytes();
+  return n;
+}
+
+size_t EvoStoreRepository::total_models() const {
+  size_t n = 0;
+  for (const auto& p : providers_) n += p->model_count();
+  return n;
+}
+
+size_t EvoStoreRepository::total_segments() const {
+  size_t n = 0;
+  for (const auto& p : providers_) n += p->segment_count();
+  return n;
+}
+
+size_t EvoStoreRepository::total_metadata_bytes() const {
+  size_t n = 0;
+  for (const auto& p : providers_) n += p->metadata_bytes();
+  return n;
+}
+
+}  // namespace evostore::core

@@ -1,0 +1,92 @@
+// Repository interface shared by EvoStore and the baselines, plus the
+// EvoStore deployment facade.
+//
+// The NAS runner and the experiment harnesses talk to this interface only,
+// so swapping EvoStore for HDF5+PFS(+Redis) changes nothing but the wiring —
+// exactly how the paper's end-to-end comparisons are set up.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/client.h"
+#include "core/provider.h"
+
+namespace evostore::core {
+
+class ModelRepository {
+ public:
+  virtual ~ModelRepository() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Allocate a globally unique model id.
+  virtual ModelId allocate_id() = 0;
+
+  /// Find the best transfer-learning ancestor for `g` (LCP semantics) and,
+  /// when `fetch_payload`, read the prefix segments. nullopt => train from
+  /// scratch.
+  virtual sim::CoTask<Result<std::optional<TransferContext>>> prepare_transfer(
+      NodeId client, const ArchGraph& g, bool fetch_payload) = 0;
+
+  /// Persist `m`. For derived models `tc` enables incremental storage where
+  /// the implementation supports it.
+  virtual sim::CoTask<Status> store(NodeId client, const Model& m,
+                                    const TransferContext* tc) = 0;
+
+  /// Load a complete model.
+  virtual sim::CoTask<Result<Model>> load(NodeId client, ModelId id) = 0;
+
+  /// Retire a model dropped from the active population.
+  virtual sim::CoTask<Status> retire(NodeId client, ModelId id) = 0;
+
+  /// Logical bytes of parameter payload currently stored (dedup-aware).
+  virtual size_t stored_payload_bytes() const = 0;
+};
+
+/// EvoStore deployment: providers on the given fabric nodes + per-node
+/// client instances, implementing ModelRepository.
+class EvoStoreRepository final : public ModelRepository {
+ public:
+  /// `backends` (optional) supplies one persistent KV store per provider
+  /// (paper §4.3's RocksDB-class backends); pass an empty vector for pure
+  /// in-memory providers. Non-owning; backends must outlive the repository.
+  EvoStoreRepository(net::RpcSystem& rpc, std::vector<NodeId> provider_nodes,
+                     ProviderConfig config = {},
+                     std::vector<storage::KvStore*> backends = {});
+
+  std::string name() const override { return "EvoStore"; }
+  ModelId allocate_id() override { return ModelId::make(0, ++id_seq_); }
+
+  sim::CoTask<Result<std::optional<TransferContext>>> prepare_transfer(
+      NodeId client, const ArchGraph& g, bool fetch_payload) override;
+  sim::CoTask<Status> store(NodeId client, const Model& m,
+                            const TransferContext* tc) override;
+  sim::CoTask<Result<Model>> load(NodeId client, ModelId id) override;
+  sim::CoTask<Status> retire(NodeId client, ModelId id) override;
+  size_t stored_payload_bytes() const override;
+
+  /// Direct client access (full API incl. provenance queries).
+  Client& client(NodeId node);
+
+  size_t provider_count() const { return providers_.size(); }
+  Provider& provider(size_t i) { return *providers_[i]; }
+  const Provider& provider(size_t i) const { return *providers_[i]; }
+
+  /// Aggregates across providers.
+  size_t total_models() const;
+  size_t total_segments() const;
+  size_t total_metadata_bytes() const;
+
+ private:
+  net::RpcSystem* rpc_;
+  std::vector<NodeId> provider_nodes_;
+  std::vector<std::unique_ptr<Provider>> providers_;
+  std::unordered_map<NodeId, std::unique_ptr<Client>> clients_;
+  uint32_t id_seq_ = 0;
+  uint32_t next_client_id_ = 1;
+};
+
+}  // namespace evostore::core

@@ -1,0 +1,311 @@
+// Wire messages of the EvoStore client/provider protocol.
+//
+// Every request/response is a plain struct with canonical serde methods so
+// `net::typed_call` can move it across the simulated fabric. Payload tensors
+// ride inside `Segment`s whose buffers keep their representation (synthetic
+// descriptors stay tiny on the wire; their byte cost is charged through the
+// separate bulk/RDMA path, mirroring Mercury's RPC-vs-bulk split).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/owner_map.h"
+#include "model/arch_graph.h"
+#include "model/model.h"
+
+namespace evostore::core::wire {
+
+using common::Deserializer;
+using common::ModelId;
+using common::SegmentKey;
+using common::Serializer;
+using common::VertexId;
+using model::ArchGraph;
+using model::Segment;
+
+inline void serialize_status(Serializer& s, const common::Status& st) {
+  s.u8(static_cast<uint8_t>(st.code()));
+  s.str(st.message());
+}
+inline common::Status deserialize_status(Deserializer& d) {
+  auto code = static_cast<common::ErrorCode>(d.u8());
+  std::string msg = d.str();
+  return common::Status(code, std::move(msg));
+}
+
+inline void serialize_key(Serializer& s, const SegmentKey& k) {
+  s.u64(k.owner.value);
+  s.u32(k.vertex);
+}
+inline SegmentKey deserialize_key(Deserializer& d) {
+  SegmentKey k;
+  k.owner.value = d.u64();
+  k.vertex = d.u32();
+  return k;
+}
+
+// ---- put_model -----------------------------------------------------------
+
+struct PutModelRequest {
+  ModelId id;
+  ModelId ancestor;  // invalid() for from-scratch models
+  double quality = 0;
+  ArchGraph graph;
+  OwnerMap owners;
+  /// Segments this model owns, keyed by local vertex id.
+  std::vector<std::pair<VertexId, Segment>> new_segments;
+
+  void serialize(Serializer& s) const {
+    s.u64(id.value);
+    s.u64(ancestor.value);
+    s.f64(quality);
+    graph.serialize(s);
+    owners.serialize(s);
+    s.u64(new_segments.size());
+    for (const auto& [v, seg] : new_segments) {
+      s.u32(v);
+      seg.serialize(s);
+    }
+  }
+  static PutModelRequest deserialize(Deserializer& d) {
+    PutModelRequest r;
+    r.id.value = d.u64();
+    r.ancestor.value = d.u64();
+    r.quality = d.f64();
+    r.graph = ArchGraph::deserialize(d);
+    r.owners = OwnerMap::deserialize(d);
+    uint64_t n = d.u64();
+    if (!d.check_count(n)) return r;
+    r.new_segments.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+      VertexId v = d.u32();
+      r.new_segments.emplace_back(v, Segment::deserialize(d));
+    }
+    return r;
+  }
+};
+
+struct PutModelResponse {
+  common::Status status;
+  uint64_t store_seq = 0;
+
+  void serialize(Serializer& s) const {
+    serialize_status(s, status);
+    s.u64(store_seq);
+  }
+  static PutModelResponse deserialize(Deserializer& d) {
+    PutModelResponse r;
+    r.status = deserialize_status(d);
+    r.store_seq = d.u64();
+    return r;
+  }
+};
+
+// ---- get_meta ------------------------------------------------------------
+
+struct GetMetaRequest {
+  ModelId id;
+  void serialize(Serializer& s) const { s.u64(id.value); }
+  static GetMetaRequest deserialize(Deserializer& d) {
+    return GetMetaRequest{ModelId{d.u64()}};
+  }
+};
+
+struct GetMetaResponse {
+  bool found = false;
+  ArchGraph graph;
+  OwnerMap owners;
+  double quality = 0;
+  ModelId ancestor;
+  double store_time = 0;
+  uint64_t store_seq = 0;
+
+  void serialize(Serializer& s) const {
+    s.boolean(found);
+    if (!found) return;
+    graph.serialize(s);
+    owners.serialize(s);
+    s.f64(quality);
+    s.u64(ancestor.value);
+    s.f64(store_time);
+    s.u64(store_seq);
+  }
+  static GetMetaResponse deserialize(Deserializer& d) {
+    GetMetaResponse r;
+    r.found = d.boolean();
+    if (!r.found || !d.ok()) return r;
+    r.graph = ArchGraph::deserialize(d);
+    r.owners = OwnerMap::deserialize(d);
+    r.quality = d.f64();
+    r.ancestor.value = d.u64();
+    r.store_time = d.f64();
+    r.store_seq = d.u64();
+    return r;
+  }
+};
+
+// ---- read_segments -------------------------------------------------------
+
+struct ReadSegmentsRequest {
+  std::vector<SegmentKey> keys;
+
+  void serialize(Serializer& s) const {
+    s.u64(keys.size());
+    for (const auto& k : keys) serialize_key(s, k);
+  }
+  static ReadSegmentsRequest deserialize(Deserializer& d) {
+    ReadSegmentsRequest r;
+    uint64_t n = d.u64();
+    if (!d.check_count(n, 2)) return r;
+    r.keys.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) r.keys.push_back(deserialize_key(d));
+    return r;
+  }
+};
+
+struct ReadSegmentsResponse {
+  common::Status status;
+  /// Segments in request-key order (empty on error).
+  std::vector<Segment> segments;
+  uint64_t payload_bytes = 0;
+
+  void serialize(Serializer& s) const {
+    serialize_status(s, status);
+    s.u64(segments.size());
+    for (const auto& seg : segments) seg.serialize(s);
+    s.u64(payload_bytes);
+  }
+  static ReadSegmentsResponse deserialize(Deserializer& d) {
+    ReadSegmentsResponse r;
+    r.status = deserialize_status(d);
+    uint64_t n = d.u64();
+    if (!d.check_count(n)) return r;
+    r.segments.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+      r.segments.push_back(Segment::deserialize(d));
+    }
+    r.payload_bytes = d.u64();
+    return r;
+  }
+};
+
+// ---- modify_refs ---------------------------------------------------------
+
+struct ModifyRefsRequest {
+  std::vector<SegmentKey> keys;
+  bool increment = true;
+
+  void serialize(Serializer& s) const {
+    s.boolean(increment);
+    s.u64(keys.size());
+    for (const auto& k : keys) serialize_key(s, k);
+  }
+  static ModifyRefsRequest deserialize(Deserializer& d) {
+    ModifyRefsRequest r;
+    r.increment = d.boolean();
+    uint64_t n = d.u64();
+    if (!d.check_count(n, 2)) return r;
+    r.keys.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) r.keys.push_back(deserialize_key(d));
+    return r;
+  }
+};
+
+struct ModifyRefsResponse {
+  common::Status status;
+  uint32_t missing = 0;
+  uint64_t freed_bytes = 0;
+
+  void serialize(Serializer& s) const {
+    serialize_status(s, status);
+    s.u32(missing);
+    s.u64(freed_bytes);
+  }
+  static ModifyRefsResponse deserialize(Deserializer& d) {
+    ModifyRefsResponse r;
+    r.status = deserialize_status(d);
+    r.missing = d.u32();
+    r.freed_bytes = d.u64();
+    return r;
+  }
+};
+
+// ---- retire --------------------------------------------------------------
+
+struct RetireRequest {
+  ModelId id;
+  void serialize(Serializer& s) const { s.u64(id.value); }
+  static RetireRequest deserialize(Deserializer& d) {
+    return RetireRequest{ModelId{d.u64()}};
+  }
+};
+
+struct RetireResponse {
+  common::Status status;
+  OwnerMap owners;  // the retired model's owner map (for ref decrements)
+
+  void serialize(Serializer& s) const {
+    serialize_status(s, status);
+    owners.serialize(s);
+  }
+  static RetireResponse deserialize(Deserializer& d) {
+    RetireResponse r;
+    r.status = deserialize_status(d);
+    r.owners = OwnerMap::deserialize(d);
+    return r;
+  }
+};
+
+// ---- lcp_query (provider-side collective piece) --------------------------
+
+struct LcpQueryRequest {
+  ArchGraph graph;
+  void serialize(Serializer& s) const { graph.serialize(s); }
+  static LcpQueryRequest deserialize(Deserializer& d) {
+    return LcpQueryRequest{ArchGraph::deserialize(d)};
+  }
+};
+
+struct LcpQueryResponse {
+  bool found = false;
+  ModelId ancestor;
+  double quality = 0;
+  std::vector<std::pair<VertexId, VertexId>> matches;  // (G vertex, A vertex)
+
+  size_t lcp_len() const { return matches.size(); }
+
+  void serialize(Serializer& s) const {
+    s.boolean(found);
+    if (!found) return;
+    s.u64(ancestor.value);
+    s.f64(quality);
+    s.u64(matches.size());
+    for (auto [gv, av] : matches) {
+      s.u32(gv);
+      s.u32(av);
+    }
+  }
+  static LcpQueryResponse deserialize(Deserializer& d) {
+    LcpQueryResponse r;
+    r.found = d.boolean();
+    if (!r.found || !d.ok()) return r;
+    r.ancestor.value = d.u64();
+    r.quality = d.f64();
+    uint64_t n = d.u64();
+    if (!d.check_count(n, 2)) return r;
+    r.matches.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+      VertexId gv = d.u32();
+      VertexId av = d.u32();
+      r.matches.emplace_back(gv, av);
+    }
+    return r;
+  }
+};
+
+}  // namespace evostore::core::wire

@@ -1,0 +1,199 @@
+#include "model/arch_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace evostore::model {
+
+namespace {
+
+// Working representation during recursive expansion: leaf nodes with edges
+// in temporary (creation-order) ids.
+struct TempGraph {
+  std::vector<const LayerDef*> leaves;
+  std::vector<std::vector<uint32_t>> out;
+
+  uint32_t add(const LayerDef& def) {
+    leaves.push_back(&def);
+    out.emplace_back();
+    return static_cast<uint32_t>(leaves.size() - 1);
+  }
+};
+
+// Expand `arch` into `tg`; returns {entry, exit} temp ids of the expansion.
+// Validation has already guaranteed a single root and (for submodels) a
+// single sink.
+struct EntryExit {
+  uint32_t entry;
+  uint32_t exit;
+};
+
+EntryExit expand(const Architecture& arch, TempGraph& tg) {
+  size_t n = arch.node_count();
+  // Per nested node: the temp ids that incoming/outgoing edges attach to.
+  std::vector<EntryExit> spans(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (arch.is_leaf(i)) {
+      uint32_t id = tg.add(arch.layer(i));
+      spans[i] = {id, id};
+    } else {
+      spans[i] = expand(arch.submodel(i), tg);
+    }
+  }
+  for (auto [from, to] : arch.edges()) {
+    tg.out[spans[from].exit].push_back(spans[to].entry);
+  }
+  // Locate this level's root and sink in nested-node space.
+  std::vector<uint32_t> indeg(n, 0), outdeg(n, 0);
+  for (auto [from, to] : arch.edges()) {
+    ++indeg[to];
+    ++outdeg[from];
+  }
+  uint32_t root = 0, sink = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) root = i;
+    if (outdeg[i] == 0) sink = i;
+  }
+  return {spans[root].entry, spans[sink].exit};
+}
+
+}  // namespace
+
+common::Result<ArchGraph> ArchGraph::flatten(const Architecture& arch) {
+  EVO_RETURN_IF_ERROR(arch.validate());
+  TempGraph tg;
+  EntryExit top = expand(arch, tg);
+
+  // Deterministic BFS from the entry to assign final vertex ids. Neighbor
+  // order is creation order, which is itself deterministic.
+  size_t n = tg.leaves.size();
+  std::vector<VertexId> temp_to_final(n, UINT32_MAX);
+  std::vector<uint32_t> bfs_order;
+  bfs_order.reserve(n);
+  std::queue<uint32_t> q;
+  q.push(top.entry);
+  temp_to_final[top.entry] = 0;
+  while (!q.empty()) {
+    uint32_t u = q.front();
+    q.pop();
+    bfs_order.push_back(u);
+    for (uint32_t v : tg.out[u]) {
+      if (temp_to_final[v] == UINT32_MAX) {
+        temp_to_final[v] = static_cast<VertexId>(bfs_order.size() + q.size());
+        q.push(v);
+      }
+    }
+  }
+  if (bfs_order.size() != n) {
+    return common::Status::Internal(
+        "flatten: not all leaf layers reachable from the input root");
+  }
+  // Fix final id assignment: id = position in BFS order.
+  for (size_t pos = 0; pos < bfs_order.size(); ++pos) {
+    temp_to_final[bfs_order[pos]] = static_cast<VertexId>(pos);
+  }
+
+  ArchGraph g;
+  g.defs_.reserve(n);
+  g.out_.assign(n, {});
+  for (uint32_t temp : bfs_order) {
+    g.defs_.push_back(*tg.leaves[temp]);
+  }
+  for (uint32_t temp = 0; temp < n; ++temp) {
+    VertexId from = temp_to_final[temp];
+    for (uint32_t t : tg.out[temp]) {
+      g.out_[from].push_back(temp_to_final[t]);
+    }
+    std::sort(g.out_[from].begin(), g.out_[from].end());
+  }
+  g.finalize();
+  return g;
+}
+
+common::Result<ArchGraph> ArchGraph::from_parts(
+    std::vector<LayerDef> defs,
+    std::vector<std::pair<VertexId, VertexId>> edges) {
+  ArchGraph g;
+  g.defs_ = std::move(defs);
+  g.out_.assign(g.defs_.size(), {});
+  for (auto [from, to] : edges) {
+    if (from >= g.defs_.size() || to >= g.defs_.size()) {
+      return common::Status::InvalidArgument("edge endpoint out of range");
+    }
+    g.out_[from].push_back(to);
+  }
+  for (auto& adj : g.out_) std::sort(adj.begin(), adj.end());
+  g.finalize();
+  return g;
+}
+
+void ArchGraph::finalize() {
+  size_t n = defs_.size();
+  sigs_.resize(n);
+  for (size_t i = 0; i < n; ++i) sigs_[i] = defs_[i].signature();
+  in_degree_.assign(n, 0);
+  for (const auto& adj : out_) {
+    for (VertexId v : adj) ++in_degree_[v];
+  }
+  common::Hasher128 h(0xa2c4);
+  h.u64(n);
+  for (size_t i = 0; i < n; ++i) {
+    h.h128(sigs_[i]);
+    h.u64(out_[i].size());
+    for (VertexId v : out_[i]) h.u64(v);
+  }
+  graph_hash_ = h.finish();
+}
+
+size_t ArchGraph::edge_count() const {
+  size_t n = 0;
+  for (const auto& adj : out_) n += adj.size();
+  return n;
+}
+
+size_t ArchGraph::total_param_bytes(DType dtype) const {
+  size_t total = 0;
+  for (const auto& def : defs_) total += def.param_bytes(dtype);
+  return total;
+}
+
+void ArchGraph::serialize(common::Serializer& s) const {
+  s.u64(defs_.size());
+  for (const auto& def : defs_) def.serialize(s);
+  for (const auto& adj : out_) {
+    s.u64(adj.size());
+    for (VertexId v : adj) s.u32(v);
+  }
+}
+
+ArchGraph ArchGraph::deserialize(common::Deserializer& d) {
+  ArchGraph g;
+  uint64_t n = d.u64();
+  if (!d.check_count(n)) return g;
+  g.defs_.reserve(n);
+  for (uint64_t i = 0; i < n && d.ok(); ++i) {
+    g.defs_.push_back(LayerDef::deserialize(d));
+  }
+  if (!d.ok()) return g;
+  g.out_.assign(n, {});
+  for (uint64_t i = 0; i < n && d.ok(); ++i) {
+    uint64_t deg = d.u64();
+    if (!d.check_count(deg)) break;
+    g.out_[i].resize(deg);
+    for (auto& v : g.out_[i]) {
+      v = d.u32();
+      if (v >= n) {
+        // Malformed input: an edge target outside the vertex range must not
+        // reach finalize()'s in-degree accounting.
+        g.out_.clear();
+        g.defs_.clear();
+        (void)d.check_count(UINT64_MAX);  // fail the stream
+        return g;
+      }
+    }
+  }
+  if (d.ok()) g.finalize();
+  return g;
+}
+
+}  // namespace evostore::model

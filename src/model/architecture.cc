@@ -1,0 +1,111 @@
+#include "model/architecture.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace evostore::model {
+
+Architecture::NodeIndex Architecture::add_layer(LayerDef def) {
+  nodes_.push_back(Node{std::move(def), {}});
+  return static_cast<NodeIndex>(nodes_.size() - 1);
+}
+
+Architecture::NodeIndex Architecture::add_submodel(
+    std::shared_ptr<const Architecture> sub, std::string label) {
+  nodes_.push_back(Node{std::move(sub), std::move(label)});
+  return static_cast<NodeIndex>(nodes_.size() - 1);
+}
+
+void Architecture::connect(NodeIndex from, NodeIndex to) {
+  edges_.emplace_back(from, to);
+}
+
+common::Status Architecture::validate() const {
+  if (nodes_.empty()) {
+    return common::Status::InvalidArgument("architecture has no nodes");
+  }
+  std::vector<uint32_t> in_degree(nodes_.size(), 0);
+  std::vector<uint32_t> out_degree(nodes_.size(), 0);
+  for (auto [from, to] : edges_) {
+    if (from >= nodes_.size() || to >= nodes_.size()) {
+      return common::Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (from == to) {
+      return common::Status::InvalidArgument("self edge");
+    }
+    ++in_degree[to];
+    ++out_degree[from];
+  }
+  size_t roots = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (in_degree[i] == 0) ++roots;
+  }
+  if (roots != 1) {
+    return common::Status::InvalidArgument(
+        "architecture must have exactly one root, found " +
+        std::to_string(roots));
+  }
+  // Kahn's algorithm for acyclicity.
+  std::vector<std::vector<NodeIndex>> out(nodes_.size());
+  for (auto [from, to] : edges_) out[from].push_back(to);
+  std::vector<uint32_t> indeg = in_degree;
+  std::queue<NodeIndex> q;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (indeg[i] == 0) q.push(static_cast<NodeIndex>(i));
+  }
+  size_t visited = 0;
+  while (!q.empty()) {
+    NodeIndex u = q.front();
+    q.pop();
+    ++visited;
+    for (NodeIndex v : out[u]) {
+      if (--indeg[v] == 0) q.push(v);
+    }
+  }
+  if (visited != nodes_.size()) {
+    return common::Status::InvalidArgument("architecture graph has a cycle");
+  }
+  // Validate submodels: recursively valid and single-sink.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (is_leaf(static_cast<NodeIndex>(i))) continue;
+    const Architecture& sub = submodel(static_cast<NodeIndex>(i));
+    EVO_RETURN_IF_ERROR(sub.validate());
+    std::vector<uint32_t> sub_out(sub.node_count(), 0);
+    for (auto [f, t] : sub.edges()) {
+      (void)t;
+      ++sub_out[f];
+    }
+    size_t sinks = std::count(sub_out.begin(), sub_out.end(), 0u);
+    if (sinks != 1) {
+      return common::Status::InvalidArgument(
+          "submodel must have exactly one sink, found " +
+          std::to_string(sinks));
+    }
+  }
+  return common::Status::Ok();
+}
+
+size_t Architecture::leaf_count() const {
+  size_t n = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (is_leaf(static_cast<NodeIndex>(i))) {
+      ++n;
+    } else {
+      n += submodel(static_cast<NodeIndex>(i)).leaf_count();
+    }
+  }
+  return n;
+}
+
+Architecture make_chain(std::vector<LayerDef> layers) {
+  Architecture arch;
+  Architecture::NodeIndex prev = 0;
+  for (size_t i = 0; i < layers.size(); ++i) {
+    auto idx = arch.add_layer(std::move(layers[i]));
+    if (i > 0) arch.connect(prev, idx);
+    prev = idx;
+  }
+  return arch;
+}
+
+}  // namespace evostore::model

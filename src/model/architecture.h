@@ -1,0 +1,73 @@
+// Nested model architectures.
+//
+// Mirrors how high-level runtimes (Keras) express models: a directed graph
+// whose nodes are either leaf layers or *submodels* (whole architectures
+// embedded as a single node, possibly recursively). The repository never
+// works on this nested form directly — it flattens it to a leaf-layer
+// `ArchGraph` (arch_graph.h) exactly as §4.2 prescribes, because matching
+// at submodel granularity would miss shareable leaf layers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "model/layer.h"
+
+namespace evostore::model {
+
+class Architecture {
+ public:
+  using NodeIndex = uint32_t;
+
+  /// Add a leaf layer node. Returns its index.
+  NodeIndex add_layer(LayerDef def);
+
+  /// Embed `sub` as a single node. The submodel must have exactly one root
+  /// (its input) and exactly one sink (its output); incoming edges attach to
+  /// the root and outgoing edges to the sink on flattening.
+  NodeIndex add_submodel(std::shared_ptr<const Architecture> sub,
+                         std::string label = {});
+
+  /// Directed edge `from -> to`.
+  void connect(NodeIndex from, NodeIndex to);
+
+  size_t node_count() const { return nodes_.size(); }
+  bool is_leaf(NodeIndex i) const {
+    return std::holds_alternative<LayerDef>(nodes_[i].content);
+  }
+  const LayerDef& layer(NodeIndex i) const {
+    return std::get<LayerDef>(nodes_[i].content);
+  }
+  const Architecture& submodel(NodeIndex i) const {
+    return *std::get<std::shared_ptr<const Architecture>>(nodes_[i].content);
+  }
+  const std::string& label(NodeIndex i) const { return nodes_[i].label; }
+  const std::vector<std::pair<NodeIndex, NodeIndex>>& edges() const {
+    return edges_;
+  }
+
+  /// Checks: non-empty, a single root (in-degree 0), acyclic, edges in
+  /// range, and every submodel (recursively) valid with a single sink.
+  common::Status validate() const;
+
+  /// Number of leaf layers after full recursive expansion.
+  size_t leaf_count() const;
+
+ private:
+  struct Node {
+    std::variant<LayerDef, std::shared_ptr<const Architecture>> content;
+    std::string label;
+  };
+  std::vector<Node> nodes_;
+  std::vector<std::pair<NodeIndex, NodeIndex>> edges_;
+
+  friend class ArchGraphBuilder;
+};
+
+/// Convenience: a sequential (chain) architecture from an ordered layer list.
+Architecture make_chain(std::vector<LayerDef> layers);
+
+}  // namespace evostore::model

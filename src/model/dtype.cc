@@ -1,0 +1,31 @@
+#include "model/dtype.h"
+
+namespace evostore::model {
+
+size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::kF32: return 4;
+    case DType::kF64: return 8;
+    case DType::kF16: return 2;
+    case DType::kBF16: return 2;
+    case DType::kI8: return 1;
+    case DType::kI32: return 4;
+    case DType::kI64: return 8;
+  }
+  return 0;
+}
+
+std::string_view dtype_name(DType t) {
+  switch (t) {
+    case DType::kF32: return "f32";
+    case DType::kF64: return "f64";
+    case DType::kF16: return "f16";
+    case DType::kBF16: return "bf16";
+    case DType::kI8: return "i8";
+    case DType::kI32: return "i32";
+    case DType::kI64: return "i64";
+  }
+  return "unknown";
+}
+
+}  // namespace evostore::model

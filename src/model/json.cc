@@ -1,0 +1,297 @@
+#include "model/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace evostore::model {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+// ---- A minimal recursive-descent JSON reader ------------------------------
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  bool ok() const { return ok_; }
+  std::string error() const { return error_; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  std::string string() {
+    skip_ws();
+    std::string out;
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail("expected string");
+      return out;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u':
+            if (pos_ + 4 <= text_.size()) {
+              out += static_cast<char>(
+                  std::strtol(std::string(text_.substr(pos_, 4)).c_str(),
+                              nullptr, 16));
+              pos_ += 4;
+            } else {
+              fail("bad \\u escape");
+            }
+            break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+    } else {
+      ++pos_;  // closing quote
+    }
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected number");
+      return 0;
+    }
+    return std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                       nullptr);
+  }
+
+  void fail(std::string msg) {
+    if (ok_) {
+      ok_ = false;
+      error_ = msg + " at offset " + std::to_string(pos_);
+    }
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+common::Result<LayerKind> kind_from_name(const std::string& name) {
+  for (int k = 0; k <= static_cast<int>(LayerKind::kOutput); ++k) {
+    if (layer_kind_name(static_cast<LayerKind>(k)) == name) {
+      return static_cast<LayerKind>(k);
+    }
+  }
+  return common::Status::InvalidArgument("unknown layer kind '" + name + "'");
+}
+
+}  // namespace
+
+std::string to_json(const ArchGraph& g) {
+  std::string out = "{\"layers\":[";
+  for (common::VertexId v = 0; v < g.size(); ++v) {
+    if (v) out += ',';
+    const LayerDef& def = g.def(v);
+    out += "{\"kind\":";
+    append_escaped(out, layer_kind_name(def.kind()));
+    if (!def.name().empty()) {
+      out += ",\"name\":";
+      append_escaped(out, def.name());
+    }
+    out += ",\"params\":{";
+    bool first = true;
+    for (const auto& [k, val] : def.int_params()) {
+      if (!first) out += ',';
+      first = false;
+      append_escaped(out, k);
+      out += ':';
+      out += std::to_string(val);
+    }
+    for (const auto& [k, val] : def.float_params()) {
+      if (!first) out += ',';
+      first = false;
+      append_escaped(out, k);
+      out += ':';
+      append_double(out, val);
+    }
+    out += "}}";
+  }
+  out += "],\"edges\":[";
+  bool first_edge = true;
+  for (common::VertexId v = 0; v < g.size(); ++v) {
+    for (common::VertexId to : g.out_edges(v)) {
+      if (!first_edge) out += ',';
+      first_edge = false;
+      out += '[';
+      out += std::to_string(v);
+      out += ',';
+      out += std::to_string(to);
+      out += ']';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+common::Result<ArchGraph> from_json(std::string_view json) {
+  JsonReader r(json);
+  std::vector<LayerDef> defs;
+  std::vector<std::pair<common::VertexId, common::VertexId>> edges;
+
+  if (!r.consume('{')) return common::Status::InvalidArgument(r.error());
+  bool saw_layers = false;
+  while (r.ok()) {
+    std::string key = r.string();
+    if (!r.consume(':')) break;
+    if (key == "layers") {
+      saw_layers = true;
+      if (!r.consume('[')) break;
+      if (!r.peek(']')) {
+        do {
+          if (!r.consume('{')) break;
+          LayerDef def;
+          LayerKind kind = LayerKind::kInput;
+          bool have_kind = false;
+          std::string name;
+          while (r.ok()) {
+            std::string field = r.string();
+            if (!r.consume(':')) break;
+            if (field == "kind") {
+              auto k = kind_from_name(r.string());
+              if (!k.ok()) return k.status();
+              kind = k.value();
+              have_kind = true;
+            } else if (field == "name") {
+              name = r.string();
+            } else if (field == "params") {
+              if (!r.consume('{')) break;
+              if (!r.peek('}')) {
+                while (r.ok()) {
+                  std::string pname = r.string();
+                  if (!r.consume(':')) break;
+                  double value = r.number();
+                  double rounded = std::nearbyint(value);
+                  if (rounded == value && std::abs(value) < 9e15) {
+                    def.set_int(pname, static_cast<int64_t>(rounded));
+                  } else {
+                    def.set_float(pname, value);
+                  }
+                  if (!r.peek(',')) break;
+                  (void)r.consume(',');
+                }
+              }
+              if (!r.consume('}')) break;
+            } else {
+              r.fail("unknown layer field '" + field + "'");
+            }
+            if (!r.peek(',')) break;
+            (void)r.consume(',');
+          }
+          if (!r.consume('}')) break;
+          if (!have_kind) r.fail("layer missing kind");
+          LayerDef rebuilt(kind);
+          rebuilt.set_name(name);
+          for (const auto& [k, v] : def.int_params()) rebuilt.set_int(k, v);
+          for (const auto& [k, v] : def.float_params()) rebuilt.set_float(k, v);
+          defs.push_back(std::move(rebuilt));
+          if (!r.peek(',')) break;
+          (void)r.consume(',');
+        } while (r.ok());
+      }
+      if (!r.consume(']')) break;
+    } else if (key == "edges") {
+      if (!r.consume('[')) break;
+      if (!r.peek(']')) {
+        do {
+          if (!r.consume('[')) break;
+          auto from = static_cast<common::VertexId>(r.number());
+          if (!r.consume(',')) break;
+          auto to = static_cast<common::VertexId>(r.number());
+          if (!r.consume(']')) break;
+          edges.emplace_back(from, to);
+          if (!r.peek(',')) break;
+          (void)r.consume(',');
+        } while (r.ok());
+      }
+      if (!r.consume(']')) break;
+    } else {
+      r.fail("unknown top-level key '" + key + "'");
+    }
+    if (!r.peek(',')) break;
+    (void)r.consume(',');
+  }
+  if (r.ok()) (void)r.consume('}');
+  if (r.ok() && !r.at_end()) r.fail("trailing characters");
+  if (!r.ok()) return common::Status::InvalidArgument(r.error());
+  if (!saw_layers) return common::Status::InvalidArgument("missing layers");
+  return ArchGraph::from_parts(std::move(defs), std::move(edges));
+}
+
+}  // namespace evostore::model

@@ -1,0 +1,28 @@
+// JSON export/import for architecture graphs.
+//
+// The paper's evaluation serializes DL model architectures "in JSON format"
+// to populate the metadata stores (§5.5); this module provides that
+// interchange format for EvoStore: a stable, human-readable rendering of a
+// flattened leaf-layer graph, round-trippable back into an ArchGraph.
+//
+// The writer emits a minimal canonical JSON subset (sorted keys, no
+// insignificant whitespace) and the reader accepts standard JSON with
+// arbitrary whitespace.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "model/arch_graph.h"
+
+namespace evostore::model {
+
+/// Render `g` as a JSON document:
+/// {"layers":[{"kind":"dense","name":"...","params":{"in":8,...}},...],
+///  "edges":[[0,1],[1,2],...]}
+std::string to_json(const ArchGraph& g);
+
+/// Parse a document produced by to_json (or hand-written equivalents).
+common::Result<ArchGraph> from_json(std::string_view json);
+
+}  // namespace evostore::model

@@ -1,0 +1,31 @@
+#include "model/model.h"
+
+namespace evostore::model {
+
+Segment make_random_segment(const ArchGraph& graph, VertexId v, uint64_t seed,
+                            DType dtype) {
+  Segment seg;
+  auto specs = graph.def(v).param_specs(dtype);
+  seg.tensors.reserve(specs.size());
+  uint64_t slot = 0;
+  for (auto& spec : specs) {
+    uint64_t tensor_seed =
+        common::hash_combine(common::hash_combine(seed, v), slot++);
+    seg.tensors.push_back(Tensor::random(std::move(spec), tensor_seed));
+  }
+  return seg;
+}
+
+Model Model::random(ModelId id, ArchGraph graph, uint64_t seed, DType dtype) {
+  Model m(id, std::move(graph));
+  for (VertexId v = 0; v < m.graph_.size(); ++v) {
+    m.segments_[v] = make_random_segment(m.graph_, v, seed, dtype);
+  }
+  return m;
+}
+
+void Model::rerandomize_segment(VertexId v, uint64_t seed, DType dtype) {
+  segments_[v] = make_random_segment(graph_, v, seed, dtype);
+}
+
+}  // namespace evostore::model

@@ -1,0 +1,62 @@
+#include "model/tensor.h"
+
+namespace evostore::model {
+
+common::Hash128 TensorSpec::signature() const {
+  common::Hasher128 h(0x7e4507);
+  h.u64(static_cast<uint64_t>(dtype));
+  h.u64(shape.size());
+  for (int64_t d : shape) h.i64(d);
+  return h.finish();
+}
+
+std::string TensorSpec::to_string() const {
+  std::string out(dtype_name(dtype));
+  out += "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(shape[i]);
+  }
+  out += "]";
+  return out;
+}
+
+void TensorSpec::serialize(common::Serializer& s) const {
+  s.u8(static_cast<uint8_t>(dtype));
+  s.u64(shape.size());
+  for (int64_t d : shape) s.i64(d);
+}
+
+TensorSpec TensorSpec::deserialize(common::Deserializer& d) {
+  TensorSpec spec;
+  spec.dtype = static_cast<DType>(d.u8());
+  uint64_t n = d.u64();
+  if (!d.check_count(n)) return spec;
+  spec.shape.resize(n);
+  for (auto& dim : spec.shape) dim = d.i64();
+  return spec;
+}
+
+Tensor Tensor::zeros(TensorSpec spec) {
+  size_t n = spec.nbytes();
+  return Tensor(std::move(spec), common::Buffer::zeros(n));
+}
+
+Tensor Tensor::random(TensorSpec spec, uint64_t seed) {
+  size_t n = spec.nbytes();
+  return Tensor(std::move(spec), common::Buffer::synthetic(n, seed));
+}
+
+void Tensor::serialize(common::Serializer& s) const {
+  spec_.serialize(s);
+  s.buffer(data_);
+}
+
+Tensor Tensor::deserialize(common::Deserializer& d) {
+  TensorSpec spec = TensorSpec::deserialize(d);
+  common::Buffer data = d.buffer();
+  if (!d.ok() || data.size() != spec.nbytes()) return {};
+  return Tensor(std::move(spec), std::move(data));
+}
+
+}  // namespace evostore::model

@@ -1,0 +1,84 @@
+#include "nas/attn_space.h"
+
+#include <cassert>
+#include <memory>
+
+#include "model/architecture.h"
+
+namespace evostore::nas {
+
+AttnSearchSpace::AttnSearchSpace()
+    : widths_{832, 1024, 1216, 1408, 1600, 1792} {}
+
+uint16_t AttnSearchSpace::choices_at(size_t pos) const {
+  switch (pos % 3) {
+    case 0: return kTypes;
+    case 1: return static_cast<uint16_t>(widths_.size());
+    default: return kActivations;
+  }
+}
+
+model::ArchGraph AttnSearchSpace::decode(const CandidateSeq& seq) const {
+  assert(seq.size() == positions());
+  using model::Architecture;
+  Architecture arch;
+  int64_t first_width = widths_[seq[1] % widths_.size()];
+  auto input = arch.add_layer(model::make_input(kInputDim));
+  auto cur = arch.add_layer(model::make_dense(kInputDim, first_width));
+  arch.connect(input, cur);
+  int64_t width = first_width;
+
+  for (int cell = 0; cell < kCells; ++cell) {
+    uint16_t type = seq[cell * 3] % kTypes;
+    int64_t w = widths_[seq[cell * 3 + 1] % widths_.size()];
+    auto act = static_cast<int64_t>(seq[cell * 3 + 2] % kActivations);
+    switch (type) {
+      case 0: {  // dense block: Dense -> LayerNorm -> Activation
+        auto dense = arch.add_layer(model::make_dense(width, w));
+        auto norm = arch.add_layer(model::make_layer_norm(w));
+        auto a = arch.add_layer(model::make_activation(act));
+        arch.connect(cur, dense);
+        arch.connect(dense, norm);
+        arch.connect(norm, a);
+        cur = a;
+        width = w;
+        break;
+      }
+      case 1: {  // pre-norm self-attention with residual branch
+        auto sub = std::make_shared<Architecture>();
+        auto ln = sub->add_layer(model::make_layer_norm(width));
+        auto attn = sub->add_layer(model::make_attention(width, 8));
+        sub->connect(ln, attn);
+        auto block = arch.add_submodel(std::move(sub), "attn");
+        auto add = arch.add_layer(model::make_add());
+        arch.connect(cur, block);
+        arch.connect(block, add);
+        arch.connect(cur, add);
+        cur = add;
+        break;
+      }
+      default: {  // residual MLP with activation choice
+        auto sub = std::make_shared<Architecture>();
+        auto up = sub->add_layer(model::make_dense(width, 2 * width));
+        auto a = sub->add_layer(model::make_activation(act));
+        auto down = sub->add_layer(model::make_dense(2 * width, width));
+        sub->connect(up, a);
+        sub->connect(a, down);
+        auto block = arch.add_submodel(std::move(sub), "mlp");
+        auto add = arch.add_layer(model::make_add());
+        arch.connect(cur, block);
+        arch.connect(block, add);
+        arch.connect(cur, add);
+        cur = add;
+        break;
+      }
+    }
+  }
+  auto head = arch.add_layer(model::make_output(width, kClasses));
+  arch.connect(cur, head);
+  auto g = model::ArchGraph::flatten(arch);
+  assert(g.ok());
+  return std::move(g).value();
+}
+
+}  // namespace evostore::nas

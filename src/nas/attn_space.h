@@ -1,0 +1,37 @@
+// The CANDLE-ATTN-like search space (paper §5.3): candidate architectures
+// for the drug-response inference problem, searched with aged evolution.
+//
+// Structure: a feature-embedding layer from the ATTN input dimensionality,
+// then `kCells` cells, each configured by three choices — block type
+// (dense / pre-norm attention / residual MLP), hidden width, activation —
+// then a classification head. The cardinality (54^10 ≈ 2.1e17) is in the
+// same regime as the paper's 3.1e17-candidate ATTN space.
+#pragma once
+
+#include "nas/search_space.h"
+
+namespace evostore::nas {
+
+class AttnSearchSpace final : public SearchSpace {
+ public:
+  static constexpr int kCells = 10;
+  static constexpr int kTypes = 3;
+  static constexpr int kActivations = 3;
+  /// ATTN input features.
+  static constexpr int64_t kInputDim = 6212;
+  static constexpr int64_t kClasses = 2;
+
+  AttnSearchSpace();
+
+  std::string name() const override { return "candle-attn"; }
+  size_t positions() const override { return kCells * 3; }
+  uint16_t choices_at(size_t pos) const override;
+  model::ArchGraph decode(const CandidateSeq& seq) const override;
+
+  const std::vector<int64_t>& widths() const { return widths_; }
+
+ private:
+  std::vector<int64_t> widths_;
+};
+
+}  // namespace evostore::nas

@@ -1,0 +1,46 @@
+#include "nas/evolution.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace evostore::nas {
+
+AgedEvolution::AgedEvolution(const SearchSpace& space, EvolutionConfig config,
+                             uint64_t seed)
+    : space_(&space), config_(config), rng_(seed) {}
+
+CandidateSeq AgedEvolution::next() {
+  assert(!exhausted());
+  ++issued_;
+  // sample_size == 0 => pure random search. Otherwise, warm-up phase:
+  // random sampling until the population fills (asynchronous workers mean
+  // some of the first population_cap evaluations may still be in flight;
+  // sampling falls back to random while the population is empty).
+  if (config_.sample_size == 0 || issued_ <= config_.population_cap ||
+      population_.empty()) {
+    return space_->random(rng_);
+  }
+  // Tournament: best of `sample_size` random members, then mutate.
+  const Member* best = nullptr;
+  for (size_t i = 0; i < config_.sample_size; ++i) {
+    const Member& m = population_[rng_.below(population_.size())];
+    if (best == nullptr || m.accuracy > best->accuracy) best = &m;
+  }
+  return space_->mutate(best->seq, rng_);
+}
+
+std::vector<common::ModelId> AgedEvolution::report(Member member) {
+  ++completed_;
+  best_accuracy_ = std::max(best_accuracy_, member.accuracy);
+  population_.push_back(std::move(member));
+  std::vector<common::ModelId> retired;
+  while (population_.size() > config_.population_cap) {
+    if (population_.front().model.valid()) {
+      retired.push_back(population_.front().model);
+    }
+    population_.pop_front();
+  }
+  return retired;
+}
+
+}  // namespace evostore::nas

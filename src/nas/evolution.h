@@ -1,0 +1,67 @@
+// Aged (regularized) evolution search strategy [Real et al. 2019], the
+// controller plug-in the paper uses for both EvoStore-backed DeepHyper and
+// the DH-NoTransfer baseline (§4.3, §5.2).
+//
+// The population is a FIFO of at most `population_cap` evaluated candidates.
+// New candidates are random until the population warms up, then each is a
+// single-choice mutation of the best of `sample_size` randomly drawn
+// members. When a member ages out, it reports the dropped model for
+// retirement from the repository.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "nas/search_space.h"
+
+namespace evostore::nas {
+
+struct EvolutionConfig {
+  size_t population_cap = 100;
+  /// Tournament size. 0 selects pure random search (paper §2's baseline
+  /// strategy [21]): every candidate is sampled uniformly, the population
+  /// still tracks the top performers for retirement purposes.
+  size_t sample_size = 10;
+  size_t total_candidates = 1000;
+};
+
+class AgedEvolution {
+ public:
+  AgedEvolution(const SearchSpace& space, EvolutionConfig config,
+                uint64_t seed);
+
+  /// True once every candidate has been issued.
+  bool exhausted() const { return issued_ >= config_.total_candidates; }
+  size_t issued() const { return issued_; }
+  size_t completed() const { return completed_; }
+
+  /// Produce the next candidate sequence to evaluate.
+  CandidateSeq next();
+
+  struct Member {
+    CandidateSeq seq;
+    double accuracy = 0;
+    common::ModelId model;      // invalid when no repository is used
+    double experience = 1.0;    // effective epochs at evaluation time
+  };
+
+  /// Report a completed evaluation. Returns the models dropped from the
+  /// population (to be retired from the repository).
+  std::vector<common::ModelId> report(Member member);
+
+  const std::deque<Member>& population() const { return population_; }
+  double best_accuracy() const { return best_accuracy_; }
+
+ private:
+  const SearchSpace* space_;
+  EvolutionConfig config_;
+  common::Xoshiro256 rng_;
+  std::deque<Member> population_;
+  size_t issued_ = 0;
+  size_t completed_ = 0;
+  double best_accuracy_ = 0;
+};
+
+}  // namespace evostore::nas

@@ -1,0 +1,181 @@
+#include "nas/runner.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/log.h"
+
+namespace evostore::nas {
+
+namespace {
+
+using common::ModelId;
+using common::NodeId;
+
+// Shared state of one NAS run (lives in run_nas's frame; workers borrow it).
+struct RunState {
+  const SearchSpace* space;
+  core::ModelRepository* repo;
+  NodeId controller_node;
+  const NasConfig* config;
+  AgedEvolution evo;
+  TrainingModel training;
+  common::Xoshiro256 jitter_rng;
+  std::unordered_map<ModelId, double> experience;  // model -> effective epochs
+  NasResult result;
+
+  RunState(const SearchSpace& s, core::ModelRepository* r, NodeId ctrl,
+           const NasConfig& cfg)
+      : space(&s),
+        repo(r),
+        controller_node(ctrl),
+        config(&cfg),
+        evo(s, EvolutionConfig{cfg.population_cap, cfg.sample_size,
+                               cfg.total_candidates},
+            cfg.seed),
+        training(s, cfg.seed ^ 0x7a317ULL, cfg.training),
+        jitter_rng(cfg.seed ^ 0x1177) {}
+};
+
+sim::CoTask<void> worker_loop(sim::Simulation* sim, net::Fabric* fabric,
+                              RunState* st, int worker_index, NodeId node) {
+  while (!st->evo.exhausted()) {
+    CandidateSeq seq = st->evo.next();
+    model::ArchGraph graph = st->space->decode(seq);
+
+    TaskTrace trace;
+    trace.worker = worker_index;
+    trace.start = sim->now();
+
+    // Controller dispatch.
+    co_await fabric->signal(st->controller_node, node);
+    co_await sim->delay(st->config->controller_seconds);
+
+    double effective = 1.0;
+    double frozen_fraction = 0.0;
+    std::optional<core::TransferContext> tc;
+    bool transfer = st->repo != nullptr && st->config->use_transfer;
+    if (transfer) {
+      auto prep = co_await st->repo->prepare_transfer(node, graph, true);
+      if (prep.ok() && prep->has_value()) {
+        tc = std::move(prep->value());
+        size_t prefix_bytes = 0;
+        for (const auto& seg : tc->prefix_segments) prefix_bytes += seg.nbytes();
+        size_t total = graph.total_param_bytes();
+        frozen_fraction =
+            total > 0 ? static_cast<double>(prefix_bytes) /
+                            static_cast<double>(total)
+                      : 0.0;
+        auto it = st->experience.find(tc->ancestor);
+        double ancestor_exp = it != st->experience.end() ? it->second : 1.0;
+        effective =
+            st->training.effective_epochs(ancestor_exp, frozen_fraction);
+        trace.lcp_len = tc->lcp_len();
+        trace.lcp_fraction = frozen_fraction;
+      } else if (!prep.ok()) {
+        EVO_WARN << "prepare_transfer failed: " << prep.status().to_string();
+      }
+    }
+
+    // One epoch (or a zero-cost-proxy fraction of one) of superficial
+    // training with the transferred prefix frozen.
+    double train_seconds =
+        st->config->train_fraction *
+        st->training.epoch_seconds(graph, frozen_fraction, st->jitter_rng);
+    co_await sim->delay(train_seconds);
+    double acc = st->training.accuracy(seq, effective);
+    trace.train_seconds = train_seconds;
+    trace.accuracy = acc;
+
+    ModelId id;
+    if (st->repo != nullptr) {
+      id = st->repo->allocate_id();
+      uint64_t weight_seed = common::hash_combine(st->config->seed, id.value);
+      model::Model m = model::Model::random(id, graph, weight_seed);
+      if (tc.has_value()) {
+        for (size_t i = 0; i < tc->matches.size(); ++i) {
+          if (i < tc->prefix_segments.size()) {
+            m.segment(tc->matches[i].first) = tc->prefix_segments[i];
+          }
+        }
+      }
+      m.set_quality(acc);
+      auto st_store = co_await st->repo->store(
+          node, m, tc.has_value() ? &tc.value() : nullptr);
+      if (!st_store.ok()) {
+        EVO_WARN << "store failed: " << st_store.to_string();
+        id = ModelId::invalid();
+      } else {
+        st->experience[id] = effective;
+      }
+    }
+
+    // Report to the controller; retire models dropped from the population.
+    co_await fabric->signal(node, st->controller_node);
+    co_await sim->delay(st->config->controller_seconds);
+    auto retired = st->evo.report(AgedEvolution::Member{
+        std::move(seq), acc, id, effective});
+    for (ModelId dropped : retired) {
+      if (!st->config->retire_dropped) continue;
+      ++st->result.retired;
+      if (st->repo != nullptr) {
+        auto rs = co_await st->repo->retire(node, dropped);
+        if (!rs.ok()) {
+          EVO_WARN << "retire failed: " << rs.to_string();
+        }
+      }
+    }
+
+    trace.finish = sim->now();
+    trace.io_seconds = (trace.finish - trace.start) - train_seconds;
+    if (tc.has_value()) ++st->result.transfers;
+    st->result.accuracy_over_time.add(trace.finish, acc);
+    st->result.traces.push_back(trace);
+  }
+}
+
+}  // namespace
+
+NasResult run_nas(sim::Simulation& sim, net::Fabric& fabric,
+                  const SearchSpace& space, core::ModelRepository* repo,
+                  const std::vector<common::NodeId>& worker_nodes,
+                  common::NodeId controller_node, const NasConfig& config) {
+  RunState st(space, repo, controller_node, config);
+  st.result.approach =
+      repo == nullptr || !config.use_transfer ? "DH-NoTransfer" : repo->name();
+
+  std::vector<sim::Future<void>> workers;
+  workers.reserve(worker_nodes.size());
+  for (size_t w = 0; w < worker_nodes.size(); ++w) {
+    workers.push_back(sim.spawn(worker_loop(&sim, &fabric, &st,
+                                            static_cast<int>(w),
+                                            worker_nodes[w])));
+  }
+  sim.run();
+  for (auto& w : workers) {
+    (void)w.get();  // re-raise any worker exception
+  }
+
+  NasResult& r = st.result;
+  sim::Samples task_seconds;
+  sim::Samples accs;
+  sim::Samples lcp_fracs;
+  double makespan = 0;
+  for (const auto& t : r.traces) {
+    task_seconds.add(t.finish - t.start);
+    accs.add(t.accuracy);
+    r.total_io_seconds += t.io_seconds;
+    r.total_train_seconds += t.train_seconds;
+    if (t.lcp_len > 0) lcp_fracs.add(t.lcp_fraction);
+    makespan = std::max(makespan, t.finish);
+  }
+  r.makespan = makespan;
+  r.best_accuracy = r.accuracy_over_time.max_value();
+  r.mean_accuracy = accs.mean();
+  r.mean_task_seconds = task_seconds.mean();
+  r.stddev_task_seconds = task_seconds.stddev();
+  r.mean_lcp_fraction = lcp_fracs.count() > 0 ? lcp_fracs.mean() : 0.0;
+  return r;
+}
+
+}  // namespace evostore::nas

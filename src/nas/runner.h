@@ -1,0 +1,83 @@
+// DeepHyper-like NAS runner on the simulated cluster (paper §4.3, Figure 3).
+//
+// A controller (aged evolution) hands candidate sequences to a pool of
+// workers, each pinned to one simulated GPU. A worker evaluates a candidate
+// by (1) querying the repository for the best LCP ancestor and reading the
+// prefix tensors, (2) training one epoch with the transferred layers frozen,
+// (3) writing the modified tensors back, (4) reporting accuracy; the
+// controller retires candidates dropped from the population. Passing a null
+// repository (or use_transfer=false) reproduces DH-NoTransfer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/repository.h"
+#include "nas/evolution.h"
+#include "nas/training_model.h"
+#include "sim/stats.h"
+
+namespace evostore::nas {
+
+struct NasConfig {
+  size_t total_candidates = 1000;
+  size_t population_cap = 100;
+  /// 0 => pure random search instead of aged evolution.
+  size_t sample_size = 10;
+  /// Fraction of a full epoch each candidate trains for. 1.0 reproduces the
+  /// paper's superficial-training setup; small values model the zero-cost
+  /// proxy direction from §6 (cheaper estimation => I/O share of the
+  /// workflow rises; see bench/ablation_zero_cost_proxy).
+  double train_fraction = 1.0;
+  uint64_t seed = 42;
+  /// false => never contact the repository (DH-NoTransfer).
+  bool use_transfer = true;
+  /// Retire models dropped from the population (false reproduces the
+  /// "No Retire" storage accounting of paper Fig. 10).
+  bool retire_dropped = true;
+  TrainingConfig training;
+  /// Controller dispatch/report overhead per interaction.
+  double controller_seconds = 2e-3;
+};
+
+struct TaskTrace {
+  int worker = 0;
+  double start = 0;
+  double finish = 0;
+  double accuracy = 0;
+  size_t lcp_len = 0;
+  double lcp_fraction = 0;  // parameter share of the transferred prefix
+  double io_seconds = 0;    // repository interaction time
+  double train_seconds = 0;
+};
+
+struct NasResult {
+  std::string approach;
+  sim::TimeSeries accuracy_over_time;  // (completion time, accuracy)
+  std::vector<TaskTrace> traces;
+  double makespan = 0;
+  double best_accuracy = 0;
+  double mean_accuracy = 0;
+  double total_io_seconds = 0;
+  double total_train_seconds = 0;
+  double mean_task_seconds = 0;
+  double stddev_task_seconds = 0;
+  size_t transfers = 0;
+  double mean_lcp_fraction = 0;
+  size_t retired = 0;
+
+  /// First time a candidate at or above `threshold` accuracy completed
+  /// (negative if never).
+  double time_to(double threshold) const {
+    return accuracy_over_time.first_time_reaching(threshold);
+  }
+};
+
+/// Run a NAS search to completion on the given worker nodes. `repo` may be
+/// null (DH-NoTransfer). Drives `sim` until all candidates finish.
+NasResult run_nas(sim::Simulation& sim, net::Fabric& fabric,
+                  const SearchSpace& space, core::ModelRepository* repo,
+                  const std::vector<common::NodeId>& worker_nodes,
+                  common::NodeId controller_node, const NasConfig& config);
+
+}  // namespace evostore::nas

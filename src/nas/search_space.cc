@@ -1,0 +1,52 @@
+#include "nas/search_space.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace evostore::nas {
+
+CandidateSeq SearchSpace::random(common::Xoshiro256& rng) const {
+  CandidateSeq seq(positions());
+  for (size_t p = 0; p < seq.size(); ++p) {
+    seq[p] = static_cast<uint16_t>(rng.below(choices_at(p)));
+  }
+  return seq;
+}
+
+CandidateSeq SearchSpace::mutate(const CandidateSeq& seq,
+                                 common::Xoshiro256& rng) const {
+  assert(seq.size() == positions());
+  CandidateSeq out = seq;
+  // Pick a position with more than one choice.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    size_t pos = rng.below(out.size());
+    uint16_t domain = choices_at(pos);
+    if (domain <= 1) continue;
+    if (domain >= 5) {
+      // Ordered hyperparameters (e.g., layer widths): perturb locally, the
+      // usual NAS convention — neighboring choices behave similarly, so
+      // evolution can hill-climb instead of resampling blindly.
+      int step = rng.chance(0.5) ? 1 : -1;
+      int next = static_cast<int>(out[pos]) + step;
+      if (next < 0 || next >= domain) next = out[pos] - step;
+      out[pos] = static_cast<uint16_t>(next);
+    } else {
+      // Small categorical domains: pick a different value uniformly.
+      auto next = static_cast<uint16_t>(rng.below(domain - 1));
+      if (next >= out[pos]) ++next;
+      out[pos] = next;
+    }
+    return out;
+  }
+  return out;  // degenerate space: nothing mutable
+}
+
+double SearchSpace::cardinality_log10() const {
+  double log10_total = 0;
+  for (size_t p = 0; p < positions(); ++p) {
+    log10_total += std::log10(static_cast<double>(choices_at(p)));
+  }
+  return log10_total;
+}
+
+}  // namespace evostore::nas

@@ -1,0 +1,42 @@
+// Network-architecture-search spaces (paper §2).
+//
+// A search space defines, per position, how many choices exist; a candidate
+// is a choice vector ("candidate sequence"). Decoding produces the flattened
+// architecture graph the repository operates on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/arch_graph.h"
+
+namespace evostore::nas {
+
+using CandidateSeq = std::vector<uint16_t>;
+
+class SearchSpace {
+ public:
+  virtual ~SearchSpace() = default;
+
+  virtual std::string name() const = 0;
+  /// Number of decision positions in a candidate sequence.
+  virtual size_t positions() const = 0;
+  /// Number of choices at position `pos`.
+  virtual uint16_t choices_at(size_t pos) const = 0;
+  /// Decode a candidate sequence into a flattened architecture graph.
+  virtual model::ArchGraph decode(const CandidateSeq& seq) const = 0;
+
+  /// Uniformly random candidate.
+  CandidateSeq random(common::Xoshiro256& rng) const;
+
+  /// Aged-evolution mutation: change exactly one position to a different
+  /// choice.
+  CandidateSeq mutate(const CandidateSeq& seq, common::Xoshiro256& rng) const;
+
+  /// log10 of the number of candidates in the space.
+  double cardinality_log10() const;
+};
+
+}  // namespace evostore::nas

@@ -1,0 +1,78 @@
+#include "nas/training_model.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace evostore::nas {
+
+TrainingModel::TrainingModel(const SearchSpace& space, uint64_t landscape_seed,
+                             TrainingConfig config)
+    : space_(&space), seed_(landscape_seed), config_(config) {
+  size_t n = space.positions();
+  optimum_.resize(n);
+  weights_.resize(n);
+  double total = 0;
+  for (size_t p = 0; p < n; ++p) {
+    uint64_t h = common::SplitMix64::at(seed_, p);
+    optimum_[p] = static_cast<uint16_t>(h % space.choices_at(p));
+    // Weights in [0.5, 1.5): some positions matter more than others; the
+    // geometric decay concentrates importance on early positions.
+    weights_[p] = (0.5 + static_cast<double>((h >> 32) & 0xffff) / 65536.0) *
+                  std::pow(config_.weight_decay, static_cast<double>(p));
+    total += weights_[p];
+  }
+  for (auto& w : weights_) w *= config_.quality_spread / total;
+}
+
+double TrainingModel::quality(const CandidateSeq& seq) const {
+  assert(seq.size() == optimum_.size());
+  double penalty = 0;
+  for (size_t p = 0; p < seq.size(); ++p) {
+    uint16_t domain = space_->choices_at(p);
+    if (domain <= 1) continue;
+    // Ordered distance: neighboring choices have similar effect, which makes
+    // the landscape smooth under single-choice mutations.
+    double d = std::abs(static_cast<double>(seq[p]) -
+                        static_cast<double>(optimum_[p])) /
+               static_cast<double>(domain - 1);
+    penalty += weights_[p] * d;
+  }
+  common::Hasher128 h(seed_ ^ 0xacc);
+  for (uint16_t c : seq) h.u64(c);
+  double noise =
+      (static_cast<double>(h.finish().lo >> 11) * 0x1.0p-53 - 0.5) * 2.0;
+  double q = config_.quality_best - penalty + config_.quality_noise * noise;
+  return std::clamp(q, 0.05, 0.999);
+}
+
+double TrainingModel::accuracy(const CandidateSeq& seq,
+                               double effective_epochs) const {
+  assert(effective_epochs >= 1.0);
+  double shortfall = config_.scratch_penalty *
+                     std::exp(-(effective_epochs - 1.0) / config_.experience_tau);
+  return quality(seq) * (1.0 - shortfall);
+}
+
+double TrainingModel::effective_epochs(double ancestor_experience,
+                                       double lcp_param_fraction) const {
+  assert(lcp_param_fraction >= 0.0 && lcp_param_fraction <= 1.0);
+  double inherited = config_.inherit_fraction * lcp_param_fraction *
+                     std::max(0.0, ancestor_experience);
+  return std::min(config_.max_experience, 1.0 + inherited);
+}
+
+double TrainingModel::epoch_seconds(const model::ArchGraph& graph,
+                                    double frozen_param_fraction,
+                                    common::Xoshiro256& jitter_rng) const {
+  double gb = static_cast<double>(graph.total_param_bytes()) / 1e9;
+  double compute_scale =
+      1.0 - config_.backward_fraction * frozen_param_fraction;
+  double base = config_.epoch_fixed_seconds +
+                config_.epoch_seconds_per_gb * gb * compute_scale;
+  double jitter = 1.0 + config_.duration_jitter * jitter_rng.normal();
+  return base * std::max(0.2, jitter);
+}
+
+}  // namespace evostore::nas

@@ -1,0 +1,33 @@
+#include "net/fabric.h"
+
+namespace evostore::net {
+
+NodeId Fabric::add_node(double bw_in, double bw_out, std::string name) {
+  Node node;
+  node.name = name.empty() ? "node" + std::to_string(nodes_.size()) : name;
+  node.in = flows_.add_port(bw_in, node.name + ".in");
+  node.out = flows_.add_port(bw_out, node.name + ".out");
+  nodes_.push_back(node);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+sim::CoTask<void> Fabric::move_bytes(NodeId from, NodeId to, double bytes) {
+  if (from == to) {
+    // Shared memory: latency only; NICs are not involved.
+    co_await sim_->delay(config_.local_latency);
+    co_return;
+  }
+  co_await sim_->delay(config_.latency);
+  if (bytes > 0) {
+    std::vector<sim::PortId> path;
+    path.push_back(nodes_[from].out);
+    path.push_back(nodes_[to].in);
+    co_await flows_.transfer(std::move(path), bytes);
+  }
+}
+
+sim::CoTask<void> Fabric::signal(NodeId from, NodeId to) {
+  co_await sim_->delay(from == to ? config_.local_latency : config_.latency);
+}
+
+}  // namespace evostore::net

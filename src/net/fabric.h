@@ -1,0 +1,73 @@
+// Simulated cluster fabric.
+//
+// Nodes have full-duplex NICs (independent ingress/egress capacities) joined
+// by a non-blocking core (Slingshot-class fat tree: the core is modelled as
+// contention-free; endpoints are the bottleneck, which matches the paper's
+// deployment where providers and the PFS are the hot spots). A byte transfer
+// pays a fixed one-way latency plus fair-share bandwidth through the source
+// egress and destination ingress ports. Intra-node transfers are shared
+// memory: latency only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/types.h"
+#include "sim/flow.h"
+#include "sim/simulation.h"
+
+namespace evostore::net {
+
+using common::NodeId;
+
+struct FabricConfig {
+  /// One-way message latency between distinct nodes, seconds.
+  double latency = 1.5e-6;
+  /// Latency for intra-node (shared-memory) messages, seconds.
+  double local_latency = 2.0e-7;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulation& sim, FabricConfig config = {})
+      : sim_(&sim), flows_(sim), config_(config) {}
+
+  sim::Simulation& simulation() { return *sim_; }
+  const FabricConfig& config() const { return config_; }
+
+  /// Add a node with the given NIC capacities (bytes/second each direction).
+  NodeId add_node(double bw_in, double bw_out, std::string name = {});
+
+  size_t node_count() const { return nodes_.size(); }
+  const std::string& node_name(NodeId n) const { return nodes_[n].name; }
+
+  /// Move `bytes` from `from` to `to`: one-way latency + NIC bandwidth.
+  sim::CoTask<void> move_bytes(NodeId from, NodeId to, double bytes);
+
+  /// Latency-only signal (e.g., a zero-payload ack).
+  sim::CoTask<void> signal(NodeId from, NodeId to);
+
+  /// Cumulative bytes through a node's NIC.
+  double bytes_in(NodeId n) const { return flows_.bytes_carried(nodes_[n].in); }
+  double bytes_out(NodeId n) const { return flows_.bytes_carried(nodes_[n].out); }
+
+  /// Direct access for co-modelled resources (e.g., charging an extra hop).
+  sim::FlowScheduler& flows() { return flows_; }
+  sim::PortId ingress_port(NodeId n) const { return nodes_[n].in; }
+  sim::PortId egress_port(NodeId n) const { return nodes_[n].out; }
+
+ private:
+  struct Node {
+    sim::PortId in;
+    sim::PortId out;
+    std::string name;
+  };
+  sim::Simulation* sim_;
+  sim::FlowScheduler flows_;
+  FabricConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace evostore::net

@@ -1,0 +1,58 @@
+#include "net/rpc.h"
+
+namespace evostore::net {
+
+void RpcSystem::register_handler(NodeId node, std::string method,
+                                 RpcHandler handler) {
+  handlers_[std::make_pair(node, std::move(method))] = std::move(handler);
+}
+
+void RpcSystem::set_service_pool(NodeId node, int slots,
+                                 double service_overhead) {
+  ServicePool pool;
+  pool.slots = std::make_unique<sim::Semaphore>(simulation(), slots);
+  pool.overhead = service_overhead;
+  pools_[node] = std::move(pool);
+}
+
+sim::CoTask<Result<Bytes>> RpcSystem::call(NodeId from, NodeId to,
+                                           const std::string& method,
+                                           Bytes request) {
+  auto it = handlers_.find(std::make_pair(to, method));
+  if (it == handlers_.end()) {
+    co_return common::Status::NotFound("no handler for '" + method + "' on " +
+                                       fabric_->node_name(to));
+  }
+  ++stats_.calls;
+  stats_.request_bytes += static_cast<double>(request.size());
+
+  // Request travels to the server.
+  co_await fabric_->move_bytes(from, to, static_cast<double>(request.size()));
+
+  // Execute the handler, optionally gated by the node's service pool.
+  auto pool_it = pools_.find(to);
+  Bytes response;
+  if (pool_it != pools_.end()) {
+    auto& pool = pool_it->second;
+    co_await pool.slots->acquire();
+    if (pool.overhead > 0) co_await simulation().delay(pool.overhead);
+    response = co_await it->second(std::move(request));
+    pool.slots->release();
+  } else {
+    response = co_await it->second(std::move(request));
+  }
+
+  stats_.response_bytes += static_cast<double>(response.size());
+  // Response travels back.
+  co_await fabric_->move_bytes(to, from, static_cast<double>(response.size()));
+  co_return response;
+}
+
+sim::CoTask<void> RpcSystem::bulk(NodeId from, NodeId to,
+                                  const Buffer& buffer) {
+  ++stats_.bulk_transfers;
+  stats_.bulk_bytes += static_cast<double>(buffer.size());
+  co_await fabric_->move_bytes(from, to, static_cast<double>(buffer.size()));
+}
+
+}  // namespace evostore::net

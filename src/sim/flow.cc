@@ -1,0 +1,90 @@
+#include "sim/flow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace evostore::sim {
+
+FlowScheduler::~FlowScheduler() {
+  if (callback_scheduled_) sim_->cancel(pending_callback_);
+}
+
+PortId FlowScheduler::add_port(double capacity, std::string name) {
+  assert(capacity > 0 && "port capacity must be positive");
+  ports_.push_back(Port{capacity, std::move(name), 0, 0.0});
+  return static_cast<PortId>(ports_.size() - 1);
+}
+
+CoTask<void> FlowScheduler::transfer(std::vector<PortId> path, double bytes) {
+  assert(bytes >= 0);
+  if (bytes <= 0 || path.empty()) co_return;
+  for (PortId p : path) {
+    assert(p < ports_.size());
+    (void)p;
+  }
+  Event done(*sim_);
+  advance();
+  flows_.push_back(Flow{std::move(path), bytes, 0.0, &done});
+  for (PortId p : flows_.back().path) ++ports_[p].active;
+  reschedule();
+  co_await done.wait();
+}
+
+void FlowScheduler::advance() {
+  double now = sim_->now();
+  double elapsed = now - last_update_;
+  last_update_ = now;
+  if (elapsed > 0) {
+    for (auto& f : flows_) {
+      double moved = f.rate * elapsed;
+      if (moved > f.remaining) moved = f.remaining;
+      f.remaining -= moved;
+      for (PortId p : f.path) ports_[p].bytes += moved;
+    }
+  }
+  // Complete finished flows (signal outside the loop body for clarity; the
+  // Event schedules resumption through the event queue, never inline).
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->remaining <= kEpsBytes) {
+      for (PortId p : it->path) --ports_[p].active;
+      it->done->set();
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FlowScheduler::reschedule() {
+  if (callback_scheduled_) {
+    sim_->cancel(pending_callback_);
+    callback_scheduled_ = false;
+  }
+  if (flows_.empty()) return;
+  double next_dt = std::numeric_limits<double>::infinity();
+  for (auto& f : flows_) {
+    double rate = std::numeric_limits<double>::infinity();
+    for (PortId p : f.path) {
+      rate = std::min(rate, ports_[p].capacity / ports_[p].active);
+    }
+    f.rate = rate;
+    next_dt = std::min(next_dt, f.remaining / rate);
+  }
+  assert(std::isfinite(next_dt));
+  // Guard against floating-point stalls: when `now + next_dt` rounds back to
+  // `now` (tiny residuals on large clocks), force the callback one ulp into
+  // the future so advance() always observes nonzero elapsed time.
+  double now = sim_->now();
+  double at = now + next_dt;
+  if (at <= now) at = std::nextafter(now, std::numeric_limits<double>::max());
+  pending_callback_ = sim_->schedule_callback(at, [this] {
+    callback_scheduled_ = false;
+    advance();
+    reschedule();
+  });
+  callback_scheduled_ = true;
+}
+
+}  // namespace evostore::sim

@@ -1,0 +1,35 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+namespace evostore::sim {
+
+uint64_t Simulation::run(uint64_t max_steps) {
+  uint64_t processed = 0;
+  while (!queue_.empty() && processed < max_steps) {
+    Entry e = queue_.top();
+    queue_.pop();
+    assert(e.t >= now_ && "event queue went backwards");
+    now_ = e.t;
+    ++processed;
+    ++steps_;
+    if (e.callback) {
+      prune_cell(e.seq);
+      if (!e.callback->cancelled) e.callback->fn();
+    } else if (e.handle) {
+      e.handle.resume();
+    }
+  }
+  return processed;
+}
+
+void Simulation::prune_cell(uint64_t token) {
+  auto it = std::find_if(cells_.begin(), cells_.end(),
+                         [&](const auto& p) { return p.first == token; });
+  if (it != cells_.end()) {
+    std::swap(*it, cells_.back());
+    cells_.pop_back();
+  }
+}
+
+}  // namespace evostore::sim

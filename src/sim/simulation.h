@@ -1,0 +1,235 @@
+// Deterministic discrete-event simulation engine.
+//
+// A `Simulation` owns a virtual clock and an event queue. Simulated
+// processes are C++20 coroutines (`CoTask<T>`, see task.h) that suspend on
+// awaitables — `delay()`, synchronization primitives (sync.h), bandwidth
+// flows (flow.h) — and are resumed by the event loop in strict
+// (time, sequence-number) order, which makes every run exactly reproducible.
+//
+// Concurrency model: everything runs on ONE OS thread. "Parallelism" between
+// simulated processes is interleaving at await points only, which mirrors how
+// the paper's distributed processes interleave at I/O boundaries.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace evostore::sim {
+
+/// Virtual time, in seconds.
+using SimTime = double;
+
+class Simulation;
+
+namespace detail {
+
+template <typename T>
+struct FutureValue {
+  std::optional<T> value;
+  void set(T v) { value.emplace(std::move(v)); }
+  T get() const { return *value; }
+  bool has() const { return value.has_value(); }
+};
+
+template <>
+struct FutureValue<void> {
+  bool done = false;
+  void set() { done = true; }
+  void get() const {}
+  bool has() const { return done; }
+};
+
+template <typename T>
+struct FutureState {
+  Simulation* sim = nullptr;
+  FutureValue<T> value;
+  std::exception_ptr exception;
+  bool completed = false;
+  std::vector<std::coroutine_handle<>> waiters;
+
+  void complete();  // defined after Simulation
+};
+
+}  // namespace detail
+
+/// Handle to the eventual result of a spawned coroutine. Copyable; many
+/// coroutines may await the same future. `await_resume` returns a copy of
+/// the result (results are small or internally shared in this codebase).
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<detail::FutureState<T>> s) : state_(std::move(s)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return state_ && state_->completed; }
+
+  /// Result accessor for after the simulation has run (non-coroutine code).
+  T get() const {
+    assert(done());
+    if (state_->exception) std::rethrow_exception(state_->exception);
+    return state_->value.get();
+  }
+
+  bool await_ready() const noexcept { return done(); }
+  void await_suspend(std::coroutine_handle<> h) { state_->waiters.push_back(h); }
+  T await_resume() const { return get(); }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+  uint64_t steps() const { return steps_; }
+
+  /// Resume `h` at virtual time `t` (>= now).
+  void schedule_handle(SimTime t, std::coroutine_handle<> h) {
+    assert(t >= now_);
+    queue_.push(Entry{t, next_seq_++, h, nullptr});
+  }
+
+  /// Run `fn` at virtual time `t`. Returns a token usable with `cancel`.
+  uint64_t schedule_callback(SimTime t, std::function<void()> fn) {
+    assert(t >= now_);
+    auto cell = std::make_shared<CallbackCell>();
+    cell->fn = std::move(fn);
+    uint64_t token = next_seq_++;
+    cells_.emplace_back(token, cell);
+    queue_.push(Entry{t, token, {}, std::move(cell)});
+    return token;
+  }
+
+  /// Cancel a pending callback (no-op if it already ran).
+  void cancel(uint64_t token) {
+    for (auto& [id, cell] : cells_) {
+      if (id == token) {
+        cell->cancelled = true;
+        return;
+      }
+    }
+  }
+
+  /// Awaitable: suspend the current coroutine for `dt` virtual seconds.
+  struct DelayAwaiter {
+    Simulation* sim;
+    SimTime wake_at;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->schedule_handle(wake_at, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] DelayAwaiter delay(SimTime dt) {
+    assert(dt >= 0);
+    return DelayAwaiter{this, now_ + dt};
+  }
+  /// Reschedule at the current time (lets equal-time events interleave).
+  [[nodiscard]] DelayAwaiter yield() { return delay(0); }
+
+  /// Start `task` as an independent simulated process. The task begins from
+  /// the event loop at the current virtual time (spawn itself never runs
+  /// user code inline). Returns a Future for its result.
+  template <typename T>
+  Future<T> spawn(CoTask<T> task) {
+    auto state = std::make_shared<detail::FutureState<T>>();
+    state->sim = this;
+    drive(std::move(task), state);
+    return Future<T>(state);
+  }
+
+  /// Drain the event queue. Returns the number of events processed.
+  uint64_t run(uint64_t max_steps = UINT64_MAX);
+
+  /// Spawn `task`, drain the queue, and return the task's result.
+  template <typename T>
+  T run_until_complete(CoTask<T> task) {
+    Future<T> f = spawn(std::move(task));
+    run();
+    assert(f.done() && "simulation drained but task still blocked (deadlock?)");
+    return f.get();
+  }
+
+ private:
+  struct CallbackCell {
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  struct Entry {
+    SimTime t;
+    uint64_t seq;
+    std::coroutine_handle<> handle;
+    std::shared_ptr<CallbackCell> callback;
+    bool operator>(const Entry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  // Fire-and-forget driver coroutine: frame self-destroys at completion.
+  struct Driver {
+    struct promise_type {
+      Driver get_return_object() {
+        return Driver{std::coroutine_handle<promise_type>::from_promise(*this)};
+      }
+      std::suspend_always initial_suspend() noexcept { return {}; }
+      std::suspend_never final_suspend() noexcept { return {}; }
+      void return_void() {}
+      void unhandled_exception() { std::terminate(); }
+    };
+    std::coroutine_handle<promise_type> handle;
+  };
+
+  template <typename T>
+  void drive(CoTask<T> task, std::shared_ptr<detail::FutureState<T>> state) {
+    Driver d = drive_impl(std::move(task), state);
+    schedule_handle(now_, d.handle);
+  }
+
+  template <typename T>
+  Driver drive_impl(CoTask<T> task, std::shared_ptr<detail::FutureState<T>> state) {
+    try {
+      if constexpr (std::is_void_v<T>) {
+        co_await std::move(task);
+        state->value.set();
+      } else {
+        state->value.set(co_await std::move(task));
+      }
+    } catch (...) {
+      state->exception = std::current_exception();
+    }
+    state->complete();
+  }
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t steps_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Live callback cells for cancellation lookup; pruned as they fire.
+  std::vector<std::pair<uint64_t, std::shared_ptr<CallbackCell>>> cells_;
+
+  void prune_cell(uint64_t token);
+};
+
+namespace detail {
+template <typename T>
+void FutureState<T>::complete() {
+  completed = true;
+  for (auto h : waiters) sim->schedule_handle(sim->now(), h);
+  waiters.clear();
+}
+}  // namespace detail
+
+}  // namespace evostore::sim

@@ -1,0 +1,50 @@
+#include "sim/stats.h"
+
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace evostore::sim {
+
+double Samples::quantile(double q) {
+  assert(q >= 0.0 && q <= 1.0);
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  double idx = q * static_cast<double>(values_.size() - 1);
+  auto lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, values_.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  double m = mean();
+  double ss = 0;
+  for (double v : values_) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values_.size() - 1));
+}
+
+double TimeSeries::first_time_reaching(double threshold) const {
+  for (const auto& p : points_) {
+    if (p.v >= threshold) return p.t;
+  }
+  return -1.0;
+}
+
+double TimeSeries::max_value() const {
+  double best = 0.0;
+  for (const auto& p : points_) best = std::max(best, p.v);
+  return best;
+}
+
+}  // namespace evostore::sim

@@ -1,0 +1,83 @@
+// Small statistics collectors used by benchmarks and experiment harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evostore::sim {
+
+/// Streaming mean / variance (Welford) with min/max.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample collector with exact quantiles (stores all samples; intended for
+/// experiment-sized data, not unbounded streams).
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  size_t count() const { return values_.size(); }
+  double quantile(double q);
+  double mean() const;
+  double stddev() const;
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+/// (time, value) series, e.g., accuracy-over-time curves.
+class TimeSeries {
+ public:
+  void add(double t, double v) { points_.push_back({t, v}); }
+  size_t size() const { return points_.size(); }
+  struct Point {
+    double t;
+    double v;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+  /// First time at which the running maximum of `v` reaches `threshold`,
+  /// or a negative value if never reached.
+  double first_time_reaching(double threshold) const;
+
+  /// Running maximum value over the whole series (0 when empty).
+  double max_value() const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace evostore::sim

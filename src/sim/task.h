@@ -1,0 +1,118 @@
+// Coroutine task types for the discrete-event simulation.
+//
+// `CoTask<T>` is a lazily-started coroutine: it begins executing when first
+// awaited and resumes its awaiter on completion via symmetric transfer.
+// Sequential composition is just `co_await subroutine();`.
+//
+// Fan-out/parallel composition goes through `Simulation::spawn`, which drives
+// a CoTask eagerly (from the event loop) and returns a `Future<T>` that any
+// number of coroutines can await. See simulation.h.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace evostore::sim {
+
+template <typename T>
+class CoTask;
+
+namespace detail {
+
+template <typename T>
+struct PromiseStorage {
+  std::optional<T> value;
+  void return_value(T v) { value.emplace(std::move(v)); }
+  T take() { return std::move(*value); }
+};
+
+template <>
+struct PromiseStorage<void> {
+  void return_void() {}
+  void take() {}
+};
+
+template <typename T>
+struct CoTaskPromise : PromiseStorage<T> {
+  std::exception_ptr exception;
+  std::coroutine_handle<> continuation;
+
+  CoTask<T> get_return_object();
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<CoTaskPromise<T>> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// Lazily-started coroutine returning T. Move-only; owns the coroutine frame.
+template <typename T>
+class [[nodiscard]] CoTask {
+ public:
+  using promise_type = detail::CoTaskPromise<T>;
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  CoTask() = default;
+  explicit CoTask(handle_type h) : handle_(h) {}
+  CoTask(CoTask&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  CoTask& operator=(CoTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  ~CoTask() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  // Awaiter interface: start the coroutine, resume awaiter on completion.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) {
+    assert(handle_ && !handle_.done());
+    handle_.promise().continuation = awaiting;
+    return handle_;
+  }
+  T await_resume() {
+    auto& p = handle_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+    return p.take();
+  }
+
+  /// Release ownership of the frame (used by Simulation::spawn's driver).
+  handle_type release() { return std::exchange(handle_, {}); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  handle_type handle_;
+};
+
+namespace detail {
+template <typename T>
+CoTask<T> CoTaskPromise<T>::get_return_object() {
+  return CoTask<T>(std::coroutine_handle<CoTaskPromise<T>>::from_promise(*this));
+}
+}  // namespace detail
+
+}  // namespace evostore::sim

@@ -1,0 +1,71 @@
+// H5-lite: a hierarchical container format in the spirit of HDF5/Keras
+// weight files, used by the HDF5+PFS baseline repository.
+//
+// Layout: a serialized table of contents (attributes + dataset directory
+// with paths, tensor specs and payload sizes) followed by one payload extent
+// per dataset. The in-memory image is a scatter/gather list (`extents()`),
+// so multi-GB synthetic tensors are "written to a file" without being
+// materialized — extent 0 is the TOC, extent 1+i is dataset i's payload.
+//
+// Group structure is implicit in dataset paths ("/model_weights/dense_3/
+// kernel:0"), matching how Keras lays out weight files.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "model/tensor.h"
+
+namespace evostore::storage {
+
+class H5Writer {
+ public:
+  /// Add a dataset at `path` (must be unique).
+  common::Status put_dataset(const std::string& path, model::Tensor tensor);
+
+  /// Attach a string attribute to the file root.
+  void put_attr(const std::string& key, const std::string& value);
+
+  /// Number of datasets added so far.
+  size_t dataset_count() const { return datasets_.size(); }
+
+  /// Produce the file image: extents[0] is the TOC; extents[1+i] is dataset
+  /// i's payload buffer. Total logical file size = sum of extent sizes.
+  std::vector<common::Buffer> finish() &&;
+
+ private:
+  struct Entry {
+    std::string path;
+    model::Tensor tensor;
+  };
+  std::vector<Entry> datasets_;
+  std::map<std::string, std::string> attrs_;
+};
+
+class H5Reader {
+ public:
+  /// Parse a file image produced by H5Writer::finish (or read back from the
+  /// PFS). Fails with Corruption on malformed input.
+  static common::Result<H5Reader> open(std::vector<common::Buffer> extents);
+
+  std::vector<std::string> dataset_paths() const;
+  bool has_dataset(const std::string& path) const;
+  common::Result<model::Tensor> dataset(const std::string& path) const;
+  common::Result<std::string> attr(const std::string& key) const;
+
+  size_t dataset_count() const { return order_.size(); }
+
+ private:
+  struct Entry {
+    model::TensorSpec spec;
+    common::Buffer payload;
+  };
+  std::map<std::string, Entry> datasets_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::string> attrs_;
+};
+
+}  // namespace evostore::storage

@@ -1,0 +1,46 @@
+// Key-value store abstraction used by providers as their persistence
+// backend (paper §4.3: "an extensible key-value store abstraction ...
+// either in-memory [or] persistently using underlying backends such as C++
+// synchronized memory pools or RocksDB").
+//
+// Implementations: MemKv (sharded in-memory, storage/mem_kv.h) and LogKv
+// (file-backed log-structured store, storage/log_kv.h).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+
+namespace evostore::storage {
+
+using common::Buffer;
+using common::Result;
+using common::Status;
+
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  /// Insert or overwrite.
+  virtual Status put(std::string_view key, Buffer value) = 0;
+
+  /// NotFound if absent.
+  virtual Result<Buffer> get(std::string_view key) const = 0;
+
+  /// NotFound if absent.
+  virtual Status erase(std::string_view key) = 0;
+
+  virtual bool contains(std::string_view key) const = 0;
+  virtual size_t size() const = 0;
+
+  /// All keys in lexicographic order (snapshot).
+  virtual std::vector<std::string> keys() const = 0;
+
+  /// Sum of logical value sizes currently stored.
+  virtual size_t value_bytes() const = 0;
+};
+
+}  // namespace evostore::storage

@@ -1,0 +1,54 @@
+#include "workload/arch_generator.h"
+
+#include <cmath>
+
+namespace evostore::workload {
+
+model::ArchGraph generate_chain(const ArchGenConfig& config) {
+  common::Xoshiro256 rng(config.seed);
+  // A square dense layer w->w with bias holds (w^2 + w) f32 parameters.
+  double bytes_per_layer = static_cast<double>(config.total_bytes) /
+                           static_cast<double>(config.leaf_layers);
+  auto width_for = [&](double target_bytes) -> int64_t {
+    double w = std::sqrt(target_bytes / 4.0);
+    return std::max<int64_t>(1, static_cast<int64_t>(w));
+  };
+  std::vector<model::LayerDef> defs;
+  defs.reserve(config.leaf_layers + 1);
+  int64_t w0 = width_for(bytes_per_layer);
+  defs.push_back(model::make_input(w0));
+  for (int i = 0; i < config.leaf_layers; ++i) {
+    double jitter = config.variation > 0
+                        ? 1.0 + config.variation * (rng.uniform() - 0.5)
+                        : 1.0;
+    int64_t w = width_for(bytes_per_layer * jitter);
+    // Square layers keep the chain dimension-consistent in spirit; the
+    // generator is a storage workload, so exact shape algebra is relaxed.
+    defs.push_back(model::make_dense(w, w));
+  }
+  auto g = model::ArchGraph::flatten(model::make_chain(std::move(defs)));
+  return std::move(g).value();
+}
+
+model::Model make_base_model(common::ModelId id, const model::ArchGraph& graph,
+                             uint64_t seed) {
+  return model::Model::random(id, graph, seed);
+}
+
+DerivedModel derive_partial(common::ModelId id, const model::Model& base,
+                            const core::OwnerMap& base_owners,
+                            int frozen_layers, uint64_t seed) {
+  DerivedModel out{model::Model::random(id, base.graph(), seed), {}};
+  out.transfer.ancestor = base.id();
+  out.transfer.ancestor_owners = base_owners;
+  // Prefix = the input vertex plus the first `frozen_layers` dense layers.
+  size_t prefix = std::min<size_t>(base.graph().size(),
+                                   static_cast<size_t>(frozen_layers) + 1);
+  for (common::VertexId v = 0; v < prefix; ++v) {
+    out.transfer.matches.emplace_back(v, v);
+    out.model.segment(v) = base.segment(v);
+  }
+  return out;
+}
+
+}  // namespace evostore::workload

@@ -1,0 +1,49 @@
+// Architecture generator for the incremental-storage micro-benchmarks
+// (paper §5.3): configurable total model size, number of leaf layers, and
+// controllable variation, so a benchmark can dial in any LCP length /
+// modified-tensor fraction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/client.h"
+#include "model/model.h"
+
+namespace evostore::workload {
+
+struct ArchGenConfig {
+  /// Total parameter bytes of the generated model (approximate; layer sizes
+  /// are rounded to whole square dense layers).
+  size_t total_bytes = 4ull << 30;
+  /// Number of evenly-sized leaf layers carrying parameters.
+  int leaf_layers = 100;
+  /// Seed controlling per-layer width jitter when `variation` > 0.
+  uint64_t seed = 1;
+  /// Fraction of width jitter between layers (0 = perfectly even).
+  double variation = 0.0;
+};
+
+/// A chain model of `leaf_layers` square dense layers (plus the input
+/// placeholder at vertex 0) sized to ~`total_bytes` in total.
+model::ArchGraph generate_chain(const ArchGenConfig& config);
+
+/// Build a fully random model over `graph`.
+model::Model make_base_model(common::ModelId id, const model::ArchGraph& graph,
+                             uint64_t seed);
+
+/// Derive a model from `base` where the first `frozen_layers` parameter
+/// layers are inherited (frozen) and the rest are re-randomized — the
+/// "partial write" workload of Fig. 4. Returns the model plus the
+/// TransferContext describing the inherited prefix.
+struct DerivedModel {
+  model::Model model;
+  core::TransferContext transfer;
+};
+DerivedModel derive_partial(common::ModelId id, const model::Model& base,
+                            const core::OwnerMap& base_owners,
+                            int frozen_layers, uint64_t seed);
+
+}  // namespace evostore::workload

@@ -1,0 +1,137 @@
+#include "workload/deepspace.h"
+
+#include <cassert>
+#include <memory>
+
+namespace evostore::workload {
+
+namespace {
+constexpr int kCellFields = 3;  // type, width index, activation
+constexpr uint16_t kTypeDense = 0;
+constexpr uint16_t kTypeAttention = 1;
+constexpr uint16_t kTypeResidual = 2;
+constexpr int kTypes = 3;
+constexpr int kActivations = 4;
+
+size_t field_index(size_t cell, size_t field) {
+  return 1 + cell * kCellFields + field;
+}
+}  // namespace
+
+DeepSpace::DeepSpace(DeepSpaceConfig config) : config_(std::move(config)) {
+  assert(!config_.widths.empty());
+}
+
+int DeepSpace::cell_choices() const {
+  return kTypes * static_cast<int>(config_.widths.size()) * kActivations;
+}
+
+DeepSpaceSeq DeepSpace::random(common::Xoshiro256& rng) const {
+  int cells = static_cast<int>(
+      rng.range(config_.min_cells, config_.max_cells));
+  DeepSpaceSeq seq;
+  seq.reserve(1 + cells * kCellFields);
+  seq.push_back(static_cast<uint16_t>(cells));
+  for (int i = 0; i < cells; ++i) {
+    seq.push_back(static_cast<uint16_t>(rng.below(kTypes)));
+    seq.push_back(static_cast<uint16_t>(rng.below(config_.widths.size())));
+    seq.push_back(static_cast<uint16_t>(rng.below(kActivations)));
+  }
+  return seq;
+}
+
+DeepSpaceSeq DeepSpace::mutate(const DeepSpaceSeq& seq,
+                               common::Xoshiro256& rng) const {
+  DeepSpaceSeq out = seq;
+  size_t cells = seq[0];
+  size_t cell = rng.below(cells);
+  size_t field = rng.below(kCellFields);
+  // Inert mutations (width on non-dense cells, activation on attention
+  // cells) would not alter the decoded graph; redirect them to the type
+  // field so every mutation is real.
+  uint16_t cell_type = out[field_index(cell, 0)];
+  if (field == 1 && cell_type != kTypeDense) field = 0;
+  if (field == 2 && cell_type == kTypeAttention) field = 0;
+  size_t idx = field_index(cell, field);
+  uint16_t domain = field == 0   ? kTypes
+                    : field == 1 ? static_cast<uint16_t>(config_.widths.size())
+                                 : kActivations;
+  if (domain <= 1) return out;
+  uint16_t next = static_cast<uint16_t>(rng.below(domain - 1));
+  if (next >= out[idx]) ++next;  // ensure the value actually changes
+  out[idx] = next;
+  return out;
+}
+
+model::Architecture DeepSpace::decode(const DeepSpaceSeq& seq) const {
+  using model::Architecture;
+  Architecture arch;
+  size_t cells = seq[0];
+  int64_t first_width =
+      cells > 0 ? config_.widths[seq[field_index(0, 1)] %
+                                 config_.widths.size()]
+                : config_.widths[0];
+  auto input = arch.add_layer(model::make_input(config_.input_dim));
+  auto cur = arch.add_layer(model::make_dense(config_.input_dim, first_width));
+  arch.connect(input, cur);
+  int64_t width = first_width;
+
+  for (size_t i = 0; i < cells; ++i) {
+    uint16_t type = seq[field_index(i, 0)] % kTypes;
+    int64_t w =
+        config_.widths[seq[field_index(i, 1)] % config_.widths.size()];
+    auto act = static_cast<int64_t>(seq[field_index(i, 2)] % kActivations);
+    switch (type) {
+      case kTypeDense: {
+        auto dense = arch.add_layer(model::make_dense(width, w));
+        auto a = arch.add_layer(model::make_activation(act));
+        arch.connect(cur, dense);
+        arch.connect(dense, a);
+        cur = a;
+        width = w;
+        break;
+      }
+      case kTypeAttention: {
+        // Pre-norm attention submodel with a residual Add branch outside.
+        auto sub = std::make_shared<Architecture>();
+        auto ln = sub->add_layer(model::make_layer_norm(width));
+        auto attn = sub->add_layer(model::make_attention(width, 8));
+        sub->connect(ln, attn);
+        auto sub_node = arch.add_submodel(std::move(sub), "attn_block");
+        auto add = arch.add_layer(model::make_add());
+        arch.connect(cur, sub_node);
+        arch.connect(sub_node, add);
+        arch.connect(cur, add);  // residual branch
+        cur = add;
+        break;
+      }
+      case kTypeResidual:
+      default: {
+        auto sub = std::make_shared<Architecture>();
+        auto up = sub->add_layer(model::make_dense(width, 2 * width));
+        auto a = sub->add_layer(model::make_activation(act));
+        auto down = sub->add_layer(model::make_dense(2 * width, width));
+        sub->connect(up, a);
+        sub->connect(a, down);
+        auto sub_node = arch.add_submodel(std::move(sub), "mlp_block");
+        auto add = arch.add_layer(model::make_add());
+        arch.connect(cur, sub_node);
+        arch.connect(sub_node, add);
+        arch.connect(cur, add);  // residual branch
+        cur = add;
+        break;
+      }
+    }
+  }
+  auto out = arch.add_layer(model::make_output(width, config_.output_classes));
+  arch.connect(cur, out);
+  return arch;
+}
+
+model::ArchGraph DeepSpace::decode_graph(const DeepSpaceSeq& seq) const {
+  auto g = model::ArchGraph::flatten(decode(seq));
+  assert(g.ok());
+  return std::move(g).value();
+}
+
+}  // namespace evostore::workload

@@ -1,0 +1,55 @@
+// DeepSpace-like architecture generator (paper §5.3): produces diverse DL
+// model architectures with alternating branches and nested submodels, used
+// to stress the LCP query machinery (Fig. 5) with complex leaf-layer graphs.
+//
+// Every architecture is decoded from a compact choice vector, so generating
+// a *related* architecture (sharing a prefix) is just mutating a suffix
+// choice — which is how the query benchmark produces realistic lookups.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/arch_graph.h"
+#include "model/architecture.h"
+
+namespace evostore::workload {
+
+struct DeepSpaceConfig {
+  int min_cells = 3;
+  int max_cells = 9;
+  int64_t input_dim = 128;
+  /// Width table; attention widths must divide by 8 heads.
+  std::vector<int64_t> widths = {32, 64, 96, 128, 192, 256};
+  int64_t output_classes = 10;
+};
+
+/// Choice vector: [n_cells, then per cell (type, width_idx, act)].
+using DeepSpaceSeq = std::vector<uint16_t>;
+
+class DeepSpace {
+ public:
+  explicit DeepSpace(DeepSpaceConfig config = {});
+
+  /// Sample a random choice vector.
+  DeepSpaceSeq random(common::Xoshiro256& rng) const;
+
+  /// Mutate one cell of `seq` (guaranteed to change the decoded graph).
+  DeepSpaceSeq mutate(const DeepSpaceSeq& seq, common::Xoshiro256& rng) const;
+
+  /// Decode a choice vector into a nested architecture (with submodels and
+  /// branches) — flattening it exercises §4.2 end to end.
+  model::Architecture decode(const DeepSpaceSeq& seq) const;
+
+  /// Convenience: decode + flatten.
+  model::ArchGraph decode_graph(const DeepSpaceSeq& seq) const;
+
+  /// Number of distinct cell configurations.
+  int cell_choices() const;
+
+ private:
+  DeepSpaceConfig config_;
+};
+
+}  // namespace evostore::workload

@@ -1,0 +1,166 @@
+#include "common/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace evostore::common {
+namespace {
+
+Bytes make_bytes(std::initializer_list<int> vals) {
+  Bytes b;
+  for (int v : vals) b.push_back(static_cast<std::byte>(v));
+  return b;
+}
+
+TEST(Buffer, EmptyDefault) {
+  Buffer b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.is_synthetic());
+}
+
+TEST(Buffer, DenseRoundTrip) {
+  Buffer b = Buffer::dense(make_bytes({1, 2, 3, 4, 5}));
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_FALSE(b.is_synthetic());
+  Bytes out = b.to_bytes();
+  EXPECT_EQ(out, make_bytes({1, 2, 3, 4, 5}));
+}
+
+TEST(Buffer, ZerosIsAllZero) {
+  Buffer b = Buffer::zeros(16);
+  for (std::byte x : b.to_bytes()) EXPECT_EQ(x, std::byte{0});
+}
+
+TEST(Buffer, CopyFromSpan) {
+  Bytes src = make_bytes({9, 8, 7});
+  Buffer b = Buffer::copy(src);
+  EXPECT_EQ(b.to_bytes(), src);
+}
+
+TEST(Buffer, SyntheticIsDeterministic) {
+  Buffer a = Buffer::synthetic(1000, 42);
+  Buffer b = Buffer::synthetic(1000, 42);
+  EXPECT_TRUE(a.is_synthetic());
+  EXPECT_EQ(a.to_bytes(), b.to_bytes());
+  Buffer c = Buffer::synthetic(1000, 43);
+  EXPECT_NE(a.to_bytes(), c.to_bytes());
+}
+
+TEST(Buffer, SyntheticResidentFootprintIsZero) {
+  Buffer big = Buffer::synthetic(1ull << 33, 7);  // 8 GB logical
+  EXPECT_EQ(big.size(), 1ull << 33);
+  EXPECT_EQ(big.resident_bytes(), 0u);
+}
+
+TEST(Buffer, ReadAtOffsetMatchesFullRead) {
+  Buffer b = Buffer::synthetic(4096, 5);
+  Bytes full = b.to_bytes();
+  for (size_t off : {0ul, 1ul, 7ul, 8ul, 100ul, 4000ul}) {
+    Bytes chunk(64);
+    if (off + chunk.size() > b.size()) continue;
+    b.read(off, chunk);
+    EXPECT_EQ(0, std::memcmp(chunk.data(), full.data() + off, chunk.size()))
+        << "offset " << off;
+  }
+}
+
+TEST(Buffer, SyntheticByteMatchesStream) {
+  Buffer b = Buffer::synthetic(64, 9);
+  Bytes full = b.to_bytes();
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(Buffer::synthetic_byte(9, i), full[i]) << "pos " << i;
+  }
+}
+
+TEST(Buffer, MaterializeEqualsSynthetic) {
+  Buffer s = Buffer::synthetic(777, 13);
+  Buffer d = s.materialize();
+  EXPECT_FALSE(d.is_synthetic());
+  EXPECT_TRUE(s.content_equals(d));
+  EXPECT_EQ(s.content_hash(), d.content_hash());
+}
+
+TEST(Buffer, SliceDense) {
+  Buffer b = Buffer::dense(make_bytes({0, 1, 2, 3, 4, 5, 6, 7}));
+  Buffer s = b.slice(2, 4);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.to_bytes(), make_bytes({2, 3, 4, 5}));
+}
+
+TEST(Buffer, SliceSyntheticKeepsContent) {
+  Buffer b = Buffer::synthetic(100, 3);
+  Bytes full = b.to_bytes();
+  Buffer s = b.slice(10, 50);
+  EXPECT_TRUE(s.is_synthetic());
+  Bytes sl = s.to_bytes();
+  EXPECT_EQ(0, std::memcmp(sl.data(), full.data() + 10, 50));
+}
+
+TEST(Buffer, SliceOfSlice) {
+  Buffer b = Buffer::synthetic(100, 3);
+  Buffer s = b.slice(10, 50).slice(5, 10);
+  Bytes full = b.to_bytes();
+  Bytes sl = s.to_bytes();
+  EXPECT_EQ(0, std::memcmp(sl.data(), full.data() + 15, 10));
+}
+
+TEST(Buffer, SliceZeroLength) {
+  Buffer b = Buffer::synthetic(10, 1);
+  Buffer s = b.slice(5, 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Buffer, ContentEqualsAcrossRepresentations) {
+  Buffer s = Buffer::synthetic(300, 21);
+  Buffer d = Buffer::dense(s.to_bytes());
+  EXPECT_TRUE(s.content_equals(d));
+  EXPECT_TRUE(d.content_equals(s));
+  Buffer other = Buffer::synthetic(300, 22);
+  EXPECT_FALSE(s.content_equals(other));
+}
+
+TEST(Buffer, ContentEqualsDifferentSizes) {
+  EXPECT_FALSE(Buffer::synthetic(10, 1).content_equals(Buffer::synthetic(11, 1)));
+}
+
+TEST(Buffer, ContentHashConsistent) {
+  Buffer a = Buffer::dense(make_bytes({1, 2, 3}));
+  Buffer b = Buffer::copy(a.dense_span());
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  EXPECT_NE(a.content_hash(), Buffer::dense(make_bytes({1, 2, 4})).content_hash());
+}
+
+TEST(Buffer, ContentHashLargeSyntheticStreams) {
+  // Chunked hashing path (> 64 KiB).
+  Buffer big = Buffer::synthetic(200 * 1024, 77);
+  Buffer dense = big.materialize();
+  EXPECT_EQ(big.content_hash(), dense.content_hash());
+}
+
+TEST(Buffer, IdentityIsCheapAndStable) {
+  Buffer a = Buffer::synthetic(1ull << 30, 5);
+  Buffer b = Buffer::synthetic(1ull << 30, 5);
+  EXPECT_EQ(a.identity(), b.identity());
+  EXPECT_NE(a.identity(), Buffer::synthetic(1ull << 30, 6).identity());
+  EXPECT_NE(a.identity(), Buffer::synthetic((1ull << 30) + 1, 5).identity());
+}
+
+TEST(Buffer, SharedStorageSlicesAreZeroCopy) {
+  Buffer b = Buffer::dense(Bytes(1024));
+  Buffer s1 = b.slice(0, 512);
+  Buffer s2 = b.slice(512, 512);
+  // Dense spans point into the same allocation.
+  EXPECT_EQ(s1.dense_span().data() + 512, s2.dense_span().data());
+}
+
+TEST(Buffer, EqualFastPathSameDescriptor) {
+  Buffer a = Buffer::synthetic(1ull << 40, 9);  // 1 TB logical
+  Buffer b = Buffer::synthetic(1ull << 40, 9);
+  // Must use the descriptor fast path (no 1 TB scan).
+  EXPECT_TRUE(a.content_equals(b));
+}
+
+}  // namespace
+}  // namespace evostore::common

@@ -1,0 +1,119 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace evostore::common {
+namespace {
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Fnv1a64, MatchesSelfAndDiffersOnContent) {
+  std::string a = "hello world";
+  std::string b = "hello worle";
+  EXPECT_EQ(fnv1a64(a), fnv1a64(a));
+  EXPECT_NE(fnv1a64(a), fnv1a64(b));
+  EXPECT_NE(fnv1a64(a, 1), fnv1a64(a, 2));  // seed matters
+}
+
+TEST(Fnv1a64, HandlesAllLengths) {
+  // Exercise the word loop plus every tail length.
+  std::string data(37, 'x');
+  std::set<uint64_t> hashes;
+  for (size_t len = 0; len <= data.size(); ++len) {
+    hashes.insert(fnv1a64(data.data(), len));
+  }
+  EXPECT_EQ(hashes.size(), data.size() + 1);
+}
+
+TEST(Hash128, OrderingAndEquality) {
+  Hash128 a{1, 2};
+  Hash128 b{1, 3};
+  Hash128 c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (Hash128{1, 2}));
+  EXPECT_TRUE(Hash128{}.is_zero());
+  EXPECT_FALSE(a.is_zero());
+}
+
+TEST(Hash128, HexFormat) {
+  Hash128 h{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(h.hex(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(Hash128{}.hex(), std::string(32, '0'));
+}
+
+TEST(Hash128Bytes, DistinctContentDistinctHash) {
+  std::string a = "abc";
+  std::string b = "abd";
+  EXPECT_EQ(hash128_str(a), hash128_str(a));
+  EXPECT_NE(hash128_str(a), hash128_str(b));
+  EXPECT_NE(hash128_str(a, 0), hash128_str(a, 1));
+}
+
+TEST(Hasher128, StructuredAppendsAreOrderSensitive) {
+  Hasher128 h1;
+  h1.u64(1).u64(2);
+  Hasher128 h2;
+  h2.u64(2).u64(1);
+  EXPECT_NE(h1.finish(), h2.finish());
+}
+
+TEST(Hasher128, TypedAppendsAreDistinguished) {
+  // str("ab") followed by str("c") must differ from str("a") + str("bc"):
+  // length prefixes prevent concatenation ambiguity.
+  Hasher128 h1;
+  h1.str("ab").str("c");
+  Hasher128 h2;
+  h2.str("a").str("bc");
+  EXPECT_NE(h1.finish(), h2.finish());
+}
+
+TEST(Hasher128, F64DistinguishesValues) {
+  Hasher128 h1, h2, h3;
+  h1.f64(1.0);
+  h2.f64(1.0000000001);
+  h3.f64(1.0);
+  EXPECT_NE(h1.finish(), h2.finish());
+  EXPECT_EQ(h1.finish(), h3.finish());
+}
+
+TEST(Hasher128, SeedChangesResult) {
+  Hasher128 a(1), b(2);
+  a.u64(42);
+  b.u64(42);
+  EXPECT_NE(a.finish(), b.finish());
+}
+
+TEST(Hasher128, NoCollisionsOverManyInputs) {
+  std::set<Hash128> seen;
+  for (uint64_t i = 0; i < 20000; ++i) {
+    Hasher128 h;
+    h.u64(i);
+    seen.insert(h.finish());
+  }
+  EXPECT_EQ(seen.size(), 20000u);
+}
+
+TEST(Hash128, UsableInUnorderedSet) {
+  std::unordered_set<Hash128> set;
+  set.insert(Hash128{1, 2});
+  set.insert(Hash128{1, 2});
+  set.insert(Hash128{3, 4});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(HashCombine, NotCommutative) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+}  // namespace
+}  // namespace evostore::common

@@ -1,0 +1,142 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace evostore::common {
+namespace {
+
+TEST(SplitMix64, StatefulMatchesStateless) {
+  SplitMix64 sm(123);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(sm.next(), SplitMix64::at(123, i)) << "index " << i;
+  }
+}
+
+TEST(SplitMix64, DistinctSeedsDistinctStreams) {
+  EXPECT_NE(SplitMix64::at(1, 0), SplitMix64::at(2, 0));
+}
+
+TEST(Xoshiro, DeterministicFromSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  for (int i = 0; i < 32; ++i) {
+    uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+  }
+  bool any_diff = false;
+  Xoshiro256 a2(7);
+  for (int i = 0; i < 32; ++i) any_diff |= (a2.next() != c.next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, BelowCoversAllValues) {
+  Xoshiro256 rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBuckets)];
+  for (auto [bucket, count] : counts) {
+    EXPECT_NEAR(count, kSamples / kBuckets, kSamples / kBuckets * 0.1)
+        << "bucket " << bucket;
+  }
+}
+
+TEST(Xoshiro, RangeInclusive) {
+  Xoshiro256 rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(rng.range(4, 4), 4);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(17);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(2.5, 3.5);
+    EXPECT_GE(u, 2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Xoshiro, NormalHasExpectedMoments) {
+  Xoshiro256 rng(31);
+  double sum = 0, sum_sq = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(Xoshiro, NormalWithParams) {
+  Xoshiro256 rng(37);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(Xoshiro, ExponentialMeanMatches) {
+  Xoshiro256 rng(41);
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.exponential(3.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 3.0, 0.1);
+}
+
+TEST(Xoshiro, ChanceProbability) {
+  Xoshiro256 rng(43);
+  int hits = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.01);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace evostore::common

@@ -1,0 +1,90 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace evostore::common {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "Ok");
+}
+
+TEST(Status, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(Status::InvalidArgument("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("x").code(), ErrorCode::kCorruption);
+  EXPECT_EQ(Status::IoError("x").code(), ErrorCode::kIoError);
+  EXPECT_EQ(Status::Unavailable("x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(Status::Internal("x").code(), ErrorCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(Status, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("no such model").to_string(),
+            "NotFound: no such model");
+  EXPECT_EQ(Status(ErrorCode::kIoError, "").to_string(), "IoError");
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status helper_propagates(bool fail) {
+  EVO_RETURN_IF_ERROR(fail ? Status::IoError("inner") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(StatusMacros, ReturnIfError) {
+  EXPECT_TRUE(helper_propagates(false).ok());
+  EXPECT_EQ(helper_propagates(true).code(), ErrorCode::kIoError);
+}
+
+TEST(ErrorCodeName, AllNamesDistinct) {
+  EXPECT_EQ(error_code_name(ErrorCode::kOk), "Ok");
+  EXPECT_EQ(error_code_name(ErrorCode::kCorruption), "Corruption");
+  EXPECT_EQ(error_code_name(ErrorCode::kUnavailable), "Unavailable");
+}
+
+}  // namespace
+}  // namespace evostore::common

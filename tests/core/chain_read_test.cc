@@ -1,0 +1,120 @@
+// get_model_via_chain (the paper's §4.1 "simple solution" ablation baseline)
+// must reconstruct byte-identical models — just with chain-length-dependent
+// cost — and fail cleanly where the naive scheme genuinely breaks.
+#include <gtest/gtest.h>
+
+#include "tests/core/test_env.h"
+
+namespace evostore::core {
+namespace {
+
+using common::ModelId;
+using common::VertexId;
+using testing::ClusterEnv;
+using testing::widths_graph;
+
+// Build a derivation chain where generation k rewrites dense layer k, so
+// every ancestor owns live tensors of the leaf.
+struct ChainFixture : ::testing::Test {
+  static constexpr int kLayers = 8;
+  ClusterEnv env{4};
+  std::vector<model::Model> generations;
+
+  void build(int chain_length) {
+    auto& cli = env.client();
+    std::vector<int64_t> widths(kLayers + 1, 16);
+    auto base = model::Model::random(env.repo->allocate_id(),
+                                     widths_graph(widths), 1);
+    base.set_quality(0.5);
+    ASSERT_TRUE(store(base, nullptr));
+    generations.push_back(std::move(base));
+    for (int gen = 1; gen <= chain_length; ++gen) {
+      widths[gen] = 100 + gen;
+      auto g = widths_graph(widths);
+      auto prep = env.run(cli.prepare_transfer(g, true));
+      ASSERT_TRUE(prep.ok() && prep->has_value()) << "generation " << gen;
+      auto tc = std::move(prep->value());
+      ASSERT_EQ(tc.ancestor, generations.back().id());
+      auto m = model::Model::random(env.repo->allocate_id(), g,
+                                    static_cast<uint64_t>(100 + gen));
+      for (size_t i = 0; i < tc.matches.size(); ++i) {
+        m.segment(tc.matches[i].first) = tc.prefix_segments[i];
+      }
+      m.set_quality(0.5 + 0.01 * gen);
+      ASSERT_TRUE(store(m, &tc));
+      generations.push_back(std::move(m));
+    }
+  }
+
+  bool store(const model::Model& m, const TransferContext* tc) {
+    auto task = [&]() -> sim::CoTask<common::Status> {
+      co_return co_await env.client().put_model(m, tc);
+    };
+    return env.run(task()).ok();
+  }
+};
+
+TEST_F(ChainFixture, ChainReadMatchesOwnerMapRead) {
+  build(5);
+  const auto& leaf = generations.back();
+  auto via_map = env.run(env.client().get_model(leaf.id()));
+  auto via_chain = env.run(env.client().get_model_via_chain(leaf.id()));
+  ASSERT_TRUE(via_map.ok());
+  ASSERT_TRUE(via_chain.ok()) << via_chain.status().to_string();
+  for (VertexId v = 0; v < leaf.vertex_count(); ++v) {
+    EXPECT_TRUE(via_chain->segment(v).content_equals(leaf.segment(v))) << v;
+    EXPECT_TRUE(via_chain->segment(v).content_equals(via_map->segment(v))) << v;
+  }
+  EXPECT_NEAR(via_chain->quality(), leaf.quality(), 1e-9);
+}
+
+TEST_F(ChainFixture, ChainReadOfRootModel) {
+  build(0);
+  auto r = env.run(env.client().get_model_via_chain(generations[0].id()));
+  ASSERT_TRUE(r.ok());
+}
+
+TEST_F(ChainFixture, ChainReadCostGrowsWithDepthOwnerMapDoesNot) {
+  build(6);
+  auto timed = [&](auto&& reader, ModelId id) {
+    double t0 = env.sim.now();
+    auto r = env.run(reader(id));
+    EXPECT_TRUE(r.ok());
+    return env.sim.now() - t0;
+  };
+  auto& cli = env.client();
+  auto map_read = [&](ModelId id) { return cli.get_model(id); };
+  auto chain_read = [&](ModelId id) { return cli.get_model_via_chain(id); };
+
+  double map_shallow = timed(map_read, generations[1].id());
+  double map_deep = timed(map_read, generations.back().id());
+  double chain_shallow = timed(chain_read, generations[1].id());
+  double chain_deep = timed(chain_read, generations.back().id());
+
+  // Owner-map reads stay flat (within 2x of shallow); chain reads grow with
+  // depth and exceed the owner-map path (paper §4.1).
+  EXPECT_LT(map_deep, 2.0 * map_shallow);
+  EXPECT_GT(chain_deep, 2.0 * chain_shallow);
+  EXPECT_GT(chain_deep, 2.0 * map_deep);
+}
+
+TEST_F(ChainFixture, ChainReadFailsWhenAncestorRetired) {
+  build(3);
+  // Retire the middle generation: owner-map reads still work (refcounts keep
+  // the tensors), but the naive chain walk loses the metadata link.
+  ASSERT_TRUE(env.run(env.client().retire(generations[1].id())).ok());
+  auto via_map = env.run(env.client().get_model(generations.back().id()));
+  EXPECT_TRUE(via_map.ok());
+  auto via_chain =
+      env.run(env.client().get_model_via_chain(generations.back().id()));
+  EXPECT_FALSE(via_chain.ok());
+}
+
+TEST_F(ChainFixture, ChainReadMissingLeaf) {
+  build(1);
+  auto r = env.run(env.client().get_model_via_chain(ModelId::make(9, 9)));
+  EXPECT_EQ(r.status().code(), common::ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace evostore::core

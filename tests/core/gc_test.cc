@@ -1,0 +1,225 @@
+// Distributed garbage collection via reference counting (paper §4.1):
+// retire order, shared-segment survival, refcount arithmetic across chains.
+#include <gtest/gtest.h>
+
+#include "tests/core/test_env.h"
+
+namespace evostore::core {
+namespace {
+
+using common::ModelId;
+using common::SegmentKey;
+using common::VertexId;
+using testing::ClusterEnv;
+using testing::chain_graph;
+
+struct Lineage {
+  ClusterEnv env{4};
+  std::vector<model::Model> models;
+
+  // Store a chain: base + `generations` derived models, each mutating the
+  // last `tail` layers of its parent. Returns ids in order.
+  void build(int layers, int generations, int tail) {
+    auto& cli = env.client();
+    auto g0 = chain_graph(layers, 16);
+    auto base = model::Model::random(env.repo->allocate_id(), g0, 1);
+    base.set_quality(0.5);
+    EXPECT_TRUE(env.run(store(base, nullptr)).ok());
+    models.push_back(std::move(base));
+    for (int gen = 1; gen <= generations; ++gen) {
+      auto g = chain_graph(layers, 16, tail, /*tail_salt=*/7 + gen);
+      auto prep = env.run(cli.prepare_transfer(g, true));
+      ASSERT_TRUE(prep.ok() && prep->has_value());
+      auto tc = std::move(prep->value());
+      auto m = model::Model::random(env.repo->allocate_id(), g,
+                                    static_cast<uint64_t>(100 + gen));
+      for (size_t i = 0; i < tc.matches.size(); ++i) {
+        m.segment(tc.matches[i].first) = tc.prefix_segments[i];
+      }
+      m.set_quality(0.5 + 0.01 * gen);
+      EXPECT_TRUE(env.run(store(m, &tc)).ok());
+      models.push_back(std::move(m));
+    }
+  }
+
+  sim::CoTask<common::Status> store(const model::Model& m,
+                                    const TransferContext* tc) {
+    co_return co_await env.client().put_model(m, tc);
+  }
+
+  int refcount(SegmentKey key) {
+    for (size_t i = 0; i < env.repo->provider_count(); ++i) {
+      if (env.repo->provider(i).has_segment(key)) {
+        return env.repo->provider(i).refcount(key);
+      }
+    }
+    return 0;
+  }
+};
+
+TEST(Gc, SharedPrefixRefcountsCountDescendants) {
+  Lineage lin;
+  lin.build(/*layers=*/6, /*generations=*/2, /*tail=*/2);
+  ModelId base = lin.models[0].id();
+  // Vertex 0..4 of the base (input + first 4 dense) are shared by both
+  // descendants: refcount = 1 (own) + 2 (children) = 3.
+  EXPECT_EQ(lin.refcount(SegmentKey{base, 0}), 3);
+  EXPECT_EQ(lin.refcount(SegmentKey{base, 4}), 3);
+  // The base's mutated-away tail vertices are only referenced by itself.
+  EXPECT_EQ(lin.refcount(SegmentKey{base, 5}), 1);
+  EXPECT_EQ(lin.refcount(SegmentKey{base, 6}), 1);
+}
+
+TEST(Gc, RetireAncestorKeepsSharedSegmentsAlive) {
+  Lineage lin;
+  lin.build(6, 1, 2);
+  ModelId base = lin.models[0].id();
+  ModelId child = lin.models[1].id();
+
+  ASSERT_TRUE(lin.env.run(lin.env.client().retire(base)).ok());
+  // Shared prefix survives with refcount 1 (the child).
+  EXPECT_EQ(lin.refcount(SegmentKey{base, 0}), 1);
+  // The base's private tail is gone.
+  EXPECT_EQ(lin.refcount(SegmentKey{base, 5}), 0);
+  EXPECT_EQ(lin.refcount(SegmentKey{base, 6}), 0);
+
+  // Child still loads completely (its owner map points at the survivor
+  // segments).
+  auto loaded = lin.env.run(lin.env.client().get_model(child));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  for (VertexId v = 0; v < loaded->vertex_count(); ++v) {
+    EXPECT_TRUE(loaded->segment(v).content_equals(lin.models[1].segment(v)));
+  }
+}
+
+TEST(Gc, RetireChildFirstThenAncestorFreesEverything) {
+  Lineage lin;
+  lin.build(6, 1, 2);
+  ASSERT_TRUE(lin.env.run(lin.env.client().retire(lin.models[1].id())).ok());
+  EXPECT_EQ(lin.refcount(SegmentKey{lin.models[0].id(), 0}), 1);
+  ASSERT_TRUE(lin.env.run(lin.env.client().retire(lin.models[0].id())).ok());
+  EXPECT_EQ(lin.env.repo->total_segments(), 0u);
+  EXPECT_EQ(lin.env.repo->stored_payload_bytes(), 0u);
+}
+
+TEST(Gc, RetireAncestorFirstThenChildFreesEverything) {
+  Lineage lin;
+  lin.build(6, 1, 2);
+  ASSERT_TRUE(lin.env.run(lin.env.client().retire(lin.models[0].id())).ok());
+  EXPECT_GT(lin.env.repo->total_segments(), 0u);
+  ASSERT_TRUE(lin.env.run(lin.env.client().retire(lin.models[1].id())).ok());
+  EXPECT_EQ(lin.env.repo->total_segments(), 0u);
+  EXPECT_EQ(lin.env.repo->stored_payload_bytes(), 0u);
+}
+
+TEST(Gc, LongChainRetiredInRandomOrderLeavesNothing) {
+  Lineage lin;
+  lin.build(8, 5, 2);
+  // Retire out of order: middle, ends, rest.
+  std::vector<size_t> order{3, 0, 5, 1, 4, 2};
+  for (size_t idx : order) {
+    ASSERT_TRUE(lin.env.run(lin.env.client().retire(lin.models[idx].id())).ok())
+        << "retiring generation " << idx;
+  }
+  EXPECT_EQ(lin.env.repo->total_models(), 0u);
+  EXPECT_EQ(lin.env.repo->total_segments(), 0u);
+  EXPECT_EQ(lin.env.repo->stored_payload_bytes(), 0u);
+}
+
+using testing::widths_graph;
+
+TEST(Gc, MiddleRetirementKeepsGrandchildReadable) {
+  // Grandchild inherits segments owned by BOTH the grandparent (long clean
+  // prefix) and the parent (the middle layers the parent rewrote and the
+  // grandchild kept).
+  ClusterEnv env(4);
+  auto& cli = env.client();
+  auto run_store = [&](const model::Model& m,
+                       const TransferContext* tc) -> bool {
+    auto task = [&]() -> sim::CoTask<common::Status> {
+      co_return co_await cli.put_model(m, tc);
+    };
+    return env.run(task()).ok();
+  };
+
+  auto g_base = widths_graph({16, 16, 16, 16, 20, 21});
+  auto base = model::Model::random(env.repo->allocate_id(), g_base, 1);
+  base.set_quality(0.5);
+  ASSERT_TRUE(run_store(base, nullptr));
+
+  auto derive = [&](const model::ArchGraph& g, uint64_t seed, double quality,
+                    model::Model* out) -> TransferContext {
+    auto prep = env.run(cli.prepare_transfer(g, true));
+    EXPECT_TRUE(prep.ok() && prep->has_value());
+    auto tc = std::move(prep->value());
+    *out = model::Model::random(env.repo->allocate_id(), g, seed);
+    for (size_t i = 0; i < tc.matches.size(); ++i) {
+      out->segment(tc.matches[i].first) = tc.prefix_segments[i];
+    }
+    out->set_quality(quality);
+    EXPECT_TRUE(run_store(*out, &tc));
+    return tc;
+  };
+
+  // Parent rewrites the last two layers (widths 30, 31).
+  model::Model parent;
+  auto tc_p = derive(widths_graph({16, 16, 16, 16, 30, 31}), 2, 0.6, &parent);
+  EXPECT_EQ(tc_p.ancestor, base.id());
+
+  // Grandchild keeps the parent's layer 30 but rewrites the last (40):
+  // it now owns v5, inherits v4 from the parent, v0..3 from the base.
+  model::Model grandchild;
+  auto tc_g = derive(widths_graph({16, 16, 16, 16, 30, 40}), 3, 0.7,
+                     &grandchild);
+  EXPECT_EQ(tc_g.ancestor, parent.id());
+  EXPECT_EQ(tc_g.lcp_len(), 5u);
+
+  auto meta = env.run(cli.get_meta(grandchild.id()));
+  ASSERT_TRUE(meta.ok());
+  auto contributors = meta->owners.contributors();
+  EXPECT_EQ(contributors.size(), 3u);  // base + parent + self
+
+  // Retire the parent; the grandchild must remain fully readable.
+  ASSERT_TRUE(env.run(cli.retire(parent.id())).ok());
+  auto loaded = env.run(cli.get_model(grandchild.id()));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  for (VertexId v = 0; v < loaded->vertex_count(); ++v) {
+    EXPECT_TRUE(loaded->segment(v).content_equals(grandchild.segment(v)));
+  }
+}
+
+TEST(Gc, DoubleRetireFails) {
+  Lineage lin;
+  lin.build(4, 0, 0);
+  ASSERT_TRUE(lin.env.run(lin.env.client().retire(lin.models[0].id())).ok());
+  auto st = lin.env.run(lin.env.client().retire(lin.models[0].id()));
+  EXPECT_EQ(st.code(), common::ErrorCode::kNotFound);
+  // Refcounts were not decremented twice: nothing negative, store empty.
+  EXPECT_EQ(lin.env.repo->total_segments(), 0u);
+}
+
+TEST(Gc, StorageBytesShrinkMonotonicallyThroughRetirement) {
+  Lineage lin;
+  lin.build(8, 4, 2);
+  size_t prev = lin.env.repo->stored_payload_bytes();
+  for (auto& m : lin.models) {
+    ASSERT_TRUE(lin.env.run(lin.env.client().retire(m.id())).ok());
+    size_t now = lin.env.repo->stored_payload_bytes();
+    EXPECT_LE(now, prev);
+    prev = now;
+  }
+  EXPECT_EQ(prev, 0u);
+}
+
+TEST(Gc, DedupSavesSpaceVersusFullCopies) {
+  Lineage lin;
+  lin.build(10, 4, 2);
+  size_t full_copies = 0;
+  for (const auto& m : lin.models) full_copies += m.total_bytes();
+  size_t stored = lin.env.repo->stored_payload_bytes();
+  // 5 models sharing an 8/10 prefix: dedup must save well over half.
+  EXPECT_LT(stored, full_copies / 2);
+}
+
+}  // namespace
+}  // namespace evostore::core

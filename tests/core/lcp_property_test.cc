@@ -1,0 +1,133 @@
+// Property-based checks of Algorithm 1 over randomized DeepSpace graphs:
+// the invariants §4.2 defines for a valid longest common prefix, verified
+// on hundreds of generated (candidate, ancestor) pairs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/lcp.h"
+#include "workload/deepspace.h"
+
+namespace evostore::core {
+namespace {
+
+using model::ArchGraph;
+
+struct Case {
+  uint64_t seed;
+  int pairs;
+  bool mutated;  // ancestor = 1-mutation neighbour vs independent sample
+};
+
+class LcpInvariants : public ::testing::TestWithParam<Case> {};
+
+void check_invariants(const ArchGraph& g, const ArchGraph& a,
+                      const LcpResult& r) {
+  std::vector<int64_t> g_to_a(g.size(), -1);
+  std::set<common::VertexId> a_used;
+  for (auto [gv, av] : r.matches) {
+    // (1) Matches are a partial injection G -> A.
+    ASSERT_LT(gv, g.size());
+    ASSERT_LT(av, a.size());
+    ASSERT_EQ(g_to_a[gv], -1) << "G vertex matched twice";
+    ASSERT_TRUE(a_used.insert(av).second) << "A vertex matched twice";
+    g_to_a[gv] = av;
+    // (2) Matched vertices have identical leaf-layer configurations.
+    EXPECT_EQ(g.signature(gv), a.signature(av));
+    // (3) Both endpoints agree on in-degree (the max(in_degree) rule).
+    EXPECT_EQ(g.in_degree(gv), a.in_degree(av));
+  }
+  if (r.length() > 0) {
+    // (4) The root is always part of a non-empty prefix, mapped to A's root.
+    EXPECT_EQ(g_to_a[g.root()], static_cast<int64_t>(a.root()));
+  }
+  // (5) Prefix closure: every predecessor of a matched vertex is matched,
+  // and edges inside the prefix are preserved in A.
+  for (common::VertexId u = 0; u < g.size(); ++u) {
+    for (common::VertexId v : g.out_edges(u)) {
+      if (g_to_a[v] >= 0) {
+        ASSERT_GE(g_to_a[u], 0)
+            << "matched vertex " << v << " has unmatched predecessor " << u;
+        // The corresponding edge must exist in A.
+        const auto& a_out = a.out_edges(static_cast<common::VertexId>(g_to_a[u]));
+        EXPECT_TRUE(std::find(a_out.begin(), a_out.end(),
+                              static_cast<common::VertexId>(g_to_a[v])) !=
+                    a_out.end())
+            << "prefix edge missing in ancestor";
+      }
+    }
+  }
+  // (6) Prefix byte accounting is consistent.
+  size_t bytes = 0;
+  for (auto [gv, av] : r.matches) {
+    (void)av;
+    bytes += g.param_bytes(gv);
+  }
+  EXPECT_EQ(bytes, r.prefix_param_bytes(g));
+  EXPECT_EQ(r.unmatched_g_vertices(g).size(), g.size() - r.length());
+}
+
+TEST_P(LcpInvariants, HoldOnGeneratedPairs) {
+  const Case c = GetParam();
+  workload::DeepSpace space;
+  common::Xoshiro256 rng(c.seed);
+  LcpWorkspace ws;
+  size_t nonempty = 0;
+  for (int i = 0; i < c.pairs; ++i) {
+    auto s = space.random(rng);
+    auto g = space.decode_graph(c.mutated ? space.mutate(s, rng) : s);
+    auto a = c.mutated ? space.decode_graph(s)
+                       : space.decode_graph(space.random(rng));
+    LcpCost cost;
+    auto r = ws.run(g, a, &cost);
+    check_invariants(g, a, r);
+    EXPECT_GT(cost.vertex_visits, 0u);
+    if (r.length() > 0) ++nonempty;
+    // Determinism: identical inputs, identical result.
+    auto r2 = longest_common_prefix(g, a);
+    EXPECT_EQ(r.matches, r2.matches);
+  }
+  if (c.mutated) {
+    // Mutated neighbours nearly always share at least the input stem.
+    EXPECT_GT(nonempty, static_cast<size_t>(c.pairs * 3 / 4));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneratedPairs, LcpInvariants,
+    ::testing::Values(Case{11, 60, true}, Case{12, 60, true},
+                      Case{13, 60, false}, Case{14, 60, false},
+                      Case{15, 120, true}, Case{16, 120, false}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "seed" + std::to_string(info.param.seed) +
+             (info.param.mutated ? "_mutated" : "_independent");
+    });
+
+TEST(LcpInvariants, SelfMatchIsAlwaysTotal) {
+  workload::DeepSpace space;
+  common::Xoshiro256 rng(21);
+  for (int i = 0; i < 60; ++i) {
+    auto g = space.decode_graph(space.random(rng));
+    auto r = longest_common_prefix(g, g);
+    EXPECT_EQ(r.length(), g.size()) << "iteration " << i;
+    for (auto [gv, av] : r.matches) EXPECT_EQ(gv, av);
+  }
+}
+
+TEST(LcpInvariants, PrefixLengthSymmetryOnMutatedPairs) {
+  // The generalized LCP is symmetric in |prefix| for graphs derived from
+  // each other by a single mutation (the shared stem is the same set).
+  workload::DeepSpace space;
+  common::Xoshiro256 rng(22);
+  for (int i = 0; i < 60; ++i) {
+    auto s = space.random(rng);
+    auto g = space.decode_graph(s);
+    auto m = space.decode_graph(space.mutate(s, rng));
+    EXPECT_EQ(longest_common_prefix(g, m).length(),
+              longest_common_prefix(m, g).length())
+        << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace evostore::core

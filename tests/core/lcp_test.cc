@@ -1,0 +1,231 @@
+#include "core/lcp.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/deepspace.h"
+
+namespace evostore::core {
+namespace {
+
+using model::ArchGraph;
+using model::make_activation;
+using model::make_add;
+using model::make_attention;
+using model::make_chain;
+using model::make_dense;
+using model::make_input;
+using model::make_layer_norm;
+using model::make_output;
+
+ArchGraph chain(std::vector<model::LayerDef> defs) {
+  auto g = ArchGraph::flatten(make_chain(std::move(defs)));
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(Lcp, IdenticalChainsMatchFully) {
+  auto g = chain({make_input(8), make_dense(8, 16), make_dense(16, 4)});
+  auto r = longest_common_prefix(g, g);
+  EXPECT_EQ(r.length(), 3u);
+  for (auto [gv, av] : r.matches) EXPECT_EQ(gv, av);
+}
+
+TEST(Lcp, DifferentRootsNoMatch) {
+  auto g = chain({make_input(8), make_dense(8, 8)});
+  auto a = chain({make_input(9), make_dense(8, 8)});
+  EXPECT_EQ(longest_common_prefix(g, a).length(), 0u);
+}
+
+TEST(Lcp, PrefixStopsAtFirstDivergence) {
+  auto g = chain({make_input(8), make_dense(8, 16), make_dense(16, 32),
+                  make_dense(32, 4)});
+  auto a = chain({make_input(8), make_dense(8, 16), make_dense(16, 64),
+                  make_dense(64, 4)});
+  auto r = longest_common_prefix(g, a);
+  EXPECT_EQ(r.length(), 2u);  // input + first dense
+}
+
+TEST(Lcp, DivergenceBlocksDownstreamEvenIfConfigsMatch) {
+  // Vertex 3 has identical config in both, but its predecessor differs, so
+  // the recursive prefix definition excludes it.
+  auto g = chain({make_input(8), make_dense(8, 16), make_dense(16, 16),
+                  make_layer_norm(16)});
+  auto a = chain({make_input(8), make_dense(8, 16), make_dense(16, 17),
+                  make_layer_norm(16)});
+  auto r = longest_common_prefix(g, a);
+  EXPECT_EQ(r.length(), 2u);
+}
+
+TEST(Lcp, ShorterAncestorLimitsPrefix) {
+  auto g = chain({make_input(8), make_dense(8, 8), make_dense(8, 8),
+                  make_dense(8, 8)});
+  auto a = chain({make_input(8), make_dense(8, 8)});
+  // Identical configs chain: greedy matching walks as deep as A allows.
+  auto r = longest_common_prefix(g, a);
+  EXPECT_EQ(r.length(), 2u);
+}
+
+TEST(Lcp, PaperFigure2Scenario) {
+  // Grandparent/parent share {1,2,3}; parent/child share {1,2,3,4,5}.
+  // We model layers by distinct dense widths.
+  auto grandparent = chain({make_input(4), make_dense(4, 10), make_dense(10, 20),
+                            make_dense(20, 31), make_dense(31, 41)});
+  auto parent = chain({make_input(4), make_dense(4, 10), make_dense(10, 20),
+                       make_dense(20, 32), make_dense(32, 42)});
+  auto child = chain({make_input(4), make_dense(4, 10), make_dense(10, 20),
+                      make_dense(20, 32), make_dense(32, 43)});
+  EXPECT_EQ(longest_common_prefix(parent, grandparent).length(), 3u);
+  EXPECT_EQ(longest_common_prefix(child, parent).length(), 4u);
+  EXPECT_EQ(longest_common_prefix(child, grandparent).length(), 3u);
+}
+
+ArchGraph residual_graph(int64_t attn_width, bool mutate_tail) {
+  model::Architecture arch;
+  auto in = arch.add_layer(make_input(16));
+  auto sub = std::make_shared<model::Architecture>();
+  auto ln = sub->add_layer(make_layer_norm(16));
+  auto at = sub->add_layer(make_attention(attn_width, 2));
+  sub->connect(ln, at);
+  auto block = arch.add_submodel(std::move(sub));
+  auto add = arch.add_layer(make_add());
+  arch.connect(in, block);
+  arch.connect(block, add);
+  arch.connect(in, add);
+  auto out = arch.add_layer(make_output(16, mutate_tail ? 3 : 2));
+  arch.connect(add, out);
+  auto g = ArchGraph::flatten(arch);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(Lcp, BranchingGraphFullMatch) {
+  auto g = residual_graph(16, false);
+  auto r = longest_common_prefix(g, g);
+  EXPECT_EQ(r.length(), g.size());
+}
+
+TEST(Lcp, BranchingGraphTailMutation) {
+  auto g = residual_graph(16, true);
+  auto a = residual_graph(16, false);
+  auto r = longest_common_prefix(g, a);
+  // Everything except the mutated output layer matches.
+  EXPECT_EQ(r.length(), g.size() - 1);
+}
+
+TEST(Lcp, JoinVertexRequiresAllPredecessorsInPrefix) {
+  auto g = residual_graph(16, false);
+  auto a = residual_graph(24, false);  // attention differs inside the branch
+  auto r = longest_common_prefix(g, a);
+  // input + layer_norm match; attention differs; Add has a predecessor
+  // outside the prefix, so it and the output are excluded.
+  EXPECT_EQ(r.length(), 2u);
+}
+
+TEST(Lcp, SubmodelDecompositionFindsLeafMatches) {
+  // Same leaf layers, one side wrapped in a submodel: flattening must make
+  // them equivalent (paper §4.2's motivating point).
+  auto plain = chain({make_input(8), make_dense(8, 16), make_activation(1),
+                      make_dense(16, 8)});
+  model::Architecture nested;
+  auto in = nested.add_layer(make_input(8));
+  auto sub = std::make_shared<model::Architecture>();
+  auto d1 = sub->add_layer(make_dense(8, 16));
+  auto ac = sub->add_layer(make_activation(1));
+  sub->connect(d1, ac);
+  auto block = nested.add_submodel(std::move(sub));
+  auto d2 = nested.add_layer(make_dense(16, 8));
+  nested.connect(in, block);
+  nested.connect(block, d2);
+  auto nested_g = model::ArchGraph::flatten(nested);
+  ASSERT_TRUE(nested_g.ok());
+  auto r = longest_common_prefix(plain, nested_g.value());
+  EXPECT_EQ(r.length(), 4u);
+}
+
+TEST(Lcp, AmbiguousIdenticalSuccessorsResolveDeterministically) {
+  // Diamond with two identical branches.
+  auto build = [] {
+    model::Architecture arch;
+    auto in = arch.add_layer(make_input(8));
+    auto l = arch.add_layer(make_dense(8, 8));
+    auto r = arch.add_layer(make_dense(8, 8));
+    auto add = arch.add_layer(make_add());
+    arch.connect(in, l);
+    arch.connect(in, r);
+    arch.connect(l, add);
+    arch.connect(r, add);
+    auto g = model::ArchGraph::flatten(arch);
+    EXPECT_TRUE(g.ok());
+    return std::move(g).value();
+  };
+  auto g = build();
+  auto a = build();
+  auto r1 = longest_common_prefix(g, a);
+  auto r2 = longest_common_prefix(g, a);
+  EXPECT_EQ(r1.length(), 4u);
+  EXPECT_EQ(r1.matches, r2.matches);
+}
+
+TEST(Lcp, PrefixParamBytesAndUnmatched) {
+  auto g = chain({make_input(8), make_dense(8, 8), make_dense(8, 9)});
+  auto a = chain({make_input(8), make_dense(8, 8), make_dense(8, 10)});
+  auto r = longest_common_prefix(g, a);
+  ASSERT_EQ(r.length(), 2u);
+  EXPECT_EQ(r.prefix_param_bytes(g), g.param_bytes(1));
+  EXPECT_EQ(r.unmatched_g_vertices(g), (std::vector<VertexId>{2}));
+}
+
+TEST(Lcp, CostCountsVisits) {
+  auto g = chain({make_input(8), make_dense(8, 8), make_dense(8, 8)});
+  LcpCost cost;
+  (void)longest_common_prefix(g, g, &cost);
+  EXPECT_GT(cost.vertex_visits, 0u);
+  LcpCost mismatch_cost;
+  auto other = chain({make_input(9)});
+  (void)longest_common_prefix(g, other, &mismatch_cost);
+  EXPECT_EQ(mismatch_cost.vertex_visits, 1u);  // root check only
+}
+
+TEST(Lcp, EmptyGraphs) {
+  ArchGraph empty;
+  auto g = chain({make_input(8)});
+  EXPECT_EQ(longest_common_prefix(empty, g).length(), 0u);
+  EXPECT_EQ(longest_common_prefix(g, empty).length(), 0u);
+}
+
+TEST(Lcp, WorkspaceReuseMatchesOneShot) {
+  workload::DeepSpace space;
+  common::Xoshiro256 rng(7);
+  LcpWorkspace ws;
+  for (int i = 0; i < 50; ++i) {
+    auto s1 = space.random(rng);
+    auto s2 = space.mutate(s1, rng);
+    auto g1 = space.decode_graph(s1);
+    auto g2 = space.decode_graph(s2);
+    auto fresh = longest_common_prefix(g1, g2);
+    auto reused = ws.run(g1, g2, nullptr);
+    EXPECT_EQ(fresh.matches, reused.matches) << "iteration " << i;
+  }
+}
+
+TEST(Lcp, MutatedDeepSpaceGraphSharesPrefix) {
+  workload::DeepSpace space;
+  common::Xoshiro256 rng(21);
+  int with_prefix = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto s = space.random(rng);
+    auto m = space.mutate(s, rng);
+    auto g = space.decode_graph(s);
+    auto gm = space.decode_graph(m);
+    auto r = longest_common_prefix(gm, g);
+    EXPECT_LE(r.length(), gm.size());
+    if (r.length() >= 2) ++with_prefix;
+  }
+  // Most single-choice mutations preserve a nontrivial prefix.
+  EXPECT_GT(with_prefix, 20);
+}
+
+}  // namespace
+}  // namespace evostore::core

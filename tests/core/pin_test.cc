@@ -1,0 +1,172 @@
+// Transfer pinning: prepare_transfer must protect the inherited prefix from
+// concurrent retirement (the derive-vs-retire race the asynchronous NAS
+// controller can produce), and abandon_transfer must release the pin.
+#include <gtest/gtest.h>
+
+#include "tests/core/test_env.h"
+
+namespace evostore::core {
+namespace {
+
+using common::ModelId;
+using common::SegmentKey;
+using common::VertexId;
+using testing::ClusterEnv;
+using testing::chain_graph;
+
+int cluster_refcount(ClusterEnv& env, SegmentKey key) {
+  for (size_t i = 0; i < env.repo->provider_count(); ++i) {
+    if (env.repo->provider(i).has_segment(key)) {
+      return env.repo->provider(i).refcount(key);
+    }
+  }
+  return 0;
+}
+
+struct Pinned : ::testing::Test {
+  ClusterEnv env{4};
+  model::Model base;
+
+  void SetUp() override {
+    base = model::Model::random(env.repo->allocate_id(), chain_graph(6, 16), 1);
+    base.set_quality(0.5);
+    auto task = [&]() -> sim::CoTask<common::Status> {
+      co_return co_await env.client().put_model(base, nullptr);
+    };
+    ASSERT_TRUE(env.run(task()).ok());
+  }
+};
+
+TEST_F(Pinned, PrepareTransferIncrementsPrefixRefcounts) {
+  auto prep = env.run(env.client().prepare_transfer(chain_graph(6, 16, 2), true));
+  ASSERT_TRUE(prep.ok() && prep->has_value());
+  EXPECT_TRUE(prep->value().pinned);
+  // Prefix vertices (0..4) pinned, mutated tail not.
+  EXPECT_EQ(cluster_refcount(env, SegmentKey{base.id(), 0}), 2);
+  EXPECT_EQ(cluster_refcount(env, SegmentKey{base.id(), 4}), 2);
+  EXPECT_EQ(cluster_refcount(env, SegmentKey{base.id(), 5}), 1);
+  EXPECT_EQ(cluster_refcount(env, SegmentKey{base.id(), 6}), 1);
+}
+
+TEST_F(Pinned, AbandonReleasesThePin) {
+  auto prep = env.run(env.client().prepare_transfer(chain_graph(6, 16, 2), true));
+  ASSERT_TRUE(prep.ok() && prep->has_value());
+  ASSERT_TRUE(env.run(env.client().abandon_transfer(prep->value())).ok());
+  EXPECT_EQ(cluster_refcount(env, SegmentKey{base.id(), 0}), 1);
+  // Abandoning an unpinned context is a no-op.
+  TransferContext unpinned;
+  EXPECT_TRUE(env.run(env.client().abandon_transfer(unpinned)).ok());
+}
+
+TEST_F(Pinned, StoreConsumesThePinWithoutDoubleCounting) {
+  auto g = chain_graph(6, 16, 2);
+  auto prep = env.run(env.client().prepare_transfer(g, true));
+  ASSERT_TRUE(prep.ok() && prep->has_value());
+  auto tc = std::move(prep->value());
+  auto child = model::Model::random(env.repo->allocate_id(), g, 2);
+  for (size_t i = 0; i < tc.matches.size(); ++i) {
+    child.segment(tc.matches[i].first) = tc.prefix_segments[i];
+  }
+  auto task = [&]() -> sim::CoTask<common::Status> {
+    co_return co_await env.client().put_model(child, &tc);
+  };
+  ASSERT_TRUE(env.run(task()).ok());
+  // Exactly 2: the base's own reference + the child's (the pin became the
+  // child's reference; no extra increment happened at put time).
+  EXPECT_EQ(cluster_refcount(env, SegmentKey{base.id(), 0}), 2);
+  // Retiring both releases everything.
+  ASSERT_TRUE(env.run(env.client().retire(base.id())).ok());
+  ASSERT_TRUE(env.run(env.client().retire(child.id())).ok());
+  EXPECT_EQ(env.repo->total_segments(), 0u);
+}
+
+TEST_F(Pinned, AncestorRetiredMidTransferKeepsPrefixAlive) {
+  // The race that motivated pinning: the controller retires the ancestor
+  // while a worker is still "training" with its prefix.
+  auto g = chain_graph(6, 16, 2);
+  auto prep = env.run(env.client().prepare_transfer(g, true));
+  ASSERT_TRUE(prep.ok() && prep->has_value());
+  auto tc = std::move(prep->value());
+
+  ASSERT_TRUE(env.run(env.client().retire(base.id())).ok());
+  // The base's tail is freed; the pinned prefix survives with refcount 1.
+  EXPECT_EQ(cluster_refcount(env, SegmentKey{base.id(), 5}), 0);
+  EXPECT_EQ(cluster_refcount(env, SegmentKey{base.id(), 0}), 1);
+
+  // The worker finishes training and stores the derived model; it must load
+  // back byte-identically even though its ancestor is gone.
+  auto child = model::Model::random(env.repo->allocate_id(), g, 2);
+  for (size_t i = 0; i < tc.matches.size(); ++i) {
+    child.segment(tc.matches[i].first) = tc.prefix_segments[i];
+  }
+  auto task = [&]() -> sim::CoTask<common::Status> {
+    co_return co_await env.client().put_model(child, &tc);
+  };
+  ASSERT_TRUE(env.run(task()).ok());
+  auto loaded = env.run(env.client().get_model(child.id()));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  for (VertexId v = 0; v < child.vertex_count(); ++v) {
+    EXPECT_TRUE(loaded->segment(v).content_equals(child.segment(v))) << v;
+  }
+  ASSERT_TRUE(env.run(env.client().retire(child.id())).ok());
+  EXPECT_EQ(env.repo->total_segments(), 0u);
+  EXPECT_EQ(env.repo->stored_payload_bytes(), 0u);
+}
+
+TEST_F(Pinned, ConcurrentDeriveAndRetireRace) {
+  // Many workers derive from the base while another retires it; every
+  // worker must either transfer successfully or fall back to scratch — and
+  // the final GC must be exact either way.
+  constexpr int kWorkers = 6;
+  std::vector<common::NodeId> nodes;
+  for (int i = 0; i < kWorkers; ++i) {
+    nodes.push_back(env.fabric.add_node(25e9, 25e9));
+  }
+  std::vector<ModelId> stored;
+  auto deriver = [&](common::NodeId node, int i) -> sim::CoTask<void> {
+    auto& cli = env.repo->client(node);
+    auto g = chain_graph(6, 16, 2, /*salt=*/10 + i);
+    auto prep = co_await cli.prepare_transfer(g, true);
+    if (!prep.ok()) co_return;
+    auto m = model::Model::random(cli.allocate_id(), g,
+                                  static_cast<uint64_t>(100 + i));
+    const TransferContext* tc = nullptr;
+    TransferContext ctx;
+    if (prep->has_value()) {
+      ctx = std::move(prep->value());
+      for (size_t k = 0; k < ctx.matches.size(); ++k) {
+        m.segment(ctx.matches[k].first) = ctx.prefix_segments[k];
+      }
+      tc = &ctx;
+    }
+    auto st = co_await cli.put_model(m, tc);
+    EXPECT_TRUE(st.ok()) << st.to_string();
+    if (st.ok()) stored.push_back(m.id());
+  };
+  auto retirer = [&]() -> sim::CoTask<void> {
+    co_await env.sim.delay(2e-6);  // land mid-derivation
+    auto st = co_await env.client().retire(base.id());
+    EXPECT_TRUE(st.ok());
+  };
+  std::vector<sim::Future<void>> fs;
+  for (int i = 0; i < kWorkers; ++i) fs.push_back(env.sim.spawn(deriver(nodes[i], i)));
+  fs.push_back(env.sim.spawn(retirer()));
+  env.sim.run();
+
+  // Every stored model loads completely.
+  for (ModelId id : stored) {
+    auto loaded = env.run(env.repo->client(env.worker).get_model(id));
+    EXPECT_TRUE(loaded.ok()) << id.to_string();
+  }
+  // Retiring everything leaves zero segments (no refcount was leaked or
+  // double-freed anywhere in the race).
+  for (ModelId id : stored) {
+    ASSERT_TRUE(env.run(env.client().retire(id)).ok());
+  }
+  EXPECT_EQ(env.repo->total_models(), 0u);
+  EXPECT_EQ(env.repo->total_segments(), 0u);
+  EXPECT_EQ(env.repo->stored_payload_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace evostore::core

@@ -1,0 +1,73 @@
+// Static hash placement (paper §4.1): stateless, deterministic, and
+// well-balanced across providers.
+#include "core/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace evostore::core {
+namespace {
+
+using common::ModelId;
+
+TEST(Placement, DeterministicAndStateless) {
+  for (uint32_t i = 1; i < 100; ++i) {
+    ModelId id = ModelId::make(3, i);
+    EXPECT_EQ(provider_for(id, 16), provider_for(id, 16));
+  }
+}
+
+TEST(Placement, InRange) {
+  for (size_t providers : {1ul, 2ul, 7ul, 64ul, 1000ul}) {
+    for (uint32_t i = 1; i < 200; ++i) {
+      EXPECT_LT(provider_for(ModelId::make(1, i), providers), providers);
+    }
+  }
+}
+
+TEST(Placement, SingleProviderAlwaysZero) {
+  for (uint32_t i = 1; i < 50; ++i) {
+    EXPECT_EQ(provider_for(ModelId::make(2, i), 1), 0u);
+  }
+}
+
+// Property sweep: sequential ids (the common allocation pattern) spread
+// evenly over any provider count.
+class PlacementBalance : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PlacementBalance, SequentialIdsBalance) {
+  size_t providers = GetParam();
+  constexpr int kModels = 20000;
+  std::map<common::ProviderId, int> counts;
+  for (uint32_t i = 1; i <= kModels; ++i) {
+    ++counts[provider_for(ModelId::make(0, i), providers)];
+  }
+  EXPECT_EQ(counts.size(), providers);  // every provider used
+  double expected = static_cast<double>(kModels) / providers;
+  for (auto [p, n] : counts) {
+    EXPECT_NEAR(n, expected, expected * 0.25) << "provider " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProviderCounts, PlacementBalance,
+                         ::testing::Values(2, 3, 16, 64, 128));
+
+TEST(Placement, AllocatorBitsDoNotBias) {
+  // Ids from different allocators (clients) must not collide onto the same
+  // provider systematically.
+  constexpr size_t kProviders = 8;
+  std::map<common::ProviderId, int> counts;
+  for (uint32_t alloc = 0; alloc < 50; ++alloc) {
+    for (uint32_t seq = 1; seq <= 50; ++seq) {
+      ++counts[provider_for(ModelId::make(alloc, seq), kProviders)];
+    }
+  }
+  for (auto [p, n] : counts) {
+    EXPECT_NEAR(n, 2500.0 / kProviders, 2500.0 / kProviders * 0.3)
+        << "provider " << p;
+  }
+}
+
+}  // namespace
+}  // namespace evostore::core

@@ -1,0 +1,163 @@
+// Provenance queries built on owner maps (paper §4.1): lineage chains,
+// contribution breakdowns, most recent common ancestor.
+#include <gtest/gtest.h>
+
+#include "tests/core/test_env.h"
+
+namespace evostore::core {
+namespace {
+
+using common::ModelId;
+using common::VertexId;
+using testing::ClusterEnv;
+using testing::chain_graph;
+using testing::widths_graph;
+
+// A fixture that grows a small family tree (graphs shaped so each derive
+// step unambiguously picks the intended ancestor):
+//        base {16,16,16,16,16,16}
+//       /    \
+//   left      right       (each rewrites the last two layers)
+//     |
+//  left_child             (keeps left's layer 30, rewrites the last)
+struct FamilyTree : ::testing::Test {
+  ClusterEnv env{4};
+  model::Model base, left, right, left_child;
+
+  void SetUp() override {
+    auto g0 = widths_graph({16, 16, 16, 16, 16, 16});
+    base = model::Model::random(env.repo->allocate_id(), g0, 1);
+    base.set_quality(0.5);
+    ASSERT_TRUE(store(base, nullptr));
+
+    left = derive(widths_graph({16, 16, 16, 16, 30, 31}), 2, 0.6);
+    right = derive(widths_graph({16, 16, 16, 16, 50, 51}), 3, 0.55);
+    left_child = derive(widths_graph({16, 16, 16, 16, 30, 60}), 4, 0.7);
+  }
+
+  bool store(const model::Model& m, const TransferContext* tc) {
+    auto task = [&]() -> sim::CoTask<common::Status> {
+      co_return co_await env.client().put_model(m, tc);
+    };
+    return env.run(task()).ok();
+  }
+
+  model::Model derive(model::ArchGraph g, uint64_t seed, double quality) {
+    auto prep = env.run(env.client().prepare_transfer(g, true));
+    EXPECT_TRUE(prep.ok() && prep->has_value());
+    auto tc = std::move(prep->value());
+    model::Model m = model::Model::random(env.repo->allocate_id(), g, seed);
+    for (size_t i = 0; i < tc.matches.size(); ++i) {
+      m.segment(tc.matches[i].first) = tc.prefix_segments[i];
+    }
+    m.set_quality(quality);
+    EXPECT_TRUE(store(m, &tc));
+    return m;
+  }
+};
+
+TEST_F(FamilyTree, LineageWalksAncestorChain) {
+  auto lin = env.run(env.client().lineage(left_child.id()));
+  ASSERT_TRUE(lin.ok());
+  // left_child's best ancestor at derive time was `left` (highest quality
+  // among equal-length prefixes... given salts, left shares 6, right shares
+  // 6; left has higher quality), then base.
+  ASSERT_GE(lin->size(), 2u);
+  EXPECT_EQ((*lin)[0], left_child.id());
+  EXPECT_EQ(lin->back(), base.id());
+}
+
+TEST_F(FamilyTree, LineageOfRootIsItself) {
+  auto lin = env.run(env.client().lineage(base.id()));
+  ASSERT_TRUE(lin.ok());
+  EXPECT_EQ(lin->size(), 1u);
+  EXPECT_EQ((*lin)[0], base.id());
+}
+
+TEST_F(FamilyTree, LineageOfMissingModelFails) {
+  auto lin = env.run(env.client().lineage(ModelId::make(0, 999)));
+  EXPECT_FALSE(lin.ok());
+}
+
+TEST_F(FamilyTree, LineageStopsAtRetiredAncestor) {
+  ASSERT_TRUE(env.run(env.client().retire(base.id())).ok());
+  auto lin = env.run(env.client().lineage(left.id()));
+  ASSERT_TRUE(lin.ok());
+  EXPECT_EQ(lin->size(), 1u);  // chain cut where metadata is gone
+  EXPECT_EQ((*lin)[0], left.id());
+}
+
+TEST_F(FamilyTree, ContributionsSortedByRecency) {
+  auto contribs = env.run(env.client().contributions(left_child.id()));
+  ASSERT_TRUE(contribs.ok());
+  ASSERT_GE(contribs->size(), 2u);
+  // Most recent contributor first (the model itself), base last.
+  EXPECT_EQ((*contribs)[0].owner, left_child.id());
+  EXPECT_EQ(contribs->back().owner, base.id());
+  for (size_t i = 1; i < contribs->size(); ++i) {
+    EXPECT_GE((*contribs)[i - 1].store_time, (*contribs)[i].store_time);
+  }
+  // Vertex sets partition the graph.
+  size_t total = 0;
+  for (const auto& c : *contribs) total += c.vertices.size();
+  EXPECT_EQ(total, left_child.vertex_count());
+}
+
+TEST_F(FamilyTree, ContributionsAnswerWhoOwnsFrozenLayer) {
+  // Paper §1: "Which ancestor owns a given frozen layer?"
+  auto contribs = env.run(env.client().contributions(left.id()));
+  ASSERT_TRUE(contribs.ok());
+  VertexId frozen = 0;  // the input/prefix is owned by base
+  ModelId owner;
+  for (const auto& c : *contribs) {
+    for (VertexId v : c.vertices) {
+      if (v == frozen) owner = c.owner;
+    }
+  }
+  EXPECT_EQ(owner, base.id());
+}
+
+TEST_F(FamilyTree, MrcaOfSiblingsIsBase) {
+  auto mrca = env.run(
+      env.client().most_recent_common_ancestor(left.id(), right.id()));
+  ASSERT_TRUE(mrca.ok()) << mrca.status().to_string();
+  EXPECT_EQ(mrca.value(), base.id());
+}
+
+TEST_F(FamilyTree, MrcaOfParentAndChildIsParent) {
+  auto mrca = env.run(
+      env.client().most_recent_common_ancestor(left.id(), left_child.id()));
+  ASSERT_TRUE(mrca.ok());
+  EXPECT_EQ(mrca.value(), left.id());
+}
+
+TEST_F(FamilyTree, MrcaOfUnrelatedModelsIsNotFound) {
+  // A model with a different input width shares nothing.
+  auto g = chain_graph(4, 64);
+  auto stranger = model::Model::random(env.repo->allocate_id(), g, 9);
+  ASSERT_TRUE(store(stranger, nullptr));
+  auto mrca = env.run(
+      env.client().most_recent_common_ancestor(left.id(), stranger.id()));
+  EXPECT_EQ(mrca.status().code(), common::ErrorCode::kNotFound);
+}
+
+TEST_F(FamilyTree, MrcaIsOrderIndependent) {
+  auto ab = env.run(
+      env.client().most_recent_common_ancestor(left.id(), right.id()));
+  auto ba = env.run(
+      env.client().most_recent_common_ancestor(right.id(), left.id()));
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_EQ(ab.value(), ba.value());
+}
+
+TEST_F(FamilyTree, StoreTimestampsAreMonotoneAlongLineage) {
+  auto meta_base = env.run(env.client().get_meta(base.id()));
+  auto meta_left = env.run(env.client().get_meta(left.id()));
+  auto meta_child = env.run(env.client().get_meta(left_child.id()));
+  ASSERT_TRUE(meta_base.ok() && meta_left.ok() && meta_child.ok());
+  EXPECT_LT(meta_base->store_time, meta_left->store_time);
+  EXPECT_LT(meta_left->store_time, meta_child->store_time);
+}
+
+}  // namespace
+}  // namespace evostore::core

@@ -1,0 +1,195 @@
+#include "core/provider.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_env.h"
+
+namespace evostore::core {
+namespace {
+
+using common::ModelId;
+using common::SegmentKey;
+using testing::ClusterEnv;
+using testing::chain_graph;
+
+// Single-provider environment so placement is trivial and we can poke the
+// provider's introspection API directly.
+struct SingleEnv : ClusterEnv {
+  SingleEnv() : ClusterEnv(1) {}
+  Provider& provider() { return repo->provider(0); }
+};
+
+sim::CoTask<common::Status> store_model(Client& cli, model::Model m,
+                                        const TransferContext* tc = nullptr) {
+  co_return co_await cli.put_model(m, tc);
+}
+
+TEST(Provider, PutStoresMetadataAndSegments) {
+  SingleEnv env;
+  auto g = chain_graph(4, 16);
+  auto m = model::Model::random(env.repo->allocate_id(), g, 1);
+  m.set_quality(0.5);
+  auto st = env.run(store_model(env.client(), m));
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  EXPECT_EQ(env.provider().model_count(), 1u);
+  EXPECT_EQ(env.provider().segment_count(), g.size());
+  EXPECT_EQ(env.provider().stored_payload_bytes(), m.total_bytes());
+  EXPECT_TRUE(env.provider().has_model(m.id()));
+  for (common::VertexId v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(env.provider().refcount(SegmentKey{m.id(), v}), 1);
+  }
+}
+
+TEST(Provider, DuplicatePutRejected) {
+  SingleEnv env;
+  auto g = chain_graph(2, 8);
+  auto m = model::Model::random(env.repo->allocate_id(), g, 1);
+  ASSERT_TRUE(env.run(store_model(env.client(), m)).ok());
+  auto st = env.run(store_model(env.client(), m));
+  EXPECT_EQ(st.code(), common::ErrorCode::kAlreadyExists);
+}
+
+TEST(Provider, GetMetaReturnsStoredState) {
+  SingleEnv env;
+  auto g = chain_graph(3, 8);
+  auto m = model::Model::random(env.repo->allocate_id(), g, 2);
+  m.set_quality(0.77);
+  ASSERT_TRUE(env.run(store_model(env.client(), m)).ok());
+  auto meta = env.run(env.client().get_meta(m.id()));
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->graph.graph_hash(), g.graph_hash());
+  EXPECT_DOUBLE_EQ(meta->quality, 0.77);
+  EXPECT_FALSE(meta->ancestor.valid());
+  EXPECT_EQ(meta->owners.size(), g.size());
+  EXPECT_GT(meta->store_seq, 0u);
+}
+
+TEST(Provider, GetMetaMissingModel) {
+  SingleEnv env;
+  auto meta = env.run(env.client().get_meta(ModelId::make(0, 99)));
+  EXPECT_EQ(meta.status().code(), common::ErrorCode::kNotFound);
+}
+
+TEST(Provider, ReadSegmentsMissingKeyFails) {
+  SingleEnv env;
+  OwnerMap fake = OwnerMap::self_owned(ModelId::make(0, 123), 2);
+  auto task = [&]() -> sim::CoTask<bool> {
+    std::vector<common::VertexId> all{0, 1};
+    auto r = co_await env.client().read_segments(fake, all);
+    co_return r.ok();
+  };
+  EXPECT_FALSE(env.run(task()));
+}
+
+TEST(Provider, LcpQueryFindsBestByLength) {
+  SingleEnv env;
+  auto g_short = chain_graph(6, 16, /*mutated_tail=*/4);  // shares 3 vertices
+  auto g_long = chain_graph(6, 16, /*mutated_tail=*/1);   // shares 6 vertices
+  auto m1 = model::Model::random(env.repo->allocate_id(), g_short, 1);
+  auto m2 = model::Model::random(env.repo->allocate_id(), g_long, 2);
+  ASSERT_TRUE(env.run(store_model(env.client(), m1)).ok());
+  ASSERT_TRUE(env.run(store_model(env.client(), m2)).ok());
+
+  auto query = chain_graph(6, 16);  // un-mutated chain
+  auto r = env.run(env.client().query_lcp(query));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+  EXPECT_EQ(r->ancestor, m2.id());
+  EXPECT_EQ(r->lcp_len(), 6u);
+}
+
+TEST(Provider, LcpQueryTieBreaksOnQuality) {
+  SingleEnv env;
+  auto g = chain_graph(4, 16);
+  auto weak = model::Model::random(env.repo->allocate_id(), g, 1);
+  weak.set_quality(0.3);
+  auto strong = model::Model::random(env.repo->allocate_id(), g, 2);
+  strong.set_quality(0.9);
+  ASSERT_TRUE(env.run(store_model(env.client(), weak)).ok());
+  ASSERT_TRUE(env.run(store_model(env.client(), strong)).ok());
+  auto r = env.run(env.client().query_lcp(g));
+  ASSERT_TRUE(r.ok() && r->found);
+  EXPECT_EQ(r->ancestor, strong.id());
+  EXPECT_DOUBLE_EQ(r->quality, 0.9);
+}
+
+TEST(Provider, LcpQueryEmptyCatalog) {
+  SingleEnv env;
+  auto r = env.run(env.client().query_lcp(chain_graph(3, 8)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->found);
+}
+
+TEST(Provider, LcpQueryNoSharedRoot) {
+  SingleEnv env;
+  auto m = model::Model::random(env.repo->allocate_id(), chain_graph(3, 8), 1);
+  ASSERT_TRUE(env.run(store_model(env.client(), m)).ok());
+  auto r = env.run(env.client().query_lcp(chain_graph(3, 24)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->found);
+}
+
+TEST(Provider, RetireRemovesMetadataEagerly) {
+  SingleEnv env;
+  auto g = chain_graph(3, 8);
+  auto m = model::Model::random(env.repo->allocate_id(), g, 1);
+  ASSERT_TRUE(env.run(store_model(env.client(), m)).ok());
+  ASSERT_TRUE(env.run(env.client().retire(m.id())).ok());
+  EXPECT_EQ(env.provider().model_count(), 0u);
+  EXPECT_EQ(env.provider().segment_count(), 0u);
+  EXPECT_EQ(env.provider().stored_payload_bytes(), 0u);
+}
+
+TEST(Provider, RetireMissingModelFails) {
+  SingleEnv env;
+  auto st = env.run(env.client().retire(ModelId::make(0, 42)));
+  EXPECT_EQ(st.code(), common::ErrorCode::kNotFound);
+}
+
+TEST(Provider, StatsTrackOperations) {
+  SingleEnv env;
+  auto g = chain_graph(3, 8);
+  auto m = model::Model::random(env.repo->allocate_id(), g, 1);
+  ASSERT_TRUE(env.run(store_model(env.client(), m)).ok());
+  (void)env.run(env.client().query_lcp(g));
+  (void)env.run(env.client().get_model(m.id()));
+  const auto& stats = env.provider().stats();
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.lcp_queries, 1u);
+  EXPECT_GE(stats.meta_gets, 1u);
+  EXPECT_GE(stats.segment_reads, 1u);
+  EXPECT_GT(stats.lcp_vertex_visits, 0u);
+}
+
+TEST(Provider, MetadataBytesScaleWithModels) {
+  SingleEnv env;
+  EXPECT_EQ(env.provider().metadata_bytes(), 0u);
+  auto m = model::Model::random(env.repo->allocate_id(), chain_graph(10, 8), 1);
+  ASSERT_TRUE(env.run(store_model(env.client(), m)).ok());
+  size_t one = env.provider().metadata_bytes();
+  EXPECT_GT(one, 0u);
+  auto m2 = model::Model::random(env.repo->allocate_id(), chain_graph(10, 8, 1), 2);
+  ASSERT_TRUE(env.run(store_model(env.client(), m2)).ok());
+  EXPECT_GT(env.provider().metadata_bytes(), one);
+}
+
+TEST(Provider, ModelIdsSorted) {
+  SingleEnv env;
+  auto g = chain_graph(2, 8);
+  std::vector<ModelId> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto m = model::Model::random(env.repo->allocate_id(), g, i);
+    if (i > 0) {
+      // distinct graphs not required; duplicate-arch models are allowed
+      m.set_quality(0.1 * i);
+    }
+    ids.push_back(m.id());
+    ASSERT_TRUE(env.run(store_model(env.client(), m)).ok());
+  }
+  auto listed = env.provider().model_ids();
+  ASSERT_EQ(listed.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(listed.begin(), listed.end()));
+}
+
+}  // namespace
+}  // namespace evostore::core

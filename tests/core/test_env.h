@@ -1,0 +1,66 @@
+// Shared deployment fixture for core-layer tests: a small simulated cluster
+// with N provider nodes and one worker node, plus graph-building helpers.
+#pragma once
+
+#include <memory>
+
+#include "core/repository.h"
+#include "net/fabric.h"
+
+namespace evostore::core::testing {
+
+struct ClusterEnv {
+  sim::Simulation sim;
+  net::Fabric fabric;
+  net::RpcSystem rpc;
+  std::vector<common::NodeId> provider_nodes;
+  common::NodeId worker;
+  std::unique_ptr<EvoStoreRepository> repo;
+
+  explicit ClusterEnv(int providers = 4, ProviderConfig config = {})
+      : fabric(sim,
+               net::FabricConfig{.latency = 1.5e-6, .local_latency = 2e-7}),
+        rpc(fabric) {
+    for (int i = 0; i < providers; ++i) {
+      provider_nodes.push_back(fabric.add_node(25e9, 25e9));
+    }
+    worker = fabric.add_node(25e9, 25e9);
+    repo = std::make_unique<EvoStoreRepository>(rpc, provider_nodes, config);
+  }
+
+  Client& client() { return repo->client(worker); }
+
+  template <typename T>
+  T run(sim::CoTask<T> task) {
+    return sim.run_until_complete(std::move(task));
+  }
+};
+
+/// Chain graph: input(width) + `layers` dense layers; the last
+/// `mutated_tail` dense layers get distinct widths (controlled divergence).
+inline model::ArchGraph chain_graph(int layers, int64_t width,
+                                    int mutated_tail = 0,
+                                    int64_t tail_salt = 7) {
+  std::vector<model::LayerDef> defs;
+  defs.push_back(model::make_input(width));
+  for (int i = 0; i < layers; ++i) {
+    int64_t w = (i >= layers - mutated_tail) ? width + tail_salt + i : width;
+    defs.push_back(model::make_dense(width, w));
+  }
+  auto g = model::ArchGraph::flatten(model::make_chain(std::move(defs)));
+  return std::move(g).value();
+}
+
+/// Chain graph from explicit widths: input(widths[0]) then dense layers
+/// widths[i-1] -> widths[i]. Lets tests shape exact divergence points.
+inline model::ArchGraph widths_graph(const std::vector<int64_t>& widths) {
+  std::vector<model::LayerDef> defs;
+  defs.push_back(model::make_input(widths[0]));
+  for (size_t i = 1; i < widths.size(); ++i) {
+    defs.push_back(model::make_dense(widths[i - 1], widths[i]));
+  }
+  auto g = model::ArchGraph::flatten(model::make_chain(std::move(defs)));
+  return std::move(g).value();
+}
+
+}  // namespace evostore::core::testing

@@ -1,0 +1,185 @@
+// Wire-protocol round trips: every message type must survive
+// serialize/deserialize bit-exactly, including edge cases (empty payloads,
+// error statuses, not-found responses).
+#include "core/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_env.h"
+
+namespace evostore::core::wire {
+namespace {
+
+using common::Bytes;
+using common::Deserializer;
+using common::ModelId;
+using common::SegmentKey;
+using common::Serializer;
+using core::testing::chain_graph;
+
+template <typename T>
+T round_trip(const T& in) {
+  Serializer s;
+  in.serialize(s);
+  Deserializer d(s.data());
+  T out = T::deserialize(d);
+  EXPECT_TRUE(d.finish().ok()) << d.status().to_string();
+  return out;
+}
+
+TEST(Wire, StatusHelpers) {
+  Serializer s;
+  serialize_status(s, common::Status::NotFound("gone"));
+  serialize_status(s, common::Status::Ok());
+  Deserializer d(s.data());
+  auto st1 = deserialize_status(d);
+  auto st2 = deserialize_status(d);
+  EXPECT_EQ(st1.code(), common::ErrorCode::kNotFound);
+  EXPECT_EQ(st1.message(), "gone");
+  EXPECT_TRUE(st2.ok());
+}
+
+TEST(Wire, SegmentKeyHelpers) {
+  Serializer s;
+  serialize_key(s, SegmentKey{ModelId::make(7, 9), 42});
+  Deserializer d(s.data());
+  auto k = deserialize_key(d);
+  EXPECT_EQ(k.owner, ModelId::make(7, 9));
+  EXPECT_EQ(k.vertex, 42u);
+}
+
+TEST(Wire, PutModelRequestFull) {
+  PutModelRequest req;
+  req.id = ModelId::make(1, 5);
+  req.ancestor = ModelId::make(1, 4);
+  req.quality = 0.875;
+  req.graph = chain_graph(4, 8);
+  req.owners = OwnerMap::self_owned(req.id, req.graph.size());
+  req.owners.set_entry(0, {req.ancestor, 0});
+  for (common::VertexId v = 1; v < req.graph.size(); ++v) {
+    req.new_segments.emplace_back(v, model::make_random_segment(req.graph, v, 3));
+  }
+  auto out = round_trip(req);
+  EXPECT_EQ(out.id, req.id);
+  EXPECT_EQ(out.ancestor, req.ancestor);
+  EXPECT_DOUBLE_EQ(out.quality, req.quality);
+  EXPECT_EQ(out.graph.graph_hash(), req.graph.graph_hash());
+  EXPECT_EQ(out.owners, req.owners);
+  ASSERT_EQ(out.new_segments.size(), req.new_segments.size());
+  for (size_t i = 0; i < out.new_segments.size(); ++i) {
+    EXPECT_EQ(out.new_segments[i].first, req.new_segments[i].first);
+    EXPECT_TRUE(out.new_segments[i].second.content_equals(
+        req.new_segments[i].second));
+  }
+}
+
+TEST(Wire, PutModelRequestEmptySegments) {
+  // The Fig.-5 metadata-only population path.
+  PutModelRequest req;
+  req.id = ModelId::make(2, 1);
+  req.graph = chain_graph(3, 8);
+  req.owners = OwnerMap::self_owned(req.id, req.graph.size());
+  auto out = round_trip(req);
+  EXPECT_TRUE(out.new_segments.empty());
+  EXPECT_FALSE(out.ancestor.valid());
+}
+
+TEST(Wire, PutModelResponse) {
+  PutModelResponse resp;
+  resp.status = common::Status::AlreadyExists("dup");
+  resp.store_seq = 99;
+  auto out = round_trip(resp);
+  EXPECT_EQ(out.status.code(), common::ErrorCode::kAlreadyExists);
+  EXPECT_EQ(out.store_seq, 99u);
+}
+
+TEST(Wire, GetMetaFoundAndNotFound) {
+  GetMetaResponse found;
+  found.found = true;
+  found.graph = chain_graph(3, 8);
+  found.owners = OwnerMap::self_owned(ModelId::make(1, 1), found.graph.size());
+  found.quality = 0.5;
+  found.ancestor = ModelId::make(1, 7);
+  found.store_time = 12.25;
+  found.store_seq = 3;
+  auto out = round_trip(found);
+  EXPECT_TRUE(out.found);
+  EXPECT_DOUBLE_EQ(out.store_time, 12.25);
+  EXPECT_EQ(out.ancestor, ModelId::make(1, 7));
+
+  GetMetaResponse missing;  // found == false: nothing else on the wire
+  auto out2 = round_trip(missing);
+  EXPECT_FALSE(out2.found);
+}
+
+TEST(Wire, ReadSegmentsRequestResponse) {
+  ReadSegmentsRequest req;
+  req.keys.push_back({ModelId::make(1, 1), 0});
+  req.keys.push_back({ModelId::make(2, 9), 17});
+  auto rout = round_trip(req);
+  ASSERT_EQ(rout.keys.size(), 2u);
+  EXPECT_EQ(rout.keys[1].vertex, 17u);
+
+  ReadSegmentsResponse resp;
+  resp.status = common::Status::Ok();
+  auto g = chain_graph(2, 8);
+  resp.segments.push_back(model::make_random_segment(g, 1, 5));
+  resp.payload_bytes = resp.segments[0].nbytes();
+  auto sout = round_trip(resp);
+  ASSERT_EQ(sout.segments.size(), 1u);
+  EXPECT_TRUE(sout.segments[0].content_equals(resp.segments[0]));
+  EXPECT_EQ(sout.payload_bytes, resp.payload_bytes);
+}
+
+TEST(Wire, ModifyRefs) {
+  ModifyRefsRequest req;
+  req.increment = false;
+  req.keys.push_back({ModelId::make(3, 3), 5});
+  auto out = round_trip(req);
+  EXPECT_FALSE(out.increment);
+  ASSERT_EQ(out.keys.size(), 1u);
+
+  ModifyRefsResponse resp;
+  resp.status = common::Status::NotFound("2 segment(s) missing");
+  resp.missing = 2;
+  resp.freed_bytes = 4096;
+  auto rout = round_trip(resp);
+  EXPECT_EQ(rout.missing, 2u);
+  EXPECT_EQ(rout.freed_bytes, 4096u);
+}
+
+TEST(Wire, RetireMessages) {
+  auto req = round_trip(RetireRequest{ModelId::make(4, 2)});
+  EXPECT_EQ(req.id, ModelId::make(4, 2));
+
+  RetireResponse resp;
+  resp.status = common::Status::Ok();
+  resp.owners = OwnerMap::self_owned(ModelId::make(4, 2), 6);
+  auto rout = round_trip(resp);
+  EXPECT_EQ(rout.owners, resp.owners);
+}
+
+TEST(Wire, LcpQueryMessages) {
+  LcpQueryRequest req;
+  req.graph = chain_graph(5, 16);
+  auto rout = round_trip(req);
+  EXPECT_EQ(rout.graph.graph_hash(), req.graph.graph_hash());
+
+  LcpQueryResponse resp;
+  resp.found = true;
+  resp.ancestor = ModelId::make(1, 2);
+  resp.quality = 0.9;
+  resp.matches = {{0, 0}, {1, 3}, {2, 2}};
+  auto out = round_trip(resp);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.matches, resp.matches);
+  EXPECT_EQ(out.lcp_len(), 3u);
+
+  LcpQueryResponse nothing;
+  auto out2 = round_trip(nothing);
+  EXPECT_FALSE(out2.found);
+  EXPECT_EQ(out2.lcp_len(), 0u);
+}
+
+}  // namespace
+}  // namespace evostore::core::wire

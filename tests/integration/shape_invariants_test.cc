@@ -1,0 +1,183 @@
+// Miniature shape invariants of the paper's headline results, asserted as
+// tests so regressions in the cost models or the repository logic that
+// would silently bend the figures fail CI instead.
+#include <gtest/gtest.h>
+
+#include "baseline/hdf5_pfs.h"
+#include "sim/sync.h"
+#include "tests/core/test_env.h"
+#include "workload/arch_generator.h"
+#include "workload/deepspace.h"
+
+namespace evostore {
+namespace {
+
+using common::NodeId;
+using core::testing::ClusterEnv;
+
+// Fig. 4 shape: partial writes scale inversely with the modified fraction.
+TEST(ShapeInvariants, PartialWriteTimeScalesWithModifiedFraction) {
+  workload::ArchGenConfig gen;
+  gen.total_bytes = 64ull << 20;
+  gen.leaf_layers = 40;
+  auto graph = workload::generate_chain(gen);
+
+  auto timed_write = [&](int frozen_layers) {
+    ClusterEnv env(2);
+    auto& client = env.client();
+    auto base = workload::make_base_model(env.repo->allocate_id(), graph, 1);
+    auto setup = [&]() -> sim::CoTask<common::Status> {
+      co_return co_await client.put_model(base, nullptr);
+    };
+    EXPECT_TRUE(env.run(setup()).ok());
+    auto owners = core::OwnerMap::self_owned(base.id(), graph.size());
+    auto derived = workload::derive_partial(env.repo->allocate_id(), base,
+                                            owners, frozen_layers, 2);
+    double t0 = env.sim.now();
+    auto write = [&]() -> sim::CoTask<common::Status> {
+      co_return co_await client.put_model(derived.model, &derived.transfer);
+    };
+    EXPECT_TRUE(env.run(write()).ok());
+    return env.sim.now() - t0;
+  };
+
+  double t100 = timed_write(0);    // all modified
+  double t50 = timed_write(20);    // half modified
+  double t25 = timed_write(30);    // quarter modified
+  EXPECT_NEAR(t100 / t50, 2.0, 0.3);
+  EXPECT_NEAR(t100 / t25, 4.0, 0.8);
+}
+
+// Fig. 5 shape: the provider-side collective query beats the centralized
+// scan even with one worker, on identical catalogs.
+TEST(ShapeInvariants, CollectiveQueryBeatsCentralizedScan) {
+  workload::DeepSpace space;
+  common::Xoshiro256 rng(5);
+  std::vector<workload::DeepSpaceSeq> catalog;
+  for (int i = 0; i < 300; ++i) catalog.push_back(space.random(rng));
+  auto query_graph = space.decode_graph(space.mutate(catalog[7], rng));
+
+  // EvoStore: 4 providers.
+  double evo_latency = 0;
+  {
+    ClusterEnv env(4);
+    auto& client = env.client();
+    auto populate = [&]() -> sim::CoTask<void> {
+      for (const auto& seq : catalog) {
+        model::Model m(env.repo->allocate_id(), space.decode_graph(seq));
+        m.set_quality(0.5);
+        (void)co_await client.put_model(m, nullptr);
+      }
+    };
+    env.run(populate());
+    double t0 = env.sim.now();
+    auto q = env.run(client.query_lcp(query_graph));
+    ASSERT_TRUE(q.ok() && q->found);
+    evo_latency = env.sim.now() - t0;
+  }
+  // Redis-Queries on one node.
+  double redis_latency = 0;
+  {
+    sim::Simulation sim;
+    net::Fabric fabric(sim);
+    net::RpcSystem rpc(fabric);
+    auto server = fabric.add_node(25e9, 25e9);
+    auto client_node = fabric.add_node(25e9, 25e9);
+    baseline::RedisQueries redis(rpc, server);
+    auto populate = [&]() -> sim::CoTask<void> {
+      uint32_t next = 1;
+      for (const auto& seq : catalog) {
+        auto id = common::ModelId::make(7, next++);
+        auto add = co_await redis.begin_add(client_node, id,
+                                            space.decode_graph(seq), 0.5);
+        if (add.need_weights) (void)co_await redis.finish_add(client_node, id);
+      }
+    };
+    sim.run_until_complete(populate());
+    double t0 = sim.now();
+    auto query = [&]() -> sim::CoTask<void> {
+      auto q = co_await redis.query(client_node, query_graph);
+      EXPECT_TRUE(q.ok() && q->found);
+    };
+    sim.run_until_complete(query());
+    redis_latency = sim.now() - t0;
+  }
+  EXPECT_GT(redis_latency, 5.0 * evo_latency);
+}
+
+// Fig. 10 shape: with NAS-like derivation streams, EvoStore's stored bytes
+// stay far below per-model full copies.
+TEST(ShapeInvariants, DedupFactorOnDerivationStream) {
+  ClusterEnv env(4);
+  auto& client = env.client();
+  workload::DeepSpace space;
+  common::Xoshiro256 rng(9);
+  auto seq = space.random(rng);
+  size_t full_bytes = 0;
+  for (int gen = 0; gen < 20; ++gen) {
+    auto g = space.decode_graph(seq);
+    auto prep = env.run(client.prepare_transfer(g, true));
+    ASSERT_TRUE(prep.ok());
+    model::Model m = model::Model::random(env.repo->allocate_id(), g,
+                                          static_cast<uint64_t>(gen));
+    const core::TransferContext* tc = nullptr;
+    if (prep->has_value()) {
+      auto& ctx = prep->value();
+      for (size_t i = 0; i < ctx.matches.size(); ++i) {
+        m.segment(ctx.matches[i].first) = ctx.prefix_segments[i];
+      }
+      tc = &ctx;
+    }
+    m.set_quality(0.5);
+    auto store = [&]() -> sim::CoTask<common::Status> {
+      co_return co_await client.put_model(m, tc);
+    };
+    ASSERT_TRUE(env.run(store()).ok());
+    full_bytes += m.total_bytes();
+    seq = space.mutate(seq, rng);
+  }
+  double factor = static_cast<double>(full_bytes) /
+                  static_cast<double>(env.repo->stored_payload_bytes());
+  EXPECT_GT(factor, 2.0);
+}
+
+// Fig. 8 shape: EvoStore's repository interactions stay a tiny share of a
+// training-dominated workflow.
+TEST(ShapeInvariants, RepositoryOverheadIsSmallShareOfTraining) {
+  ClusterEnv env(4);
+  auto& client = env.client();
+  workload::ArchGenConfig gen;
+  gen.total_bytes = 128ull << 20;
+  gen.leaf_layers = 50;
+  auto graph = workload::generate_chain(gen);
+  auto base = workload::make_base_model(env.repo->allocate_id(), graph, 1);
+  auto setup = [&]() -> sim::CoTask<common::Status> {
+    co_return co_await client.put_model(base, nullptr);
+  };
+  ASSERT_TRUE(env.run(setup()).ok());
+
+  double io_seconds = 0;
+  constexpr double kTrainSeconds = 45.0;
+  auto one_task = [&]() -> sim::CoTask<void> {
+    double t0 = env.sim.now();
+    auto prep = co_await client.prepare_transfer(graph, true);
+    EXPECT_TRUE(prep.ok() && prep->has_value());
+    if (!prep.ok() || !prep->has_value()) co_return;
+    io_seconds += env.sim.now() - t0;
+    co_await env.sim.delay(kTrainSeconds);
+    auto& ctx = prep->value();
+    model::Model m = model::Model::random(env.repo->allocate_id(), graph, 3);
+    for (size_t i = 0; i < ctx.matches.size(); ++i) {
+      m.segment(ctx.matches[i].first) = ctx.prefix_segments[i];
+    }
+    m.set_quality(0.6);
+    t0 = env.sim.now();
+    (void)co_await client.put_model(m, &ctx);
+    io_seconds += env.sim.now() - t0;
+  };
+  env.run(one_task());
+  EXPECT_LT(io_seconds / kTrainSeconds, 0.02);  // paper: < 2%
+}
+
+}  // namespace
+}  // namespace evostore

@@ -1,0 +1,140 @@
+#include "model/architecture.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace evostore::model {
+namespace {
+
+TEST(Architecture, EmptyIsInvalid) {
+  Architecture arch;
+  EXPECT_FALSE(arch.validate().ok());
+}
+
+TEST(Architecture, SingleLayerIsValid) {
+  Architecture arch;
+  arch.add_layer(make_input(8));
+  EXPECT_TRUE(arch.validate().ok());
+  EXPECT_EQ(arch.leaf_count(), 1u);
+}
+
+TEST(Architecture, ChainHelper) {
+  Architecture arch = make_chain({make_input(8), make_dense(8, 4),
+                                  make_activation(0)});
+  EXPECT_TRUE(arch.validate().ok());
+  EXPECT_EQ(arch.node_count(), 3u);
+  EXPECT_EQ(arch.edges().size(), 2u);
+}
+
+TEST(Architecture, TwoRootsInvalid) {
+  Architecture arch;
+  auto a = arch.add_layer(make_input(8));
+  auto b = arch.add_layer(make_input(8));
+  auto c = arch.add_layer(make_add());
+  arch.connect(a, c);
+  arch.connect(b, c);
+  EXPECT_FALSE(arch.validate().ok());
+}
+
+TEST(Architecture, CycleDetected) {
+  Architecture arch;
+  auto a = arch.add_layer(make_input(8));
+  auto b = arch.add_layer(make_dense(8, 8));
+  auto c = arch.add_layer(make_dense(8, 8));
+  arch.connect(a, b);
+  arch.connect(b, c);
+  arch.connect(c, b);  // cycle b <-> c
+  EXPECT_FALSE(arch.validate().ok());
+}
+
+TEST(Architecture, SelfEdgeInvalid) {
+  Architecture arch;
+  auto a = arch.add_layer(make_input(8));
+  arch.connect(a, a);
+  EXPECT_FALSE(arch.validate().ok());
+}
+
+TEST(Architecture, EdgeOutOfRangeInvalid) {
+  Architecture arch;
+  auto a = arch.add_layer(make_input(8));
+  arch.connect(a, 5);
+  EXPECT_FALSE(arch.validate().ok());
+}
+
+TEST(Architecture, BranchAndJoinValid) {
+  Architecture arch;
+  auto in = arch.add_layer(make_input(8));
+  auto l = arch.add_layer(make_dense(8, 8));
+  auto r = arch.add_layer(make_dense(8, 8));
+  auto add = arch.add_layer(make_add());
+  arch.connect(in, l);
+  arch.connect(in, r);
+  arch.connect(l, add);
+  arch.connect(r, add);
+  EXPECT_TRUE(arch.validate().ok());
+}
+
+std::shared_ptr<Architecture> small_submodel() {
+  auto sub = std::make_shared<Architecture>();
+  auto a = sub->add_layer(make_dense(8, 16));
+  auto b = sub->add_layer(make_dense(16, 8));
+  sub->connect(a, b);
+  return sub;
+}
+
+TEST(Architecture, SubmodelValidAndCounted) {
+  Architecture arch;
+  auto in = arch.add_layer(make_input(8));
+  auto sub = arch.add_submodel(small_submodel(), "block");
+  auto out = arch.add_layer(make_output(8, 2));
+  arch.connect(in, sub);
+  arch.connect(sub, out);
+  ASSERT_TRUE(arch.validate().ok());
+  EXPECT_EQ(arch.leaf_count(), 4u);  // input + 2 sub leaves + output
+  EXPECT_FALSE(arch.is_leaf(sub));
+  EXPECT_EQ(arch.label(sub), "block");
+  EXPECT_EQ(arch.submodel(sub).node_count(), 2u);
+}
+
+TEST(Architecture, NestedSubmodels) {
+  auto inner = small_submodel();
+  auto outer = std::make_shared<Architecture>();
+  auto pre = outer->add_layer(make_layer_norm(8));
+  auto mid = outer->add_submodel(inner);
+  outer->connect(pre, mid);
+
+  Architecture arch;
+  auto in = arch.add_layer(make_input(8));
+  auto sub = arch.add_submodel(outer);
+  arch.connect(in, sub);
+  ASSERT_TRUE(arch.validate().ok());
+  EXPECT_EQ(arch.leaf_count(), 4u);  // input + layer_norm + 2 inner leaves
+}
+
+TEST(Architecture, MultiSinkSubmodelInvalid) {
+  auto sub = std::make_shared<Architecture>();
+  auto a = sub->add_layer(make_dense(8, 8));
+  auto b = sub->add_layer(make_dense(8, 8));
+  auto c = sub->add_layer(make_dense(8, 8));
+  sub->connect(a, b);
+  sub->connect(a, c);  // two sinks
+
+  Architecture arch;
+  auto in = arch.add_layer(make_input(8));
+  auto s = arch.add_submodel(sub);
+  arch.connect(in, s);
+  EXPECT_FALSE(arch.validate().ok());
+}
+
+TEST(Architecture, InvalidSubmodelPropagates) {
+  auto sub = std::make_shared<Architecture>();  // empty => invalid
+  Architecture arch;
+  auto in = arch.add_layer(make_input(8));
+  auto s = arch.add_submodel(sub);
+  arch.connect(in, s);
+  EXPECT_FALSE(arch.validate().ok());
+}
+
+}  // namespace
+}  // namespace evostore::model

@@ -1,0 +1,107 @@
+#include "model/json.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/deepspace.h"
+
+namespace evostore::model {
+namespace {
+
+ArchGraph sample_graph() {
+  auto g = ArchGraph::flatten(make_chain(
+      {make_input(8), make_dense(8, 16), make_activation(1),
+       make_dropout(0.25), make_output(16, 2)}));
+  return std::move(g).value();
+}
+
+TEST(Json, RoundTripPreservesIdentity) {
+  auto g = sample_graph();
+  std::string doc = to_json(g);
+  auto back = from_json(doc);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->graph_hash(), g.graph_hash());
+  EXPECT_EQ(back->size(), g.size());
+  EXPECT_EQ(back->edge_count(), g.edge_count());
+}
+
+TEST(Json, OutputIsCanonical) {
+  auto g = sample_graph();
+  EXPECT_EQ(to_json(g), to_json(g));
+  std::string doc = to_json(g);
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_EQ(doc.back(), '}');
+  EXPECT_NE(doc.find("\"kind\":\"input\""), std::string::npos);
+  EXPECT_NE(doc.find("\"edges\":[[0,1]"), std::string::npos);
+}
+
+TEST(Json, NamesAndEscapesSurvive) {
+  Architecture arch;
+  auto in = arch.add_layer(make_input(4));
+  LayerDef weird = make_dense(4, 4);
+  weird.set_name("layer \"quoted\"\nwith\tescapes\\");
+  auto d = arch.add_layer(weird);
+  arch.connect(in, d);
+  auto g = std::move(ArchGraph::flatten(arch)).value();
+  auto back = from_json(to_json(g));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->def(1).name(), weird.name());
+  EXPECT_EQ(back->graph_hash(), g.graph_hash());
+}
+
+TEST(Json, WhitespaceTolerantInput) {
+  auto r = from_json(R"( {
+    "layers" : [
+      { "kind" : "input" , "params" : { "dim" : 8 } } ,
+      { "kind" : "dense" , "params" : { "in": 8, "out": 4, "bias": 1 } }
+    ] ,
+    "edges" : [ [ 0 , 1 ] ]
+  } )");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(r->def(1).get_int("out"), 4);
+  EXPECT_EQ(r->in_degree(1), 1u);
+}
+
+TEST(Json, FloatParamsPreserved) {
+  auto r = from_json(
+      R"({"layers":[{"kind":"dense","params":{"in":2,"out":2,"scale":0.125}}],"edges":[]})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->def(0).get_float("scale"), 0.125);
+  EXPECT_EQ(r->def(0).get_int("in"), 2);  // integral numbers become ints
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(from_json("").ok());
+  EXPECT_FALSE(from_json("{").ok());
+  EXPECT_FALSE(from_json("[]").ok());
+  EXPECT_FALSE(from_json(R"({"edges":[]})").ok());  // layers required
+  EXPECT_FALSE(from_json(R"({"layers":[{"kind":"flux-capacitor","params":{}}],"edges":[]})").ok());
+  EXPECT_FALSE(from_json(R"({"layers":[{"params":{}}],"edges":[]})").ok());
+  EXPECT_FALSE(
+      from_json(R"({"layers":[{"kind":"input","params":{}}],"edges":[[0,9]]})")
+          .ok());  // edge out of range
+  EXPECT_FALSE(from_json(R"({"layers":[],"edges":[]} trailing)").ok());
+}
+
+TEST(Json, DeepSpacePopulationRoundTrips) {
+  workload::DeepSpace space;
+  common::Xoshiro256 rng(3);
+  for (int i = 0; i < 40; ++i) {
+    auto g = space.decode_graph(space.random(rng));
+    auto back = from_json(to_json(g));
+    ASSERT_TRUE(back.ok()) << "iteration " << i;
+    EXPECT_EQ(back->graph_hash(), g.graph_hash()) << "iteration " << i;
+  }
+}
+
+TEST(Json, SignatureEquivalenceAfterRoundTrip) {
+  // LCP matching depends on canonical signatures: they must survive JSON.
+  auto g = sample_graph();
+  auto back = std::move(from_json(to_json(g))).value();
+  for (common::VertexId v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(back.signature(v), g.signature(v)) << v;
+  }
+}
+
+}  // namespace
+}  // namespace evostore::model

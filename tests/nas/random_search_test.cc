@@ -1,0 +1,133 @@
+// Pure random search (sample_size == 0), the paper's §2 baseline strategy:
+// candidates are uniform samples; population bookkeeping and retirement
+// still function; evolution must beat it on a climbable landscape.
+#include <gtest/gtest.h>
+
+#include "nas/attn_space.h"
+#include "nas/evolution.h"
+#include "nas/runner.h"
+#include "nas/training_model.h"
+
+namespace evostore::nas {
+namespace {
+
+using common::ModelId;
+
+TEST(RandomSearch, NeverMutatesFromPopulation) {
+  AttnSearchSpace space;
+  common::Xoshiro256 rng(1);
+  AgedEvolution evo(space, {.population_cap = 4, .sample_size = 0,
+                            .total_candidates = 200},
+                    7);
+  // Fill population with one known sequence; random search must not emit
+  // 1-mutation neighbours of it systematically.
+  CandidateSeq anchor = space.random(rng);
+  for (int i = 0; i < 4; ++i) {
+    (void)evo.next();
+    (void)evo.report({anchor, 0.99, ModelId::invalid(), 1.0});
+  }
+  int near_anchor = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto seq = evo.next();
+    int diffs = 0;
+    for (size_t p = 0; p < seq.size(); ++p) diffs += (seq[p] != anchor[p]);
+    if (diffs <= 1) ++near_anchor;
+  }
+  EXPECT_EQ(near_anchor, 0);  // uniform samples are never that close
+}
+
+TEST(RandomSearch, RetirementStillWorks) {
+  AttnSearchSpace space;
+  common::Xoshiro256 rng(2);
+  AgedEvolution evo(space, {.population_cap = 3, .sample_size = 0,
+                            .total_candidates = 100},
+                    7);
+  std::vector<ModelId> retired;
+  for (uint32_t i = 1; i <= 6; ++i) {
+    (void)evo.next();
+    auto r = evo.report({space.random(rng), 0.5, ModelId::make(1, i), 1.0});
+    retired.insert(retired.end(), r.begin(), r.end());
+  }
+  EXPECT_EQ(retired.size(), 3u);
+  EXPECT_EQ(evo.population().size(), 3u);
+}
+
+TEST(RandomSearch, EvolutionBeatsRandomOnSmoothLandscape) {
+  AttnSearchSpace space;
+  TrainingModel tm(space, 42);
+  auto run = [&](size_t sample_size) {
+    AgedEvolution evo(space, {.population_cap = 64, .sample_size = sample_size,
+                              .total_candidates = 600},
+                      11);
+    double best = 0;
+    while (!evo.exhausted()) {
+      auto seq = evo.next();
+      double q = tm.quality(seq);
+      best = std::max(best, q);
+      (void)evo.report({std::move(seq), q, ModelId::invalid(), 1.0});
+    }
+    return best;
+  };
+  double random_best = run(0);
+  double evolved_best = run(10);
+  EXPECT_GT(evolved_best, random_best + 0.02);
+}
+
+TEST(RandomSearch, RunnerSupportsRandomStrategy) {
+  sim::Simulation sim;
+  net::Fabric fabric(sim);
+  net::RpcSystem rpc(fabric);
+  auto controller = fabric.add_node(25e9, 25e9);
+  std::vector<common::NodeId> workers;
+  std::vector<common::NodeId> providers;
+  for (int n = 0; n < 2; ++n) {
+    auto node = fabric.add_node(25e9, 25e9);
+    providers.push_back(node);
+    for (int w = 0; w < 4; ++w) workers.push_back(node);
+  }
+  core::EvoStoreRepository repo(rpc, providers);
+  AttnSearchSpace space;
+  NasConfig cfg;
+  cfg.total_candidates = 40;
+  cfg.population_cap = 10;
+  cfg.sample_size = 0;  // random search
+  cfg.seed = 5;
+  auto r = run_nas(sim, fabric, space, &repo, workers, controller, cfg);
+  EXPECT_EQ(r.traces.size(), 40u);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(ZeroCostProxy, TrainFractionShrinksTrainingTime) {
+  auto run_with = [](double fraction) {
+    sim::Simulation sim;
+    net::Fabric fabric(sim);
+    net::RpcSystem rpc(fabric);
+    auto controller = fabric.add_node(25e9, 25e9);
+    std::vector<common::NodeId> workers;
+    std::vector<common::NodeId> providers;
+    auto node = fabric.add_node(25e9, 25e9);
+    providers.push_back(node);
+    for (int w = 0; w < 4; ++w) workers.push_back(node);
+    core::EvoStoreRepository repo(rpc, providers);
+    AttnSearchSpace space;
+    NasConfig cfg;
+    cfg.total_candidates = 24;
+    cfg.population_cap = 8;
+    cfg.sample_size = 4;
+    cfg.seed = 5;
+    cfg.train_fraction = fraction;
+    return run_nas(sim, fabric, space, &repo, workers, controller, cfg);
+  };
+  auto full = run_with(1.0);
+  auto proxy = run_with(0.1);
+  EXPECT_LT(proxy.total_train_seconds, full.total_train_seconds * 0.2);
+  // I/O share of the workflow rises as training shrinks (paper §6).
+  double share_full = full.total_io_seconds /
+                      (full.total_io_seconds + full.total_train_seconds);
+  double share_proxy = proxy.total_io_seconds /
+                       (proxy.total_io_seconds + proxy.total_train_seconds);
+  EXPECT_GT(share_proxy, share_full);
+}
+
+}  // namespace
+}  // namespace evostore::nas

@@ -1,0 +1,171 @@
+#include "nas/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "nas/attn_space.h"
+
+namespace evostore::nas {
+namespace {
+
+using common::NodeId;
+
+struct NasEnv {
+  sim::Simulation sim;
+  net::Fabric fabric;
+  net::RpcSystem rpc;
+  NodeId controller;
+  std::vector<NodeId> workers;
+  std::vector<NodeId> provider_nodes;
+  std::unique_ptr<core::EvoStoreRepository> repo;
+  AttnSearchSpace space;
+
+  explicit NasEnv(int n_workers, int workers_per_node = 4)
+      : fabric(sim, net::FabricConfig{}), rpc(fabric) {
+    controller = fabric.add_node(25e9, 25e9, "controller");
+    int nodes = (n_workers + workers_per_node - 1) / workers_per_node;
+    for (int n = 0; n < nodes; ++n) {
+      NodeId node = fabric.add_node(25e9, 25e9);
+      provider_nodes.push_back(node);
+      for (int w = 0; w < workers_per_node && (int)workers.size() < n_workers;
+           ++w) {
+        workers.push_back(node);  // 4 workers share the node (paper setup)
+      }
+    }
+    repo = std::make_unique<core::EvoStoreRepository>(rpc, provider_nodes);
+  }
+
+  static NasConfig small_config(size_t candidates = 60) {
+    NasConfig cfg;
+    cfg.total_candidates = candidates;
+    cfg.population_cap = 16;
+    cfg.sample_size = 4;
+    cfg.seed = 42;
+    return cfg;
+  }
+};
+
+TEST(NasRunner, CompletesAllCandidatesNoTransfer) {
+  NasEnv env(8);
+  auto cfg = NasEnv::small_config();
+  cfg.use_transfer = false;
+  auto result = run_nas(env.sim, env.fabric, env.space, nullptr, env.workers,
+                        env.controller, cfg);
+  EXPECT_EQ(result.approach, "DH-NoTransfer");
+  EXPECT_EQ(result.traces.size(), cfg.total_candidates);
+  EXPECT_EQ(result.accuracy_over_time.size(), cfg.total_candidates);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_EQ(result.transfers, 0u);
+  EXPECT_GT(result.best_accuracy, 0.7);
+}
+
+TEST(NasRunner, TransferRunStoresAndRetires) {
+  NasEnv env(8);
+  auto cfg = NasEnv::small_config();
+  auto result = run_nas(env.sim, env.fabric, env.space, env.repo.get(),
+                        env.workers, env.controller, cfg);
+  EXPECT_EQ(result.approach, "EvoStore");
+  EXPECT_EQ(result.traces.size(), cfg.total_candidates);
+  // Population cap 16 of 60 candidates -> >= 40 retirements.
+  EXPECT_GE(result.retired, cfg.total_candidates - cfg.population_cap - 4);
+  // Live models bounded by population cap (plus in-flight slack).
+  EXPECT_LE(env.repo->total_models(), cfg.population_cap + 8);
+  // Transfers happened and carried meaningful prefixes.
+  EXPECT_GT(result.transfers, cfg.total_candidates / 4);
+  EXPECT_GT(result.mean_lcp_fraction, 0.1);
+}
+
+TEST(NasRunner, TransferImprovesAccuracyAndTimeToTarget) {
+  NasEnv env_a(16);
+  auto cfg = NasEnv::small_config(120);
+  cfg.use_transfer = false;
+  auto no_transfer = run_nas(env_a.sim, env_a.fabric, env_a.space, nullptr,
+                             env_a.workers, env_a.controller, cfg);
+  NasEnv env_b(16);
+  cfg.use_transfer = true;
+  auto with_transfer = run_nas(env_b.sim, env_b.fabric, env_b.space,
+                               env_b.repo.get(), env_b.workers,
+                               env_b.controller, cfg);
+  // Same controller seed, same candidate count: transfer must help on
+  // average accuracy (it adds inherited experience on top of quality).
+  EXPECT_GT(with_transfer.mean_accuracy, no_transfer.mean_accuracy);
+  double threshold = 0.86;
+  double t_nt = no_transfer.time_to(threshold);
+  double t_tr = with_transfer.time_to(threshold);
+  if (t_nt > 0 && t_tr > 0) {
+    EXPECT_LE(t_tr, t_nt * 1.3);
+  }
+}
+
+TEST(NasRunner, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    NasEnv env(8);
+    auto cfg = NasEnv::small_config(40);
+    return run_nas(env.sim, env.fabric, env.space, env.repo.get(), env.workers,
+                   env.controller, cfg);
+  };
+  auto r1 = run_once();
+  auto r2 = run_once();
+  ASSERT_EQ(r1.traces.size(), r2.traces.size());
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+  EXPECT_DOUBLE_EQ(r1.best_accuracy, r2.best_accuracy);
+  for (size_t i = 0; i < r1.traces.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.traces[i].start, r2.traces[i].start);
+    EXPECT_DOUBLE_EQ(r1.traces[i].accuracy, r2.traces[i].accuracy);
+  }
+}
+
+TEST(NasRunner, TracesAreWellFormed) {
+  NasEnv env(4);
+  auto cfg = NasEnv::small_config(24);
+  auto result = run_nas(env.sim, env.fabric, env.space, env.repo.get(),
+                        env.workers, env.controller, cfg);
+  for (const auto& t : result.traces) {
+    EXPECT_GE(t.worker, 0);
+    EXPECT_LT(t.worker, 4);
+    EXPECT_LT(t.start, t.finish);
+    EXPECT_GT(t.train_seconds, 0.0);
+    EXPECT_GE(t.io_seconds, 0.0);
+    EXPECT_GT(t.accuracy, 0.0);
+    EXPECT_LE(t.lcp_fraction, 1.0);
+  }
+  EXPECT_GT(result.mean_task_seconds, 0.0);
+}
+
+TEST(NasRunner, MoreWorkersShortenMakespan) {
+  auto run_with = [](int workers) {
+    NasEnv env(workers);
+    auto cfg = NasEnv::small_config(96);
+    cfg.use_transfer = false;
+    return run_nas(env.sim, env.fabric, env.space, nullptr, env.workers,
+                   env.controller, cfg);
+  };
+  auto r8 = run_with(8);
+  auto r32 = run_with(32);
+  EXPECT_LT(r32.makespan, r8.makespan * 0.5);
+}
+
+TEST(NasRunner, FrozenFractionReducesTrainTime) {
+  NasEnv env(8);
+  auto cfg = NasEnv::small_config(80);
+  auto result = run_nas(env.sim, env.fabric, env.space, env.repo.get(),
+                        env.workers, env.controller, cfg);
+  // Among traces, significant transfers should correlate with shorter
+  // normalized training (coarse check: mean train time of high-lcp tasks is
+  // below mean of no-transfer tasks with similar sizes).
+  double frozen_sum = 0, frozen_n = 0, scratch_sum = 0, scratch_n = 0;
+  for (const auto& t : result.traces) {
+    if (t.lcp_fraction > 0.5) {
+      frozen_sum += t.train_seconds;
+      ++frozen_n;
+    } else if (t.lcp_fraction == 0.0) {
+      scratch_sum += t.train_seconds;
+      ++scratch_n;
+    }
+  }
+  if (frozen_n > 4 && scratch_n > 4) {
+    EXPECT_LT(frozen_sum / frozen_n, scratch_sum / scratch_n);
+  }
+}
+
+}  // namespace
+}  // namespace evostore::nas

@@ -1,0 +1,152 @@
+#include "nas/search_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nas/attn_space.h"
+
+namespace evostore::nas {
+namespace {
+
+TEST(AttnSpace, ShapeAndChoices) {
+  AttnSearchSpace space;
+  EXPECT_EQ(space.positions(), 30u);  // 10 cells x 3 fields
+  for (size_t p = 0; p < space.positions(); ++p) {
+    switch (p % 3) {
+      case 0: EXPECT_EQ(space.choices_at(p), 3); break;
+      case 1: EXPECT_EQ(space.choices_at(p), 6); break;
+      default: EXPECT_EQ(space.choices_at(p), 3); break;
+    }
+  }
+}
+
+TEST(AttnSpace, CardinalityMatchesPaperRegime) {
+  // 54^10 = 2.1e17; the paper's ATTN space has 3.1e17 candidates.
+  AttnSearchSpace space;
+  double log10_card = space.cardinality_log10();
+  EXPECT_NEAR(log10_card, 10.0 * std::log10(54.0), 1e-9);
+  EXPECT_GT(log10_card, 17.0);
+  EXPECT_LT(log10_card, 18.0);
+}
+
+TEST(AttnSpace, RandomSequencesAreInRange) {
+  AttnSearchSpace space;
+  common::Xoshiro256 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    auto seq = space.random(rng);
+    ASSERT_EQ(seq.size(), space.positions());
+    for (size_t p = 0; p < seq.size(); ++p) {
+      EXPECT_LT(seq[p], space.choices_at(p)) << "position " << p;
+    }
+  }
+}
+
+TEST(AttnSpace, DecodeAllBlockTypes) {
+  AttnSearchSpace space;
+  // Force each cell type in turn.
+  for (uint16_t type = 0; type < 3; ++type) {
+    CandidateSeq seq(space.positions(), 0);
+    for (int c = 0; c < AttnSearchSpace::kCells; ++c) {
+      seq[c * 3] = type;
+      seq[c * 3 + 1] = 1;
+    }
+    auto g = space.decode(seq);
+    EXPECT_GE(g.size(), 10u) << "type " << type;
+    EXPECT_EQ(g.def(0).get_int("dim"), AttnSearchSpace::kInputDim);
+    // BFS ids interleave around residual joins, so the head is not
+    // necessarily the last vertex — but exactly one output must exist.
+    int outputs = 0;
+    for (common::VertexId v = 0; v < g.size(); ++v) {
+      outputs += g.def(v).kind() == model::LayerKind::kOutput ? 1 : 0;
+    }
+    EXPECT_EQ(outputs, 1) << "type " << type;
+  }
+}
+
+TEST(AttnSpace, DecodeDeterministicAndChoiceSensitive) {
+  AttnSearchSpace space;
+  common::Xoshiro256 rng(2);
+  auto seq = space.random(rng);
+  EXPECT_EQ(space.decode(seq).graph_hash(), space.decode(seq).graph_hash());
+  auto mut = space.mutate(seq, rng);
+  EXPECT_NE(seq, mut);
+}
+
+TEST(AttnSpace, MutateChangesExactlyOnePosition) {
+  AttnSearchSpace space;
+  common::Xoshiro256 rng(3);
+  for (int i = 0; i < 50; ++i) {
+    auto seq = space.random(rng);
+    auto mut = space.mutate(seq, rng);
+    int diffs = 0;
+    for (size_t p = 0; p < seq.size(); ++p) diffs += (seq[p] != mut[p]);
+    EXPECT_EQ(diffs, 1);
+  }
+}
+
+TEST(AttnSpace, MutationsUsuallyPreservePrefix) {
+  // The property transfer learning depends on: a 1-choice mutation usually
+  // leaves a long common prefix with the parent.
+  AttnSearchSpace space;
+  common::Xoshiro256 rng(4);
+  double total_fraction = 0;
+  constexpr int kTrials = 30;
+  for (int i = 0; i < kTrials; ++i) {
+    auto seq = space.random(rng);
+    auto mut = space.mutate(seq, rng);
+    auto g = space.decode(seq);
+    auto gm = space.decode(mut);
+    // Count identical leading vertices as a cheap prefix proxy.
+    size_t common_prefix = 0;
+    size_t limit = std::min(g.size(), gm.size());
+    while (common_prefix < limit &&
+           g.signature(common_prefix) == gm.signature(common_prefix)) {
+      ++common_prefix;
+    }
+    total_fraction += static_cast<double>(common_prefix) /
+                      static_cast<double>(limit);
+  }
+  EXPECT_GT(total_fraction / kTrials, 0.3);
+}
+
+TEST(AttnSpace, ModelSizesAreRealistic) {
+  AttnSearchSpace space;
+  common::Xoshiro256 rng(5);
+  for (int i = 0; i < 10; ++i) {
+    auto g = space.decode(space.random(rng));
+    size_t bytes = g.total_param_bytes();
+    EXPECT_GT(bytes, 10ull << 20);   // > 10 MB
+    EXPECT_LT(bytes, 2ull << 30);    // < 2 GB
+  }
+}
+
+TEST(AttnSpace, DiversityOfRandomCandidates) {
+  AttnSearchSpace space;
+  common::Xoshiro256 rng(6);
+  std::set<common::Hash128> hashes;
+  for (int i = 0; i < 100; ++i) {
+    hashes.insert(space.decode(space.random(rng)).graph_hash());
+  }
+  EXPECT_GT(hashes.size(), 95u);
+}
+
+TEST(SearchSpace, MutateOnDegenerateSpace) {
+  // A space with single-choice positions cannot loop forever.
+  class OneChoice final : public SearchSpace {
+   public:
+    std::string name() const override { return "one"; }
+    size_t positions() const override { return 4; }
+    uint16_t choices_at(size_t) const override { return 1; }
+    model::ArchGraph decode(const CandidateSeq&) const override { return {}; }
+  };
+  OneChoice space;
+  common::Xoshiro256 rng(7);
+  auto seq = space.random(rng);
+  auto mut = space.mutate(seq, rng);
+  EXPECT_EQ(seq, mut);
+}
+
+}  // namespace
+}  // namespace evostore::nas

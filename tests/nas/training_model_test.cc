@@ -1,0 +1,193 @@
+#include "nas/training_model.h"
+
+#include <gtest/gtest.h>
+
+#include "nas/attn_space.h"
+
+namespace evostore::nas {
+namespace {
+
+struct Fixture {
+  AttnSearchSpace space;
+  TrainingModel model{space, /*landscape_seed=*/42};
+  common::Xoshiro256 rng{7};
+};
+
+TEST(TrainingModel, QualityIsDeterministic) {
+  Fixture f;
+  auto seq = f.space.random(f.rng);
+  EXPECT_DOUBLE_EQ(f.model.quality(seq), f.model.quality(seq));
+  TrainingModel same(f.space, 42);
+  EXPECT_DOUBLE_EQ(same.quality(seq), f.model.quality(seq));
+  TrainingModel other(f.space, 43);
+  EXPECT_NE(other.quality(seq), f.model.quality(seq));
+}
+
+TEST(TrainingModel, QualityBounded) {
+  Fixture f;
+  for (int i = 0; i < 300; ++i) {
+    double q = f.model.quality(f.space.random(f.rng));
+    EXPECT_GT(q, 0.2);
+    EXPECT_LT(q, 0.99);
+  }
+}
+
+TEST(TrainingModel, RandomQualityCentersNearPaperStart) {
+  // Random candidates should land well below the 0.80 "high quality" bar so
+  // that crossing it in Fig. 6 reflects evolutionary progress, not luck.
+  Fixture f;
+  double sum = 0;
+  constexpr int kN = 400;
+  for (int i = 0; i < kN; ++i) sum += f.model.quality(f.space.random(f.rng));
+  double mean = sum / kN;
+  EXPECT_GT(mean, 0.52);
+  EXPECT_LT(mean, 0.72);
+}
+
+TEST(TrainingModel, LandscapeIsSmoothUnderMutation) {
+  // Single-choice mutations move quality a little, not wildly — the
+  // property aged evolution needs to climb.
+  Fixture f;
+  double total_delta = 0;
+  constexpr int kN = 200;
+  for (int i = 0; i < kN; ++i) {
+    auto seq = f.space.random(f.rng);
+    auto mut = f.space.mutate(seq, f.rng);
+    total_delta += std::abs(f.model.quality(seq) - f.model.quality(mut));
+  }
+  EXPECT_LT(total_delta / kN, 0.03);
+}
+
+TEST(TrainingModel, HiddenOptimumIsNearQualityBest) {
+  // Greedy coordinate ascent should approach quality_best.
+  Fixture f;
+  auto seq = f.space.random(f.rng);
+  for (int rounds = 0; rounds < 3; ++rounds) {
+    for (size_t p = 0; p < f.space.positions(); ++p) {
+      auto best = seq;
+      double best_q = f.model.quality(seq);
+      for (uint16_t c = 0; c < f.space.choices_at(p); ++c) {
+        auto trial = seq;
+        trial[p] = c;
+        double q = f.model.quality(trial);
+        if (q > best_q) {
+          best_q = q;
+          best = trial;
+        }
+      }
+      seq = best;
+    }
+  }
+  EXPECT_GT(f.model.quality(seq), 0.93);
+}
+
+TEST(TrainingModel, AccuracyGrowsWithEffectiveEpochs) {
+  Fixture f;
+  auto seq = f.space.random(f.rng);
+  double a1 = f.model.accuracy(seq, 1.0);
+  double a2 = f.model.accuracy(seq, 2.0);
+  double a8 = f.model.accuracy(seq, 8.0);
+  EXPECT_LT(a1, a2);
+  EXPECT_LT(a2, a8);
+  EXPECT_LE(a8, f.model.quality(seq));
+  // One epoch from scratch reveals most of the quality.
+  EXPECT_GE(a1 / f.model.quality(seq), 0.94);
+}
+
+TEST(TrainingModel, EffectiveEpochsInheritance) {
+  Fixture f;
+  // No prefix -> no inheritance.
+  EXPECT_DOUBLE_EQ(f.model.effective_epochs(5.0, 0.0), 1.0);
+  // Half the parameters from an experienced ancestor.
+  double e = f.model.effective_epochs(4.0, 0.5);
+  EXPECT_NEAR(e, 3.0, 1e-9);
+  // Capped.
+  EXPECT_DOUBLE_EQ(f.model.effective_epochs(100.0, 1.0),
+                   f.model.config().max_experience);
+}
+
+TEST(TrainingModel, ExperienceAccumulatesAlongLineage) {
+  // Fixed point of e' = 1 + frac * e stays bounded and above 1.
+  Fixture f;
+  double e = 1.0;
+  for (int gen = 0; gen < 50; ++gen) {
+    e = f.model.effective_epochs(e, 0.5);
+  }
+  EXPECT_NEAR(e, 2.0, 1e-6);  // 1/(1-0.5)
+}
+
+TEST(TrainingModel, TransferBeatsScratchAccuracy) {
+  Fixture f;
+  auto seq = f.space.random(f.rng);
+  double scratch = f.model.accuracy(seq, 1.0);
+  double transferred = f.model.accuracy(seq, f.model.effective_epochs(2.0, 0.5));
+  EXPECT_GT(transferred, scratch);
+}
+
+TEST(TrainingModel, EpochSecondsScaleWithModelSize) {
+  Fixture f;
+  TrainingConfig cfg;
+  cfg.duration_jitter = 0.0;
+  TrainingModel tm(f.space, 1, cfg);
+  CandidateSeq small(f.space.positions(), 0);
+  CandidateSeq big(f.space.positions(), 0);
+  for (int c = 0; c < AttnSearchSpace::kCells; ++c) {
+    small[c * 3 + 1] = 0;  // width 256
+    big[c * 3 + 1] = 5;    // width 2048
+  }
+  common::Xoshiro256 rng(1);
+  double t_small = tm.epoch_seconds(f.space.decode(small), 0.0, rng);
+  double t_big = tm.epoch_seconds(f.space.decode(big), 0.0, rng);
+  EXPECT_GT(t_big, t_small * 2);
+}
+
+TEST(TrainingModel, FreezingReducesEpochTime) {
+  Fixture f;
+  TrainingConfig cfg;
+  cfg.duration_jitter = 0.0;
+  TrainingModel tm(f.space, 1, cfg);
+  auto g = f.space.decode(f.space.random(f.rng));
+  common::Xoshiro256 rng(1);
+  double full = tm.epoch_seconds(g, 0.0, rng);
+  double half_frozen = tm.epoch_seconds(g, 0.5, rng);
+  double all_frozen = tm.epoch_seconds(g, 1.0, rng);
+  EXPECT_LT(half_frozen, full);
+  EXPECT_LT(all_frozen, half_frozen);
+  // Freezing everything still leaves the forward pass + fixed cost.
+  EXPECT_GT(all_frozen, cfg.epoch_fixed_seconds);
+}
+
+TEST(TrainingModel, JitterIsBoundedAndSeedDeterministic) {
+  Fixture f;
+  auto g = f.space.decode(f.space.random(f.rng));
+  common::Xoshiro256 rng_a(5), rng_b(5);
+  for (int i = 0; i < 50; ++i) {
+    double a = f.model.epoch_seconds(g, 0.0, rng_a);
+    double b = f.model.epoch_seconds(g, 0.0, rng_b);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GT(a, 0.0);
+  }
+}
+
+// Parameterized sweep: accuracy is monotone in effective epochs for any
+// candidate (property-style check across the space).
+class AccuracyMonotone : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AccuracyMonotone, HoldsForSeed) {
+  AttnSearchSpace space;
+  TrainingModel model(space, 42);
+  common::Xoshiro256 rng(GetParam());
+  auto seq = space.random(rng);
+  double prev = 0;
+  for (double e = 1.0; e <= 12.0; e += 0.5) {
+    double acc = model.accuracy(seq, e);
+    EXPECT_GE(acc, prev);
+    prev = acc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccuracyMonotone,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace evostore::nas

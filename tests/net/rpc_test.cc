@@ -1,0 +1,207 @@
+#include "net/rpc.h"
+
+#include <gtest/gtest.h>
+
+namespace evostore::net {
+namespace {
+
+using common::Bytes;
+using common::Deserializer;
+using common::Serializer;
+using sim::CoTask;
+using sim::Simulation;
+
+struct Env {
+  Simulation sim;
+  Fabric fabric;
+  RpcSystem rpc;
+  NodeId a;
+  NodeId b;
+
+  Env()
+      : fabric(sim, FabricConfig{.latency = 0.001, .local_latency = 0.0001}),
+        rpc(fabric) {
+    a = fabric.add_node(1000.0, 1000.0);
+    b = fabric.add_node(1000.0, 1000.0);
+  }
+};
+
+Bytes to_bytes(const std::string& s) {
+  Serializer ser;
+  ser.str(s);
+  return std::move(ser).take();
+}
+
+std::string from_bytes(const Bytes& b) {
+  Deserializer d(b);
+  return d.str();
+}
+
+TEST(Rpc, EchoHandler) {
+  Env env;
+  env.rpc.register_handler(env.b, "echo", [](Bytes req) -> CoTask<Bytes> {
+    co_return req;
+  });
+  auto task = [&]() -> CoTask<std::string> {
+    auto r = co_await env.rpc.call(env.a, env.b, "echo", to_bytes("ping"));
+    EXPECT_TRUE(r.ok());
+    co_return from_bytes(r.value());
+  };
+  EXPECT_EQ(env.sim.run_until_complete(task()), "ping");
+  EXPECT_EQ(env.rpc.stats().calls, 1u);
+}
+
+TEST(Rpc, MissingHandlerIsNotFound) {
+  Env env;
+  auto task = [&]() -> CoTask<bool> {
+    auto r = co_await env.rpc.call(env.a, env.b, "nope", Bytes{});
+    co_return r.ok();
+  };
+  EXPECT_FALSE(env.sim.run_until_complete(task()));
+}
+
+TEST(Rpc, HandlerReplacement) {
+  Env env;
+  env.rpc.register_handler(env.b, "f", [](Bytes) -> CoTask<Bytes> {
+    co_return to_bytes("v1");
+  });
+  env.rpc.register_handler(env.b, "f", [](Bytes) -> CoTask<Bytes> {
+    co_return to_bytes("v2");
+  });
+  auto task = [&]() -> CoTask<std::string> {
+    auto r = co_await env.rpc.call(env.a, env.b, "f", Bytes{});
+    co_return from_bytes(r.value());
+  };
+  EXPECT_EQ(env.sim.run_until_complete(task()), "v2");
+}
+
+TEST(Rpc, RoundTripPaysTwoLatencies) {
+  Env env;
+  env.rpc.register_handler(env.b, "f", [](Bytes) -> CoTask<Bytes> {
+    co_return Bytes{};
+  });
+  auto task = [&]() -> CoTask<double> {
+    co_await env.rpc.call(env.a, env.b, "f", Bytes{});
+    co_return env.sim.now();
+  };
+  EXPECT_NEAR(env.sim.run_until_complete(task()), 0.002, 1e-9);
+}
+
+TEST(Rpc, HandlerCanAwait) {
+  Env env;
+  env.rpc.register_handler(env.b, "slow", [&](Bytes) -> CoTask<Bytes> {
+    co_await env.sim.delay(1.0);
+    co_return Bytes{};  // empty response: no bandwidth term in the check
+  });
+  auto task = [&]() -> CoTask<double> {
+    co_await env.rpc.call(env.a, env.b, "slow", Bytes{});
+    co_return env.sim.now();
+  };
+  EXPECT_NEAR(env.sim.run_until_complete(task()), 1.002, 1e-9);
+}
+
+TEST(Rpc, ServicePoolSerializesHandlers) {
+  Env env;
+  env.rpc.set_service_pool(env.b, 1, 0.0);
+  env.rpc.register_handler(env.b, "slow", [&](Bytes) -> CoTask<Bytes> {
+    co_await env.sim.delay(1.0);
+    co_return Bytes{};
+  });
+  auto call_once = [&]() -> CoTask<void> {
+    co_await env.rpc.call(env.a, env.b, "slow", Bytes{});
+  };
+  auto f1 = env.sim.spawn(call_once());
+  auto f2 = env.sim.spawn(call_once());
+  auto f3 = env.sim.spawn(call_once());
+  env.sim.run();
+  (void)f1; (void)f2; (void)f3;
+  // Three 1s handlers through a single slot: ~3s total.
+  EXPECT_NEAR(env.sim.now(), 3.002, 1e-6);
+}
+
+TEST(Rpc, ServicePoolOverheadCharged) {
+  Env env;
+  env.rpc.set_service_pool(env.b, 4, 0.5);
+  env.rpc.register_handler(env.b, "f", [](Bytes) -> CoTask<Bytes> {
+    co_return Bytes{};
+  });
+  auto task = [&]() -> CoTask<double> {
+    co_await env.rpc.call(env.a, env.b, "f", Bytes{});
+    co_return env.sim.now();
+  };
+  EXPECT_NEAR(env.sim.run_until_complete(task()), 0.502, 1e-9);
+}
+
+TEST(Rpc, BulkChargesBytesAndStats) {
+  Env env;
+  auto task = [&]() -> CoTask<double> {
+    co_await env.rpc.bulk(env.a, env.b,
+                          common::Buffer::synthetic(500.0 * 1000, 1));
+    co_return env.sim.now();
+  };
+  // 500000 bytes over 1000 B/s NIC + 1ms latency.
+  EXPECT_NEAR(env.sim.run_until_complete(task()), 500.001, 1e-6);
+  EXPECT_EQ(env.rpc.stats().bulk_transfers, 1u);
+  EXPECT_DOUBLE_EQ(env.rpc.stats().bulk_bytes, 500000.0);
+}
+
+TEST(Rpc, PayloadSizeAffectsTransferTime) {
+  Env env;
+  env.rpc.register_handler(env.b, "f", [](Bytes) -> CoTask<Bytes> {
+    co_return Bytes{};
+  });
+  auto task = [&]() -> CoTask<double> {
+    co_await env.rpc.call(env.a, env.b, "f", Bytes(10000));
+    co_return env.sim.now();
+  };
+  // 10000 bytes at 1000 B/s = 10s + 2 latencies.
+  EXPECT_NEAR(env.sim.run_until_complete(task()), 10.002, 1e-6);
+}
+
+struct PingReq {
+  int64_t x = 0;
+  void serialize(Serializer& s) const { s.i64(x); }
+  static PingReq deserialize(Deserializer& d) { return PingReq{d.i64()}; }
+};
+struct PingResp {
+  int64_t y = 0;
+  void serialize(Serializer& s) const { s.i64(y); }
+  static PingResp deserialize(Deserializer& d) { return PingResp{d.i64()}; }
+};
+
+TEST(Rpc, TypedCallRoundTrip) {
+  Env env;
+  env.rpc.register_handler(env.b, "double", [](Bytes req) -> CoTask<Bytes> {
+    Deserializer d(req);
+    auto in = PingReq::deserialize(d);
+    Serializer s;
+    PingResp{in.x * 2}.serialize(s);
+    co_return std::move(s).take();
+  });
+  auto task = [&]() -> CoTask<int64_t> {
+    auto r = co_await typed_call<PingResp>(env.rpc, env.a, env.b, "double",
+                                           PingReq{21});
+    EXPECT_TRUE(r.ok());
+    co_return r->y;
+  };
+  EXPECT_EQ(env.sim.run_until_complete(task()), 42);
+}
+
+TEST(Rpc, TypedCallDetectsGarbageResponse) {
+  Env env;
+  env.rpc.register_handler(env.b, "garbage", [](Bytes) -> CoTask<Bytes> {
+    co_return Bytes{std::byte{0xff}, std::byte{0xff}, std::byte{0xff},
+                    std::byte{0xff}, std::byte{0xff}, std::byte{0xff},
+                    std::byte{0xff}, std::byte{0xff}, std::byte{0xff},
+                    std::byte{0xff}, std::byte{0xff}};
+  });
+  auto task = [&]() -> CoTask<bool> {
+    auto r = co_await typed_call<PingResp>(env.rpc, env.a, env.b, "garbage",
+                                           PingReq{1});
+    co_return r.ok();
+  };
+  EXPECT_FALSE(env.sim.run_until_complete(task()));
+}
+
+}  // namespace
+}  // namespace evostore::net

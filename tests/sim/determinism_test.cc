@@ -1,0 +1,155 @@
+// Bit-exact determinism of the simulation stack: identical scenarios produce
+// identical event counts, virtual times, and results — the property every
+// figure-reproduction harness relies on.
+#include <gtest/gtest.h>
+
+#include "baseline/hdf5_pfs.h"
+#include "nas/attn_space.h"
+#include "nas/runner.h"
+#include "tests/core/test_env.h"
+#include "workload/deepspace.h"
+
+namespace evostore {
+namespace {
+
+using core::testing::ClusterEnv;
+
+struct Fingerprint {
+  uint64_t steps = 0;
+  double final_time = 0;
+  double checksum = 0;
+
+  bool operator==(const Fingerprint& o) const {
+    return steps == o.steps && final_time == o.final_time &&
+           checksum == o.checksum;
+  }
+};
+
+Fingerprint run_repository_scenario() {
+  ClusterEnv env(4);
+  auto& cli = env.client();
+  workload::DeepSpace space;
+  common::Xoshiro256 rng(77);
+  Fingerprint fp;
+  auto seq = space.random(rng);
+  std::vector<common::ModelId> ids;
+  for (int gen = 0; gen < 12; ++gen) {
+    auto g = space.decode_graph(seq);
+    auto prep = env.run(cli.prepare_transfer(g, true));
+    EXPECT_TRUE(prep.ok());
+    model::Model m = model::Model::random(env.repo->allocate_id(), g,
+                                          static_cast<uint64_t>(gen));
+    const core::TransferContext* tc = nullptr;
+    if (prep->has_value()) {
+      auto& ctx = prep->value();
+      for (size_t i = 0; i < ctx.matches.size(); ++i) {
+        m.segment(ctx.matches[i].first) = ctx.prefix_segments[i];
+      }
+      tc = &ctx;
+    }
+    m.set_quality(0.5 + 0.01 * gen);
+    auto task = [&]() -> sim::CoTask<common::Status> {
+      co_return co_await cli.put_model(m, tc);
+    };
+    EXPECT_TRUE(env.run(task()).ok());
+    ids.push_back(m.id());
+    fp.checksum += static_cast<double>(m.total_bytes()) * (gen + 1);
+    seq = space.mutate(seq, rng);
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(env.run(cli.retire(ids[i])).ok());
+  }
+  fp.steps = env.sim.steps();
+  fp.final_time = env.sim.now();
+  fp.checksum += static_cast<double>(env.repo->stored_payload_bytes());
+  return fp;
+}
+
+TEST(Determinism, RepositoryScenarioIsBitExact) {
+  auto a = run_repository_scenario();
+  auto b = run_repository_scenario();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.steps, 0u);
+}
+
+Fingerprint run_nas_scenario(bool hdf5) {
+  sim::Simulation sim;
+  net::Fabric fabric(sim);
+  net::RpcSystem rpc(fabric);
+  auto controller = fabric.add_node(25e9, 25e9);
+  std::vector<common::NodeId> workers, providers;
+  for (int n = 0; n < 4; ++n) {
+    auto node = fabric.add_node(25e9, 25e9);
+    providers.push_back(node);
+    for (int w = 0; w < 4; ++w) workers.push_back(node);
+  }
+  nas::AttnSearchSpace space;
+  nas::NasConfig cfg;
+  cfg.total_candidates = 48;
+  cfg.population_cap = 12;
+  cfg.sample_size = 4;
+  cfg.seed = 9;
+
+  nas::NasResult result;
+  if (hdf5) {
+    auto redis_node = fabric.add_node(25e9, 25e9);
+    storage::Pfs pfs(fabric, storage::PfsConfig{});
+    baseline::RedisQueries redis(rpc, redis_node);
+    baseline::Hdf5PfsRepository repo(pfs, &redis);
+    result = nas::run_nas(sim, fabric, space, &repo, workers, controller, cfg);
+  } else {
+    core::EvoStoreRepository repo(rpc, providers);
+    result = nas::run_nas(sim, fabric, space, &repo, workers, controller, cfg);
+  }
+  Fingerprint fp;
+  fp.steps = sim.steps();
+  fp.final_time = sim.now();
+  for (const auto& t : result.traces) {
+    fp.checksum += t.start * 3.0 + t.finish * 7.0 + t.accuracy * 11.0;
+  }
+  return fp;
+}
+
+TEST(Determinism, EvoStoreNasRunIsBitExact) {
+  EXPECT_EQ(run_nas_scenario(false), run_nas_scenario(false));
+}
+
+TEST(Determinism, Hdf5NasRunIsBitExact) {
+  EXPECT_EQ(run_nas_scenario(true), run_nas_scenario(true));
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  // Sanity that the fingerprint is actually sensitive.
+  auto base = run_nas_scenario(false);
+  sim::Simulation sim;
+  (void)sim;
+  // Rebuild with another controller seed via a local copy of the scenario.
+  auto run_with_seed = [](uint64_t seed) {
+    sim::Simulation sim2;
+    net::Fabric fabric(sim2);
+    net::RpcSystem rpc(fabric);
+    auto controller = fabric.add_node(25e9, 25e9);
+    std::vector<common::NodeId> workers, providers;
+    for (int n = 0; n < 4; ++n) {
+      auto node = fabric.add_node(25e9, 25e9);
+      providers.push_back(node);
+      for (int w = 0; w < 4; ++w) workers.push_back(node);
+    }
+    core::EvoStoreRepository repo(rpc, providers);
+    nas::AttnSearchSpace space;
+    nas::NasConfig cfg;
+    cfg.total_candidates = 48;
+    cfg.population_cap = 12;
+    cfg.sample_size = 4;
+    cfg.seed = seed;
+    auto r = nas::run_nas(sim2, fabric, space, &repo, workers, controller, cfg);
+    double checksum = 0;
+    for (const auto& t : r.traces) checksum += t.accuracy;
+    return checksum;
+  };
+  EXPECT_NE(run_with_seed(9), run_with_seed(10));
+  (void)base;
+}
+
+}  // namespace
+}  // namespace evostore

@@ -1,0 +1,132 @@
+// Property sweeps over the fair-share flow scheduler: conservation of bytes,
+// capacity ceilings, and completion-order sanity under randomized workloads.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/flow.h"
+
+namespace evostore::sim {
+namespace {
+
+struct Workload {
+  uint64_t seed;
+  int ports;
+  int flows;
+};
+
+class FlowProperties : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(FlowProperties, ConservationAndCapacity) {
+  const Workload w = GetParam();
+  common::Xoshiro256 rng(w.seed);
+  Simulation sim;
+  FlowScheduler fs(sim);
+  std::vector<PortId> ports;
+  std::vector<double> caps;
+  for (int p = 0; p < w.ports; ++p) {
+    double cap = rng.uniform(10.0, 1000.0);
+    caps.push_back(cap);
+    ports.push_back(fs.add_port(cap));
+  }
+
+  struct FlowSpec {
+    std::vector<PortId> path;
+    double bytes;
+    double start;
+    double finish = -1;
+  };
+  std::vector<FlowSpec> specs(w.flows);
+  for (auto& spec : specs) {
+    int hops = 1 + static_cast<int>(rng.below(3));
+    for (int h = 0; h < hops; ++h) {
+      PortId p = ports[rng.below(ports.size())];
+      if (std::find(spec.path.begin(), spec.path.end(), p) == spec.path.end()) {
+        spec.path.push_back(p);
+      }
+    }
+    spec.bytes = rng.uniform(1.0, 5000.0);
+    spec.start = rng.uniform(0.0, 5.0);
+  }
+
+  auto run_flow = [&](FlowSpec* spec) -> CoTask<void> {
+    co_await sim.delay(spec->start);
+    auto path = spec->path;
+    co_await fs.transfer(std::move(path), spec->bytes);
+    spec->finish = sim.now();
+  };
+  std::vector<Future<void>> futures;
+  for (auto& spec : specs) futures.push_back(sim.spawn(run_flow(&spec)));
+  sim.run();
+
+  double total_bytes = 0;
+  double last_finish = 0;
+  double first_start = 1e300;
+  for (const auto& spec : specs) {
+    // Every flow completed, after its start.
+    ASSERT_GE(spec.finish, spec.start);
+    total_bytes += spec.bytes;
+    last_finish = std::max(last_finish, spec.finish);
+    first_start = std::min(first_start, spec.start);
+    // No flow finished faster than its bottleneck allows.
+    double best_rate = 1e300;
+    for (PortId p : spec.path) best_rate = std::min(best_rate, caps[p]);
+    EXPECT_GE(spec.finish - spec.start + 1e-9, spec.bytes / best_rate);
+  }
+
+  // Conservation: port byte counters sum to the bytes of flows crossing them.
+  for (size_t p = 0; p < ports.size(); ++p) {
+    double expected = 0;
+    for (const auto& spec : specs) {
+      if (std::find(spec.path.begin(), spec.path.end(), ports[p]) !=
+          spec.path.end()) {
+        expected += spec.bytes;
+      }
+    }
+    EXPECT_NEAR(fs.bytes_carried(ports[p]), expected, 1e-3 + expected * 1e-9);
+    EXPECT_EQ(fs.active_flows(ports[p]), 0);
+  }
+
+  // Makespan lower bound: the busiest port cannot beat its capacity.
+  for (size_t p = 0; p < ports.size(); ++p) {
+    double through = fs.bytes_carried(ports[p]);
+    if (through > 0) {
+      EXPECT_GE(last_finish - first_start + 1e-9, through / caps[p] * 0.999);
+    }
+  }
+  (void)total_bytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, FlowProperties,
+    ::testing::Values(Workload{1, 1, 5}, Workload{2, 2, 20},
+                      Workload{3, 4, 50}, Workload{4, 8, 100},
+                      Workload{5, 3, 200}, Workload{6, 16, 64},
+                      Workload{7, 1, 128}, Workload{8, 6, 32}),
+    [](const ::testing::TestParamInfo<Workload>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_p" +
+             std::to_string(info.param.ports) + "_f" +
+             std::to_string(info.param.flows);
+    });
+
+TEST(FlowStress, TinyResidualsNeverStall) {
+  // Regression for the floating-point stall fixed in flow.cc: sizes chosen
+  // to produce sub-epsilon residuals at high rates and large clock values.
+  Simulation sim;
+  FlowScheduler fs(sim);
+  PortId p = fs.add_port(25e9);
+  auto shift_clock = [&]() -> CoTask<void> { co_await sim.delay(1e6); };
+  sim.run_until_complete(shift_clock());
+  std::vector<Future<void>> futures;
+  common::Xoshiro256 rng(9);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<PortId> path{p};
+    futures.push_back(
+        sim.spawn(fs.transfer(std::move(path), rng.uniform(0.5, 4e9))));
+  }
+  uint64_t steps = sim.run(50'000'000);
+  EXPECT_LT(steps, 10'000'000u) << "flow scheduler stalled";
+  for (auto& f : futures) EXPECT_TRUE(f.done());
+}
+
+}  // namespace
+}  // namespace evostore::sim

@@ -1,0 +1,89 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace evostore::sim {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+  EXPECT_NEAR(acc.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Samples, QuantilesExact) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.99), 99.01, 1e-9);
+}
+
+TEST(Samples, QuantileAfterMoreAdds) {
+  Samples s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 10.0);
+  s.add(20.0);  // resets sorted flag
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 20.0);
+}
+
+TEST(Samples, MeanStddev) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.stddev(), 1.29099, 1e-4);
+}
+
+TEST(Samples, EmptyQuantileIsZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(TimeSeries, FirstTimeReaching) {
+  TimeSeries ts;
+  ts.add(1.0, 0.5);
+  ts.add(2.0, 0.8);
+  ts.add(3.0, 0.7);
+  ts.add(4.0, 0.9);
+  EXPECT_DOUBLE_EQ(ts.first_time_reaching(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(ts.first_time_reaching(0.75), 2.0);
+  EXPECT_DOUBLE_EQ(ts.first_time_reaching(0.85), 4.0);
+  EXPECT_LT(ts.first_time_reaching(0.95), 0.0);  // never
+}
+
+TEST(TimeSeries, MaxValue) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.max_value(), 0.0);
+  ts.add(1.0, 0.3);
+  ts.add(2.0, 0.9);
+  ts.add(3.0, 0.1);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 0.9);
+  EXPECT_EQ(ts.size(), 3u);
+}
+
+}  // namespace
+}  // namespace evostore::sim

@@ -1,0 +1,257 @@
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace evostore::sim {
+namespace {
+
+TEST(Event, WaitBeforeSet) {
+  Simulation sim;
+  Event ev(sim);
+  std::vector<double> wake;
+  auto waiter = [&](Simulation& s) -> CoTask<void> {
+    co_await ev.wait();
+    wake.push_back(s.now());
+  };
+  auto setter = [&](Simulation& s) -> CoTask<void> {
+    co_await s.delay(2.0);
+    ev.set();
+  };
+  auto f1 = sim.spawn(waiter(sim));
+  auto f2 = sim.spawn(waiter(sim));
+  auto f3 = sim.spawn(setter(sim));
+  sim.run();
+  (void)f1; (void)f2; (void)f3;
+  ASSERT_EQ(wake.size(), 2u);
+  EXPECT_DOUBLE_EQ(wake[0], 2.0);
+  EXPECT_DOUBLE_EQ(wake[1], 2.0);
+}
+
+TEST(Event, WaitAfterSetIsImmediate) {
+  Simulation sim;
+  Event ev(sim);
+  ev.set();
+  EXPECT_TRUE(ev.is_set());
+  auto waiter = [&](Simulation& s) -> CoTask<double> {
+    co_await ev.wait();
+    co_return s.now();
+  };
+  EXPECT_DOUBLE_EQ(sim.run_until_complete(waiter(sim)), 0.0);
+}
+
+TEST(Event, DoubleSetIsIdempotent) {
+  Simulation sim;
+  Event ev(sim);
+  ev.set();
+  ev.set();
+  EXPECT_TRUE(ev.is_set());
+}
+
+CoTask<void> hold(Simulation& sim, Semaphore& sem, int64_t n, double secs,
+                  std::vector<std::pair<int, double>>* log, int id) {
+  co_await sem.acquire(n);
+  log->emplace_back(id, sim.now());
+  co_await sim.delay(secs);
+  sem.release(n);
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Simulation sim;
+  Semaphore sem(sim, 2);
+  std::vector<std::pair<int, double>> log;
+  std::vector<Future<void>> fs;
+  for (int i = 0; i < 6; ++i) {
+    fs.push_back(sim.spawn(hold(sim, sem, 1, 1.0, &log, i)));
+  }
+  sim.run();
+  ASSERT_EQ(log.size(), 6u);
+  // Two at t=0, two at t=1, two at t=2.
+  EXPECT_DOUBLE_EQ(log[0].second, 0.0);
+  EXPECT_DOUBLE_EQ(log[1].second, 0.0);
+  EXPECT_DOUBLE_EQ(log[2].second, 1.0);
+  EXPECT_DOUBLE_EQ(log[3].second, 1.0);
+  EXPECT_DOUBLE_EQ(log[4].second, 2.0);
+  EXPECT_DOUBLE_EQ(log[5].second, 2.0);
+}
+
+TEST(Semaphore, FifoOrderPreserved) {
+  Simulation sim;
+  Semaphore sem(sim, 1);
+  std::vector<std::pair<int, double>> log;
+  std::vector<Future<void>> fs;
+  for (int i = 0; i < 5; ++i) {
+    fs.push_back(sim.spawn(hold(sim, sem, 1, 0.1, &log, i)));
+  }
+  sim.run();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(log[i].first, i);
+}
+
+TEST(Semaphore, LargeRequestNotStarved) {
+  Simulation sim;
+  Semaphore sem(sim, 4);
+  std::vector<std::pair<int, double>> log;
+  std::vector<Future<void>> fs;
+  fs.push_back(sim.spawn(hold(sim, sem, 3, 1.0, &log, 0)));  // takes 3
+  fs.push_back(sim.spawn(hold(sim, sem, 4, 1.0, &log, 1)));  // must wait for all 4
+  fs.push_back(sim.spawn(hold(sim, sem, 1, 1.0, &log, 2)));  // queued BEHIND the big one
+  sim.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, 0);
+  EXPECT_EQ(log[1].first, 1);  // the 4-unit request goes before the later 1-unit
+  EXPECT_DOUBLE_EQ(log[1].second, 1.0);
+  EXPECT_EQ(log[2].first, 2);
+}
+
+TEST(Semaphore, TryAcquire) {
+  Simulation sim;
+  Semaphore sem(sim, 2);
+  EXPECT_TRUE(sem.try_acquire(2));
+  EXPECT_FALSE(sem.try_acquire(1));
+  sem.release(2);
+  EXPECT_TRUE(sem.try_acquire(1));
+  EXPECT_EQ(sem.available(), 1);
+}
+
+TEST(Mutex, MutualExclusion) {
+  Simulation sim;
+  Mutex mu(sim);
+  int inside = 0;
+  int max_inside = 0;
+  auto critical = [&](Simulation& s) -> CoTask<void> {
+    co_await mu.lock();
+    ++inside;
+    max_inside = std::max(max_inside, inside);
+    co_await s.delay(1.0);
+    --inside;
+    mu.unlock();
+  };
+  std::vector<Future<void>> fs;
+  for (int i = 0; i < 4; ++i) fs.push_back(sim.spawn(critical(sim)));
+  sim.run();
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Mutex, TryLockNow) {
+  Simulation sim;
+  Mutex mu(sim);
+  EXPECT_TRUE(mu.try_lock_now());
+  EXPECT_TRUE(mu.locked());
+  EXPECT_FALSE(mu.try_lock_now());
+  mu.unlock();
+  EXPECT_FALSE(mu.locked());
+}
+
+TEST(RwLock, ReadersShareWritersExclude) {
+  Simulation sim;
+  RwLock lk(sim);
+  std::vector<std::pair<char, double>> log;
+  auto reader = [&](Simulation& s) -> CoTask<void> {
+    co_await lk.lock_shared();
+    log.emplace_back('r', s.now());
+    co_await s.delay(1.0);
+    lk.unlock_shared();
+  };
+  auto writer = [&](Simulation& s) -> CoTask<void> {
+    co_await lk.lock_exclusive();
+    log.emplace_back('w', s.now());
+    co_await s.delay(1.0);
+    lk.unlock_exclusive();
+  };
+  auto f1 = sim.spawn(reader(sim));
+  auto f2 = sim.spawn(reader(sim));
+  auto f3 = sim.spawn(writer(sim));
+  auto f4 = sim.spawn(reader(sim));
+  sim.run();
+  (void)f1; (void)f2; (void)f3; (void)f4;
+  ASSERT_EQ(log.size(), 4u);
+  // Two readers together at 0, writer at 1, the late reader AFTER the queued
+  // writer (FIFO fairness) at 2.
+  EXPECT_EQ(log[0].first, 'r');
+  EXPECT_DOUBLE_EQ(log[0].second, 0.0);
+  EXPECT_EQ(log[1].first, 'r');
+  EXPECT_DOUBLE_EQ(log[1].second, 0.0);
+  EXPECT_EQ(log[2].first, 'w');
+  EXPECT_DOUBLE_EQ(log[2].second, 1.0);
+  EXPECT_EQ(log[3].first, 'r');
+  EXPECT_DOUBLE_EQ(log[3].second, 2.0);
+}
+
+TEST(RwLock, WriterThenReadersBatch) {
+  Simulation sim;
+  RwLock lk(sim);
+  std::vector<double> reader_starts;
+  auto writer = [&](Simulation& s) -> CoTask<void> {
+    co_await lk.lock_exclusive();
+    co_await s.delay(2.0);
+    lk.unlock_exclusive();
+  };
+  auto reader = [&](Simulation& s) -> CoTask<void> {
+    co_await lk.lock_shared();
+    reader_starts.push_back(s.now());
+    co_await s.delay(1.0);
+    lk.unlock_shared();
+  };
+  auto fw = sim.spawn(writer(sim));
+  auto fr1 = sim.spawn(reader(sim));
+  auto fr2 = sim.spawn(reader(sim));
+  sim.run();
+  (void)fw; (void)fr1; (void)fr2;
+  // Both readers admitted together when the writer releases.
+  ASSERT_EQ(reader_starts.size(), 2u);
+  EXPECT_DOUBLE_EQ(reader_starts[0], 2.0);
+  EXPECT_DOUBLE_EQ(reader_starts[1], 2.0);
+}
+
+TEST(Barrier, ReleasesAllAtOnce) {
+  Simulation sim;
+  Barrier barrier(sim, 3);
+  std::vector<double> release_times;
+  auto party = [&](Simulation& s, double arrive_at) -> CoTask<void> {
+    co_await s.delay(arrive_at);
+    co_await barrier.arrive_and_wait();
+    release_times.push_back(s.now());
+  };
+  auto f1 = sim.spawn(party(sim, 1.0));
+  auto f2 = sim.spawn(party(sim, 2.0));
+  auto f3 = sim.spawn(party(sim, 5.0));
+  sim.run();
+  (void)f1; (void)f2; (void)f3;
+  ASSERT_EQ(release_times.size(), 3u);
+  for (double t : release_times) EXPECT_DOUBLE_EQ(t, 5.0);
+}
+
+TEST(Barrier, CyclicReuse) {
+  Simulation sim;
+  Barrier barrier(sim, 2);
+  int rounds_done = 0;
+  auto party = [&](Simulation& s, double step) -> CoTask<void> {
+    for (int round = 0; round < 3; ++round) {
+      co_await s.delay(step);
+      co_await barrier.arrive_and_wait();
+    }
+    ++rounds_done;
+  };
+  auto f1 = sim.spawn(party(sim, 1.0));
+  auto f2 = sim.spawn(party(sim, 2.0));
+  sim.run();
+  (void)f1; (void)f2;
+  EXPECT_EQ(rounds_done, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 6.0);  // paced by the slower party
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  Simulation sim;
+  Barrier barrier(sim, 1);
+  auto party = [&](Simulation&) -> CoTask<int> {
+    co_await barrier.arrive_and_wait();
+    co_await barrier.arrive_and_wait();
+    co_return 1;
+  };
+  EXPECT_EQ(sim.run_until_complete(party(sim)), 1);
+}
+
+}  // namespace
+}  // namespace evostore::sim

@@ -1,0 +1,104 @@
+#include "storage/mem_kv.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace evostore::storage {
+namespace {
+
+using common::Buffer;
+
+Buffer value_of(const std::string& s) {
+  return Buffer::copy(std::as_bytes(std::span(s.data(), s.size())));
+}
+
+TEST(MemKv, PutGetRoundTrip) {
+  MemKv kv;
+  EXPECT_TRUE(kv.put("k1", value_of("hello")).ok());
+  auto r = kv.get("k1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->content_equals(value_of("hello")));
+}
+
+TEST(MemKv, GetMissingIsNotFound) {
+  MemKv kv;
+  EXPECT_EQ(kv.get("nope").status().code(), common::ErrorCode::kNotFound);
+}
+
+TEST(MemKv, OverwriteReplacesAndTracksBytes) {
+  MemKv kv;
+  ASSERT_TRUE(kv.put("k", Buffer::zeros(100)).ok());
+  EXPECT_EQ(kv.value_bytes(), 100u);
+  ASSERT_TRUE(kv.put("k", Buffer::zeros(40)).ok());
+  EXPECT_EQ(kv.value_bytes(), 40u);
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(MemKv, EraseRemoves) {
+  MemKv kv;
+  ASSERT_TRUE(kv.put("k", Buffer::zeros(10)).ok());
+  EXPECT_TRUE(kv.erase("k").ok());
+  EXPECT_FALSE(kv.contains("k"));
+  EXPECT_EQ(kv.value_bytes(), 0u);
+  EXPECT_EQ(kv.erase("k").code(), common::ErrorCode::kNotFound);
+}
+
+TEST(MemKv, KeysSortedAcrossShards) {
+  MemKv kv(4);
+  for (const char* k : {"zeta", "alpha", "mu", "beta", "omega"}) {
+    ASSERT_TRUE(kv.put(k, Buffer::zeros(1)).ok());
+  }
+  auto keys = kv.keys();
+  EXPECT_EQ(keys, (std::vector<std::string>{"alpha", "beta", "mu", "omega",
+                                            "zeta"}));
+}
+
+TEST(MemKv, SyntheticValuesKeepFootprintSmall) {
+  MemKv kv;
+  ASSERT_TRUE(kv.put("big", Buffer::synthetic(1ull << 34, 7)).ok());
+  EXPECT_EQ(kv.value_bytes(), 1ull << 34);
+  auto r = kv.get("big");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->resident_bytes(), 0u);
+}
+
+TEST(MemKv, SingleShardWorks) {
+  MemKv kv(1);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(kv.put("k" + std::to_string(i), Buffer::zeros(i)).ok());
+  }
+  EXPECT_EQ(kv.size(), 100u);
+}
+
+TEST(MemKv, ConcurrentMixedWorkload) {
+  MemKv kv(16);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&kv, t] {
+      for (int i = 0; i < kOps; ++i) {
+        std::string key = "t" + std::to_string(t) + "_" + std::to_string(i % 50);
+        ASSERT_TRUE(kv.put(key, Buffer::zeros(static_cast<size_t>(i % 17))).ok());
+        (void)kv.get(key);
+        if (i % 7 == 0) (void)kv.erase(key);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Each thread touches its own key space: consistency check only.
+  EXPECT_LE(kv.size(), static_cast<size_t>(kThreads) * 50);
+}
+
+TEST(MemKv, EmptyKeyAndEmptyValue) {
+  MemKv kv;
+  ASSERT_TRUE(kv.put("", Buffer()).ok());
+  EXPECT_TRUE(kv.contains(""));
+  auto r = kv.get("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+}  // namespace
+}  // namespace evostore::storage

@@ -1,0 +1,132 @@
+#include "workload/arch_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace evostore::workload {
+namespace {
+
+TEST(ArchGenerator, LayerCountAndSizeTarget) {
+  ArchGenConfig cfg;
+  cfg.total_bytes = 64ull << 20;  // 64 MB
+  cfg.leaf_layers = 50;
+  auto g = generate_chain(cfg);
+  EXPECT_EQ(g.size(), 51u);  // input + 50 parameter layers
+  double actual = static_cast<double>(g.total_param_bytes());
+  double target = static_cast<double>(cfg.total_bytes);
+  EXPECT_NEAR(actual / target, 1.0, 0.05);
+}
+
+TEST(ArchGenerator, PaperScaleFourGbModel) {
+  ArchGenConfig cfg;  // defaults: 4 GB, 100 layers
+  auto g = generate_chain(cfg);
+  EXPECT_EQ(g.size(), 101u);
+  EXPECT_NEAR(static_cast<double>(g.total_param_bytes()), 4e9 * 1.0737, 0.1e9);
+  // Evenly sized layers: min/max within rounding of each other.
+  size_t lo = SIZE_MAX, hi = 0;
+  for (common::VertexId v = 1; v < g.size(); ++v) {
+    lo = std::min(lo, g.param_bytes(v));
+    hi = std::max(hi, g.param_bytes(v));
+  }
+  EXPECT_LT(static_cast<double>(hi - lo) / static_cast<double>(hi), 0.01);
+}
+
+TEST(ArchGenerator, VariationJittersLayerSizes) {
+  ArchGenConfig cfg;
+  cfg.total_bytes = 16ull << 20;
+  cfg.leaf_layers = 20;
+  cfg.variation = 0.5;
+  cfg.seed = 3;
+  auto g = generate_chain(cfg);
+  size_t lo = SIZE_MAX, hi = 0;
+  for (common::VertexId v = 1; v < g.size(); ++v) {
+    lo = std::min(lo, g.param_bytes(v));
+    hi = std::max(hi, g.param_bytes(v));
+  }
+  EXPECT_GT(static_cast<double>(hi) / static_cast<double>(lo), 1.1);
+}
+
+TEST(ArchGenerator, DeterministicInSeed) {
+  ArchGenConfig cfg;
+  cfg.total_bytes = 8ull << 20;
+  cfg.leaf_layers = 10;
+  cfg.variation = 0.3;
+  cfg.seed = 11;
+  auto g1 = generate_chain(cfg);
+  auto g2 = generate_chain(cfg);
+  EXPECT_EQ(g1.graph_hash(), g2.graph_hash());
+  cfg.seed = 12;
+  EXPECT_NE(generate_chain(cfg).graph_hash(), g1.graph_hash());
+}
+
+TEST(ArchGenerator, DerivePartialFreezesPrefix) {
+  ArchGenConfig cfg;
+  cfg.total_bytes = 4ull << 20;
+  cfg.leaf_layers = 16;
+  auto g = generate_chain(cfg);
+  auto base = make_base_model(common::ModelId::make(1, 1), g, 5);
+  auto owners = core::OwnerMap::self_owned(base.id(), g.size());
+
+  auto derived = derive_partial(common::ModelId::make(1, 2), base, owners,
+                                /*frozen_layers=*/12, /*seed=*/9);
+  EXPECT_EQ(derived.transfer.ancestor, base.id());
+  EXPECT_EQ(derived.transfer.matches.size(), 13u);  // input + 12 frozen
+  // Frozen prefix content shared with the base.
+  for (common::VertexId v = 0; v < 13; ++v) {
+    EXPECT_TRUE(derived.model.segment(v).content_equals(base.segment(v)));
+  }
+  // Tail rewritten.
+  bool tail_differs = false;
+  for (common::VertexId v = 13; v < g.size(); ++v) {
+    tail_differs |= !derived.model.segment(v).content_equals(base.segment(v));
+  }
+  EXPECT_TRUE(tail_differs);
+}
+
+TEST(ArchGenerator, DerivePartialZeroFrozenSharesOnlyInput) {
+  ArchGenConfig cfg;
+  cfg.total_bytes = 1ull << 20;
+  cfg.leaf_layers = 8;
+  auto g = generate_chain(cfg);
+  auto base = make_base_model(common::ModelId::make(1, 1), g, 5);
+  auto owners = core::OwnerMap::self_owned(base.id(), g.size());
+  auto derived = derive_partial(common::ModelId::make(1, 2), base, owners, 0, 9);
+  EXPECT_EQ(derived.transfer.matches.size(), 1u);  // the input placeholder
+}
+
+TEST(ArchGenerator, DerivePartialFullFreezeClamps) {
+  ArchGenConfig cfg;
+  cfg.total_bytes = 1ull << 20;
+  cfg.leaf_layers = 8;
+  auto g = generate_chain(cfg);
+  auto base = make_base_model(common::ModelId::make(1, 1), g, 5);
+  auto owners = core::OwnerMap::self_owned(base.id(), g.size());
+  auto derived =
+      derive_partial(common::ModelId::make(1, 2), base, owners, 100, 9);
+  EXPECT_EQ(derived.transfer.matches.size(), g.size());
+}
+
+TEST(ArchGenerator, FrozenFractionTracksBytes) {
+  // The modified-byte fraction ~ (layers - frozen) / layers for even layers.
+  ArchGenConfig cfg;
+  cfg.total_bytes = 32ull << 20;
+  cfg.leaf_layers = 100;
+  auto g = generate_chain(cfg);
+  auto base = make_base_model(common::ModelId::make(1, 1), g, 5);
+  auto owners = core::OwnerMap::self_owned(base.id(), g.size());
+  for (int frozen : {25, 50, 75}) {
+    auto derived =
+        derive_partial(common::ModelId::make(1, 2), base, owners, frozen, 9);
+    size_t new_bytes = 0;
+    core::OwnerMap child = core::OwnerMap::derive(
+        derived.model.id(), g.size(), owners, derived.transfer.matches);
+    for (auto v : child.vertices_owned_by(derived.model.id())) {
+      new_bytes += derived.model.segment(v).nbytes();
+    }
+    double fraction = static_cast<double>(new_bytes) /
+                      static_cast<double>(derived.model.total_bytes());
+    EXPECT_NEAR(fraction, (100.0 - frozen) / 100.0, 0.02) << frozen;
+  }
+}
+
+}  // namespace
+}  // namespace evostore::workload

@@ -1,0 +1,128 @@
+#include "workload/deepspace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace evostore::workload {
+namespace {
+
+TEST(DeepSpace, RandomSeqShapeIsConsistent) {
+  DeepSpace space;
+  common::Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    auto seq = space.random(rng);
+    ASSERT_GE(seq.size(), 1u);
+    int cells = seq[0];
+    EXPECT_GE(cells, 3);
+    EXPECT_LE(cells, 9);
+    EXPECT_EQ(seq.size(), 1u + 3u * static_cast<size_t>(cells));
+  }
+}
+
+TEST(DeepSpace, DecodeProducesValidFlattenableArchitecture) {
+  DeepSpace space;
+  common::Xoshiro256 rng(2);
+  for (int i = 0; i < 60; ++i) {
+    auto seq = space.random(rng);
+    auto arch = space.decode(seq);
+    ASSERT_TRUE(arch.validate().ok()) << "iteration " << i;
+    auto g = space.decode_graph(seq);
+    EXPECT_GE(g.size(), 4u);
+    EXPECT_EQ(g.def(0).kind(), model::LayerKind::kInput);
+  }
+}
+
+TEST(DeepSpace, DecodeIsDeterministic) {
+  DeepSpace space;
+  common::Xoshiro256 rng(3);
+  auto seq = space.random(rng);
+  EXPECT_EQ(space.decode_graph(seq).graph_hash(),
+            space.decode_graph(seq).graph_hash());
+}
+
+TEST(DeepSpace, MutationAlwaysChangesDecodedGraph) {
+  DeepSpace space;
+  common::Xoshiro256 rng(4);
+  for (int i = 0; i < 80; ++i) {
+    auto seq = space.random(rng);
+    auto mut = space.mutate(seq, rng);
+    EXPECT_NE(space.decode_graph(seq).graph_hash(),
+              space.decode_graph(mut).graph_hash())
+        << "iteration " << i;
+  }
+}
+
+TEST(DeepSpace, MutationChangesExactlyOneField) {
+  DeepSpace space;
+  common::Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    auto seq = space.random(rng);
+    auto mut = space.mutate(seq, rng);
+    ASSERT_EQ(seq.size(), mut.size());
+    int diffs = 0;
+    for (size_t p = 0; p < seq.size(); ++p) diffs += (seq[p] != mut[p]);
+    EXPECT_EQ(diffs, 1);
+  }
+}
+
+TEST(DeepSpace, GeneratedPopulationIsDiverse) {
+  DeepSpace space;
+  common::Xoshiro256 rng(6);
+  std::set<common::Hash128> hashes;
+  constexpr int kN = 300;
+  for (int i = 0; i < kN; ++i) {
+    hashes.insert(space.decode_graph(space.random(rng)).graph_hash());
+  }
+  // Nearly all distinct.
+  EXPECT_GT(hashes.size(), static_cast<size_t>(kN * 0.95));
+}
+
+TEST(DeepSpace, SubmodelsActuallyNest) {
+  DeepSpace space;
+  common::Xoshiro256 rng(7);
+  bool found_submodel = false;
+  for (int i = 0; i < 20 && !found_submodel; ++i) {
+    auto arch = space.decode(space.random(rng));
+    for (uint32_t n = 0; n < arch.node_count(); ++n) {
+      if (!arch.is_leaf(n)) found_submodel = true;
+    }
+  }
+  EXPECT_TRUE(found_submodel);
+}
+
+TEST(DeepSpace, AttentionCellsCreateJoins) {
+  // Residual Adds must appear as in-degree-2 vertices after flattening.
+  DeepSpace space;
+  common::Xoshiro256 rng(8);
+  bool found_join = false;
+  for (int i = 0; i < 20 && !found_join; ++i) {
+    auto g = space.decode_graph(space.random(rng));
+    for (common::VertexId v = 0; v < g.size(); ++v) {
+      if (g.in_degree(v) >= 2) found_join = true;
+    }
+  }
+  EXPECT_TRUE(found_join);
+}
+
+TEST(DeepSpace, CellChoicesCount) {
+  DeepSpace space;
+  EXPECT_EQ(space.cell_choices(), 3 * 6 * 4);
+}
+
+TEST(DeepSpace, CustomConfigRespected) {
+  DeepSpaceConfig cfg;
+  cfg.min_cells = 2;
+  cfg.max_cells = 2;
+  cfg.input_dim = 32;
+  cfg.widths = {8, 16};
+  DeepSpace space(cfg);
+  common::Xoshiro256 rng(9);
+  auto seq = space.random(rng);
+  EXPECT_EQ(seq[0], 2);
+  auto g = space.decode_graph(seq);
+  EXPECT_EQ(g.def(0).get_int("dim"), 32);
+}
+
+}  // namespace
+}  // namespace evostore::workload
