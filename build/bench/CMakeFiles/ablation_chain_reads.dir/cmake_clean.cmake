@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chain_reads.dir/ablation_chain_reads.cc.o"
+  "CMakeFiles/ablation_chain_reads.dir/ablation_chain_reads.cc.o.d"
+  "ablation_chain_reads"
+  "ablation_chain_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chain_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zero_cost_proxy.dir/ablation_zero_cost_proxy.cc.o"
+  "CMakeFiles/ablation_zero_cost_proxy.dir/ablation_zero_cost_proxy.cc.o.d"
+  "ablation_zero_cost_proxy"
+  "ablation_zero_cost_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zero_cost_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_incremental_storage.dir/fig4_incremental_storage.cc.o"
+  "CMakeFiles/fig4_incremental_storage.dir/fig4_incremental_storage.cc.o.d"
+  "fig4_incremental_storage"
+  "fig4_incremental_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_incremental_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_lcp_queries.dir/fig5_lcp_queries.cc.o"
+  "CMakeFiles/fig5_lcp_queries.dir/fig5_lcp_queries.cc.o.d"
+  "fig5_lcp_queries"
+  "fig5_lcp_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_lcp_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_time_to_target.dir/fig7_time_to_target.cc.o"
+  "CMakeFiles/fig7_time_to_target.dir/fig7_time_to_target.cc.o.d"
+  "fig7_time_to_target"
+  "fig7_time_to_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_time_to_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_task_traces.dir/fig9_task_traces.cc.o"
+  "CMakeFiles/fig9_task_traces.dir/fig9_task_traces.cc.o.d"
+  "fig9_task_traces"
+  "fig9_task_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_task_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lcp.dir/micro_lcp.cc.o"
+  "CMakeFiles/micro_lcp.dir/micro_lcp.cc.o.d"
+  "micro_lcp"
+  "micro_lcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

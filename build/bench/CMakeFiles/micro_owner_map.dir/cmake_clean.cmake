@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_owner_map.dir/micro_owner_map.cc.o"
+  "CMakeFiles/micro_owner_map.dir/micro_owner_map.cc.o.d"
+  "micro_owner_map"
+  "micro_owner_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_owner_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_io.dir/incremental_io.cpp.o"
+  "CMakeFiles/incremental_io.dir/incremental_io.cpp.o.d"
+  "incremental_io"
+  "incremental_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/hdf5_pfs.cc" "src/CMakeFiles/evostore_baseline.dir/baseline/hdf5_pfs.cc.o" "gcc" "src/CMakeFiles/evostore_baseline.dir/baseline/hdf5_pfs.cc.o.d"
+  "/root/repo/src/baseline/redis_queries.cc" "src/CMakeFiles/evostore_baseline.dir/baseline/redis_queries.cc.o" "gcc" "src/CMakeFiles/evostore_baseline.dir/baseline/redis_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/evostore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/evostore_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/evostore_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/evostore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/evostore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/evostore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

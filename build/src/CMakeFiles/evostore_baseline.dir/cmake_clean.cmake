@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evostore_baseline.dir/baseline/hdf5_pfs.cc.o"
+  "CMakeFiles/evostore_baseline.dir/baseline/hdf5_pfs.cc.o.d"
+  "CMakeFiles/evostore_baseline.dir/baseline/redis_queries.cc.o"
+  "CMakeFiles/evostore_baseline.dir/baseline/redis_queries.cc.o.d"
+  "libevostore_baseline.a"
+  "libevostore_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evostore_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

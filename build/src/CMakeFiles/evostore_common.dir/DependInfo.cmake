@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/buffer.cc" "src/CMakeFiles/evostore_common.dir/common/buffer.cc.o" "gcc" "src/CMakeFiles/evostore_common.dir/common/buffer.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/evostore_common.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/evostore_common.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/evostore_common.dir/common/log.cc.o" "gcc" "src/CMakeFiles/evostore_common.dir/common/log.cc.o.d"
+  "/root/repo/src/common/serde.cc" "src/CMakeFiles/evostore_common.dir/common/serde.cc.o" "gcc" "src/CMakeFiles/evostore_common.dir/common/serde.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/evostore_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/evostore_common.dir/common/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evostore_common.dir/common/buffer.cc.o"
+  "CMakeFiles/evostore_common.dir/common/buffer.cc.o.d"
+  "CMakeFiles/evostore_common.dir/common/hash.cc.o"
+  "CMakeFiles/evostore_common.dir/common/hash.cc.o.d"
+  "CMakeFiles/evostore_common.dir/common/log.cc.o"
+  "CMakeFiles/evostore_common.dir/common/log.cc.o.d"
+  "CMakeFiles/evostore_common.dir/common/serde.cc.o"
+  "CMakeFiles/evostore_common.dir/common/serde.cc.o.d"
+  "CMakeFiles/evostore_common.dir/common/status.cc.o"
+  "CMakeFiles/evostore_common.dir/common/status.cc.o.d"
+  "libevostore_common.a"
+  "libevostore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evostore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libevostore_common.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cc" "src/CMakeFiles/evostore_core.dir/core/client.cc.o" "gcc" "src/CMakeFiles/evostore_core.dir/core/client.cc.o.d"
+  "/root/repo/src/core/lcp.cc" "src/CMakeFiles/evostore_core.dir/core/lcp.cc.o" "gcc" "src/CMakeFiles/evostore_core.dir/core/lcp.cc.o.d"
+  "/root/repo/src/core/owner_map.cc" "src/CMakeFiles/evostore_core.dir/core/owner_map.cc.o" "gcc" "src/CMakeFiles/evostore_core.dir/core/owner_map.cc.o.d"
+  "/root/repo/src/core/provider.cc" "src/CMakeFiles/evostore_core.dir/core/provider.cc.o" "gcc" "src/CMakeFiles/evostore_core.dir/core/provider.cc.o.d"
+  "/root/repo/src/core/repository.cc" "src/CMakeFiles/evostore_core.dir/core/repository.cc.o" "gcc" "src/CMakeFiles/evostore_core.dir/core/repository.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/evostore_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/evostore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/evostore_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/evostore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/evostore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evostore_core.dir/core/client.cc.o"
+  "CMakeFiles/evostore_core.dir/core/client.cc.o.d"
+  "CMakeFiles/evostore_core.dir/core/lcp.cc.o"
+  "CMakeFiles/evostore_core.dir/core/lcp.cc.o.d"
+  "CMakeFiles/evostore_core.dir/core/owner_map.cc.o"
+  "CMakeFiles/evostore_core.dir/core/owner_map.cc.o.d"
+  "CMakeFiles/evostore_core.dir/core/provider.cc.o"
+  "CMakeFiles/evostore_core.dir/core/provider.cc.o.d"
+  "CMakeFiles/evostore_core.dir/core/repository.cc.o"
+  "CMakeFiles/evostore_core.dir/core/repository.cc.o.d"
+  "libevostore_core.a"
+  "libevostore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evostore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

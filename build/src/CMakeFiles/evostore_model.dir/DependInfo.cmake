@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/arch_graph.cc" "src/CMakeFiles/evostore_model.dir/model/arch_graph.cc.o" "gcc" "src/CMakeFiles/evostore_model.dir/model/arch_graph.cc.o.d"
+  "/root/repo/src/model/architecture.cc" "src/CMakeFiles/evostore_model.dir/model/architecture.cc.o" "gcc" "src/CMakeFiles/evostore_model.dir/model/architecture.cc.o.d"
+  "/root/repo/src/model/dtype.cc" "src/CMakeFiles/evostore_model.dir/model/dtype.cc.o" "gcc" "src/CMakeFiles/evostore_model.dir/model/dtype.cc.o.d"
+  "/root/repo/src/model/json.cc" "src/CMakeFiles/evostore_model.dir/model/json.cc.o" "gcc" "src/CMakeFiles/evostore_model.dir/model/json.cc.o.d"
+  "/root/repo/src/model/layer.cc" "src/CMakeFiles/evostore_model.dir/model/layer.cc.o" "gcc" "src/CMakeFiles/evostore_model.dir/model/layer.cc.o.d"
+  "/root/repo/src/model/model.cc" "src/CMakeFiles/evostore_model.dir/model/model.cc.o" "gcc" "src/CMakeFiles/evostore_model.dir/model/model.cc.o.d"
+  "/root/repo/src/model/tensor.cc" "src/CMakeFiles/evostore_model.dir/model/tensor.cc.o" "gcc" "src/CMakeFiles/evostore_model.dir/model/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/evostore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

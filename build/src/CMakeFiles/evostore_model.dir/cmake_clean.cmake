@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evostore_model.dir/model/arch_graph.cc.o"
+  "CMakeFiles/evostore_model.dir/model/arch_graph.cc.o.d"
+  "CMakeFiles/evostore_model.dir/model/architecture.cc.o"
+  "CMakeFiles/evostore_model.dir/model/architecture.cc.o.d"
+  "CMakeFiles/evostore_model.dir/model/dtype.cc.o"
+  "CMakeFiles/evostore_model.dir/model/dtype.cc.o.d"
+  "CMakeFiles/evostore_model.dir/model/json.cc.o"
+  "CMakeFiles/evostore_model.dir/model/json.cc.o.d"
+  "CMakeFiles/evostore_model.dir/model/layer.cc.o"
+  "CMakeFiles/evostore_model.dir/model/layer.cc.o.d"
+  "CMakeFiles/evostore_model.dir/model/model.cc.o"
+  "CMakeFiles/evostore_model.dir/model/model.cc.o.d"
+  "CMakeFiles/evostore_model.dir/model/tensor.cc.o"
+  "CMakeFiles/evostore_model.dir/model/tensor.cc.o.d"
+  "libevostore_model.a"
+  "libevostore_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evostore_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

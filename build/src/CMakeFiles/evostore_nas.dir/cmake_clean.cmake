@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evostore_nas.dir/nas/attn_space.cc.o"
+  "CMakeFiles/evostore_nas.dir/nas/attn_space.cc.o.d"
+  "CMakeFiles/evostore_nas.dir/nas/evolution.cc.o"
+  "CMakeFiles/evostore_nas.dir/nas/evolution.cc.o.d"
+  "CMakeFiles/evostore_nas.dir/nas/runner.cc.o"
+  "CMakeFiles/evostore_nas.dir/nas/runner.cc.o.d"
+  "CMakeFiles/evostore_nas.dir/nas/search_space.cc.o"
+  "CMakeFiles/evostore_nas.dir/nas/search_space.cc.o.d"
+  "CMakeFiles/evostore_nas.dir/nas/training_model.cc.o"
+  "CMakeFiles/evostore_nas.dir/nas/training_model.cc.o.d"
+  "libevostore_nas.a"
+  "libevostore_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evostore_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evostore_net.dir/net/fabric.cc.o"
+  "CMakeFiles/evostore_net.dir/net/fabric.cc.o.d"
+  "CMakeFiles/evostore_net.dir/net/rpc.cc.o"
+  "CMakeFiles/evostore_net.dir/net/rpc.cc.o.d"
+  "libevostore_net.a"
+  "libevostore_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evostore_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evostore_sim.dir/sim/flow.cc.o"
+  "CMakeFiles/evostore_sim.dir/sim/flow.cc.o.d"
+  "CMakeFiles/evostore_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/evostore_sim.dir/sim/simulation.cc.o.d"
+  "CMakeFiles/evostore_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/evostore_sim.dir/sim/stats.cc.o.d"
+  "libevostore_sim.a"
+  "libevostore_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evostore_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

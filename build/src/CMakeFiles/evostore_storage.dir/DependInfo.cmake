@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/h5file.cc" "src/CMakeFiles/evostore_storage.dir/storage/h5file.cc.o" "gcc" "src/CMakeFiles/evostore_storage.dir/storage/h5file.cc.o.d"
+  "/root/repo/src/storage/log_kv.cc" "src/CMakeFiles/evostore_storage.dir/storage/log_kv.cc.o" "gcc" "src/CMakeFiles/evostore_storage.dir/storage/log_kv.cc.o.d"
+  "/root/repo/src/storage/mem_kv.cc" "src/CMakeFiles/evostore_storage.dir/storage/mem_kv.cc.o" "gcc" "src/CMakeFiles/evostore_storage.dir/storage/mem_kv.cc.o.d"
+  "/root/repo/src/storage/pfs.cc" "src/CMakeFiles/evostore_storage.dir/storage/pfs.cc.o" "gcc" "src/CMakeFiles/evostore_storage.dir/storage/pfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/evostore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/evostore_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/evostore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/evostore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

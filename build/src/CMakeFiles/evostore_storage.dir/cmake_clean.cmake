@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evostore_storage.dir/storage/h5file.cc.o"
+  "CMakeFiles/evostore_storage.dir/storage/h5file.cc.o.d"
+  "CMakeFiles/evostore_storage.dir/storage/log_kv.cc.o"
+  "CMakeFiles/evostore_storage.dir/storage/log_kv.cc.o.d"
+  "CMakeFiles/evostore_storage.dir/storage/mem_kv.cc.o"
+  "CMakeFiles/evostore_storage.dir/storage/mem_kv.cc.o.d"
+  "CMakeFiles/evostore_storage.dir/storage/pfs.cc.o"
+  "CMakeFiles/evostore_storage.dir/storage/pfs.cc.o.d"
+  "libevostore_storage.a"
+  "libevostore_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evostore_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evostore_workload.dir/workload/arch_generator.cc.o"
+  "CMakeFiles/evostore_workload.dir/workload/arch_generator.cc.o.d"
+  "CMakeFiles/evostore_workload.dir/workload/deepspace.cc.o"
+  "CMakeFiles/evostore_workload.dir/workload/deepspace.cc.o.d"
+  "libevostore_workload.a"
+  "libevostore_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evostore_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_hdf5_pfs_test.dir/baseline/hdf5_pfs_test.cc.o"
+  "CMakeFiles/baseline_hdf5_pfs_test.dir/baseline/hdf5_pfs_test.cc.o.d"
+  "baseline_hdf5_pfs_test"
+  "baseline_hdf5_pfs_test.pdb"
+  "baseline_hdf5_pfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_hdf5_pfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

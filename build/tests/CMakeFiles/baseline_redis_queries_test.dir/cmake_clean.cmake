@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_redis_queries_test.dir/baseline/redis_queries_test.cc.o"
+  "CMakeFiles/baseline_redis_queries_test.dir/baseline/redis_queries_test.cc.o.d"
+  "baseline_redis_queries_test"
+  "baseline_redis_queries_test.pdb"
+  "baseline_redis_queries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_redis_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_buffer_test.dir/common/buffer_test.cc.o"
+  "CMakeFiles/common_buffer_test.dir/common/buffer_test.cc.o.d"
+  "common_buffer_test"
+  "common_buffer_test.pdb"
+  "common_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

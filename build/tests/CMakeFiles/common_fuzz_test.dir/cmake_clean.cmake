@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_fuzz_test.dir/common/fuzz_test.cc.o"
+  "CMakeFiles/common_fuzz_test.dir/common/fuzz_test.cc.o.d"
+  "common_fuzz_test"
+  "common_fuzz_test.pdb"
+  "common_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_client_test.dir/core/client_test.cc.o"
+  "CMakeFiles/core_client_test.dir/core/client_test.cc.o.d"
+  "core_client_test"
+  "core_client_test.pdb"
+  "core_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

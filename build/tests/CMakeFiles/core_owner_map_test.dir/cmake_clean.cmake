@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_owner_map_test.dir/core/owner_map_test.cc.o"
+  "CMakeFiles/core_owner_map_test.dir/core/owner_map_test.cc.o.d"
+  "core_owner_map_test"
+  "core_owner_map_test.pdb"
+  "core_owner_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_owner_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

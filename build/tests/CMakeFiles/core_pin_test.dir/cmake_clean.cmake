@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pin_test.dir/core/pin_test.cc.o"
+  "CMakeFiles/core_pin_test.dir/core/pin_test.cc.o.d"
+  "core_pin_test"
+  "core_pin_test.pdb"
+  "core_pin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

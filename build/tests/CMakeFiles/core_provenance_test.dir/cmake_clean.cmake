@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_provenance_test.dir/core/provenance_test.cc.o"
+  "CMakeFiles/core_provenance_test.dir/core/provenance_test.cc.o.d"
+  "core_provenance_test"
+  "core_provenance_test.pdb"
+  "core_provenance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_provenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_provider_test.dir/core/provider_test.cc.o"
+  "CMakeFiles/core_provider_test.dir/core/provider_test.cc.o.d"
+  "core_provider_test"
+  "core_provider_test.pdb"
+  "core_provider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_shape_invariants_test.dir/integration/shape_invariants_test.cc.o"
+  "CMakeFiles/integration_shape_invariants_test.dir/integration/shape_invariants_test.cc.o.d"
+  "integration_shape_invariants_test"
+  "integration_shape_invariants_test.pdb"
+  "integration_shape_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_shape_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

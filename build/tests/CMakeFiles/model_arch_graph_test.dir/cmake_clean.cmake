@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_arch_graph_test.dir/model/arch_graph_test.cc.o"
+  "CMakeFiles/model_arch_graph_test.dir/model/arch_graph_test.cc.o.d"
+  "model_arch_graph_test"
+  "model_arch_graph_test.pdb"
+  "model_arch_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_arch_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_architecture_test.dir/model/architecture_test.cc.o"
+  "CMakeFiles/model_architecture_test.dir/model/architecture_test.cc.o.d"
+  "model_architecture_test"
+  "model_architecture_test.pdb"
+  "model_architecture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_architecture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_json_test.dir/model/json_test.cc.o"
+  "CMakeFiles/model_json_test.dir/model/json_test.cc.o.d"
+  "model_json_test"
+  "model_json_test.pdb"
+  "model_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_layer_test.dir/model/layer_test.cc.o"
+  "CMakeFiles/model_layer_test.dir/model/layer_test.cc.o.d"
+  "model_layer_test"
+  "model_layer_test.pdb"
+  "model_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

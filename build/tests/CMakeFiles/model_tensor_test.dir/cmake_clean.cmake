@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_tensor_test.dir/model/tensor_test.cc.o"
+  "CMakeFiles/model_tensor_test.dir/model/tensor_test.cc.o.d"
+  "model_tensor_test"
+  "model_tensor_test.pdb"
+  "model_tensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

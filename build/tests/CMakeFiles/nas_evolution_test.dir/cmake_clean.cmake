@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_evolution_test.dir/nas/evolution_test.cc.o"
+  "CMakeFiles/nas_evolution_test.dir/nas/evolution_test.cc.o.d"
+  "nas_evolution_test"
+  "nas_evolution_test.pdb"
+  "nas_evolution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_evolution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

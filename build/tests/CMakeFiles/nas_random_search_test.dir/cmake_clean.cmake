@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_random_search_test.dir/nas/random_search_test.cc.o"
+  "CMakeFiles/nas_random_search_test.dir/nas/random_search_test.cc.o.d"
+  "nas_random_search_test"
+  "nas_random_search_test.pdb"
+  "nas_random_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_random_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

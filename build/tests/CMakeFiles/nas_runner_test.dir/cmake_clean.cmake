@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_runner_test.dir/nas/runner_test.cc.o"
+  "CMakeFiles/nas_runner_test.dir/nas/runner_test.cc.o.d"
+  "nas_runner_test"
+  "nas_runner_test.pdb"
+  "nas_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

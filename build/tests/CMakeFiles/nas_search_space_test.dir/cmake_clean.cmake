@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_search_space_test.dir/nas/search_space_test.cc.o"
+  "CMakeFiles/nas_search_space_test.dir/nas/search_space_test.cc.o.d"
+  "nas_search_space_test"
+  "nas_search_space_test.pdb"
+  "nas_search_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_search_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

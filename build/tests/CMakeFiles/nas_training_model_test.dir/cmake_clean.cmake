@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_training_model_test.dir/nas/training_model_test.cc.o"
+  "CMakeFiles/nas_training_model_test.dir/nas/training_model_test.cc.o.d"
+  "nas_training_model_test"
+  "nas_training_model_test.pdb"
+  "nas_training_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_training_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_flow_property_test.dir/sim/flow_property_test.cc.o"
+  "CMakeFiles/sim_flow_property_test.dir/sim/flow_property_test.cc.o.d"
+  "sim_flow_property_test"
+  "sim_flow_property_test.pdb"
+  "sim_flow_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_flow_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_flow_test.dir/sim/flow_test.cc.o"
+  "CMakeFiles/sim_flow_test.dir/sim/flow_test.cc.o.d"
+  "sim_flow_test"
+  "sim_flow_test.pdb"
+  "sim_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_h5file_test.dir/storage/h5file_test.cc.o"
+  "CMakeFiles/storage_h5file_test.dir/storage/h5file_test.cc.o.d"
+  "storage_h5file_test"
+  "storage_h5file_test.pdb"
+  "storage_h5file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_h5file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_mem_kv_test.dir/storage/mem_kv_test.cc.o"
+  "CMakeFiles/storage_mem_kv_test.dir/storage/mem_kv_test.cc.o.d"
+  "storage_mem_kv_test"
+  "storage_mem_kv_test.pdb"
+  "storage_mem_kv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_mem_kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_deepspace_test.dir/workload/deepspace_test.cc.o"
+  "CMakeFiles/workload_deepspace_test.dir/workload/deepspace_test.cc.o.d"
+  "workload_deepspace_test"
+  "workload_deepspace_test.pdb"
+  "workload_deepspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_deepspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
