@@ -53,5 +53,40 @@ int main(int argc, char** argv) {
   std::printf("  - retirement shrinks EvoStore by %.1fx (population-bounded "
               "live set)\n",
               evo_keep.gb / evo_retire.gb);
+
+  // Compression extension: a fine-tuning workload (part of the transferred
+  // prefix is modified, so it must be stored self-owned) run once with Raw
+  // segments and once with the delta-vs-ancestor codec. Retirement is off so
+  // both runs keep the same logical segment set (with GC on, delta
+  // dependencies retain ancestor bases past retirement and the live sets
+  // diverge); the physical column then isolates what the codec saves.
+  std::printf("\ncompression (fine-tuning workload, no retire, 60%% of LCP "
+              "fine-tuned, 15%% of tensors touched):\n");
+  auto measure_codec = [&](compress::CodecId codec) {
+    bench::RunOptions opt;
+    opt.retire = false;
+    opt.finetune_lcp_fraction = 0.6;
+    opt.finetune_update_fraction = 0.15;
+    opt.put_codec = codec;
+    return bench::run_nas_approach(Approach::kEvoStore, gpus, candidates, 42,
+                                   opt);
+  };
+  auto evo_raw = measure_codec(compress::CodecId::kRaw);
+  auto evo_delta = measure_codec(compress::CodecId::kDeltaVsAncestor);
+  auto ratio = [](size_t num, size_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+  };
+  std::printf("%-26s %14s %14s %8s\n", "codec", "logical (GB)",
+              "physical (GB)", "ratio");
+  std::printf("%-26s %14.1f %14.1f %8.2f\n", "Raw",
+              evo_raw.stored_bytes / 1e9, evo_raw.physical_bytes / 1e9,
+              ratio(evo_raw.physical_bytes, evo_raw.stored_bytes));
+  std::printf("%-26s %14.1f %14.1f %8.2f\n", "DeltaVsAncestor",
+              evo_delta.stored_bytes / 1e9, evo_delta.physical_bytes / 1e9,
+              ratio(evo_delta.physical_bytes, evo_delta.stored_bytes));
+  std::printf("  - delta physical bytes are %.0f%% of Raw physical bytes "
+              "(target <= 60%%)\n",
+              100 * ratio(evo_delta.physical_bytes, evo_raw.physical_bytes));
   return 0;
 }

@@ -1,0 +1,151 @@
+// Micro-benchmarks for the tensor codec subsystem: raw/zero-RLE/delta
+// encode and decode throughput on the segment shapes the providers see.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "compress/compressed_segment.h"
+#include "compress/zero_rle.h"
+#include "model/model.h"
+
+namespace {
+
+using namespace evostore;
+using common::Buffer;
+using compress::CodecId;
+
+// Dense segment with `tensor_count` tensors of `bytes_each` bytes whose
+// content is pseudo-random except for a leading zero run of `zero_fraction`
+// per tensor (models sparsified / freshly-initialized weights).
+model::Segment dense_segment(size_t tensor_count, size_t bytes_each,
+                             uint64_t seed, double zero_fraction) {
+  model::Segment seg;
+  for (size_t t = 0; t < tensor_count; ++t) {
+    common::Bytes bytes(bytes_each);
+    size_t zeros = static_cast<size_t>(zero_fraction *
+                                       static_cast<double>(bytes_each));
+    for (size_t i = zeros; i < bytes_each; ++i) {
+      bytes[i] = static_cast<std::byte>(
+          common::SplitMix64::at(seed + t, i) & 0xff);
+    }
+    model::TensorSpec spec;
+    spec.shape = {static_cast<int64_t>(bytes_each / 4)};
+    spec.dtype = model::DType::kF32;
+    seg.tensors.emplace_back(spec,
+                             Buffer::copy(std::span<const std::byte>(bytes)));
+  }
+  return seg;
+}
+
+const common::SegmentKey kBaseKey{common::ModelId::make(0, 1), 0};
+
+void BM_CompressRaw(benchmark::State& state) {
+  model::Segment seg =
+      dense_segment(4, static_cast<size_t>(state.range(0)), 7, 0.0);
+  for (auto _ : state) {
+    auto env = compress::compress_segment(seg, CodecId::kRaw);
+    benchmark::DoNotOptimize(env.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(seg.nbytes()));
+}
+BENCHMARK(BM_CompressRaw)->Arg(4096)->Arg(1 << 18);
+
+void BM_CompressZeroRle(benchmark::State& state) {
+  // Half of every tensor is zeros: RLE pays off and is taken.
+  model::Segment seg =
+      dense_segment(4, static_cast<size_t>(state.range(0)), 7, 0.5);
+  for (auto _ : state) {
+    auto env = compress::compress_segment(seg, CodecId::kZeroRle);
+    benchmark::DoNotOptimize(env.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(seg.nbytes()));
+}
+BENCHMARK(BM_CompressZeroRle)->Arg(4096)->Arg(1 << 18);
+
+void BM_CompressDeltaUnchanged(benchmark::State& state) {
+  // Child shares every tensor buffer with the base: the delta codec hits the
+  // identity fast path and encodes O(1) per tensor regardless of size.
+  model::Segment base =
+      dense_segment(4, static_cast<size_t>(state.range(0)), 7, 0.0);
+  model::Segment child = base;
+  for (auto _ : state) {
+    auto env = compress::compress_segment(child, CodecId::kDeltaVsAncestor,
+                                          &base, &kBaseKey);
+    benchmark::DoNotOptimize(env.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(child.nbytes()));
+}
+BENCHMARK(BM_CompressDeltaUnchanged)->Arg(4096)->Arg(1 << 18);
+
+void BM_CompressDeltaFinetuned(benchmark::State& state) {
+  // A quarter of the tensors are re-seeded (fine-tuning); the rest delta to
+  // nothing via the identity fast path.
+  model::Segment base =
+      dense_segment(8, static_cast<size_t>(state.range(0)), 7, 0.0);
+  model::Segment child = model::finetune_segment(base, 99, 0.25);
+  for (auto _ : state) {
+    auto env = compress::compress_segment(child, CodecId::kDeltaVsAncestor,
+                                          &base, &kBaseKey);
+    benchmark::DoNotOptimize(env.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(child.nbytes()));
+}
+BENCHMARK(BM_CompressDeltaFinetuned)->Arg(4096)->Arg(1 << 18);
+
+void BM_DecompressDelta(benchmark::State& state) {
+  model::Segment base =
+      dense_segment(8, static_cast<size_t>(state.range(0)), 7, 0.0);
+  model::Segment child = model::finetune_segment(base, 99, 0.25);
+  auto env = compress::compress_segment(child, CodecId::kDeltaVsAncestor,
+                                        &base, &kBaseKey)
+                 .value();
+  for (auto _ : state) {
+    auto seg = compress::decompress_segment(env, &base);
+    benchmark::DoNotOptimize(seg.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(child.nbytes()));
+}
+BENCHMARK(BM_DecompressDelta)->Arg(4096)->Arg(1 << 18);
+
+void BM_ZeroRleEncodeBytes(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  common::Bytes in(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Alternating 16-byte random and 48-byte zero stretches.
+    in[i] = (i % 64) < 16
+                ? static_cast<std::byte>(common::SplitMix64::at(3, i) & 0xff)
+                : std::byte{0};
+  }
+  for (auto _ : state) {
+    auto out = compress::zero_rle_encode(std::span<const std::byte>(in));
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ZeroRleEncodeBytes)->Arg(4096)->Arg(1 << 20);
+
+void BM_ZeroRleDecodeBytes(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  common::Bytes in(n);
+  for (size_t i = 0; i < n; ++i) {
+    in[i] = (i % 64) < 16
+                ? static_cast<std::byte>(common::SplitMix64::at(3, i) & 0xff)
+                : std::byte{0};
+  }
+  common::Bytes encoded =
+      compress::zero_rle_encode(std::span<const std::byte>(in));
+  common::Bytes out(n);
+  for (auto _ : state) {
+    auto st = compress::zero_rle_decode(std::span<const std::byte>(encoded),
+                                        std::span<std::byte>(out));
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ZeroRleDecodeBytes)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace

@@ -25,13 +25,25 @@ inline const char* approach_name(Approach a) {
 
 struct NasOutcome {
   nas::NasResult result;
-  size_t stored_bytes = 0;        // repository payload at end of run
+  size_t stored_bytes = 0;        // repository payload at end of run (logical)
+  size_t physical_bytes = 0;      // post-compression payload (EvoStore only)
   size_t peak_metadata_bytes = 0; // metadata footprint (EvoStore only)
+};
+
+/// Knobs beyond the (approach, gpus, candidates, seed) basics.
+struct RunOptions {
+  bool retire = true;
+  /// Passed through to NasConfig: fraction of the LCP fine-tuned (stored
+  /// self-owned) and fraction of each fine-tuned segment's tensors modified.
+  double finetune_lcp_fraction = 0.0;
+  double finetune_update_fraction = 0.25;
+  /// Codec EvoStore clients apply to self-owned segments.
+  compress::CodecId put_codec = compress::CodecId::kRaw;
 };
 
 inline NasOutcome run_nas_approach(Approach approach, int gpus,
                                    size_t candidates, uint64_t seed,
-                                   bool retire = true) {
+                                   RunOptions options) {
   Cluster cluster(gpus);
   nas::AttnSearchSpace space;
   nas::NasConfig cfg;
@@ -39,7 +51,9 @@ inline NasOutcome run_nas_approach(Approach approach, int gpus,
   cfg.population_cap = 100;
   cfg.sample_size = 10;
   cfg.seed = seed;
-  cfg.retire_dropped = retire;
+  cfg.retire_dropped = options.retire;
+  cfg.finetune_lcp_fraction = options.finetune_lcp_fraction;
+  cfg.finetune_update_fraction = options.finetune_update_fraction;
 
   NasOutcome out;
   switch (approach) {
@@ -50,11 +64,15 @@ inline NasOutcome run_nas_approach(Approach approach, int gpus,
       break;
     }
     case Approach::kEvoStore: {
-      core::EvoStoreRepository repo(cluster.rpc, cluster.provider_nodes);
+      core::ClientConfig ccfg;
+      ccfg.put_codec = options.put_codec;
+      core::EvoStoreRepository repo(cluster.rpc, cluster.provider_nodes, {},
+                                    {}, ccfg);
       cfg.use_transfer = true;
       out.result = nas::run_nas(cluster.sim, cluster.fabric, space, &repo,
                                 cluster.workers, cluster.controller, cfg);
       out.stored_bytes = repo.stored_payload_bytes();
+      out.physical_bytes = repo.stored_physical_bytes();
       out.peak_metadata_bytes = repo.total_metadata_bytes();
       break;
     }
@@ -80,10 +98,19 @@ inline NasOutcome run_nas_approach(Approach approach, int gpus,
       out.result = nas::run_nas(cluster.sim, cluster.fabric, space, &repo,
                                 cluster.workers, cluster.controller, cfg);
       out.stored_bytes = pfs.stored_bytes();
+      out.physical_bytes = pfs.stored_bytes();
       break;
     }
   }
   return out;
+}
+
+inline NasOutcome run_nas_approach(Approach approach, int gpus,
+                                   size_t candidates, uint64_t seed,
+                                   bool retire = true) {
+  RunOptions options;
+  options.retire = retire;
+  return run_nas_approach(approach, gpus, candidates, seed, options);
 }
 
 }  // namespace evostore::bench

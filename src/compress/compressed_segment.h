@@ -1,0 +1,65 @@
+// CompressedSegment: the self-describing envelope a segment travels and is
+// stored in once a codec has run.
+//
+// Envelope layout (serde):
+//   u8      codec id
+//   varint  logical_bytes   — decoded tensor content size
+//   varint  physical_bytes  — modeled storage/wire cost of the payload
+//   bool    has_base
+//   [key]   base SegmentKey (owner u64 + vertex u32), present iff has_base
+//   bytes   codec payload
+//
+// A DeltaVsAncestor envelope depends on its base segment: the provider holds
+// one reference on `base` for as long as the envelope lives, and releases it
+// (possibly cascading) when the envelope is freed — see handle_modify_refs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "compress/codec.h"
+#include "model/model.h"
+
+namespace evostore::compress {
+
+struct CompressedSegment {
+  CodecId codec = CodecId::kRaw;
+  uint64_t logical_bytes = 0;
+  uint64_t physical_bytes = 0;
+  bool has_base = false;
+  common::SegmentKey base{};  // meaningful iff has_base
+  common::Bytes payload;
+
+  friend bool operator==(const CompressedSegment&,
+                         const CompressedSegment&) = default;
+
+  void serialize(common::Serializer& s) const;
+  /// Total: never crashes on corrupt input (the stream's status reports
+  /// truncation; codec/size validity is checked by decompress_segment).
+  static CompressedSegment deserialize(common::Deserializer& d);
+};
+
+/// A non-Raw encoding is kept only when physical < this fraction of logical;
+/// otherwise the envelope falls back to Raw (and drops any base dependency).
+inline constexpr double kCodecFallbackRatio = 0.95;
+
+/// Encode `seg` with `preferred`. DeltaVsAncestor additionally needs the
+/// ancestor's segment content (`base`) and its storage key (`base_key`);
+/// without them, or when the ratio is poor, the result is a Raw envelope.
+/// Stats (when given) are attributed to the *requested* codec, so ratio and
+/// fallback counters describe what the policy achieved.
+common::Result<CompressedSegment> compress_segment(
+    const model::Segment& seg, CodecId preferred,
+    const model::Segment* base = nullptr,
+    const common::SegmentKey* base_key = nullptr,
+    CodecStatsTable* stats = nullptr);
+
+/// Decode an envelope. `base` must be the decoded content of `env.base` when
+/// `env.has_base`. Validates the codec id and the declared logical size.
+common::Result<model::Segment> decompress_segment(
+    const CompressedSegment& env, const model::Segment* base = nullptr,
+    CodecStatsTable* stats = nullptr);
+
+}  // namespace evostore::compress

@@ -1,0 +1,27 @@
+// Byte-level run-length encoding of zero runs.
+//
+// Stream layout: repeated groups of
+//   (varint literal_len, literal_len raw bytes, varint zero_len)
+// until the decoded output reaches its expected size. Zero runs shorter than
+// the break-even threshold stay inside the literal run. Used standalone by
+// the ZeroRle codec and as the back end of DeltaVsAncestor (a byte-wise
+// difference against the base is mostly zeros when few tensors changed).
+#pragma once
+
+#include <span>
+
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace evostore::compress {
+
+/// Encode `in`; worst case (no zero runs) costs a few varint bytes of
+/// framing over the input size.
+common::Bytes zero_rle_encode(std::span<const std::byte> in);
+
+/// Decode into exactly `out.size()` bytes. Returns Corruption when the
+/// stream is truncated, overflows `out`, or leaves trailing bytes.
+common::Status zero_rle_decode(std::span<const std::byte> in,
+                               std::span<std::byte> out);
+
+}  // namespace evostore::compress

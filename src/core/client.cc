@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <unordered_set>
 
 namespace evostore::core {
 
 using common::VertexId;
+using compress::CompressedSegment;
 
 namespace {
 
@@ -17,11 +19,12 @@ Status combine(Status acc, const Status& next) {
 }  // namespace
 
 Client::Client(net::RpcSystem& rpc, NodeId self, uint32_t client_id,
-               std::vector<NodeId> provider_nodes)
+               std::vector<NodeId> provider_nodes, ClientConfig config)
     : rpc_(&rpc),
       self_(self),
       client_id_(client_id),
-      provider_nodes_(std::move(provider_nodes)) {
+      provider_nodes_(std::move(provider_nodes)),
+      config_(config) {
   assert(!provider_nodes_.empty());
 }
 
@@ -95,33 +98,51 @@ sim::CoTask<Status> put_one(net::RpcSystem* rpc, NodeId from, NodeId home,
 sim::CoTask<Status> Client::modify_refs(std::vector<common::SegmentKey> keys,
                                         bool increment,
                                         uint32_t* missing_out) {
-  std::map<common::ProviderId, std::vector<common::SegmentKey>> groups;
-  for (const auto& key : keys) {
-    groups[home_of(key.owner)].push_back(key);
-  }
   auto& sim = rpc_->simulation();
-  std::vector<sim::Future<Result<wire::ModifyRefsResponse>>> futures;
-  futures.reserve(groups.size());
-  for (auto& [provider, group_keys] : groups) {
-    wire::ModifyRefsRequest req;
-    req.increment = increment;
-    req.keys = std::move(group_keys);
-    futures.push_back(sim.spawn(
-        refs_one(rpc_, self_, provider_node(provider), std::move(req))));
-  }
   Status status;
   uint32_t missing = 0;
-  for (auto& f : futures) {
-    auto r = co_await f;
-    if (!r.ok()) {
-      status = combine(status, r.status());
-      continue;
+  std::vector<common::SegmentKey> pending = std::move(keys);
+  bool first_round = true;
+  // Decrements can free delta envelopes, releasing the reference each held
+  // on its base; those bases come back as freed_bases and are decremented in
+  // the next round (the cascade drains down the delta chain). Increments
+  // never free, so they always finish in one round.
+  while (!pending.empty()) {
+    std::map<common::ProviderId, std::vector<common::SegmentKey>> groups;
+    for (const auto& key : pending) {
+      groups[home_of(key.owner)].push_back(key);
     }
-    missing += r->missing;
-    if (missing_out == nullptr) {
-      // Caller treats missing keys as an error.
-      status = combine(status, r->status);
+    std::vector<sim::Future<Result<wire::ModifyRefsResponse>>> futures;
+    futures.reserve(groups.size());
+    for (auto& [provider, group_keys] : groups) {
+      wire::ModifyRefsRequest req;
+      req.increment = first_round ? increment : false;
+      req.keys = std::move(group_keys);
+      futures.push_back(sim.spawn(
+          refs_one(rpc_, self_, provider_node(provider), std::move(req))));
     }
+    pending.clear();
+    for (auto& f : futures) {
+      auto r = co_await f;
+      if (!r.ok()) {
+        status = combine(status, r.status());
+        continue;
+      }
+      if (first_round) {
+        missing += r->missing;
+        if (missing_out == nullptr) {
+          // Caller treats missing keys as an error.
+          status = combine(status, r->status);
+        }
+      } else if (r->missing > 0) {
+        // A cascaded base release hit an already-freed key — the delta
+        // dependency held a reference, so this should be impossible.
+        status = combine(status, r->status);
+      }
+      pending.insert(pending.end(), r->freed_bases.begin(),
+                     r->freed_bases.end());
+    }
+    first_round = false;
   }
   if (missing_out != nullptr) *missing_out = missing;
   co_return status;
@@ -140,10 +161,41 @@ sim::CoTask<Status> Client::fan_out_refs(const OwnerMap& owners,
 
 sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc) {
   size_t n = m.vertex_count();
-  OwnerMap owners =
-      tc != nullptr
-          ? OwnerMap::derive(m.id(), n, tc->ancestor_owners, tc->matches)
-          : OwnerMap::self_owned(m.id(), n);
+  bool use_delta = config_.put_codec == compress::CodecId::kDeltaVsAncestor;
+
+  // Per fine-tuned child vertex: the ancestor segment it can delta against
+  // (prefix payload, when fetched) and the key that segment is stored under.
+  struct BaseRef {
+    const Segment* segment = nullptr;
+    common::SegmentKey key;
+  };
+  std::unordered_map<VertexId, BaseRef> bases;
+  OwnerMap owners;
+  if (tc == nullptr) {
+    owners = OwnerMap::self_owned(m.id(), n);
+  } else if (tc->finetuned.empty()) {
+    owners = OwnerMap::derive(m.id(), n, tc->ancestor_owners, tc->matches);
+  } else {
+    // Fine-tuned vertices were modified by training: they are stored
+    // self-owned even though the LCP matched them.
+    std::vector<std::pair<VertexId, VertexId>> inherited;
+    inherited.reserve(tc->matches.size());
+    for (size_t i = 0; i < tc->matches.size(); ++i) {
+      auto [gv, av] = tc->matches[i];
+      if (!std::binary_search(tc->finetuned.begin(), tc->finetuned.end(),
+                              gv)) {
+        inherited.push_back(tc->matches[i]);
+        continue;
+      }
+      BaseRef base;
+      base.key = tc->ancestor_owners.entry(av);
+      if (i < tc->prefix_segments.size()) {
+        base.segment = &tc->prefix_segments[i];
+      }
+      bases.emplace(gv, base);
+    }
+    owners = OwnerMap::derive(m.id(), n, tc->ancestor_owners, inherited);
+  }
 
   wire::PutModelRequest req;
   req.id = m.id();
@@ -151,10 +203,32 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
   req.quality = m.quality();
   req.graph = m.graph();
   req.owners = owners;
-  size_t payload = 0;
+  uint64_t payload = 0;
+  // Pinned fine-tuned matches whose envelope kept no base dependency must
+  // release their pin (nothing references the ancestor segment anymore);
+  // conversely, un-pinned envelopes that DID keep a base need a +1 on it.
+  std::vector<common::SegmentKey> release_keys;
+  std::vector<common::SegmentKey> extra_ref_keys;
   for (VertexId v : owners.vertices_owned_by(m.id())) {
-    payload += m.segment(v).nbytes();
-    req.new_segments.emplace_back(v, m.segment(v));
+    const Segment* base = nullptr;
+    const common::SegmentKey* base_key = nullptr;
+    auto it = bases.find(v);
+    if (use_delta && it != bases.end() && it->second.segment != nullptr) {
+      base = it->second.segment;
+      base_key = &it->second.key;
+    }
+    auto env = compress::compress_segment(m.segment(v), config_.put_codec,
+                                          base, base_key, &codec_stats_);
+    if (!env.ok()) co_return env.status();
+    payload += env->physical_bytes;
+    if (it != bases.end()) {
+      if (env->has_base) {
+        if (!tc->pinned) extra_ref_keys.push_back(it->second.key);
+      } else if (tc->pinned) {
+        release_keys.push_back(it->second.key);
+      }
+    }
+    req.new_segments.emplace_back(v, std::move(env).value());
   }
 
   NodeId home = provider_node(home_of(m.id()));
@@ -162,12 +236,25 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
   // The home-provider write and the inherited-segment ref increments
   // proceed in parallel (distinct providers). A pinned transfer already
   // holds +1 on every inherited segment — that pin simply becomes this
-  // model's reference.
-  auto put_future = sim.spawn(put_one(rpc_, self_, home, std::move(req), payload));
+  // model's reference (or, for a fine-tuned vertex, its envelope's delta
+  // base reference).
+  auto put_future = sim.spawn(
+      put_one(rpc_, self_, home, std::move(req), payload));
   Status ref_status;
   if (tc == nullptr || !tc->pinned) {
-    ref_status =
-        co_await fan_out_refs(owners, /*increment=*/true, /*exclude=*/m.id());
+    std::vector<common::SegmentKey> keys;
+    for (const auto& entry : owners.entries()) {
+      if (entry.owner == m.id()) continue;
+      keys.push_back(entry);
+    }
+    keys.insert(keys.end(), extra_ref_keys.begin(), extra_ref_keys.end());
+    ref_status = co_await modify_refs(std::move(keys), /*increment=*/true,
+                                      nullptr);
+  }
+  if (!release_keys.empty()) {
+    ref_status = combine(ref_status,
+                         co_await modify_refs(std::move(release_keys),
+                                              /*increment=*/false, nullptr));
   }
   Status put_status = co_await put_future;
   co_return combine(put_status, ref_status);
@@ -192,11 +279,6 @@ sim::CoTask<Result<ModelMeta>> Client::get_meta(ModelId id) {
 }
 
 namespace {
-struct ReadGroup {
-  std::vector<VertexId> local_vertices;
-  wire::ReadSegmentsRequest req;
-};
-
 sim::CoTask<Result<wire::ReadSegmentsResponse>> read_one(
     net::RpcSystem* rpc, NodeId from, NodeId to,
     wire::ReadSegmentsRequest req) {
@@ -204,31 +286,32 @@ sim::CoTask<Result<wire::ReadSegmentsResponse>> read_one(
       *rpc, from, to, Provider::kReadSegments, req);
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
-  // RDMA-style payload pull: charge the bulk bytes provider -> client.
+  // RDMA-style payload pull: charge the bulk bytes provider -> client
+  // (post-compression — reading a delta chain moves only the deltas).
   co_await rpc->bulk(to, from, common::Buffer::synthetic(r->payload_bytes, 0));
   co_return std::move(r).value();
 }
 }  // namespace
 
-sim::CoTask<Result<std::vector<Segment>>> Client::read_segments(
-    const OwnerMap& owners, const std::vector<VertexId>& vertices) {
-  // Group requested vertices by the provider hosting their owner's segment.
-  std::map<common::ProviderId, ReadGroup> groups;
-  for (VertexId v : vertices) {
-    const auto& key = owners.entry(v);
-    auto& group = groups[home_of(key.owner)];
-    group.local_vertices.push_back(v);
-    group.req.keys.push_back(key);
+sim::CoTask<Status> Client::fetch_envelopes(
+    const std::vector<common::SegmentKey>& keys,
+    std::unordered_map<common::SegmentKey, CompressedSegment>* out) {
+  // Group keys by the provider hosting them, skipping duplicates and keys
+  // already fetched.
+  std::map<common::ProviderId, wire::ReadSegmentsRequest> groups;
+  std::unordered_set<common::SegmentKey> queued;
+  for (const auto& key : keys) {
+    if (out->count(key) != 0 || !queued.insert(key).second) continue;
+    groups[home_of(key.owner)].keys.push_back(key);
   }
   auto& sim = rpc_->simulation();
-  std::vector<std::vector<VertexId>> order;
+  std::vector<std::vector<common::SegmentKey>> order;
   std::vector<sim::Future<Result<wire::ReadSegmentsResponse>>> futures;
-  for (auto& [provider, group] : groups) {
-    order.push_back(std::move(group.local_vertices));
+  for (auto& [provider, req] : groups) {
+    order.push_back(req.keys);
     futures.push_back(sim.spawn(
-        read_one(rpc_, self_, provider_node(provider), std::move(group.req))));
+        read_one(rpc_, self_, provider_node(provider), std::move(req))));
   }
-  std::map<VertexId, Segment> collected;
   for (size_t i = 0; i < futures.size(); ++i) {
     auto r = co_await futures[i];
     if (!r.ok()) co_return r.status();
@@ -237,12 +320,65 @@ sim::CoTask<Result<std::vector<Segment>>> Client::read_segments(
       co_return Status::Internal("segment count mismatch in read fan-out");
     }
     for (size_t j = 0; j < order[i].size(); ++j) {
-      collected[order[i][j]] = std::move(resp.segments[j]);
+      out->emplace(order[i][j], std::move(resp.segments[j]));
     }
   }
+  co_return Status::Ok();
+}
+
+sim::CoTask<Result<std::vector<Segment>>> Client::read_segments(
+    const OwnerMap& owners, const std::vector<VertexId>& vertices) {
+  std::vector<common::SegmentKey> roots;
+  roots.reserve(vertices.size());
+  for (VertexId v : vertices) roots.push_back(owners.entry(v));
+
+  // Fetch the requested envelopes, then chase unresolved delta bases round
+  // by round: each round is one parallel fan-out, so a chain of depth k
+  // costs k rounds, not k round trips per segment.
+  std::unordered_map<common::SegmentKey, CompressedSegment> envelopes;
+  std::vector<common::SegmentKey> frontier = roots;
+  while (!frontier.empty()) {
+    Status st = co_await fetch_envelopes(frontier, &envelopes);
+    if (!st.ok()) co_return st;
+    std::unordered_set<common::SegmentKey> next;
+    for (const auto& [key, env] : envelopes) {
+      if (env.has_base && envelopes.count(env.base) == 0) {
+        next.insert(env.base);
+      }
+    }
+    frontier.assign(next.begin(), next.end());
+  }
+
+  // Decode memoized, resolving each envelope's base first via an explicit
+  // stack (delta chains can be deep; no recursion).
+  std::unordered_map<common::SegmentKey, Segment> decoded;
+  for (const auto& root : roots) {
+    std::vector<common::SegmentKey> stack{root};
+    while (!stack.empty()) {
+      if (stack.size() > envelopes.size() + 1) {
+        co_return Status::Corruption("delta dependency cycle");
+      }
+      common::SegmentKey key = stack.back();
+      if (decoded.count(key) != 0) {
+        stack.pop_back();
+        continue;
+      }
+      const auto& env = envelopes.at(key);
+      if (env.has_base && decoded.count(env.base) == 0) {
+        stack.push_back(env.base);
+        continue;
+      }
+      const Segment* base = env.has_base ? &decoded.at(env.base) : nullptr;
+      auto seg = compress::decompress_segment(env, base, &codec_stats_);
+      if (!seg.ok()) co_return seg.status();
+      decoded.emplace(key, std::move(seg).value());
+      stack.pop_back();
+    }
+  }
+
   std::vector<Segment> out;
   out.reserve(vertices.size());
-  for (VertexId v : vertices) out.push_back(std::move(collected[v]));
+  for (VertexId v : vertices) out.push_back(decoded.at(owners.entry(v)));
   co_return out;
 }
 
@@ -387,6 +523,18 @@ sim::CoTask<Status> Client::retire(ModelId id) {
   // and the inherited ones alike (O(k), k = leaf layers).
   co_return co_await fan_out_refs(r->owners, /*increment=*/false,
                                   ModelId::invalid());
+}
+
+// ---- stats -----------------------------------------------------------------
+
+sim::CoTask<Result<wire::StatsResponse>> Client::provider_stats(
+    common::ProviderId provider) {
+  wire::StatsRequest req;
+  auto r = co_await net::typed_call<wire::StatsResponse>(
+      *rpc_, self_, provider_node(provider), Provider::kGetStats, req);
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  co_return std::move(r).value();
 }
 
 // ---- provenance ------------------------------------------------------------

@@ -8,8 +8,11 @@
 
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include "compress/codec.h"
+#include "compress/compressed_segment.h"
 #include "core/owner_map.h"
 #include "core/placement.h"
 #include "core/provider.h"
@@ -25,6 +28,15 @@ using common::Status;
 using model::ArchGraph;
 using model::Model;
 using model::Segment;
+
+struct ClientConfig {
+  /// Codec applied to self-owned segments on put. `kDeltaVsAncestor`
+  /// delta-encodes fine-tuned vertices against the TransferContext's prefix
+  /// payloads (anything without a usable base falls back to Raw). The
+  /// default keeps the wire and storage behavior byte-identical to an
+  /// uncompressed deployment.
+  compress::CodecId put_codec = compress::CodecId::kRaw;
+};
 
 /// Everything needed to perform one transfer-learning operation: produced by
 /// `prepare_transfer`, consumed by training (prefix segments) and by
@@ -43,6 +55,11 @@ struct TransferContext {
   /// retirement of the ancestor). put_model turns the pin into the stored
   /// model's reference; abandon_transfer releases it.
   bool pinned = false;
+  /// Child vertices among `matches` whose weights training modified
+  /// (fine-tuned). They are stored self-owned — delta-encoded against the
+  /// ancestor's segment when the client's codec allows — instead of
+  /// inherited by reference. Must be sorted ascending.
+  std::vector<common::VertexId> finetuned;
 
   size_t lcp_len() const { return matches.size(); }
 };
@@ -61,9 +78,12 @@ class Client {
  public:
   /// `provider_nodes[i]` is the fabric node hosting provider i.
   Client(net::RpcSystem& rpc, NodeId self, uint32_t client_id,
-         std::vector<NodeId> provider_nodes);
+         std::vector<NodeId> provider_nodes, ClientConfig config = {});
 
   NodeId node() const { return self_; }
+  const ClientConfig& config() const { return config_; }
+  /// Per-codec encode/decode counters and timings for this client.
+  const compress::CodecStatsTable& codec_stats() const { return codec_stats_; }
 
   /// Allocate a fresh globally-unique model id.
   ModelId allocate_id() { return ModelId::make(client_id_, ++id_seq_); }
@@ -114,6 +134,11 @@ class Client {
   /// refcount decremented (parallel fan-out); payloads freed at zero.
   sim::CoTask<Status> retire(ModelId id);
 
+  /// Fetch one provider's operation counters and live stored volume
+  /// (logical/physical bytes, per-codec breakdown).
+  sim::CoTask<Result<wire::StatsResponse>> provider_stats(
+      common::ProviderId provider);
+
   // ---- Provenance queries (paper §4.1 "owner maps as a foundation") ----
 
   /// Ancestor chain id, parent, grandparent, ... (stops at a from-scratch
@@ -145,19 +170,29 @@ class Client {
 
   // Fan one ModifyRefs round out to the providers hosting `keys`.
   // Returns the number of keys the providers reported missing via
-  // `missing_out` (optional).
+  // `missing_out` (optional). When a decrement frees delta envelopes, the
+  // base references they held are released too — the fan-out loops until the
+  // cascade is drained.
   sim::CoTask<Status> modify_refs(std::vector<common::SegmentKey> keys,
                                   bool increment, uint32_t* missing_out);
   // Convenience: all entries of `owners` except those owned by
   // `exclude_owner` (pass invalid() to include everything).
   sim::CoTask<Status> fan_out_refs(const OwnerMap& owners, bool increment,
                                    ModelId exclude_owner);
+  // Fetch the envelopes for `keys` (skipping ones already in `out`),
+  // grouped by provider, charging bulk transfers at physical size.
+  sim::CoTask<Status> fetch_envelopes(
+      const std::vector<common::SegmentKey>& keys,
+      std::unordered_map<common::SegmentKey, compress::CompressedSegment>*
+          out);
 
   net::RpcSystem* rpc_;
   NodeId self_;
   uint32_t client_id_;
   uint32_t id_seq_ = 0;
   std::vector<NodeId> provider_nodes_;
+  ClientConfig config_;
+  compress::CodecStatsTable codec_stats_{};
 };
 
 }  // namespace evostore::core

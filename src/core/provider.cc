@@ -79,6 +79,24 @@ void Provider::persist_segment(const common::SegmentKey& key,
   if (!st.ok()) EVO_WARN << "persist_segment: " << st.to_string();
 }
 
+void Provider::account_stored(const compress::CompressedSegment& env,
+                              int dir) {
+  size_t idx = compress::codec_index(env.codec);
+  if (dir > 0) {
+    payload_bytes_ += env.logical_bytes;
+    physical_bytes_ += env.physical_bytes;
+    ++codec_usage_[idx].segments;
+    codec_usage_[idx].logical_bytes += env.logical_bytes;
+    codec_usage_[idx].physical_bytes += env.physical_bytes;
+  } else {
+    payload_bytes_ -= env.logical_bytes;
+    physical_bytes_ -= env.physical_bytes;
+    --codec_usage_[idx].segments;
+    codec_usage_[idx].logical_bytes -= env.logical_bytes;
+    codec_usage_[idx].physical_bytes -= env.physical_bytes;
+  }
+}
+
 void Provider::erase_segment_record(const common::SegmentKey& key) {
   if (backend_ == nullptr) return;
   (void)backend_->erase(segment_key(key));
@@ -114,12 +132,13 @@ void Provider::restore_from_backend() {
           std::strtoul(end + 1, nullptr, 10));
       SegEntry entry;
       entry.refs = static_cast<int32_t>(d.i64());
-      entry.segment = model::Segment::deserialize(d);
-      if (!d.finish().ok()) {
+      entry.segment = compress::CompressedSegment::deserialize(d);
+      if (!d.finish().ok() ||
+          compress::codec_for(entry.segment.codec) == nullptr) {
         EVO_WARN << "restore: corrupt segment record '" << key << "'";
         continue;
       }
-      payload_bytes_ += entry.segment.nbytes();
+      account_stored(entry.segment, +1);
       segments_.emplace(common::SegmentKey{owner, vertex}, std::move(entry));
     }
   }
@@ -150,6 +169,9 @@ void Provider::register_handlers(net::RpcSystem& rpc) {
   });
   rpc.register_handler(node_, kLcpQuery, [this](Bytes b) {
     return handle_lcp_query(std::move(b));
+  });
+  rpc.register_handler(node_, kGetStats, [this](Bytes b) {
+    return handle_get_stats(std::move(b));
   });
 }
 
@@ -192,9 +214,16 @@ sim::CoTask<Bytes> Provider::handle_put(Bytes request) {
     resp.status = Status::AlreadyExists("model " + req.id.to_string());
     co_return pack(resp);
   }
-  size_t payload = 0;
-  for (const auto& [v, seg] : req.new_segments) payload += seg.nbytes();
-  co_await charge_pool(static_cast<double>(payload));
+  uint64_t physical = 0;
+  for (const auto& [v, env] : req.new_segments) {
+    if (compress::codec_for(env.codec) == nullptr) {
+      resp.status = Status::InvalidArgument("unknown codec in put");
+      co_return pack(resp);
+    }
+    physical += env.physical_bytes;
+  }
+  // The pool moves what is actually stored: post-compression bytes.
+  co_await charge_pool(static_cast<double>(physical));
   MetaRecord meta;
   meta.graph = std::move(req.graph);
   meta.owners = std::move(req.owners);
@@ -205,10 +234,12 @@ sim::CoTask<Bytes> Provider::handle_put(Bytes request) {
   resp.store_seq = meta.store_seq;
   persist_meta(req.id, meta);
   models_.emplace(req.id, std::move(meta));
-  for (auto& [v, seg] : req.new_segments) {
+  for (auto& [v, env] : req.new_segments) {
     common::SegmentKey key{req.id, v};
-    payload_bytes_ += seg.nbytes();
-    segments_[key] = SegEntry{std::move(seg), 1};
+    stats_.logical_bytes_ingested += env.logical_bytes;
+    stats_.physical_bytes_ingested += env.physical_bytes;
+    account_stored(env, +1);
+    segments_[key] = SegEntry{std::move(env), 1};
     persist_segment(key, segments_[key]);
   }
   resp.status = Status::Ok();
@@ -254,7 +285,7 @@ sim::CoTask<Bytes> Provider::handle_read_segments(Bytes request) {
       resp.status = Status::NotFound("segment " + key.to_string());
       co_return pack(resp);
     }
-    resp.payload_bytes += it->second.segment.nbytes();
+    resp.payload_bytes += it->second.segment.physical_bytes;
     resp.segments.push_back(it->second.segment);
   }
   co_await charge_pool(static_cast<double>(resp.payload_bytes));
@@ -285,8 +316,12 @@ sim::CoTask<Bytes> Provider::handle_modify_refs(Bytes request) {
     } else {
       ++stats_.refs_removed;
       if (--it->second.refs <= 0) {
-        resp.freed_bytes += it->second.segment.nbytes();
-        payload_bytes_ -= it->second.segment.nbytes();
+        const auto& env = it->second.segment;
+        resp.freed_bytes += env.logical_bytes;
+        // A freed delta envelope releases the reference it held on its base;
+        // the caller decrements that key next (cascading down the chain).
+        if (env.has_base) resp.freed_bases.push_back(env.base);
+        account_stored(env, -1);
         segments_.erase(it);
         erase_segment_record(key);
         ++stats_.segments_freed;
@@ -358,6 +393,31 @@ sim::CoTask<Bytes> Provider::handle_lcp_query(Bytes request) {
   co_await sim_->delay(
       config_.lcp_per_model_seconds * static_cast<double>(models_.size()) +
       config_.lcp_visit_seconds * static_cast<double>(cost.vertex_visits));
+  co_return pack(resp);
+}
+
+sim::CoTask<Bytes> Provider::handle_get_stats(Bytes request) {
+  (void)request;
+  ++stats_.stat_gets;
+  co_await sim_->delay(config_.op_seconds);
+  wire::StatsResponse resp;
+  resp.puts = stats_.puts;
+  resp.segment_reads = stats_.segment_reads;
+  resp.refs_added = stats_.refs_added;
+  resp.refs_removed = stats_.refs_removed;
+  resp.segments_freed = stats_.segments_freed;
+  resp.live_models = models_.size();
+  resp.live_segments = segments_.size();
+  resp.logical_bytes = payload_bytes_;
+  resp.physical_bytes = physical_bytes_;
+  for (size_t i = 0; i < compress::kCodecCount; ++i) {
+    const auto& u = codec_usage_[i];
+    if (u.segments == 0) continue;
+    resp.codecs.push_back(wire::CodecUsageEntry{
+        static_cast<compress::CodecId>(i), u.segments, u.logical_bytes,
+        u.physical_bytes});
+  }
+  resp.status = Status::Ok();
   co_return pack(resp);
 }
 

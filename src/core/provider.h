@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "compress/codec.h"
+#include "compress/compressed_segment.h"
 #include "core/wire.h"
 #include "net/rpc.h"
 #include "storage/kv_store.h"
@@ -50,6 +52,11 @@ struct ProviderStats {
   uint64_t refs_added = 0;
   uint64_t refs_removed = 0;
   uint64_t segments_freed = 0;
+  uint64_t stat_gets = 0;
+  /// Cumulative payload volume ingested by puts (logical = decoded tensor
+  /// content, physical = post-compression envelope payload).
+  uint64_t logical_bytes_ingested = 0;
+  uint64_t physical_bytes_ingested = 0;
 };
 
 class Provider {
@@ -69,8 +76,12 @@ class Provider {
   // -- Introspection (same-process access for tests, benches, GC audits) --
   size_t model_count() const { return models_.size(); }
   size_t segment_count() const { return segments_.size(); }
-  /// Logical payload bytes of all live segments.
+  /// Logical payload bytes of all live segments (decoded tensor content).
   size_t stored_payload_bytes() const { return payload_bytes_; }
+  /// Physical payload bytes of all live segments (post-compression).
+  size_t stored_physical_bytes() const { return physical_bytes_; }
+  /// Live stored volume broken down by codec.
+  const compress::CodecUsageTable& codec_usage() const { return codec_usage_; }
   /// Owner-map + graph metadata footprint estimate.
   size_t metadata_bytes() const;
   bool has_model(common::ModelId id) const {
@@ -89,6 +100,7 @@ class Provider {
   static constexpr const char* kModifyRefs = "evostore.modify_refs";
   static constexpr const char* kRetire = "evostore.retire";
   static constexpr const char* kLcpQuery = "evostore.lcp_query";
+  static constexpr const char* kGetStats = "evostore.get_stats";
 
  private:
   struct MetaRecord {
@@ -100,7 +112,7 @@ class Provider {
     uint64_t store_seq = 0;
   };
   struct SegEntry {
-    model::Segment segment;
+    compress::CompressedSegment segment;
     int32_t refs = 0;
   };
 
@@ -108,6 +120,9 @@ class Provider {
   // Charge `bytes` through the provider's memory-pool port (no-op when pool
   // modelling is disabled).
   sim::CoTask<void> charge_pool(double bytes);
+  /// Add (`dir` = +1) or remove (-1) one stored envelope from the live
+  /// logical/physical byte totals and the per-codec usage table.
+  void account_stored(const compress::CompressedSegment& env, int dir);
 
   // ---- persistence (no-ops when backend_ == nullptr) ----
   struct MetaRecord;
@@ -127,6 +142,7 @@ class Provider {
   sim::CoTask<common::Bytes> handle_modify_refs(common::Bytes request);
   sim::CoTask<common::Bytes> handle_retire(common::Bytes request);
   sim::CoTask<common::Bytes> handle_lcp_query(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_get_stats(common::Bytes request);
 
   sim::Simulation* sim_;
   sim::FlowScheduler* flows_;
@@ -140,7 +156,9 @@ class Provider {
 
   std::unordered_map<common::ModelId, MetaRecord> models_;
   std::unordered_map<common::SegmentKey, SegEntry> segments_;
-  size_t payload_bytes_ = 0;
+  size_t payload_bytes_ = 0;   // logical (decoded) bytes of live segments
+  size_t physical_bytes_ = 0;  // post-compression bytes of live segments
+  compress::CodecUsageTable codec_usage_{};
   ProviderStats stats_;
 };
 

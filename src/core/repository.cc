@@ -5,8 +5,11 @@ namespace evostore::core {
 EvoStoreRepository::EvoStoreRepository(net::RpcSystem& rpc,
                                        std::vector<NodeId> provider_nodes,
                                        ProviderConfig config,
-                                       std::vector<storage::KvStore*> backends)
-    : rpc_(&rpc), provider_nodes_(std::move(provider_nodes)) {
+                                       std::vector<storage::KvStore*> backends,
+                                       ClientConfig client_config)
+    : rpc_(&rpc),
+      provider_nodes_(std::move(provider_nodes)),
+      client_config_(client_config) {
   providers_.reserve(provider_nodes_.size());
   for (size_t i = 0; i < provider_nodes_.size(); ++i) {
     storage::KvStore* backend = i < backends.size() ? backends[i] : nullptr;
@@ -22,7 +25,8 @@ Client& EvoStoreRepository::client(NodeId node) {
     it = clients_
              .emplace(node, std::make_unique<Client>(*rpc_, node,
                                                      next_client_id_++,
-                                                     provider_nodes_))
+                                                     provider_nodes_,
+                                                     client_config_))
              .first;
   }
   return *it->second;
@@ -50,6 +54,12 @@ sim::CoTask<Status> EvoStoreRepository::retire(NodeId node, ModelId id) {
 size_t EvoStoreRepository::stored_payload_bytes() const {
   size_t n = 0;
   for (const auto& p : providers_) n += p->stored_payload_bytes();
+  return n;
+}
+
+size_t EvoStoreRepository::stored_physical_bytes() const {
+  size_t n = 0;
+  for (const auto& p : providers_) n += p->stored_physical_bytes();
   return n;
 }
 

@@ -55,7 +55,8 @@ class EvoStoreRepository final : public ModelRepository {
   /// in-memory providers. Non-owning; backends must outlive the repository.
   EvoStoreRepository(net::RpcSystem& rpc, std::vector<NodeId> provider_nodes,
                      ProviderConfig config = {},
-                     std::vector<storage::KvStore*> backends = {});
+                     std::vector<storage::KvStore*> backends = {},
+                     ClientConfig client_config = {});
 
   std::string name() const override { return "EvoStore"; }
   ModelId allocate_id() override { return ModelId::make(0, ++id_seq_); }
@@ -67,6 +68,9 @@ class EvoStoreRepository final : public ModelRepository {
   sim::CoTask<Result<Model>> load(NodeId client, ModelId id) override;
   sim::CoTask<Status> retire(NodeId client, ModelId id) override;
   size_t stored_payload_bytes() const override;
+
+  /// Physical (post-compression) payload bytes across all providers.
+  size_t stored_physical_bytes() const;
 
   /// Direct client access (full API incl. provenance queries).
   Client& client(NodeId node);
@@ -85,6 +89,7 @@ class EvoStoreRepository final : public ModelRepository {
   std::vector<NodeId> provider_nodes_;
   std::vector<std::unique_ptr<Provider>> providers_;
   std::unordered_map<NodeId, std::unique_ptr<Client>> clients_;
+  ClientConfig client_config_;
   uint32_t id_seq_ = 0;
   uint32_t next_client_id_ = 1;
 };

@@ -14,6 +14,8 @@
 #include "common/serde.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "compress/codec.h"
+#include "compress/compressed_segment.h"
 #include "core/owner_map.h"
 #include "model/arch_graph.h"
 #include "model/model.h"
@@ -25,6 +27,7 @@ using common::ModelId;
 using common::SegmentKey;
 using common::Serializer;
 using common::VertexId;
+using compress::CompressedSegment;
 using model::ArchGraph;
 using model::Segment;
 
@@ -57,8 +60,8 @@ struct PutModelRequest {
   double quality = 0;
   ArchGraph graph;
   OwnerMap owners;
-  /// Segments this model owns, keyed by local vertex id.
-  std::vector<std::pair<VertexId, Segment>> new_segments;
+  /// Compressed segment envelopes this model owns, keyed by local vertex id.
+  std::vector<std::pair<VertexId, CompressedSegment>> new_segments;
 
   void serialize(Serializer& s) const {
     s.u64(id.value);
@@ -67,9 +70,9 @@ struct PutModelRequest {
     graph.serialize(s);
     owners.serialize(s);
     s.u64(new_segments.size());
-    for (const auto& [v, seg] : new_segments) {
+    for (const auto& [v, env] : new_segments) {
       s.u32(v);
-      seg.serialize(s);
+      env.serialize(s);
     }
   }
   static PutModelRequest deserialize(Deserializer& d) {
@@ -80,11 +83,11 @@ struct PutModelRequest {
     r.graph = ArchGraph::deserialize(d);
     r.owners = OwnerMap::deserialize(d);
     uint64_t n = d.u64();
-    if (!d.check_count(n)) return r;
+    if (!d.check_count(n, 5)) return r;
     r.new_segments.reserve(n);
     for (uint64_t i = 0; i < n && d.ok(); ++i) {
       VertexId v = d.u32();
-      r.new_segments.emplace_back(v, Segment::deserialize(d));
+      r.new_segments.emplace_back(v, CompressedSegment::deserialize(d));
     }
     return r;
   }
@@ -170,24 +173,26 @@ struct ReadSegmentsRequest {
 
 struct ReadSegmentsResponse {
   common::Status status;
-  /// Segments in request-key order (empty on error).
-  std::vector<Segment> segments;
+  /// Compressed envelopes in request-key order (empty on error). Decoding —
+  /// including resolving delta base dependencies — is the client's job.
+  std::vector<CompressedSegment> segments;
+  /// Physical bytes moved over the bulk path (post-compression).
   uint64_t payload_bytes = 0;
 
   void serialize(Serializer& s) const {
     serialize_status(s, status);
     s.u64(segments.size());
-    for (const auto& seg : segments) seg.serialize(s);
+    for (const auto& env : segments) env.serialize(s);
     s.u64(payload_bytes);
   }
   static ReadSegmentsResponse deserialize(Deserializer& d) {
     ReadSegmentsResponse r;
     r.status = deserialize_status(d);
     uint64_t n = d.u64();
-    if (!d.check_count(n)) return r;
+    if (!d.check_count(n, 5)) return r;
     r.segments.reserve(n);
     for (uint64_t i = 0; i < n && d.ok(); ++i) {
-      r.segments.push_back(Segment::deserialize(d));
+      r.segments.push_back(CompressedSegment::deserialize(d));
     }
     r.payload_bytes = d.u64();
     return r;
@@ -220,17 +225,29 @@ struct ModifyRefsResponse {
   common::Status status;
   uint32_t missing = 0;
   uint64_t freed_bytes = 0;
+  /// Base keys whose delta-dependency reference was released because a
+  /// dependent envelope was freed by this request. The caller must decrement
+  /// these in turn (the release can cascade down a delta chain).
+  std::vector<SegmentKey> freed_bases;
 
   void serialize(Serializer& s) const {
     serialize_status(s, status);
     s.u32(missing);
     s.u64(freed_bytes);
+    s.u64(freed_bases.size());
+    for (const auto& k : freed_bases) serialize_key(s, k);
   }
   static ModifyRefsResponse deserialize(Deserializer& d) {
     ModifyRefsResponse r;
     r.status = deserialize_status(d);
     r.missing = d.u32();
     r.freed_bytes = d.u64();
+    uint64_t n = d.u64();
+    if (!d.check_count(n, 2)) return r;
+    r.freed_bases.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+      r.freed_bases.push_back(deserialize_key(d));
+    }
     return r;
   }
 };
@@ -303,6 +320,85 @@ struct LcpQueryResponse {
       VertexId gv = d.u32();
       VertexId av = d.u32();
       r.matches.emplace_back(gv, av);
+    }
+    return r;
+  }
+};
+
+// ---- get_stats -----------------------------------------------------------
+
+struct StatsRequest {
+  void serialize(Serializer&) const {}
+  static StatsRequest deserialize(Deserializer&) { return {}; }
+};
+
+/// Live per-codec stored volume on one provider.
+struct CodecUsageEntry {
+  compress::CodecId codec = compress::CodecId::kRaw;
+  uint64_t segments = 0;
+  uint64_t logical_bytes = 0;
+  uint64_t physical_bytes = 0;
+
+  friend bool operator==(const CodecUsageEntry&,
+                         const CodecUsageEntry&) = default;
+};
+
+struct StatsResponse {
+  common::Status status;
+  // Operation counters (cumulative).
+  uint64_t puts = 0;
+  uint64_t segment_reads = 0;
+  uint64_t refs_added = 0;
+  uint64_t refs_removed = 0;
+  uint64_t segments_freed = 0;
+  // Live stored state.
+  uint64_t live_models = 0;
+  uint64_t live_segments = 0;
+  uint64_t logical_bytes = 0;   // decoded payload the provider serves
+  uint64_t physical_bytes = 0;  // post-compression payload it stores
+  std::vector<CodecUsageEntry> codecs;
+
+  void serialize(Serializer& s) const {
+    serialize_status(s, status);
+    s.u64(puts);
+    s.u64(segment_reads);
+    s.u64(refs_added);
+    s.u64(refs_removed);
+    s.u64(segments_freed);
+    s.u64(live_models);
+    s.u64(live_segments);
+    s.u64(logical_bytes);
+    s.u64(physical_bytes);
+    s.u64(codecs.size());
+    for (const auto& c : codecs) {
+      s.u8(static_cast<uint8_t>(c.codec));
+      s.u64(c.segments);
+      s.u64(c.logical_bytes);
+      s.u64(c.physical_bytes);
+    }
+  }
+  static StatsResponse deserialize(Deserializer& d) {
+    StatsResponse r;
+    r.status = deserialize_status(d);
+    r.puts = d.u64();
+    r.segment_reads = d.u64();
+    r.refs_added = d.u64();
+    r.refs_removed = d.u64();
+    r.segments_freed = d.u64();
+    r.live_models = d.u64();
+    r.live_segments = d.u64();
+    r.logical_bytes = d.u64();
+    r.physical_bytes = d.u64();
+    uint64_t n = d.u64();
+    if (!d.check_count(n, 4)) return r;
+    r.codecs.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+      CodecUsageEntry e;
+      e.codec = static_cast<compress::CodecId>(d.u8());
+      e.segments = d.u64();
+      e.logical_bytes = d.u64();
+      e.physical_bytes = d.u64();
+      r.codecs.push_back(e);
     }
     return r;
   }

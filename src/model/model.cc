@@ -1,5 +1,7 @@
 #include "model/model.h"
 
+#include "common/rng.h"
+
 namespace evostore::model {
 
 Segment make_random_segment(const ArchGraph& graph, VertexId v, uint64_t seed,
@@ -12,6 +14,24 @@ Segment make_random_segment(const ArchGraph& graph, VertexId v, uint64_t seed,
     uint64_t tensor_seed =
         common::hash_combine(common::hash_combine(seed, v), slot++);
     seg.tensors.push_back(Tensor::random(std::move(spec), tensor_seed));
+  }
+  return seg;
+}
+
+Segment finetune_segment(const Segment& base, uint64_t seed,
+                         double update_fraction) {
+  Segment seg;
+  seg.tensors.reserve(base.tensors.size());
+  for (size_t slot = 0; slot < base.tensors.size(); ++slot) {
+    uint64_t h = common::SplitMix64::at(seed, slot);
+    // Map the slot's hash to [0,1) for an unbiased per-slot update decision.
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < update_fraction) {
+      seg.tensors.push_back(Tensor::random(base.tensors[slot].spec(),
+                                           common::hash_combine(seed, slot)));
+    } else {
+      seg.tensors.push_back(base.tensors[slot]);
+    }
   }
   return seg;
 }

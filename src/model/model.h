@@ -107,4 +107,11 @@ class Model {
 Segment make_random_segment(const ArchGraph& graph, VertexId v, uint64_t seed,
                             DType dtype = DType::kF32);
 
+/// What fine-tuning does to a layer: re-seed roughly `update_fraction` of the
+/// base segment's tensor slots (deterministic in seed), sharing the base's
+/// buffers for the rest. Shared slots are O(1) copies whose identity matches
+/// the base, so a delta codec stores them as zero physical bytes.
+Segment finetune_segment(const Segment& base, uint64_t seed,
+                         double update_fraction);
+
 }  // namespace evostore::model

@@ -1,5 +1,6 @@
 #include "nas/runner.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
@@ -59,8 +60,24 @@ sim::CoTask<void> worker_loop(sim::Simulation* sim, net::Fabric* fabric,
       auto prep = co_await st->repo->prepare_transfer(node, graph, true);
       if (prep.ok() && prep->has_value()) {
         tc = std::move(prep->value());
+        // The deepest finetune_lcp_fraction of the LCP gets fine-tuned:
+        // those vertices are stored self-owned (delta-encodable), and only
+        // the remaining (inherited) prefix counts as frozen for epoch cost.
+        size_t ft_count = static_cast<size_t>(
+            std::floor(static_cast<double>(tc->matches.size()) *
+                       st->config->finetune_lcp_fraction));
+        ft_count = std::min(ft_count, tc->matches.size());
+        for (size_t i = tc->matches.size() - ft_count; i < tc->matches.size();
+             ++i) {
+          tc->finetuned.push_back(tc->matches[i].first);
+        }
+        std::sort(tc->finetuned.begin(), tc->finetuned.end());
         size_t prefix_bytes = 0;
-        for (const auto& seg : tc->prefix_segments) prefix_bytes += seg.nbytes();
+        for (size_t i = 0; i + ft_count < tc->matches.size(); ++i) {
+          if (i < tc->prefix_segments.size()) {
+            prefix_bytes += tc->prefix_segments[i].nbytes();
+          }
+        }
         size_t total = graph.total_param_bytes();
         frozen_fraction =
             total > 0 ? static_cast<double>(prefix_bytes) /
@@ -94,8 +111,17 @@ sim::CoTask<void> worker_loop(sim::Simulation* sim, net::Fabric* fabric,
       model::Model m = model::Model::random(id, graph, weight_seed);
       if (tc.has_value()) {
         for (size_t i = 0; i < tc->matches.size(); ++i) {
-          if (i < tc->prefix_segments.size()) {
-            m.segment(tc->matches[i].first) = tc->prefix_segments[i];
+          if (i >= tc->prefix_segments.size()) continue;
+          common::VertexId v = tc->matches[i].first;
+          if (std::binary_search(tc->finetuned.begin(), tc->finetuned.end(),
+                                 v)) {
+            // Fine-tuned: perturb a fraction of the ancestor's tensors; the
+            // untouched ones share buffers and delta-encode to nothing.
+            m.segment(v) = model::finetune_segment(
+                tc->prefix_segments[i], common::hash_combine(weight_seed, v),
+                st->config->finetune_update_fraction);
+          } else {
+            m.segment(v) = tc->prefix_segments[i];
           }
         }
       }

@@ -35,6 +35,16 @@ struct NasConfig {
   /// Retire models dropped from the population (false reproduces the
   /// "No Retire" storage accounting of paper Fig. 10).
   bool retire_dropped = true;
+  /// Fraction of the transferred LCP (deepest matches first) each worker
+  /// fine-tunes instead of keeping frozen. Fine-tuned vertices are stored
+  /// self-owned — delta-encodable against the ancestor when the client codec
+  /// supports it — rather than inherited by reference. 0 reproduces the
+  /// classic freeze-the-whole-prefix behavior exactly.
+  double finetune_lcp_fraction = 0.0;
+  /// Fraction of each fine-tuned segment's tensors that training actually
+  /// modifies (the rest keep the ancestor's weights and delta-encode to
+  /// nothing). Only meaningful when finetune_lcp_fraction > 0.
+  double finetune_update_fraction = 0.25;
   TrainingConfig training;
   /// Controller dispatch/report overhead per interaction.
   double controller_seconds = 2e-3;

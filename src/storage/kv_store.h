@@ -20,6 +20,15 @@ using common::Buffer;
 using common::Result;
 using common::Status;
 
+/// Bytes a value actually occupies in the store. Synthetic buffers are
+/// persisted as their (seed, size) descriptor — a tag byte plus two varints —
+/// so their footprint is a small constant regardless of logical size. Dense
+/// buffers cost their content.
+inline size_t physical_value_size(const Buffer& v) {
+  constexpr size_t kSyntheticDescriptorBytes = 1 + 8 + 8;
+  return v.is_synthetic() ? kSyntheticDescriptorBytes : v.size();
+}
+
 class KvStore {
  public:
   virtual ~KvStore() = default;
@@ -39,8 +48,14 @@ class KvStore {
   /// All keys in lexicographic order (snapshot).
   virtual std::vector<std::string> keys() const = 0;
 
-  /// Sum of logical value sizes currently stored.
+  /// Sum of *physical* value footprints currently stored (what the values
+  /// occupy in memory or on disk: post-compression payloads, descriptor cost
+  /// for synthetic buffers). See `physical_value_size`.
   virtual size_t value_bytes() const = 0;
+
+  /// Sum of *logical* value sizes currently stored (`Buffer::size()` — the
+  /// uncompressed byte count each value represents).
+  virtual size_t logical_value_bytes() const = 0;
 };
 
 }  // namespace evostore::storage

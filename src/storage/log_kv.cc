@@ -124,7 +124,10 @@ Status LogKv::load() {
           // without re-reading; track via read.
           std::string dummy;
           auto old = read_record(it->second, &dummy);
-          if (old.ok()) live_value_bytes_ -= old.value().size();
+          if (old.ok()) {
+            live_logical_bytes_ -= old.value().size();
+            live_physical_bytes_ -= physical_value_size(old.value());
+          }
           index_.erase(it);
         }
         dead_bytes_ += record_len;  // the tombstone itself is dead weight
@@ -132,12 +135,16 @@ Status LogKv::load() {
         if (it != index_.end()) {
           std::string dummy;
           auto old = read_record(it->second, &dummy);
-          if (old.ok()) live_value_bytes_ -= old.value().size();
+          if (old.ok()) {
+            live_logical_bytes_ -= old.value().size();
+            live_physical_bytes_ -= physical_value_size(old.value());
+          }
           it->second = Location{id, offset, record_len};
         } else {
           index_.emplace(key, Location{id, offset, record_len});
         }
-        live_value_bytes_ += value.size();
+        live_logical_bytes_ += value.size();
+        live_physical_bytes_ += physical_value_size(value);
       }
       offset += record_len;
     }
@@ -242,23 +249,29 @@ Status LogKv::put(std::string_view key, Buffer value) {
   std::lock_guard lock(mu_);
   auto it = index_.find(key);
   size_t old_value_size = 0;
+  size_t old_physical_size = 0;
   bool had_old = false;
   if (it != index_.end()) {
     std::string dummy;
     auto old = read_record(it->second, &dummy);
-    if (old.ok()) old_value_size = old.value().size();
+    if (old.ok()) {
+      old_value_size = old.value().size();
+      old_physical_size = physical_value_size(old.value());
+    }
     had_old = true;
   }
   Location loc;
   EVO_RETURN_IF_ERROR(append_record(key, &value, &loc));
   if (had_old) {
     dead_bytes_ += it->second.length;
-    live_value_bytes_ -= old_value_size;
+    live_logical_bytes_ -= old_value_size;
+    live_physical_bytes_ -= old_physical_size;
     it->second = loc;
   } else {
     index_.emplace(std::string(key), loc);
   }
-  live_value_bytes_ += value.size();
+  live_logical_bytes_ += value.size();
+  live_physical_bytes_ += physical_value_size(value);
   return Status::Ok();
 }
 
@@ -282,7 +295,10 @@ Status LogKv::erase(std::string_view key) {
   Location loc;
   EVO_RETURN_IF_ERROR(append_record(key, nullptr, &loc));
   dead_bytes_ += it->second.length + loc.length;
-  if (old.ok()) live_value_bytes_ -= old.value().size();
+  if (old.ok()) {
+    live_logical_bytes_ -= old.value().size();
+    live_physical_bytes_ -= physical_value_size(old.value());
+  }
   index_.erase(it);
   return Status::Ok();
 }
@@ -307,7 +323,12 @@ std::vector<std::string> LogKv::keys() const {
 
 size_t LogKv::value_bytes() const {
   std::lock_guard lock(mu_);
-  return live_value_bytes_;
+  return live_physical_bytes_;
+}
+
+size_t LogKv::logical_value_bytes() const {
+  std::lock_guard lock(mu_);
+  return live_logical_bytes_;
 }
 
 Result<size_t> LogKv::compact() {
@@ -335,7 +356,8 @@ Result<size_t> LogKv::compact() {
   }
   segments_.clear();
   index_.clear();
-  live_value_bytes_ = 0;
+  live_logical_bytes_ = 0;
+  live_physical_bytes_ = 0;
   dead_bytes_ = 0;
   EVO_RETURN_IF_ERROR(roll_segment());
 
@@ -343,7 +365,8 @@ Result<size_t> LogKv::compact() {
     Location loc;
     EVO_RETURN_IF_ERROR(append_record(key, &value, &loc));
     index_.emplace(key, loc);
-    live_value_bytes_ += value.size();
+    live_logical_bytes_ += value.size();
+    live_physical_bytes_ += physical_value_size(value);
   }
   size_t after = 0;
   for (const auto& [id, sz] : segments_) after += sz;

@@ -49,6 +49,7 @@ class LogKv final : public KvStore {
   size_t size() const override;
   std::vector<std::string> keys() const override;
   size_t value_bytes() const override;
+  size_t logical_value_bytes() const override;
 
   /// Rewrite live data into fresh segments, dropping overwritten records and
   /// tombstones. Returns bytes reclaimed on disk.
@@ -85,7 +86,8 @@ class LogKv final : public KvStore {
   uint64_t active_segment_ = 0;
   std::FILE* active_file_ = nullptr;
   uint64_t active_offset_ = 0;
-  size_t live_value_bytes_ = 0;
+  size_t live_logical_bytes_ = 0;
+  size_t live_physical_bytes_ = 0;
   size_t dead_bytes_ = 0;
 };
 

@@ -20,11 +20,14 @@ Status MemKv::put(std::string_view key, Buffer value) {
   std::unique_lock lock(s.mu);
   auto it = s.entries.find(key);
   if (it != s.entries.end()) {
-    s.bytes -= it->second.size();
-    s.bytes += value.size();
+    s.logical_bytes -= it->second.size();
+    s.physical_bytes -= physical_value_size(it->second);
+    s.logical_bytes += value.size();
+    s.physical_bytes += physical_value_size(value);
     it->second = std::move(value);
   } else {
-    s.bytes += value.size();
+    s.logical_bytes += value.size();
+    s.physical_bytes += physical_value_size(value);
     s.entries.emplace(std::string(key), std::move(value));
   }
   return Status::Ok();
@@ -47,7 +50,8 @@ Status MemKv::erase(std::string_view key) {
   if (it == s.entries.end()) {
     return Status::NotFound("key '" + std::string(key) + "'");
   }
-  s.bytes -= it->second.size();
+  s.logical_bytes -= it->second.size();
+  s.physical_bytes -= physical_value_size(it->second);
   s.entries.erase(it);
   return Status::Ok();
 }
@@ -81,7 +85,16 @@ size_t MemKv::value_bytes() const {
   size_t n = 0;
   for (size_t i = 0; i < shard_count_; ++i) {
     std::shared_lock lock(shards_[i].mu);
-    n += shards_[i].bytes;
+    n += shards_[i].physical_bytes;
+  }
+  return n;
+}
+
+size_t MemKv::logical_value_bytes() const {
+  size_t n = 0;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::shared_lock lock(shards_[i].mu);
+    n += shards_[i].logical_bytes;
   }
   return n;
 }

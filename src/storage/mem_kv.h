@@ -26,12 +26,14 @@ class MemKv final : public KvStore {
   size_t size() const override;
   std::vector<std::string> keys() const override;
   size_t value_bytes() const override;
+  size_t logical_value_bytes() const override;
 
  private:
   struct Shard {
     mutable std::shared_mutex mu;
     std::map<std::string, Buffer, std::less<>> entries;
-    size_t bytes = 0;
+    size_t logical_bytes = 0;
+    size_t physical_bytes = 0;
   };
   Shard& shard_for(std::string_view key) const;
 

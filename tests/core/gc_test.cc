@@ -221,5 +221,130 @@ TEST(Gc, DedupSavesSpaceVersusFullCopies) {
   EXPECT_LT(stored, full_copies / 2);
 }
 
+// ---- Delta-dependency GC: a stored delta holds a reference on its base ----
+
+// Fixture for fine-tuning lineages stored with the delta codec: each derived
+// model fine-tunes matched vertex `kFt` (keeping the big weight tensor,
+// re-seeding the small bias), so the stored segment is a genuine delta
+// envelope with a base dependency.
+struct DeltaLineage {
+  static constexpr VertexId kFt = 2;
+
+  ClusterEnv env{4, ProviderConfig{},
+                 ClientConfig{compress::CodecId::kDeltaVsAncestor}};
+  std::vector<model::Model> models;
+
+  sim::CoTask<common::Status> store(const model::Model& m,
+                                    const TransferContext* tc) {
+    co_return co_await env.client().put_model(m, tc);
+  }
+
+  void build(int generations) {
+    auto& cli = env.client();
+    auto g0 = chain_graph(6, 16);
+    auto base = model::Model::random(env.repo->allocate_id(), g0, 1);
+    base.set_quality(0.5);
+    ASSERT_TRUE(env.run(store(base, nullptr)).ok());
+    models.push_back(std::move(base));
+    for (int gen = 1; gen <= generations; ++gen) {
+      auto g = chain_graph(6, 16, /*mutated_tail=*/2, /*tail_salt=*/7 + gen);
+      auto prep = env.run(cli.prepare_transfer(g, true));
+      ASSERT_TRUE(prep.ok() && prep->has_value());
+      auto tc = std::move(prep->value());
+      ASSERT_GT(tc.lcp_len(), static_cast<size_t>(kFt));
+      auto m = model::Model::random(env.repo->allocate_id(), g,
+                                    static_cast<uint64_t>(100 + gen));
+      for (size_t i = 0; i < tc.matches.size(); ++i) {
+        m.segment(tc.matches[i].first) = tc.prefix_segments[i];
+      }
+      // Fine-tune vertex kFt: same weights, fresh bias => the delta keeps
+      // the weight tensor as a zero-byte "same" record and carries only the
+      // bias, comfortably under the fallback ratio.
+      tc.finetuned.push_back(kFt);
+      model::Segment ft = m.segment(kFt);
+      ASSERT_GE(ft.tensors.size(), 2u);
+      size_t bias_slot = ft.tensors.size() - 1;
+      ft.tensors[bias_slot] = model::Tensor::random(
+          ft.tensors[bias_slot].spec(), static_cast<uint64_t>(9000 + gen));
+      m.segment(kFt) = std::move(ft);
+      m.set_quality(0.5 + 0.01 * gen);
+      ASSERT_TRUE(env.run(store(m, &tc)).ok());
+      models.push_back(std::move(m));
+    }
+  }
+
+  int refcount(SegmentKey key) {
+    for (size_t i = 0; i < env.repo->provider_count(); ++i) {
+      if (env.repo->provider(i).has_segment(key)) {
+        return env.repo->provider(i).refcount(key);
+      }
+    }
+    return 0;
+  }
+};
+
+TEST(Gc, DeltaBaseSurvivesUntilLastDependentRetired) {
+  DeltaLineage lin;
+  lin.build(1);
+  if (::testing::Test::HasFatalFailure()) return;
+  ModelId base = lin.models[0].id();
+  ModelId child = lin.models[1].id();
+  SegmentKey base_key{base, DeltaLineage::kFt};
+  SegmentKey child_key{child, DeltaLineage::kFt};
+
+  // The fine-tuned vertex is self-owned by the child, and its delta envelope
+  // holds one reference on the base segment (in addition to the base model's
+  // own): 1 (base model) + 1 (delta dependency) = 2.
+  EXPECT_EQ(lin.refcount(child_key), 1);
+  EXPECT_EQ(lin.refcount(base_key), 2);
+
+  // Delta physically saved space: stored physical < stored logical.
+  EXPECT_LT(lin.env.repo->stored_physical_bytes(),
+            lin.env.repo->stored_payload_bytes());
+
+  // Retiring the base must NOT free the delta's base segment — the child's
+  // owner map does not reference it, only the delta dependency keeps it
+  // alive.
+  ASSERT_TRUE(lin.env.run(lin.env.client().retire(base)).ok());
+  EXPECT_EQ(lin.refcount(base_key), 1);
+
+  // The child still decodes bit-exactly through the surviving base.
+  auto loaded = lin.env.run(lin.env.client().get_model(child));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  for (VertexId v = 0; v < loaded->vertex_count(); ++v) {
+    EXPECT_TRUE(loaded->segment(v).content_equals(lin.models[1].segment(v)));
+  }
+
+  // Retiring the child frees the delta, which cascades into the base
+  // segment's final reference: nothing is left.
+  ASSERT_TRUE(lin.env.run(lin.env.client().retire(child)).ok());
+  EXPECT_EQ(lin.env.repo->total_segments(), 0u);
+  EXPECT_EQ(lin.env.repo->stored_payload_bytes(), 0u);
+}
+
+TEST(Gc, DeltaChainCascadesAcrossGenerations) {
+  // gen1 deltas against gen0, gen2 against gen1 (each generation fine-tunes
+  // vertex kFt of its parent). Retiring the ancestors first must keep the
+  // whole delta chain decodable; retiring the leaf last frees everything
+  // through the cascade.
+  DeltaLineage lin;
+  lin.build(2);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  ASSERT_TRUE(lin.env.run(lin.env.client().retire(lin.models[0].id())).ok());
+  ASSERT_TRUE(lin.env.run(lin.env.client().retire(lin.models[1].id())).ok());
+
+  auto loaded = lin.env.run(lin.env.client().get_model(lin.models[2].id()));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  for (VertexId v = 0; v < loaded->vertex_count(); ++v) {
+    EXPECT_TRUE(loaded->segment(v).content_equals(lin.models[2].segment(v)));
+  }
+
+  ASSERT_TRUE(lin.env.run(lin.env.client().retire(lin.models[2].id())).ok());
+  EXPECT_EQ(lin.env.repo->total_models(), 0u);
+  EXPECT_EQ(lin.env.repo->total_segments(), 0u);
+  EXPECT_EQ(lin.env.repo->stored_payload_bytes(), 0u);
+}
+
 }  // namespace
 }  // namespace evostore::core

@@ -17,7 +17,8 @@ struct ClusterEnv {
   common::NodeId worker;
   std::unique_ptr<EvoStoreRepository> repo;
 
-  explicit ClusterEnv(int providers = 4, ProviderConfig config = {})
+  explicit ClusterEnv(int providers = 4, ProviderConfig config = {},
+                      ClientConfig client_config = {})
       : fabric(sim,
                net::FabricConfig{.latency = 1.5e-6, .local_latency = 2e-7}),
         rpc(fabric) {
@@ -25,7 +26,9 @@ struct ClusterEnv {
       provider_nodes.push_back(fabric.add_node(25e9, 25e9));
     }
     worker = fabric.add_node(25e9, 25e9);
-    repo = std::make_unique<EvoStoreRepository>(rpc, provider_nodes, config);
+    repo = std::make_unique<EvoStoreRepository>(rpc, provider_nodes, config,
+                                                std::vector<storage::KvStore*>{},
+                                                client_config);
   }
 
   Client& client() { return repo->client(worker); }

@@ -17,6 +17,12 @@ using common::SegmentKey;
 using common::Serializer;
 using core::testing::chain_graph;
 
+compress::CompressedSegment raw_envelope(const model::Segment& seg) {
+  auto env = compress::compress_segment(seg, compress::CodecId::kRaw);
+  EXPECT_TRUE(env.ok());
+  return std::move(env).value();
+}
+
 template <typename T>
 T round_trip(const T& in) {
   Serializer s;
@@ -57,7 +63,8 @@ TEST(Wire, PutModelRequestFull) {
   req.owners = OwnerMap::self_owned(req.id, req.graph.size());
   req.owners.set_entry(0, {req.ancestor, 0});
   for (common::VertexId v = 1; v < req.graph.size(); ++v) {
-    req.new_segments.emplace_back(v, model::make_random_segment(req.graph, v, 3));
+    req.new_segments.emplace_back(
+        v, raw_envelope(model::make_random_segment(req.graph, v, 3)));
   }
   auto out = round_trip(req);
   EXPECT_EQ(out.id, req.id);
@@ -68,8 +75,7 @@ TEST(Wire, PutModelRequestFull) {
   ASSERT_EQ(out.new_segments.size(), req.new_segments.size());
   for (size_t i = 0; i < out.new_segments.size(); ++i) {
     EXPECT_EQ(out.new_segments[i].first, req.new_segments[i].first);
-    EXPECT_TRUE(out.new_segments[i].second.content_equals(
-        req.new_segments[i].second));
+    EXPECT_EQ(out.new_segments[i].second, req.new_segments[i].second);
   }
 }
 
@@ -123,12 +129,28 @@ TEST(Wire, ReadSegmentsRequestResponse) {
   ReadSegmentsResponse resp;
   resp.status = common::Status::Ok();
   auto g = chain_graph(2, 8);
-  resp.segments.push_back(model::make_random_segment(g, 1, 5));
-  resp.payload_bytes = resp.segments[0].nbytes();
+  resp.segments.push_back(raw_envelope(model::make_random_segment(g, 1, 5)));
+  resp.payload_bytes = resp.segments[0].physical_bytes;
   auto sout = round_trip(resp);
   ASSERT_EQ(sout.segments.size(), 1u);
-  EXPECT_TRUE(sout.segments[0].content_equals(resp.segments[0]));
+  EXPECT_EQ(sout.segments[0], resp.segments[0]);
   EXPECT_EQ(sout.payload_bytes, resp.payload_bytes);
+}
+
+TEST(Wire, CompressedSegmentEnvelopeWithBase) {
+  // A delta envelope (base key present) survives the wire bit-exactly.
+  auto g = chain_graph(3, 8);
+  model::Segment base = model::make_random_segment(g, 1, 5);
+  model::Segment child = base;
+  child.tensors[0] = model::Tensor::random(child.tensors[0].spec(), 777);
+  SegmentKey base_key{ModelId::make(9, 9), 1};
+  auto env = compress::compress_segment(
+      child, compress::CodecId::kDeltaVsAncestor, &base, &base_key);
+  ASSERT_TRUE(env.ok());
+  ASSERT_TRUE(env->has_base);
+  auto out = round_trip(*env);
+  EXPECT_EQ(out, *env);
+  EXPECT_EQ(out.base, base_key);
 }
 
 TEST(Wire, ModifyRefs) {
@@ -143,9 +165,42 @@ TEST(Wire, ModifyRefs) {
   resp.status = common::Status::NotFound("2 segment(s) missing");
   resp.missing = 2;
   resp.freed_bytes = 4096;
+  resp.freed_bases.push_back({ModelId::make(1, 1), 4});
+  resp.freed_bases.push_back({ModelId::make(2, 2), 0});
   auto rout = round_trip(resp);
   EXPECT_EQ(rout.missing, 2u);
   EXPECT_EQ(rout.freed_bytes, 4096u);
+  EXPECT_EQ(rout.freed_bases, resp.freed_bases);
+}
+
+TEST(Wire, StatsMessages) {
+  auto reqout = round_trip(StatsRequest{});
+  (void)reqout;
+
+  StatsResponse resp;
+  resp.status = common::Status::Ok();
+  resp.puts = 10;
+  resp.segment_reads = 20;
+  resp.refs_added = 5;
+  resp.refs_removed = 3;
+  resp.segments_freed = 2;
+  resp.live_models = 4;
+  resp.live_segments = 16;
+  resp.logical_bytes = 1 << 20;
+  resp.physical_bytes = 1 << 18;
+  resp.codecs.push_back(
+      {compress::CodecId::kDeltaVsAncestor, 16, 1 << 20, 1 << 18});
+  auto out = round_trip(resp);
+  EXPECT_EQ(out.puts, 10u);
+  EXPECT_EQ(out.segment_reads, 20u);
+  EXPECT_EQ(out.refs_added, 5u);
+  EXPECT_EQ(out.refs_removed, 3u);
+  EXPECT_EQ(out.segments_freed, 2u);
+  EXPECT_EQ(out.live_models, 4u);
+  EXPECT_EQ(out.live_segments, 16u);
+  EXPECT_EQ(out.logical_bytes, 1u << 20);
+  EXPECT_EQ(out.physical_bytes, 1u << 18);
+  EXPECT_EQ(out.codecs, resp.codecs);
 }
 
 TEST(Wire, RetireMessages) {

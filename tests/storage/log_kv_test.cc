@@ -98,6 +98,10 @@ TEST_F(LogKvTest, SyntheticValuesPersistAsDescriptors) {
   EXPECT_TRUE(r->is_synthetic());
   EXPECT_EQ(r->size(), 1ull << 32);
   EXPECT_EQ(r->seed(), 99u);
+  // Accounting mirrors the on-disk reality: logical is the full value,
+  // physical is the descriptor.
+  EXPECT_EQ(kv->logical_value_bytes(), 1ull << 32);
+  EXPECT_LT(kv->value_bytes(), 64u);
 }
 
 TEST_F(LogKvTest, SegmentRollover) {
