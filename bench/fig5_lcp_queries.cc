@@ -11,9 +11,11 @@
 // host time on one core (the *ratios* are scale-stable; see EXPERIMENTS.md);
 // pass --catalog 60000 --queries 10000 for the paper-sized run.
 #include <cmath>
+#include <memory>
 
 #include "baseline/redis_queries.h"
 #include "bench/bench_common.h"
+#include "net/fault.h"
 #include "sim/stats.h"
 #include "workload/deepspace.h"
 
@@ -51,15 +53,38 @@ struct Outcome {
   double mean_latency = 0;
   size_t found = 0;
   bool saturated = false;
+  size_t partial = 0;   // degraded (subset-reduced) LCP responses
+  uint64_t retries = 0; // RPC retries spent (fault runs only)
 };
 
 Outcome run_evostore(const workload::DeepSpace& space,
                      const std::vector<workload::DeepSpaceSeq>& catalog,
-                     const std::vector<model::ArchGraph>& queries, int gpus) {
+                     const std::vector<model::ArchGraph>& queries, int gpus,
+                     uint64_t fault_seed) {
   Cluster cluster(gpus);
   core::ProviderConfig pcfg;
   pcfg.pool_bandwidth = 0;  // metadata-only experiment
-  core::EvoStoreRepository repo(cluster.rpc, cluster.provider_nodes, pcfg);
+  // --fault-seed adds seeded message drops + latency spikes to the query
+  // storm (no crashes: this figure measures scan throughput, not recovery).
+  // Clients retry; partial reduces are tolerated. Default (0) leaves the
+  // run byte-identical to the fault-free build.
+  std::unique_ptr<net::FaultInjector> injector;
+  core::ClientConfig ccfg;
+  if (fault_seed != 0) {
+    net::FaultConfig fcfg;
+    fcfg.seed = fault_seed;
+    fcfg.drop_probability = 0.01;
+    fcfg.spike_probability = 0.001;
+    fcfg.spike_seconds = 0.01;
+    fcfg.loss_detect_seconds = 0.05;
+    injector = std::make_unique<net::FaultInjector>(cluster.sim, fcfg);
+    cluster.rpc.set_fault_injector(injector.get());
+    ccfg.retry.max_attempts = 8;
+    ccfg.retry.initial_backoff = 0.01;
+    ccfg.fault_seed = fault_seed;
+  }
+  core::EvoStoreRepository repo(cluster.rpc, cluster.provider_nodes, pcfg, {},
+                                ccfg);
   // Providers get a bounded executor pool (4 Argobots-style ES each).
   for (auto node : cluster.provider_nodes) {
     cluster.rpc.set_service_pool(node, 4, 0.0);
@@ -80,6 +105,7 @@ Outcome run_evostore(const workload::DeepSpace& space,
   // Phase 2: the timed concurrent query storm.
   double t0 = cluster.sim.now();
   size_t found = 0;
+  size_t partial = 0;
   sim::Accumulator latency;
   auto worker = [&](int w) -> sim::CoTask<void> {
     auto& client = repo.client(cluster.workers[w]);
@@ -88,6 +114,7 @@ Outcome run_evostore(const workload::DeepSpace& space,
       auto r = co_await client.query_lcp(queries[q]);
       latency.add(cluster.sim.now() - start);
       if (r.ok() && r->found) ++found;
+      if (r.ok() && r->partial) ++partial;
     }
   };
   std::vector<sim::Future<void>> futures;
@@ -98,6 +125,9 @@ Outcome run_evostore(const workload::DeepSpace& space,
   out.throughput = static_cast<double>(queries.size()) / (cluster.sim.now() - t0);
   out.mean_latency = latency.mean();
   out.found = found;
+  out.partial = partial;
+  out.retries = repo.total_client_fault_stats().retries;
+  if (injector != nullptr) cluster.rpc.set_fault_injector(nullptr);
   return out;
 }
 
@@ -154,9 +184,16 @@ int main(int argc, char** argv) {
   int catalog_size = bench::arg_int(argc, argv, "--catalog", 6000);
   int query_count = bench::arg_int(argc, argv, "--queries", 1000);
   int max_workers = bench::arg_int(argc, argv, "--max-workers", 512);
+  uint64_t fault_seed = static_cast<uint64_t>(
+      bench::arg_int(argc, argv, "--fault-seed", 0));
 
   bench::print_header("Figure 5",
                       "strong scaling of LCP query throughput (queries/sec)");
+  if (fault_seed != 0) {
+    std::printf("fault injection ON (seed %llu): 1%% drops, 0.1%% 10ms "
+                "spikes on EvoStore; retries + degraded partial reduces\n",
+                static_cast<unsigned long long>(fault_seed));
+  }
   workload::DeepSpace space;
   auto catalog = make_catalog(space, catalog_size, 1);
   auto queries = make_queries(space, catalog, query_count, 2);
@@ -169,7 +206,7 @@ int main(int argc, char** argv) {
   std::vector<int> scales{1, 8, 32, 64, 128, 256, 512};
   for (int gpus : scales) {
     if (gpus > max_workers) break;
-    auto evo = run_evostore(space, catalog, queries, gpus);
+    auto evo = run_evostore(space, catalog, queries, gpus, fault_seed);
     auto redis = run_redis(space, catalog, queries, gpus);
     if (gpus == 1) single_redis_latency = redis.mean_latency;
     // The paper marks Redis as non-functional beyond 32 GPUs; we flag the
@@ -180,6 +217,10 @@ int main(int argc, char** argv) {
     std::printf("%-8d %18.1f %17.1f%s %9.1fx\n", gpus, evo.throughput,
                 redis.throughput, saturated ? "*" : " ",
                 evo.throughput / redis.throughput);
+    if (fault_seed != 0) {
+      std::printf("         (faults: %llu retries, %zu partial reduces)\n",
+                  static_cast<unsigned long long>(evo.retries), evo.partial);
+    }
   }
   std::printf("\n(*) Redis-Queries saturated: mean query latency exceeded 30x "
               "the uncontended latency (paper: does not scale beyond 32 GPUs)\n");

@@ -10,6 +10,10 @@
 // (1000 candidates at 128 GPUs, 2000 at 256), keeping per-GPU work fixed.
 //
 // Flags: --base-candidates N (default 1000)
+//        --fault-seed S      (default 0 = off; non-zero injects provider
+//                             crash/restart cycles into the EvoStore runs —
+//                             the baselines stay fault-free — to show the
+//                             runtime cost of riding through failures)
 #include "bench/nas_bench.h"
 
 using namespace evostore;
@@ -18,11 +22,19 @@ using bench::Approach;
 int main(int argc, char** argv) {
   size_t base_candidates = static_cast<size_t>(
       bench::arg_int(argc, argv, "--base-candidates", 1000));
+  uint64_t fault_seed = static_cast<uint64_t>(
+      bench::arg_int(argc, argv, "--fault-seed", 0));
 
   bench::print_header("Figure 8",
                       "end-to-end NAS runtime (seconds), weak scaling");
-  std::printf("candidates scale with GPUs (%zu at 128 GPUs)\n\n",
+  std::printf("candidates scale with GPUs (%zu at 128 GPUs)\n",
               base_candidates);
+  if (fault_seed != 0) {
+    std::printf("fault injection ON for EvoStore (seed %llu): provider "
+                "crash/restart cycles, client retries + recovery\n",
+                static_cast<unsigned long long>(fault_seed));
+  }
+  std::printf("\n");
 
   std::printf("%-8s %16s %16s %16s %18s\n", "GPUs", "DH-NoTransfer",
               "EvoStore", "HDF5+PFS", "EvoStore I/O share");
@@ -31,7 +43,10 @@ int main(int argc, char** argv) {
   for (int gpus : {128, 256}) {
     size_t candidates = base_candidates * gpus / 128;
     auto nt = bench::run_nas_approach(Approach::kNoTransfer, gpus, candidates, 42);
-    auto evo = bench::run_nas_approach(Approach::kEvoStore, gpus, candidates, 42);
+    bench::RunOptions evo_opts;
+    evo_opts.fault_seed = fault_seed;
+    auto evo = bench::run_nas_approach(Approach::kEvoStore, gpus, candidates,
+                                       42, evo_opts);
     auto h5 = bench::run_nas_approach(Approach::kHdf5Pfs, gpus, candidates, 42);
     double evo_io_share =
         evo.result.total_io_seconds /
@@ -39,6 +54,14 @@ int main(int argc, char** argv) {
     std::printf("%-8d %15.1fs %15.1fs %15.1fs %17.2f%%\n", gpus,
                 nt.result.makespan, evo.result.makespan, h5.result.makespan,
                 100.0 * evo_io_share);
+    if (evo.fault_enabled) {
+      std::printf("         (EvoStore faults: %llu crashes, %llu retries, "
+                  "%llu replays deduped; drained to zero: %s)\n",
+                  static_cast<unsigned long long>(evo.fault.crashes),
+                  static_cast<unsigned long long>(evo.fault.retries),
+                  static_cast<unsigned long long>(evo.fault.deduped_replays),
+                  evo.fault.drained_to_zero ? "yes" : "NO");
+    }
     nt_mk[idx] = nt.result.makespan;
     evo_mk[idx] = evo.result.makespan;
     h5_mk[idx] = h5.result.makespan;

@@ -3,12 +3,15 @@
 // the aged-evolution search to completion.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
 #include "baseline/hdf5_pfs.h"
 #include "bench/bench_common.h"
 #include "nas/attn_space.h"
 #include "nas/runner.h"
+#include "net/fault.h"
+#include "storage/mem_kv.h"
 
 namespace evostore::bench {
 
@@ -23,11 +26,39 @@ inline const char* approach_name(Approach a) {
   return "?";
 }
 
+/// Fault-run accounting (filled for EvoStore when fault injection is on).
+struct FaultOutcome {
+  // Injector-side.
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
+  uint64_t dropped_messages = 0;
+  uint64_t rejected_while_down = 0;
+  // Client-side.
+  uint64_t retries = 0;
+  uint64_t exhausted = 0;
+  uint64_t partial_lcp_queries = 0;
+  uint64_t degraded_transfers = 0;
+  // Provider-side.
+  uint64_t provider_restarts = 0;
+  uint64_t deduped_replays = 0;
+  // Post-run drain: every surviving model retired, then the repository
+  // inspected. A correct run under faults drains to exactly zero — the same
+  // end state as a fault-free run — proving no refcount leaked or
+  // double-applied despite crashes, retries, and replays.
+  uint64_t drain_failures = 0;
+  size_t end_models = 0;
+  size_t end_segments = 0;
+  size_t end_logical_bytes = 0;
+  bool drained_to_zero = false;
+};
+
 struct NasOutcome {
   nas::NasResult result;
   size_t stored_bytes = 0;        // repository payload at end of run (logical)
   size_t physical_bytes = 0;      // post-compression payload (EvoStore only)
   size_t peak_metadata_bytes = 0; // metadata footprint (EvoStore only)
+  bool fault_enabled = false;
+  FaultOutcome fault;
 };
 
 /// Knobs beyond the (approach, gpus, candidates, seed) basics.
@@ -39,6 +70,20 @@ struct RunOptions {
   double finetune_update_fraction = 0.25;
   /// Codec EvoStore clients apply to self-owned segments.
   compress::CodecId put_codec = compress::CodecId::kRaw;
+  /// Fault injection (EvoStore only). 0 disables it entirely — the run is
+  /// byte-identical to one without any fault machinery. Non-zero seeds a
+  /// deterministic crash/restart schedule on the first
+  /// `fault_crash_providers` provider nodes (exponential MTBF, fixed MTTR),
+  /// backs every provider with an in-memory KV store so crashed providers
+  /// recover their state, and turns on client deadlines + retries.
+  uint64_t fault_seed = 0;
+  double fault_mtbf = 300;
+  double fault_mttr = 5;
+  double fault_drop_probability = 0;
+  int fault_crash_providers = 1;
+  /// No crash is scheduled past this simulated time (keeps the end-of-run
+  /// drain out of the fault window).
+  double fault_horizon = 4000;
 };
 
 inline NasOutcome run_nas_approach(Approach approach, int gpus,
@@ -66,14 +111,81 @@ inline NasOutcome run_nas_approach(Approach approach, int gpus,
     case Approach::kEvoStore: {
       core::ClientConfig ccfg;
       ccfg.put_codec = options.put_codec;
+      std::vector<std::unique_ptr<storage::MemKv>> backing;
+      std::vector<storage::KvStore*> backends;
+      std::unique_ptr<net::FaultInjector> injector;
+      if (options.fault_seed != 0) {
+        net::FaultConfig fcfg;
+        fcfg.seed = options.fault_seed;
+        fcfg.drop_probability = options.fault_drop_probability;
+        injector = std::make_unique<net::FaultInjector>(cluster.sim, fcfg);
+        // Must be installed before the repository is built so provider
+        // restart hooks get registered.
+        cluster.rpc.set_fault_injector(injector.get());
+        // Crash recovery needs durable provider state: back every provider
+        // with an in-memory KV store (write-through, restored on restart).
+        backing.reserve(cluster.provider_nodes.size());
+        for (size_t i = 0; i < cluster.provider_nodes.size(); ++i) {
+          backing.push_back(std::make_unique<storage::MemKv>());
+          backends.push_back(backing.back().get());
+        }
+        int n = std::min(options.fault_crash_providers,
+                         static_cast<int>(cluster.provider_nodes.size()));
+        for (int i = 0; i < n; ++i) {
+          injector->schedule_mtbf(cluster.provider_nodes[i], /*start=*/1.0,
+                                  options.fault_horizon, options.fault_mtbf,
+                                  options.fault_mttr);
+        }
+        // Retry budget sized so an RPC aimed at a crashed provider keeps
+        // backing off past the MTTR: cumulative backoff (~0.05 * 2^k capped
+        // at 2 s, 12 attempts => ~18 s + deadlines) comfortably exceeds the
+        // default 5 s downtime, so exhaustion is the exception, not the rule.
+        ccfg.retry.max_attempts = 12;
+        ccfg.rpc_timeout = 1.0;
+        ccfg.fault_seed = options.fault_seed;
+      }
       core::EvoStoreRepository repo(cluster.rpc, cluster.provider_nodes, {},
-                                    {}, ccfg);
+                                    backends, ccfg);
       cfg.use_transfer = true;
       out.result = nas::run_nas(cluster.sim, cluster.fabric, space, &repo,
                                 cluster.workers, cluster.controller, cfg);
       out.stored_bytes = repo.stored_payload_bytes();
       out.physical_bytes = repo.stored_physical_bytes();
       out.peak_metadata_bytes = repo.total_metadata_bytes();
+      if (injector != nullptr) {
+        out.fault_enabled = true;
+        // Retire every model still alive in the population, then check the
+        // repository really is empty — the acceptance criterion that
+        // refcounts never leaked or double-applied under faults.
+        auto drain = [&]() -> sim::CoTask<uint64_t> {
+          uint64_t failed = 0;
+          for (common::ModelId id : out.result.final_population) {
+            auto st = co_await repo.retire(cluster.workers[0], id);
+            if (!st.ok()) ++failed;
+          }
+          co_return failed;
+        };
+        out.fault.drain_failures = cluster.sim.run_until_complete(drain());
+        const net::FaultStats& is = injector->stats();
+        out.fault.crashes = is.crashes;
+        out.fault.restarts = is.restarts;
+        out.fault.dropped_messages = is.dropped_messages;
+        out.fault.rejected_while_down = is.rejected_down;
+        core::ClientFaultStats cs = repo.total_client_fault_stats();
+        out.fault.retries = cs.retries;
+        out.fault.exhausted = cs.exhausted;
+        out.fault.partial_lcp_queries = cs.partial_lcp_queries;
+        out.fault.degraded_transfers = cs.degraded_transfers;
+        out.fault.provider_restarts = repo.total_provider_restarts();
+        out.fault.deduped_replays = repo.total_deduped_replays();
+        out.fault.end_models = repo.total_models();
+        out.fault.end_segments = repo.total_segments();
+        out.fault.end_logical_bytes = repo.stored_payload_bytes();
+        out.fault.drained_to_zero =
+            out.fault.end_models == 0 && out.fault.end_segments == 0 &&
+            out.fault.end_logical_bytes == 0;
+        cluster.rpc.set_fault_injector(nullptr);
+      }
       break;
     }
     case Approach::kHdf5Pfs: {

@@ -14,6 +14,8 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kIoError: return "IoError";
     case ErrorCode::kUnavailable: return "Unavailable";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case ErrorCode::kUnimplemented: return "Unimplemented";
   }
   return "Unknown";
 }

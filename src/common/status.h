@@ -27,7 +27,18 @@ enum class ErrorCode {
   kIoError,
   kUnavailable,
   kInternal,
+  // Appended (never reorder: codes are serialized as integers on the wire).
+  kDeadlineExceeded,
+  kUnimplemented,
 };
+
+/// True for failures a caller may transparently retry: the operation may
+/// succeed against the same node later (it was down, the message was lost,
+/// or the deadline fired). Permanent errors (NotFound, InvalidArgument,
+/// Corruption, ...) are excluded.
+inline bool is_retryable(ErrorCode code) {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kDeadlineExceeded;
+}
 
 /// Human-readable name of an error code ("NotFound", ...).
 std::string_view error_code_name(ErrorCode code);
@@ -49,6 +60,8 @@ class Status {
   static Status IoError(std::string m) { return {ErrorCode::kIoError, std::move(m)}; }
   static Status Unavailable(std::string m) { return {ErrorCode::kUnavailable, std::move(m)}; }
   static Status Internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
+  static Status DeadlineExceeded(std::string m) { return {ErrorCode::kDeadlineExceeded, std::move(m)}; }
+  static Status Unimplemented(std::string m) { return {ErrorCode::kUnimplemented, std::move(m)}; }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }

@@ -24,21 +24,28 @@ Client::Client(net::RpcSystem& rpc, NodeId self, uint32_t client_id,
       self_(self),
       client_id_(client_id),
       provider_nodes_(std::move(provider_nodes)),
-      config_(config) {
+      config_(config),
+      retry_rng_(common::hash_combine(config.fault_seed, client_id)) {
   assert(!provider_nodes_.empty());
+}
+
+double Client::backoff_delay(int attempt) {
+  const RetryPolicy& rp = config_.retry;
+  double b = rp.initial_backoff * std::pow(rp.backoff_multiplier, attempt - 1);
+  b = std::min(b, rp.max_backoff);
+  if (rp.jitter_fraction > 0) {
+    b *= 1.0 + rp.jitter_fraction * (2.0 * retry_rng_.uniform() - 1.0);
+  }
+  return b;
 }
 
 // ---- LCP query: broadcast + reduce ---------------------------------------
 
-namespace {
-sim::CoTask<Result<wire::LcpQueryResponse>> lcp_one(net::RpcSystem* rpc,
-                                                    NodeId from, NodeId to,
-                                                    wire::LcpQueryRequest req) {
-  auto r = co_await net::typed_call<wire::LcpQueryResponse>(
-      *rpc, from, to, Provider::kLcpQuery, req);
-  co_return r;
+sim::CoTask<Result<wire::LcpQueryResponse>> Client::lcp_one(
+    NodeId to, wire::LcpQueryRequest req) {
+  co_return co_await call_retried<wire::LcpQueryResponse>(
+      to, Provider::kLcpQuery, std::move(req));
 }
-}  // namespace
 
 sim::CoTask<Result<wire::LcpQueryResponse>> Client::query_lcp(
     const ArchGraph& g) {
@@ -48,12 +55,25 @@ sim::CoTask<Result<wire::LcpQueryResponse>> Client::query_lcp(
   std::vector<sim::Future<Result<wire::LcpQueryResponse>>> futures;
   futures.reserve(provider_nodes_.size());
   for (NodeId node : provider_nodes_) {
-    futures.push_back(sim.spawn(lcp_one(rpc_, self_, node, req)));
+    futures.push_back(sim.spawn(lcp_one(node, req)));
   }
   wire::LcpQueryResponse best;
+  size_t unreachable = 0;
   for (auto& f : futures) {
     auto r = co_await f;
-    if (!r.ok()) co_return r.status();
+    if (!r.ok()) {
+      // Graceful degradation: a provider that stayed unreachable through
+      // the retry budget is simply left out of the reduce. The caller sees
+      // the best answer among the responders, tagged partial (it may be
+      // shorter than the true global LCP — the NAS then trains a longer
+      // prefix from scratch, which is slower but correct). Non-retryable
+      // failures still propagate: they signal bugs, not faults.
+      if (common::is_retryable(r.status().code())) {
+        ++unreachable;
+        continue;
+      }
+      co_return r.status();
+    }
     const auto& resp = r.value();
     if (!resp.found) continue;
     bool better = false;
@@ -68,36 +88,54 @@ sim::CoTask<Result<wire::LcpQueryResponse>> Client::query_lcp(
     }
     if (better) best = resp;
   }
+  if (unreachable > 0) {
+    best.partial = true;
+    ++fault_stats_.partial_lcp_queries;
+  }
   co_return best;
 }
 
 // ---- put -----------------------------------------------------------------
 
-namespace {
-// Spawned coroutines must take their request BY VALUE: a lazily-started
-// frame holding a reference to a loop-local request would dangle.
-sim::CoTask<Result<wire::ModifyRefsResponse>> refs_one(
-    net::RpcSystem* rpc, NodeId from, NodeId to, wire::ModifyRefsRequest req) {
-  co_return co_await net::typed_call<wire::ModifyRefsResponse>(
-      *rpc, from, to, Provider::kModifyRefs, req);
+sim::CoTask<Result<wire::ModifyRefsResponse>> Client::refs_one(
+    NodeId to, wire::ModifyRefsRequest req) {
+  co_return co_await call_retried<wire::ModifyRefsResponse>(
+      to, Provider::kModifyRefs, std::move(req));
 }
 
-sim::CoTask<Status> put_one(net::RpcSystem* rpc, NodeId from, NodeId home,
-                            wire::PutModelRequest req, size_t payload_bytes) {
+sim::CoTask<Status> Client::put_one(NodeId home, wire::PutModelRequest req,
+                                    size_t payload_bytes) {
   // Data plane first: the consolidated new tensors cross via bulk RDMA,
-  // then the (small) metadata RPC publishes the model.
-  co_await rpc->bulk(from, home, common::Buffer::synthetic(payload_bytes, 0));
-  auto r = co_await net::typed_call<wire::PutModelResponse>(
-      *rpc, from, home, Provider::kPutModel, req);
-  if (!r.ok()) co_return r.status();
-  co_return r->status;
+  // then the (small) metadata RPC publishes the model. Both legs retry as
+  // one unit — a lost publish re-sends the (idempotent) payload too.
+  for (int attempt = 1;; ++attempt) {
+    Status st = co_await rpc_->bulk(
+        self_, home, common::Buffer::synthetic(payload_bytes, 0));
+    if (st.ok()) {
+      auto r = co_await net::typed_call<wire::PutModelResponse>(
+          *rpc_, self_, home, Provider::kPutModel, req,
+          net::CallOptions{config_.rpc_timeout});
+      st = r.ok() ? r->status : r.status();
+    }
+    if (st.ok()) co_return st;
+    // Model ids are globally unique, so AlreadyExists on a RETRY can only
+    // mean an earlier attempt committed and its response was lost.
+    if (attempt > 1 && st.code() == common::ErrorCode::kAlreadyExists) {
+      co_return Status::Ok();
+    }
+    if (!common::is_retryable(st.code())) co_return st;
+    if (attempt >= config_.retry.max_attempts) {
+      ++fault_stats_.exhausted;
+      co_return st;
+    }
+    ++fault_stats_.retries;
+    co_await rpc_->simulation().delay(backoff_delay(attempt));
+  }
 }
 
-}  // namespace
-
-sim::CoTask<Status> Client::modify_refs(std::vector<common::SegmentKey> keys,
-                                        bool increment,
-                                        uint32_t* missing_out) {
+sim::CoTask<Status> Client::modify_refs(
+    std::vector<common::SegmentKey> keys, bool increment,
+    uint32_t* missing_out, std::vector<common::SegmentKey>* applied_out) {
   auto& sim = rpc_->simulation();
   Status status;
   uint32_t missing = 0;
@@ -112,21 +150,32 @@ sim::CoTask<Status> Client::modify_refs(std::vector<common::SegmentKey> keys,
     for (const auto& key : pending) {
       groups[home_of(key.owner)].push_back(key);
     }
+    std::vector<std::vector<common::SegmentKey>> order;
     std::vector<sim::Future<Result<wire::ModifyRefsResponse>>> futures;
+    order.reserve(groups.size());
     futures.reserve(groups.size());
     for (auto& [provider, group_keys] : groups) {
       wire::ModifyRefsRequest req;
       req.increment = first_round ? increment : false;
+      // One token per provider-group request; refs_one reuses it across
+      // retries, so a replayed delivery is deduplicated provider-side and
+      // the refcounts move exactly once.
+      req.token = next_token();
+      order.push_back(group_keys);
       req.keys = std::move(group_keys);
-      futures.push_back(sim.spawn(
-          refs_one(rpc_, self_, provider_node(provider), std::move(req))));
+      futures.push_back(
+          sim.spawn(refs_one(provider_node(provider), std::move(req))));
     }
     pending.clear();
-    for (auto& f : futures) {
-      auto r = co_await f;
+    for (size_t i = 0; i < futures.size(); ++i) {
+      auto r = co_await futures[i];
       if (!r.ok()) {
         status = combine(status, r.status());
         continue;
+      }
+      if (first_round && applied_out != nullptr) {
+        applied_out->insert(applied_out->end(), order[i].begin(),
+                            order[i].end());
       }
       if (first_round) {
         missing += r->missing;
@@ -238,8 +287,7 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
   // holds +1 on every inherited segment — that pin simply becomes this
   // model's reference (or, for a fine-tuned vertex, its envelope's delta
   // base reference).
-  auto put_future = sim.spawn(
-      put_one(rpc_, self_, home, std::move(req), payload));
+  auto put_future = sim.spawn(put_one(home, std::move(req), payload));
   Status ref_status;
   if (tc == nullptr || !tc->pinned) {
     std::vector<common::SegmentKey> keys;
@@ -264,8 +312,8 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
 
 sim::CoTask<Result<ModelMeta>> Client::get_meta(ModelId id) {
   wire::GetMetaRequest req{id};
-  auto r = co_await net::typed_call<wire::GetMetaResponse>(
-      *rpc_, self_, provider_node(home_of(id)), Provider::kGetMeta, req);
+  auto r = co_await call_retried<wire::GetMetaResponse>(
+      provider_node(home_of(id)), Provider::kGetMeta, req);
   if (!r.ok()) co_return r.status();
   if (!r->found) co_return Status::NotFound("model " + id.to_string());
   ModelMeta meta;
@@ -278,20 +326,31 @@ sim::CoTask<Result<ModelMeta>> Client::get_meta(ModelId id) {
   co_return meta;
 }
 
-namespace {
-sim::CoTask<Result<wire::ReadSegmentsResponse>> read_one(
-    net::RpcSystem* rpc, NodeId from, NodeId to,
-    wire::ReadSegmentsRequest req) {
-  auto r = co_await net::typed_call<wire::ReadSegmentsResponse>(
-      *rpc, from, to, Provider::kReadSegments, req);
-  if (!r.ok()) co_return r.status();
-  if (!r->status.ok()) co_return r->status;
-  // RDMA-style payload pull: charge the bulk bytes provider -> client
-  // (post-compression — reading a delta chain moves only the deltas).
-  co_await rpc->bulk(to, from, common::Buffer::synthetic(r->payload_bytes, 0));
-  co_return std::move(r).value();
+sim::CoTask<Result<wire::ReadSegmentsResponse>> Client::read_one(
+    NodeId to, wire::ReadSegmentsRequest req) {
+  // Reads are naturally idempotent, so the whole RPC + payload pull retries
+  // as one unit without tokens.
+  for (int attempt = 1;; ++attempt) {
+    auto r = co_await net::typed_call<wire::ReadSegmentsResponse>(
+        *rpc_, self_, to, Provider::kReadSegments, req,
+        net::CallOptions{config_.rpc_timeout});
+    Status st = r.ok() ? r->status : r.status();
+    if (r.ok() && st.ok()) {
+      // RDMA-style payload pull: charge the bulk bytes provider -> client
+      // (post-compression — reading a delta chain moves only the deltas).
+      st = co_await rpc_->bulk(
+          to, self_, common::Buffer::synthetic(r->payload_bytes, 0));
+      if (st.ok()) co_return std::move(r).value();
+    }
+    if (!common::is_retryable(st.code())) co_return st;
+    if (attempt >= config_.retry.max_attempts) {
+      ++fault_stats_.exhausted;
+      co_return st;
+    }
+    ++fault_stats_.retries;
+    co_await rpc_->simulation().delay(backoff_delay(attempt));
+  }
 }
-}  // namespace
 
 sim::CoTask<Status> Client::fetch_envelopes(
     const std::vector<common::SegmentKey>& keys,
@@ -309,8 +368,8 @@ sim::CoTask<Status> Client::fetch_envelopes(
   std::vector<sim::Future<Result<wire::ReadSegmentsResponse>>> futures;
   for (auto& [provider, req] : groups) {
     order.push_back(req.keys);
-    futures.push_back(sim.spawn(
-        read_one(rpc_, self_, provider_node(provider), std::move(req))));
+    futures.push_back(
+        sim.spawn(read_one(provider_node(provider), std::move(req))));
   }
   for (size_t i = 0; i < futures.size(); ++i) {
     auto r = co_await futures[i];
@@ -469,14 +528,26 @@ sim::CoTask<Result<std::optional<TransferContext>>> Client::prepare_transfer(
     pin_keys.push_back(tc.ancestor_owners.entry(av));
   }
   uint32_t missing = 0;
+  std::vector<common::SegmentKey> applied;
   Status pin_status = co_await modify_refs(pin_keys, /*increment=*/true,
-                                           &missing);
-  if (!pin_status.ok()) co_return pin_status;
-  if (missing > 0) {
-    // Lost the race with a retire mid-pin: roll the successful increments
-    // back (decrements of already-freed keys are reported missing, which is
-    // fine) and fall back to training from scratch.
-    (void)co_await modify_refs(pin_keys, /*increment=*/false, &missing);
+                                           &missing, &applied);
+  if (!pin_status.ok() || missing > 0) {
+    // Either lost the race with a retire mid-pin (missing > 0), or a
+    // provider stayed unreachable through the retry budget. Roll back only
+    // the increments that were ACKNOWLEDGED — unacked groups were
+    // deduplicated provider-side and never double-apply, but decrementing
+    // them here would underflow a count we never raised. Then degrade to
+    // training from scratch (correct, just slower). Non-retryable pin
+    // failures still propagate: they signal bugs, not faults.
+    if (!pin_status.ok() && !common::is_retryable(pin_status.code())) {
+      co_return pin_status;
+    }
+    if (!applied.empty()) {
+      uint32_t rollback_missing = 0;
+      (void)co_await modify_refs(std::move(applied), /*increment=*/false,
+                                 &rollback_missing);
+    }
+    if (!pin_status.ok()) ++fault_stats_.degraded_transfers;
     co_return std::optional<TransferContext>{};
   }
   tc.pinned = true;
@@ -514,9 +585,12 @@ sim::CoTask<Status> Client::abandon_transfer(const TransferContext& tc) {
 // ---- retire ----------------------------------------------------------------
 
 sim::CoTask<Status> Client::retire(ModelId id) {
-  wire::RetireRequest req{id};
-  auto r = co_await net::typed_call<wire::RetireResponse>(
-      *rpc_, self_, provider_node(home_of(id)), Provider::kRetire, req);
+  // Tokened: a retry whose first delivery already removed the model replays
+  // the cached owner map instead of answering NotFound (which would leak
+  // every refcount the fan-out below is about to release).
+  wire::RetireRequest req{id, next_token()};
+  auto r = co_await call_retried<wire::RetireResponse>(
+      provider_node(home_of(id)), Provider::kRetire, req);
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   // Decrement every tensor the retired model referenced — its own segments
@@ -530,8 +604,8 @@ sim::CoTask<Status> Client::retire(ModelId id) {
 sim::CoTask<Result<wire::StatsResponse>> Client::provider_stats(
     common::ProviderId provider) {
   wire::StatsRequest req;
-  auto r = co_await net::typed_call<wire::StatsResponse>(
-      *rpc_, self_, provider_node(provider), Provider::kGetStats, req);
+  auto r = co_await call_retried<wire::StatsResponse>(
+      provider_node(provider), Provider::kGetStats, req);
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   co_return std::move(r).value();

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "compress/codec.h"
 #include "compress/compressed_segment.h"
 #include "core/owner_map.h"
@@ -29,6 +30,19 @@ using model::ArchGraph;
 using model::Model;
 using model::Segment;
 
+/// Capped-exponential-backoff retry for RPCs that fail with a retryable
+/// code (Unavailable, DeadlineExceeded). The default (`max_attempts == 1`)
+/// disables retries entirely: every call behaves exactly as before.
+struct RetryPolicy {
+  int max_attempts = 1;
+  double initial_backoff = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff = 2.0;
+  /// Backoff is scaled by a factor drawn uniformly from
+  /// [1 - jitter, 1 + jitter] (seeded RNG — deterministic per client).
+  double jitter_fraction = 0.1;
+};
+
 struct ClientConfig {
   /// Codec applied to self-owned segments on put. `kDeltaVsAncestor`
   /// delta-encodes fine-tuned vertices against the TransferContext's prefix
@@ -36,6 +50,33 @@ struct ClientConfig {
   /// default keeps the wire and storage behavior byte-identical to an
   /// uncompressed deployment.
   compress::CodecId put_codec = compress::CodecId::kRaw;
+  /// Retry behavior for retryable RPC failures.
+  RetryPolicy retry;
+  /// Per-call deadline in simulated seconds. 0 inherits the RpcSystem's
+  /// default (normally "no deadline"); negative disables deadlines for this
+  /// client even when the RpcSystem has a default.
+  double rpc_timeout = 0;
+  /// Seed for the retry-jitter RNG (combined with the client id so every
+  /// client draws an independent, reproducible stream).
+  uint64_t fault_seed = 0x5eedf00d;
+  /// Incarnation epoch mixed into idempotency tokens (high 16 bits).
+  /// EvoStoreRepository sets this from a counter persisted in the provider
+  /// backends so that a fresh repository over an old backend can never mint
+  /// tokens colliding with dedup records a previous incarnation left there.
+  uint64_t token_epoch = 1;
+};
+
+/// Fault-path counters for one client (all zero in a fault-free run).
+struct ClientFaultStats {
+  /// Individual RPC attempts that failed retryably and were retried.
+  uint64_t retries = 0;
+  /// Logical operations that ran out of retry budget (gave up).
+  uint64_t exhausted = 0;
+  /// LCP broadcasts reduced over a strict subset of providers.
+  uint64_t partial_lcp_queries = 0;
+  /// prepare_transfer calls that degraded to "train from scratch" because
+  /// the pin could not be completed under faults.
+  uint64_t degraded_transfers = 0;
 };
 
 /// Everything needed to perform one transfer-learning operation: produced by
@@ -84,13 +125,19 @@ class Client {
   const ClientConfig& config() const { return config_; }
   /// Per-codec encode/decode counters and timings for this client.
   const compress::CodecStatsTable& codec_stats() const { return codec_stats_; }
+  /// Retry/degradation counters (all zero in a fault-free run).
+  const ClientFaultStats& fault_stats() const { return fault_stats_; }
 
   /// Allocate a fresh globally-unique model id.
   ModelId allocate_id() { return ModelId::make(client_id_, ++id_seq_); }
 
   /// Broadcast an LCP query to all providers and reduce to the global best
   /// (longest prefix; ties by quality, then lower id). `found == false`
-  /// means no stored model shares even the input layer.
+  /// means no stored model shares even the input layer. Degrades gracefully
+  /// under faults: providers that stay unreachable after retries are left
+  /// out of the reduce and the response is tagged `partial` (all providers
+  /// unreachable => `found == false`, still `partial`). Non-retryable
+  /// failures propagate as errors.
   sim::CoTask<Result<wire::LcpQueryResponse>> query_lcp(const ArchGraph& g);
 
   /// query_lcp + fetch the ancestor's owner map, PIN the prefix segments
@@ -168,13 +215,61 @@ class Client {
     return provider_for(id, provider_nodes_.size());
   }
 
+  /// Fresh idempotency token, never 0: incarnation epoch (16 bits) | client
+  /// id (16 bits) | sequence (32 bits). One token covers one logical
+  /// mutation across all its retries. Unique as long as a deployment stays
+  /// under 2^16 clients per epoch and 2^32 tokened mutations per client.
+  uint64_t next_token() {
+    return (config_.token_epoch & 0xffff) << 48 |
+           static_cast<uint64_t>(client_id_ & 0xffff) << 32 | ++token_seq_;
+  }
+  /// Backoff before retry number `attempt` (1-based), capped and jittered.
+  double backoff_delay(int attempt);
+
+  /// typed_call with the client's deadline, retried per RetryPolicy on
+  /// retryable failures. The request is reused verbatim across attempts, so
+  /// an embedded idempotency token stays stable for the logical operation.
+  template <typename Response, typename Request>
+  sim::CoTask<Result<Response>> call_retried(NodeId to, std::string method,
+                                             Request request) {
+    for (int attempt = 1;; ++attempt) {
+      auto r = co_await net::typed_call<Response>(
+          *rpc_, self_, to, method, request,
+          net::CallOptions{config_.rpc_timeout});
+      if (r.ok() || !common::is_retryable(r.status().code())) co_return r;
+      if (attempt >= config_.retry.max_attempts) {
+        ++fault_stats_.exhausted;
+        co_return r;
+      }
+      ++fault_stats_.retries;
+      co_await rpc_->simulation().delay(backoff_delay(attempt));
+    }
+  }
+
+  // Spawned fan-out legs. Member coroutines so they can retry via the
+  // client's policy; they take their request BY VALUE — a lazily-started
+  // frame holding a reference to a loop-local request would dangle.
+  sim::CoTask<Result<wire::LcpQueryResponse>> lcp_one(NodeId to,
+                                                      wire::LcpQueryRequest req);
+  sim::CoTask<Result<wire::ModifyRefsResponse>> refs_one(
+      NodeId to, wire::ModifyRefsRequest req);
+  sim::CoTask<Status> put_one(NodeId home, wire::PutModelRequest req,
+                              size_t payload_bytes);
+  sim::CoTask<Result<wire::ReadSegmentsResponse>> read_one(
+      NodeId to, wire::ReadSegmentsRequest req);
+
   // Fan one ModifyRefs round out to the providers hosting `keys`.
   // Returns the number of keys the providers reported missing via
   // `missing_out` (optional). When a decrement frees delta envelopes, the
   // base references they held are released too — the fan-out loops until the
-  // cascade is drained.
+  // cascade is drained. Keys whose first-round request was acknowledged by
+  // its provider are appended to `applied_out` (optional) — under faults a
+  // caller can roll back exactly the increments that are known to have
+  // landed.
   sim::CoTask<Status> modify_refs(std::vector<common::SegmentKey> keys,
-                                  bool increment, uint32_t* missing_out);
+                                  bool increment, uint32_t* missing_out,
+                                  std::vector<common::SegmentKey>* applied_out =
+                                      nullptr);
   // Convenience: all entries of `owners` except those owned by
   // `exclude_owner` (pass invalid() to include everything).
   sim::CoTask<Status> fan_out_refs(const OwnerMap& owners, bool increment,
@@ -190,9 +285,12 @@ class Client {
   NodeId self_;
   uint32_t client_id_;
   uint32_t id_seq_ = 0;
+  uint32_t token_seq_ = 0;
   std::vector<NodeId> provider_nodes_;
   ClientConfig config_;
   compress::CodecStatsTable codec_stats_{};
+  ClientFaultStats fault_stats_{};
+  common::Xoshiro256 retry_rng_;
 };
 
 }  // namespace evostore::core

@@ -1,5 +1,6 @@
 #include "core/provider.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/log.h"
@@ -47,6 +48,10 @@ std::string Provider::meta_key(common::ModelId id) {
 std::string Provider::segment_key(const common::SegmentKey& key) {
   return "seg/" + std::to_string(key.owner.value) + "/" +
          std::to_string(key.vertex);
+}
+
+std::string Provider::token_key(uint64_t token) {
+  return "tok/" + std::to_string(token);
 }
 
 void Provider::persist_meta(common::ModelId id, const MetaRecord& meta) {
@@ -102,13 +107,72 @@ void Provider::erase_segment_record(const common::SegmentKey& key) {
   (void)backend_->erase(segment_key(key));
 }
 
+const common::Bytes* Provider::dedup_lookup(uint64_t token) {
+  if (token == 0) return nullptr;
+  auto it = dedup_.find(token);
+  if (it == dedup_.end()) return nullptr;
+  ++stats_.deduped_replays;
+  return &it->second;
+}
+
+void Provider::dedup_store(uint64_t token, const common::Bytes& response) {
+  if (token == 0) return;
+  if (!dedup_.emplace(token, response).second) return;  // already cached
+  dedup_order_.push_back(token);
+  if (backend_ != nullptr) {
+    common::Serializer s;
+    s.u64(++dedup_seq_);
+    s.bytes(response);
+    auto st = backend_->put(token_key(token),
+                            common::Buffer::dense(std::move(s).take()));
+    if (!st.ok()) EVO_WARN << "dedup_store: " << st.to_string();
+  }
+  while (dedup_order_.size() > config_.dedup_window) {
+    uint64_t evict = dedup_order_.front();
+    dedup_order_.pop_front();
+    dedup_.erase(evict);
+    if (backend_ != nullptr) (void)backend_->erase(token_key(evict));
+  }
+}
+
+void Provider::restart() {
+  ++stats_.restarts;
+  models_.clear();
+  segments_.clear();
+  dedup_.clear();
+  dedup_order_.clear();
+  payload_bytes_ = 0;
+  physical_bytes_ = 0;
+  codec_usage_ = {};
+  seq_ = 0;
+  dedup_seq_ = 0;
+  if (backend_ != nullptr) restore_from_backend();
+  EVO_INFO << "provider " << id_ << " restarted: " << models_.size()
+           << " models, " << segments_.size() << " segments recovered";
+}
+
 void Provider::restore_from_backend() {
-  for (const auto& key : backend_->keys()) {
+  // Sort for a deterministic rebuild regardless of the backend's native key
+  // order (MemKv hashes, LogKv replays the log).
+  std::vector<std::string> keys = backend_->keys();
+  std::sort(keys.begin(), keys.end());
+  // (dedup seq, token, packed response) — ordered below to rebuild the FIFO.
+  std::vector<std::tuple<uint64_t, uint64_t, common::Bytes>> tokens;
+  for (const auto& key : keys) {
     auto value = backend_->get(key);
     if (!value.ok()) continue;
     common::Buffer buf = value.value().materialize();
     common::Deserializer d(buf.dense_span());
-    if (key.rfind("meta/", 0) == 0) {
+    if (key.rfind("tok/", 0) == 0) {
+      uint64_t token = std::strtoull(key.c_str() + 4, nullptr, 10);
+      uint64_t at = d.u64();
+      common::Bytes resp = d.bytes();
+      if (!d.finish().ok()) {
+        EVO_WARN << "restore: corrupt token record '" << key << "'";
+        continue;
+      }
+      tokens.emplace_back(at, token, std::move(resp));
+    } else if (key.rfind("meta/", 0) == 0) {
       common::ModelId id{std::strtoull(key.c_str() + 5, nullptr, 10)};
       MetaRecord meta;
       meta.graph = model::ArchGraph::deserialize(d);
@@ -140,6 +204,18 @@ void Provider::restore_from_backend() {
       }
       account_stored(entry.segment, +1);
       segments_.emplace(common::SegmentKey{owner, vertex}, std::move(entry));
+    }
+  }
+  // Rebuild the idempotency cache in its original FIFO order so a retry
+  // arriving after a crash still replays instead of re-applying.
+  std::sort(tokens.begin(), tokens.end(),
+            [](const auto& a, const auto& b) {
+              return std::get<0>(a) < std::get<0>(b);
+            });
+  for (auto& [at, token, resp] : tokens) {
+    dedup_seq_ = std::max(dedup_seq_, at);
+    if (dedup_.emplace(token, std::move(resp)).second) {
+      dedup_order_.push_back(token);
     }
   }
 }
@@ -224,6 +300,13 @@ sim::CoTask<Bytes> Provider::handle_put(Bytes request) {
   }
   // The pool moves what is actually stored: post-compression bytes.
   co_await charge_pool(static_cast<double>(physical));
+  // Re-check after the await: a deadline-driven retry of this same put may
+  // have landed while the pool transfer ran (model ids are globally unique,
+  // so AlreadyExists here can only mean an earlier attempt succeeded).
+  if (models_.find(req.id) != models_.end()) {
+    resp.status = Status::AlreadyExists("model " + req.id.to_string());
+    co_return pack(resp);
+  }
   MetaRecord meta;
   meta.graph = std::move(req.graph);
   meta.owners = std::move(req.owners);
@@ -303,6 +386,11 @@ sim::CoTask<Bytes> Provider::handle_modify_refs(Bytes request) {
   }
   co_await sim_->delay(config_.per_segment_seconds *
                        static_cast<double>(req.keys.size()));
+  // Retry of an already-applied request: replay the cached response instead
+  // of double-applying the deltas (the first delivery's response was lost).
+  if (const common::Bytes* cached = dedup_lookup(req.token)) {
+    co_return *cached;
+  }
   for (const auto& key : req.keys) {
     auto it = segments_.find(key);
     if (it == segments_.end()) {
@@ -334,7 +422,9 @@ sim::CoTask<Bytes> Provider::handle_modify_refs(Bytes request) {
                     ? Status::Ok()
                     : Status::NotFound(std::to_string(resp.missing) +
                                        " segment(s) missing");
-  co_return pack(resp);
+  Bytes packed = pack(resp);
+  dedup_store(req.token, packed);
+  co_return packed;
 }
 
 sim::CoTask<Bytes> Provider::handle_retire(Bytes request) {
@@ -343,6 +433,14 @@ sim::CoTask<Bytes> Provider::handle_retire(Bytes request) {
   wire::RetireResponse resp;
   ++stats_.retires;
   co_await sim_->delay(config_.op_seconds);
+  // A retried retire whose first delivery applied must replay the original
+  // response (with the owner map) — a fresh lookup would answer NotFound and
+  // the caller could never run the reference decrements.
+  if (d.ok()) {
+    if (const common::Bytes* cached = dedup_lookup(req.token)) {
+      co_return *cached;
+    }
+  }
   auto it = models_.find(req.id);
   if (it == models_.end() || !d.ok()) {
     resp.status = Status::NotFound("model " + req.id.to_string());
@@ -354,7 +452,9 @@ sim::CoTask<Bytes> Provider::handle_retire(Bytes request) {
   models_.erase(it);
   erase_meta(req.id);
   resp.status = Status::Ok();
-  co_return pack(resp);
+  Bytes packed = pack(resp);
+  dedup_store(req.token, packed);
+  co_return packed;
 }
 
 sim::CoTask<Bytes> Provider::handle_lcp_query(Bytes request) {

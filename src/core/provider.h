@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 
 #include "compress/codec.h"
@@ -39,6 +40,10 @@ struct ProviderConfig {
   /// put/read payload bytes flow through a per-provider fair-share port.
   /// 0 disables pool modelling (metadata-only deployments).
   double pool_bandwidth = 7e9;
+  /// Most recent idempotency tokens whose responses are cached for replay
+  /// (FIFO-evicted). Must exceed the number of tokened requests a client can
+  /// have in flight across one retry horizon.
+  size_t dedup_window = 1 << 16;
 };
 
 struct ProviderStats {
@@ -53,6 +58,11 @@ struct ProviderStats {
   uint64_t refs_removed = 0;
   uint64_t segments_freed = 0;
   uint64_t stat_gets = 0;
+  /// Tokened requests answered from the dedup cache (retries that would
+  /// have double-applied without idempotency).
+  uint64_t deduped_replays = 0;
+  /// Crash-recovery cycles this provider went through (restart() calls).
+  uint64_t restarts = 0;
   /// Cumulative payload volume ingested by puts (logical = decoded tensor
   /// content, physical = post-compression envelope payload).
   uint64_t logical_bytes_ingested = 0;
@@ -93,6 +103,14 @@ class Provider {
   int refcount(const common::SegmentKey& key) const;
   const ProviderStats& stats() const { return stats_; }
   std::vector<common::ModelId> model_ids() const;
+
+  /// Crash-recovery entry point (wired to FaultInjector::on_restart by the
+  /// repository): drop all volatile state — catalogs, segments, refcounts,
+  /// the idempotency cache — and reconstruct everything from the persistent
+  /// backend. A provider without a backend restarts empty (data loss), which
+  /// is the honest model for an in-memory-only deployment. Cumulative
+  /// operation counters survive (they model external monitoring).
+  void restart();
 
   static constexpr const char* kPutModel = "evostore.put_model";
   static constexpr const char* kGetMeta = "evostore.get_meta";
@@ -135,6 +153,14 @@ class Provider {
   void restore_from_backend();
   static std::string meta_key(common::ModelId id);
   static std::string segment_key(const common::SegmentKey& key);
+  static std::string token_key(uint64_t token);
+
+  // ---- idempotency dedup (exactly-once for tokened mutations) ----
+  /// Cached response for `token`, or nullptr. Counts a replay on hit.
+  const common::Bytes* dedup_lookup(uint64_t token);
+  /// Cache `response` under `token` (no-op for token 0), write it through to
+  /// the backend, and FIFO-evict past the window.
+  void dedup_store(uint64_t token, const common::Bytes& response);
 
   sim::CoTask<common::Bytes> handle_put(common::Bytes request);
   sim::CoTask<common::Bytes> handle_get_meta(common::Bytes request);
@@ -156,6 +182,11 @@ class Provider {
 
   std::unordered_map<common::ModelId, MetaRecord> models_;
   std::unordered_map<common::SegmentKey, SegEntry> segments_;
+  // Idempotency cache: token -> packed response, FIFO order for eviction.
+  // `dedup_seq_` orders entries in the backend so restore rebuilds the FIFO.
+  std::unordered_map<uint64_t, common::Bytes> dedup_;
+  std::deque<uint64_t> dedup_order_;
+  uint64_t dedup_seq_ = 0;
   size_t payload_bytes_ = 0;   // logical (decoded) bytes of live segments
   size_t physical_bytes_ = 0;  // post-compression bytes of live segments
   compress::CodecUsageTable codec_usage_{};

@@ -1,6 +1,32 @@
 #include "core/repository.h"
 
+#include <algorithm>
+
+#include "common/serde.h"
+
 namespace evostore::core {
+
+namespace {
+
+constexpr const char* kEpochKey = "repo/epoch";
+
+// Read-modify-write the incarnation counter persisted in `backend`.
+uint64_t bump_epoch(storage::KvStore& backend) {
+  uint64_t stored = 0;
+  auto value = backend.get(kEpochKey);
+  if (value.ok()) {
+    common::Buffer buf = value.value().materialize();
+    common::Deserializer d(buf.dense_span());
+    uint64_t v = d.u64();
+    if (d.finish().ok()) stored = v;
+  }
+  common::Serializer s;
+  s.u64(stored + 1);
+  (void)backend.put(kEpochKey, common::Buffer::dense(std::move(s).take()));
+  return stored + 1;
+}
+
+}  // namespace
 
 EvoStoreRepository::EvoStoreRepository(net::RpcSystem& rpc,
                                        std::vector<NodeId> provider_nodes,
@@ -10,12 +36,22 @@ EvoStoreRepository::EvoStoreRepository(net::RpcSystem& rpc,
     : rpc_(&rpc),
       provider_nodes_(std::move(provider_nodes)),
       client_config_(client_config) {
+  uint64_t epoch = 1;
+  for (storage::KvStore* backend : backends) {
+    if (backend != nullptr) epoch = std::max(epoch, bump_epoch(*backend));
+  }
+  client_config_.token_epoch = epoch;
   providers_.reserve(provider_nodes_.size());
   for (size_t i = 0; i < provider_nodes_.size(); ++i) {
     storage::KvStore* backend = i < backends.size() ? backends[i] : nullptr;
     providers_.push_back(std::make_unique<Provider>(
         rpc, provider_nodes_[i], static_cast<common::ProviderId>(i), config,
         backend));
+    if (rpc.fault_injector() != nullptr) {
+      rpc.fault_injector()->on_restart(
+          provider_nodes_[i],
+          [p = providers_.back().get()] { p->restart(); });
+    }
   }
 }
 
@@ -78,6 +114,30 @@ size_t EvoStoreRepository::total_segments() const {
 size_t EvoStoreRepository::total_metadata_bytes() const {
   size_t n = 0;
   for (const auto& p : providers_) n += p->metadata_bytes();
+  return n;
+}
+
+ClientFaultStats EvoStoreRepository::total_client_fault_stats() const {
+  ClientFaultStats total;
+  for (const auto& [node, c] : clients_) {
+    const ClientFaultStats& s = c->fault_stats();
+    total.retries += s.retries;
+    total.exhausted += s.exhausted;
+    total.partial_lcp_queries += s.partial_lcp_queries;
+    total.degraded_transfers += s.degraded_transfers;
+  }
+  return total;
+}
+
+uint64_t EvoStoreRepository::total_provider_restarts() const {
+  uint64_t n = 0;
+  for (const auto& p : providers_) n += p->stats().restarts;
+  return n;
+}
+
+uint64_t EvoStoreRepository::total_deduped_replays() const {
+  uint64_t n = 0;
+  for (const auto& p : providers_) n += p->stats().deduped_replays;
   return n;
 }
 

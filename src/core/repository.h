@@ -53,6 +53,15 @@ class EvoStoreRepository final : public ModelRepository {
   /// `backends` (optional) supplies one persistent KV store per provider
   /// (paper §4.3's RocksDB-class backends); pass an empty vector for pure
   /// in-memory providers. Non-owning; backends must outlive the repository.
+  /// Construction bumps a persisted incarnation epoch on every backend and
+  /// folds the maximum into the clients' idempotency-token namespace, so
+  /// tokens minted by this repository's clients can never collide with
+  /// `tok/` dedup records a PREVIOUS repository left in the backend. (Within
+  /// one repository, provider crash-recovery deliberately keeps the epoch:
+  /// in-flight retries must still match their pre-crash dedup records.)
+  ///
+  /// When the RpcSystem has a FaultInjector, each provider's restart() is
+  /// registered as the restart hook of its node.
   EvoStoreRepository(net::RpcSystem& rpc, std::vector<NodeId> provider_nodes,
                      ProviderConfig config = {},
                      std::vector<storage::KvStore*> backends = {},
@@ -83,6 +92,15 @@ class EvoStoreRepository final : public ModelRepository {
   size_t total_models() const;
   size_t total_segments() const;
   size_t total_metadata_bytes() const;
+
+  /// Sum of the fault-path counters of every client created so far (all
+  /// zero in a fault-free run).
+  ClientFaultStats total_client_fault_stats() const;
+  /// Sum of provider crash-recovery cycles and dedup-cache replays.
+  uint64_t total_provider_restarts() const;
+  uint64_t total_deduped_replays() const;
+  /// Incarnation epoch of this repository (see ctor).
+  uint64_t token_epoch() const { return client_config_.token_epoch; }
 
  private:
   net::RpcSystem* rpc_;

@@ -204,15 +204,22 @@ struct ReadSegmentsResponse {
 struct ModifyRefsRequest {
   std::vector<SegmentKey> keys;
   bool increment = true;
+  /// Idempotency token: non-zero tokens identify one logical request across
+  /// retries. A provider that already applied the token replays its cached
+  /// response instead of re-applying the refcount deltas (exactly-once
+  /// semantics under message loss). 0 disables deduplication.
+  uint64_t token = 0;
 
   void serialize(Serializer& s) const {
     s.boolean(increment);
+    s.u64(token);
     s.u64(keys.size());
     for (const auto& k : keys) serialize_key(s, k);
   }
   static ModifyRefsRequest deserialize(Deserializer& d) {
     ModifyRefsRequest r;
     r.increment = d.boolean();
+    r.token = d.u64();
     uint64_t n = d.u64();
     if (!d.check_count(n, 2)) return r;
     r.keys.reserve(n);
@@ -256,9 +263,19 @@ struct ModifyRefsResponse {
 
 struct RetireRequest {
   ModelId id;
-  void serialize(Serializer& s) const { s.u64(id.value); }
+  /// Idempotency token (see ModifyRefsRequest::token): a retried retire must
+  /// return the original owner map instead of NotFound, or the caller could
+  /// never run the reference decrements.
+  uint64_t token = 0;
+  void serialize(Serializer& s) const {
+    s.u64(id.value);
+    s.u64(token);
+  }
   static RetireRequest deserialize(Deserializer& d) {
-    return RetireRequest{ModelId{d.u64()}};
+    RetireRequest r;
+    r.id.value = d.u64();
+    r.token = d.u64();
+    return r;
   }
 };
 
@@ -293,6 +310,10 @@ struct LcpQueryResponse {
   ModelId ancestor;
   double quality = 0;
   std::vector<std::pair<VertexId, VertexId>> matches;  // (G vertex, A vertex)
+  /// Client-side only (never serialized): set by the broadcast+reduce when
+  /// at least one provider could not be reached within the retry budget —
+  /// the reduction covers the responders only (graceful degradation).
+  bool partial = false;
 
   size_t lcp_len() const { return matches.size(); }
 

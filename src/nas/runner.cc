@@ -144,7 +144,9 @@ sim::CoTask<void> worker_loop(sim::Simulation* sim, net::Fabric* fabric,
     for (ModelId dropped : retired) {
       if (!st->config->retire_dropped) continue;
       ++st->result.retired;
-      if (st->repo != nullptr) {
+      // A candidate whose store failed (or a no-repo run) has no stored
+      // model to retire.
+      if (st->repo != nullptr && dropped.valid()) {
         auto rs = co_await st->repo->retire(node, dropped);
         if (!rs.ok()) {
           EVO_WARN << "retire failed: " << rs.to_string();
@@ -196,6 +198,9 @@ NasResult run_nas(sim::Simulation& sim, net::Fabric& fabric,
     makespan = std::max(makespan, t.finish);
   }
   r.makespan = makespan;
+  for (const auto& member : st.evo.population()) {
+    if (member.model.valid()) r.final_population.push_back(member.model);
+  }
   r.best_accuracy = r.accuracy_over_time.max_value();
   r.mean_accuracy = accs.mean();
   r.mean_task_seconds = task_seconds.mean();

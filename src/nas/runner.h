@@ -75,6 +75,10 @@ struct NasResult {
   size_t transfers = 0;
   double mean_lcp_fraction = 0;
   size_t retired = 0;
+  /// Models still alive in the evolution population when the search ended
+  /// (the complement of `retired` among stored models). A fault ablation
+  /// retires these after the run to check that refcounts drain to zero.
+  std::vector<common::ModelId> final_population;
 
   /// First time a candidate at or above `threshold` accuracy completed
   /// (negative if never).

@@ -1,0 +1,57 @@
+#include "net/fault.h"
+
+#include "common/log.h"
+
+namespace evostore::net {
+
+void FaultInjector::schedule_crash(common::NodeId node, double at,
+                                   double downtime) {
+  sim_->schedule_callback(at, [this, node] { crash_now(node); });
+  sim_->schedule_callback(at + downtime, [this, node] { restart_now(node); });
+}
+
+void FaultInjector::schedule_mtbf(common::NodeId node, double start,
+                                  double horizon, double mtbf, double mttr) {
+  // Draw the full schedule up front: crash times depend only on the seed,
+  // never on traffic, so the same seed reproduces the same windows.
+  double t = start + rng_.exponential(mtbf);
+  while (t < horizon) {
+    schedule_crash(node, t, mttr);
+    t += mttr + rng_.exponential(mtbf);
+  }
+}
+
+void FaultInjector::on_restart(common::NodeId node, std::function<void()> fn) {
+  restart_hooks_[node].push_back(std::move(fn));
+}
+
+bool FaultInjector::should_drop(common::NodeId from, common::NodeId to) {
+  if (config_.drop_probability <= 0 || from == to) return false;
+  if (!rng_.chance(config_.drop_probability)) return false;
+  ++stats_.dropped_messages;
+  return true;
+}
+
+double FaultInjector::latency_spike(common::NodeId from, common::NodeId to) {
+  if (config_.spike_probability <= 0 || from == to) return 0;
+  if (!rng_.chance(config_.spike_probability)) return 0;
+  ++stats_.latency_spikes;
+  return config_.spike_seconds;
+}
+
+void FaultInjector::crash_now(common::NodeId node) {
+  ++stats_.crashes;
+  ++down_[node];
+}
+
+void FaultInjector::restart_now(common::NodeId node) {
+  ++stats_.restarts;
+  auto it = down_.find(node);
+  if (it != down_.end() && it->second > 0) --it->second;
+  if (!node_up(node)) return;  // another overlapping window still open
+  auto hooks = restart_hooks_.find(node);
+  if (hooks == restart_hooks_.end()) return;
+  for (auto& fn : hooks->second) fn();
+}
+
+}  // namespace evostore::net

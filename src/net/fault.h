@@ -1,0 +1,112 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// A `FaultInjector` is the single authority the networking layer consults
+// about injected failures: per-node crash/restart windows (a down node
+// neither receives requests nor delivers responses), per-message drop
+// probability on inter-node links, and latency spikes. Every decision is
+// drawn from one seeded RNG or from schedules precomputed at configuration
+// time, so an entire faulted run is exactly reproducible from
+// `FaultConfig::seed` — the same determinism contract the rest of the DES
+// provides for time.
+//
+// The crash model is fail-stop with recovery: a node goes down at a
+// scheduled instant and comes back up after its downtime, at which point
+// the registered restart hooks run (providers use them to rebuild state
+// from their persistent backends, see core/provider.h). Handlers already
+// executing when the node goes down run to completion — state they commit
+// is treated as having reached the backend before the crash ("crash after
+// commit") — but their responses are lost, which is exactly the ambiguity
+// idempotency tokens exist to resolve.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/simulation.h"
+
+namespace evostore::net {
+
+struct FaultConfig {
+  /// Seed for every probabilistic decision (drops, spikes, MTBF schedules).
+  uint64_t seed = 1;
+  /// Probability an inter-node message leg (request, response, or bulk) is
+  /// silently lost. Intra-node messages never drop. 0 disables (and skips
+  /// the RNG draw, keeping fault-free streams bit-identical).
+  double drop_probability = 0;
+  /// Probability a message leg suffers an extra `spike_seconds` latency
+  /// (a slow switch queue / straggler NIC). 0 disables.
+  double spike_probability = 0;
+  double spike_seconds = 0;
+  /// How long a sender waits on a silently lost message before concluding
+  /// the peer is unreachable (transport-level keepalive). An RPC deadline,
+  /// when set and sooner, preempts this with DeadlineExceeded.
+  double loss_detect_seconds = 0.5;
+};
+
+struct FaultStats {
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
+  uint64_t dropped_messages = 0;
+  uint64_t latency_spikes = 0;
+  /// Message legs refused because the destination (or source) was down.
+  uint64_t rejected_down = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(sim::Simulation& sim, FaultConfig config = {})
+      : sim_(&sim), config_(config), rng_(config.seed) {}
+
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+  sim::Simulation& simulation() { return *sim_; }
+
+  /// Schedule one crash window: `node` goes down at `at` (simulated time,
+  /// >= now) and restarts `downtime` seconds later.
+  void schedule_crash(common::NodeId node, double at, double downtime);
+
+  /// Schedule repeated crash/restart cycles for `node`: uptimes are drawn
+  /// exponential(mtbf), each downtime is exactly `mttr`, starting from
+  /// `start` until `horizon`. The whole schedule is drawn from the seeded
+  /// RNG immediately, so it is independent of traffic.
+  void schedule_mtbf(common::NodeId node, double start, double horizon,
+                     double mtbf, double mttr);
+
+  /// Run `fn` every time `node` completes a restart (after its state is
+  /// marked up). Providers hook their backend-recovery here.
+  void on_restart(common::NodeId node, std::function<void()> fn);
+
+  bool node_up(common::NodeId node) const {
+    auto it = down_.find(node);
+    return it == down_.end() || it->second == 0;
+  }
+
+  /// Decide whether the message leg from->to is lost. Draws from the RNG
+  /// (order of calls is deterministic under the DES). Intra-node legs and
+  /// p==0 never drop and never draw.
+  bool should_drop(common::NodeId from, common::NodeId to);
+
+  /// Extra latency (seconds) injected on this message leg; 0 most of the
+  /// time. p==0 never draws.
+  double latency_spike(common::NodeId from, common::NodeId to);
+
+  void count_rejected() { ++stats_.rejected_down; }
+
+ private:
+  void crash_now(common::NodeId node);
+  void restart_now(common::NodeId node);
+
+  sim::Simulation* sim_;
+  FaultConfig config_;
+  common::Xoshiro256 rng_;
+  FaultStats stats_;
+  // Down-counter per node: schedules could overlap; a node is up when 0.
+  std::map<common::NodeId, int> down_;
+  std::map<common::NodeId, std::vector<std::function<void()>>> restart_hooks_;
+};
+
+}  // namespace evostore::net

@@ -1,5 +1,8 @@
 #include "net/rpc.h"
 
+#include <coroutine>
+#include <optional>
+
 namespace evostore::net {
 
 void RpcSystem::register_handler(NodeId node, std::string method,
@@ -17,19 +20,70 @@ void RpcSystem::set_service_pool(NodeId node, int slots,
 
 sim::CoTask<Result<Bytes>> RpcSystem::call(NodeId from, NodeId to,
                                            const std::string& method,
-                                           Bytes request) {
-  auto it = handlers_.find(std::make_pair(to, method));
-  if (it == handlers_.end()) {
-    co_return common::Status::NotFound("no handler for '" + method + "' on " +
-                                       fabric_->node_name(to));
+                                           Bytes request, CallOptions options) {
+  if (handlers_.find(std::make_pair(to, method)) == handlers_.end()) {
+    // Unimplemented, not NotFound: an unregistered handler must stay
+    // distinguishable from a provider legitimately answering "not found".
+    co_return common::Status::Unimplemented("no handler for '" + method +
+                                            "' on " + fabric_->node_name(to));
   }
+  double timeout = options.timeout != 0 ? options.timeout : default_timeout_;
+  if (timeout > 0) {
+    co_return co_await race_deadline(call_inner(from, to, method,
+                                                std::move(request)),
+                                     timeout, method, to);
+  }
+  co_return co_await call_inner(from, to, method, std::move(request));
+}
+
+sim::CoTask<Result<Bytes>> RpcSystem::call_inner(NodeId from, NodeId to,
+                                                 std::string method,
+                                                 Bytes request) {
   ++stats_.calls;
   stats_.request_bytes += static_cast<double>(request.size());
+
+  if (injector_ != nullptr) {
+    // Destination down up front: the connection attempt is refused after a
+    // NACK round trip (fail fast — a refusal is detectable, a loss is not).
+    if (!injector_->node_up(to)) {
+      injector_->count_rejected();
+      ++stats_.unavailable;
+      co_await fabric_->signal(from, to);
+      co_await fabric_->signal(to, from);
+      co_return common::Status::Unavailable(
+          "node " + fabric_->node_name(to) + " is down ('" + method + "')");
+    }
+    if (injector_->should_drop(from, to)) {
+      ++stats_.unavailable;
+      co_await simulation().delay(injector_->config().loss_detect_seconds);
+      co_return common::Status::Unavailable(
+          "request for '" + method + "' to " + fabric_->node_name(to) +
+          " lost");
+    }
+    double spike = injector_->latency_spike(from, to);
+    if (spike > 0) co_await simulation().delay(spike);
+  }
 
   // Request travels to the server.
   co_await fabric_->move_bytes(from, to, static_cast<double>(request.size()));
 
+  // Crash while the request was in flight: it is silently swallowed.
+  if (injector_ != nullptr && !injector_->node_up(to)) {
+    injector_->count_rejected();
+    ++stats_.unavailable;
+    co_await simulation().delay(injector_->config().loss_detect_seconds);
+    co_return common::Status::Unavailable(
+        "node " + fabric_->node_name(to) + " went down before serving '" +
+        method + "'");
+  }
+
   // Execute the handler, optionally gated by the node's service pool.
+  // (Handler lookup is redone here: a restart hook may have re-registered.)
+  auto it = handlers_.find(std::make_pair(to, method));
+  if (it == handlers_.end()) {
+    co_return common::Status::Unimplemented("no handler for '" + method +
+                                            "' on " + fabric_->node_name(to));
+  }
   auto pool_it = pools_.find(to);
   Bytes response;
   if (pool_it != pools_.end()) {
@@ -42,17 +96,115 @@ sim::CoTask<Result<Bytes>> RpcSystem::call(NodeId from, NodeId to,
     response = co_await it->second(std::move(request));
   }
 
+  if (injector_ != nullptr) {
+    // Crash during handler execution: effects committed, response lost.
+    if (!injector_->node_up(to)) {
+      ++stats_.unavailable;
+      co_await simulation().delay(injector_->config().loss_detect_seconds);
+      co_return common::Status::Unavailable(
+          "node " + fabric_->node_name(to) + " crashed answering '" + method +
+          "'");
+    }
+    if (injector_->should_drop(to, from)) {
+      ++stats_.unavailable;
+      co_await simulation().delay(injector_->config().loss_detect_seconds);
+      co_return common::Status::Unavailable(
+          "response for '" + method + "' from " + fabric_->node_name(to) +
+          " lost");
+    }
+    double spike = injector_->latency_spike(to, from);
+    if (spike > 0) co_await simulation().delay(spike);
+  }
+
   stats_.response_bytes += static_cast<double>(response.size());
   // Response travels back.
   co_await fabric_->move_bytes(to, from, static_cast<double>(response.size()));
   co_return response;
 }
 
-sim::CoTask<void> RpcSystem::bulk(NodeId from, NodeId to,
-                                  const Buffer& buffer) {
+namespace {
+
+// Shared state of one deadline race. The inner task and the deadline
+// callback both try to settle it; whichever is first wins and wakes the
+// caller. The loser's outcome is discarded.
+struct RaceState {
+  bool settled = false;
+  std::optional<Result<Bytes>> result;
+  std::coroutine_handle<> waiter;
+};
+
+sim::CoTask<void> drive_inner(sim::Simulation* sim,
+                              std::shared_ptr<RaceState> st,
+                              sim::CoTask<Result<Bytes>> inner) {
+  Result<Bytes> r = co_await std::move(inner);
+  if (!st->settled) {
+    st->settled = true;
+    st->result.emplace(std::move(r));
+    if (st->waiter) sim->schedule_handle(sim->now(), st->waiter);
+  }
+}
+
+}  // namespace
+
+sim::CoTask<Result<Bytes>> RpcSystem::race_deadline(
+    sim::CoTask<Result<Bytes>> inner, double timeout, std::string method,
+    NodeId to) {
+  auto& sim = simulation();
+  auto st = std::make_shared<RaceState>();
+  sim.spawn(drive_inner(&sim, st, std::move(inner)));
+  uint64_t token = sim.schedule_callback(
+      sim.now() + timeout, [this, st, timeout, method, to] {
+        if (st->settled) return;
+        st->settled = true;
+        ++stats_.deadline_exceeded;
+        st->result.emplace(common::Status::DeadlineExceeded(
+            "deadline (" + std::to_string(timeout) + "s) exceeded calling '" +
+            method + "' on " + fabric_->node_name(to)));
+        auto& s = simulation();
+        if (st->waiter) s.schedule_handle(s.now(), st->waiter);
+      });
+  // The awaiter holds a plain pointer (the frame-local `st` keeps the state
+  // alive for the whole co_await) and is a named local, not a temporary:
+  // temporaries with owning captures inside co_await expressions have been
+  // double-destroyed by shipped GCC coroutine codegen.
+  struct Awaiter {
+    RaceState* st;
+    bool await_ready() const noexcept { return st->settled; }
+    void await_suspend(std::coroutine_handle<> h) { st->waiter = h; }
+    void await_resume() const noexcept {}
+  };
+  Awaiter settle{st.get()};
+  co_await settle;
+  sim.cancel(token);
+  co_return std::move(*st->result);
+}
+
+sim::CoTask<common::Status> RpcSystem::bulk(NodeId from, NodeId to,
+                                            const Buffer& buffer) {
   ++stats_.bulk_transfers;
   stats_.bulk_bytes += static_cast<double>(buffer.size());
+  if (injector_ != nullptr) {
+    if (!injector_->node_up(to) || !injector_->node_up(from)) {
+      injector_->count_rejected();
+      ++stats_.unavailable;
+      co_await fabric_->signal(from, to);
+      co_await fabric_->signal(to, from);
+      co_return common::Status::Unavailable(
+          "bulk endpoint down (" + fabric_->node_name(from) + " -> " +
+          fabric_->node_name(to) + ")");
+    }
+    if (injector_->should_drop(from, to)) {
+      ++stats_.unavailable;
+      co_await simulation().delay(injector_->config().loss_detect_seconds);
+      co_return common::Status::Unavailable(
+          "bulk transfer " + fabric_->node_name(from) + " -> " +
+          fabric_->node_name(to) + " lost");
+    }
+    double spike = injector_->latency_spike(from, to);
+    if (spike > 0) co_await simulation().delay(spike);
+  }
   co_await fabric_->move_bytes(from, to, static_cast<double>(buffer.size()));
+  co_return common::Status::Ok();
 }
 
 }  // namespace evostore::net

@@ -11,6 +11,17 @@
 // Handlers may optionally be gated by a per-node execution semaphore to model
 // a bounded service pool (used by the Redis baseline, where the single
 // server's CPU is the bottleneck).
+//
+// Fault semantics (when a FaultInjector is attached, see net/fault.h):
+//  - a down destination refuses both RPCs and bulks with Unavailable after a
+//    connection-refusal round trip;
+//  - a dropped request or response leg surfaces as Unavailable after
+//    `loss_detect_seconds` (or as DeadlineExceeded if a sooner deadline is
+//    set on the call);
+//  - a node that crashes while a handler runs still commits the handler's
+//    effects ("crash after commit"), but the response is lost.
+// Without an injector and without a deadline the code path is byte-for-byte
+// the pre-fault one: no RNG draws, no extra events.
 #pragma once
 
 #include <functional>
@@ -23,6 +34,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "net/fabric.h"
+#include "net/fault.h"
 #include "sim/sync.h"
 
 namespace evostore::net {
@@ -40,6 +52,15 @@ struct RpcStats {
   double bulk_bytes = 0;
   double request_bytes = 0;
   double response_bytes = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t unavailable = 0;
+};
+
+/// Per-call knobs.
+struct CallOptions {
+  /// Deadline in simulated seconds. 0 uses the system default
+  /// (`set_default_timeout`); negative disables the deadline for this call.
+  double timeout = 0;
 };
 
 class RpcSystem {
@@ -48,6 +69,15 @@ class RpcSystem {
 
   Fabric& fabric() { return *fabric_; }
   sim::Simulation& simulation() { return fabric_->simulation(); }
+
+  /// Attach a fault injector consulted on every message leg. Must outlive
+  /// the RpcSystem. nullptr detaches.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() { return injector_; }
+
+  /// Deadline applied to calls whose CallOptions leave timeout == 0.
+  /// 0 (the default) means no deadline.
+  void set_default_timeout(double seconds) { default_timeout_ = seconds; }
 
   /// Register `handler` for (node, method). Replaces any previous handler.
   void register_handler(NodeId node, std::string method, RpcHandler handler);
@@ -58,14 +88,19 @@ class RpcSystem {
   void set_service_pool(NodeId node, int slots, double service_overhead);
 
   /// Issue an RPC. The returned bytes are the handler's response.
-  /// Fails with NotFound if no handler is registered.
+  /// Fails with Unimplemented if no handler is registered (distinct from a
+  /// provider legitimately answering NotFound), Unavailable if the target is
+  /// down or the message was lost, DeadlineExceeded if the deadline fires.
   sim::CoTask<Result<Bytes>> call(NodeId from, NodeId to,
-                                  const std::string& method, Bytes request);
+                                  const std::string& method, Bytes request,
+                                  CallOptions options = {});
 
   /// RDMA-style payload movement: `buffer.size()` bytes cross from `from`
   /// to `to` with no handler involvement. Content travels logically (the
-  /// caller hands the Buffer to whatever registered it).
-  sim::CoTask<void> bulk(NodeId from, NodeId to, const Buffer& buffer);
+  /// caller hands the Buffer to whatever registered it). Fails with
+  /// Unavailable when the destination is down or the transfer is dropped.
+  sim::CoTask<common::Status> bulk(NodeId from, NodeId to,
+                                   const Buffer& buffer);
 
   const RpcStats& stats() const { return stats_; }
 
@@ -75,7 +110,20 @@ class RpcSystem {
     double overhead = 0;
   };
 
+  // The call body without deadline handling (raced against the timer when a
+  // deadline is set; run directly otherwise). Takes `method` BY VALUE: when
+  // the deadline loses the race the abandoned frame keeps running after the
+  // caller's arguments are gone.
+  sim::CoTask<Result<Bytes>> call_inner(NodeId from, NodeId to,
+                                        std::string method, Bytes request);
+  // Race `inner` against a deadline `timeout` seconds from now.
+  sim::CoTask<Result<Bytes>> race_deadline(sim::CoTask<Result<Bytes>> inner,
+                                           double timeout, std::string method,
+                                           NodeId to);
+
   Fabric* fabric_;
+  FaultInjector* injector_ = nullptr;
+  double default_timeout_ = 0;
   std::map<std::pair<NodeId, std::string>, RpcHandler> handlers_;
   std::map<NodeId, ServicePool> pools_;
   RpcStats stats_;
@@ -84,17 +132,25 @@ class RpcSystem {
 /// Convenience: serialize a request struct, call, deserialize the response.
 /// Request/Response must provide `void serialize(common::Serializer&) const`
 /// and `static Response deserialize(common::Deserializer&)`.
+/// A malformed response is annotated with the method and target node so the
+/// failure is attributable without a packet trace.
 template <typename Response, typename Request>
 sim::CoTask<Result<Response>> typed_call(RpcSystem& rpc, NodeId from, NodeId to,
                                          const std::string& method,
-                                         const Request& request) {
+                                         const Request& request,
+                                         CallOptions options = {}) {
   common::Serializer s;
   request.serialize(s);
-  auto raw = co_await rpc.call(from, to, method, std::move(s).take());
+  auto raw = co_await rpc.call(from, to, method, std::move(s).take(), options);
   if (!raw.ok()) co_return raw.status();
   common::Deserializer d(raw.value());
   Response resp = Response::deserialize(d);
-  if (!d.ok()) co_return d.status();
+  if (!d.ok()) {
+    co_return common::Status(
+        d.status().code(),
+        "deserializing '" + method + "' response from " +
+            rpc.fabric().node_name(to) + ": " + d.status().message());
+  }
   co_return resp;
 }
 

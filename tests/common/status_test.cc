@@ -23,6 +23,8 @@ TEST(Status, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::IoError("x").code(), ErrorCode::kIoError);
   EXPECT_EQ(Status::Unavailable("x").code(), ErrorCode::kUnavailable);
   EXPECT_EQ(Status::Internal("x").code(), ErrorCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unimplemented("x").code(), ErrorCode::kUnimplemented);
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
 }
 
@@ -84,6 +86,20 @@ TEST(ErrorCodeName, AllNamesDistinct) {
   EXPECT_EQ(error_code_name(ErrorCode::kOk), "Ok");
   EXPECT_EQ(error_code_name(ErrorCode::kCorruption), "Corruption");
   EXPECT_EQ(error_code_name(ErrorCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(error_code_name(ErrorCode::kDeadlineExceeded), "DeadlineExceeded");
+  EXPECT_EQ(error_code_name(ErrorCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(Status, RetryableCodes) {
+  // Exactly the transient transport failures are retryable: a retry can
+  // change their outcome. Application-level answers must never be retried.
+  EXPECT_TRUE(is_retryable(ErrorCode::kUnavailable));
+  EXPECT_TRUE(is_retryable(ErrorCode::kDeadlineExceeded));
+  EXPECT_FALSE(is_retryable(ErrorCode::kOk));
+  EXPECT_FALSE(is_retryable(ErrorCode::kNotFound));
+  EXPECT_FALSE(is_retryable(ErrorCode::kAlreadyExists));
+  EXPECT_FALSE(is_retryable(ErrorCode::kUnimplemented));
+  EXPECT_FALSE(is_retryable(ErrorCode::kCorruption));
 }
 
 }  // namespace

@@ -1,0 +1,165 @@
+// Property test for exactly-once reference counting under at-least-once
+// delivery: a workload executed through a lossy fabric (message drops on
+// every leg, deadline-driven retries, duplicate deliveries absorbed by
+// provider-side idempotency tokens) must leave BIT-IDENTICAL refcounts,
+// catalogs, and payload accounting to the same workload executed with
+// exactly-once delivery — including the `freed_bases` cascade of delta
+// compression — and a full drain must reach the empty repository.
+#include <gtest/gtest.h>
+
+#include "net/fault.h"
+#include "tests/core/test_env.h"
+
+namespace evostore::core {
+namespace {
+
+using common::ModelId;
+using common::SegmentKey;
+using common::VertexId;
+using testing::chain_graph;
+
+struct Signature {
+  std::vector<int> refcounts;
+  size_t models = 0;
+  size_t segments = 0;
+  size_t payload_bytes = 0;
+  bool operator==(const Signature&) const = default;
+};
+
+struct WorkloadResult {
+  Signature mid;           // state after the mixed put/derive/retire phase
+  bool drained = false;    // full drain reached the empty repository
+  uint64_t replays = 0;    // provider-side dedup-cache hits
+  uint64_t retries = 0;    // client-side retry count
+};
+
+// Runs the fixed workload through a cluster whose fabric drops each message
+// leg with probability `drop`. The workload itself (ids, graphs, payload
+// seeds, operation order) is identical for every invocation.
+WorkloadResult run_workload(double drop, uint64_t fault_seed) {
+  sim::Simulation sim;
+  net::Fabric fabric(sim,
+                     net::FabricConfig{.latency = 1.5e-6, .local_latency = 2e-7});
+  net::RpcSystem rpc(fabric);
+  net::FaultInjector injector(
+      sim, net::FaultConfig{.seed = fault_seed, .drop_probability = drop,
+                            .loss_detect_seconds = 0.002});
+  if (drop > 0) rpc.set_fault_injector(&injector);
+
+  std::vector<common::NodeId> nodes;
+  for (int i = 0; i < 3; ++i) nodes.push_back(fabric.add_node(25e9, 25e9));
+  common::NodeId worker = fabric.add_node(25e9, 25e9);
+
+  ClientConfig cc;
+  cc.rpc_timeout = 0.2;
+  cc.retry.max_attempts = 30;
+  cc.retry.initial_backoff = 1e-4;
+  cc.retry.max_backoff = 1e-2;
+  EvoStoreRepository repo(rpc, nodes, ProviderConfig{}, {}, cc);
+  Client& cli = repo.client(worker);
+
+  auto run = [&](auto task) { return sim.run_until_complete(std::move(task)); };
+
+  // Phase 1: a derivation chain (each generation mutates the tail of its
+  // parent, so prefixes are shared and delta-encoded), with two mid-chain
+  // retires to trigger freed_bases cascades while descendants still pin
+  // the shared prefix segments.
+  std::vector<ModelId> ids;
+  std::vector<model::ArchGraph> graphs;
+  std::vector<bool> retired;
+  const int kGenerations = 8;
+  for (int gen = 0; gen < kGenerations; ++gen) {
+    auto g = chain_graph(10, 16, /*mutated_tail=*/gen == 0 ? 0 : 2,
+                         /*tail_salt=*/3 + gen);
+    auto prep_task = [&]() -> sim::CoTask<std::optional<TransferContext>> {
+      auto r = co_await cli.prepare_transfer(g, true);
+      EXPECT_TRUE(r.ok()) << r.status().to_string();
+      co_return r.ok() ? r.value() : std::nullopt;
+    };
+    auto tc = run(prep_task());
+    auto m = model::Model::random(repo.allocate_id(), g, /*seed=*/100 + gen);
+    m.set_quality(0.5 + 0.01 * gen);
+    if (tc.has_value()) {
+      for (size_t i = 0; i < tc->matches.size(); ++i) {
+        m.segment(tc->matches[i].first) = tc->prefix_segments[i];
+      }
+    }
+    auto put_task = [&]() -> sim::CoTask<common::Status> {
+      co_return co_await cli.put_model(m, tc.has_value() ? &*tc : nullptr);
+    };
+    EXPECT_TRUE(run(put_task()).ok());
+    ids.push_back(m.id());
+    graphs.push_back(g);
+    retired.push_back(false);
+    if (gen == 3 || gen == 5) {
+      int victim = gen - 2;
+      auto retire_task = [&]() -> sim::CoTask<common::Status> {
+        co_return co_await cli.retire(ids[victim]);
+      };
+      EXPECT_TRUE(run(retire_task()).ok());
+      retired[victim] = true;
+    }
+  }
+
+  // Mid-run signature: refcount of every (model, vertex) key ever created,
+  // probed on every provider, plus global accounting.
+  WorkloadResult out;
+  for (size_t mi = 0; mi < ids.size(); ++mi) {
+    for (VertexId v = 0; v < graphs[mi].size(); ++v) {
+      for (size_t p = 0; p < repo.provider_count(); ++p) {
+        out.mid.refcounts.push_back(
+            repo.provider(p).refcount(SegmentKey{ids[mi], v}));
+      }
+    }
+  }
+  out.mid.models = repo.total_models();
+  out.mid.segments = repo.total_segments();
+  out.mid.payload_bytes = repo.stored_payload_bytes();
+
+  // Phase 2: drain. Retiring every survivor must cascade all shared-prefix
+  // references away and leave the repository empty — the strongest
+  // "no double-applied or leaked refcount" statement available.
+  for (size_t mi = 0; mi < ids.size(); ++mi) {
+    if (retired[mi]) continue;
+    auto retire_task = [&]() -> sim::CoTask<common::Status> {
+      co_return co_await cli.retire(ids[mi]);
+    };
+    EXPECT_TRUE(run(retire_task()).ok());
+  }
+  out.drained = repo.total_models() == 0 && repo.total_segments() == 0 &&
+                repo.stored_payload_bytes() == 0;
+  out.replays = repo.total_deduped_replays();
+  out.retries = repo.total_client_fault_stats().retries;
+  return out;
+}
+
+TEST(RetryIdempotency, LossyDeliveryMatchesExactlyOnce) {
+  auto exactly_once = run_workload(/*drop=*/0.0, /*fault_seed=*/1);
+  EXPECT_EQ(exactly_once.retries, 0u);
+  EXPECT_TRUE(exactly_once.drained);
+  ASSERT_GT(exactly_once.mid.models, 0u);
+
+  uint64_t total_replays = 0;
+  for (uint64_t seed : {11ull, 12ull, 13ull}) {
+    auto lossy = run_workload(/*drop=*/0.3, seed);
+    EXPECT_GT(lossy.retries, 0u) << "seed " << seed;
+    EXPECT_EQ(lossy.mid, exactly_once.mid) << "seed " << seed;
+    EXPECT_TRUE(lossy.drained) << "seed " << seed;
+    total_replays += lossy.replays;
+  }
+  // At least one retry across the seeds must have hit the dedup cache
+  // (i.e., a response was lost AFTER the handler committed) — otherwise
+  // this test never exercised duplicate delivery at all.
+  EXPECT_GT(total_replays, 0u);
+}
+
+TEST(RetryIdempotency, LossyRunsAreReproducibleFromTheSeed) {
+  auto a = run_workload(0.3, 42);
+  auto b = run_workload(0.3, 42);
+  EXPECT_EQ(a.mid, b.mid);
+  EXPECT_EQ(a.replays, b.replays);
+  EXPECT_EQ(a.retries, b.retries);
+}
+
+}  // namespace
+}  // namespace evostore::core

@@ -157,9 +157,14 @@ TEST(Wire, ModifyRefs) {
   ModifyRefsRequest req;
   req.increment = false;
   req.keys.push_back({ModelId::make(3, 3), 5});
+  req.token = 0xfeed0001cafe0042ULL;
   auto out = round_trip(req);
   EXPECT_FALSE(out.increment);
   ASSERT_EQ(out.keys.size(), 1u);
+  EXPECT_EQ(out.token, req.token);
+
+  // Default-constructed requests carry the zero (no-dedup) token.
+  EXPECT_EQ(round_trip(ModifyRefsRequest{}).token, 0u);
 
   ModifyRefsResponse resp;
   resp.status = common::Status::NotFound("2 segment(s) missing");
@@ -204,8 +209,9 @@ TEST(Wire, StatsMessages) {
 }
 
 TEST(Wire, RetireMessages) {
-  auto req = round_trip(RetireRequest{ModelId::make(4, 2)});
+  auto req = round_trip(RetireRequest{ModelId::make(4, 2), 0x7700000000000009ULL});
   EXPECT_EQ(req.id, ModelId::make(4, 2));
+  EXPECT_EQ(req.token, 0x7700000000000009ULL);
 
   RetireResponse resp;
   resp.status = common::Status::Ok();

@@ -1,0 +1,193 @@
+// Deterministic fault injection (net/fault.h) and its RPC-layer semantics:
+// crash windows, restart hooks, message drops, latency spikes, bulk refusal,
+// and bit-identical reproducibility from the seed.
+#include "net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "net/rpc.h"
+
+namespace evostore::net {
+namespace {
+
+using common::Bytes;
+using common::ErrorCode;
+using common::Status;
+using sim::CoTask;
+using sim::Simulation;
+
+struct Env {
+  Simulation sim;
+  Fabric fabric;
+  RpcSystem rpc;
+  FaultInjector injector;
+  NodeId a;
+  NodeId b;
+
+  explicit Env(FaultConfig config = {})
+      : fabric(sim, FabricConfig{.latency = 0.001, .local_latency = 0.0001}),
+        rpc(fabric),
+        injector(sim, config) {
+    a = fabric.add_node(1000.0, 1000.0);
+    b = fabric.add_node(1000.0, 1000.0);
+    rpc.set_fault_injector(&injector);
+    rpc.register_handler(b, "echo", [](Bytes req) -> CoTask<Bytes> {
+      co_return req;
+    });
+  }
+
+  CoTask<Status> one_call(double at) {
+    co_await sim.delay(at - sim.now());
+    auto r = co_await rpc.call(a, b, "echo", Bytes(64));
+    co_return r.status();
+  }
+};
+
+TEST(Fault, CrashWindowRefusesCallsOnlyWhileDown) {
+  Env env;
+  env.injector.schedule_crash(env.b, /*at=*/10.0, /*downtime=*/5.0);
+  auto before = env.sim.spawn(env.one_call(1.0));
+  auto during = env.sim.spawn(env.one_call(12.0));
+  auto after = env.sim.spawn(env.one_call(20.0));
+  env.sim.run();
+  EXPECT_TRUE(before.get().ok());
+  EXPECT_EQ(during.get().code(), ErrorCode::kUnavailable);
+  EXPECT_TRUE(common::is_retryable(during.get().code()));
+  EXPECT_TRUE(after.get().ok());
+  EXPECT_EQ(env.injector.stats().crashes, 1u);
+  EXPECT_EQ(env.injector.stats().restarts, 1u);
+  EXPECT_EQ(env.injector.stats().rejected_down, 1u);
+}
+
+TEST(Fault, RestartHookRunsOncePerRestartAfterNodeIsUp) {
+  Env env;
+  int hook_runs = 0;
+  bool up_when_hook_ran = false;
+  env.injector.on_restart(env.b, [&] {
+    ++hook_runs;
+    up_when_hook_ran = env.injector.node_up(env.b);
+  });
+  env.injector.schedule_crash(env.b, 1.0, 2.0);
+  env.injector.schedule_crash(env.b, 10.0, 2.0);
+  env.sim.run();
+  EXPECT_EQ(hook_runs, 2);
+  EXPECT_TRUE(up_when_hook_ran);
+  EXPECT_EQ(env.injector.stats().crashes, 2u);
+  EXPECT_EQ(env.injector.stats().restarts, 2u);
+}
+
+TEST(Fault, CrashMidFlightSwallowsRequest) {
+  Env env;
+  // The request leaves at t=0 and takes 1ms of latency; the node dies at
+  // t=0.0005, while the request is in flight.
+  env.injector.schedule_crash(env.b, 0.0005, 1.0);
+  auto f = env.sim.spawn(env.one_call(0.0));
+  env.sim.run();
+  EXPECT_EQ(f.get().code(), ErrorCode::kUnavailable);
+}
+
+TEST(Fault, DroppedMessageSurfacesAfterLossDetect) {
+  Env env(FaultConfig{.seed = 7, .drop_probability = 1.0,
+                      .loss_detect_seconds = 0.3});
+  auto task = [&]() -> CoTask<double> {
+    auto r = co_await env.rpc.call(env.a, env.b, "echo", Bytes(64));
+    EXPECT_EQ(r.status().code(), ErrorCode::kUnavailable);
+    co_return env.sim.now();
+  };
+  EXPECT_NEAR(env.sim.run_until_complete(task()), 0.3, 1e-9);
+  EXPECT_EQ(env.injector.stats().dropped_messages, 1u);
+}
+
+TEST(Fault, DeadlinePreemptsLossDetect) {
+  Env env(FaultConfig{.seed = 7, .drop_probability = 1.0,
+                      .loss_detect_seconds = 10.0});
+  auto task = [&]() -> CoTask<double> {
+    auto r = co_await env.rpc.call(env.a, env.b, "echo", Bytes(64),
+                                   CallOptions{.timeout = 0.05});
+    EXPECT_EQ(r.status().code(), ErrorCode::kDeadlineExceeded);
+    co_return env.sim.now();
+  };
+  EXPECT_NEAR(env.sim.run_until_complete(task()), 0.05, 1e-9);
+}
+
+TEST(Fault, LatencySpikeDelaysButDeliversTheCall) {
+  Env env(FaultConfig{.seed = 7, .spike_probability = 1.0,
+                      .spike_seconds = 0.5});
+  auto task = [&]() -> CoTask<double> {
+    auto r = co_await env.rpc.call(env.a, env.b, "echo", Bytes{});
+    EXPECT_TRUE(r.ok());
+    co_return env.sim.now();
+  };
+  // Both legs spike: 2 x 0.5s on top of the 2 x 1ms fabric latency.
+  EXPECT_NEAR(env.sim.run_until_complete(task()), 1.002, 1e-9);
+  EXPECT_EQ(env.injector.stats().latency_spikes, 2u);
+}
+
+TEST(Fault, BulkToDownNodeIsUnavailable) {
+  Env env;
+  env.injector.schedule_crash(env.b, 1.0, 5.0);
+  auto task = [&]() -> CoTask<Status> {
+    co_await env.sim.delay(2.0);
+    common::Buffer payload = common::Buffer::zeros(1024);
+    co_return co_await env.rpc.bulk(env.a, env.b, payload);
+  };
+  EXPECT_EQ(env.sim.run_until_complete(task()).code(),
+            ErrorCode::kUnavailable);
+}
+
+TEST(Fault, MtbfScheduleIsDrawnUpFrontAndBounded) {
+  Env env;
+  env.injector.schedule_mtbf(env.b, /*start=*/0.0, /*horizon=*/1000.0,
+                             /*mtbf=*/50.0, /*mttr=*/2.0);
+  env.sim.run();
+  const auto& st = env.injector.stats();
+  EXPECT_GE(st.crashes, 3u);  // ~1000/52 expected; 3 is a loose floor
+  EXPECT_EQ(st.crashes, st.restarts);
+  EXPECT_TRUE(env.injector.node_up(env.b));
+}
+
+TEST(Fault, SameSeedSameSchedule) {
+  auto collect = [](uint64_t seed) {
+    Env env(FaultConfig{.seed = seed, .drop_probability = 0.2});
+    env.injector.schedule_mtbf(env.b, 0.0, 500.0, 40.0, 3.0);
+    std::vector<common::Status> outcomes;
+    auto task = [&]() -> CoTask<void> {
+      for (int i = 0; i < 50; ++i) {
+        auto r = co_await env.rpc.call(env.a, env.b, "echo", Bytes(64));
+        outcomes.push_back(r.status());
+        co_await env.sim.delay(7.0);
+      }
+    };
+    env.sim.run_until_complete(task());
+    std::vector<std::pair<int, uint64_t>> sig;
+    for (const auto& s : outcomes) {
+      sig.emplace_back(static_cast<int>(s.code()), s.message().size());
+    }
+    sig.emplace_back(static_cast<int>(env.injector.stats().crashes),
+                     env.injector.stats().dropped_messages);
+    return sig;
+  };
+  EXPECT_EQ(collect(11), collect(11));
+  EXPECT_NE(collect(11), collect(12));
+}
+
+TEST(Fault, ZeroProbabilityPathsSkipRngDraws) {
+  // drop_probability == 0 must not consume RNG state: the spike decision
+  // stream (p = 0.5, so genuinely random) has to be identical whether or
+  // not should_drop() was consulted in between.
+  Simulation sim;
+  FaultConfig cfg{.seed = 5, .drop_probability = 0, .spike_probability = 0.5,
+                  .spike_seconds = 0.1};
+  FaultInjector with_drop_checks(sim, cfg);
+  FaultInjector spikes_only(sim, cfg);
+  std::vector<double> s1, s2;
+  for (int k = 0; k < 64; ++k) {
+    EXPECT_FALSE(with_drop_checks.should_drop(0, 1));
+    s1.push_back(with_drop_checks.latency_spike(0, 1));
+    s2.push_back(spikes_only.latency_spike(0, 1));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace evostore::net

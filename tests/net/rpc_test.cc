@@ -51,13 +51,118 @@ TEST(Rpc, EchoHandler) {
   EXPECT_EQ(env.rpc.stats().calls, 1u);
 }
 
-TEST(Rpc, MissingHandlerIsNotFound) {
+TEST(Rpc, MissingHandlerIsUnimplemented) {
+  // Unimplemented, not NotFound: callers must be able to tell "no such
+  // handler" apart from a provider legitimately answering NotFound.
   Env env;
-  auto task = [&]() -> CoTask<bool> {
+  auto task = [&]() -> CoTask<common::Status> {
     auto r = co_await env.rpc.call(env.a, env.b, "nope", Bytes{});
+    co_return r.status();
+  };
+  auto st = env.sim.run_until_complete(task());
+  EXPECT_EQ(st.code(), common::ErrorCode::kUnimplemented);
+  EXPECT_FALSE(common::is_retryable(st.code()));
+}
+
+TEST(Rpc, DeadlineExceededWhenHandlerTooSlow) {
+  Env env;
+  env.rpc.register_handler(env.b, "slow", [&](Bytes) -> CoTask<Bytes> {
+    co_await env.sim.delay(10.0);
+    co_return Bytes{};
+  });
+  auto task = [&]() -> CoTask<common::Status> {
+    auto r = co_await env.rpc.call(env.a, env.b, "slow", Bytes{},
+                                   CallOptions{.timeout = 0.5});
+    co_return r.status();
+  };
+  auto st = env.sim.run_until_complete(task());
+  EXPECT_EQ(st.code(), common::ErrorCode::kDeadlineExceeded);
+  EXPECT_TRUE(common::is_retryable(st.code()));
+  EXPECT_EQ(env.rpc.stats().deadline_exceeded, 1u);
+}
+
+TEST(Rpc, DeadlineFiresAtExactlyTimeoutSeconds) {
+  Env env;
+  env.rpc.register_handler(env.b, "slow", [&](Bytes) -> CoTask<Bytes> {
+    co_await env.sim.delay(10.0);
+    co_return Bytes{};
+  });
+  auto task = [&]() -> CoTask<double> {
+    co_await env.rpc.call(env.a, env.b, "slow", Bytes{},
+                          CallOptions{.timeout = 0.25});
+    co_return env.sim.now();
+  };
+  EXPECT_NEAR(env.sim.run_until_complete(task()), 0.25, 1e-9);
+}
+
+TEST(Rpc, FastCallUnaffectedByDeadline) {
+  Env env;
+  env.rpc.register_handler(env.b, "echo", [](Bytes req) -> CoTask<Bytes> {
+    co_return req;
+  });
+  auto task = [&]() -> CoTask<std::string> {
+    auto r = co_await env.rpc.call(env.a, env.b, "echo", to_bytes("hi"),
+                                   CallOptions{.timeout = 5.0});
+    EXPECT_TRUE(r.ok());
+    co_return from_bytes(r.value());
+  };
+  EXPECT_EQ(env.sim.run_until_complete(task()), "hi");
+  EXPECT_EQ(env.rpc.stats().deadline_exceeded, 0u);
+}
+
+TEST(Rpc, DefaultTimeoutAppliesWhenOptionsLeaveZero) {
+  Env env;
+  env.rpc.set_default_timeout(0.1);
+  env.rpc.register_handler(env.b, "slow", [&](Bytes) -> CoTask<Bytes> {
+    co_await env.sim.delay(10.0);
+    co_return Bytes{};
+  });
+  auto task = [&]() -> CoTask<common::Status> {
+    auto r = co_await env.rpc.call(env.a, env.b, "slow", Bytes{});
+    co_return r.status();
+  };
+  EXPECT_EQ(env.sim.run_until_complete(task()).code(),
+            common::ErrorCode::kDeadlineExceeded);
+}
+
+TEST(Rpc, NegativeTimeoutDisablesDefaultDeadline) {
+  Env env;
+  env.rpc.set_default_timeout(0.1);
+  env.rpc.register_handler(env.b, "slow", [&](Bytes) -> CoTask<Bytes> {
+    co_await env.sim.delay(1.0);
+    co_return Bytes{};
+  });
+  auto task = [&]() -> CoTask<bool> {
+    auto r = co_await env.rpc.call(env.a, env.b, "slow", Bytes{},
+                                   CallOptions{.timeout = -1});
     co_return r.ok();
   };
-  EXPECT_FALSE(env.sim.run_until_complete(task()));
+  EXPECT_TRUE(env.sim.run_until_complete(task()));
+}
+
+TEST(Rpc, TypedCallAnnotatesMalformedResponse) {
+  Env env;
+  env.rpc.register_handler(env.b, "meta", [](Bytes) -> CoTask<Bytes> {
+    co_return Bytes{0x01};  // too short for any real response struct
+  });
+  struct Probe {
+    void serialize(Serializer& s) const { s.u32(1); }
+    static Probe deserialize(Deserializer& d) {
+      d.u64();
+      d.str();
+      return {};
+    }
+  };
+  auto task = [&]() -> CoTask<common::Status> {
+    auto r = co_await typed_call<Probe>(env.rpc, env.a, env.b, "meta", Probe{});
+    co_return r.status();
+  };
+  auto st = env.sim.run_until_complete(task());
+  EXPECT_FALSE(st.ok());
+  // The failure must be attributable: method and target node in the message.
+  EXPECT_NE(st.message().find("'meta'"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find(env.fabric.node_name(env.b)), std::string::npos)
+      << st.message();
 }
 
 TEST(Rpc, HandlerReplacement) {
