@@ -21,6 +21,12 @@
 //        --seed S        NAS + fault seed        (default 42)
 //        --verify        run every fault config TWICE and compare digests
 //                        (bit-identical reproducibility check)
+//        --metrics-out FILE  JSON metrics snapshot over all fault configs
+//        --trace-out FILE    Chrome trace of the first fault run. IGNORED
+//                            under --verify: the tracer binds to the first
+//                            run only, and its wire-header framing changes
+//                            simulated timings, so run 2 could never match
+//                            run 1's digest.
 #include <cinttypes>
 #include <cstring>
 
@@ -74,6 +80,13 @@ int main(int argc, char** argv) {
       bench::arg_int(argc, argv, "--candidates", 400));
   uint64_t seed = static_cast<uint64_t>(bench::arg_int(argc, argv, "--seed", 42));
   bool verify = bench::arg_flag(argc, argv, "--verify");
+  auto obs = bench::Observability::from_args(argc, argv);
+  if (verify && !obs.trace_path.empty()) {
+    std::printf("note: --trace-out ignored under --verify (tracing alters "
+                "wire framing, so traced and untraced runs cannot digest-"
+                "match)\n");
+    obs.trace_path.clear();
+  }
 
   bench::print_header(
       "Fault ablation",
@@ -107,11 +120,15 @@ int main(int argc, char** argv) {
     opts.fault_mttr = row.mttr;
     opts.fault_drop_probability = row.drop;
     opts.fault_crash_providers = row.crash_providers;
+    if (obs.enabled()) opts.observability = &obs;
     auto out = bench::run_nas_approach(Approach::kEvoStore, gpus, candidates,
                                        seed, opts);
     bool row_ok = out.fault.drained_to_zero && out.fault.drain_failures == 0 &&
                   out.result.traces.size() == baseline.result.traces.size();
     if (verify) {
+      // The rerun must be bit-identical to the first, so it gets the exact
+      // same observability attachment (metrics only; tracing is disabled
+      // above and metrics never perturb simulated time).
       auto again = bench::run_nas_approach(Approach::kEvoStore, gpus,
                                            candidates, seed, opts);
       if (outcome_digest(again) != outcome_digest(out)) {
@@ -142,6 +159,7 @@ int main(int argc, char** argv) {
     std::printf("  - reruns with the same seed were bit-identical "
                 "(trace times, fault counters, end state)\n");
   }
+  obs.finish();
   std::printf("overall: %s\n", all_ok ? "PASS" : "FAIL");
   return all_ok ? 0 : 1;
 }

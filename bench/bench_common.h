@@ -3,12 +3,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/repository.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace evostore::bench {
 
@@ -55,6 +59,73 @@ inline bool arg_flag(int argc, char** argv, const char* flag) {
   }
   return false;
 }
+
+inline std::string arg_str(int argc, char** argv, const char* flag,
+                           std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == flag) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// `--metrics-out FILE` / `--trace-out FILE` support for the harnesses.
+///
+/// Owns the cluster-wide MetricsRegistry and the Tracer. Lifecycle:
+/// `attach(cluster)` before the workload runs (the tracer binds to the
+/// FIRST cluster attached — later clusters get metrics only, so a
+/// multi-scale sweep traces its first run rather than concatenating
+/// unrelated traces); `detach(cluster)` before the cluster is destroyed;
+/// `finish()` after all runs writes the requested files. Both exports are
+/// keyed on simulated time and deterministic registry/span state, so two
+/// identical seeded runs write byte-identical files.
+struct Observability {
+  std::string metrics_path;  // empty = no metrics export
+  std::string trace_path;    // empty = no trace export
+  obs::MetricsRegistry registry;
+  std::optional<obs::Tracer> tracer;
+
+  static Observability from_args(int argc, char** argv) {
+    Observability o;
+    o.metrics_path = arg_str(argc, argv, "--metrics-out", "");
+    o.trace_path = arg_str(argc, argv, "--trace-out", "");
+    return o;
+  }
+
+  bool enabled() const { return !metrics_path.empty() || !trace_path.empty(); }
+
+  void attach(Cluster& cluster) {
+    if (!enabled()) return;
+    cluster.rpc.set_metrics(&registry);
+    if (!trace_path.empty() && !tracer.has_value()) {
+      tracer.emplace(cluster.sim);
+      cluster.rpc.set_tracer(&*tracer);
+    }
+  }
+
+  /// Unhook from `cluster` (must precede its destruction; the tracer keeps
+  /// only recorded spans afterwards, never touching the dead simulation).
+  void detach(Cluster& cluster) {
+    cluster.rpc.set_tracer(nullptr);
+    cluster.rpc.set_metrics(nullptr);
+  }
+
+  /// Write the requested files; prints one line per file written.
+  void finish() const {
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      registry.write_json(out);
+      out << "\n";
+      std::printf("metrics snapshot -> %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty() && tracer.has_value()) {
+      std::ofstream out(trace_path);
+      tracer->write_chrome_trace(out);
+      out << "\n";
+      std::printf("chrome trace (%zu spans) -> %s\n",
+                  tracer->complete_count(), trace_path.c_str());
+    }
+  }
+};
 
 inline void print_header(const char* figure, const char* description) {
   std::printf("==================================================================\n");

@@ -10,6 +10,11 @@
 // Defaults are scaled to 6k/1k so the bench finishes in about a minute of
 // host time on one core (the *ratios* are scale-stable; see EXPERIMENTS.md);
 // pass --catalog 60000 --queries 10000 for the paper-sized run.
+//
+// Observability: --metrics-out FILE writes a JSON metrics snapshot
+// aggregated over the EvoStore runs; --trace-out FILE writes a Chrome
+// trace (Perfetto-loadable) of the FIRST EvoStore scale. Both are
+// deterministic — same seeds, byte-identical files.
 #include <cmath>
 #include <memory>
 
@@ -60,8 +65,11 @@ struct Outcome {
 Outcome run_evostore(const workload::DeepSpace& space,
                      const std::vector<workload::DeepSpaceSeq>& catalog,
                      const std::vector<model::ArchGraph>& queries, int gpus,
-                     uint64_t fault_seed) {
+                     uint64_t fault_seed, bench::Observability* obs) {
   Cluster cluster(gpus);
+  // Attach before the repository exists so providers and clients cache the
+  // shared histogram pointers at construction.
+  if (obs != nullptr) obs->attach(cluster);
   core::ProviderConfig pcfg;
   pcfg.pool_bandwidth = 0;  // metadata-only experiment
   // --fault-seed adds seeded message drops + latency spikes to the query
@@ -128,6 +136,7 @@ Outcome run_evostore(const workload::DeepSpace& space,
   out.partial = partial;
   out.retries = repo.total_client_fault_stats().retries;
   if (injector != nullptr) cluster.rpc.set_fault_injector(nullptr);
+  if (obs != nullptr) obs->detach(cluster);
   return out;
 }
 
@@ -186,6 +195,7 @@ int main(int argc, char** argv) {
   int max_workers = bench::arg_int(argc, argv, "--max-workers", 512);
   uint64_t fault_seed = static_cast<uint64_t>(
       bench::arg_int(argc, argv, "--fault-seed", 0));
+  auto obs = bench::Observability::from_args(argc, argv);
 
   bench::print_header("Figure 5",
                       "strong scaling of LCP query throughput (queries/sec)");
@@ -206,7 +216,7 @@ int main(int argc, char** argv) {
   std::vector<int> scales{1, 8, 32, 64, 128, 256, 512};
   for (int gpus : scales) {
     if (gpus > max_workers) break;
-    auto evo = run_evostore(space, catalog, queries, gpus, fault_seed);
+    auto evo = run_evostore(space, catalog, queries, gpus, fault_seed, &obs);
     auto redis = run_redis(space, catalog, queries, gpus);
     if (gpus == 1) single_redis_latency = redis.mean_latency;
     // The paper marks Redis as non-functional beyond 32 GPUs; we flag the
@@ -224,5 +234,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(*) Redis-Queries saturated: mean query latency exceeded 30x "
               "the uncontended latency (paper: does not scale beyond 32 GPUs)\n");
+  obs.finish();
   return 0;
 }

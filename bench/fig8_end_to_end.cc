@@ -14,6 +14,11 @@
 //                             crash/restart cycles into the EvoStore runs —
 //                             the baselines stay fault-free — to show the
 //                             runtime cost of riding through failures)
+//        --metrics-out FILE  (JSON metrics snapshot over the EvoStore runs)
+//        --trace-out FILE    (Chrome trace of the FIRST EvoStore run,
+//                             Perfetto-loadable; put_model spans link to
+//                             provider-side segment writes and KV commits,
+//                             retry attempts carry backoff/outcome tags)
 #include "bench/nas_bench.h"
 
 using namespace evostore;
@@ -24,6 +29,7 @@ int main(int argc, char** argv) {
       bench::arg_int(argc, argv, "--base-candidates", 1000));
   uint64_t fault_seed = static_cast<uint64_t>(
       bench::arg_int(argc, argv, "--fault-seed", 0));
+  auto obs = bench::Observability::from_args(argc, argv);
 
   bench::print_header("Figure 8",
                       "end-to-end NAS runtime (seconds), weak scaling");
@@ -45,6 +51,7 @@ int main(int argc, char** argv) {
     auto nt = bench::run_nas_approach(Approach::kNoTransfer, gpus, candidates, 42);
     bench::RunOptions evo_opts;
     evo_opts.fault_seed = fault_seed;
+    if (obs.enabled()) evo_opts.observability = &obs;
     auto evo = bench::run_nas_approach(Approach::kEvoStore, gpus, candidates,
                                        42, evo_opts);
     auto h5 = bench::run_nas_approach(Approach::kHdf5Pfs, gpus, candidates, 42);
@@ -77,5 +84,6 @@ int main(int argc, char** argv) {
               "GPUs (paper: close to DH-NoTransfer)\n",
               100.0 * (h5_mk[0] / nt_mk[0] - 1),
               100.0 * (h5_mk[1] / nt_mk[1] - 1));
+  obs.finish();
   return 0;
 }

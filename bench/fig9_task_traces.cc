@@ -10,7 +10,9 @@
 // Full traces are written as CSV next to the binary for plotting; the stdout
 // report prints wave structure and duration statistics.
 //
-// Flags: --gpus N (default 128), --candidates N (default 1000)
+// Flags: --gpus N (default 128), --candidates N (default 1000),
+//        --out-dir DIR (default ".", where the CSVs land; checked-in
+//        reference traces live in bench/data/)
 #include <cmath>
 #include <fstream>
 
@@ -55,10 +57,11 @@ int main(int argc, char** argv) {
   int gpus = bench::arg_int(argc, argv, "--gpus", 128);
   size_t candidates =
       static_cast<size_t>(bench::arg_int(argc, argv, "--candidates", 1000));
+  std::string out_dir = bench::arg_str(argc, argv, "--out-dir", ".");
 
   bench::print_header("Figure 9", "per-GPU task start/finish traces");
-  std::printf("%d GPUs, %zu candidates; CSVs: fig9_trace_<approach>.csv\n\n",
-              gpus, candidates);
+  std::printf("%d GPUs, %zu candidates; CSVs: %s/fig9_trace_<approach>.csv\n\n",
+              gpus, candidates, out_dir.c_str());
 
   struct Row {
     std::string name;
@@ -80,7 +83,7 @@ int main(int argc, char** argv) {
               "stddev", "irregularity", "makespan", "io/task");
   for (auto& row : rows) {
     const auto& r = row.result;
-    dump_csv(r, "fig9_trace_" + row.name + ".csv");
+    dump_csv(r, out_dir + "/fig9_trace_" + row.name + ".csv");
     std::printf("%-16s %9.1fs %9.2fs %14.2f %11.1fs %11.2fs\n",
                 row.name.c_str(), r.mean_task_seconds, r.stddev_task_seconds,
                 wave_irregularity(r, gpus), r.makespan,

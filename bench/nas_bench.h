@@ -84,12 +84,20 @@ struct RunOptions {
   /// No crash is scheduled past this simulated time (keeps the end-of-run
   /// drain out of the fault window).
   double fault_horizon = 4000;
+  /// When set, the run attaches the harness's metrics registry (and, on the
+  /// first attached cluster, its tracer) to the cluster's RpcSystem — see
+  /// Observability in bench_common.h. Non-owning; detached before the
+  /// cluster is destroyed.
+  Observability* observability = nullptr;
 };
 
 inline NasOutcome run_nas_approach(Approach approach, int gpus,
                                    size_t candidates, uint64_t seed,
                                    RunOptions options) {
   Cluster cluster(gpus);
+  // Attach before any repository exists so providers/clients constructed
+  // below cache the shared histogram pointers.
+  if (options.observability != nullptr) options.observability->attach(cluster);
   nas::AttnSearchSpace space;
   nas::NasConfig cfg;
   cfg.total_candidates = candidates;
@@ -214,6 +222,7 @@ inline NasOutcome run_nas_approach(Approach approach, int gpus,
       break;
     }
   }
+  if (options.observability != nullptr) options.observability->detach(cluster);
   return out;
 }
 

@@ -1,9 +1,9 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <mutex>
 
 namespace evostore::common {
@@ -13,12 +13,7 @@ namespace {
 LogLevel initial_level() {
   const char* env = std::getenv("EVOSTORE_LOG");
   if (env == nullptr) return LogLevel::kWarn;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
-  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
-  return LogLevel::kWarn;
+  return parse_log_level(env).value_or(LogLevel::kWarn);
 }
 
 std::atomic<LogLevel>& level_storage() {
@@ -37,6 +32,11 @@ const char* level_tag(LogLevel level) {
   return "?";
 }
 
+// Registered time source. Written from single-threaded setup code (the
+// simulation's constructor); reads race-free enough for logging via atomics.
+std::atomic<LogTimeFn> g_time_fn{nullptr};
+std::atomic<void*> g_time_ctx{nullptr};
+
 }  // namespace
 
 LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
@@ -45,16 +45,56 @@ void set_log_level(LogLevel level) {
   level_storage().store(level, std::memory_order_relaxed);
 }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  auto equals_ci = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(a[i])) !=
+          std::tolower(static_cast<unsigned char>(b[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (equals_ci(name, "debug")) return LogLevel::kDebug;
+  if (equals_ci(name, "info")) return LogLevel::kInfo;
+  if (equals_ci(name, "warn")) return LogLevel::kWarn;
+  if (equals_ci(name, "error")) return LogLevel::kError;
+  if (equals_ci(name, "off")) return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void set_log_time_source(LogTimeFn fn, void* ctx) {
+  g_time_fn.store(fn, std::memory_order_relaxed);
+  g_time_ctx.store(ctx, std::memory_order_relaxed);
+}
+
+void* log_time_ctx() { return g_time_ctx.load(std::memory_order_relaxed); }
+
+unsigned log_thread_id() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 void log_message(LogLevel level, std::string_view file, int line,
                  const std::string& msg) {
   if (level < log_level()) return;
   // Strip directories from the file path for readability.
   size_t slash = file.find_last_of('/');
   if (slash != std::string_view::npos) file = file.substr(slash + 1);
+  char when[32];
+  when[0] = '\0';
+  LogTimeFn fn = g_time_fn.load(std::memory_order_relaxed);
+  if (fn != nullptr) {
+    std::snprintf(when, sizeof(when), " %.6f",
+                  fn(g_time_ctx.load(std::memory_order_relaxed)));
+  }
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[%s %.*s:%d] %s\n", level_tag(level),
-               static_cast<int>(file.size()), file.data(), line, msg.c_str());
+  std::fprintf(stderr, "[%s%s t%u %.*s:%d] %s\n", level_tag(level), when,
+               log_thread_id(), static_cast<int>(file.size()), file.data(),
+               line, msg.c_str());
 }
 
 }  // namespace evostore::common

@@ -1,10 +1,17 @@
 // Minimal leveled logging. Defaults to warnings+errors only so tests and
-// benchmarks stay quiet; set EVOSTORE_LOG=debug|info|warn|error or call
-// set_log_level() to change at runtime.
+// benchmarks stay quiet; set EVOSTORE_LOG=debug|info|warn|error (any case)
+// or call set_log_level() to change at runtime.
+//
+// Each line carries a short thread id (`t0`, `t1`, ... in first-log order)
+// and, when a time source is registered, the current simulated time — so
+// interleaved provider/client logs from a simulation can be correlated with
+// trace spans and with each other.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace evostore::common {
 
@@ -12,6 +19,23 @@ enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Parse "debug" / "info" / "warn" / "error" / "off", case-insensitively
+/// ("DEBUG", "Warn", ... all work). nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// When registered, every log line is prefixed with `fn(ctx)` — the current
+/// time in seconds (the simulation registers its clock here). Pass
+/// (nullptr, nullptr) to clear.
+using LogTimeFn = double (*)(void*);
+void set_log_time_source(LogTimeFn fn, void* ctx);
+/// The ctx currently registered (nullptr when none): lets an owner being
+/// destroyed clear only its own registration and leave a newer one alone.
+void* log_time_ctx();
+
+/// Small sequential id of the calling thread, assigned on first use (the
+/// first logging thread is 0). Stable for the thread's lifetime.
+unsigned log_thread_id();
 
 /// Emit one log line (thread-safe, single write to stderr).
 void log_message(LogLevel level, std::string_view file, int line,

@@ -27,6 +27,14 @@ Client::Client(net::RpcSystem& rpc, NodeId self, uint32_t client_id,
       config_(config),
       retry_rng_(common::hash_combine(config.fault_seed, client_id)) {
   assert(!provider_nodes_.empty());
+  // Client-side end-to-end latencies land in the cluster registry when one
+  // is attached to the RpcSystem (pointers stay null otherwise, so the
+  // unattached hot path pays one branch per operation).
+  if (obs::MetricsRegistry* shared = rpc.metrics()) {
+    hist_put_seconds_ = shared->histogram("client.put_model_seconds");
+    hist_lcp_seconds_ = shared->histogram("client.lcp_query_seconds");
+    hist_read_seconds_ = shared->histogram("client.read_segments_seconds");
+  }
 }
 
 double Client::backoff_delay(int attempt) {
@@ -42,20 +50,27 @@ double Client::backoff_delay(int attempt) {
 // ---- LCP query: broadcast + reduce ---------------------------------------
 
 sim::CoTask<Result<wire::LcpQueryResponse>> Client::lcp_one(
-    NodeId to, wire::LcpQueryRequest req) {
+    NodeId to, wire::LcpQueryRequest req, obs::TraceContext parent) {
+  // One span per fan-out leg, so the trace shows the broadcast shape (and
+  // which leg a slow or retried attempt belonged to).
+  obs::Span leg = obs::Tracer::maybe_begin(tracer(), "lcp_leg", self_, parent);
+  leg.tag_u64("provider_node", to);
   co_return co_await call_retried<wire::LcpQueryResponse>(
-      to, Provider::kLcpQuery, std::move(req));
+      to, Provider::kLcpQuery, std::move(req), leg.context());
 }
 
 sim::CoTask<Result<wire::LcpQueryResponse>> Client::query_lcp(
-    const ArchGraph& g) {
+    const ArchGraph& g, obs::TraceContext parent) {
+  obs::Span span =
+      obs::Tracer::maybe_begin(tracer(), "lcp_query", self_, parent);
+  double t0 = rpc_->simulation().now();
   wire::LcpQueryRequest req;
   req.graph = g;
   auto& sim = rpc_->simulation();
   std::vector<sim::Future<Result<wire::LcpQueryResponse>>> futures;
   futures.reserve(provider_nodes_.size());
   for (NodeId node : provider_nodes_) {
-    futures.push_back(sim.spawn(lcp_one(node, req)));
+    futures.push_back(sim.spawn(lcp_one(node, req, span.context())));
   }
   wire::LcpQueryResponse best;
   size_t unreachable = 0;
@@ -92,50 +107,74 @@ sim::CoTask<Result<wire::LcpQueryResponse>> Client::query_lcp(
     best.partial = true;
     ++fault_stats_.partial_lcp_queries;
   }
+  span.tag("found", best.found ? "true" : "false");
+  span.tag_u64("lcp_len", best.lcp_len());
+  span.tag_u64("unreachable", unreachable);
+  if (hist_lcp_seconds_ != nullptr) {
+    hist_lcp_seconds_->add(rpc_->simulation().now() - t0);
+  }
   co_return best;
 }
 
 // ---- put -----------------------------------------------------------------
 
 sim::CoTask<Result<wire::ModifyRefsResponse>> Client::refs_one(
-    NodeId to, wire::ModifyRefsRequest req) {
+    NodeId to, wire::ModifyRefsRequest req, obs::TraceContext parent) {
   co_return co_await call_retried<wire::ModifyRefsResponse>(
-      to, Provider::kModifyRefs, std::move(req));
+      to, Provider::kModifyRefs, std::move(req), parent);
 }
 
 sim::CoTask<Status> Client::put_one(NodeId home, wire::PutModelRequest req,
-                                    size_t payload_bytes) {
+                                    size_t payload_bytes,
+                                    obs::TraceContext parent) {
   // Data plane first: the consolidated new tensors cross via bulk RDMA,
   // then the (small) metadata RPC publishes the model. Both legs retry as
   // one unit — a lost publish re-sends the (idempotent) payload too.
   for (int attempt = 1;; ++attempt) {
+    obs::Span span =
+        obs::Tracer::maybe_begin(tracer(), "put_attempt", self_, parent);
+    span.tag_u64("attempt", static_cast<uint64_t>(attempt));
+    span.tag_u64("payload_bytes", payload_bytes);
     Status st = co_await rpc_->bulk(
         self_, home, common::Buffer::synthetic(payload_bytes, 0));
     if (st.ok()) {
       auto r = co_await net::typed_call<wire::PutModelResponse>(
           *rpc_, self_, home, Provider::kPutModel, req,
-          net::CallOptions{config_.rpc_timeout});
+          net::CallOptions{config_.rpc_timeout, span.context()});
       st = r.ok() ? r->status : r.status();
     }
-    if (st.ok()) co_return st;
+    if (st.ok()) {
+      span.tag("outcome", "ok");
+      co_return st;
+    }
     // Model ids are globally unique, so AlreadyExists on a RETRY can only
     // mean an earlier attempt committed and its response was lost.
     if (attempt > 1 && st.code() == common::ErrorCode::kAlreadyExists) {
+      span.tag("outcome", "committed-by-earlier-attempt");
       co_return Status::Ok();
     }
-    if (!common::is_retryable(st.code())) co_return st;
+    if (!common::is_retryable(st.code())) {
+      span.tag("outcome", st.to_string());
+      co_return st;
+    }
     if (attempt >= config_.retry.max_attempts) {
       ++fault_stats_.exhausted;
+      span.tag("outcome", "exhausted: " + st.to_string());
       co_return st;
     }
     ++fault_stats_.retries;
-    co_await rpc_->simulation().delay(backoff_delay(attempt));
+    double backoff = backoff_delay(attempt);
+    span.tag("outcome", st.to_string());
+    span.tag_f64("backoff_seconds", backoff);
+    span.end();
+    co_await rpc_->simulation().delay(backoff);
   }
 }
 
 sim::CoTask<Status> Client::modify_refs(
     std::vector<common::SegmentKey> keys, bool increment,
-    uint32_t* missing_out, std::vector<common::SegmentKey>* applied_out) {
+    uint32_t* missing_out, std::vector<common::SegmentKey>* applied_out,
+    obs::TraceContext parent) {
   auto& sim = rpc_->simulation();
   Status status;
   uint32_t missing = 0;
@@ -164,7 +203,7 @@ sim::CoTask<Status> Client::modify_refs(
       order.push_back(group_keys);
       req.keys = std::move(group_keys);
       futures.push_back(
-          sim.spawn(refs_one(provider_node(provider), std::move(req))));
+          sim.spawn(refs_one(provider_node(provider), std::move(req), parent)));
     }
     pending.clear();
     for (size_t i = 0; i < futures.size(); ++i) {
@@ -198,17 +237,21 @@ sim::CoTask<Status> Client::modify_refs(
 }
 
 sim::CoTask<Status> Client::fan_out_refs(const OwnerMap& owners,
-                                         bool increment,
-                                         ModelId exclude_owner) {
+                                         bool increment, ModelId exclude_owner,
+                                         obs::TraceContext parent) {
   std::vector<common::SegmentKey> keys;
   for (const auto& entry : owners.entries()) {
     if (entry.owner == exclude_owner) continue;
     keys.push_back(entry);
   }
-  co_return co_await modify_refs(std::move(keys), increment, nullptr);
+  co_return co_await modify_refs(std::move(keys), increment, nullptr, nullptr,
+                                 parent);
 }
 
 sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc) {
+  obs::Span span = obs::Tracer::maybe_begin(tracer(), "put_model", self_);
+  span.tag("model", m.id().to_string());
+  double t0 = rpc_->simulation().now();
   size_t n = m.vertex_count();
   bool use_delta = config_.put_codec == compress::CodecId::kDeltaVsAncestor;
 
@@ -258,6 +301,8 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
   // conversely, un-pinned envelopes that DID keep a base need a +1 on it.
   std::vector<common::SegmentKey> release_keys;
   std::vector<common::SegmentKey> extra_ref_keys;
+  obs::Span encode =
+      obs::Tracer::maybe_begin(tracer(), "encode", self_, span.context());
   for (VertexId v : owners.vertices_owned_by(m.id())) {
     const Segment* base = nullptr;
     const common::SegmentKey* base_key = nullptr;
@@ -279,6 +324,9 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
     }
     req.new_segments.emplace_back(v, std::move(env).value());
   }
+  encode.tag_u64("segments", req.new_segments.size());
+  encode.tag_u64("physical_bytes", payload);
+  encode.end();
 
   NodeId home = provider_node(home_of(m.id()));
   auto& sim = rpc_->simulation();
@@ -287,7 +335,8 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
   // holds +1 on every inherited segment — that pin simply becomes this
   // model's reference (or, for a fine-tuned vertex, its envelope's delta
   // base reference).
-  auto put_future = sim.spawn(put_one(home, std::move(req), payload));
+  auto put_future =
+      sim.spawn(put_one(home, std::move(req), payload, span.context()));
   Status ref_status;
   if (tc == nullptr || !tc->pinned) {
     std::vector<common::SegmentKey> keys;
@@ -297,23 +346,30 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
     }
     keys.insert(keys.end(), extra_ref_keys.begin(), extra_ref_keys.end());
     ref_status = co_await modify_refs(std::move(keys), /*increment=*/true,
-                                      nullptr);
+                                      nullptr, nullptr, span.context());
   }
   if (!release_keys.empty()) {
-    ref_status = combine(ref_status,
-                         co_await modify_refs(std::move(release_keys),
-                                              /*increment=*/false, nullptr));
+    ref_status = combine(
+        ref_status,
+        co_await modify_refs(std::move(release_keys), /*increment=*/false,
+                             nullptr, nullptr, span.context()));
   }
   Status put_status = co_await put_future;
-  co_return combine(put_status, ref_status);
+  Status final_status = combine(put_status, ref_status);
+  span.tag("outcome", final_status.ok() ? "ok" : final_status.to_string());
+  if (hist_put_seconds_ != nullptr) {
+    hist_put_seconds_->add(rpc_->simulation().now() - t0);
+  }
+  co_return final_status;
 }
 
 // ---- reads ---------------------------------------------------------------
 
-sim::CoTask<Result<ModelMeta>> Client::get_meta(ModelId id) {
+sim::CoTask<Result<ModelMeta>> Client::get_meta(ModelId id,
+                                                obs::TraceContext parent) {
   wire::GetMetaRequest req{id};
   auto r = co_await call_retried<wire::GetMetaResponse>(
-      provider_node(home_of(id)), Provider::kGetMeta, req);
+      provider_node(home_of(id)), Provider::kGetMeta, req, parent);
   if (!r.ok()) co_return r.status();
   if (!r->found) co_return Status::NotFound("model " + id.to_string());
   ModelMeta meta;
@@ -327,34 +383,51 @@ sim::CoTask<Result<ModelMeta>> Client::get_meta(ModelId id) {
 }
 
 sim::CoTask<Result<wire::ReadSegmentsResponse>> Client::read_one(
-    NodeId to, wire::ReadSegmentsRequest req) {
+    NodeId to, wire::ReadSegmentsRequest req, obs::TraceContext parent) {
   // Reads are naturally idempotent, so the whole RPC + payload pull retries
   // as one unit without tokens.
   for (int attempt = 1;; ++attempt) {
+    obs::Span span =
+        obs::Tracer::maybe_begin(tracer(), "read_attempt", self_, parent);
+    span.tag_u64("attempt", static_cast<uint64_t>(attempt));
+    span.tag_u64("keys", req.keys.size());
     auto r = co_await net::typed_call<wire::ReadSegmentsResponse>(
         *rpc_, self_, to, Provider::kReadSegments, req,
-        net::CallOptions{config_.rpc_timeout});
+        net::CallOptions{config_.rpc_timeout, span.context()});
     Status st = r.ok() ? r->status : r.status();
     if (r.ok() && st.ok()) {
       // RDMA-style payload pull: charge the bulk bytes provider -> client
       // (post-compression — reading a delta chain moves only the deltas).
       st = co_await rpc_->bulk(
           to, self_, common::Buffer::synthetic(r->payload_bytes, 0));
-      if (st.ok()) co_return std::move(r).value();
+      if (st.ok()) {
+        span.tag("outcome", "ok");
+        span.tag_u64("payload_bytes", r->payload_bytes);
+        co_return std::move(r).value();
+      }
     }
-    if (!common::is_retryable(st.code())) co_return st;
+    if (!common::is_retryable(st.code())) {
+      span.tag("outcome", st.to_string());
+      co_return st;
+    }
     if (attempt >= config_.retry.max_attempts) {
       ++fault_stats_.exhausted;
+      span.tag("outcome", "exhausted: " + st.to_string());
       co_return st;
     }
     ++fault_stats_.retries;
-    co_await rpc_->simulation().delay(backoff_delay(attempt));
+    double backoff = backoff_delay(attempt);
+    span.tag("outcome", st.to_string());
+    span.tag_f64("backoff_seconds", backoff);
+    span.end();
+    co_await rpc_->simulation().delay(backoff);
   }
 }
 
 sim::CoTask<Status> Client::fetch_envelopes(
     const std::vector<common::SegmentKey>& keys,
-    std::unordered_map<common::SegmentKey, CompressedSegment>* out) {
+    std::unordered_map<common::SegmentKey, CompressedSegment>* out,
+    obs::TraceContext parent) {
   // Group keys by the provider hosting them, skipping duplicates and keys
   // already fetched.
   std::map<common::ProviderId, wire::ReadSegmentsRequest> groups;
@@ -369,7 +442,7 @@ sim::CoTask<Status> Client::fetch_envelopes(
   for (auto& [provider, req] : groups) {
     order.push_back(req.keys);
     futures.push_back(
-        sim.spawn(read_one(provider_node(provider), std::move(req))));
+        sim.spawn(read_one(provider_node(provider), std::move(req), parent)));
   }
   for (size_t i = 0; i < futures.size(); ++i) {
     auto r = co_await futures[i];
@@ -386,7 +459,12 @@ sim::CoTask<Status> Client::fetch_envelopes(
 }
 
 sim::CoTask<Result<std::vector<Segment>>> Client::read_segments(
-    const OwnerMap& owners, const std::vector<VertexId>& vertices) {
+    const OwnerMap& owners, const std::vector<VertexId>& vertices,
+    obs::TraceContext parent) {
+  obs::Span span =
+      obs::Tracer::maybe_begin(tracer(), "read_segments", self_, parent);
+  span.tag_u64("vertices", vertices.size());
+  double t0 = rpc_->simulation().now();
   std::vector<common::SegmentKey> roots;
   roots.reserve(vertices.size());
   for (VertexId v : vertices) roots.push_back(owners.entry(v));
@@ -397,7 +475,7 @@ sim::CoTask<Result<std::vector<Segment>>> Client::read_segments(
   std::unordered_map<common::SegmentKey, CompressedSegment> envelopes;
   std::vector<common::SegmentKey> frontier = roots;
   while (!frontier.empty()) {
-    Status st = co_await fetch_envelopes(frontier, &envelopes);
+    Status st = co_await fetch_envelopes(frontier, &envelopes, span.context());
     if (!st.ok()) co_return st;
     std::unordered_set<common::SegmentKey> next;
     for (const auto& [key, env] : envelopes) {
@@ -410,6 +488,8 @@ sim::CoTask<Result<std::vector<Segment>>> Client::read_segments(
 
   // Decode memoized, resolving each envelope's base first via an explicit
   // stack (delta chains can be deep; no recursion).
+  obs::Span decode =
+      obs::Tracer::maybe_begin(tracer(), "decode", self_, span.context());
   std::unordered_map<common::SegmentKey, Segment> decoded;
   for (const auto& root : roots) {
     std::vector<common::SegmentKey> stack{root};
@@ -435,18 +515,27 @@ sim::CoTask<Result<std::vector<Segment>>> Client::read_segments(
     }
   }
 
+  decode.tag_u64("envelopes", envelopes.size());
+  decode.tag_u64("decoded", decoded.size());
+  decode.end();
+
   std::vector<Segment> out;
   out.reserve(vertices.size());
   for (VertexId v : vertices) out.push_back(decoded.at(owners.entry(v)));
+  if (hist_read_seconds_ != nullptr) {
+    hist_read_seconds_->add(rpc_->simulation().now() - t0);
+  }
   co_return out;
 }
 
 sim::CoTask<Result<Model>> Client::get_model(ModelId id) {
-  auto meta = co_await get_meta(id);
+  obs::Span span = obs::Tracer::maybe_begin(tracer(), "get_model", self_);
+  span.tag("model", id.to_string());
+  auto meta = co_await get_meta(id, span.context());
   if (!meta.ok()) co_return meta.status();
   std::vector<VertexId> all(meta->graph.size());
   for (VertexId v = 0; v < all.size(); ++v) all[v] = v;
-  auto segments = co_await read_segments(meta->owners, all);
+  auto segments = co_await read_segments(meta->owners, all, span.context());
   if (!segments.ok()) co_return segments.status();
   Model m(id, std::move(meta->graph));
   m.set_quality(meta->quality);
@@ -500,10 +589,12 @@ sim::CoTask<Result<Model>> Client::get_model_via_chain(ModelId id) {
 
 sim::CoTask<Result<std::optional<TransferContext>>> Client::prepare_transfer(
     const ArchGraph& g, bool fetch_payload) {
-  auto q = co_await query_lcp(g);
+  obs::Span span =
+      obs::Tracer::maybe_begin(tracer(), "prepare_transfer", self_);
+  auto q = co_await query_lcp(g, span.context());
   if (!q.ok()) co_return q.status();
   if (!q->found) co_return std::optional<TransferContext>{};
-  auto meta = co_await get_meta(q->ancestor);
+  auto meta = co_await get_meta(q->ancestor, span.context());
   if (!meta.ok()) {
     if (meta.status().code() == common::ErrorCode::kNotFound) {
       // The ancestor was retired between the query and the read; treat as
@@ -530,7 +621,7 @@ sim::CoTask<Result<std::optional<TransferContext>>> Client::prepare_transfer(
   uint32_t missing = 0;
   std::vector<common::SegmentKey> applied;
   Status pin_status = co_await modify_refs(pin_keys, /*increment=*/true,
-                                           &missing, &applied);
+                                           &missing, &applied, span.context());
   if (!pin_status.ok() || missing > 0) {
     // Either lost the race with a retire mid-pin (missing > 0), or a
     // provider stayed unreachable through the retry budget. Roll back only
@@ -559,7 +650,8 @@ sim::CoTask<Result<std::optional<TransferContext>>> Client::prepare_transfer(
       (void)gv;
       ancestor_vertices.push_back(av);
     }
-    auto segs = co_await read_segments(tc.ancestor_owners, ancestor_vertices);
+    auto segs = co_await read_segments(tc.ancestor_owners, ancestor_vertices,
+                                       span.context());
     if (!segs.ok()) {
       (void)co_await modify_refs(std::move(pin_keys), /*increment=*/false,
                                  &missing);
@@ -585,18 +677,20 @@ sim::CoTask<Status> Client::abandon_transfer(const TransferContext& tc) {
 // ---- retire ----------------------------------------------------------------
 
 sim::CoTask<Status> Client::retire(ModelId id) {
+  obs::Span span = obs::Tracer::maybe_begin(tracer(), "retire", self_);
+  span.tag("model", id.to_string());
   // Tokened: a retry whose first delivery already removed the model replays
   // the cached owner map instead of answering NotFound (which would leak
   // every refcount the fan-out below is about to release).
   wire::RetireRequest req{id, next_token()};
   auto r = co_await call_retried<wire::RetireResponse>(
-      provider_node(home_of(id)), Provider::kRetire, req);
+      provider_node(home_of(id)), Provider::kRetire, req, span.context());
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   // Decrement every tensor the retired model referenced — its own segments
   // and the inherited ones alike (O(k), k = leaf layers).
   co_return co_await fan_out_refs(r->owners, /*increment=*/false,
-                                  ModelId::invalid());
+                                  ModelId::invalid(), span.context());
 }
 
 // ---- stats -----------------------------------------------------------------
@@ -609,6 +703,30 @@ sim::CoTask<Result<wire::StatsResponse>> Client::provider_stats(
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   co_return std::move(r).value();
+}
+
+sim::CoTask<Result<wire::StatsResponse>> Client::stats_one(NodeId to) {
+  co_return co_await call_retried<wire::StatsResponse>(
+      to, Provider::kGetStats, wire::StatsRequest{});
+}
+
+sim::CoTask<Result<Client::ClusterStats>> Client::collect_stats() {
+  auto& sim = rpc_->simulation();
+  std::vector<sim::Future<Result<wire::StatsResponse>>> futures;
+  futures.reserve(provider_nodes_.size());
+  for (NodeId node : provider_nodes_) {
+    futures.push_back(sim.spawn(stats_one(node)));
+  }
+  ClusterStats out;
+  out.per_provider.reserve(futures.size());
+  for (auto& f : futures) {
+    auto r = co_await f;
+    if (!r.ok()) co_return r.status();
+    if (!r->status.ok()) co_return r->status;
+    out.per_provider.push_back(std::move(r).value());
+  }
+  out.totals = wire::merge_stats(out.per_provider);
+  co_return out;
 }
 
 // ---- provenance ------------------------------------------------------------

@@ -19,6 +19,7 @@
 #include "core/provider.h"
 #include "core/wire.h"
 #include "net/rpc.h"
+#include "obs/trace.h"
 
 namespace evostore::core {
 
@@ -138,7 +139,12 @@ class Client {
   /// out of the reduce and the response is tagged `partial` (all providers
   /// unreachable => `found == false`, still `partial`). Non-retryable
   /// failures propagate as errors.
-  sim::CoTask<Result<wire::LcpQueryResponse>> query_lcp(const ArchGraph& g);
+  ///
+  /// `parent` (here and on the other entry points) is the caller's trace
+  /// context; the default starts a new trace when a tracer is attached and
+  /// is inert otherwise.
+  sim::CoTask<Result<wire::LcpQueryResponse>> query_lcp(
+      const ArchGraph& g, obs::TraceContext parent = {});
 
   /// query_lcp + fetch the ancestor's owner map, PIN the prefix segments
   /// (refcount +1, so a concurrent retire cannot free them mid-transfer),
@@ -158,7 +164,8 @@ class Client {
   sim::CoTask<Status> put_model(const Model& m, const TransferContext* tc);
 
   /// Fetch metadata (graph, owner map, quality, lineage pointer).
-  sim::CoTask<Result<ModelMeta>> get_meta(ModelId id);
+  sim::CoTask<Result<ModelMeta>> get_meta(ModelId id,
+                                          obs::TraceContext parent = {});
 
   /// Reconstruct a full model: one owner-map lookup + parallel bulk reads
   /// from every owning provider.
@@ -175,7 +182,8 @@ class Client {
   /// Read the segments for an arbitrary vertex subset (in `vertices` order)
   /// by following `owners`.
   sim::CoTask<Result<std::vector<Segment>>> read_segments(
-      const OwnerMap& owners, const std::vector<common::VertexId>& vertices);
+      const OwnerMap& owners, const std::vector<common::VertexId>& vertices,
+      obs::TraceContext parent = {});
 
   /// Retire a model: metadata removed eagerly; every owner-map entry's
   /// refcount decremented (parallel fan-out); payloads freed at zero.
@@ -185,6 +193,16 @@ class Client {
   /// (logical/physical bytes, per-codec breakdown).
   sim::CoTask<Result<wire::StatsResponse>> provider_stats(
       common::ProviderId provider);
+
+  /// Cluster-wide stats: one parallel GetStats fan-out over every provider.
+  /// `per_provider` is in provider-id order; `totals` sums the counters and
+  /// merges the per-provider histogram digests by name (see
+  /// wire::merge_stats).
+  struct ClusterStats {
+    std::vector<wire::StatsResponse> per_provider;
+    wire::StatsResponse totals;
+  };
+  sim::CoTask<Result<ClusterStats>> collect_stats();
 
   // ---- Provenance queries (paper §4.1 "owner maps as a foundation") ----
 
@@ -226,37 +244,57 @@ class Client {
   /// Backoff before retry number `attempt` (1-based), capped and jittered.
   double backoff_delay(int attempt);
 
+  /// The attached tracer, if any (client-side root + attempt spans).
+  obs::Tracer* tracer() { return rpc_->tracer(); }
+
   /// typed_call with the client's deadline, retried per RetryPolicy on
   /// retryable failures. The request is reused verbatim across attempts, so
   /// an embedded idempotency token stays stable for the logical operation.
+  /// Each attempt gets its own child span of `parent`, tagged with the
+  /// attempt number, the fault outcome, and (when retrying) the backoff.
   template <typename Response, typename Request>
   sim::CoTask<Result<Response>> call_retried(NodeId to, std::string method,
-                                             Request request) {
+                                             Request request,
+                                             obs::TraceContext parent = {}) {
     for (int attempt = 1;; ++attempt) {
+      obs::Span span =
+          obs::Tracer::maybe_begin(tracer(), "attempt", self_, parent);
+      span.tag("method", method);
+      span.tag_u64("attempt", static_cast<uint64_t>(attempt));
       auto r = co_await net::typed_call<Response>(
           *rpc_, self_, to, method, request,
-          net::CallOptions{config_.rpc_timeout});
-      if (r.ok() || !common::is_retryable(r.status().code())) co_return r;
+          net::CallOptions{config_.rpc_timeout, span.context()});
+      if (r.ok() || !common::is_retryable(r.status().code())) {
+        span.tag("outcome", r.ok() ? "ok" : r.status().to_string());
+        co_return r;
+      }
       if (attempt >= config_.retry.max_attempts) {
         ++fault_stats_.exhausted;
+        span.tag("outcome", "exhausted: " + r.status().to_string());
         co_return r;
       }
       ++fault_stats_.retries;
-      co_await rpc_->simulation().delay(backoff_delay(attempt));
+      double backoff = backoff_delay(attempt);
+      span.tag("outcome", r.status().to_string());
+      span.tag_f64("backoff_seconds", backoff);
+      span.end();
+      co_await rpc_->simulation().delay(backoff);
     }
   }
 
   // Spawned fan-out legs. Member coroutines so they can retry via the
   // client's policy; they take their request BY VALUE — a lazily-started
-  // frame holding a reference to a loop-local request would dangle.
-  sim::CoTask<Result<wire::LcpQueryResponse>> lcp_one(NodeId to,
-                                                      wire::LcpQueryRequest req);
+  // frame holding a reference to a loop-local request would dangle. The
+  // trace context is likewise by value.
+  sim::CoTask<Result<wire::LcpQueryResponse>> lcp_one(
+      NodeId to, wire::LcpQueryRequest req, obs::TraceContext parent);
   sim::CoTask<Result<wire::ModifyRefsResponse>> refs_one(
-      NodeId to, wire::ModifyRefsRequest req);
+      NodeId to, wire::ModifyRefsRequest req, obs::TraceContext parent);
   sim::CoTask<Status> put_one(NodeId home, wire::PutModelRequest req,
-                              size_t payload_bytes);
+                              size_t payload_bytes, obs::TraceContext parent);
   sim::CoTask<Result<wire::ReadSegmentsResponse>> read_one(
-      NodeId to, wire::ReadSegmentsRequest req);
+      NodeId to, wire::ReadSegmentsRequest req, obs::TraceContext parent);
+  sim::CoTask<Result<wire::StatsResponse>> stats_one(NodeId to);
 
   // Fan one ModifyRefs round out to the providers hosting `keys`.
   // Returns the number of keys the providers reported missing via
@@ -269,17 +307,19 @@ class Client {
   sim::CoTask<Status> modify_refs(std::vector<common::SegmentKey> keys,
                                   bool increment, uint32_t* missing_out,
                                   std::vector<common::SegmentKey>* applied_out =
-                                      nullptr);
+                                      nullptr,
+                                  obs::TraceContext parent = {});
   // Convenience: all entries of `owners` except those owned by
   // `exclude_owner` (pass invalid() to include everything).
   sim::CoTask<Status> fan_out_refs(const OwnerMap& owners, bool increment,
-                                   ModelId exclude_owner);
+                                   ModelId exclude_owner,
+                                   obs::TraceContext parent = {});
   // Fetch the envelopes for `keys` (skipping ones already in `out`),
   // grouped by provider, charging bulk transfers at physical size.
   sim::CoTask<Status> fetch_envelopes(
       const std::vector<common::SegmentKey>& keys,
-      std::unordered_map<common::SegmentKey, compress::CompressedSegment>*
-          out);
+      std::unordered_map<common::SegmentKey, compress::CompressedSegment>* out,
+      obs::TraceContext parent = {});
 
   net::RpcSystem* rpc_;
   NodeId self_;
@@ -291,6 +331,12 @@ class Client {
   compress::CodecStatsTable codec_stats_{};
   ClientFaultStats fault_stats_{};
   common::Xoshiro256 retry_rng_;
+
+  // Client-side end-to-end latency histograms in the RpcSystem's shared
+  // registry (null when no registry is attached — one branch per op).
+  obs::Histogram* hist_put_seconds_ = nullptr;
+  obs::Histogram* hist_lcp_seconds_ = nullptr;
+  obs::Histogram* hist_read_seconds_ = nullptr;
 };
 
 }  // namespace evostore::core

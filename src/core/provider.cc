@@ -25,6 +25,7 @@ Provider::Provider(net::RpcSystem& rpc, common::NodeId node,
                    common::ProviderId id, ProviderConfig config,
                    storage::KvStore* backend)
     : sim_(&rpc.simulation()),
+      rpc_(&rpc),
       flows_(&rpc.fabric().flows()),
       node_(node),
       id_(id),
@@ -34,6 +35,20 @@ Provider::Provider(net::RpcSystem& rpc, common::NodeId node,
     pool_port_ = flows_->add_port(config_.pool_bandwidth,
                                   "pool" + std::to_string(id));
     pool_enabled_ = true;
+  }
+  hist_put_seconds_ = metrics_.histogram("put.seconds");
+  hist_put_bytes_ = metrics_.histogram("put.physical_bytes");
+  hist_read_seconds_ = metrics_.histogram("read.seconds");
+  hist_read_bytes_ = metrics_.histogram("read.physical_bytes");
+  hist_lcp_seconds_ = metrics_.histogram("lcp.seconds");
+  hist_refs_seconds_ = metrics_.histogram("refs.seconds");
+  if (obs::MetricsRegistry* shared = rpc.metrics()) {
+    shared_put_seconds_ = shared->histogram("provider.put_seconds");
+    shared_put_bytes_ = shared->histogram("provider.put_physical_bytes");
+    shared_read_seconds_ = shared->histogram("provider.read_seconds");
+    shared_read_bytes_ = shared->histogram("provider.read_physical_bytes");
+    shared_lcp_seconds_ = shared->histogram("provider.lcp_seconds");
+    shared_refs_seconds_ = shared->histogram("provider.refs_seconds");
   }
   if (backend_ != nullptr) restore_from_backend();
   register_handlers(rpc);
@@ -228,24 +243,27 @@ sim::CoTask<void> Provider::charge_pool(double bytes) {
 }
 
 void Provider::register_handlers(net::RpcSystem& rpc) {
-  rpc.register_handler(node_, kPutModel, [this](Bytes b) {
-    return handle_put(std::move(b));
+  rpc.register_handler(node_, kPutModel, [this](Bytes b, net::HandlerContext c) {
+    return handle_put(std::move(b), c);
   });
   rpc.register_handler(node_, kGetMeta, [this](Bytes b) {
     return handle_get_meta(std::move(b));
   });
-  rpc.register_handler(node_, kReadSegments, [this](Bytes b) {
-    return handle_read_segments(std::move(b));
-  });
-  rpc.register_handler(node_, kModifyRefs, [this](Bytes b) {
-    return handle_modify_refs(std::move(b));
-  });
+  rpc.register_handler(node_, kReadSegments,
+                       [this](Bytes b, net::HandlerContext c) {
+                         return handle_read_segments(std::move(b), c);
+                       });
+  rpc.register_handler(node_, kModifyRefs,
+                       [this](Bytes b, net::HandlerContext c) {
+                         return handle_modify_refs(std::move(b), c);
+                       });
   rpc.register_handler(node_, kRetire, [this](Bytes b) {
     return handle_retire(std::move(b));
   });
-  rpc.register_handler(node_, kLcpQuery, [this](Bytes b) {
-    return handle_lcp_query(std::move(b));
-  });
+  rpc.register_handler(node_, kLcpQuery,
+                       [this](Bytes b, net::HandlerContext c) {
+                         return handle_lcp_query(std::move(b), c);
+                       });
   rpc.register_handler(node_, kGetStats, [this](Bytes b) {
     return handle_get_stats(std::move(b));
   });
@@ -274,7 +292,9 @@ std::vector<ModelId> Provider::model_ids() const {
   return out;
 }
 
-sim::CoTask<Bytes> Provider::handle_put(Bytes request) {
+sim::CoTask<Bytes> Provider::handle_put(Bytes request,
+                                        net::HandlerContext ctx) {
+  double t0 = sim_->now();
   common::Deserializer d(request);
   auto req = wire::PutModelRequest::deserialize(d);
   wire::PutModelResponse resp;
@@ -298,8 +318,14 @@ sim::CoTask<Bytes> Provider::handle_put(Bytes request) {
     }
     physical += env.physical_bytes;
   }
-  // The pool moves what is actually stored: post-compression bytes.
-  co_await charge_pool(static_cast<double>(physical));
+  {
+    // The pool moves what is actually stored: post-compression bytes.
+    obs::Span write = obs::Tracer::maybe_begin(tracer(), "segment_write",
+                                               node_, ctx.trace);
+    write.tag_u64("segments", req.new_segments.size());
+    write.tag_u64("physical_bytes", physical);
+    co_await charge_pool(static_cast<double>(physical));
+  }
   // Re-check after the await: a deadline-driven retry of this same put may
   // have landed while the pool transfer ran (model ids are globally unique,
   // so AlreadyExists here can only mean an earlier attempt succeeded).
@@ -315,16 +341,27 @@ sim::CoTask<Bytes> Provider::handle_put(Bytes request) {
   meta.store_time = sim_->now();
   meta.store_seq = ++seq_;
   resp.store_seq = meta.store_seq;
-  persist_meta(req.id, meta);
-  models_.emplace(req.id, std::move(meta));
-  for (auto& [v, env] : req.new_segments) {
-    common::SegmentKey key{req.id, v};
-    stats_.logical_bytes_ingested += env.logical_bytes;
-    stats_.physical_bytes_ingested += env.physical_bytes;
-    account_stored(env, +1);
-    segments_[key] = SegEntry{std::move(env), 1};
-    persist_segment(key, segments_[key]);
+  {
+    // Commit metadata + segments to the catalog and (when backed) the
+    // persistent KV. Instantaneous in sim time — the span exists for its
+    // parent/child link under the put, not its duration.
+    obs::Span commit =
+        obs::Tracer::maybe_begin(tracer(), "kv_commit", node_, ctx.trace);
+    commit.tag_u64("segments", req.new_segments.size());
+    commit.tag("backed", backend_ != nullptr ? "true" : "false");
+    persist_meta(req.id, meta);
+    models_.emplace(req.id, std::move(meta));
+    for (auto& [v, env] : req.new_segments) {
+      common::SegmentKey key{req.id, v};
+      stats_.logical_bytes_ingested += env.logical_bytes;
+      stats_.physical_bytes_ingested += env.physical_bytes;
+      account_stored(env, +1);
+      segments_[key] = SegEntry{std::move(env), 1};
+      persist_segment(key, segments_[key]);
+    }
   }
+  record(hist_put_seconds_, shared_put_seconds_, sim_->now() - t0);
+  record(hist_put_bytes_, shared_put_bytes_, static_cast<double>(physical));
   resp.status = Status::Ok();
   co_return pack(resp);
 }
@@ -348,7 +385,9 @@ sim::CoTask<Bytes> Provider::handle_get_meta(Bytes request) {
   co_return pack(resp);
 }
 
-sim::CoTask<Bytes> Provider::handle_read_segments(Bytes request) {
+sim::CoTask<Bytes> Provider::handle_read_segments(Bytes request,
+                                                  net::HandlerContext ctx) {
+  double t0 = sim_->now();
   common::Deserializer d(request);
   auto req = wire::ReadSegmentsRequest::deserialize(d);
   wire::ReadSegmentsResponse resp;
@@ -371,12 +410,23 @@ sim::CoTask<Bytes> Provider::handle_read_segments(Bytes request) {
     resp.payload_bytes += it->second.segment.physical_bytes;
     resp.segments.push_back(it->second.segment);
   }
-  co_await charge_pool(static_cast<double>(resp.payload_bytes));
+  {
+    obs::Span fetch = obs::Tracer::maybe_begin(tracer(), "segment_read",
+                                               node_, ctx.trace);
+    fetch.tag_u64("segments", req.keys.size());
+    fetch.tag_u64("physical_bytes", resp.payload_bytes);
+    co_await charge_pool(static_cast<double>(resp.payload_bytes));
+  }
+  record(hist_read_seconds_, shared_read_seconds_, sim_->now() - t0);
+  record(hist_read_bytes_, shared_read_bytes_,
+         static_cast<double>(resp.payload_bytes));
   resp.status = Status::Ok();
   co_return pack(resp);
 }
 
-sim::CoTask<Bytes> Provider::handle_modify_refs(Bytes request) {
+sim::CoTask<Bytes> Provider::handle_modify_refs(Bytes request,
+                                                net::HandlerContext ctx) {
+  double t0 = sim_->now();
   common::Deserializer d(request);
   auto req = wire::ModifyRefsRequest::deserialize(d);
   wire::ModifyRefsResponse resp;
@@ -384,6 +434,10 @@ sim::CoTask<Bytes> Provider::handle_modify_refs(Bytes request) {
     resp.status = d.status();
     co_return pack(resp);
   }
+  obs::Span span =
+      obs::Tracer::maybe_begin(tracer(), "modify_refs", node_, ctx.trace);
+  span.tag_u64("keys", req.keys.size());
+  span.tag("increment", req.increment ? "true" : "false");
   co_await sim_->delay(config_.per_segment_seconds *
                        static_cast<double>(req.keys.size()));
   // Retry of an already-applied request: replay the cached response instead
@@ -422,6 +476,8 @@ sim::CoTask<Bytes> Provider::handle_modify_refs(Bytes request) {
                     ? Status::Ok()
                     : Status::NotFound(std::to_string(resp.missing) +
                                        " segment(s) missing");
+  span.tag_u64("freed_bases", resp.freed_bases.size());
+  record(hist_refs_seconds_, shared_refs_seconds_, sim_->now() - t0);
   Bytes packed = pack(resp);
   dedup_store(req.token, packed);
   co_return packed;
@@ -457,11 +513,15 @@ sim::CoTask<Bytes> Provider::handle_retire(Bytes request) {
   co_return packed;
 }
 
-sim::CoTask<Bytes> Provider::handle_lcp_query(Bytes request) {
+sim::CoTask<Bytes> Provider::handle_lcp_query(Bytes request,
+                                              net::HandlerContext ctx) {
+  double t0 = sim_->now();
   common::Deserializer d(request);
   auto req = wire::LcpQueryRequest::deserialize(d);
   wire::LcpQueryResponse resp;
   if (!d.ok()) co_return pack(resp);
+  obs::Span span =
+      obs::Tracer::maybe_begin(tracer(), "lcp_scan", node_, ctx.trace);
   ++stats_.lcp_queries;
   LcpCost cost;
   LcpWorkspace ws;
@@ -493,6 +553,10 @@ sim::CoTask<Bytes> Provider::handle_lcp_query(Bytes request) {
   co_await sim_->delay(
       config_.lcp_per_model_seconds * static_cast<double>(models_.size()) +
       config_.lcp_visit_seconds * static_cast<double>(cost.vertex_visits));
+  span.tag_u64("models_scanned", models_.size());
+  span.tag_u64("vertex_visits", cost.vertex_visits);
+  span.tag("found", resp.found ? "true" : "false");
+  record(hist_lcp_seconds_, shared_lcp_seconds_, sim_->now() - t0);
   co_return pack(resp);
 }
 
@@ -516,6 +580,14 @@ sim::CoTask<Bytes> Provider::handle_get_stats(Bytes request) {
     resp.codecs.push_back(wire::CodecUsageEntry{
         static_cast<compress::CodecId>(i), u.segments, u.logical_bytes,
         u.physical_bytes});
+  }
+  // Local histogram digests, name-ordered (the registry iterates a
+  // std::map), so the wire encoding is deterministic.
+  for (const auto& [name, hist] : metrics_.histograms()) {
+    obs::HistogramSummary s = hist->summary();
+    resp.histograms.push_back(wire::HistogramSummaryEntry{
+        std::string(name), s.count, s.sum, s.min, s.max, s.p50, s.p95,
+        s.p99});
   }
   resp.status = Status::Ok();
   co_return pack(resp);

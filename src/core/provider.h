@@ -22,6 +22,8 @@
 #include "compress/compressed_segment.h"
 #include "core/wire.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/kv_store.h"
 
 namespace evostore::core {
@@ -104,6 +106,11 @@ class Provider {
   const ProviderStats& stats() const { return stats_; }
   std::vector<common::ModelId> model_ids() const;
 
+  /// Always-on local metrics (sim-time latencies + payload sizes per
+  /// operation class). Exported as histogram digests in StatsResponse so
+  /// `Client::collect_stats` can aggregate cluster-wide.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   /// Crash-recovery entry point (wired to FaultInjector::on_restart by the
   /// repository): drop all volatile state — catalogs, segments, refcounts,
   /// the idempotency cache — and reconstruct everything from the persistent
@@ -162,15 +169,30 @@ class Provider {
   /// the backend, and FIFO-evict past the window.
   void dedup_store(uint64_t token, const common::Bytes& response);
 
-  sim::CoTask<common::Bytes> handle_put(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_put(common::Bytes request,
+                                        net::HandlerContext ctx);
   sim::CoTask<common::Bytes> handle_get_meta(common::Bytes request);
-  sim::CoTask<common::Bytes> handle_read_segments(common::Bytes request);
-  sim::CoTask<common::Bytes> handle_modify_refs(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_read_segments(common::Bytes request,
+                                                  net::HandlerContext ctx);
+  sim::CoTask<common::Bytes> handle_modify_refs(common::Bytes request,
+                                                net::HandlerContext ctx);
   sim::CoTask<common::Bytes> handle_retire(common::Bytes request);
-  sim::CoTask<common::Bytes> handle_lcp_query(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_lcp_query(common::Bytes request,
+                                              net::HandlerContext ctx);
   sim::CoTask<common::Bytes> handle_get_stats(common::Bytes request);
 
+  /// The attached tracer, if any (provider-side child spans: segment
+  /// writes, KV commits, LCP scans).
+  obs::Tracer* tracer() { return rpc_->tracer(); }
+  /// Record `v` into the local histogram and, when a cluster registry is
+  /// attached to the RpcSystem, the shared one.
+  void record(obs::Histogram* local, obs::Histogram* shared, double v) {
+    local->add(v);
+    if (shared != nullptr) shared->add(v);
+  }
+
   sim::Simulation* sim_;
+  net::RpcSystem* rpc_;
   sim::FlowScheduler* flows_;
   common::NodeId node_;
   common::ProviderId id_;
@@ -191,6 +213,24 @@ class Provider {
   size_t physical_bytes_ = 0;  // post-compression bytes of live segments
   compress::CodecUsageTable codec_usage_{};
   ProviderStats stats_;
+
+  // Local per-operation histograms (sim-time seconds / payload bytes), fed
+  // unconditionally: every value is simulation-derived, so the registry's
+  // contents — and the digests exported over the wire — are deterministic.
+  obs::MetricsRegistry metrics_;
+  obs::Histogram* hist_put_seconds_;
+  obs::Histogram* hist_put_bytes_;
+  obs::Histogram* hist_read_seconds_;
+  obs::Histogram* hist_read_bytes_;
+  obs::Histogram* hist_lcp_seconds_;
+  obs::Histogram* hist_refs_seconds_;
+  // Cluster-wide mirrors in the RpcSystem's registry (null when detached).
+  obs::Histogram* shared_put_seconds_ = nullptr;
+  obs::Histogram* shared_put_bytes_ = nullptr;
+  obs::Histogram* shared_read_seconds_ = nullptr;
+  obs::Histogram* shared_read_bytes_ = nullptr;
+  obs::Histogram* shared_lcp_seconds_ = nullptr;
+  obs::Histogram* shared_refs_seconds_ = nullptr;
 };
 
 }  // namespace evostore::core

@@ -87,6 +87,11 @@ sim::CoTask<Status> EvoStoreRepository::retire(NodeId node, ModelId id) {
   co_return co_await client(node).retire(id);
 }
 
+sim::CoTask<Result<Client::ClusterStats>> EvoStoreRepository::collect_stats(
+    NodeId node) {
+  co_return co_await client(node).collect_stats();
+}
+
 size_t EvoStoreRepository::stored_payload_bytes() const {
   size_t n = 0;
   for (const auto& p : providers_) n += p->stored_payload_bytes();

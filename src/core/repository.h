@@ -84,6 +84,12 @@ class EvoStoreRepository final : public ModelRepository {
   /// Direct client access (full API incl. provenance queries).
   Client& client(NodeId node);
 
+  /// Cluster-wide stats through the RPC path: one GetStats fan-out over
+  /// every provider from `node`'s client, reduced via wire::merge_stats.
+  /// This is what `--metrics-out` harnesses call so the exported snapshot
+  /// reflects the same wire-visible digests a monitoring client would see.
+  sim::CoTask<Result<Client::ClusterStats>> collect_stats(NodeId node);
+
   size_t provider_count() const { return providers_.size(); }
   Provider& provider(size_t i) { return *providers_[i]; }
   const Provider& provider(size_t i) const { return *providers_[i]; }

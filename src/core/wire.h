@@ -7,6 +7,7 @@
 // separate bulk/RDMA path, mirroring Mercury's RPC-vs-bulk split).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -353,6 +354,47 @@ struct StatsRequest {
   static StatsRequest deserialize(Deserializer&) { return {}; }
 };
 
+/// One named histogram digest from a provider's local metrics registry
+/// (obs::HistogramSummary + its name). Quantiles are bucket-interpolated
+/// provider-side; merging across providers (see merge_stats) keeps exact
+/// count/sum/min/max and count-weights the quantiles.
+struct HistogramSummaryEntry {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+
+  friend bool operator==(const HistogramSummaryEntry&,
+                         const HistogramSummaryEntry&) = default;
+
+  void serialize(Serializer& s) const {
+    s.str(name);
+    s.u64(count);
+    s.f64(sum);
+    s.f64(min);
+    s.f64(max);
+    s.f64(p50);
+    s.f64(p95);
+    s.f64(p99);
+  }
+  static HistogramSummaryEntry deserialize(Deserializer& d) {
+    HistogramSummaryEntry e;
+    e.name = d.str();
+    e.count = d.u64();
+    e.sum = d.f64();
+    e.min = d.f64();
+    e.max = d.f64();
+    e.p50 = d.f64();
+    e.p95 = d.f64();
+    e.p99 = d.f64();
+    return e;
+  }
+};
+
 /// Live per-codec stored volume on one provider.
 struct CodecUsageEntry {
   compress::CodecId codec = compress::CodecId::kRaw;
@@ -378,6 +420,9 @@ struct StatsResponse {
   uint64_t logical_bytes = 0;   // decoded payload the provider serves
   uint64_t physical_bytes = 0;  // post-compression payload it stores
   std::vector<CodecUsageEntry> codecs;
+  // Per-provider histogram digests (name-ordered: providers export their
+  // registry with std::map iteration, so the wire order is deterministic).
+  std::vector<HistogramSummaryEntry> histograms;
 
   void serialize(Serializer& s) const {
     serialize_status(s, status);
@@ -397,6 +442,8 @@ struct StatsResponse {
       s.u64(c.logical_bytes);
       s.u64(c.physical_bytes);
     }
+    s.u64(histograms.size());
+    for (const auto& h : histograms) h.serialize(s);
   }
   static StatsResponse deserialize(Deserializer& d) {
     StatsResponse r;
@@ -421,8 +468,79 @@ struct StatsResponse {
       e.physical_bytes = d.u64();
       r.codecs.push_back(e);
     }
+    uint64_t nh = d.u64();
+    // >= 1 byte name-length + 7 numeric fields per entry.
+    if (!d.check_count(nh, 8)) return r;
+    r.histograms.reserve(nh);
+    for (uint64_t i = 0; i < nh && d.ok(); ++i) {
+      r.histograms.push_back(HistogramSummaryEntry::deserialize(d));
+    }
     return r;
   }
 };
+
+/// Cluster-wide aggregation of per-provider stats (used by
+/// Client::collect_stats). Counters sum exactly; codec usage merges by
+/// codec id; histogram digests merge by name with exact count/sum/min/max
+/// and count-weighted quantiles (an approximation — the exact quantile of
+/// a union is not recoverable from per-provider digests).
+inline StatsResponse merge_stats(const std::vector<StatsResponse>& parts) {
+  StatsResponse total;
+  total.status = common::Status::Ok();
+  std::vector<CodecUsageEntry> codecs;
+  std::vector<HistogramSummaryEntry> hists;
+  for (const StatsResponse& p : parts) {
+    total.puts += p.puts;
+    total.segment_reads += p.segment_reads;
+    total.refs_added += p.refs_added;
+    total.refs_removed += p.refs_removed;
+    total.segments_freed += p.segments_freed;
+    total.live_models += p.live_models;
+    total.live_segments += p.live_segments;
+    total.logical_bytes += p.logical_bytes;
+    total.physical_bytes += p.physical_bytes;
+    for (const CodecUsageEntry& c : p.codecs) {
+      auto it = std::find_if(codecs.begin(), codecs.end(),
+                             [&](const auto& e) { return e.codec == c.codec; });
+      if (it == codecs.end()) {
+        codecs.push_back(c);
+      } else {
+        it->segments += c.segments;
+        it->logical_bytes += c.logical_bytes;
+        it->physical_bytes += c.physical_bytes;
+      }
+    }
+    for (const HistogramSummaryEntry& h : p.histograms) {
+      auto it = std::find_if(hists.begin(), hists.end(),
+                             [&](const auto& e) { return e.name == h.name; });
+      if (it == hists.end()) {
+        hists.push_back(h);
+        continue;
+      }
+      if (h.count == 0) continue;
+      if (it->count == 0) {
+        *it = h;
+        continue;
+      }
+      double wa = static_cast<double>(it->count);
+      double wb = static_cast<double>(h.count);
+      it->p50 = (it->p50 * wa + h.p50 * wb) / (wa + wb);
+      it->p95 = (it->p95 * wa + h.p95 * wb) / (wa + wb);
+      it->p99 = (it->p99 * wa + h.p99 * wb) / (wa + wb);
+      it->min = std::min(it->min, h.min);
+      it->max = std::max(it->max, h.max);
+      it->count += h.count;
+      it->sum += h.sum;
+    }
+  }
+  std::sort(codecs.begin(), codecs.end(), [](const auto& a, const auto& b) {
+    return static_cast<uint8_t>(a.codec) < static_cast<uint8_t>(b.codec);
+  });
+  std::sort(hists.begin(), hists.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  total.codecs = std::move(codecs);
+  total.histograms = std::move(hists);
+  return total;
+}
 
 }  // namespace evostore::core::wire

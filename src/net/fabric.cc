@@ -17,12 +17,17 @@ sim::CoTask<void> Fabric::move_bytes(NodeId from, NodeId to, double bytes) {
     co_await sim_->delay(config_.local_latency);
     co_return;
   }
+  double start = sim_->now();
   co_await sim_->delay(config_.latency);
   if (bytes > 0) {
     std::vector<sim::PortId> path;
     path.push_back(nodes_[from].out);
     path.push_back(nodes_[to].in);
     co_await flows_.transfer(std::move(path), bytes);
+  }
+  if (hist_transfer_bytes_ != nullptr) {
+    hist_transfer_bytes_->add(bytes);
+    hist_transfer_seconds_->add(sim_->now() - start);
   }
 }
 

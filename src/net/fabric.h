@@ -15,6 +15,7 @@
 
 #include "common/buffer.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "sim/flow.h"
 #include "sim/simulation.h"
 
@@ -43,6 +44,19 @@ class Fabric {
   size_t node_count() const { return nodes_.size(); }
   const std::string& node_name(NodeId n) const { return nodes_[n].name; }
 
+  /// Attach a metrics registry: inter-node transfers record size and
+  /// sim-time duration histograms. nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    if (metrics != nullptr) {
+      hist_transfer_bytes_ = metrics->histogram("fabric.transfer_bytes");
+      hist_transfer_seconds_ = metrics->histogram("fabric.transfer_seconds");
+    } else {
+      hist_transfer_bytes_ = nullptr;
+      hist_transfer_seconds_ = nullptr;
+    }
+  }
+
   /// Move `bytes` from `from` to `to`: one-way latency + NIC bandwidth.
   sim::CoTask<void> move_bytes(NodeId from, NodeId to, double bytes);
 
@@ -68,6 +82,9 @@ class Fabric {
   sim::FlowScheduler flows_;
   FabricConfig config_;
   std::vector<Node> nodes_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Histogram* hist_transfer_bytes_ = nullptr;
+  obs::Histogram* hist_transfer_seconds_ = nullptr;
 };
 
 }  // namespace evostore::net

@@ -7,7 +7,31 @@ namespace evostore::net {
 
 void RpcSystem::register_handler(NodeId node, std::string method,
                                  RpcHandler handler) {
+  // Wrap the legacy context-free form; the context is dropped.
+  handlers_[std::make_pair(node, std::move(method))] =
+      [h = std::move(handler)](Bytes request, HandlerContext) {
+        return h(std::move(request));
+      };
+}
+
+void RpcSystem::register_handler(NodeId node, std::string method,
+                                 RpcHandlerCtx handler) {
   handlers_[std::make_pair(node, std::move(method))] = std::move(handler);
+}
+
+void RpcSystem::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics != nullptr) {
+    hist_call_seconds_ = metrics->histogram("rpc.call_seconds");
+    hist_request_bytes_ = metrics->histogram("rpc.request_bytes");
+    hist_response_bytes_ = metrics->histogram("rpc.response_bytes");
+    hist_bulk_bytes_ = metrics->histogram("rpc.bulk_bytes");
+  } else {
+    hist_call_seconds_ = nullptr;
+    hist_request_bytes_ = nullptr;
+    hist_response_bytes_ = nullptr;
+    hist_bulk_bytes_ = nullptr;
+  }
 }
 
 void RpcSystem::set_service_pool(NodeId node, int slots,
@@ -27,13 +51,54 @@ sim::CoTask<Result<Bytes>> RpcSystem::call(NodeId from, NodeId to,
     co_return common::Status::Unimplemented("no handler for '" + method +
                                             "' on " + fabric_->node_name(to));
   }
-  double timeout = options.timeout != 0 ? options.timeout : default_timeout_;
-  if (timeout > 0) {
-    co_return co_await race_deadline(call_inner(from, to, method,
-                                                std::move(request)),
-                                     timeout, method, to);
+  double start = simulation().now();
+  obs::Span span =
+      obs::Tracer::maybe_begin(tracer_, "rpc:" + method, from, options.parent);
+  if (span.active()) {
+    // Frame the trace context ahead of the payload; unframe_request strips
+    // it server-side. The extra wire bytes are honest tracing overhead and
+    // exist only while a tracer is attached.
+    obs::TraceContext ctx = span.context();
+    common::Serializer s;
+    s.u64(ctx.trace_id);
+    s.u64(ctx.span_id);
+    s.bytes(request);
+    request = std::move(s).take();
   }
-  co_return co_await call_inner(from, to, method, std::move(request));
+  double timeout = options.timeout != 0 ? options.timeout : default_timeout_;
+  // Separate statements, NOT a conditional expression: co_await inside ?:
+  // makes shipped GCC destroy the CoTask temporary (and the coroutine frame
+  // that owns the response bytes) before the result is consumed.
+  std::optional<Result<Bytes>> result;
+  if (timeout > 0) {
+    result.emplace(co_await race_deadline(
+        call_inner(from, to, method, std::move(request)), timeout, method,
+        to));
+  } else {
+    result.emplace(co_await call_inner(from, to, method, std::move(request)));
+  }
+  if (hist_call_seconds_ != nullptr) {
+    hist_call_seconds_->add(simulation().now() - start);
+  }
+  if (span.active()) {
+    span.tag("status", result->ok() ? "ok" : result->status().to_string());
+  }
+  co_return std::move(*result);
+}
+
+Bytes RpcSystem::unframe_request(Bytes request,
+                                 obs::TraceContext* parent_out) {
+  common::Deserializer d(request);
+  obs::TraceContext ctx;
+  ctx.trace_id = d.u64();
+  ctx.span_id = d.u64();
+  Bytes body = d.bytes();
+  // The frame was written by `call` on this same RpcSystem, so a decode
+  // failure here would be a bug, not hostile input; fall back to the raw
+  // bytes rather than crash if it ever happens.
+  if (!d.ok() || !d.at_end()) return request;
+  *parent_out = ctx;
+  return body;
 }
 
 sim::CoTask<Result<Bytes>> RpcSystem::call_inner(NodeId from, NodeId to,
@@ -41,6 +106,9 @@ sim::CoTask<Result<Bytes>> RpcSystem::call_inner(NodeId from, NodeId to,
                                                  Bytes request) {
   ++stats_.calls;
   stats_.request_bytes += static_cast<double>(request.size());
+  if (hist_request_bytes_ != nullptr) {
+    hist_request_bytes_->add(static_cast<double>(request.size()));
+  }
 
   if (injector_ != nullptr) {
     // Destination down up front: the connection attempt is refused after a
@@ -84,17 +152,26 @@ sim::CoTask<Result<Bytes>> RpcSystem::call_inner(NodeId from, NodeId to,
     co_return common::Status::Unimplemented("no handler for '" + method +
                                             "' on " + fabric_->node_name(to));
   }
+  obs::TraceContext client_ctx;
+  if (tracer_ != nullptr) {
+    request = unframe_request(std::move(request), &client_ctx);
+  }
+  // The serve span opens before any pool wait so queueing time is visible.
+  obs::Span serve =
+      obs::Tracer::maybe_begin(tracer_, "serve:" + method, to, client_ctx);
+  HandlerContext hctx{serve.context()};
   auto pool_it = pools_.find(to);
   Bytes response;
   if (pool_it != pools_.end()) {
     auto& pool = pool_it->second;
     co_await pool.slots->acquire();
     if (pool.overhead > 0) co_await simulation().delay(pool.overhead);
-    response = co_await it->second(std::move(request));
+    response = co_await it->second(std::move(request), hctx);
     pool.slots->release();
   } else {
-    response = co_await it->second(std::move(request));
+    response = co_await it->second(std::move(request), hctx);
   }
+  serve.end();
 
   if (injector_ != nullptr) {
     // Crash during handler execution: effects committed, response lost.
@@ -117,6 +194,9 @@ sim::CoTask<Result<Bytes>> RpcSystem::call_inner(NodeId from, NodeId to,
   }
 
   stats_.response_bytes += static_cast<double>(response.size());
+  if (hist_response_bytes_ != nullptr) {
+    hist_response_bytes_->add(static_cast<double>(response.size()));
+  }
   // Response travels back.
   co_await fabric_->move_bytes(to, from, static_cast<double>(response.size()));
   co_return response;
@@ -183,6 +263,9 @@ sim::CoTask<common::Status> RpcSystem::bulk(NodeId from, NodeId to,
                                             const Buffer& buffer) {
   ++stats_.bulk_transfers;
   stats_.bulk_bytes += static_cast<double>(buffer.size());
+  if (hist_bulk_bytes_ != nullptr) {
+    hist_bulk_bytes_->add(static_cast<double>(buffer.size()));
+  }
   if (injector_ != nullptr) {
     if (!injector_->node_up(to) || !injector_->node_up(from)) {
       injector_->count_rejected();

@@ -22,6 +22,16 @@
 //    effects ("crash after commit"), but the response is lost.
 // Without an injector and without a deadline the code path is byte-for-byte
 // the pre-fault one: no RNG draws, no extra events.
+//
+// Observability (see obs/trace.h): when a tracer is attached, every call
+// opens a client-side span and frames its TraceContext (two varint u64s +
+// a length-prefixed body) ahead of the request payload; the server side
+// strips the frame before the handler runs and opens a `serve:` span as the
+// remote child. The framing — and therefore any change to wire sizes or
+// timings — exists only while a tracer is attached; detached runs keep the
+// pre-tracing byte stream exactly. Handlers registered with the
+// context-aware signature receive the server span's context so they can
+// parent their own spans (e.g. a provider's KV commit) under the RPC.
 #pragma once
 
 #include <functional>
@@ -35,6 +45,8 @@
 #include "common/types.h"
 #include "net/fabric.h"
 #include "net/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/sync.h"
 
 namespace evostore::net {
@@ -43,8 +55,21 @@ using common::Buffer;
 using common::Bytes;
 using common::Result;
 
+/// Server-side per-call context. `trace` is the serve-span context when a
+/// tracer is attached (invalid otherwise); handlers parent their own spans
+/// under it.
+struct HandlerContext {
+  obs::TraceContext trace{};
+};
+
 /// A handler receives the request bytes and produces response bytes.
 using RpcHandler = std::function<sim::CoTask<Bytes>(Bytes)>;
+/// Context-aware handler form. Overload resolution between the two
+/// register_handler signatures is unambiguous: std::function's converting
+/// constructor only accepts callables invocable with its exact argument
+/// list, so a one-argument lambda matches RpcHandler and a two-argument
+/// lambda matches RpcHandlerCtx.
+using RpcHandlerCtx = std::function<sim::CoTask<Bytes>(Bytes, HandlerContext)>;
 
 struct RpcStats {
   uint64_t calls = 0;
@@ -61,6 +86,9 @@ struct CallOptions {
   /// Deadline in simulated seconds. 0 uses the system default
   /// (`set_default_timeout`); negative disables the deadline for this call.
   double timeout = 0;
+  /// Parent span for the client-side RPC span (ignored when no tracer is
+  /// attached). Invalid -> the RPC span roots a new trace.
+  obs::TraceContext parent{};
 };
 
 class RpcSystem {
@@ -79,8 +107,23 @@ class RpcSystem {
   /// 0 (the default) means no deadline.
   void set_default_timeout(double seconds) { default_timeout_ = seconds; }
 
+  /// Attach a tracer: every call opens client/server spans and the trace
+  /// context travels in the wire header. Must outlive in-flight calls; do
+  /// not attach/detach while calls are running (the frame format must match
+  /// on both legs). nullptr detaches and restores the untraced byte stream.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() { return tracer_; }
+
+  /// Attach a metrics registry for call-latency / wire-size histograms.
+  /// Histogram pointers are cached here; clients and providers also read
+  /// this at construction to cache their own. nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() { return metrics_; }
+
   /// Register `handler` for (node, method). Replaces any previous handler.
   void register_handler(NodeId node, std::string method, RpcHandler handler);
+  void register_handler(NodeId node, std::string method,
+                        RpcHandlerCtx handler);
 
   /// Gate all handler executions on `node` behind `slots` concurrent
   /// executors, each charging `service_overhead` seconds per call (models a
@@ -116,6 +159,9 @@ class RpcSystem {
   // caller's arguments are gone.
   sim::CoTask<Result<Bytes>> call_inner(NodeId from, NodeId to,
                                         std::string method, Bytes request);
+  // Strip the trace frame (added by `call` when a tracer is attached) off a
+  // request just before handler dispatch.
+  Bytes unframe_request(Bytes request, obs::TraceContext* parent_out);
   // Race `inner` against a deadline `timeout` seconds from now.
   sim::CoTask<Result<Bytes>> race_deadline(sim::CoTask<Result<Bytes>> inner,
                                            double timeout, std::string method,
@@ -124,9 +170,17 @@ class RpcSystem {
   Fabric* fabric_;
   FaultInjector* injector_ = nullptr;
   double default_timeout_ = 0;
-  std::map<std::pair<NodeId, std::string>, RpcHandler> handlers_;
+  std::map<std::pair<NodeId, std::string>, RpcHandlerCtx> handlers_;
   std::map<NodeId, ServicePool> pools_;
   RpcStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Cached histogram pointers (stable for the registry's lifetime); null
+  // when no registry is attached, so the untraced hot path is one branch.
+  obs::Histogram* hist_call_seconds_ = nullptr;
+  obs::Histogram* hist_request_bytes_ = nullptr;
+  obs::Histogram* hist_response_bytes_ = nullptr;
+  obs::Histogram* hist_bulk_bytes_ = nullptr;
 };
 
 /// Convenience: serialize a request struct, call, deserialize the response.

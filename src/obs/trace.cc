@@ -1,0 +1,101 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace evostore::obs {
+
+namespace {
+
+// Microsecond timestamps with fixed sub-microsecond precision: enough to
+// resolve the 200ns local-latency hops, and a stable byte representation.
+std::string format_us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+TraceContext Span::context() const {
+  if (tracer_ == nullptr) return {};
+  const SpanRecord& r = tracer_->records_[index_];
+  return {r.trace_id, r.span_id};
+}
+
+void Span::tag(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  tracer_->records_[index_].tags.emplace_back(std::string(key),
+                                              std::string(value));
+}
+
+void Span::tag_u64(std::string_view key, uint64_t value) {
+  if (tracer_ == nullptr) return;
+  tag(key, std::to_string(value));
+}
+
+void Span::tag_f64(std::string_view key, double value) {
+  if (tracer_ == nullptr) return;
+  tag(key, format_double(value));
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  SpanRecord& r = tracer_->records_[index_];
+  if (!r.complete()) r.end = tracer_->sim_->now();
+  tracer_ = nullptr;
+}
+
+Span Tracer::begin(std::string name, uint32_t node, TraceContext parent) {
+  SpanRecord r;
+  r.span_id = ++next_id_;
+  if (parent.valid()) {
+    r.trace_id = parent.trace_id;
+    r.parent_span_id = parent.span_id;
+  } else {
+    r.trace_id = r.span_id;  // new trace rooted here
+  }
+  r.name = std::move(name);
+  r.node = node;
+  r.start = sim_->now();
+  records_.push_back(std::move(r));
+  return Span{this, records_.size() - 1};
+}
+
+size_t Tracer::complete_count() const {
+  size_t n = 0;
+  for (const SpanRecord& r : records_) {
+    if (r.complete()) ++n;
+  }
+  return n;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::string out;
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& r : records_) {
+    if (!r.complete()) continue;  // abandoned (e.g. deadline-raced) spans
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\": \"" + json_escape(r.name) + "\"";
+    out += ", \"cat\": \"evostore\", \"ph\": \"X\"";
+    out += ", \"ts\": " + format_us(r.start);
+    out += ", \"dur\": " + format_us(r.end - r.start);
+    out += ", \"pid\": " + std::to_string(r.node);
+    out += ", \"tid\": " + std::to_string(r.trace_id);
+    out += ", \"args\": {\"trace_id\": " + std::to_string(r.trace_id);
+    out += ", \"span_id\": " + std::to_string(r.span_id);
+    out += ", \"parent_span_id\": " + std::to_string(r.parent_span_id);
+    for (const auto& [k, v] : r.tags) {
+      out += ", \"" + json_escape(k) + "\": \"" + json_escape(v) + "\"";
+    }
+    out += "}}";
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  os << out;
+}
+
+}  // namespace evostore::obs

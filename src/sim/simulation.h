@@ -88,7 +88,12 @@ class Future {
 
 class Simulation {
  public:
-  Simulation() = default;
+  /// Registers this simulation's clock as the logger's time source, so log
+  /// lines emitted while it exists carry simulated time (see common/log.h).
+  /// The destructor clears the registration — but only if it is still this
+  /// instance's (a newer simulation may have taken over in the meantime).
+  Simulation();
+  ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 

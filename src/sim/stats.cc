@@ -7,7 +7,11 @@
 namespace evostore::sim {
 
 double Samples::quantile(double q) {
-  assert(q >= 0.0 && q <= 1.0);
+  // Clamp rather than assert: with NDEBUG an out-of-range (or NaN) q would
+  // otherwise index past the vector — q slightly above 1.0 from accumulated
+  // float error is enough to trigger it.
+  if (!(q >= 0.0)) q = 0.0;  // also catches NaN
+  if (q > 1.0) q = 1.0;
   if (values_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,9 @@ class Samples {
     sorted_ = false;
   }
   size_t count() const { return values_.size(); }
+  /// Linear-interpolated quantile. `q` is clamped into [0, 1] (NaN behaves
+  /// as 0), so an out-of-range request can never index out of bounds; an
+  /// empty collector returns 0.
   double quantile(double q);
   double mean() const;
   double stddev() const;

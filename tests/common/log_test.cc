@@ -1,0 +1,71 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace evostore::common {
+namespace {
+
+TEST(Log, ParseLevelCaseInsensitive) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("wArN"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("ERROR"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("OFF"), LogLevel::kOff);
+}
+
+TEST(Log, ParseLevelRejectsGarbage) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("warning"), std::nullopt);  // exact names only
+  EXPECT_EQ(parse_log_level("debug "), std::nullopt);   // no trimming
+  EXPECT_EQ(parse_log_level("débug"), std::nullopt);
+}
+
+TEST(Log, SetAndGetLevel) {
+  LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+TEST(Log, TimeSourceRegisterAndClear) {
+  void* before = log_time_ctx();
+  int marker = 0;
+  auto fn = +[](void* ctx) { return *static_cast<int*>(ctx) + 0.5; };
+  set_log_time_source(fn, &marker);
+  EXPECT_EQ(log_time_ctx(), &marker);
+  set_log_time_source(nullptr, nullptr);
+  EXPECT_EQ(log_time_ctx(), nullptr);
+  // Restore whatever was registered when the test started (another test's
+  // simulation may be alive).
+  set_log_time_source(nullptr, before);
+}
+
+TEST(Log, SimulationRegistersItsClock) {
+  {
+    sim::Simulation sim;
+    EXPECT_EQ(log_time_ctx(), &sim);
+    {
+      // A nested (newer) simulation takes over the registration...
+      sim::Simulation inner;
+      EXPECT_EQ(log_time_ctx(), &inner);
+    }
+    // ...and the outer one does NOT clear the slot when the inner one was
+    // the registrant at its destruction: destroying `inner` cleared it.
+    EXPECT_EQ(log_time_ctx(), nullptr);
+  }
+  EXPECT_EQ(log_time_ctx(), nullptr);
+}
+
+TEST(Log, ThreadIdStable) {
+  unsigned a = log_thread_id();
+  unsigned b = log_thread_id();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace evostore::common

@@ -195,6 +195,11 @@ TEST(Wire, StatsMessages) {
   resp.physical_bytes = 1 << 18;
   resp.codecs.push_back(
       {compress::CodecId::kDeltaVsAncestor, 16, 1 << 20, 1 << 18});
+  resp.histograms.push_back(
+      {"provider.kv_commit_seconds", 42, 1.5, 0.001, 0.25, 0.01, 0.2, 0.24});
+  resp.histograms.push_back(
+      {"provider.segment_write_bytes", 7, 7.0 * 4096, 512, 65536, 4096, 60000,
+       65000});
   auto out = round_trip(resp);
   EXPECT_EQ(out.puts, 10u);
   EXPECT_EQ(out.segment_reads, 20u);
@@ -206,6 +211,43 @@ TEST(Wire, StatsMessages) {
   EXPECT_EQ(out.logical_bytes, 1u << 20);
   EXPECT_EQ(out.physical_bytes, 1u << 18);
   EXPECT_EQ(out.codecs, resp.codecs);
+  EXPECT_EQ(out.histograms, resp.histograms);
+
+  // Default response carries no histograms and still round-trips.
+  EXPECT_TRUE(round_trip(StatsResponse{}).histograms.empty());
+}
+
+TEST(Wire, MergeStatsHistograms) {
+  StatsResponse a;
+  a.status = common::Status::Ok();
+  a.puts = 3;
+  a.histograms.push_back({"rpc.call_seconds", 10, 1.0, 0.05, 0.3, 0.1, 0.2,
+                          0.25});
+  a.histograms.push_back({"zeta.only_in_a", 1, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0});
+  StatsResponse b;
+  b.status = common::Status::Ok();
+  b.puts = 4;
+  b.histograms.push_back({"rpc.call_seconds", 30, 6.0, 0.01, 0.9, 0.2, 0.5,
+                          0.8});
+
+  auto total = merge_stats({a, b});
+  EXPECT_EQ(total.puts, 7u);
+  ASSERT_EQ(total.histograms.size(), 2u);
+  // Name-sorted output.
+  EXPECT_EQ(total.histograms[0].name, "rpc.call_seconds");
+  EXPECT_EQ(total.histograms[1].name, "zeta.only_in_a");
+  const auto& m = total.histograms[0];
+  // Exact merges.
+  EXPECT_EQ(m.count, 40u);
+  EXPECT_DOUBLE_EQ(m.sum, 7.0);
+  EXPECT_DOUBLE_EQ(m.min, 0.01);
+  EXPECT_DOUBLE_EQ(m.max, 0.9);
+  // Count-weighted quantile approximation: (10*q_a + 30*q_b) / 40.
+  EXPECT_DOUBLE_EQ(m.p50, (10 * 0.1 + 30 * 0.2) / 40.0);
+  EXPECT_DOUBLE_EQ(m.p95, (10 * 0.2 + 30 * 0.5) / 40.0);
+  EXPECT_DOUBLE_EQ(m.p99, (10 * 0.25 + 30 * 0.8) / 40.0);
+  // Entries present on only one side pass through unchanged.
+  EXPECT_EQ(total.histograms[1], a.histograms[1]);
 }
 
 TEST(Wire, RetireMessages) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace evostore::sim {
 namespace {
 
@@ -61,6 +63,27 @@ TEST(Samples, EmptyQuantileIsZero) {
   EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Samples, SingleSampleEveryQuantile) {
+  Samples s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  // Sample stddev of one observation is defined as zero here, not NaN.
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Samples, OutOfRangeQuantileClamps) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0}) s.add(v);
+  // q outside [0,1] must clamp, not index out of bounds (release builds
+  // compile the old assert away, so this used to be real UB).
+  EXPECT_DOUBLE_EQ(s.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(std::numeric_limits<double>::quiet_NaN()), 1.0);
 }
 
 TEST(TimeSeries, FirstTimeReaching) {
