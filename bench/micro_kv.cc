@@ -16,8 +16,11 @@ void BM_MemKvPut(benchmark::State& state) {
   size_t value_size = static_cast<size_t>(state.range(0));
   uint64_t i = 0;
   for (auto _ : state) {
-    auto st = kv.put("key" + std::to_string(i++ % 4096),
-                     Buffer::synthetic(value_size, i));
+    // i++ and i in sibling arguments are indeterminately sequenced; the
+    // payload seed must not depend on argument evaluation order.
+    const uint64_t k = i++;
+    auto st = kv.put("key" + std::to_string(k % 4096),
+                     Buffer::synthetic(value_size, k + 1));
     benchmark::DoNotOptimize(st.ok());
   }
   state.SetBytesProcessed(state.iterations() *
@@ -45,8 +48,9 @@ void BM_LogKvPut(benchmark::State& state) {
   size_t value_size = static_cast<size_t>(state.range(0));
   uint64_t i = 0;
   for (auto _ : state) {
-    auto st = kv->put("key" + std::to_string(i++ % 4096),
-                      Buffer::synthetic(value_size, i));
+    const uint64_t k = i++;
+    auto st = kv->put("key" + std::to_string(k % 4096),
+                      Buffer::synthetic(value_size, k + 1));
     benchmark::DoNotOptimize(st.ok());
   }
   state.SetBytesProcessed(state.iterations() *

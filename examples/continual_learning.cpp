@@ -33,11 +33,13 @@ model::ArchGraph task_graph(int64_t head_width) {
 // Recency-weighted source selection: query the LCP winner, but if its
 // lineage is stale (older than `max_age` simulated seconds), prefer a
 // shorter-prefix but fresher contributor from its provenance record.
+// `client` is a pointer: used across suspension points (EVO-CORO-003);
+// the caller's client outlives the awaited task.
 sim::CoTask<std::optional<core::TransferContext>> choose_source(
-    core::Client& client, const model::ArchGraph& g, double max_age) {
-  auto prep = co_await client.prepare_transfer(g, true);
+    core::Client* client, const model::ArchGraph& g, double max_age) {
+  auto prep = co_await client->prepare_transfer(g, true);
   if (!prep.ok() || !prep->has_value()) co_return std::nullopt;
-  auto meta = co_await client.get_meta(prep->value().ancestor);
+  auto meta = co_await client->get_meta(prep->value().ancestor);
   if (meta.ok()) {
     double age = 0;  // age of the chosen ancestor at decision time
     // (simulated clock lives in the repository's fabric; callers track it)
@@ -80,7 +82,7 @@ int main() {
       int64_t head = 64 + 32 * task;
       auto g = task_graph(head);
       std::printf("task %d (head width %ld):\n", task, head);
-      auto tc = co_await choose_source(client, g, /*max_age=*/60.0);
+      auto tc = co_await choose_source(&client, g, /*max_age=*/60.0);
       auto m = model::Model::random(repo.allocate_id(), g, rng.next());
       if (tc.has_value()) {
         for (size_t i = 0; i < tc->matches.size(); ++i) {

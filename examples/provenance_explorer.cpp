@@ -46,9 +46,11 @@ struct Explorer {
   }
 };
 
-sim::CoTask<int> scenario(core::EvoStoreRepository& repo,
+// `repo` is a pointer: used across suspension points (EVO-CORO-003);
+// main()'s repo outlives run_until_complete.
+sim::CoTask<int> scenario(core::EvoStoreRepository* repo,
                           common::NodeId worker) {
-  Explorer ex{repo, repo.client(worker)};
+  Explorer ex{*repo, repo->client(worker)};
 
   // A family: root -> {branch_a, branch_b}; branch_a -> {leaf_a1, leaf_a2}.
   auto root_seq = ex.space.random(ex.rng);
@@ -96,7 +98,7 @@ sim::CoTask<int> scenario(core::EvoStoreRepository& repo,
 
   // Q4: the metadata cost of all of this — owner maps only.
   std::printf("total provenance metadata: %.1f KB across %zu models\n",
-              repo.total_metadata_bytes() / 1e3, repo.total_models());
+              repo->total_metadata_bytes() / 1e3, repo->total_models());
   co_return 0;
 }
 
@@ -110,5 +112,5 @@ int main() {
   auto worker = fabric.add_node(25e9, 25e9);
   net::RpcSystem rpc(fabric);
   core::EvoStoreRepository repo(rpc, providers);
-  return sim.run_until_complete(scenario(repo, worker));
+  return sim.run_until_complete(scenario(&repo, worker));
 }

@@ -23,13 +23,16 @@ static model::ArchGraph make_graph(int layers, int mutated) {
       .value();
 }
 
-static sim::CoTask<int> scenario(core::EvoStoreRepository& repo,
+// `repo` is a pointer: the repository is read again after suspension
+// points, so the coroutine must not hold a reference parameter
+// (EVO-CORO-003); main()'s repo outlives run_until_complete.
+static sim::CoTask<int> scenario(core::EvoStoreRepository* repo,
                                  common::NodeId worker) {
-  auto& client = repo.client(worker);
+  auto& client = repo->client(worker);
 
   // 1. Store a model trained from scratch.
   auto base_graph = make_graph(8, 0);
-  auto base = model::Model::random(repo.allocate_id(), base_graph, /*seed=*/1);
+  auto base = model::Model::random(repo->allocate_id(), base_graph, /*seed=*/1);
   base.set_quality(0.82);
   auto status = co_await client.put_model(base, nullptr);
   std::printf("stored base model %s (%zu layers, %.1f KB): %s\n",
@@ -52,7 +55,7 @@ static sim::CoTask<int> scenario(core::EvoStoreRepository& repo,
               child_graph.size());
 
   // 4. "Train": inherit + freeze the prefix, randomize the rest.
-  auto child = model::Model::random(repo.allocate_id(), child_graph, 2);
+  auto child = model::Model::random(repo->allocate_id(), child_graph, 2);
   for (size_t i = 0; i < tc.matches.size(); ++i) {
     child.segment(tc.matches[i].first) = tc.prefix_segments[i];
   }
@@ -63,7 +66,7 @@ static sim::CoTask<int> scenario(core::EvoStoreRepository& repo,
   std::printf("stored derived model %s incrementally: %s\n",
               child.id().to_string().c_str(), status.to_string().c_str());
   std::printf("repository payload: %.1f KB (full copies would be %.1f KB)\n",
-              repo.stored_payload_bytes() / 1024.0,
+              repo->stored_payload_bytes() / 1024.0,
               (base.total_bytes() + child.total_bytes()) / 1024.0);
 
   // 6. Read the child back and verify.
@@ -89,7 +92,7 @@ static sim::CoTask<int> scenario(core::EvoStoreRepository& repo,
   (void)co_await client.retire(base.id());
   (void)co_await client.retire(child.id());
   std::printf("after retirement: %zu bytes stored, %zu segments\n",
-              repo.stored_payload_bytes(), repo.total_segments());
+              repo->stored_payload_bytes(), repo->total_segments());
   co_return identical ? 0 : 1;
 }
 
@@ -104,7 +107,7 @@ int main() {
   net::RpcSystem rpc(fabric);
   core::EvoStoreRepository repo(rpc, providers);
 
-  int rc = sim.run_until_complete(scenario(repo, worker));
+  int rc = sim.run_until_complete(scenario(&repo, worker));
   std::printf("simulated time: %.3f ms\n", sim.now() * 1e3);
   return rc;
 }

@@ -41,6 +41,9 @@ sim::CoTask<Status> Hdf5PfsRepository::store(NodeId client, const Model& m,
   if (need_weights) {
     storage::H5Writer writer;
     common::Serializer arch;
+    // store() is always awaited by the frame that owns the model (never
+    // spawned detached), so `m` outlives this coroutine by contract.
+    // evo-lint: suppress(EVO-CORO-003) m pinned by the awaiting caller
     m.graph().serialize(arch);
     common::Bytes arch_bytes = std::move(arch).take();
     writer.put_attr("arch", std::string(

@@ -257,7 +257,7 @@ sim::CoTask<RedisQueries::AddResult> RedisQueries::begin_add(
   req.id = id;
   req.quality = quality;
   req.graph = graph;
-  auto r = co_await net::typed_call<BoolResp>(*rpc_, client, node_, kBeginAdd, req);
+  auto r = co_await net::typed_call<BoolResp>(rpc_, client, node_, kBeginAdd, req);
   AddResult out;
   if (!r.ok()) {
     out.status = r.status();
@@ -270,7 +270,7 @@ sim::CoTask<RedisQueries::AddResult> RedisQueries::begin_add(
 
 sim::CoTask<Status> RedisQueries::finish_add(NodeId client, ModelId id) {
   IdReq req{id};
-  auto r = co_await net::typed_call<BoolResp>(*rpc_, client, node_, kFinishAdd, req);
+  auto r = co_await net::typed_call<BoolResp>(rpc_, client, node_, kFinishAdd, req);
   if (!r.ok()) co_return r.status();
   co_return r->status;
 }
@@ -280,13 +280,13 @@ sim::CoTask<Result<core::wire::LcpQueryResponse>> RedisQueries::query(
   core::wire::LcpQueryRequest req;
   req.graph = graph;
   co_return co_await net::typed_call<core::wire::LcpQueryResponse>(
-      *rpc_, client, node_, kQuery, req);
+      rpc_, client, node_, kQuery, req);
 }
 
 sim::CoTask<RedisQueries::UnpinResult> RedisQueries::unpin(NodeId client,
                                                            ModelId id) {
   IdReq req{id};
-  auto r = co_await net::typed_call<BoolResp>(*rpc_, client, node_, kUnpin, req);
+  auto r = co_await net::typed_call<BoolResp>(rpc_, client, node_, kUnpin, req);
   UnpinResult out;
   if (!r.ok()) {
     out.status = r.status();
@@ -300,7 +300,7 @@ sim::CoTask<RedisQueries::UnpinResult> RedisQueries::unpin(NodeId client,
 sim::CoTask<RedisQueries::RetireResult> RedisQueries::retire(NodeId client,
                                                              ModelId id) {
   IdReq req{id};
-  auto r = co_await net::typed_call<BoolResp>(*rpc_, client, node_, kRetire, req);
+  auto r = co_await net::typed_call<BoolResp>(rpc_, client, node_, kRetire, req);
   RetireResult out;
   if (!r.ok()) {
     out.status = r.status();

@@ -19,7 +19,13 @@ struct ModelId {
   bool valid() const { return value != 0; }
 
   friend auto operator<=>(const ModelId&, const ModelId&) = default;
-  std::string to_string() const { return "m" + std::to_string(value); }
+  // Appended, not `"m" + ...`: operator+(const char*, string&&) trips GCC
+  // 12's -Wrestrict false positive (PR105651) under -O2 -Werror.
+  std::string to_string() const {
+    std::string s = "m";
+    s += std::to_string(value);
+    return s;
+  }
 
   /// Compose a globally unique id from an allocator (client/worker) id and
   /// its local sequence number.

@@ -139,7 +139,7 @@ sim::CoTask<Status> Client::put_one(NodeId home, wire::PutModelRequest req,
         self_, home, common::Buffer::synthetic(payload_bytes, 0));
     if (st.ok()) {
       auto r = co_await net::typed_call<wire::PutModelResponse>(
-          *rpc_, self_, home, Provider::kPutModel, req,
+          rpc_, self_, home, Provider::kPutModel, req,
           net::CallOptions{config_.rpc_timeout, span.context()});
       st = r.ok() ? r->status : r.status();
     }
@@ -392,7 +392,7 @@ sim::CoTask<Result<wire::ReadSegmentsResponse>> Client::read_one(
     span.tag_u64("attempt", static_cast<uint64_t>(attempt));
     span.tag_u64("keys", req.keys.size());
     auto r = co_await net::typed_call<wire::ReadSegmentsResponse>(
-        *rpc_, self_, to, Provider::kReadSegments, req,
+        rpc_, self_, to, Provider::kReadSegments, req,
         net::CallOptions{config_.rpc_timeout, span.context()});
     Status st = r.ok() ? r->status : r.status();
     if (r.ok() && st.ok()) {
@@ -459,7 +459,7 @@ sim::CoTask<Status> Client::fetch_envelopes(
 }
 
 sim::CoTask<Result<std::vector<Segment>>> Client::read_segments(
-    const OwnerMap& owners, const std::vector<VertexId>& vertices,
+    const OwnerMap* owners, std::vector<VertexId> vertices,
     obs::TraceContext parent) {
   obs::Span span =
       obs::Tracer::maybe_begin(tracer(), "read_segments", self_, parent);
@@ -467,7 +467,7 @@ sim::CoTask<Result<std::vector<Segment>>> Client::read_segments(
   double t0 = rpc_->simulation().now();
   std::vector<common::SegmentKey> roots;
   roots.reserve(vertices.size());
-  for (VertexId v : vertices) roots.push_back(owners.entry(v));
+  for (VertexId v : vertices) roots.push_back(owners->entry(v));
 
   // Fetch the requested envelopes, then chase unresolved delta bases round
   // by round: each round is one parallel fan-out, so a chain of depth k
@@ -521,7 +521,7 @@ sim::CoTask<Result<std::vector<Segment>>> Client::read_segments(
 
   std::vector<Segment> out;
   out.reserve(vertices.size());
-  for (VertexId v : vertices) out.push_back(decoded.at(owners.entry(v)));
+  for (VertexId v : vertices) out.push_back(decoded.at(owners->entry(v)));
   if (hist_read_seconds_ != nullptr) {
     hist_read_seconds_->add(rpc_->simulation().now() - t0);
   }
@@ -535,7 +535,8 @@ sim::CoTask<Result<Model>> Client::get_model(ModelId id) {
   if (!meta.ok()) co_return meta.status();
   std::vector<VertexId> all(meta->graph.size());
   for (VertexId v = 0; v < all.size(); ++v) all[v] = v;
-  auto segments = co_await read_segments(meta->owners, all, span.context());
+  auto segments =
+      co_await read_segments(&meta->owners, all, span.context());
   if (!segments.ok()) co_return segments.status();
   Model m(id, std::move(meta->graph));
   m.set_quality(meta->quality);
@@ -571,7 +572,7 @@ sim::CoTask<Result<Model>> Client::get_model_via_chain(ModelId id) {
       if (owners.entry(v).owner == cur) mine.push_back(v);
     }
     if (!mine.empty()) {
-      auto segs = co_await read_segments(owners, mine);
+      auto segs = co_await read_segments(&owners, mine);
       if (!segs.ok()) co_return segs.status();
       for (size_t i = 0; i < mine.size(); ++i) {
         m.segment(mine[i]) = std::move(segs.value()[i]);
@@ -650,7 +651,8 @@ sim::CoTask<Result<std::optional<TransferContext>>> Client::prepare_transfer(
       (void)gv;
       ancestor_vertices.push_back(av);
     }
-    auto segs = co_await read_segments(tc.ancestor_owners, ancestor_vertices,
+    auto segs = co_await read_segments(&tc.ancestor_owners,
+                                       std::move(ancestor_vertices),
                                        span.context());
     if (!segs.ok()) {
       (void)co_await modify_refs(std::move(pin_keys), /*increment=*/false,

@@ -180,9 +180,12 @@ class Client {
   sim::CoTask<Result<Model>> get_model_via_chain(ModelId id);
 
   /// Read the segments for an arbitrary vertex subset (in `vertices` order)
-  /// by following `owners`.
+  /// by following `owners`. `owners` is a pointer because the map is read
+  /// again after suspension points: it must outlive the returned task
+  /// (every caller owns it across the co_await); `vertices` is copied into
+  /// the frame for the same reason (EVO-CORO-003).
   sim::CoTask<Result<std::vector<Segment>>> read_segments(
-      const OwnerMap& owners, const std::vector<common::VertexId>& vertices,
+      const OwnerMap* owners, std::vector<common::VertexId> vertices,
       obs::TraceContext parent = {});
 
   /// Retire a model: metadata removed eagerly; every owner-map entry's
@@ -262,7 +265,7 @@ class Client {
       span.tag("method", method);
       span.tag_u64("attempt", static_cast<uint64_t>(attempt));
       auto r = co_await net::typed_call<Response>(
-          *rpc_, self_, to, method, request,
+          rpc_, self_, to, method, request,
           net::CallOptions{config_.rpc_timeout, span.context()});
       if (r.ok() || !common::is_retryable(r.status().code())) {
         span.tag("outcome", r.ok() ? "ok" : r.status().to_string());

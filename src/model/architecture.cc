@@ -12,7 +12,12 @@ Architecture::NodeIndex Architecture::add_layer(LayerDef def) {
 
 Architecture::NodeIndex Architecture::add_submodel(
     std::shared_ptr<const Architecture> sub, std::string label) {
-  nodes_.push_back(Node{std::move(sub), std::move(label)});
+  // Built field-by-field: GCC 12's -Wmaybe-uninitialized false-positives on
+  // moving an aggregate holding a variant at -O2 and the build is -Werror.
+  Node node;
+  node.content = std::move(sub);
+  node.label = std::move(label);
+  nodes_.push_back(std::move(node));
   return static_cast<NodeIndex>(nodes_.size() - 1);
 }
 

@@ -175,6 +175,8 @@ NasResult run_nas(sim::Simulation& sim, net::Fabric& fabric,
   std::vector<sim::Future<void>> workers;
   workers.reserve(worker_nodes.size());
   for (size_t w = 0; w < worker_nodes.size(); ++w) {
+    // sim.run() below drains every worker before this scope returns.
+    // evo-lint: suppress(EVO-CORO-004) st outlives workers: run() in scope
     workers.push_back(sim.spawn(worker_loop(&sim, &fabric, &st,
                                             static_cast<int>(w),
                                             worker_nodes[w])));

@@ -6,12 +6,26 @@ namespace evostore::net {
 
 void FaultInjector::schedule_crash(common::NodeId node, double at,
                                    double downtime) {
+  // A negative downtime would schedule the restart BEFORE the crash,
+  // leaving the down-counter permanently positive (the node never comes
+  // back); clamp to an instant restart instead.
+  if (downtime < 0) downtime = 0;
   sim_->schedule_callback(at, [this, node] { crash_now(node); });
   sim_->schedule_callback(at + downtime, [this, node] { restart_now(node); });
 }
 
 void FaultInjector::schedule_mtbf(common::NodeId node, double start,
                                   double horizon, double mtbf, double mttr) {
+  // Degenerate inputs draw nothing. exponential(0) == 0, so a non-positive
+  // MTBF would pin t at `start` and spin this loop forever; an empty window
+  // [start, horizon) has no room for a crash in the first place.
+  if (mtbf <= 0) {
+    EVO_WARN << "schedule_mtbf: non-positive mtbf " << mtbf
+             << " for node " << node << "; no crashes scheduled";
+    return;
+  }
+  if (horizon <= start) return;
+  if (mttr < 0) mttr = 0;
   // Draw the full schedule up front: crash times depend only on the seed,
   // never on traffic, so the same seed reproduces the same windows.
   double t = start + rng_.exponential(mtbf);

@@ -261,10 +261,14 @@ sim::CoTask<Result<Bytes>> RpcSystem::race_deadline(
 
 sim::CoTask<common::Status> RpcSystem::bulk(NodeId from, NodeId to,
                                             const Buffer& buffer) {
+  // Everything this frame needs from `buffer` is read before the first
+  // suspension point; the reference must not be touched after a co_await
+  // (EVO-CORO-003: the caller's frame may already be gone on resume).
+  const double payload_bytes = static_cast<double>(buffer.size());
   ++stats_.bulk_transfers;
-  stats_.bulk_bytes += static_cast<double>(buffer.size());
+  stats_.bulk_bytes += payload_bytes;
   if (hist_bulk_bytes_ != nullptr) {
-    hist_bulk_bytes_->add(static_cast<double>(buffer.size()));
+    hist_bulk_bytes_->add(payload_bytes);
   }
   if (injector_ != nullptr) {
     if (!injector_->node_up(to) || !injector_->node_up(from)) {
@@ -286,7 +290,7 @@ sim::CoTask<common::Status> RpcSystem::bulk(NodeId from, NodeId to,
     double spike = injector_->latency_spike(from, to);
     if (spike > 0) co_await simulation().delay(spike);
   }
-  co_await fabric_->move_bytes(from, to, static_cast<double>(buffer.size()));
+  co_await fabric_->move_bytes(from, to, payload_bytes);
   co_return common::Status::Ok();
 }
 

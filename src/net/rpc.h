@@ -188,14 +188,18 @@ class RpcSystem {
 /// and `static Response deserialize(common::Deserializer&)`.
 /// A malformed response is annotated with the method and target node so the
 /// failure is attributable without a packet trace.
+/// `rpc` is a pointer and `method` a by-value copy because both are used
+/// after the call suspends (EVO-CORO-003: the caller's frame may be gone
+/// when this coroutine resumes).
 template <typename Response, typename Request>
-sim::CoTask<Result<Response>> typed_call(RpcSystem& rpc, NodeId from, NodeId to,
-                                         const std::string& method,
+sim::CoTask<Result<Response>> typed_call(RpcSystem* rpc, NodeId from, NodeId to,
+                                         std::string method,
                                          const Request& request,
                                          CallOptions options = {}) {
   common::Serializer s;
   request.serialize(s);
-  auto raw = co_await rpc.call(from, to, method, std::move(s).take(), options);
+  auto raw =
+      co_await rpc->call(from, to, method, std::move(s).take(), options);
   if (!raw.ok()) co_return raw.status();
   common::Deserializer d(raw.value());
   Response resp = Response::deserialize(d);
@@ -203,7 +207,7 @@ sim::CoTask<Result<Response>> typed_call(RpcSystem& rpc, NodeId from, NodeId to,
     co_return common::Status(
         d.status().code(),
         "deserializing '" + method + "' response from " +
-            rpc.fabric().node_name(to) + ": " + d.status().message());
+            rpc->fabric().node_name(to) + ": " + d.status().message());
   }
   co_return resp;
 }

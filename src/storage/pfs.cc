@@ -55,7 +55,9 @@ sim::CoTask<void> Pfs::data_transfer(NodeId client, const File& file,
   for (auto& t : transfers) co_await t;
 }
 
-sim::CoTask<Status> Pfs::write(NodeId client, const std::string& path,
+// Coroutine path params are by value: the string must live in this frame,
+// not the caller's (EVO-CORO-003).
+sim::CoTask<Status> Pfs::write(NodeId client, std::string path,
                                std::vector<Buffer> extents) {
   co_await mds_op();  // create/open
   File file;
@@ -77,7 +79,7 @@ sim::CoTask<Status> Pfs::write(NodeId client, const std::string& path,
 }
 
 sim::CoTask<Result<std::vector<Buffer>>> Pfs::read(NodeId client,
-                                                   const std::string& path) {
+                                                   std::string path) {
   co_await mds_op();  // open/stat
   auto it = files_.find(path);
   if (it == files_.end()) {
@@ -88,8 +90,7 @@ sim::CoTask<Result<std::vector<Buffer>>> Pfs::read(NodeId client,
   co_return it->second.extents;
 }
 
-sim::CoTask<Result<Buffer>> Pfs::read_range(NodeId client,
-                                            const std::string& path,
+sim::CoTask<Result<Buffer>> Pfs::read_range(NodeId client, std::string path,
                                             size_t offset, size_t len) {
   co_await mds_op();
   auto it = files_.find(path);
@@ -119,13 +120,13 @@ sim::CoTask<Result<Buffer>> Pfs::read_range(NodeId client,
   co_return Buffer::dense(std::move(out));
 }
 
-sim::CoTask<bool> Pfs::exists(NodeId client, const std::string& path) {
+sim::CoTask<bool> Pfs::exists(NodeId client, std::string path) {
   (void)client;
   co_await mds_op();
   co_return files_.find(path) != files_.end();
 }
 
-sim::CoTask<Status> Pfs::remove(NodeId client, const std::string& path) {
+sim::CoTask<Status> Pfs::remove(NodeId client, std::string path) {
   (void)client;
   co_await mds_op();
   auto it = files_.find(path);

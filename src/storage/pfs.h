@@ -48,28 +48,26 @@ class Pfs {
 
   /// Write a whole file (create or replace). Pays one metadata op plus the
   /// striped data transfer of all extents.
-  sim::CoTask<common::Status> write(common::NodeId client,
-                                    const std::string& path,
+  sim::CoTask<common::Status> write(common::NodeId client, std::string path,
                                     std::vector<common::Buffer> extents);
 
   /// Read a whole file. Pays one metadata op plus the striped transfer.
   sim::CoTask<common::Result<std::vector<common::Buffer>>> read(
-      common::NodeId client, const std::string& path);
+      common::NodeId client, std::string path);
 
   /// Read `len` logical bytes starting at `offset`. Pays one metadata op
   /// plus the transfer of just that range (small-range reads still pay the
   /// per-op latency — the paper's "not optimized for small non-contiguous
   /// transfers" effect).
   sim::CoTask<common::Result<common::Buffer>> read_range(
-      common::NodeId client, const std::string& path, size_t offset,
-      size_t len);
+      common::NodeId client, std::string path, size_t offset, size_t len);
 
   /// Metadata-only existence check.
-  sim::CoTask<bool> exists(common::NodeId client, const std::string& path);
+  sim::CoTask<bool> exists(common::NodeId client, std::string path);
 
   /// Remove a file (metadata op).
   sim::CoTask<common::Status> remove(common::NodeId client,
-                                     const std::string& path);
+                                     std::string path);
 
   /// Zero-cost same-process view of a file's extents (simulation
   /// side-channel used by clients that already parsed a file's layout and

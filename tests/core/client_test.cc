@@ -137,7 +137,7 @@ TEST(Client, ReadSegmentsSubsetInRequestedOrder) {
   auto meta = env.run(env.client().get_meta(m.id()));
   ASSERT_TRUE(meta.ok());
   std::vector<VertexId> want{5, 0, 3};
-  auto segs = env.run(env.client().read_segments(meta->owners, want));
+  auto segs = env.run(env.client().read_segments(&meta->owners, want));
   ASSERT_TRUE(segs.ok());
   ASSERT_EQ(segs->size(), 3u);
   EXPECT_TRUE((*segs)[0].content_equals(m.segment(5)));

@@ -75,7 +75,7 @@ TEST(Provider, ReadSegmentsMissingKeyFails) {
   OwnerMap fake = OwnerMap::self_owned(ModelId::make(0, 123), 2);
   auto task = [&]() -> sim::CoTask<bool> {
     std::vector<common::VertexId> all{0, 1};
-    auto r = co_await env.client().read_segments(fake, all);
+    auto r = co_await env.client().read_segments(&fake, all);
     co_return r.ok();
   };
   EXPECT_FALSE(env.run(task()));

@@ -191,7 +191,7 @@ TEST_P(RecoveryTest, TokenReplayAcrossRestartAppliesOnce) {
   req.token = 0xabcd000100000001ULL;
   auto deliver = [&]() -> sim::CoTask<common::Status> {
     auto r = co_await net::typed_call<wire::ModifyRefsResponse>(
-        env.rpc, env.worker, env.provider_nodes[0], Provider::kModifyRefs,
+        &env.rpc, env.worker, env.provider_nodes[0], Provider::kModifyRefs,
         req);
     co_return r.ok() ? r->status : r.status();
   };

@@ -126,12 +126,12 @@ TEST(EndToEnd, EvoStoreVsHdf5StorageFootprint) {
   auto seq = space.random(rng);
   for (int gen = 0; gen < 12; ++gen) {
     auto g = space.decode_graph(seq);
-    auto drive = [&](core::ModelRepository& repo,
+    auto drive = [&](core::ModelRepository* repo,
                      NodeId client) -> sim::CoTask<bool> {
-      auto prep = co_await repo.prepare_transfer(client, g, true);
+      auto prep = co_await repo->prepare_transfer(client, g, true);
       if (!prep.ok()) co_return false;
       model::Model m = model::Model::random(
-          repo.allocate_id(), g, static_cast<uint64_t>(gen));
+          repo->allocate_id(), g, static_cast<uint64_t>(gen));
       const core::TransferContext* tc = nullptr;
       if (prep->has_value()) {
         auto& ctx = prep->value();
@@ -141,11 +141,11 @@ TEST(EndToEnd, EvoStoreVsHdf5StorageFootprint) {
         tc = &ctx;
       }
       m.set_quality(0.5);
-      auto st = co_await repo.store(client, m, tc);
+      auto st = co_await repo->store(client, m, tc);
       co_return st.ok();
     };
-    ASSERT_TRUE(env.run(drive(*env.repo, env.worker))) << gen;
-    ASSERT_TRUE(env.run(drive(h5, h5_client))) << gen;
+    ASSERT_TRUE(env.run(drive(env.repo.get(), env.worker))) << gen;
+    ASSERT_TRUE(env.run(drive(&h5, h5_client))) << gen;
     seq = space.mutate(seq, rng);
   }
   EXPECT_LT(env.repo->stored_payload_bytes(), h5.stored_payload_bytes());

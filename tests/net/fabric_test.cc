@@ -25,12 +25,12 @@ TEST(Fabric, MoveBytesPaysLatencyPlusBandwidth) {
   Fabric fabric(sim, cfg);
   NodeId a = fabric.add_node(100.0, 10.0);  // egress 10 B/s
   NodeId b = fabric.add_node(100.0, 100.0);
-  auto task = [&](Simulation& s) -> CoTask<double> {
+  auto task = [&]() -> CoTask<double> {
     co_await fabric.move_bytes(a, b, 100.0);
-    co_return s.now();
+    co_return sim.now();
   };
   // 0.5 latency + 100/10 = 10.5 (egress of a is the bottleneck).
-  EXPECT_NEAR(sim.run_until_complete(task(sim)), 10.5, 1e-9);
+  EXPECT_NEAR(sim.run_until_complete(task()), 10.5, 1e-9);
 }
 
 TEST(Fabric, IngressCanBeTheBottleneck) {
@@ -41,11 +41,11 @@ TEST(Fabric, IngressCanBeTheBottleneck) {
   Fabric fabric(sim, cfg);
   NodeId a = fabric.add_node(100.0, 100.0);
   NodeId b = fabric.add_node(5.0, 100.0);  // ingress 5 B/s
-  auto task = [&](Simulation& s) -> CoTask<double> {
+  auto task = [&]() -> CoTask<double> {
     co_await fabric.move_bytes(a, b, 50.0);
-    co_return s.now();
+    co_return sim.now();
   };
-  EXPECT_NEAR(sim.run_until_complete(task(sim)), 10.0, 1e-9);
+  EXPECT_NEAR(sim.run_until_complete(task()), 10.0, 1e-9);
 }
 
 TEST(Fabric, LocalTransferSkipsNic) {
@@ -55,11 +55,11 @@ TEST(Fabric, LocalTransferSkipsNic) {
   cfg.local_latency = 0.25;
   Fabric fabric(sim, cfg);
   NodeId a = fabric.add_node(1.0, 1.0);  // tiny NIC: would take ages
-  auto task = [&](Simulation& s) -> CoTask<double> {
+  auto task = [&]() -> CoTask<double> {
     co_await fabric.move_bytes(a, a, 1e9);
-    co_return s.now();
+    co_return sim.now();
   };
-  EXPECT_NEAR(sim.run_until_complete(task(sim)), 0.25, 1e-12);
+  EXPECT_NEAR(sim.run_until_complete(task()), 0.25, 1e-12);
   EXPECT_DOUBLE_EQ(fabric.bytes_in(a), 0.0);
 }
 
@@ -89,11 +89,11 @@ TEST(Fabric, SignalIsLatencyOnly) {
   Fabric fabric(sim, cfg);
   NodeId a = fabric.add_node(10.0, 10.0);
   NodeId b = fabric.add_node(10.0, 10.0);
-  auto task = [&](Simulation& s) -> CoTask<double> {
+  auto task = [&]() -> CoTask<double> {
     co_await fabric.signal(a, b);
-    co_return s.now();
+    co_return sim.now();
   };
-  EXPECT_DOUBLE_EQ(sim.run_until_complete(task(sim)), 2.0);
+  EXPECT_DOUBLE_EQ(sim.run_until_complete(task()), 2.0);
 }
 
 TEST(Fabric, ByteCountersTrackDirections) {
@@ -103,11 +103,11 @@ TEST(Fabric, ByteCountersTrackDirections) {
   Fabric fabric(sim, cfg);
   NodeId a = fabric.add_node(100.0, 100.0);
   NodeId b = fabric.add_node(100.0, 100.0);
-  auto task = [&](Simulation&) -> CoTask<void> {
+  auto task = [&]() -> CoTask<void> {
     co_await fabric.move_bytes(a, b, 70.0);
     co_await fabric.move_bytes(b, a, 30.0);
   };
-  sim.run_until_complete(task(sim));
+  sim.run_until_complete(task());
   EXPECT_NEAR(fabric.bytes_out(a), 70.0, 1e-6);
   EXPECT_NEAR(fabric.bytes_in(b), 70.0, 1e-6);
   EXPECT_NEAR(fabric.bytes_out(b), 30.0, 1e-6);

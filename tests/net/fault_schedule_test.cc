@@ -1,0 +1,136 @@
+// Edge cases of the FaultInjector crash-schedule builders: degenerate
+// windows, degenerate rates, and overlapping windows whose restarts land on
+// the same instant. These guard the schedule parser against the class of
+// input that used to spin schedule_mtbf forever (exponential(0) == 0).
+#include "net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace evostore::net {
+namespace {
+
+using common::NodeId;
+
+constexpr NodeId kNode = 7;
+
+TEST(FaultSchedule, EmptyWindowSchedulesNothing) {
+  sim::Simulation sim;
+  FaultInjector inj(sim);
+  inj.schedule_mtbf(kNode, /*start=*/5.0, /*horizon=*/5.0, /*mtbf=*/1.0,
+                    /*mttr=*/0.5);
+  inj.schedule_mtbf(kNode, /*start=*/9.0, /*horizon=*/2.0, /*mtbf=*/1.0,
+                    /*mttr=*/0.5);
+  sim.run();
+  EXPECT_EQ(inj.stats().crashes, 0u);
+  EXPECT_EQ(inj.stats().restarts, 0u);
+  EXPECT_TRUE(inj.node_up(kNode));
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);  // nothing was ever on the event queue
+}
+
+TEST(FaultSchedule, ZeroMtbfIsRejectedNotInfinite) {
+  sim::Simulation sim;
+  FaultInjector inj(sim);
+  // exponential(0) == 0: before the guard this spun forever drawing crash
+  // times that never advanced past `start`.
+  inj.schedule_mtbf(kNode, 0.0, 100.0, /*mtbf=*/0.0, /*mttr=*/0.0);
+  inj.schedule_mtbf(kNode, 0.0, 100.0, /*mtbf=*/-3.0, /*mttr=*/1.0);
+  sim.run();
+  EXPECT_EQ(inj.stats().crashes, 0u);
+  EXPECT_TRUE(inj.node_up(kNode));
+}
+
+TEST(FaultSchedule, DuplicateRestartTimesDrainTheCounter) {
+  sim::Simulation sim;
+  FaultInjector inj(sim);
+  // Two overlapping windows whose restarts both land at t=3: the node must
+  // stay down while EITHER window is open and come back exactly once both
+  // have closed (down-counter, not a boolean).
+  inj.schedule_crash(kNode, 1.0, 2.0);  // down [1, 3)
+  inj.schedule_crash(kNode, 2.0, 1.0);  // down [2, 3)
+  std::vector<std::pair<double, bool>> samples;
+  for (double t : {0.5, 1.5, 2.5, 3.5}) {
+    sim.schedule_callback(t, [&inj, &samples, t] {
+      samples.emplace_back(t, inj.node_up(kNode));
+    });
+  }
+  sim.run();
+  EXPECT_EQ(inj.stats().crashes, 2u);
+  EXPECT_EQ(inj.stats().restarts, 2u);
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_TRUE(samples[0].second);   // t=0.5: before any crash
+  EXPECT_FALSE(samples[1].second);  // t=1.5: first window open
+  EXPECT_FALSE(samples[2].second);  // t=2.5: both windows open
+  EXPECT_TRUE(samples[3].second);   // t=3.5: both restarts fired at 3.0
+  EXPECT_TRUE(inj.node_up(kNode));
+}
+
+TEST(FaultSchedule, DuplicateRestartFiresHooksOnce) {
+  sim::Simulation sim;
+  FaultInjector inj(sim);
+  int restarts_seen = 0;
+  inj.on_restart(kNode, [&restarts_seen] { ++restarts_seen; });
+  inj.schedule_crash(kNode, 1.0, 2.0);
+  inj.schedule_crash(kNode, 2.0, 1.0);
+  sim.run();
+  // Both restarts fire at t=3, but only the one that drains the counter to
+  // zero runs the hooks: recovery work happens once, not once per window.
+  EXPECT_EQ(restarts_seen, 1);
+}
+
+TEST(FaultSchedule, NegativeDowntimeClampsToInstantRestart) {
+  sim::Simulation sim;
+  FaultInjector inj(sim);
+  // A negative downtime must not schedule the restart before the crash
+  // (which would leave the node down forever once the crash fires).
+  inj.schedule_crash(kNode, 1.0, -5.0);
+  sim.run();
+  EXPECT_EQ(inj.stats().crashes, 1u);
+  EXPECT_EQ(inj.stats().restarts, 1u);
+  EXPECT_TRUE(inj.node_up(kNode));
+}
+
+TEST(FaultSchedule, MtbfScheduleIsSeedDeterministic) {
+  // Same seed, same window -> byte-identical crash/restart counts and the
+  // same node_up samples, independent of any traffic on the simulation.
+  auto run_once = [](uint64_t seed) {
+    sim::Simulation sim;
+    FaultConfig cfg;
+    cfg.seed = seed;
+    FaultInjector inj(sim, cfg);
+    inj.schedule_mtbf(kNode, 0.0, 50.0, /*mtbf=*/4.0, /*mttr=*/1.0);
+    std::vector<bool> samples;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_callback(static_cast<double>(i) + 0.5,
+                            [&inj, &samples] {
+                              samples.push_back(inj.node_up(kNode));
+                            });
+    }
+    sim.run();
+    return std::make_pair(inj.stats().crashes, samples);
+  };
+  auto a = run_once(42);
+  auto b = run_once(42);
+  auto c = run_once(43);
+  EXPECT_GT(a.first, 0u);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_NE(a.second, c.second);  // different seed, different windows
+}
+
+TEST(FaultSchedule, MttrNegativeClampsToZero) {
+  sim::Simulation sim;
+  FaultInjector inj(sim);
+  // Negative MTTR clamps to 0 (instant restarts) rather than walking the
+  // schedule backwards in time.
+  inj.schedule_mtbf(kNode, 0.0, 20.0, /*mtbf=*/2.0, /*mttr=*/-1.0);
+  sim.run();
+  EXPECT_EQ(inj.stats().crashes, inj.stats().restarts);
+  EXPECT_TRUE(inj.node_up(kNode));
+}
+
+}  // namespace
+}  // namespace evostore::net

@@ -154,7 +154,7 @@ TEST(Rpc, TypedCallAnnotatesMalformedResponse) {
     }
   };
   auto task = [&]() -> CoTask<common::Status> {
-    auto r = co_await typed_call<Probe>(env.rpc, env.a, env.b, "meta", Probe{});
+    auto r = co_await typed_call<Probe>(&env.rpc, env.a, env.b, "meta", Probe{});
     co_return r.status();
   };
   auto st = env.sim.run_until_complete(task());
@@ -284,7 +284,7 @@ TEST(Rpc, TypedCallRoundTrip) {
     co_return std::move(s).take();
   });
   auto task = [&]() -> CoTask<int64_t> {
-    auto r = co_await typed_call<PingResp>(env.rpc, env.a, env.b, "double",
+    auto r = co_await typed_call<PingResp>(&env.rpc, env.a, env.b, "double",
                                            PingReq{21});
     EXPECT_TRUE(r.ok());
     co_return r->y;
@@ -301,7 +301,7 @@ TEST(Rpc, TypedCallDetectsGarbageResponse) {
                     std::byte{0xff}, std::byte{0xff}};
   });
   auto task = [&]() -> CoTask<bool> {
-    auto r = co_await typed_call<PingResp>(env.rpc, env.a, env.b, "garbage",
+    auto r = co_await typed_call<PingResp>(&env.rpc, env.a, env.b, "garbage",
                                            PingReq{1});
     co_return r.ok();
   };

@@ -7,10 +7,10 @@
 namespace evostore::sim {
 namespace {
 
-CoTask<void> xfer(Simulation& sim, FlowScheduler& fs, std::vector<PortId> path,
+CoTask<void> xfer(Simulation* sim, FlowScheduler& fs, std::vector<PortId> path,
                   double bytes, double* done_at) {
   co_await fs.transfer(std::move(path), bytes);
-  *done_at = sim.now();
+  *done_at = sim->now();
 }
 
 TEST(Flow, SingleTransferTakesBytesOverCapacity) {
@@ -19,7 +19,7 @@ TEST(Flow, SingleTransferTakesBytesOverCapacity) {
   PortId p = fs.add_port(100.0);
   double t = 0;
   std::vector<PortId> path{p};
-  auto f = sim.spawn(xfer(sim, fs, path, 500.0, &t));
+  auto f = sim.spawn(xfer(&sim, fs, path, 500.0, &t));
   sim.run();
   (void)f;
   EXPECT_NEAR(t, 5.0, 1e-9);
@@ -31,7 +31,7 @@ TEST(Flow, ZeroBytesCompletesInstantly) {
   PortId p = fs.add_port(100.0);
   double t = -1;
   std::vector<PortId> path{p};
-  auto f = sim.spawn(xfer(sim, fs, path, 0.0, &t));
+  auto f = sim.spawn(xfer(&sim, fs, path, 0.0, &t));
   sim.run();
   (void)f;
   EXPECT_DOUBLE_EQ(t, 0.0);
@@ -43,8 +43,8 @@ TEST(Flow, TwoEqualFlowsShareFairly) {
   PortId p = fs.add_port(10.0);
   double t1 = 0, t2 = 0;
   std::vector<PortId> path{p};
-  auto f1 = sim.spawn(xfer(sim, fs, path, 100.0, &t1));
-  auto f2 = sim.spawn(xfer(sim, fs, path, 100.0, &t2));
+  auto f1 = sim.spawn(xfer(&sim, fs, path, 100.0, &t1));
+  auto f2 = sim.spawn(xfer(&sim, fs, path, 100.0, &t2));
   sim.run();
   (void)f1; (void)f2;
   EXPECT_NEAR(t1, 20.0, 1e-6);
@@ -57,8 +57,8 @@ TEST(Flow, ShortFlowFinishesThenLongSpeedsUp) {
   PortId p = fs.add_port(10.0);
   double t_short = 0, t_long = 0;
   std::vector<PortId> path{p};
-  auto f1 = sim.spawn(xfer(sim, fs, path, 50.0, &t_short));
-  auto f2 = sim.spawn(xfer(sim, fs, path, 150.0, &t_long));
+  auto f1 = sim.spawn(xfer(&sim, fs, path, 50.0, &t_short));
+  auto f2 = sim.spawn(xfer(&sim, fs, path, 150.0, &t_long));
   sim.run();
   (void)f1; (void)f2;
   // Shared at 5 B/s until the short one finishes at t=10 (50 bytes);
@@ -73,14 +73,14 @@ TEST(Flow, LateArrivalSlowsExisting) {
   PortId p = fs.add_port(10.0);
   double t1 = 0, t2 = 0;
   std::vector<PortId> path{p};
-  auto f1 = sim.spawn(xfer(sim, fs, path, 100.0, &t1));
-  auto starter = [&](Simulation& s) -> CoTask<void> {
-    co_await s.delay(5.0);  // first flow has moved 50 bytes by now
+  auto f1 = sim.spawn(xfer(&sim, fs, path, 100.0, &t1));
+  auto starter = [&]() -> CoTask<void> {
+    co_await sim.delay(5.0);  // first flow has moved 50 bytes by now
     std::vector<PortId> pth{p};
     co_await fs.transfer(std::move(pth), 50.0);
-    t2 = s.now();
+    t2 = sim.now();
   };
-  auto f2 = sim.spawn(starter(sim));
+  auto f2 = sim.spawn(starter());
   sim.run();
   (void)f1; (void)f2;
   // From t=5 both share 5 B/s: flow1 needs 50 more (10s shared), flow2
@@ -96,7 +96,7 @@ TEST(Flow, MultiPortPathLimitedByBottleneck) {
   PortId slow = fs.add_port(10.0);
   double t = 0;
   std::vector<PortId> path{fast, slow};
-  auto f = sim.spawn(xfer(sim, fs, path, 100.0, &t));
+  auto f = sim.spawn(xfer(&sim, fs, path, 100.0, &t));
   sim.run();
   (void)f;
   EXPECT_NEAR(t, 10.0, 1e-6);
@@ -111,8 +111,8 @@ TEST(Flow, CrossTrafficOnSharedMiddlePort) {
   double t1 = 0, t2 = 0;
   std::vector<PortId> p1{a, shared};
   std::vector<PortId> p2{shared, b};
-  auto f1 = sim.spawn(xfer(sim, fs, p1, 50.0, &t1));
-  auto f2 = sim.spawn(xfer(sim, fs, p2, 50.0, &t2));
+  auto f1 = sim.spawn(xfer(&sim, fs, p1, 50.0, &t1));
+  auto f2 = sim.spawn(xfer(&sim, fs, p2, 50.0, &t2));
   sim.run();
   (void)f1; (void)f2;
   // Both bottlenecked by the shared port at 5 B/s each.
@@ -126,7 +126,7 @@ TEST(Flow, BytesCarriedAccounting) {
   PortId p = fs.add_port(10.0);
   double t = 0;
   std::vector<PortId> path{p};
-  auto f = sim.spawn(xfer(sim, fs, path, 123.0, &t));
+  auto f = sim.spawn(xfer(&sim, fs, path, 123.0, &t));
   sim.run();
   (void)f;
   EXPECT_NEAR(fs.bytes_carried(p), 123.0, 1e-6);
@@ -142,7 +142,7 @@ TEST(Flow, ManyConcurrentFlowsAggregateThroughputIsCapacity) {
   std::vector<Future<void>> futures;
   for (int i = 0; i < kFlows; ++i) {
     std::vector<PortId> path{p};
-    futures.push_back(sim.spawn(xfer(sim, fs, path, 100.0, &done[i])));
+    futures.push_back(sim.spawn(xfer(&sim, fs, path, 100.0, &done[i])));
   }
   sim.run();
   // 50 flows x 100 bytes over 100 B/s aggregate -> all finish at t=50.
@@ -155,9 +155,9 @@ TEST(Flow, StaggeredSizesCompleteInSizeOrder) {
   PortId p = fs.add_port(12.0);
   double t_small = 0, t_mid = 0, t_big = 0;
   std::vector<PortId> path{p};
-  auto f1 = sim.spawn(xfer(sim, fs, path, 12.0, &t_small));
-  auto f2 = sim.spawn(xfer(sim, fs, path, 24.0, &t_mid));
-  auto f3 = sim.spawn(xfer(sim, fs, path, 48.0, &t_big));
+  auto f1 = sim.spawn(xfer(&sim, fs, path, 12.0, &t_small));
+  auto f2 = sim.spawn(xfer(&sim, fs, path, 24.0, &t_mid));
+  auto f3 = sim.spawn(xfer(&sim, fs, path, 48.0, &t_big));
   sim.run();
   (void)f1; (void)f2; (void)f3;
   EXPECT_LT(t_small, t_mid);
@@ -170,14 +170,14 @@ TEST(Flow, SequentialTransfersDoNotInterfere) {
   Simulation sim;
   FlowScheduler fs(sim);
   PortId p = fs.add_port(10.0);
-  auto seq = [&](Simulation& s) -> CoTask<double> {
+  auto seq = [&]() -> CoTask<double> {
     std::vector<PortId> p1{p};
     co_await fs.transfer(std::move(p1), 100.0);
     std::vector<PortId> p2{p};
     co_await fs.transfer(std::move(p2), 100.0);
-    co_return s.now();
+    co_return sim.now();
   };
-  EXPECT_NEAR(sim.run_until_complete(seq(sim)), 20.0, 1e-6);
+  EXPECT_NEAR(sim.run_until_complete(seq()), 20.0, 1e-6);
 }
 
 }  // namespace

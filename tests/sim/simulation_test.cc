@@ -14,9 +14,9 @@ CoTask<int> delayed(Simulation& sim, double dt, int v) {
   co_return v;
 }
 
-CoTask<void> record_at(Simulation& sim, double dt, std::vector<double>* out) {
-  co_await sim.delay(dt);
-  out->push_back(sim.now());
+CoTask<void> record_at(Simulation* sim, double dt, std::vector<double>* out) {
+  co_await sim->delay(dt);
+  out->push_back(sim->now());
 }
 
 TEST(Simulation, StartsAtTimeZero) {
@@ -39,12 +39,12 @@ TEST(Simulation, DelayAdvancesVirtualClock) {
 
 TEST(Simulation, SequentialDelaysAccumulate) {
   Simulation sim;
-  auto task = [](Simulation& s) -> CoTask<void> {
-    co_await s.delay(1.0);
-    co_await s.delay(2.0);
-    co_await s.delay(0.5);
+  auto task = [&]() -> CoTask<void> {
+    co_await sim.delay(1.0);
+    co_await sim.delay(2.0);
+    co_await sim.delay(0.5);
   };
-  sim.run_until_complete(task(sim));
+  sim.run_until_complete(task());
   EXPECT_DOUBLE_EQ(sim.now(), 3.5);
 }
 
@@ -52,9 +52,9 @@ TEST(Simulation, SpawnedTasksRunConcurrently) {
   Simulation sim;
   std::vector<double> times;
   auto main_task = [&](Simulation& s) -> CoTask<void> {
-    auto f1 = s.spawn(record_at(s, 3.0, &times));
-    auto f2 = s.spawn(record_at(s, 1.0, &times));
-    auto f3 = s.spawn(record_at(s, 2.0, &times));
+    auto f1 = s.spawn(record_at(&s, 3.0, &times));
+    auto f2 = s.spawn(record_at(&s, 1.0, &times));
+    auto f3 = s.spawn(record_at(&s, 2.0, &times));
     co_await f1;
     co_await f2;
     co_await f3;
@@ -84,13 +84,13 @@ TEST(Simulation, AwaitingCompletedFutureIsImmediate) {
   auto fut = sim.spawn(immediate(1));
   sim.run();
   ASSERT_TRUE(fut.done());
-  auto late = [](Simulation& s, Future<int> f) -> CoTask<int> {
-    double t0 = s.now();
+  auto late = [&](Future<int> f) -> CoTask<int> {
+    double t0 = sim.now();
     int v = co_await f;
-    EXPECT_EQ(s.now(), t0);
+    EXPECT_EQ(sim.now(), t0);
     co_return v;
   };
-  EXPECT_EQ(sim.run_until_complete(late(sim, fut)), 1);
+  EXPECT_EQ(sim.run_until_complete(late(fut)), 1);
 }
 
 TEST(Simulation, EqualTimeEventsFireInScheduleOrder) {
@@ -153,14 +153,14 @@ TEST(Simulation, DeepSequentialChainCompletes) {
   Simulation sim;
   // A chain of nested awaits exercises symmetric transfer (no stack growth).
   struct Helper {
-    static CoTask<int> chain(Simulation& s, int depth) {
+    static CoTask<int> chain(Simulation* s, int depth) {
       if (depth == 0) co_return 0;
-      co_await s.delay(0.001);
+      co_await s->delay(0.001);
       int below = co_await chain(s, depth - 1);
       co_return below + 1;
     }
   };
-  EXPECT_EQ(sim.run_until_complete(Helper::chain(sim, 500)), 500);
+  EXPECT_EQ(sim.run_until_complete(Helper::chain(&sim, 500)), 500);
 }
 
 TEST(Simulation, ManySpawnedTasksAllComplete) {

@@ -11,17 +11,17 @@ TEST(Event, WaitBeforeSet) {
   Simulation sim;
   Event ev(sim);
   std::vector<double> wake;
-  auto waiter = [&](Simulation& s) -> CoTask<void> {
+  auto waiter = [&]() -> CoTask<void> {
     co_await ev.wait();
-    wake.push_back(s.now());
+    wake.push_back(sim.now());
   };
-  auto setter = [&](Simulation& s) -> CoTask<void> {
-    co_await s.delay(2.0);
+  auto setter = [&]() -> CoTask<void> {
+    co_await sim.delay(2.0);
     ev.set();
   };
-  auto f1 = sim.spawn(waiter(sim));
-  auto f2 = sim.spawn(waiter(sim));
-  auto f3 = sim.spawn(setter(sim));
+  auto f1 = sim.spawn(waiter());
+  auto f2 = sim.spawn(waiter());
+  auto f3 = sim.spawn(setter());
   sim.run();
   (void)f1; (void)f2; (void)f3;
   ASSERT_EQ(wake.size(), 2u);
@@ -34,11 +34,11 @@ TEST(Event, WaitAfterSetIsImmediate) {
   Event ev(sim);
   ev.set();
   EXPECT_TRUE(ev.is_set());
-  auto waiter = [&](Simulation& s) -> CoTask<double> {
+  auto waiter = [&]() -> CoTask<double> {
     co_await ev.wait();
-    co_return s.now();
+    co_return sim.now();
   };
-  EXPECT_DOUBLE_EQ(sim.run_until_complete(waiter(sim)), 0.0);
+  EXPECT_DOUBLE_EQ(sim.run_until_complete(waiter()), 0.0);
 }
 
 TEST(Event, DoubleSetIsIdempotent) {
@@ -119,16 +119,16 @@ TEST(Mutex, MutualExclusion) {
   Mutex mu(sim);
   int inside = 0;
   int max_inside = 0;
-  auto critical = [&](Simulation& s) -> CoTask<void> {
+  auto critical = [&]() -> CoTask<void> {
     co_await mu.lock();
     ++inside;
     max_inside = std::max(max_inside, inside);
-    co_await s.delay(1.0);
+    co_await sim.delay(1.0);
     --inside;
     mu.unlock();
   };
   std::vector<Future<void>> fs;
-  for (int i = 0; i < 4; ++i) fs.push_back(sim.spawn(critical(sim)));
+  for (int i = 0; i < 4; ++i) fs.push_back(sim.spawn(critical()));
   sim.run();
   EXPECT_EQ(max_inside, 1);
   EXPECT_DOUBLE_EQ(sim.now(), 4.0);
@@ -148,22 +148,22 @@ TEST(RwLock, ReadersShareWritersExclude) {
   Simulation sim;
   RwLock lk(sim);
   std::vector<std::pair<char, double>> log;
-  auto reader = [&](Simulation& s) -> CoTask<void> {
+  auto reader = [&]() -> CoTask<void> {
     co_await lk.lock_shared();
-    log.emplace_back('r', s.now());
-    co_await s.delay(1.0);
+    log.emplace_back('r', sim.now());
+    co_await sim.delay(1.0);
     lk.unlock_shared();
   };
-  auto writer = [&](Simulation& s) -> CoTask<void> {
+  auto writer = [&]() -> CoTask<void> {
     co_await lk.lock_exclusive();
-    log.emplace_back('w', s.now());
-    co_await s.delay(1.0);
+    log.emplace_back('w', sim.now());
+    co_await sim.delay(1.0);
     lk.unlock_exclusive();
   };
-  auto f1 = sim.spawn(reader(sim));
-  auto f2 = sim.spawn(reader(sim));
-  auto f3 = sim.spawn(writer(sim));
-  auto f4 = sim.spawn(reader(sim));
+  auto f1 = sim.spawn(reader());
+  auto f2 = sim.spawn(reader());
+  auto f3 = sim.spawn(writer());
+  auto f4 = sim.spawn(reader());
   sim.run();
   (void)f1; (void)f2; (void)f3; (void)f4;
   ASSERT_EQ(log.size(), 4u);
@@ -183,20 +183,20 @@ TEST(RwLock, WriterThenReadersBatch) {
   Simulation sim;
   RwLock lk(sim);
   std::vector<double> reader_starts;
-  auto writer = [&](Simulation& s) -> CoTask<void> {
+  auto writer = [&]() -> CoTask<void> {
     co_await lk.lock_exclusive();
-    co_await s.delay(2.0);
+    co_await sim.delay(2.0);
     lk.unlock_exclusive();
   };
-  auto reader = [&](Simulation& s) -> CoTask<void> {
+  auto reader = [&]() -> CoTask<void> {
     co_await lk.lock_shared();
-    reader_starts.push_back(s.now());
-    co_await s.delay(1.0);
+    reader_starts.push_back(sim.now());
+    co_await sim.delay(1.0);
     lk.unlock_shared();
   };
-  auto fw = sim.spawn(writer(sim));
-  auto fr1 = sim.spawn(reader(sim));
-  auto fr2 = sim.spawn(reader(sim));
+  auto fw = sim.spawn(writer());
+  auto fr1 = sim.spawn(reader());
+  auto fr2 = sim.spawn(reader());
   sim.run();
   (void)fw; (void)fr1; (void)fr2;
   // Both readers admitted together when the writer releases.
@@ -209,14 +209,14 @@ TEST(Barrier, ReleasesAllAtOnce) {
   Simulation sim;
   Barrier barrier(sim, 3);
   std::vector<double> release_times;
-  auto party = [&](Simulation& s, double arrive_at) -> CoTask<void> {
-    co_await s.delay(arrive_at);
+  auto party = [&](double arrive_at) -> CoTask<void> {
+    co_await sim.delay(arrive_at);
     co_await barrier.arrive_and_wait();
-    release_times.push_back(s.now());
+    release_times.push_back(sim.now());
   };
-  auto f1 = sim.spawn(party(sim, 1.0));
-  auto f2 = sim.spawn(party(sim, 2.0));
-  auto f3 = sim.spawn(party(sim, 5.0));
+  auto f1 = sim.spawn(party(1.0));
+  auto f2 = sim.spawn(party(2.0));
+  auto f3 = sim.spawn(party(5.0));
   sim.run();
   (void)f1; (void)f2; (void)f3;
   ASSERT_EQ(release_times.size(), 3u);
@@ -227,15 +227,15 @@ TEST(Barrier, CyclicReuse) {
   Simulation sim;
   Barrier barrier(sim, 2);
   int rounds_done = 0;
-  auto party = [&](Simulation& s, double step) -> CoTask<void> {
+  auto party = [&](double step) -> CoTask<void> {
     for (int round = 0; round < 3; ++round) {
-      co_await s.delay(step);
+      co_await sim.delay(step);
       co_await barrier.arrive_and_wait();
     }
     ++rounds_done;
   };
-  auto f1 = sim.spawn(party(sim, 1.0));
-  auto f2 = sim.spawn(party(sim, 2.0));
+  auto f1 = sim.spawn(party(1.0));
+  auto f2 = sim.spawn(party(2.0));
   sim.run();
   (void)f1; (void)f2;
   EXPECT_EQ(rounds_done, 2);
@@ -245,12 +245,12 @@ TEST(Barrier, CyclicReuse) {
 TEST(Barrier, SinglePartyNeverBlocks) {
   Simulation sim;
   Barrier barrier(sim, 1);
-  auto party = [&](Simulation&) -> CoTask<int> {
+  auto party = [&]() -> CoTask<int> {
     co_await barrier.arrive_and_wait();
     co_await barrier.arrive_and_wait();
     co_return 1;
   };
-  EXPECT_EQ(sim.run_until_complete(party(sim)), 1);
+  EXPECT_EQ(sim.run_until_complete(party()), 1);
 }
 
 }  // namespace

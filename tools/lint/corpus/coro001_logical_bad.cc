@@ -1,0 +1,32 @@
+// co_await on the right-hand side of a short-circuit operator (or after a
+// comma operator) is conditionally evaluated inside one full expression --
+// the same temporary-destruction window as the ternary case.
+//
+// EXPECTED-FINDINGS:
+//   EVO-CORO-001 @logical_and
+//   EVO-CORO-001 @logical_or
+//   EVO-CORO-001 @comma_operator
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::CoTask<bool> try_once(int attempt);
+void log_attempt(int attempt);
+
+sim::CoTask<bool> logical_and(bool precheck) {
+  bool ok = precheck && co_await try_once(0);  // EXPECT: EVO-CORO-001
+  co_return ok;
+}
+
+sim::CoTask<bool> logical_or(bool cached) {
+  bool ok = cached || co_await try_once(1);  // EXPECT: EVO-CORO-001
+  co_return ok;
+}
+
+sim::CoTask<bool> comma_operator() {
+  bool ok;
+  ok = (log_attempt(2), true), co_await try_once(2);  // EXPECT: EVO-CORO-001
+  co_return ok;
+}
+
+}  // namespace corpus

@@ -1,0 +1,28 @@
+// Reduction of the PR 3 UAF: RpcSystem::call awaited one of two temporary
+// CoTasks inside a conditional expression. Shipped GCC destroyed the
+// selected temporary's coroutine frame -- which owned the response bytes --
+// before the co_return consumed the result.
+//
+// EXPECTED-FINDINGS:
+//   EVO-CORO-001 @ternary_await x2
+//   EVO-CORO-001 @condition_branch_call
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::CoTask<int> race_deadline(sim::CoTask<int> inner, double timeout);
+sim::CoTask<int> call_inner(int from, int to);
+
+sim::CoTask<int> ternary_await(int from, int to, double timeout) {
+  // Both arms are flagged: each co_await is nested in a ?: branch.
+  co_return timeout > 0
+      ? co_await race_deadline(call_inner(from, to), timeout)   // EXPECT: EVO-CORO-001
+      : co_await call_inner(from, to);                          // EXPECT: EVO-CORO-001
+}
+
+sim::CoTask<int> condition_branch_call(bool fast) {
+  int v = fast ? 1 : co_await call_inner(0, 1);  // EXPECT: EVO-CORO-001
+  co_return v;
+}
+
+}  // namespace corpus

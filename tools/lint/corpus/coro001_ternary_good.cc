@@ -1,0 +1,31 @@
+// The fixed shape of the PR 3 `RpcSystem::call` site: the conditional picks
+// a *statement*, not a subexpression, so each co_await is a full expression
+// and the temporary task lives exactly as long as the await.
+//
+// EXPECTED-FINDINGS: none
+#include <optional>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::CoTask<int> race_deadline(sim::CoTask<int> inner, double timeout);
+sim::CoTask<int> call_inner(int from, int to);
+
+sim::CoTask<int> fixed_call(int from, int to, double timeout) {
+  std::optional<int> result;
+  if (timeout > 0) {
+    result.emplace(co_await race_deadline(call_inner(from, to), timeout));
+  } else {
+    result.emplace(co_await call_inner(from, to));
+  }
+  co_return *result;
+}
+
+sim::CoTask<int> ternary_inside_operand(bool local) {
+  // A conditional *inside* the awaited call's arguments is evaluated before
+  // the suspension; this must stay silent.
+  co_return co_await call_inner(local ? 0 : 1, 2);
+}
+
+}  // namespace corpus

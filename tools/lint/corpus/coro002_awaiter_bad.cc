@@ -1,0 +1,38 @@
+// Reduction of the PR 2 UAF: race_deadline awaited a *temporary* awaiter
+// whose captured shared_ptr owned the race state. Shipped GCC coroutine
+// codegen double-destroyed the temporary, so the state was freed while the
+// deadline callback still pointed at it.
+//
+// EXPECTED-FINDINGS:
+//   EVO-CORO-002 @race_wait (braced temporary)
+//   EVO-CORO-002 @race_wait_paren (parenthesized construction)
+#include <coroutine>
+#include <memory>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+struct RaceState {
+  bool settled = false;
+  std::coroutine_handle<> waiter;
+};
+
+struct SettleAwaiter {
+  std::shared_ptr<RaceState> st;  // owning capture: double-destroy hazard
+  bool await_ready() const noexcept { return st->settled; }
+  void await_suspend(std::coroutine_handle<> h) { st->waiter = h; }
+  void await_resume() const noexcept {}
+};
+
+sim::CoTask<int> race_wait(std::shared_ptr<RaceState> st) {
+  co_await SettleAwaiter{st};  // EXPECT: EVO-CORO-002
+  co_return 1;
+}
+
+sim::CoTask<int> race_wait_paren(std::shared_ptr<RaceState> st) {
+  co_await SettleAwaiter(st);  // EXPECT: EVO-CORO-002
+  co_return 2;
+}
+
+}  // namespace corpus

@@ -1,0 +1,37 @@
+// The fixed shape of the PR 2 race_deadline awaiter: the awaiter is a named
+// local holding a plain pointer; a frame-local shared_ptr keeps the state
+// alive for the whole co_await. std::suspend_always/never temporaries are
+// allowlisted (stateless, nothing to double-destroy).
+//
+// EXPECTED-FINDINGS: none
+#include <coroutine>
+#include <memory>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+struct RaceState {
+  bool settled = false;
+  std::coroutine_handle<> waiter;
+};
+
+struct SettleAwaiter {
+  RaceState* st;  // non-owning: the frame-local shared_ptr owns
+  bool await_ready() const noexcept { return st->settled; }
+  void await_suspend(std::coroutine_handle<> h) { st->waiter = h; }
+  void await_resume() const noexcept {}
+};
+
+sim::CoTask<int> race_wait_fixed(std::shared_ptr<RaceState> st) {
+  SettleAwaiter settle{st.get()};
+  co_await settle;
+  co_return 1;
+}
+
+sim::CoTask<void> stateless_awaiters() {
+  co_await std::suspend_always{};
+  co_await std::suspend_never{};
+}
+
+}  // namespace corpus

@@ -1,0 +1,28 @@
+// Binding the result of awaiting a *temporary* task to a reference: the
+// task (and the coroutine frame that materialized the result) is destroyed
+// at the end of the full expression, and GCC's buggy codegen has torn down
+// the materialized result with it. Bind by value.
+//
+// EXPECTED-FINDINGS:
+//   EVO-CORO-002 @ref_bound_result x2
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::CoTask<std::vector<std::string>> fetch_names();
+
+sim::CoTask<int> ref_bound_result() {
+  const auto& names = co_await fetch_names();  // EXPECT: EVO-CORO-002
+  auto&& more = co_await fetch_names();        // EXPECT: EVO-CORO-002
+  co_return static_cast<int>(names.size() + more.size());
+}
+
+sim::CoTask<int> value_bound_result() {
+  auto names = co_await fetch_names();  // by value: safe
+  co_return static_cast<int>(names.size());
+}
+
+}  // namespace corpus

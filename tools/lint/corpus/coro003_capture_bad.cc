@@ -1,0 +1,43 @@
+// A by-reference-capturing coroutine lambda handed straight to a
+// registration/detach sink: the closure (and every captured reference)
+// must outlive calls that happen long after this statement.
+//
+// EXPECTED-FINDINGS:
+//   EVO-CORO-003 @register_by_ref
+//   EVO-CORO-003 @spawn_by_ref
+#include <functional>
+#include <string>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+struct Rpc {
+  void register_handler(int node, std::string method,
+                        std::function<sim::CoTask<int>(int)> h);
+};
+struct Sim {
+  template <typename T>
+  void spawn(T&& task);
+};
+sim::CoTask<void> delay(double seconds);
+
+void register_by_ref(Rpc& rpc, int node) {
+  int hits = 0;
+  rpc.register_handler(node, "echo",
+                       [&](int v) -> sim::CoTask<int> {  // EXPECT: EVO-CORO-003
+                         co_await delay(0.1);
+                         ++hits;
+                         co_return v;
+                       });
+}
+
+void spawn_by_ref(Sim& sim) {
+  int counter = 0;
+  sim.spawn([&counter]() -> sim::CoTask<void> {  // EXPECT: EVO-CORO-003
+    co_await delay(1.0);
+    ++counter;
+  }());
+}
+
+}  // namespace corpus

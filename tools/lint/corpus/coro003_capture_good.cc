@@ -1,0 +1,44 @@
+// Safe capture shapes: value/pointer captures handed to sinks make the
+// lifetime contract explicit; a by-ref lambda that is only *invoked* in the
+// enclosing scope (its CoTask awaited or spawned while the closure lives on
+// the stack, as every bench/test driver does before sim.run()) is not
+// handed to the sink itself.
+//
+// EXPECTED-FINDINGS: none
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+struct Rpc {
+  void register_handler(int node, std::string method,
+                        std::function<sim::CoTask<int>(int)> h);
+};
+struct Sim {
+  template <typename T>
+  void spawn(T&& task);
+};
+sim::CoTask<void> delay(double seconds);
+
+void register_by_value(Rpc& rpc, int node) {
+  auto hits = std::make_shared<int>(0);
+  rpc.register_handler(node, "echo", [hits](int v) -> sim::CoTask<int> {
+    co_await delay(0.1);
+    ++*hits;
+    co_return v;
+  });
+}
+
+void invoke_in_scope(Sim& sim) {
+  int counter = 0;
+  auto worker = [&]() -> sim::CoTask<void> {
+    co_await delay(1.0);
+    ++counter;
+  };
+  sim.spawn(worker());  // the closure outlives: it is a named local here
+}
+
+}  // namespace corpus

@@ -1,0 +1,32 @@
+// A reference parameter read after a suspension point: if the coroutine is
+// raced against a deadline, spawned, or otherwise abandoned by its caller,
+// the referent is gone when the frame resumes. This is why
+// RpcSystem::call_inner takes `method` by value.
+//
+// EXPECTED-FINDINGS:
+//   EVO-CORO-003 @greet_after_delay (name)
+//   EVO-CORO-003 @loop_then_use (sink)
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::CoTask<void> delay(double seconds);
+void log_line(const std::string& s);
+
+sim::CoTask<void> greet_after_delay(const std::string& name) {
+  co_await delay(1.0);
+  log_line(name);  // EXPECT: EVO-CORO-003
+}
+
+sim::CoTask<int> loop_then_use(std::vector<int>& sink, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await delay(0.5);
+  }
+  sink.push_back(rounds);  // EXPECT: EVO-CORO-003
+  co_return rounds;
+}
+
+}  // namespace corpus

@@ -1,0 +1,39 @@
+// Reference parameters that are NOT used across a suspension point are
+// fine: every read happens before the first co_await (or inside the awaited
+// expression itself, which is evaluated before the suspension). Sibling
+// if/else branches are mutually exclusive -- an await in one branch does
+// not put a use in the other branch "after" it.
+//
+// EXPECTED-FINDINGS: none
+#include <string>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::CoTask<void> delay(double seconds);
+sim::CoTask<int> send(std::string method, int target);
+void log_line(const std::string& s);
+
+sim::CoTask<int> consumed_before_suspension(const std::string& method) {
+  log_line(method);
+  co_return co_await send(method, 1);
+}
+
+sim::CoTask<int> sibling_branches(const std::string& method, bool fast) {
+  int r = 0;
+  if (fast) {
+    r = co_await send(method, 1);
+  } else {
+    r = co_await send(method + "/slow", 2);
+  }
+  co_return r;
+}
+
+sim::CoTask<int> by_value_used_after(std::string method) {
+  co_await delay(1.0);
+  log_line(method);  // by value: lives in the coroutine frame
+  co_return 0;
+}
+
+}  // namespace corpus

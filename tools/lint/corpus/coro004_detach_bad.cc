@@ -1,0 +1,31 @@
+// A detached coroutine fed the address of a stack variable: spawn() starts
+// the frame from the event loop; nothing ties its lifetime to the caller's
+// scope, so the pointer dangles as soon as the caller returns.
+//
+// EXPECTED-FINDINGS:
+//   EVO-CORO-004 @fire_and_forget (&counter)
+//   EVO-CORO-004 @pointer_local (&buf)
+#include <vector>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+struct Sim {
+  template <typename T>
+  void spawn(T&& task);
+};
+sim::CoTask<void> writer(int* slot);
+sim::CoTask<void> drain(char** cursor);
+
+void fire_and_forget(Sim& sim) {
+  int counter = 0;
+  sim.spawn(writer(&counter));  // EXPECT: EVO-CORO-004
+}
+
+void pointer_local(Sim& sim, std::vector<char> bytes) {
+  char* buf = bytes.data();
+  sim.spawn(drain(&buf));  // EXPECT: EVO-CORO-004
+}
+
+}  // namespace corpus

@@ -1,0 +1,39 @@
+// Safe spawn shapes: addresses of *references* (the referent is the
+// caller's caller's problem, with a longer lifetime by construction),
+// shared/owning state, and plain values.
+//
+// EXPECTED-FINDINGS: none
+#include <memory>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+struct State {
+  int hits = 0;
+};
+struct Sim {
+  template <typename T>
+  void spawn(T&& task);
+};
+struct Simulation {
+  template <typename T>
+  void spawn(T&& task);
+};
+Sim& simulation();
+sim::CoTask<void> writer(Sim* sim, std::shared_ptr<State> st, int value);
+sim::CoTask<void> pump(Simulation* s);
+
+void spawn_with_explicit_lifetimes(State& long_lived) {
+  auto& sim = simulation();  // reference: &sim is not a stack address
+  auto st = std::make_shared<State>();
+  sim.spawn(writer(&sim, st, 42));
+  sim.spawn(writer(&sim, std::move(st), long_lived.hits));
+}
+
+void spawn_executor_address() {
+  Simulation sim;  // by-value local, but it IS the executor: exempt
+  sim.spawn(pump(&sim));
+}
+
+}  // namespace corpus

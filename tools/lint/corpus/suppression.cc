@@ -1,0 +1,33 @@
+// Suppression syntax: `// evo-lint: suppress(RULE-ID) reason`, on the
+// finding's line or the line directly above it. The reason is part of the
+// contract -- a suppression documents WHY the structural guarantee holds.
+//
+// EXPECTED-FINDINGS:
+//   EVO-CORO-004 @unsuppressed only (the two suppressed sites stay silent)
+#include "sim/task.h"
+
+namespace corpus {
+
+struct Sim {
+  template <typename T>
+  void spawn(T&& task);
+};
+sim::CoTask<void> writer(int* slot);
+
+void suppressed_same_line(Sim& sim) {
+  int counter = 0;
+  sim.spawn(writer(&counter));  // evo-lint: suppress(EVO-CORO-004) drained by sim.run() before return
+}
+
+void suppressed_line_above(Sim& sim) {
+  int counter = 0;
+  // evo-lint: suppress(EVO-CORO-004) drained by sim.run() before return
+  sim.spawn(writer(&counter));
+}
+
+void unsuppressed(Sim& sim) {
+  int counter = 0;
+  sim.spawn(writer(&counter));  // EXPECT: EVO-CORO-004
+}
+
+}  // namespace corpus

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""evostore-lint driver.
+
+Walks the given files/directories (default: src bench tests examples),
+runs the coroutine-lifetime rules from evocoro.py on every .h/.cc/.cpp TU,
+and reports findings not present in the checked-in baseline.
+
+Usage:
+    python3 tools/lint/run.py src bench tests
+    python3 tools/lint/run.py --update-baseline src bench tests
+    python3 tools/lint/run.py --no-baseline tools/lint/corpus/foo_bad.cc
+
+Exit codes: 0 = clean (no findings outside the baseline), 1 = new
+findings, 2 = usage error.
+
+Baseline file (tools/lint/baseline.txt) lines are
+    RULE-ID  FINGERPRINT  PATH  # context/snippet
+and match on (rule, fingerprint); the fingerprint hashes the rule, path,
+enclosing function, and the normalized statement text, so findings keep
+matching across unrelated line drift. Stale entries (present in the
+baseline but no longer reported) are warned about -- regenerate with
+--update-baseline to drop them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import evocoro  # noqa: E402
+
+EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "baseline.txt")
+
+
+def collect_files(paths):
+    out = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+        elif os.path.isdir(p):
+            for root, dirs, files in os.walk(p):
+                dirs.sort()
+                for name in sorted(files):
+                    if name.endswith(EXTENSIONS):
+                        out.append(os.path.join(root, name))
+        else:
+            print(f"evostore-lint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
+def load_baseline(path):
+    entries = {}
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 2:
+                continue
+            rule, fingerprint = parts[0], parts[1]
+            entries[(rule, fingerprint)] = line
+    return entries
+
+
+def write_baseline(path, findings):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# evostore-lint baseline. One line per accepted finding:\n"
+                "#   RULE-ID FINGERPRINT PATH  # context | snippet\n"
+                "# Regenerate: python3 tools/lint/run.py --update-baseline"
+                " src bench tests examples\n"
+                "# Keep this file empty for EVO-CORO-001/002: those are the"
+                " UAF classes that\n"
+                "# shipped twice -- fix them, never baseline them.\n")
+        for fi in findings:
+            f.write(f"{fi.rule} {fi.fingerprint} {fi.path}"
+                    f"  # {fi.context} | {fi.snippet[:80]}\n")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="evostore-lint", add_help=True)
+    ap.add_argument("paths", nargs="*",
+                    default=["src", "bench", "tests", "examples"],
+                    help="files or directories to lint")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="baseline file (default: tools/lint/baseline.txt)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="report every finding, ignoring the baseline")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline to the current findings")
+    ap.add_argument("--rules", default="",
+                    help="comma-separated rule ids to run (default: all)")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(evocoro.RULES.items()):
+            print(f"{rule}  {desc}")
+        return 0
+
+    only = {r.strip() for r in args.rules.split(",") if r.strip()}
+    for r in only:
+        if r not in evocoro.RULES:
+            print(f"evostore-lint: unknown rule {r}", file=sys.stderr)
+            return 2
+
+    files = collect_files(args.paths)
+    findings = []
+    for path in files:
+        rel = os.path.relpath(path)
+        try:
+            findings.extend(evocoro.analyze_file(path, rel))
+        except Exception as e:  # a lexer bug must not take CI down silently
+            print(f"evostore-lint: internal error analyzing {rel}: {e}",
+                  file=sys.stderr)
+            return 2
+    if only:
+        findings = [f for f in findings if f.rule in only]
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"evostore-lint: wrote {len(findings)} entries to "
+              f"{args.baseline}")
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    new, seen_keys = [], set()
+    for fi in findings:
+        key = (fi.rule, fi.fingerprint)
+        seen_keys.add(key)
+        if key not in baseline:
+            new.append(fi)
+
+    stale = [line for key, line in baseline.items() if key not in seen_keys]
+    for line in stale:
+        print(f"evostore-lint: stale baseline entry (fixed or moved): "
+              f"{line}", file=sys.stderr)
+
+    if new:
+        print(f"evostore-lint: {len(new)} new finding(s) "
+              f"({len(findings) - len(new)} baselined) in {len(files)} "
+              f"files:\n")
+        for fi in new:
+            print(fi.render())
+            print(f"    suppress: // evo-lint: suppress({fi.rule}) <reason>"
+                  f"   fingerprint: {fi.fingerprint}\n")
+        return 1
+
+    print(f"evostore-lint: OK -- {len(files)} files, "
+          f"{len(findings)} finding(s), all baselined"
+          if findings else
+          f"evostore-lint: OK -- {len(files)} files, no findings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

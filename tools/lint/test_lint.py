@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Tests for evostore-lint (tools/lint/evocoro.py + run.py).
+
+Corpus-driven: every tools/lint/corpus/*.cc file annotates its expected
+findings inline with `// EXPECT: <RULE-ID>` markers; each marker line must
+produce exactly that finding, and no unmarked line may produce any. The
+corpus includes reductions of the two UAFs that shipped (PR 2 race_deadline
+awaiter, PR 3 RpcSystem::call ternary), so this suite is the regression
+proof that the lint would have caught both.
+
+Run directly (python3 tools/lint/test_lint.py) or via ctest (lint_corpus).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CORPUS = os.path.join(HERE, "corpus")
+sys.path.insert(0, HERE)
+
+import evocoro  # noqa: E402
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*(EVO-CORO-\d{3})")
+
+
+def expected_findings(path):
+    """(rule, line) pairs declared by // EXPECT: markers."""
+    out = set()
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for m in EXPECT_RE.finditer(line):
+                out.add((m.group(1), lineno))
+    return out
+
+
+class CorpusTest(unittest.TestCase):
+    """Each corpus file's findings must match its EXPECT markers exactly."""
+
+    maxDiff = None
+
+    def test_corpus_files_exist(self):
+        files = sorted(f for f in os.listdir(CORPUS) if f.endswith(".cc"))
+        self.assertGreaterEqual(len(files), 10)
+        # The two historical UAV reductions must be present.
+        self.assertIn("coro001_ternary_bad.cc", files)
+        self.assertIn("coro002_awaiter_bad.cc", files)
+
+    def test_corpus(self):
+        for name in sorted(os.listdir(CORPUS)):
+            if not name.endswith(".cc"):
+                continue
+            path = os.path.join(CORPUS, name)
+            with self.subTest(corpus=name):
+                got = {(f.rule, f.line)
+                       for f in evocoro.analyze_file(path, name)}
+                self.assertEqual(expected_findings(path), got)
+
+    def test_pr3_reduction_flags_both_arms(self):
+        """The PR 3 ternary UAF reduction must flag BOTH co_awaits."""
+        findings = evocoro.analyze_file(
+            os.path.join(CORPUS, "coro001_ternary_bad.cc"))
+        ternary = [f for f in findings if f.context == "ternary_await"]
+        self.assertEqual(len(ternary), 2)
+        self.assertTrue(all(f.rule == "EVO-CORO-001" for f in ternary))
+
+    def test_pr2_reduction_flags_temporary_awaiter(self):
+        findings = evocoro.analyze_file(
+            os.path.join(CORPUS, "coro002_awaiter_bad.cc"))
+        self.assertEqual({f.rule for f in findings}, {"EVO-CORO-002"})
+        self.assertEqual({f.context for f in findings},
+                         {"race_wait", "race_wait_paren"})
+
+
+class UnitTest(unittest.TestCase):
+    """Direct analyzer behaviors not tied to a corpus file."""
+
+    def find(self, source):
+        return evocoro.analyze_source(source)
+
+    def test_named_task_await_is_silent(self):
+        src = """
+        sim::CoTask<int> f();
+        sim::CoTask<int> g() {
+          auto t = f();
+          co_return co_await std::move(t);
+        }
+        """
+        self.assertEqual(self.find(src), [])
+
+    def test_await_in_for_condition_after_logical_flags(self):
+        src = """
+        sim::CoTask<bool> more();
+        sim::CoTask<void> loop(bool live) {
+          while (live && co_await more()) {}
+        }
+        """
+        self.assertEqual([f.rule for f in self.find(src)], ["EVO-CORO-001"])
+
+    def test_ref_param_in_sibling_else_branch_is_silent(self):
+        src = """
+        sim::CoTask<int> send(int x);
+        sim::CoTask<int> f(const int& v, bool a) {
+          int r;
+          if (a) { r = co_await send(1); } else { r = co_await send(v); }
+          co_return r;
+        }
+        """
+        self.assertEqual(self.find(src), [])
+
+    def test_ref_param_after_if_branch_flags(self):
+        src = """
+        sim::CoTask<int> send(int x);
+        sim::CoTask<int> f(const int& v, bool a) {
+          if (a) { co_await send(1); }
+          co_return v;
+        }
+        """
+        self.assertEqual([f.rule for f in self.find(src)], ["EVO-CORO-003"])
+
+    def test_suppression_scopes_to_one_line(self):
+        src = """
+        sim::CoTask<void> w(int* p);
+        void f(Sim& sim) {
+          int a = 0;
+          int b = 0;
+          // evo-lint: suppress(EVO-CORO-004) covered by run()
+          sim.spawn(w(&a));
+          sim.spawn(w(&b));
+        }
+        """
+        findings = self.find(src)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("&b", findings[0].snippet.replace(" ", ""))
+
+    def test_fingerprint_stable_across_line_drift(self):
+        src = ("sim::CoTask<void> d();\n"
+               "sim::CoTask<void> f(const int& v) {\n"
+               "  co_await d();\n"
+               "  (void)v;\n"
+               "}\n")
+        a = self.find(src)
+        b = self.find("\n\n// a new comment\n\n" + src)
+        self.assertEqual(len(a), 1)
+        self.assertEqual(len(b), 1)
+        self.assertEqual(a[0].fingerprint, b[0].fingerprint)
+        self.assertNotEqual(a[0].line, b[0].line)
+
+
+class DriverTest(unittest.TestCase):
+    """run.py end-to-end: baseline semantics and exit codes."""
+
+    def run_lint(self, *args):
+        proc = subprocess.run(
+            [sys.executable, os.path.join(HERE, "run.py"), *args],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+    def test_bad_corpus_fails_without_baseline(self):
+        code, out = self.run_lint(
+            "--no-baseline", os.path.join(CORPUS, "coro001_ternary_bad.cc"))
+        self.assertEqual(code, 1)
+        self.assertIn("EVO-CORO-001", out)
+
+    def test_good_corpus_passes(self):
+        code, out = self.run_lint(
+            "--no-baseline", os.path.join(CORPUS, "coro001_ternary_good.cc"))
+        self.assertEqual(code, 0, out)
+
+    def test_baseline_roundtrip(self):
+        bad = os.path.join(CORPUS, "coro003_refparam_bad.cc")
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.txt")
+            code, out = self.run_lint("--baseline", baseline, bad)
+            self.assertEqual(code, 1, out)
+            code, out = self.run_lint("--baseline", baseline,
+                                      "--update-baseline", bad)
+            self.assertEqual(code, 0, out)
+            code, out = self.run_lint("--baseline", baseline, bad)
+            self.assertEqual(code, 0, out)
+            self.assertIn("baselined", out)
+
+    def test_stale_baseline_entry_warns_but_passes(self):
+        good = os.path.join(CORPUS, "coro001_ternary_good.cc")
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.txt")
+            with open(baseline, "w") as f:
+                f.write("EVO-CORO-001 deadbeef0000 gone.cc  # stale\n")
+            code, out = self.run_lint("--baseline", baseline, good)
+            self.assertEqual(code, 0, out)
+            self.assertIn("stale", out)
+
+    def test_unknown_rule_is_usage_error(self):
+        code, _ = self.run_lint("--rules", "EVO-CORO-999",
+                                os.path.join(CORPUS))
+        self.assertEqual(code, 2)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
