@@ -55,7 +55,12 @@ struct FaultOutcome {
 struct NasOutcome {
   nas::NasResult result;
   size_t stored_bytes = 0;        // repository payload at end of run (logical)
-  size_t physical_bytes = 0;      // post-compression payload (EvoStore only)
+  size_t physical_bytes = 0;      // post-compression + post-dedup (EvoStore)
+  // What the same segments would cost without chunk dedup (delta codec
+  // alone); equals physical_bytes when chunking never triggered.
+  size_t pre_dedup_physical_bytes = 0;
+  uint64_t live_chunks = 0;
+  uint64_t dedup_saved_bytes = 0;
   size_t peak_metadata_bytes = 0; // metadata footprint (EvoStore only)
   bool fault_enabled = false;
   FaultOutcome fault;
@@ -70,6 +75,12 @@ struct RunOptions {
   double finetune_update_fraction = 0.25;
   /// Codec EvoStore clients apply to self-owned segments.
   compress::CodecId put_codec = compress::CodecId::kRaw;
+  /// Provider configuration, passed through verbatim (chunk dedup knobs
+  /// live here). The default keeps chunking at real-deployment parameters,
+  /// which is inert at simulation payload scale; harnesses that want the
+  /// dedup path hot set simulation-scale chunker sizes — see
+  /// sim_scale_chunker() and DESIGN.md §13.
+  core::ProviderConfig provider_config;
   /// Fault injection (EvoStore only). 0 disables it entirely — the run is
   /// byte-identical to one without any fault machinery. Non-zero seeds a
   /// deterministic crash/restart schedule on the first
@@ -90,6 +101,14 @@ struct RunOptions {
   /// cluster is destroyed.
   Observability* observability = nullptr;
 };
+
+/// Chunker parameters proportioned to the compact serialized-descriptor
+/// payloads the simulation stores (DESIGN.md §13: the real-deployment
+/// 4/16/64 KiB defaults would never fire on descriptor-sized payloads).
+inline compress::ChunkerConfig sim_scale_chunker() {
+  return compress::ChunkerConfig{/*min_bytes=*/32, /*avg_bytes=*/64,
+                                 /*max_bytes=*/256};
+}
 
 inline NasOutcome run_nas_approach(Approach approach, int gpus,
                                    size_t candidates, uint64_t seed,
@@ -152,13 +171,16 @@ inline NasOutcome run_nas_approach(Approach approach, int gpus,
         ccfg.rpc_timeout = 1.0;
         ccfg.fault_seed = options.fault_seed;
       }
-      core::EvoStoreRepository repo(cluster.rpc, cluster.provider_nodes, {},
-                                    backends, ccfg);
+      core::EvoStoreRepository repo(cluster.rpc, cluster.provider_nodes,
+                                    options.provider_config, backends, ccfg);
       cfg.use_transfer = true;
       out.result = nas::run_nas(cluster.sim, cluster.fabric, space, &repo,
                                 cluster.workers, cluster.controller, cfg);
       out.stored_bytes = repo.stored_payload_bytes();
       out.physical_bytes = repo.stored_physical_bytes();
+      out.pre_dedup_physical_bytes = repo.stored_pre_dedup_physical_bytes();
+      out.live_chunks = repo.total_chunks();
+      out.dedup_saved_bytes = repo.total_dedup_saved_bytes();
       out.peak_metadata_bytes = repo.total_metadata_bytes();
       if (injector != nullptr) {
         out.fault_enabled = true;

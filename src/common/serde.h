@@ -107,6 +107,13 @@ class Deserializer {
     return true;
   }
 
+  /// Inject a corruption failure from a message decoder that detects a
+  /// semantically invalid value the primitive readers cannot see — an
+  /// unknown enum tag, an impossible field combination. Joins the same
+  /// sticky-error path as malformed primitives: every later read returns a
+  /// default and `status()` reports the first failure.
+  void corrupt(std::string msg) { fail(std::move(msg)); }
+
   /// Ok iff decoding succeeded and all input was consumed.
   Status finish() const {
     if (!status_.ok()) return status_;

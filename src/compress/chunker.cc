@@ -1,0 +1,79 @@
+#include "compress/chunker.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/hash.h"
+
+namespace evostore::compress {
+
+namespace {
+
+// 256 pseudo-random gear values, fixed forever: chunk boundaries are part of
+// the stored format (a provider restart must recompute identical digests for
+// identical manifests), so the table is derived from mix64 with a pinned
+// salt rather than anything configuration- or build-dependent.
+std::array<uint64_t, 256> make_gear() {
+  std::array<uint64_t, 256> g{};
+  for (size_t i = 0; i < g.size(); ++i) {
+    g[i] = common::mix64(0x9e3779b97f4a7c15ULL ^ (i * 0xff51afd7ed558ccdULL));
+  }
+  return g;
+}
+
+const std::array<uint64_t, 256>& gear() {
+  static const std::array<uint64_t, 256> table = make_gear();
+  return table;
+}
+
+// Largest power of two <= v (v >= 1).
+uint64_t floor_pow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+const uint64_t* gear_table() { return gear().data(); }
+
+std::vector<size_t> chunk_boundaries(std::span<const std::byte> data,
+                                     const ChunkerConfig& config) {
+  std::vector<size_t> ends;
+  if (data.empty()) return ends;
+  if (!config.valid()) {
+    ends.push_back(data.size());
+    return ends;
+  }
+  // A boundary fires when the rolling hash's `bits` low bits are zero, where
+  // 2^bits is the power-of-two floor of (avg - min): the expected gap after
+  // the minimum is ~avg_bytes overall.
+  uint64_t mask = floor_pow2(std::max<uint64_t>(
+                      1, config.avg_bytes - config.min_bytes)) -
+                  1;
+  const auto& g = gear();
+  size_t start = 0;
+  while (start < data.size()) {
+    size_t remaining = data.size() - start;
+    if (remaining <= config.min_bytes) {
+      // Tail shorter than the minimum: one final chunk.
+      ends.push_back(data.size());
+      break;
+    }
+    size_t limit = std::min(remaining, config.max_bytes);
+    uint64_t h = 0;
+    size_t cut = limit;  // force-split fallback
+    for (size_t i = 0; i < limit; ++i) {
+      h = (h << 1) + g[static_cast<uint8_t>(data[start + i])];
+      if (i + 1 >= config.min_bytes && (h & mask) == 0) {
+        cut = i + 1;
+        break;
+      }
+    }
+    start += cut;
+    ends.push_back(start);
+  }
+  return ends;
+}
+
+}  // namespace evostore::compress

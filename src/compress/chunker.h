@@ -1,0 +1,59 @@
+// Content-defined chunking (Gear/FastCDC-style rolling hash).
+//
+// `chunk_boundaries` splits a byte stream into variable-size chunks whose cut
+// points depend only on the local content: a window of bytes rolls through a
+// Gear hash and a boundary is declared where the hash's low bits are zero.
+// Because the decision is local, inserting or deleting bytes shifts only the
+// chunks touching the edit — everything downstream of the next surviving cut
+// point realigns, which is what makes chunk-level dedup robust against
+// content shifts (the property tests/compress/chunker_test.cc pins down).
+//
+// Parameters follow the FastCDC convention: a hard minimum (no boundary is
+// even considered before `min_bytes`), a target average set by the number of
+// low bits required to be zero (`avg_bytes`, rounded to a power of two), and
+// a hard maximum that force-splits pathological content (e.g. all zeros,
+// which never produces a natural cut).
+//
+// In a real deployment chunks cover tensor content and the useful range is
+// ~4-64 KiB (ZipLLM/TStore territory). In this simulation, segment payloads
+// are compact serialized descriptors standing in for that content, so the
+// benches and the provider's simulation-scale configuration use the same
+// algorithm with proportionally smaller sizes — see DESIGN.md §13.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace evostore::compress {
+
+struct ChunkerConfig {
+  /// No cut point before this many bytes; also the threshold below which a
+  /// payload is not worth chunking at all (callers keep it inline).
+  size_t min_bytes = 4 * 1024;
+  /// Target mean chunk size. Rounded down to a power of two to derive the
+  /// boundary mask; must be >= min_bytes.
+  size_t avg_bytes = 16 * 1024;
+  /// Hard force-split size (content with no natural boundaries).
+  size_t max_bytes = 64 * 1024;
+
+  /// True when the parameters are self-consistent (0 < min <= avg <= max).
+  bool valid() const {
+    return min_bytes > 0 && min_bytes <= avg_bytes && avg_bytes <= max_bytes;
+  }
+};
+
+/// Cut the stream into content-defined chunks. Returns the *end offset* of
+/// every chunk, ascending, with the last entry equal to `data.size()`; an
+/// empty input yields no chunks. Deterministic: the same bytes and config
+/// always produce the same boundaries (the gear table is a fixed constant).
+/// An invalid config degenerates to one whole-stream chunk.
+std::vector<size_t> chunk_boundaries(std::span<const std::byte> data,
+                                     const ChunkerConfig& config);
+
+/// The rolling-hash gear table (exposed for tests; content is a fixed
+/// SplitMix64 expansion, identical in every build).
+const uint64_t* gear_table();
+
+}  // namespace evostore::compress

@@ -2,20 +2,33 @@
 // stored in once a codec has run.
 //
 // Envelope layout (serde):
+//   u8      kind            — versioned envelope kind (EnvelopeKind); an
+//                             unknown kind is a defined decode error, so a
+//                             reader predating a kind fails cleanly instead
+//                             of misparsing the remainder
 //   u8      codec id
 //   varint  logical_bytes   — decoded tensor content size
 //   varint  physical_bytes  — modeled storage/wire cost of the payload
 //   bool    has_base
 //   [key]   base SegmentKey (owner u64 + vertex u32), present iff has_base
-//   bytes   codec payload
+//   kInline:  bytes  codec payload
+//   kChunked: varint chunk count, then per chunk (digest hi u64, digest lo
+//             u64, size u32) — a manifest referencing a provider-side
+//             content-addressed chunk store instead of carrying the payload
 //
 // A DeltaVsAncestor envelope depends on its base segment: the provider holds
 // one reference on `base` for as long as the envelope lives, and releases it
 // (possibly cascading) when the envelope is freed — see handle_modify_refs.
+// A kChunked envelope additionally holds one reference on every manifest
+// chunk in its provider's chunk store (storage/chunk_store.h); only the
+// provider that chunked it can resolve the manifest, so chunked envelopes
+// never travel on the wire — reads reassemble back to kInline first.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "common/hash.h"
 #include "common/serde.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -24,20 +37,52 @@
 
 namespace evostore::compress {
 
+/// Envelope storage representation. New kinds append here; decoders reject
+/// values >= kEnvelopeKindCount with a Corruption error (old readers fail
+/// cleanly on envelopes from the future).
+enum class EnvelopeKind : uint8_t {
+  kInline = 0,   // payload bytes carried in the envelope
+  kChunked = 1,  // payload replaced by a chunk-store manifest
+};
+
+inline constexpr uint8_t kEnvelopeKindCount = 2;
+
+/// One manifest entry of a kChunked envelope: the chunk's content digest and
+/// the number of payload bytes it covers (sizes let reassembly pre-validate
+/// the manifest against logical expectations before touching the store).
+struct ChunkRef {
+  common::Hash128 digest;
+  uint32_t bytes = 0;
+
+  friend bool operator==(const ChunkRef&, const ChunkRef&) = default;
+};
+
 struct CompressedSegment {
+  EnvelopeKind kind = EnvelopeKind::kInline;
   CodecId codec = CodecId::kRaw;
   uint64_t logical_bytes = 0;
   uint64_t physical_bytes = 0;
   bool has_base = false;
-  common::SegmentKey base{};  // meaningful iff has_base
-  common::Bytes payload;
+  common::SegmentKey base{};         // meaningful iff has_base
+  common::Bytes payload;             // kInline only
+  std::vector<ChunkRef> chunks;      // kChunked only
+
+  /// Sum of manifest chunk sizes (the payload size a reassembly yields).
+  uint64_t manifest_bytes() const {
+    uint64_t n = 0;
+    for (const ChunkRef& c : chunks) n += c.bytes;
+    return n;
+  }
 
   friend bool operator==(const CompressedSegment&,
                          const CompressedSegment&) = default;
 
   void serialize(common::Serializer& s) const;
-  /// Total: never crashes on corrupt input (the stream's status reports
-  /// truncation; codec/size validity is checked by decompress_segment).
+  /// Total: never crashes on corrupt input. An unknown envelope kind or an
+  /// out-of-range codec id fails the stream with a Corruption status (the
+  /// defined forward-compatibility error); truncation is reported by the
+  /// stream's own status. Codec/size validity beyond the id range is checked
+  /// by decompress_segment.
   static CompressedSegment deserialize(common::Deserializer& d);
 };
 
@@ -49,7 +94,8 @@ inline constexpr double kCodecFallbackRatio = 0.95;
 /// ancestor's segment content (`base`) and its storage key (`base_key`);
 /// without them, or when the ratio is poor, the result is a Raw envelope.
 /// Stats (when given) are attributed to the *requested* codec, so ratio and
-/// fallback counters describe what the policy achieved.
+/// fallback counters describe what the policy achieved. Always kInline —
+/// chunking is a provider-side storage decision, not an encoding.
 common::Result<CompressedSegment> compress_segment(
     const model::Segment& seg, CodecId preferred,
     const model::Segment* base = nullptr,
@@ -58,6 +104,7 @@ common::Result<CompressedSegment> compress_segment(
 
 /// Decode an envelope. `base` must be the decoded content of `env.base` when
 /// `env.has_base`. Validates the codec id and the declared logical size.
+/// Rejects kChunked envelopes (resolve the manifest to kInline first).
 common::Result<model::Segment> decompress_segment(
     const CompressedSegment& env, const model::Segment* base = nullptr,
     CodecStatsTable* stats = nullptr);

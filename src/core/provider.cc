@@ -30,7 +30,8 @@ Provider::Provider(net::RpcSystem& rpc, common::NodeId node,
       node_(node),
       id_(id),
       config_(config),
-      backend_(backend) {
+      backend_(backend),
+      chunk_store_(backend) {
   if (config_.pool_bandwidth > 0) {
     pool_port_ = flows_->add_port(config_.pool_bandwidth,
                                   "pool" + std::to_string(id));
@@ -42,6 +43,9 @@ Provider::Provider(net::RpcSystem& rpc, common::NodeId node,
   hist_read_bytes_ = metrics_.histogram("read.physical_bytes");
   hist_lcp_seconds_ = metrics_.histogram("lcp.seconds");
   hist_refs_seconds_ = metrics_.histogram("refs.seconds");
+  hist_chunk_bytes_ = metrics_.histogram("chunk.payload_bytes");
+  counter_chunk_hits_ = metrics_.counter("chunk.hits");
+  counter_chunk_misses_ = metrics_.counter("chunk.misses");
   if (obs::MetricsRegistry* shared = rpc.metrics()) {
     shared_put_seconds_ = shared->histogram("provider.put_seconds");
     shared_put_bytes_ = shared->histogram("provider.put_physical_bytes");
@@ -49,6 +53,7 @@ Provider::Provider(net::RpcSystem& rpc, common::NodeId node,
     shared_read_bytes_ = shared->histogram("provider.read_physical_bytes");
     shared_lcp_seconds_ = shared->histogram("provider.lcp_seconds");
     shared_refs_seconds_ = shared->histogram("provider.refs_seconds");
+    shared_chunk_bytes_ = shared->histogram("provider.chunk_payload_bytes");
   }
   if (backend_ != nullptr) restore_from_backend();
   register_handlers(rpc);
@@ -102,18 +107,83 @@ void Provider::persist_segment(const common::SegmentKey& key,
 void Provider::account_stored(const compress::CompressedSegment& env,
                               int dir) {
   size_t idx = compress::codec_index(env.codec);
+  // The per-codec table and physical_bytes_ charge the envelope's full
+  // codec-output size whatever its storage kind — the pre-dedup view that
+  // isolates what compression achieved. Only inline_physical_bytes_ splits
+  // by kind: chunked envelopes' at-rest cost lives in the chunk store.
+  bool is_inline = env.kind == compress::EnvelopeKind::kInline;
   if (dir > 0) {
     payload_bytes_ += env.logical_bytes;
     physical_bytes_ += env.physical_bytes;
+    if (is_inline) inline_physical_bytes_ += env.physical_bytes;
     ++codec_usage_[idx].segments;
     codec_usage_[idx].logical_bytes += env.logical_bytes;
     codec_usage_[idx].physical_bytes += env.physical_bytes;
   } else {
     payload_bytes_ -= env.logical_bytes;
     physical_bytes_ -= env.physical_bytes;
+    if (is_inline) inline_physical_bytes_ -= env.physical_bytes;
     --codec_usage_[idx].segments;
     codec_usage_[idx].logical_bytes -= env.logical_bytes;
     codec_usage_[idx].physical_bytes -= env.physical_bytes;
+  }
+}
+
+// ---- chunk dedup (DESIGN.md §13) ----------------------------------------
+
+void Provider::maybe_chunk(compress::CompressedSegment& env) {
+  if (!config_.chunking || !config_.chunker.valid()) return;
+  if (env.kind != compress::EnvelopeKind::kInline) return;
+  if (env.payload.size() < config_.chunker.min_bytes) return;
+  std::span<const std::byte> payload(env.payload);
+  std::vector<size_t> ends =
+      compress::chunk_boundaries(payload, config_.chunker);
+  const uint64_t physical = env.physical_bytes;
+  const uint64_t total = payload.size();
+  env.chunks.reserve(ends.size());
+  size_t start = 0;
+  for (size_t end : ends) {
+    std::span<const std::byte> piece = payload.subspan(start, end - start);
+    common::Hash128 digest = common::hash128_bytes(piece);
+    // Proportional share of the envelope's modeled physical cost; the
+    // telescoping floors make per-envelope chunk costs sum to exactly
+    // env.physical_bytes, so dedup-free accounting is unchanged.
+    uint64_t cost = physical * end / total - physical * start / total;
+    bool miss = chunk_store_.add_ref(digest, piece, cost);
+    (miss ? counter_chunk_misses_ : counter_chunk_hits_)->add(1);
+    record(hist_chunk_bytes_, shared_chunk_bytes_,
+           static_cast<double>(piece.size()));
+    env.chunks.push_back(
+        compress::ChunkRef{digest, static_cast<uint32_t>(piece.size())});
+    start = end;
+  }
+  env.kind = compress::EnvelopeKind::kChunked;
+  env.payload.clear();
+  env.payload.shrink_to_fit();
+}
+
+common::Result<compress::CompressedSegment> Provider::reassemble(
+    const compress::CompressedSegment& env) const {
+  if (env.kind == compress::EnvelopeKind::kInline) return env;
+  compress::CompressedSegment out = env;
+  out.kind = compress::EnvelopeKind::kInline;
+  out.chunks.clear();
+  out.payload.reserve(env.manifest_bytes());
+  for (const compress::ChunkRef& c : env.chunks) {
+    const storage::ChunkStore::Chunk* chunk = chunk_store_.find(c.digest);
+    if (chunk == nullptr || chunk->bytes.size() != c.bytes) {
+      return Status::Corruption("chunk " + c.digest.hex() +
+                                " missing or resized");
+    }
+    out.payload.insert(out.payload.end(), chunk->bytes.begin(),
+                       chunk->bytes.end());
+  }
+  return out;
+}
+
+void Provider::release_chunks(const compress::CompressedSegment& env) {
+  for (const compress::ChunkRef& c : env.chunks) {
+    chunk_store_.release(c.digest);
   }
 }
 
@@ -158,6 +228,8 @@ void Provider::restart() {
   dedup_order_.clear();
   payload_bytes_ = 0;
   physical_bytes_ = 0;
+  inline_physical_bytes_ = 0;
+  chunk_store_.clear();
   codec_usage_ = {};
   seq_ = 0;
   dedup_seq_ = 0;
@@ -178,7 +250,22 @@ void Provider::restore_from_backend() {
     if (!value.ok()) continue;
     common::Buffer buf = value.value().materialize();
     common::Deserializer d(buf.dense_span());
-    if (key.rfind("tok/", 0) == 0) {
+    if (key.rfind("chunk/", 0) == 0) {
+      // Sorted iteration visits "chunk/" before "meta/" and "seg/", so every
+      // chunk record is installed (at zero references) before any surviving
+      // segment manifest re-references it below.
+      uint64_t seq = std::strtoull(key.c_str() + 6, nullptr, 10);
+      common::Hash128 digest;
+      digest.hi = d.u64();
+      digest.lo = d.u64();
+      uint64_t cost = d.u64();
+      common::Bytes bytes = d.bytes();
+      if (!d.finish().ok()) {
+        EVO_WARN << "restore: corrupt chunk record '" << key << "'";
+        continue;
+      }
+      chunk_store_.install(digest, std::move(bytes), cost, seq);
+    } else if (key.rfind("tok/", 0) == 0) {
       uint64_t token = std::strtoull(key.c_str() + 4, nullptr, 10);
       uint64_t at = d.u64();
       common::Bytes resp = d.bytes();
@@ -217,6 +304,29 @@ void Provider::restore_from_backend() {
         EVO_WARN << "restore: corrupt segment record '" << key << "'";
         continue;
       }
+      if (entry.segment.kind == compress::EnvelopeKind::kChunked) {
+        // Re-take the manifest's chunk references. A manifest pointing at a
+        // chunk whose record did not survive is unreadable: drop it (and its
+        // backend record) rather than restore a segment no read can serve.
+        size_t taken = 0;
+        bool complete = true;
+        for (const compress::ChunkRef& c : entry.segment.chunks) {
+          if (!chunk_store_.add_ref_existing(c.digest)) {
+            complete = false;
+            break;
+          }
+          ++taken;
+        }
+        if (!complete) {
+          for (size_t i = 0; i < taken; ++i) {
+            chunk_store_.release(entry.segment.chunks[i].digest);
+          }
+          EVO_WARN << "restore: segment record '" << key
+                   << "' references missing chunks; dropped";
+          (void)backend_->erase(key);
+          continue;
+        }
+      }
       account_stored(entry.segment, +1);
       segments_.emplace(common::SegmentKey{owner, vertex}, std::move(entry));
     }
@@ -232,6 +342,13 @@ void Provider::restore_from_backend() {
     if (dedup_.emplace(token, std::move(resp)).second) {
       dedup_order_.push_back(token);
     }
+  }
+  // Chunk records whose every referencing manifest died with the crash (the
+  // put persisted its chunks but not yet its segment) are orphans: sweep
+  // them so the store and the backend reflect only reachable chunks.
+  size_t orphans = chunk_store_.drop_unreferenced();
+  if (orphans > 0) {
+    EVO_INFO << "restore: dropped " << orphans << " orphaned chunk(s)";
   }
 }
 
@@ -316,6 +433,12 @@ sim::CoTask<Bytes> Provider::handle_put(Bytes request,
       resp.status = Status::InvalidArgument("unknown codec in put");
       co_return pack(resp);
     }
+    // Manifests are provider-local (they index this provider's chunk
+    // store); a client can only ever submit inline envelopes.
+    if (env.kind != compress::EnvelopeKind::kInline) {
+      resp.status = Status::InvalidArgument("chunked envelope on the wire");
+      co_return pack(resp);
+    }
     physical += env.physical_bytes;
   }
   {
@@ -355,6 +478,9 @@ sim::CoTask<Bytes> Provider::handle_put(Bytes request,
       common::SegmentKey key{req.id, v};
       stats_.logical_bytes_ingested += env.logical_bytes;
       stats_.physical_bytes_ingested += env.physical_bytes;
+      // Storage decision, after the wire cost is paid: large payloads are
+      // split into deduplicated chunks and the envelope keeps a manifest.
+      maybe_chunk(env);
       account_stored(env, +1);
       segments_[key] = SegEntry{std::move(env), 1};
       persist_segment(key, segments_[key]);
@@ -407,8 +533,18 @@ sim::CoTask<Bytes> Provider::handle_read_segments(Bytes request,
       resp.status = Status::NotFound("segment " + key.to_string());
       co_return pack(resp);
     }
-    resp.payload_bytes += it->second.segment.physical_bytes;
-    resp.segments.push_back(it->second.segment);
+    // Chunked envelopes resolve back to inline here: the manifest only
+    // means something to this provider's chunk store, and the wire cost of
+    // a read is the full post-compression payload either way.
+    auto env = reassemble(it->second.segment);
+    if (!env.ok()) {
+      resp.segments.clear();
+      resp.payload_bytes = 0;
+      resp.status = env.status();
+      co_return pack(resp);
+    }
+    resp.payload_bytes += env->physical_bytes;
+    resp.segments.push_back(std::move(*env));
   }
   {
     obs::Span fetch = obs::Tracer::maybe_begin(tracer(), "segment_read",
@@ -463,6 +599,9 @@ sim::CoTask<Bytes> Provider::handle_modify_refs(Bytes request,
         // A freed delta envelope releases the reference it held on its base;
         // the caller decrements that key next (cascading down the chain).
         if (env.has_base) resp.freed_bases.push_back(env.base);
+        // A freed chunked envelope releases its manifest's chunk references;
+        // each chunk dies only when no other segment's manifest names it.
+        release_chunks(env);
         account_stored(env, -1);
         segments_.erase(it);
         erase_segment_record(key);
@@ -573,7 +712,15 @@ sim::CoTask<Bytes> Provider::handle_get_stats(Bytes request) {
   resp.live_models = models_.size();
   resp.live_segments = segments_.size();
   resp.logical_bytes = payload_bytes_;
-  resp.physical_bytes = physical_bytes_;
+  resp.physical_bytes = stored_physical_bytes();
+  resp.pre_dedup_physical_bytes = physical_bytes_;
+  resp.live_chunks = chunk_store_.chunk_count();
+  resp.chunk_physical_bytes = chunk_store_.physical_bytes();
+  const storage::ChunkStoreStats& cs = chunk_store_.stats();
+  resp.chunk_hits = cs.hits;
+  resp.chunk_misses = cs.misses;
+  resp.chunks_freed = cs.freed;
+  resp.dedup_saved_bytes = cs.saved_bytes;
   for (size_t i = 0; i < compress::kCodecCount; ++i) {
     const auto& u = codec_usage_[i];
     if (u.segments == 0) continue;

@@ -18,12 +18,14 @@
 #include <deque>
 #include <unordered_map>
 
+#include "compress/chunker.h"
 #include "compress/codec.h"
 #include "compress/compressed_segment.h"
 #include "core/wire.h"
 #include "net/rpc.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/chunk_store.h"
 #include "storage/kv_store.h"
 
 namespace evostore::core {
@@ -46,6 +48,16 @@ struct ProviderConfig {
   /// (FIFO-evicted). Must exceed the number of tokened requests a client can
   /// have in flight across one retry horizon.
   size_t dedup_window = 1 << 16;
+  /// Content-defined chunk dedup (DESIGN.md §13). When enabled, an incoming
+  /// inline payload of at least `chunker.min_bytes` is split into
+  /// content-defined chunks stored once per provider (deduplicating identical
+  /// content across *unrelated* models, which the delta codec's
+  /// ancestor-only scope cannot reach); the segment keeps a chunk manifest
+  /// and reads reassemble transparently. The default parameters are
+  /// real-deployment chunk sizes, so compact simulation payloads stay inline
+  /// unless a harness opts into simulation-scale parameters.
+  bool chunking = true;
+  compress::ChunkerConfig chunker;
 };
 
 struct ProviderStats {
@@ -90,8 +102,18 @@ class Provider {
   size_t segment_count() const { return segments_.size(); }
   /// Logical payload bytes of all live segments (decoded tensor content).
   size_t stored_payload_bytes() const { return payload_bytes_; }
-  /// Physical payload bytes of all live segments (post-compression).
-  size_t stored_physical_bytes() const { return physical_bytes_; }
+  /// Physical payload bytes actually occupied: post-compression inline
+  /// envelopes plus each deduplicated chunk once. Equal to
+  /// stored_pre_dedup_physical_bytes() when chunking never triggered.
+  size_t stored_physical_bytes() const {
+    return inline_physical_bytes_ + chunk_store_.physical_bytes();
+  }
+  /// Physical bytes the same live segments would occupy without chunk dedup
+  /// (the delta codec alone): the sum of envelope physical_bytes.
+  size_t stored_pre_dedup_physical_bytes() const { return physical_bytes_; }
+  /// The provider's content-addressed chunk store (hit/miss/refcount
+  /// introspection for tests and GC audits).
+  const storage::ChunkStore& chunk_store() const { return chunk_store_; }
   /// Live stored volume broken down by codec.
   const compress::CodecUsageTable& codec_usage() const { return codec_usage_; }
   /// Owner-map + graph metadata footprint estimate.
@@ -148,6 +170,19 @@ class Provider {
   /// Add (`dir` = +1) or remove (-1) one stored envelope from the live
   /// logical/physical byte totals and the per-codec usage table.
   void account_stored(const compress::CompressedSegment& env, int dir);
+
+  // ---- chunk dedup (DESIGN.md §13) ----
+  /// Split an inline envelope's payload into content-defined chunks, add
+  /// one chunk-store reference per chunk, and rewrite the envelope to a
+  /// kChunked manifest. No-op when chunking is disabled or the payload is
+  /// below the chunking threshold.
+  void maybe_chunk(compress::CompressedSegment& env);
+  /// Resolve a kChunked envelope's manifest back to an inline envelope
+  /// (identity for kInline). Corruption if a referenced chunk is gone.
+  common::Result<compress::CompressedSegment> reassemble(
+      const compress::CompressedSegment& env) const;
+  /// Release the chunk references a freed kChunked envelope held.
+  void release_chunks(const compress::CompressedSegment& env);
 
   // ---- persistence (no-ops when backend_ == nullptr) ----
   struct MetaRecord;
@@ -211,6 +246,9 @@ class Provider {
   uint64_t dedup_seq_ = 0;
   size_t payload_bytes_ = 0;   // logical (decoded) bytes of live segments
   size_t physical_bytes_ = 0;  // post-compression bytes of live segments
+                               // (pre-dedup: counts duplicated chunks fully)
+  size_t inline_physical_bytes_ = 0;  // the kInline subset of physical_bytes_
+  storage::ChunkStore chunk_store_;
   compress::CodecUsageTable codec_usage_{};
   ProviderStats stats_;
 
@@ -224,6 +262,11 @@ class Provider {
   obs::Histogram* hist_read_bytes_;
   obs::Histogram* hist_lcp_seconds_;
   obs::Histogram* hist_refs_seconds_;
+  // Chunk dedup observability: payload size of every chunk an ingest
+  // produced, plus hit/miss counters (also exported via StatsResponse).
+  obs::Histogram* hist_chunk_bytes_;
+  obs::Counter* counter_chunk_hits_;
+  obs::Counter* counter_chunk_misses_;
   // Cluster-wide mirrors in the RpcSystem's registry (null when detached).
   obs::Histogram* shared_put_seconds_ = nullptr;
   obs::Histogram* shared_put_bytes_ = nullptr;
@@ -231,6 +274,7 @@ class Provider {
   obs::Histogram* shared_read_bytes_ = nullptr;
   obs::Histogram* shared_lcp_seconds_ = nullptr;
   obs::Histogram* shared_refs_seconds_ = nullptr;
+  obs::Histogram* shared_chunk_bytes_ = nullptr;
 };
 
 }  // namespace evostore::core

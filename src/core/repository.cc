@@ -104,6 +104,24 @@ size_t EvoStoreRepository::stored_physical_bytes() const {
   return n;
 }
 
+size_t EvoStoreRepository::stored_pre_dedup_physical_bytes() const {
+  size_t n = 0;
+  for (const auto& p : providers_) n += p->stored_pre_dedup_physical_bytes();
+  return n;
+}
+
+size_t EvoStoreRepository::total_chunks() const {
+  size_t n = 0;
+  for (const auto& p : providers_) n += p->chunk_store().chunk_count();
+  return n;
+}
+
+uint64_t EvoStoreRepository::total_dedup_saved_bytes() const {
+  uint64_t n = 0;
+  for (const auto& p : providers_) n += p->chunk_store().stats().saved_bytes;
+  return n;
+}
+
 size_t EvoStoreRepository::total_models() const {
   size_t n = 0;
   for (const auto& p : providers_) n += p->model_count();

@@ -78,8 +78,17 @@ class EvoStoreRepository final : public ModelRepository {
   sim::CoTask<Status> retire(NodeId client, ModelId id) override;
   size_t stored_payload_bytes() const override;
 
-  /// Physical (post-compression) payload bytes across all providers.
+  /// Physical payload bytes actually occupied across all providers
+  /// (post-compression, post-chunk-dedup).
   size_t stored_physical_bytes() const;
+  /// Physical bytes the same segments would occupy with the delta codec
+  /// alone (no chunk dedup); the ratio to stored_physical_bytes() is the
+  /// cluster-wide cross-model dedup factor.
+  size_t stored_pre_dedup_physical_bytes() const;
+  /// Live deduplicated chunks across all providers' chunk stores.
+  size_t total_chunks() const;
+  /// Cumulative modeled bytes chunk dedup avoided storing.
+  uint64_t total_dedup_saved_bytes() const;
 
   /// Direct client access (full API incl. provenance queries).
   Client& client(NodeId node);

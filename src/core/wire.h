@@ -418,7 +418,18 @@ struct StatsResponse {
   uint64_t live_models = 0;
   uint64_t live_segments = 0;
   uint64_t logical_bytes = 0;   // decoded payload the provider serves
-  uint64_t physical_bytes = 0;  // post-compression payload it stores
+  uint64_t physical_bytes = 0;  // at-rest payload: inline + deduped chunks
+  // Chunk dedup (DESIGN.md §13). `physical_bytes` above is the deduped
+  // at-rest footprint; `pre_dedup_physical_bytes` is what the same live
+  // segments would cost with the delta codec alone (every chunk charged at
+  // every occurrence). Their ratio is the cross-model dedup factor.
+  uint64_t pre_dedup_physical_bytes = 0;
+  uint64_t live_chunks = 0;
+  uint64_t chunk_physical_bytes = 0;  // the chunk-store share of physical
+  uint64_t chunk_hits = 0;            // cumulative dedup hits on ingest
+  uint64_t chunk_misses = 0;          // cumulative newly stored chunks
+  uint64_t chunks_freed = 0;          // chunks whose last reference died
+  uint64_t dedup_saved_bytes = 0;     // cumulative modeled bytes not stored
   std::vector<CodecUsageEntry> codecs;
   // Per-provider histogram digests (name-ordered: providers export their
   // registry with std::map iteration, so the wire order is deterministic).
@@ -435,6 +446,13 @@ struct StatsResponse {
     s.u64(live_segments);
     s.u64(logical_bytes);
     s.u64(physical_bytes);
+    s.u64(pre_dedup_physical_bytes);
+    s.u64(live_chunks);
+    s.u64(chunk_physical_bytes);
+    s.u64(chunk_hits);
+    s.u64(chunk_misses);
+    s.u64(chunks_freed);
+    s.u64(dedup_saved_bytes);
     s.u64(codecs.size());
     for (const auto& c : codecs) {
       s.u8(static_cast<uint8_t>(c.codec));
@@ -457,6 +475,13 @@ struct StatsResponse {
     r.live_segments = d.u64();
     r.logical_bytes = d.u64();
     r.physical_bytes = d.u64();
+    r.pre_dedup_physical_bytes = d.u64();
+    r.live_chunks = d.u64();
+    r.chunk_physical_bytes = d.u64();
+    r.chunk_hits = d.u64();
+    r.chunk_misses = d.u64();
+    r.chunks_freed = d.u64();
+    r.dedup_saved_bytes = d.u64();
     uint64_t n = d.u64();
     if (!d.check_count(n, 4)) return r;
     r.codecs.reserve(n);
@@ -499,6 +524,13 @@ inline StatsResponse merge_stats(const std::vector<StatsResponse>& parts) {
     total.live_segments += p.live_segments;
     total.logical_bytes += p.logical_bytes;
     total.physical_bytes += p.physical_bytes;
+    total.pre_dedup_physical_bytes += p.pre_dedup_physical_bytes;
+    total.live_chunks += p.live_chunks;
+    total.chunk_physical_bytes += p.chunk_physical_bytes;
+    total.chunk_hits += p.chunk_hits;
+    total.chunk_misses += p.chunk_misses;
+    total.chunks_freed += p.chunks_freed;
+    total.dedup_saved_bytes += p.dedup_saved_bytes;
     for (const CodecUsageEntry& c : p.codecs) {
       auto it = std::find_if(codecs.begin(), codecs.end(),
                              [&](const auto& e) { return e.codec == c.codec; });

@@ -1,0 +1,100 @@
+// Chunker fuzz: for randomized inputs and configs, splitting at the reported
+// boundaries and concatenating the pieces must reproduce the input exactly,
+// and every non-final piece must respect the [min, max] contract. This is
+// the property the read path's reassembly depends on.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/rng.h"
+#include "compress/chunker.h"
+
+namespace evostore::compress {
+namespace {
+
+using common::Bytes;
+
+// Mix of byte distributions that stress the rolling hash differently:
+// uniform random, long constant runs (force-splits), and a small alphabet
+// (frequent hash collisions).
+Bytes fuzz_bytes(size_t n, common::SplitMix64& rng) {
+  Bytes out(n);
+  size_t i = 0;
+  while (i < n) {
+    uint64_t mode = rng.next() % 3;
+    size_t run = 1 + static_cast<size_t>(rng.next() % 512);
+    std::byte constant = static_cast<std::byte>(rng.next() & 0xff);
+    for (size_t j = 0; j < run && i < n; ++j, ++i) {
+      switch (mode) {
+        case 0: out[i] = static_cast<std::byte>(rng.next() & 0xff); break;
+        case 1: out[i] = constant; break;
+        default: out[i] = static_cast<std::byte>(rng.next() & 0x03); break;
+      }
+    }
+  }
+  return out;
+}
+
+ChunkerConfig fuzz_config(common::SplitMix64& rng) {
+  ChunkerConfig cfg;
+  cfg.min_bytes = 8 + static_cast<size_t>(rng.next() % 64);
+  cfg.avg_bytes = cfg.min_bytes + 8 + static_cast<size_t>(rng.next() % 128);
+  cfg.max_bytes = cfg.avg_bytes + 1 + static_cast<size_t>(rng.next() % 512);
+  return cfg;
+}
+
+TEST(ChunkerFuzz, ReassemblyIsIdentityAcrossRandomInputsAndConfigs) {
+  common::SplitMix64 rng(0xfeedULL);
+  for (int iter = 0; iter < 200; ++iter) {
+    size_t n = static_cast<size_t>(rng.next() % 20'000);
+    Bytes data = fuzz_bytes(n, rng);
+    ChunkerConfig cfg = fuzz_config(rng);
+    ASSERT_TRUE(cfg.valid());
+
+    auto ends = chunk_boundaries(data, cfg);
+    if (data.empty()) {
+      EXPECT_TRUE(ends.empty());
+      continue;
+    }
+    ASSERT_FALSE(ends.empty());
+    ASSERT_EQ(ends.back(), data.size());
+
+    Bytes rebuilt;
+    rebuilt.reserve(data.size());
+    size_t start = 0;
+    for (size_t i = 0; i < ends.size(); ++i) {
+      size_t end = ends[i];
+      ASSERT_GT(end, start) << "iter " << iter << " empty chunk at " << i;
+      ASSERT_LE(end - start, cfg.max_bytes)
+          << "iter " << iter << " oversized chunk at " << i;
+      if (i + 1 < ends.size()) {
+        ASSERT_GE(end - start, cfg.min_bytes)
+            << "iter " << iter << " undersized non-final chunk at " << i;
+      }
+      auto piece = std::span<const std::byte>(data).subspan(start, end - start);
+      rebuilt.insert(rebuilt.end(), piece.begin(), piece.end());
+      start = end;
+    }
+    ASSERT_EQ(rebuilt, data) << "iter " << iter << " reassembly mismatch";
+  }
+}
+
+TEST(ChunkerFuzz, DegenerateConfigsStillCoverTheInput) {
+  common::SplitMix64 rng(0xbeefULL);
+  Bytes data = fuzz_bytes(4096, rng);
+  // Invalid orderings and zeros must degrade to one whole-stream chunk, not
+  // crash or drop bytes.
+  for (ChunkerConfig cfg : {ChunkerConfig{0, 0, 0}, ChunkerConfig{64, 32, 16},
+                            ChunkerConfig{100, 100, 100}}) {
+    if (cfg.valid()) continue;
+    auto ends = chunk_boundaries(data, cfg);
+    ASSERT_EQ(ends.size(), 1u);
+    EXPECT_EQ(ends[0], data.size());
+  }
+}
+
+}  // namespace
+}  // namespace evostore::compress

@@ -1,0 +1,151 @@
+// ChunkStore: refcount lifecycle, hit/miss accounting, backend write-through,
+// and the restore protocol (install -> re-reference -> drop orphans).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/chunk_store.h"
+#include "storage/mem_kv.h"
+
+namespace evostore::storage {
+namespace {
+
+using common::Bytes;
+using common::Hash128;
+
+Bytes bytes_of(const std::string& s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return Bytes(p, p + s.size());
+}
+
+Hash128 digest_of(const Bytes& b) { return common::hash128_bytes(b); }
+
+TEST(ChunkStore, FirstAddIsMissSecondIsHit) {
+  ChunkStore store;
+  Bytes content = bytes_of("hello chunk");
+  Hash128 d = digest_of(content);
+
+  EXPECT_TRUE(store.add_ref(d, content, 100));
+  EXPECT_FALSE(store.add_ref(d, content, 100));
+  EXPECT_EQ(store.chunk_count(), 1u);
+  EXPECT_EQ(store.physical_bytes(), 100u);
+  EXPECT_EQ(store.payload_bytes(), content.size());
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().saved_bytes, 100u);
+  ASSERT_NE(store.find(d), nullptr);
+  EXPECT_EQ(store.find(d)->refs, 2);
+}
+
+TEST(ChunkStore, ReleaseFreesOnlyAtZero) {
+  ChunkStore store;
+  Bytes content = bytes_of("refcounted");
+  Hash128 d = digest_of(content);
+  store.add_ref(d, content, 64);
+  store.add_ref(d, content, 64);
+
+  EXPECT_EQ(store.release(d), 0u);  // 2 -> 1: still alive
+  EXPECT_EQ(store.chunk_count(), 1u);
+  EXPECT_EQ(store.release(d), 64u);  // 1 -> 0: freed, cost returned
+  EXPECT_EQ(store.chunk_count(), 0u);
+  EXPECT_EQ(store.physical_bytes(), 0u);
+  EXPECT_EQ(store.stats().freed, 1u);
+  EXPECT_EQ(store.find(d), nullptr);
+  EXPECT_EQ(store.release(d), 0u);  // unknown digest: no-op
+}
+
+TEST(ChunkStore, HitKeepsOriginalCostButCountsCallerSavings) {
+  ChunkStore store;
+  Bytes content = bytes_of("asymmetric costs");
+  Hash128 d = digest_of(content);
+  store.add_ref(d, content, 100);
+  // A later referent may model a different share; the stored chunk keeps its
+  // first cost, the saving is priced at what the caller avoided.
+  store.add_ref(d, content, 40);
+  EXPECT_EQ(store.physical_bytes(), 100u);
+  EXPECT_EQ(store.stats().saved_bytes, 40u);
+  EXPECT_EQ(store.release(d), 0u);
+  EXPECT_EQ(store.release(d), 100u);
+}
+
+TEST(ChunkStore, WritesThroughAndErasesBackendRecords) {
+  MemKv kv;
+  ChunkStore store(&kv);
+  Bytes a = bytes_of("chunk a"), b = bytes_of("chunk b");
+  store.add_ref(digest_of(a), a, 10);
+  store.add_ref(digest_of(b), b, 20);
+  EXPECT_EQ(kv.size(), 2u);
+  // A dedup hit writes nothing new.
+  store.add_ref(digest_of(a), a, 10);
+  EXPECT_EQ(kv.size(), 2u);
+
+  store.release(digest_of(b));
+  EXPECT_EQ(kv.size(), 1u);  // b freed -> record erased
+  store.release(digest_of(a));
+  store.release(digest_of(a));
+  EXPECT_EQ(kv.size(), 0u);
+}
+
+TEST(ChunkStore, RecordKeysSortBeforeOtherNamespaces) {
+  // Provider::restore_from_backend iterates keys sorted and REQUIRES chunk
+  // records to precede "meta/" and "seg/" records.
+  EXPECT_LT(ChunkStore::record_key(999), std::string("meta/"));
+  EXPECT_LT(ChunkStore::record_key(1), std::string("seg/"));
+}
+
+TEST(ChunkStore, RestoreProtocolRebuildsRefsAndDropsOrphans) {
+  MemKv kv;
+  Bytes a = bytes_of("survives"), b = bytes_of("orphaned");
+  Hash128 da = digest_of(a), db = digest_of(b);
+  {
+    ChunkStore store(&kv);
+    store.add_ref(da, a, 10);
+    store.add_ref(db, b, 20);
+  }
+  // Simulated restart: install both records, re-reference only `a` (as a
+  // surviving segment manifest would), then sweep.
+  ChunkStore restored(&kv);
+  restored.install(da, a, 10, 1);
+  restored.install(db, b, 20, 2);
+  EXPECT_EQ(restored.chunk_count(), 2u);
+  EXPECT_FALSE(restored.add_ref_existing(digest_of(bytes_of("missing"))));
+  EXPECT_TRUE(restored.add_ref_existing(da));
+  EXPECT_EQ(restored.drop_unreferenced(), 1u);
+  EXPECT_EQ(restored.chunk_count(), 1u);
+  EXPECT_NE(restored.find(da), nullptr);
+  EXPECT_EQ(restored.find(db), nullptr);
+  EXPECT_EQ(restored.physical_bytes(), 10u);
+  // The orphan's backend record went with it; the survivor's remains.
+  EXPECT_EQ(kv.size(), 1u);
+  // record_seq continues past the highest installed id, so new chunks can
+  // never clobber surviving records.
+  EXPECT_GE(restored.record_seq(), 2u);
+}
+
+TEST(ChunkStore, InstallRejectsDuplicateDigest) {
+  ChunkStore store;
+  Bytes a = bytes_of("dup");
+  EXPECT_TRUE(store.install(digest_of(a), a, 5, 1));
+  EXPECT_FALSE(store.install(digest_of(a), a, 5, 2));
+  EXPECT_EQ(store.chunk_count(), 1u);
+  EXPECT_EQ(store.physical_bytes(), 5u);
+}
+
+TEST(ChunkStore, ClearDropsLiveStateKeepsCumulativeStats) {
+  ChunkStore store;
+  Bytes a = bytes_of("volatile");
+  store.add_ref(digest_of(a), a, 7);
+  store.add_ref(digest_of(a), a, 7);
+  store.clear();
+  EXPECT_EQ(store.chunk_count(), 0u);
+  EXPECT_EQ(store.physical_bytes(), 0u);
+  EXPECT_EQ(store.payload_bytes(), 0u);
+  // Cumulative counters model external monitoring: they survive restarts.
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(store.stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace evostore::storage

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs.
+
+Verifies that every relative link in the given markdown files resolves:
+  - a path link points at an existing file or directory,
+  - a `#fragment` (in-file or cross-file) matches a heading in the target,
+    using GitHub's heading-to-anchor slug rules.
+
+External links (http/https/mailto) are not fetched — CI must not depend on
+the network. Exits non-zero listing every broken link.
+
+Usage: check_links.py [--root DIR] [file.md ...]
+With no files, checks every *.md tracked under the root (skipping build and
+third-party directories).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Inline links [text](target). Images ![alt](target) share the syntax and are
+# checked the same way. Reference-style links are not used in this repo.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", "third_party", ".github"}
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, drop punctuation,
+    spaces to hyphens."""
+    # Inline code/emphasis markers and link syntax don't contribute.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "")
+    text = text.strip().lower()
+    out = []
+    for ch in text:
+        if ch.isalnum() or ch == "_":  # GitHub keeps underscores
+            out.append(ch)
+        elif ch in (" ", "-"):
+            out.append("-")
+    return "".join(out)
+
+
+def anchors_of(path: str) -> set:
+    """All heading anchors of a markdown file (with GitHub's -N dedup)."""
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def links_of(path: str):
+    """Yield (line_number, target) for every inline link, skipping code."""
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            # Inline code spans may hold example links; drop them.
+            stripped = re.sub(r"`[^`]*`", "", line)
+            for m in LINK_RE.finditer(stripped):
+                yield lineno, m.group(1)
+
+
+def check_file(md: str, root: str, anchor_cache: dict) -> list:
+    errors = []
+    for lineno, target in links_of(md):
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md), path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{md}:{lineno}: broken path link '{target}'")
+                continue
+        else:
+            resolved = md
+        if fragment:
+            if not resolved.endswith(".md") or os.path.isdir(resolved):
+                continue  # fragments into non-markdown targets: not checked
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = anchors_of(resolved)
+            if fragment.lower() not in anchor_cache[resolved]:
+                errors.append(
+                    f"{md}:{lineno}: broken anchor '#{fragment}' "
+                    f"(no such heading in {os.path.relpath(resolved, root)})")
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("files", nargs="*", help="markdown files (default: all)")
+    args = ap.parse_args()
+    root = os.path.abspath(args.root)
+
+    files = [os.path.abspath(f) for f in args.files]
+    if not files:
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+            files.extend(
+                os.path.join(dirpath, f) for f in filenames
+                if f.endswith(".md"))
+        files.sort()
+
+    anchor_cache = {}
+    errors = []
+    for md in files:
+        errors.extend(check_file(md, root, anchor_cache))
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
