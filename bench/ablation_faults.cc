@@ -19,6 +19,9 @@
 // Flags: --gpus N        worker count            (default 128)
 //        --candidates N  NAS candidate budget    (default 400)
 //        --seed S        NAS + fault seed        (default 42)
+//        --cache-mb N    per-client segment cache (0 = off). The cache must
+//                        not change completion, the drain-to-zero end state,
+//                        or --verify reproducibility — only wire traffic.
 //        --verify        run every fault config TWICE and compare digests
 //                        (bit-identical reproducibility check)
 //        --metrics-out FILE  JSON metrics snapshot over all fault configs
@@ -79,6 +82,7 @@ int main(int argc, char** argv) {
   size_t candidates = static_cast<size_t>(
       bench::arg_int(argc, argv, "--candidates", 400));
   uint64_t seed = static_cast<uint64_t>(bench::arg_int(argc, argv, "--seed", 42));
+  int cache_mb = bench::arg_int(argc, argv, "--cache-mb", 0);
   bool verify = bench::arg_flag(argc, argv, "--verify");
   auto obs = bench::Observability::from_args(argc, argv);
   if (verify && !obs.trace_path.empty()) {
@@ -91,13 +95,18 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Fault ablation",
       "NAS completion under provider crashes, drops, retries, recovery");
-  std::printf("%d GPUs, %zu candidates, seed %" PRIu64 "%s\n\n", gpus,
-              candidates, seed,
+  std::printf("%d GPUs, %zu candidates, seed %" PRIu64 ", cache %d MB%s\n\n",
+              gpus, candidates, seed, cache_mb,
               verify ? " — VERIFY MODE (each config run twice)" : "");
 
+  cache::CacheConfig cache_cfg;
+  cache_cfg.capacity_bytes = static_cast<uint64_t>(cache_mb) << 20;
+
   // Fault-free reference: same workload, no injector at all.
+  bench::RunOptions baseline_opts;
+  baseline_opts.cache = cache_cfg;
   auto baseline = bench::run_nas_approach(Approach::kEvoStore, gpus,
-                                          candidates, seed, bench::RunOptions{});
+                                          candidates, seed, baseline_opts);
   std::printf("fault-free baseline: makespan %.1fs, %zu tasks, %zu retired\n\n",
               baseline.result.makespan, baseline.result.traces.size(),
               baseline.result.retired);
@@ -115,6 +124,7 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   for (const Row& row : rows) {
     bench::RunOptions opts;
+    opts.cache = cache_cfg;
     opts.fault_seed = seed;
     opts.fault_mtbf = row.mtbf;
     opts.fault_mttr = row.mttr;

@@ -16,6 +16,13 @@ Status combine(Status acc, const Status& next) {
   return acc.ok() ? next : acc;
 }
 
+template <typename Response>
+common::Bytes pack(const Response& response) {
+  common::Serializer s;
+  response.serialize(s);
+  return std::move(s).take();
+}
+
 }  // namespace
 
 Client::Client(net::RpcSystem& rpc, NodeId self, uint32_t client_id,
@@ -34,6 +41,19 @@ Client::Client(net::RpcSystem& rpc, NodeId self, uint32_t client_id,
     hist_put_seconds_ = shared->histogram("client.put_model_seconds");
     hist_lcp_seconds_ = shared->histogram("client.lcp_query_seconds");
     hist_read_seconds_ = shared->histogram("client.read_segments_seconds");
+  }
+  if (config_.cache.capacity_bytes > 0) {
+    cache_ = std::make_unique<cache::SegmentCache>(config_.cache);
+    if (obs::MetricsRegistry* shared = rpc.metrics()) {
+      // All clients bind the same prefix on purpose: the registry counters
+      // aggregate cluster-wide, which is what --metrics-out wants.
+      cache_->bind_metrics(shared, "client.cache");
+    }
+    if (config_.cache.serve_peers) {
+      rpc.register_handler(self_, kPeerRead, [this](common::Bytes b) {
+        return handle_peer_read(std::move(b));
+      });
+    }
   }
 }
 
@@ -174,7 +194,7 @@ sim::CoTask<Status> Client::put_one(NodeId home, wire::PutModelRequest req,
 sim::CoTask<Status> Client::modify_refs(
     std::vector<common::SegmentKey> keys, bool increment,
     uint32_t* missing_out, std::vector<common::SegmentKey>* applied_out,
-    obs::TraceContext parent) {
+    obs::TraceContext parent, uint64_t pin_epoch, bool pin_consume) {
   auto& sim = rpc_->simulation();
   Status status;
   uint32_t missing = 0;
@@ -200,6 +220,13 @@ sim::CoTask<Status> Client::modify_refs(
       // retries, so a replayed delivery is deduplicated provider-side and
       // the refcounts move exactly once.
       req.token = next_token();
+      // Pin-ledger bookkeeping describes the caller's keys only; the
+      // cascaded base releases of later rounds are plain delta-dependency
+      // references, never pins.
+      if (first_round) {
+        req.pin_epoch = pin_epoch;
+        req.pin_consume = pin_consume;
+      }
       order.push_back(group_keys);
       req.keys = std::move(group_keys);
       futures.push_back(
@@ -292,6 +319,7 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
   wire::PutModelRequest req;
   req.id = m.id();
   req.ancestor = tc != nullptr ? tc->ancestor : ModelId::invalid();
+  req.token = next_token();
   req.quality = m.quality();
   req.graph = m.graph();
   req.owners = owners;
@@ -299,8 +327,11 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
   // Pinned fine-tuned matches whose envelope kept no base dependency must
   // release their pin (nothing references the ancestor segment anymore);
   // conversely, un-pinned envelopes that DID keep a base need a +1 on it.
+  // Pinned envelopes that kept a base consume the pin in place (it becomes
+  // the delta-base reference) — only the ledger entry goes.
   std::vector<common::SegmentKey> release_keys;
   std::vector<common::SegmentKey> extra_ref_keys;
+  std::vector<common::SegmentKey> consume_base_keys;
   obs::Span encode =
       obs::Tracer::maybe_begin(tracer(), "encode", self_, span.context());
   for (VertexId v : owners.vertices_owned_by(m.id())) {
@@ -317,7 +348,11 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
     payload += env->physical_bytes;
     if (it != bases.end()) {
       if (env->has_base) {
-        if (!tc->pinned) extra_ref_keys.push_back(it->second.key);
+        if (!tc->pinned) {
+          extra_ref_keys.push_back(it->second.key);
+        } else {
+          consume_base_keys.push_back(it->second.key);
+        }
       } else if (tc->pinned) {
         release_keys.push_back(it->second.key);
       }
@@ -347,12 +382,34 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
     keys.insert(keys.end(), extra_ref_keys.begin(), extra_ref_keys.end());
     ref_status = co_await modify_refs(std::move(keys), /*increment=*/true,
                                       nullptr, nullptr, span.context());
+  } else {
+    // The pins prepare_transfer recorded just became this model's permanent
+    // references (inherited entries) or its envelopes' delta-base
+    // references (consume_base_keys) — the refcounts already hold, so only
+    // the pin-ledger entries are removed. Without this, a later client
+    // incarnation would reap the "pins" and free segments the stored model
+    // still references.
+    std::vector<common::SegmentKey> consume_keys;
+    for (const auto& entry : owners.entries()) {
+      if (entry.owner == m.id()) continue;
+      consume_keys.push_back(entry);
+    }
+    consume_keys.insert(consume_keys.end(), consume_base_keys.begin(),
+                        consume_base_keys.end());
+    if (!consume_keys.empty()) {
+      ref_status = co_await modify_refs(
+          std::move(consume_keys), /*increment=*/false, nullptr, nullptr,
+          span.context(), config_.token_epoch, /*pin_consume=*/true);
+    }
   }
   if (!release_keys.empty()) {
+    // release_keys only exist on pinned transfers: the decrement releases
+    // the pinned reference AND its ledger entry.
     ref_status = combine(
         ref_status,
         co_await modify_refs(std::move(release_keys), /*increment=*/false,
-                             nullptr, nullptr, span.context()));
+                             nullptr, nullptr, span.context(),
+                             config_.token_epoch));
   }
   Status put_status = co_await put_future;
   Status final_status = combine(put_status, ref_status);
@@ -424,35 +481,227 @@ sim::CoTask<Result<wire::ReadSegmentsResponse>> Client::read_one(
   }
 }
 
+sim::CoTask<Result<wire::PeerReadResponse>> Client::peer_one(
+    NodeId to, wire::PeerReadRequest req, obs::TraceContext parent) {
+  obs::Span span =
+      obs::Tracer::maybe_begin(tracer(), "peer_read", self_, parent);
+  span.tag_u64("peer_node", to);
+  span.tag_u64("keys", req.keys.size());
+  auto r = co_await net::typed_call<wire::PeerReadResponse>(
+      rpc_, self_, to, kPeerRead, req,
+      net::CallOptions{config_.rpc_timeout, span.context()});
+  Status st = r.ok() ? r->status : r.status();
+  if (r.ok() && st.ok() && r->payload_bytes > 0) {
+    st = co_await rpc_->bulk(to, self_,
+                             common::Buffer::synthetic(r->payload_bytes, 0));
+  }
+  if (!st.ok()) {
+    span.tag("outcome", st.to_string());
+    co_return st;
+  }
+  span.tag("outcome", "ok");
+  span.tag_u64("payload_bytes", r->payload_bytes);
+  co_return std::move(r).value();
+}
+
+sim::CoTask<common::Bytes> Client::handle_peer_read(common::Bytes request) {
+  common::Deserializer d(request);
+  auto req = wire::PeerReadRequest::deserialize(d);
+  wire::PeerReadResponse resp;
+  if (!d.ok()) {
+    resp.status = d.status();
+    co_return pack(resp);
+  }
+  resp.found.reserve(req.keys.size());
+  for (size_t i = 0; i < req.keys.size(); ++i) {
+    const uint64_t want = i < req.versions.size() ? req.versions[i] : 0;
+    const cache::SegmentCache::Entry* e =
+        cache_ != nullptr ? cache_->lookup(req.keys[i]) : nullptr;
+    if (e != nullptr && want != 0 && e->version == want) {
+      resp.found.push_back(1);
+      resp.payload_bytes += e->envelope.physical_bytes;
+      resp.segments.push_back(e->envelope);
+    } else {
+      resp.found.push_back(0);
+    }
+  }
+  resp.status = Status::Ok();
+  co_return pack(resp);
+}
+
 sim::CoTask<Status> Client::fetch_envelopes(
     const std::vector<common::SegmentKey>& keys,
     std::unordered_map<common::SegmentKey, CompressedSegment>* out,
     obs::TraceContext parent) {
-  // Group keys by the provider hosting them, skipping duplicates and keys
-  // already fetched.
+  const double now = rpc_->simulation().now();
+  // Phase 1 — serve trusted cache entries locally, group the rest by the
+  // provider hosting them (skipping duplicates and keys already fetched).
+  // A cached-but-untrusted entry travels as its version: the provider can
+  // then answer kNotModified instead of shipping payload.
   std::map<common::ProviderId, wire::ReadSegmentsRequest> groups;
   std::unordered_set<common::SegmentKey> queued;
   for (const auto& key : keys) {
     if (out->count(key) != 0 || !queued.insert(key).second) continue;
-    groups[home_of(key.owner)].keys.push_back(key);
+    const cache::SegmentCache::Entry* e =
+        cache_ != nullptr ? cache_->lookup(key) : nullptr;
+    if (e != nullptr && cache_->trusted(*e, now)) {
+      cache_->count_hit(e->envelope.physical_bytes);
+      out->emplace(key, e->envelope);
+      continue;
+    }
+    auto& req = groups[home_of(key.owner)];
+    req.keys.push_back(key);
+    if (cache_ != nullptr) {
+      req.cached_versions.push_back(e != nullptr ? e->version : 0);
+    }
   }
   auto& sim = rpc_->simulation();
   std::vector<std::vector<common::SegmentKey>> order;
   std::vector<sim::Future<Result<wire::ReadSegmentsResponse>>> futures;
   for (auto& [provider, req] : groups) {
+    if (cache_ != nullptr) {
+      req.reader_node = self_;
+      req.caching = true;
+      req.accept_redirect = config_.cache.follow_redirects;
+    }
     order.push_back(req.keys);
     futures.push_back(
         sim.spawn(read_one(provider_node(provider), std::move(req), parent)));
   }
+  // Phase 2 — per-key dispositions: fresh envelopes fill the cache,
+  // NotModified serves the (revalidated) cached copy, redirects queue a
+  // peer fetch. Keys whose cached entry vanished mid-flight (evicted, or a
+  // version mismatch) fall back to a plain provider re-fetch.
+  std::map<NodeId, wire::PeerReadRequest> redirects;
+  std::vector<common::SegmentKey> fallback;
   for (size_t i = 0; i < futures.size(); ++i) {
     auto r = co_await futures[i];
-    if (!r.ok()) co_return r.status();
-    auto& resp = r.value();
-    if (resp.segments.size() != order[i].size()) {
-      co_return Status::Internal("segment count mismatch in read fan-out");
+    if (!r.ok()) {
+      // A group-level failure (NotFound after a retire race, unreachable
+      // provider): drop the group's cache entries — they may be the reason
+      // the answer is gone — and propagate, exactly as before.
+      if (cache_ != nullptr) {
+        for (const auto& key : order[i]) cache_->invalidate(key);
+      }
+      co_return r.status();
     }
+    auto& resp = r.value();
+    if (resp.info.size() != order[i].size()) {
+      co_return Status::Internal("info count mismatch in read fan-out");
+    }
+    size_t fresh_idx = 0;
     for (size_t j = 0; j < order[i].size(); ++j) {
-      out->emplace(order[i][j], std::move(resp.segments[j]));
+      const common::SegmentKey& key = order[i][j];
+      const wire::ReadEntryInfo& info = resp.info[j];
+      switch (info.state) {
+        case wire::ReadEntryState::kFresh: {
+          if (fresh_idx >= resp.segments.size()) {
+            co_return Status::Internal("segment count mismatch in read fan-out");
+          }
+          CompressedSegment env = std::move(resp.segments[fresh_idx++]);
+          if (cache_ != nullptr) {
+            cache_->count_miss();
+            cache_->insert(key, env, info.version, sim.now());
+          }
+          out->emplace(key, std::move(env));
+          break;
+        }
+        case wire::ReadEntryState::kNotModified: {
+          const cache::SegmentCache::Entry* e =
+              cache_ != nullptr ? cache_->lookup(key) : nullptr;
+          if (e != nullptr && cache_->revalidate(key, info.version, sim.now())) {
+            cache_->count_revalidation(e->envelope.physical_bytes);
+            out->emplace(key, e->envelope);
+          } else {
+            fallback.push_back(key);
+          }
+          break;
+        }
+        case wire::ReadEntryState::kRedirect: {
+          auto& preq = redirects[info.redirect];
+          preq.keys.push_back(key);
+          preq.versions.push_back(info.version);
+          break;
+        }
+      }
+    }
+  }
+  // Phase 3 — chase redirect hints to peer caches. The hint is best-effort:
+  // a crashed, cold, or version-skewed peer demotes the key to the provider
+  // fallback. A peer-served envelope is provider-validated transitively (the
+  // redirect named its exact current version and the peer matched it).
+  if (!redirects.empty()) {
+    std::vector<wire::PeerReadRequest> peer_reqs;
+    std::vector<sim::Future<Result<wire::PeerReadResponse>>> peer_futures;
+    for (auto& [peer, preq] : redirects) {
+      peer_reqs.push_back(preq);
+      peer_futures.push_back(sim.spawn(peer_one(peer, std::move(preq), parent)));
+    }
+    for (size_t i = 0; i < peer_futures.size(); ++i) {
+      auto r = co_await peer_futures[i];
+      const wire::PeerReadRequest& preq = peer_reqs[i];
+      if (!r.ok() || !r->status.ok() ||
+          r->found.size() != preq.keys.size()) {
+        for (const auto& key : preq.keys) {
+          cache_->count_peer_miss();
+          fallback.push_back(key);
+        }
+        continue;
+      }
+      size_t seg_idx = 0;
+      for (size_t j = 0; j < preq.keys.size(); ++j) {
+        if (r->found[j] != 0 && seg_idx < r->segments.size()) {
+          CompressedSegment env = std::move(r->segments[seg_idx++]);
+          cache_->count_peer_hit();
+          cache_->insert(preq.keys[j], env, preq.versions[j], sim.now());
+          out->emplace(preq.keys[j], std::move(env));
+        } else {
+          cache_->count_peer_miss();
+          fallback.push_back(preq.keys[j]);
+        }
+      }
+    }
+  }
+  // Phase 4 — provider re-fetch for everything the optimistic paths missed.
+  // No cached versions, no redirects: the providers must answer kFresh, so
+  // this terminates in one round.
+  if (!fallback.empty()) {
+    std::map<common::ProviderId, wire::ReadSegmentsRequest> fb_groups;
+    for (const auto& key : fallback) {
+      fb_groups[home_of(key.owner)].keys.push_back(key);
+    }
+    std::vector<std::vector<common::SegmentKey>> fb_order;
+    std::vector<sim::Future<Result<wire::ReadSegmentsResponse>>> fb_futures;
+    for (auto& [provider, req] : fb_groups) {
+      if (cache_ != nullptr) {
+        req.reader_node = self_;
+        req.caching = true;
+      }
+      fb_order.push_back(req.keys);
+      fb_futures.push_back(
+          sim.spawn(read_one(provider_node(provider), std::move(req), parent)));
+    }
+    for (size_t i = 0; i < fb_futures.size(); ++i) {
+      auto r = co_await fb_futures[i];
+      if (!r.ok()) {
+        if (cache_ != nullptr) {
+          for (const auto& key : fb_order[i]) cache_->invalidate(key);
+        }
+        co_return r.status();
+      }
+      auto& resp = r.value();
+      if (resp.segments.size() != fb_order[i].size() ||
+          resp.info.size() != fb_order[i].size()) {
+        co_return Status::Internal("segment count mismatch in read fallback");
+      }
+      for (size_t j = 0; j < fb_order[i].size(); ++j) {
+        CompressedSegment env = std::move(resp.segments[j]);
+        if (cache_ != nullptr) {
+          cache_->count_miss();
+          cache_->insert(fb_order[i][j], env, resp.info[j].version, sim.now());
+        }
+        out->emplace(fb_order[i][j], std::move(env));
+      }
     }
   }
   co_return Status::Ok();
@@ -622,7 +871,8 @@ sim::CoTask<Result<std::optional<TransferContext>>> Client::prepare_transfer(
   uint32_t missing = 0;
   std::vector<common::SegmentKey> applied;
   Status pin_status = co_await modify_refs(pin_keys, /*increment=*/true,
-                                           &missing, &applied, span.context());
+                                           &missing, &applied, span.context(),
+                                           config_.token_epoch);
   if (!pin_status.ok() || missing > 0) {
     // Either lost the race with a retire mid-pin (missing > 0), or a
     // provider stayed unreachable through the retry budget. Roll back only
@@ -637,7 +887,8 @@ sim::CoTask<Result<std::optional<TransferContext>>> Client::prepare_transfer(
     if (!applied.empty()) {
       uint32_t rollback_missing = 0;
       (void)co_await modify_refs(std::move(applied), /*increment=*/false,
-                                 &rollback_missing);
+                                 &rollback_missing, nullptr, span.context(),
+                                 config_.token_epoch);
     }
     if (!pin_status.ok()) ++fault_stats_.degraded_transfers;
     co_return std::optional<TransferContext>{};
@@ -656,7 +907,8 @@ sim::CoTask<Result<std::optional<TransferContext>>> Client::prepare_transfer(
                                        span.context());
     if (!segs.ok()) {
       (void)co_await modify_refs(std::move(pin_keys), /*increment=*/false,
-                                 &missing);
+                                 &missing, nullptr, span.context(),
+                                 config_.token_epoch);
       co_return segs.status();
     }
     tc.prefix_segments = std::move(segs).value();
@@ -673,7 +925,7 @@ sim::CoTask<Status> Client::abandon_transfer(const TransferContext& tc) {
     keys.push_back(tc.ancestor_owners.entry(av));
   }
   co_return co_await modify_refs(std::move(keys), /*increment=*/false,
-                                 nullptr);
+                                 nullptr, nullptr, {}, config_.token_epoch);
 }
 
 // ---- retire ----------------------------------------------------------------
@@ -689,6 +941,12 @@ sim::CoTask<Status> Client::retire(ModelId id) {
       provider_node(home_of(id)), Provider::kRetire, req, span.context());
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
+  // Drop every cached segment the retired model contributed — the bytes may
+  // be freed the moment the decrements below land, and a later model reusing
+  // the key must never be answered from this copy.
+  if (cache_ != nullptr) {
+    for (const auto& entry : r->owners.entries()) cache_->invalidate(entry);
+  }
   // Decrement every tensor the retired model referenced — its own segments
   // and the inherited ones alike (O(k), k = leaf layers).
   co_return co_await fan_out_refs(r->owners, /*increment=*/false,

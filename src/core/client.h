@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/segment_cache.h"
 #include "common/rng.h"
 #include "compress/codec.h"
 #include "compress/compressed_segment.h"
@@ -64,7 +65,14 @@ struct ClientConfig {
   /// EvoStoreRepository sets this from a counter persisted in the provider
   /// backends so that a fresh repository over an old backend can never mint
   /// tokens colliding with dedup records a previous incarnation left there.
+  /// Providers also reap transfer pins recorded under older epochs when they
+  /// first see a token from this one (crashed clients cannot leak pins).
   uint64_t token_epoch = 1;
+  /// Client-local cooperative segment cache (DESIGN.md §14).
+  /// `cache.capacity_bytes == 0` (the default) disables it entirely: the
+  /// read path and the wire traffic stay byte-identical to an uncached
+  /// deployment.
+  cache::CacheConfig cache;
 };
 
 /// Fault-path counters for one client (all zero in a fault-free run).
@@ -118,6 +126,10 @@ struct ModelMeta {
 
 class Client {
  public:
+  /// RPC method peers answer segment-cache reads on (registered on this
+  /// client's node when `config.cache.serve_peers` and the cache is enabled).
+  static constexpr const char* kPeerRead = "evostore.peer_read";
+
   /// `provider_nodes[i]` is the fabric node hosting provider i.
   Client(net::RpcSystem& rpc, NodeId self, uint32_t client_id,
          std::vector<NodeId> provider_nodes, ClientConfig config = {});
@@ -128,6 +140,9 @@ class Client {
   const compress::CodecStatsTable& codec_stats() const { return codec_stats_; }
   /// Retry/degradation counters (all zero in a fault-free run).
   const ClientFaultStats& fault_stats() const { return fault_stats_; }
+  /// The local segment cache, or nullptr when disabled (hit/miss counters,
+  /// charged bytes — see cache::SegmentCache::stats()).
+  const cache::SegmentCache* segment_cache() const { return cache_.get(); }
 
   /// Allocate a fresh globally-unique model id.
   ModelId allocate_id() { return ModelId::make(client_id_, ++id_seq_); }
@@ -298,6 +313,14 @@ class Client {
   sim::CoTask<Result<wire::ReadSegmentsResponse>> read_one(
       NodeId to, wire::ReadSegmentsRequest req, obs::TraceContext parent);
   sim::CoTask<Result<wire::StatsResponse>> stats_one(NodeId to);
+  // One peer-cache fetch after a provider redirect hint. Single attempt —
+  // a dead or cold peer is not worth a retry budget; the caller falls back
+  // to the provider (with redirects disabled, guaranteeing termination).
+  sim::CoTask<Result<wire::PeerReadResponse>> peer_one(
+      NodeId to, wire::PeerReadRequest req, obs::TraceContext parent);
+  // Serves kPeerRead: answers from the local cache, exact-version matches
+  // only (anything else could resurrect bytes the provider replaced).
+  sim::CoTask<common::Bytes> handle_peer_read(common::Bytes request);
 
   // Fan one ModifyRefs round out to the providers hosting `keys`.
   // Returns the number of keys the providers reported missing via
@@ -307,11 +330,16 @@ class Client {
   // its provider are appended to `applied_out` (optional) — under faults a
   // caller can roll back exactly the increments that are known to have
   // landed.
+  // `pin_epoch` / `pin_consume` ride on the FIRST round only (they describe
+  // the caller's keys, not the cascaded bases) — see
+  // wire::ModifyRefsRequest::pin_epoch.
   sim::CoTask<Status> modify_refs(std::vector<common::SegmentKey> keys,
                                   bool increment, uint32_t* missing_out,
                                   std::vector<common::SegmentKey>* applied_out =
                                       nullptr,
-                                  obs::TraceContext parent = {});
+                                  obs::TraceContext parent = {},
+                                  uint64_t pin_epoch = 0,
+                                  bool pin_consume = false);
   // Convenience: all entries of `owners` except those owned by
   // `exclude_owner` (pass invalid() to include everything).
   sim::CoTask<Status> fan_out_refs(const OwnerMap& owners, bool increment,
@@ -334,6 +362,8 @@ class Client {
   compress::CodecStatsTable codec_stats_{};
   ClientFaultStats fault_stats_{};
   common::Xoshiro256 retry_rng_;
+  // Null when config_.cache.capacity_bytes == 0 (caching disabled).
+  std::unique_ptr<cache::SegmentCache> cache_;
 
   // Client-side end-to-end latency histograms in the RpcSystem's shared
   // registry (null when no registry is attached — one branch per op).

@@ -98,10 +98,49 @@ void Provider::persist_segment(const common::SegmentKey& key,
   if (backend_ == nullptr) return;
   common::Serializer s;
   s.i64(entry.refs);
+  s.u64(entry.version);
   entry.segment.serialize(s);
   auto st = backend_->put(segment_key(key),
                           common::Buffer::dense(std::move(s).take()));
   if (!st.ok()) EVO_WARN << "persist_segment: " << st.to_string();
+}
+
+std::string Provider::pin_record_key(uint64_t epoch,
+                                     const common::SegmentKey& key) {
+  return "pin/" + std::to_string(epoch) + "/" +
+         std::to_string(key.owner.value) + "/" + std::to_string(key.vertex);
+}
+
+void Provider::persist_pin(uint64_t epoch, const common::SegmentKey& key,
+                           uint32_t count) {
+  if (backend_ == nullptr) return;
+  if (count == 0) {
+    (void)backend_->erase(pin_record_key(epoch, key));
+    return;
+  }
+  common::Serializer s;
+  s.u64(count);
+  auto st = backend_->put(pin_record_key(epoch, key),
+                          common::Buffer::dense(std::move(s).take()));
+  if (!st.ok()) EVO_WARN << "persist_pin: " << st.to_string();
+}
+
+void Provider::pin_add(uint64_t epoch, const common::SegmentKey& key) {
+  uint32_t& count = pins_[epoch][key];
+  ++count;
+  ++stats_.pins_recorded;
+  persist_pin(epoch, key, count);
+}
+
+void Provider::pin_remove(uint64_t epoch, const common::SegmentKey& key) {
+  auto eit = pins_.find(epoch);
+  if (eit == pins_.end()) return;
+  auto kit = eit->second.find(key);
+  if (kit == eit->second.end()) return;
+  uint32_t remaining = --kit->second;
+  if (remaining == 0) eit->second.erase(kit);
+  persist_pin(epoch, key, remaining);
+  if (eit->second.empty()) pins_.erase(eit);
 }
 
 void Provider::account_stored(const compress::CompressedSegment& env,
@@ -192,6 +231,96 @@ void Provider::erase_segment_record(const common::SegmentKey& key) {
   (void)backend_->erase(segment_key(key));
 }
 
+bool Provider::release_ref(const common::SegmentKey& key,
+                           uint64_t* freed_bytes,
+                           std::vector<common::SegmentKey>* freed_bases) {
+  auto it = segments_.find(key);
+  if (it == segments_.end()) return false;
+  ++stats_.refs_removed;
+  if (--it->second.refs <= 0) {
+    const auto& env = it->second.segment;
+    *freed_bytes += env.logical_bytes;
+    // A freed delta envelope releases the reference it held on its base;
+    // the caller decrements that key next (cascading down the chain).
+    if (env.has_base) freed_bases->push_back(env.base);
+    // A freed chunked envelope releases its manifest's chunk references;
+    // each chunk dies only when no other segment's manifest names it.
+    release_chunks(env);
+    account_stored(env, -1);
+    segments_.erase(it);
+    erase_segment_record(key);
+    cache_dir_.erase(key);
+    ++stats_.segments_freed;
+  } else {
+    persist_segment(key, it->second);
+  }
+  return true;
+}
+
+// ---- pin ledger (DESIGN.md §14) -----------------------------------------
+
+void Provider::observe_epoch(uint64_t token) {
+  if (token == 0) return;
+  uint64_t epoch = token >> 48;
+  if (epoch <= last_pin_epoch_) return;
+  last_pin_epoch_ = epoch;
+  reap_stale_pins(epoch);
+}
+
+void Provider::reap_stale_pins(uint64_t current_epoch) {
+  uint64_t reaped = 0;
+  for (auto it = pins_.begin();
+       it != pins_.end() && it->first < current_epoch;) {
+    for (const auto& [key, count] : it->second) {
+      // Release the leaked pins, cascading through locally stored delta
+      // bases. A base living on another provider can't be reached from
+      // here; its own pin record (if the transfer pinned it) is reaped by
+      // that provider when it observes the epoch bump.
+      std::vector<common::SegmentKey> frontier(count, key);
+      while (!frontier.empty()) {
+        common::SegmentKey k = frontier.back();
+        frontier.pop_back();
+        uint64_t bytes = 0;
+        std::vector<common::SegmentKey> bases;
+        if (!release_ref(k, &bytes, &bases)) {
+          EVO_WARN << "pin reap: segment " << k.to_string()
+                   << " not stored locally; skipped";
+          continue;
+        }
+        for (const auto& b : bases) frontier.push_back(b);
+      }
+      reaped += count;
+      persist_pin(it->first, key, 0);
+    }
+    it = pins_.erase(it);
+  }
+  if (reaped > 0) {
+    stats_.pins_reaped += reaped;
+    EVO_INFO << "provider " << id_ << " reaped " << reaped
+             << " stale pin(s) from epochs < " << current_epoch;
+  }
+}
+
+uint64_t Provider::segment_version(const common::SegmentKey& key) const {
+  auto it = segments_.find(key);
+  return it == segments_.end() ? 0 : it->second.version;
+}
+
+uint64_t Provider::pinned_count(const common::SegmentKey& key) const {
+  uint64_t n = 0;
+  for (const auto& [epoch, keys] : pins_) {
+    auto it = keys.find(key);
+    if (it != keys.end()) n += it->second;
+  }
+  return n;
+}
+
+size_t Provider::pin_ledger_size() const {
+  size_t n = 0;
+  for (const auto& [epoch, keys] : pins_) n += keys.size();
+  return n;
+}
+
 const common::Bytes* Provider::dedup_lookup(uint64_t token) {
   if (token == 0) return nullptr;
   auto it = dedup_.find(token);
@@ -224,6 +353,9 @@ void Provider::restart() {
   ++stats_.restarts;
   models_.clear();
   segments_.clear();
+  cache_dir_.clear();
+  pins_.clear();
+  last_pin_epoch_ = 0;
   dedup_.clear();
   dedup_order_.clear();
   payload_bytes_ = 0;
@@ -289,6 +421,25 @@ void Provider::restore_from_backend() {
       }
       seq_ = std::max(seq_, meta.store_seq);
       models_.emplace(id, std::move(meta));
+    } else if (key.rfind("pin/", 0) == 0) {
+      // "pin/<epoch>/<owner>/<vertex>" -> u64 outstanding pin count. The
+      // ledger survives provider crashes so a client-incarnation bump can
+      // still reap pins recorded before the crash.
+      const char* p = key.c_str() + 4;
+      char* end = nullptr;
+      uint64_t epoch = std::strtoull(p, &end, 10);
+      if (end == nullptr || *end != '/') continue;
+      common::ModelId owner{std::strtoull(end + 1, &end, 10)};
+      if (end == nullptr || *end != '/') continue;
+      auto vertex =
+          static_cast<common::VertexId>(std::strtoul(end + 1, nullptr, 10));
+      uint64_t count = d.u64();
+      if (!d.finish().ok() || count == 0) {
+        EVO_WARN << "restore: corrupt pin record '" << key << "'";
+        continue;
+      }
+      pins_[epoch][common::SegmentKey{owner, vertex}] =
+          static_cast<uint32_t>(count);
     } else if (key.rfind("seg/", 0) == 0) {
       const char* p = key.c_str() + 4;
       char* end = nullptr;
@@ -298,12 +449,17 @@ void Provider::restore_from_backend() {
           std::strtoul(end + 1, nullptr, 10));
       SegEntry entry;
       entry.refs = static_cast<int32_t>(d.i64());
+      entry.version = d.u64();
       entry.segment = compress::CompressedSegment::deserialize(d);
       if (!d.finish().ok() ||
           compress::codec_for(entry.segment.codec) == nullptr) {
         EVO_WARN << "restore: corrupt segment record '" << key << "'";
         continue;
       }
+      // Versions share the store sequence; segments can outlive their
+      // model's metadata (retired model, still-referenced segments), so the
+      // sequence restores from both.
+      seq_ = std::max(seq_, entry.version);
       if (entry.segment.kind == compress::EnvelopeKind::kChunked) {
         // Re-take the manifest's chunk references. A manifest pointing at a
         // chunk whose record did not survive is unreadable: drop it (and its
@@ -420,6 +576,9 @@ sim::CoTask<Bytes> Provider::handle_put(Bytes request,
     co_return pack(resp);
   }
   ++stats_.puts;
+  // A token minted by a newer client incarnation proves the older ones are
+  // gone — reap the transfer pins they leaked (DESIGN.md §14).
+  observe_epoch(req.token);
   co_await sim_->delay(config_.op_seconds +
                        config_.per_segment_seconds *
                            static_cast<double>(req.new_segments.size()));
@@ -482,7 +641,9 @@ sim::CoTask<Bytes> Provider::handle_put(Bytes request,
       // split into deduplicated chunks and the envelope keeps a manifest.
       maybe_chunk(env);
       account_stored(env, +1);
-      segments_[key] = SegEntry{std::move(env), 1};
+      // The segment's cache-validation version is the put's store sequence:
+      // monotonic, so re-created keys always look newer than stale copies.
+      segments_[key] = SegEntry{std::move(env), 1, resp.store_seq};
       persist_segment(key, segments_[key]);
     }
   }
@@ -525,26 +686,59 @@ sim::CoTask<Bytes> Provider::handle_read_segments(Bytes request,
   co_await sim_->delay(config_.op_seconds +
                        config_.per_segment_seconds *
                            static_cast<double>(req.keys.size()));
-  for (const auto& key : req.keys) {
+  resp.info.reserve(req.keys.size());
+  for (size_t i = 0; i < req.keys.size(); ++i) {
+    const auto& key = req.keys[i];
     auto it = segments_.find(key);
     if (it == segments_.end()) {
+      resp.info.clear();
       resp.segments.clear();
       resp.payload_bytes = 0;
       resp.status = Status::NotFound("segment " + key.to_string());
       co_return pack(resp);
+    }
+    const uint64_t version = it->second.version;
+    // Validation handshake (DESIGN.md §14): the client's cached copy is
+    // current iff its version matches — answer kNotModified and move no
+    // payload. Version 0 (or no vector) means "not cached".
+    uint64_t cached = i < req.cached_versions.size()
+                          ? req.cached_versions[i]
+                          : 0;
+    if (cached != 0 && cached == version) {
+      resp.info.push_back(
+          {wire::ReadEntryState::kNotModified, version, 0});
+      ++stats_.not_modified_reads;
+      if (req.caching) cache_dir_[key] = req.reader_node;
+      continue;
+    }
+    // Redirect hint: point the reader at the last client known to cache
+    // this segment (ScaleStore-style cooperative caching). The hint is
+    // best-effort — a cold or crashed peer makes the reader fall back here
+    // with accept_redirect off.
+    if (req.accept_redirect) {
+      auto dir = cache_dir_.find(key);
+      if (dir != cache_dir_.end() && dir->second != req.reader_node) {
+        resp.info.push_back(
+            {wire::ReadEntryState::kRedirect, version, dir->second});
+        ++stats_.redirects_issued;
+        continue;
+      }
     }
     // Chunked envelopes resolve back to inline here: the manifest only
     // means something to this provider's chunk store, and the wire cost of
     // a read is the full post-compression payload either way.
     auto env = reassemble(it->second.segment);
     if (!env.ok()) {
+      resp.info.clear();
       resp.segments.clear();
       resp.payload_bytes = 0;
       resp.status = env.status();
       co_return pack(resp);
     }
+    resp.info.push_back({wire::ReadEntryState::kFresh, version, 0});
     resp.payload_bytes += env->physical_bytes;
     resp.segments.push_back(std::move(*env));
+    if (req.caching) cache_dir_[key] = req.reader_node;
   }
   {
     obs::Span fetch = obs::Tracer::maybe_begin(tracer(), "segment_read",
@@ -581,33 +775,37 @@ sim::CoTask<Bytes> Provider::handle_modify_refs(Bytes request,
   if (const common::Bytes* cached = dedup_lookup(req.token)) {
     co_return *cached;
   }
+  // A token from a newer client incarnation proves every older incarnation
+  // is gone: reap their leaked pins before applying this request.
+  observe_epoch(req.token);
+  if (req.pin_consume && req.pin_epoch != 0) {
+    // The pin became a stored model's permanent reference at put time:
+    // clear the ledger entries, leave the refcounts alone.
+    for (const auto& key : req.keys) pin_remove(req.pin_epoch, key);
+    resp.status = Status::Ok();
+    span.tag("pin_consume", "true");
+    record(hist_refs_seconds_, shared_refs_seconds_, sim_->now() - t0);
+    Bytes consumed = pack(resp);
+    dedup_store(req.token, consumed);
+    co_return consumed;
+  }
   for (const auto& key : req.keys) {
-    auto it = segments_.find(key);
-    if (it == segments_.end()) {
-      ++resp.missing;
-      continue;
-    }
     if (req.increment) {
+      auto it = segments_.find(key);
+      if (it == segments_.end()) {
+        ++resp.missing;
+        continue;
+      }
       ++it->second.refs;
       ++stats_.refs_added;
       persist_segment(key, it->second);
+      if (req.pin_epoch != 0) pin_add(req.pin_epoch, key);
     } else {
-      ++stats_.refs_removed;
-      if (--it->second.refs <= 0) {
-        const auto& env = it->second.segment;
-        resp.freed_bytes += env.logical_bytes;
-        // A freed delta envelope releases the reference it held on its base;
-        // the caller decrements that key next (cascading down the chain).
-        if (env.has_base) resp.freed_bases.push_back(env.base);
-        // A freed chunked envelope releases its manifest's chunk references;
-        // each chunk dies only when no other segment's manifest names it.
-        release_chunks(env);
-        account_stored(env, -1);
-        segments_.erase(it);
-        erase_segment_record(key);
-        ++stats_.segments_freed;
-      } else {
-        persist_segment(key, it->second);
+      // Pinned decrements clear their ledger entry whether or not the
+      // segment still exists (rollback may race a concurrent free).
+      if (req.pin_epoch != 0) pin_remove(req.pin_epoch, key);
+      if (!release_ref(key, &resp.freed_bytes, &resp.freed_bases)) {
+        ++resp.missing;
       }
     }
   }
@@ -635,6 +833,7 @@ sim::CoTask<Bytes> Provider::handle_retire(Bytes request) {
     if (const common::Bytes* cached = dedup_lookup(req.token)) {
       co_return *cached;
     }
+    observe_epoch(req.token);
   }
   auto it = models_.find(req.id);
   if (it == models_.end() || !d.ok()) {
@@ -721,6 +920,9 @@ sim::CoTask<Bytes> Provider::handle_get_stats(Bytes request) {
   resp.chunk_misses = cs.misses;
   resp.chunks_freed = cs.freed;
   resp.dedup_saved_bytes = cs.saved_bytes;
+  resp.not_modified_reads = stats_.not_modified_reads;
+  resp.redirects_issued = stats_.redirects_issued;
+  resp.pins_reaped = stats_.pins_reaped;
   for (size_t i = 0; i < compress::kCodecCount; ++i) {
     const auto& u = codec_usage_[i];
     if (u.segments == 0) continue;

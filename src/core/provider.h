@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <unordered_map>
 
 #include "compress/chunker.h"
@@ -81,6 +82,16 @@ struct ProviderStats {
   /// content, physical = post-compression envelope payload).
   uint64_t logical_bytes_ingested = 0;
   uint64_t physical_bytes_ingested = 0;
+  // Cooperative cache + pin ledger (DESIGN.md §14).
+  /// Validation handshakes answered with kNotModified (no payload moved).
+  uint64_t not_modified_reads = 0;
+  /// Reads answered with a kRedirect hint to a peer client's cache.
+  uint64_t redirects_issued = 0;
+  /// Transfer pins recorded in the durable pin ledger.
+  uint64_t pins_recorded = 0;
+  /// Stale-epoch pins reaped when a newer client incarnation appeared (the
+  /// leaked pins of a client that crashed mid-transfer).
+  uint64_t pins_reaped = 0;
 };
 
 class Provider {
@@ -125,6 +136,14 @@ class Provider {
     return segments_.find(key) != segments_.end();
   }
   int refcount(const common::SegmentKey& key) const;
+  /// Current version of a stored segment (the store sequence of the put
+  /// that created it), 0 when absent. Clients validate cached entries
+  /// against this.
+  uint64_t segment_version(const common::SegmentKey& key) const;
+  /// Outstanding transfer pins recorded for `key` across all epochs.
+  uint64_t pinned_count(const common::SegmentKey& key) const;
+  /// Total (epoch, key) records in the pin ledger.
+  size_t pin_ledger_size() const;
   const ProviderStats& stats() const { return stats_; }
   std::vector<common::ModelId> model_ids() const;
 
@@ -161,6 +180,11 @@ class Provider {
   struct SegEntry {
     compress::CompressedSegment segment;
     int32_t refs = 0;
+    /// Version clients validate cached copies against: the store sequence
+    /// of the put that created this segment. Strictly monotonic per
+    /// provider, so a freed-then-recreated key always carries a newer
+    /// version and a stale cache entry can never validate.
+    uint64_t version = 0;
   };
 
   void register_handlers(net::RpcSystem& rpc);
@@ -183,6 +207,30 @@ class Provider {
       const compress::CompressedSegment& env) const;
   /// Release the chunk references a freed kChunked envelope held.
   void release_chunks(const compress::CompressedSegment& env);
+
+  // ---- GC core ----
+  /// Decrement one reference on `key`. At zero the envelope is freed:
+  /// chunk references released, byte accounting reversed, the backend
+  /// record erased, and the delta base it referenced (if any) appended to
+  /// `freed_bases` for the caller to decrement next. Returns false when the
+  /// key is not stored here.
+  bool release_ref(const common::SegmentKey& key, uint64_t* freed_bytes,
+                   std::vector<common::SegmentKey>* freed_bases);
+
+  // ---- pin ledger (DESIGN.md §14: crash-proof transfer pins) ----
+  /// Note the client incarnation epoch carried by `token` (high 16 bits).
+  /// The first token from a strictly newer epoch reaps every pin recorded
+  /// under older epochs — those clients are gone; their pins leaked.
+  void observe_epoch(uint64_t token);
+  void reap_stale_pins(uint64_t current_epoch);
+  void pin_add(uint64_t epoch, const common::SegmentKey& key);
+  /// Remove one pin record (no-op when absent — e.g. rollback of an
+  /// increment the provider never saw).
+  void pin_remove(uint64_t epoch, const common::SegmentKey& key);
+  void persist_pin(uint64_t epoch, const common::SegmentKey& key,
+                   uint32_t count);
+  static std::string pin_record_key(uint64_t epoch,
+                                    const common::SegmentKey& key);
 
   // ---- persistence (no-ops when backend_ == nullptr) ----
   struct MetaRecord;
@@ -239,6 +287,15 @@ class Provider {
 
   std::unordered_map<common::ModelId, MetaRecord> models_;
   std::unordered_map<common::SegmentKey, SegEntry> segments_;
+  /// Cache directory: last client node known to cache each segment
+  /// (volatile — a stale hint only costs a peer miss + provider fallback,
+  /// so it is deliberately not persisted).
+  std::unordered_map<common::SegmentKey, common::NodeId> cache_dir_;
+  /// Durable pin ledger: epoch -> key -> outstanding pin count. Ordered
+  /// maps so reaping walks epochs and keys deterministically.
+  std::map<uint64_t, std::map<common::SegmentKey, uint32_t>> pins_;
+  /// Highest client incarnation epoch seen in an idempotency token.
+  uint64_t last_pin_epoch_ = 0;
   // Idempotency cache: token -> packed response, FIFO order for eviction.
   // `dedup_seq_` orders entries in the backend so restore rebuilds the FIFO.
   std::unordered_map<uint64_t, common::Bytes> dedup_;

@@ -63,10 +63,16 @@ struct PutModelRequest {
   OwnerMap owners;
   /// Compressed segment envelopes this model owns, keyed by local vertex id.
   std::vector<std::pair<VertexId, CompressedSegment>> new_segments;
+  /// Idempotency token (see ModifyRefsRequest::token). Puts are naturally
+  /// idempotent (model ids are globally unique), but the embedded epoch lets
+  /// the provider reap stale-epoch transfer pins on ANY mutation — even in a
+  /// workload that only ever stores from-scratch models.
+  uint64_t token = 0;
 
   void serialize(Serializer& s) const {
     s.u64(id.value);
     s.u64(ancestor.value);
+    s.u64(token);
     s.f64(quality);
     graph.serialize(s);
     owners.serialize(s);
@@ -80,6 +86,7 @@ struct PutModelRequest {
     PutModelRequest r;
     r.id.value = d.u64();
     r.ancestor.value = d.u64();
+    r.token = d.u64();
     r.quality = d.f64();
     r.graph = ArchGraph::deserialize(d);
     r.owners = OwnerMap::deserialize(d);
@@ -157,10 +164,29 @@ struct GetMetaResponse {
 
 struct ReadSegmentsRequest {
   std::vector<SegmentKey> keys;
+  /// Cache-validation handshake (DESIGN.md §14): when non-empty, parallel to
+  /// `keys` — cached_versions[i] is the provider version the client already
+  /// holds for keys[i] (0 = not cached). A match lets the provider answer
+  /// kNotModified instead of shipping payload bytes.
+  std::vector<uint64_t> cached_versions;
+  /// The reader's fabric node. Meaningful iff `caching`: the provider
+  /// records it in its cache directory so later readers can be redirected
+  /// to this client's cache.
+  common::NodeId reader_node = 0;
+  /// Reader fills a local segment cache from this response.
+  bool caching = false;
+  /// Reader is willing to chase kRedirect hints to a peer cache. Fallback
+  /// re-fetches set this false to guarantee termination.
+  bool accept_redirect = false;
 
   void serialize(Serializer& s) const {
     s.u64(keys.size());
     for (const auto& k : keys) serialize_key(s, k);
+    s.u64(cached_versions.size());
+    for (uint64_t v : cached_versions) s.u64(v);
+    s.u32(reader_node);
+    s.boolean(caching);
+    s.boolean(accept_redirect);
   }
   static ReadSegmentsRequest deserialize(Deserializer& d) {
     ReadSegmentsRequest r;
@@ -168,20 +194,56 @@ struct ReadSegmentsRequest {
     if (!d.check_count(n, 2)) return r;
     r.keys.reserve(n);
     for (uint64_t i = 0; i < n && d.ok(); ++i) r.keys.push_back(deserialize_key(d));
+    uint64_t nv = d.u64();
+    if (!d.check_count(nv, 1)) return r;
+    r.cached_versions.reserve(nv);
+    for (uint64_t i = 0; i < nv && d.ok(); ++i) r.cached_versions.push_back(d.u64());
+    r.reader_node = d.u32();
+    r.caching = d.boolean();
+    r.accept_redirect = d.boolean();
     return r;
   }
 };
 
+/// Per-key disposition of a read (parallel to the request's `keys`).
+enum class ReadEntryState : uint8_t {
+  kFresh = 0,        ///< envelope shipped in `segments`
+  kNotModified = 1,  ///< cached version still current; no bytes moved
+  kRedirect = 2,     ///< fetch from the peer cache named in `redirect`
+};
+
+struct ReadEntryInfo {
+  ReadEntryState state = ReadEntryState::kFresh;
+  /// Provider's current version of the segment (all states) — the version a
+  /// peer read must match exactly.
+  uint64_t version = 0;
+  /// Peer node last known to cache this segment (kRedirect only).
+  common::NodeId redirect = 0;
+
+  friend bool operator==(const ReadEntryInfo&, const ReadEntryInfo&) = default;
+};
+
 struct ReadSegmentsResponse {
   common::Status status;
-  /// Compressed envelopes in request-key order (empty on error). Decoding —
-  /// including resolving delta base dependencies — is the client's job.
+  /// Per-key dispositions in request-key order (empty on error).
+  std::vector<ReadEntryInfo> info;
+  /// Compressed envelopes for the kFresh entries only, in request-key order
+  /// (empty on error). Decoding — including resolving delta base
+  /// dependencies — is the client's job.
   std::vector<CompressedSegment> segments;
-  /// Physical bytes moved over the bulk path (post-compression).
+  /// Physical bytes moved over the bulk path (post-compression); counts the
+  /// kFresh envelopes only — NotModified and redirected keys cost nothing
+  /// here.
   uint64_t payload_bytes = 0;
 
   void serialize(Serializer& s) const {
     serialize_status(s, status);
+    s.u64(info.size());
+    for (const auto& e : info) {
+      s.u8(static_cast<uint8_t>(e.state));
+      s.u64(e.version);
+      s.u32(e.redirect);
+    }
     s.u64(segments.size());
     for (const auto& env : segments) env.serialize(s);
     s.u64(payload_bytes);
@@ -189,6 +251,79 @@ struct ReadSegmentsResponse {
   static ReadSegmentsResponse deserialize(Deserializer& d) {
     ReadSegmentsResponse r;
     r.status = deserialize_status(d);
+    uint64_t ni = d.u64();
+    // u8 state + varint version + varint redirect: >= 3 bytes per entry.
+    if (!d.check_count(ni, 3)) return r;
+    r.info.reserve(ni);
+    for (uint64_t i = 0; i < ni && d.ok(); ++i) {
+      ReadEntryInfo e;
+      e.state = static_cast<ReadEntryState>(d.u8());
+      e.version = d.u64();
+      e.redirect = d.u32();
+      r.info.push_back(e);
+    }
+    uint64_t n = d.u64();
+    if (!d.check_count(n, 5)) return r;
+    r.segments.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+      r.segments.push_back(CompressedSegment::deserialize(d));
+    }
+    r.payload_bytes = d.u64();
+    return r;
+  }
+};
+
+// ---- peer_read (client-to-client cooperative cache) ----------------------
+
+/// Fetch segments from a peer client's cache after a provider kRedirect
+/// hint. Versions are mandatory and must match exactly — a peer serving
+/// anything else could resurrect stale bytes the provider already replaced.
+struct PeerReadRequest {
+  std::vector<SegmentKey> keys;
+  std::vector<uint64_t> versions;  // parallel to keys; required match
+
+  void serialize(Serializer& s) const {
+    s.u64(keys.size());
+    for (const auto& k : keys) serialize_key(s, k);
+    for (uint64_t v : versions) s.u64(v);
+  }
+  static PeerReadRequest deserialize(Deserializer& d) {
+    PeerReadRequest r;
+    uint64_t n = d.u64();
+    // Varint key (>= 2 bytes) + varint version (>= 1) per entry.
+    if (!d.check_count(n, 3)) return r;
+    r.keys.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) r.keys.push_back(deserialize_key(d));
+    r.versions.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) r.versions.push_back(d.u64());
+    return r;
+  }
+};
+
+struct PeerReadResponse {
+  common::Status status;
+  /// Parallel to the request keys: 1 when the peer held the exact version.
+  std::vector<uint8_t> found;
+  /// Envelopes for the found keys, in request-key order.
+  std::vector<CompressedSegment> segments;
+  /// Physical bytes the requester pulls over the bulk path.
+  uint64_t payload_bytes = 0;
+
+  void serialize(Serializer& s) const {
+    serialize_status(s, status);
+    s.u64(found.size());
+    for (uint8_t f : found) s.u8(f);
+    s.u64(segments.size());
+    for (const auto& env : segments) env.serialize(s);
+    s.u64(payload_bytes);
+  }
+  static PeerReadResponse deserialize(Deserializer& d) {
+    PeerReadResponse r;
+    r.status = deserialize_status(d);
+    uint64_t nf = d.u64();
+    if (!d.check_count(nf, 1)) return r;
+    r.found.reserve(nf);
+    for (uint64_t i = 0; i < nf && d.ok(); ++i) r.found.push_back(d.u8());
     uint64_t n = d.u64();
     if (!d.check_count(n, 5)) return r;
     r.segments.reserve(n);
@@ -210,10 +345,23 @@ struct ModifyRefsRequest {
   /// response instead of re-applying the refcount deltas (exactly-once
   /// semantics under message loss). 0 disables deduplication.
   uint64_t token = 0;
+  /// Transfer-pin bookkeeping (DESIGN.md §14): non-zero marks this request
+  /// as pin traffic from the given client incarnation epoch. Increments
+  /// record pins in the provider's durable pin ledger; decrements release
+  /// them. When the client incarnation restarts, the provider reaps every
+  /// ledger entry of older epochs — the fix for pins leaked by a client
+  /// crash mid-transfer. 0 = plain reference traffic, no ledger entry.
+  uint64_t pin_epoch = 0;
+  /// With pin_epoch set: remove the ledger entries WITHOUT touching
+  /// refcounts — the pin just became a stored model's permanent reference
+  /// (put_model consumed it).
+  bool pin_consume = false;
 
   void serialize(Serializer& s) const {
     s.boolean(increment);
     s.u64(token);
+    s.u64(pin_epoch);
+    s.boolean(pin_consume);
     s.u64(keys.size());
     for (const auto& k : keys) serialize_key(s, k);
   }
@@ -221,6 +369,8 @@ struct ModifyRefsRequest {
     ModifyRefsRequest r;
     r.increment = d.boolean();
     r.token = d.u64();
+    r.pin_epoch = d.u64();
+    r.pin_consume = d.boolean();
     uint64_t n = d.u64();
     if (!d.check_count(n, 2)) return r;
     r.keys.reserve(n);
@@ -430,6 +580,10 @@ struct StatsResponse {
   uint64_t chunk_misses = 0;          // cumulative newly stored chunks
   uint64_t chunks_freed = 0;          // chunks whose last reference died
   uint64_t dedup_saved_bytes = 0;     // cumulative modeled bytes not stored
+  // Cooperative cache + pin ledger (DESIGN.md §14).
+  uint64_t not_modified_reads = 0;  // validation handshakes answered cheaply
+  uint64_t redirects_issued = 0;    // reads pointed at a peer cache
+  uint64_t pins_reaped = 0;         // stale-epoch pins released on the ledger
   std::vector<CodecUsageEntry> codecs;
   // Per-provider histogram digests (name-ordered: providers export their
   // registry with std::map iteration, so the wire order is deterministic).
@@ -453,6 +607,9 @@ struct StatsResponse {
     s.u64(chunk_misses);
     s.u64(chunks_freed);
     s.u64(dedup_saved_bytes);
+    s.u64(not_modified_reads);
+    s.u64(redirects_issued);
+    s.u64(pins_reaped);
     s.u64(codecs.size());
     for (const auto& c : codecs) {
       s.u8(static_cast<uint8_t>(c.codec));
@@ -482,6 +639,9 @@ struct StatsResponse {
     r.chunk_misses = d.u64();
     r.chunks_freed = d.u64();
     r.dedup_saved_bytes = d.u64();
+    r.not_modified_reads = d.u64();
+    r.redirects_issued = d.u64();
+    r.pins_reaped = d.u64();
     uint64_t n = d.u64();
     if (!d.check_count(n, 4)) return r;
     r.codecs.reserve(n);
@@ -531,6 +691,9 @@ inline StatsResponse merge_stats(const std::vector<StatsResponse>& parts) {
     total.chunk_misses += p.chunk_misses;
     total.chunks_freed += p.chunks_freed;
     total.dedup_saved_bytes += p.dedup_saved_bytes;
+    total.not_modified_reads += p.not_modified_reads;
+    total.redirects_issued += p.redirects_issued;
+    total.pins_reaped += p.pins_reaped;
     for (const CodecUsageEntry& c : p.codecs) {
       auto it = std::find_if(codecs.begin(), codecs.end(),
                              [&](const auto& e) { return e.codec == c.codec; });

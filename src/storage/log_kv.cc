@@ -40,6 +40,15 @@ Result<std::unique_ptr<LogKv>> LogKv::open(std::filesystem::path dir,
   }
   auto kv = std::unique_ptr<LogKv>(new LogKv(std::move(dir), options));
   EVO_RETURN_IF_ERROR(kv->load());
+  // Restart-time compaction sweep: the load scan has just computed the dead
+  // share; rewrite the log now if it crossed the configured ratio.
+  if (options.compact_on_open_ratio > 0 && kv->dead_bytes() > 0 &&
+      static_cast<double>(kv->dead_bytes()) >=
+          options.compact_on_open_ratio *
+              static_cast<double>(kv->disk_bytes())) {
+    auto reclaimed = kv->compact();
+    if (!reclaimed.ok()) return reclaimed.status();
+  }
   return kv;
 }
 

@@ -32,6 +32,12 @@ struct LogKvOptions {
   size_t segment_max_bytes = 64 * 1024 * 1024;
   /// fsync after every append (slow; off for tests/benches).
   bool sync_every_write = false;
+  /// Compact during `open` when at least this fraction of the on-disk bytes
+  /// is dead (overwritten records and tombstones). The rebuild scan already
+  /// knows exactly which records are live, so restart is the cheapest moment
+  /// to reclaim the space a crash-interrupted lifetime accumulated. 0
+  /// disables (open never rewrites; matches the pre-option behavior).
+  double compact_on_open_ratio = 0.5;
 };
 
 class LogKv final : public KvStore {

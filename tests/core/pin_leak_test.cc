@@ -1,0 +1,172 @@
+// Crash-proof transfer pins (DESIGN.md §14): a client that dies between
+// prepare_transfer and put_model/abandon_transfer leaves its pin recorded in
+// the durable ledger; the next client incarnation's first tokened mutation
+// reaps it, so the pinned refcounts drain back and retire frees everything.
+#include <gtest/gtest.h>
+
+#include "storage/mem_kv.h"
+#include "tests/core/test_env.h"
+
+namespace evostore::core {
+namespace {
+
+using common::ModelId;
+using common::SegmentKey;
+using testing::chain_graph;
+using testing::widths_graph;
+
+// Single provider over a backend that outlives the repository, so a fresh
+// repository incarnation (epoch + 1) can be booted over the same state.
+struct PinEnv {
+  storage::MemKv backend;
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<net::Fabric> fabric;
+  std::unique_ptr<net::RpcSystem> rpc;
+  std::vector<common::NodeId> provider_nodes;
+  common::NodeId worker = 0;
+  std::unique_ptr<EvoStoreRepository> repo;
+
+  PinEnv() { boot(); }
+
+  // The moral equivalent of "every client process crashed and a new
+  // deployment came up over the surviving provider storage".
+  void reincarnate() {
+    repo.reset();
+    rpc.reset();
+    fabric.reset();
+    sim.reset();
+    boot();
+  }
+
+  void boot() {
+    sim = std::make_unique<sim::Simulation>();
+    fabric = std::make_unique<net::Fabric>(*sim);
+    provider_nodes.assign(1, fabric->add_node(25e9, 25e9));
+    worker = fabric->add_node(25e9, 25e9);
+    rpc = std::make_unique<net::RpcSystem>(*fabric);
+    repo = std::make_unique<EvoStoreRepository>(
+        *rpc, provider_nodes, ProviderConfig{},
+        std::vector<storage::KvStore*>{&backend});
+  }
+
+  Client& client() { return repo->client(worker); }
+  Provider& provider() { return repo->provider(0); }
+
+  template <typename T>
+  T run(sim::CoTask<T> task) {
+    return sim->run_until_complete(std::move(task));
+  }
+
+  bool store(const model::Model& m, const TransferContext* tc) {
+    auto task = [&]() -> sim::CoTask<common::Status> {
+      co_return co_await client().put_model(m, tc);
+    };
+    return run(task()).ok();
+  }
+};
+
+TEST(PinLeak, StaleEpochPinIsReapedAndRefsDrainToZero) {
+  PinEnv env;
+  EXPECT_EQ(env.repo->token_epoch(), 1u);
+
+  auto base_g = widths_graph({16, 16, 16, 16, 20});
+  auto base = model::Model::random(env.repo->allocate_id(), base_g, 1);
+  base.set_quality(0.5);
+  ASSERT_TRUE(env.store(base, nullptr));
+
+  // Pin the shared prefix, then crash before the transfer completes.
+  auto prep =
+      env.run(env.client().prepare_transfer(widths_graph({16, 16, 16, 16, 40})));
+  ASSERT_TRUE(prep.ok() && prep->has_value());
+  ASSERT_TRUE(prep->value().pinned);
+  const size_t pinned = prep->value().matches.size();
+  ASSERT_GT(pinned, 0u);
+  ASSERT_EQ(env.provider().refcount(SegmentKey{base.id(), 0}), 2);
+  ASSERT_EQ(env.provider().pin_ledger_size(), pinned);
+
+  env.reincarnate();
+  ModelId base_id = base.id();
+  EXPECT_EQ(env.repo->token_epoch(), 2u);
+  // The leaked pin survived the restart: refcounts still carry it.
+  EXPECT_EQ(env.provider().pin_ledger_size(), pinned);
+  EXPECT_EQ(env.provider().refcount(SegmentKey{base_id, 0}), 2);
+
+  // Any tokened mutation from the new epoch reaps every older-epoch pin.
+  // (Explicit id: repository id counters reset across reincarnation.)
+  auto unrelated = model::Model::random(ModelId::make(9, 1),
+                                        chain_graph(2, 8), 9);
+  ASSERT_TRUE(env.store(unrelated, nullptr));
+  EXPECT_EQ(env.provider().pin_ledger_size(), 0u);
+  EXPECT_EQ(env.provider().refcount(SegmentKey{base_id, 0}), 1);
+  EXPECT_EQ(env.provider().stats().pins_reaped, pinned);
+
+  // With the leak drained, retire frees the base outright.
+  ASSERT_TRUE(env.run(env.client().retire(base_id)).ok());
+  ASSERT_TRUE(env.run(env.client().retire(unrelated.id())).ok());
+  EXPECT_EQ(env.provider().segment_count(), 0u);
+  EXPECT_EQ(env.provider().stored_payload_bytes(), 0u);
+}
+
+TEST(PinLeak, CompletedTransferConsumesItsPinRecord) {
+  PinEnv env;
+  auto base_g = widths_graph({16, 16, 16, 16, 20});
+  auto base = model::Model::random(env.repo->allocate_id(), base_g, 1);
+  base.set_quality(0.5);
+  ASSERT_TRUE(env.store(base, nullptr));
+
+  auto derived_g = widths_graph({16, 16, 16, 16, 40});
+  auto prep = env.run(env.client().prepare_transfer(derived_g));
+  ASSERT_TRUE(prep.ok() && prep->has_value());
+  auto tc = std::move(prep->value());
+  ASSERT_GT(env.provider().pin_ledger_size(), 0u);
+
+  auto child = model::Model::random(env.repo->allocate_id(), derived_g, 2);
+  for (size_t i = 0; i < tc.matches.size(); ++i) {
+    child.segment(tc.matches[i].first) = tc.prefix_segments[i];
+  }
+  ASSERT_TRUE(env.store(child, &tc));
+  // The pin became the child's reference: ledger empty, refcount still 2.
+  EXPECT_EQ(env.provider().pin_ledger_size(), 0u);
+  EXPECT_EQ(env.provider().refcount(SegmentKey{base.id(), 0}), 2);
+
+  // A later reincarnation has nothing to reap — the child's reference is a
+  // real one, not a leaked pin.
+  env.reincarnate();
+  ModelId base_id = base.id();
+  ModelId child_id = child.id();
+  auto unrelated = model::Model::random(ModelId::make(9, 1),
+                                        chain_graph(2, 8), 9);
+  ASSERT_TRUE(env.store(unrelated, nullptr));
+  EXPECT_EQ(env.provider().stats().pins_reaped, 0u);
+  EXPECT_EQ(env.provider().refcount(SegmentKey{base_id, 0}), 2);
+
+  ASSERT_TRUE(env.run(env.client().retire(base_id)).ok());
+  EXPECT_EQ(env.provider().refcount(SegmentKey{base_id, 0}), 1);
+  ASSERT_TRUE(env.run(env.client().retire(child_id)).ok());
+  ASSERT_TRUE(env.run(env.client().retire(unrelated.id())).ok());
+  EXPECT_EQ(env.provider().segment_count(), 0u);
+}
+
+TEST(PinLeak, AbandonedTransferLeavesNoLedgerResidue) {
+  PinEnv env;
+  auto base = model::Model::random(env.repo->allocate_id(),
+                                   widths_graph({16, 16, 16, 20}), 1);
+  base.set_quality(0.5);
+  ASSERT_TRUE(env.store(base, nullptr));
+
+  auto prep =
+      env.run(env.client().prepare_transfer(widths_graph({16, 16, 16, 40})));
+  ASSERT_TRUE(prep.ok() && prep->has_value());
+  auto tc = std::move(prep->value());
+  ASSERT_GT(env.provider().pin_ledger_size(), 0u);
+
+  ASSERT_TRUE(env.run(env.client().abandon_transfer(tc)).ok());
+  EXPECT_EQ(env.provider().pin_ledger_size(), 0u);
+  EXPECT_EQ(env.provider().refcount(SegmentKey{base.id(), 0}), 1);
+
+  ASSERT_TRUE(env.run(env.client().retire(base.id())).ok());
+  EXPECT_EQ(env.provider().segment_count(), 0u);
+}
+
+}  // namespace
+}  // namespace evostore::core

@@ -122,16 +122,57 @@ TEST(Wire, ReadSegmentsRequestResponse) {
   ReadSegmentsRequest req;
   req.keys.push_back({ModelId::make(1, 1), 0});
   req.keys.push_back({ModelId::make(2, 9), 17});
+  req.cached_versions = {0, 42};
+  req.reader_node = 7;
+  req.caching = true;
+  req.accept_redirect = true;
   auto rout = round_trip(req);
   ASSERT_EQ(rout.keys.size(), 2u);
   EXPECT_EQ(rout.keys[1].vertex, 17u);
+  EXPECT_EQ(rout.cached_versions, req.cached_versions);
+  EXPECT_EQ(rout.reader_node, 7u);
+  EXPECT_TRUE(rout.caching);
+  EXPECT_TRUE(rout.accept_redirect);
+
+  // A cache-less request (no validation vector) round-trips too.
+  ReadSegmentsRequest plain;
+  plain.keys.push_back({ModelId::make(1, 1), 0});
+  auto pout = round_trip(plain);
+  EXPECT_TRUE(pout.cached_versions.empty());
+  EXPECT_FALSE(pout.caching);
 
   ReadSegmentsResponse resp;
   resp.status = common::Status::Ok();
   auto g = chain_graph(2, 8);
   resp.segments.push_back(raw_envelope(model::make_random_segment(g, 1, 5)));
   resp.payload_bytes = resp.segments[0].physical_bytes;
+  resp.info.push_back({ReadEntryState::kFresh, 3, 0});
+  resp.info.push_back({ReadEntryState::kNotModified, 42, 0});
+  resp.info.push_back({ReadEntryState::kRedirect, 44, 9});
   auto sout = round_trip(resp);
+  ASSERT_EQ(sout.segments.size(), 1u);
+  EXPECT_EQ(sout.segments[0], resp.segments[0]);
+  EXPECT_EQ(sout.payload_bytes, resp.payload_bytes);
+  EXPECT_EQ(sout.info, resp.info);
+}
+
+TEST(Wire, PeerReadMessages) {
+  PeerReadRequest req;
+  req.keys.push_back({ModelId::make(5, 1), 3});
+  req.keys.push_back({ModelId::make(5, 2), 4});
+  req.versions = {11, 12};
+  auto rout = round_trip(req);
+  EXPECT_EQ(rout.keys, req.keys);
+  EXPECT_EQ(rout.versions, req.versions);
+
+  PeerReadResponse resp;
+  resp.status = common::Status::Ok();
+  resp.found = {1, 0};
+  auto g = chain_graph(2, 8);
+  resp.segments.push_back(raw_envelope(model::make_random_segment(g, 1, 9)));
+  resp.payload_bytes = resp.segments[0].physical_bytes;
+  auto sout = round_trip(resp);
+  EXPECT_EQ(sout.found, resp.found);
   ASSERT_EQ(sout.segments.size(), 1u);
   EXPECT_EQ(sout.segments[0], resp.segments[0]);
   EXPECT_EQ(sout.payload_bytes, resp.payload_bytes);
@@ -158,10 +199,14 @@ TEST(Wire, ModifyRefs) {
   req.increment = false;
   req.keys.push_back({ModelId::make(3, 3), 5});
   req.token = 0xfeed0001cafe0042ULL;
+  req.pin_epoch = 5;
+  req.pin_consume = true;
   auto out = round_trip(req);
   EXPECT_FALSE(out.increment);
   ASSERT_EQ(out.keys.size(), 1u);
   EXPECT_EQ(out.token, req.token);
+  EXPECT_EQ(out.pin_epoch, 5u);
+  EXPECT_TRUE(out.pin_consume);
 
   // Default-constructed requests carry the zero (no-dedup) token.
   EXPECT_EQ(round_trip(ModifyRefsRequest{}).token, 0u);
@@ -193,6 +238,9 @@ TEST(Wire, StatsMessages) {
   resp.live_segments = 16;
   resp.logical_bytes = 1 << 20;
   resp.physical_bytes = 1 << 18;
+  resp.not_modified_reads = 6;
+  resp.redirects_issued = 2;
+  resp.pins_reaped = 1;
   resp.codecs.push_back(
       {compress::CodecId::kDeltaVsAncestor, 16, 1 << 20, 1 << 18});
   resp.histograms.push_back(
@@ -210,6 +258,9 @@ TEST(Wire, StatsMessages) {
   EXPECT_EQ(out.live_segments, 16u);
   EXPECT_EQ(out.logical_bytes, 1u << 20);
   EXPECT_EQ(out.physical_bytes, 1u << 18);
+  EXPECT_EQ(out.not_modified_reads, 6u);
+  EXPECT_EQ(out.redirects_issued, 2u);
+  EXPECT_EQ(out.pins_reaped, 1u);
   EXPECT_EQ(out.codecs, resp.codecs);
   EXPECT_EQ(out.histograms, resp.histograms);
 

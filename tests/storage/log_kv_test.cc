@@ -206,6 +206,67 @@ TEST_F(LogKvTest, KeysSorted) {
   EXPECT_EQ(kv->keys(), (std::vector<std::string>{"a", "b", "c"}));
 }
 
+TEST_F(LogKvTest, ReopenCompactsWhenMostlyDead) {
+  LogKvOptions opt;
+  opt.segment_max_bytes = 1024;
+  size_t disk_before = 0;
+  {
+    auto kv = open(opt);
+    for (int round = 0; round < 8; ++round) {
+      for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(kv->put("k" + std::to_string(i), Buffer::zeros(64)).ok());
+      }
+    }
+    for (int i = 5; i < 10; ++i) {
+      ASSERT_TRUE(kv->erase("k" + std::to_string(i)).ok());
+    }
+    EXPECT_GT(kv->dead_bytes(), kv->disk_bytes() / 2);
+    disk_before = kv->disk_bytes();
+  }
+  // No explicit compact(): open() itself runs the sweep (over half the log
+  // is dead) and the rebuilt store starts from a clean, smaller file set.
+  auto kv = open(opt);
+  EXPECT_LT(kv->disk_bytes(), disk_before);
+  EXPECT_EQ(kv->dead_bytes(), 0u);
+  EXPECT_EQ(kv->size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto r = kv->get("k" + std::to_string(i));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 64u);
+  }
+}
+
+TEST_F(LogKvTest, ReopenSweepDisabledByZeroRatio) {
+  LogKvOptions opt;
+  opt.compact_on_open_ratio = 0;
+  size_t disk_before = 0;
+  {
+    auto kv = open(opt);
+    ASSERT_TRUE(kv->put("k", Buffer::zeros(256)).ok());
+    ASSERT_TRUE(kv->put("k", Buffer::zeros(8)).ok());
+    disk_before = kv->disk_bytes();
+  }
+  auto kv = open(opt);
+  EXPECT_EQ(kv->disk_bytes(), disk_before);
+  EXPECT_GT(kv->dead_bytes(), 0u);
+}
+
+TEST_F(LogKvTest, ReopenSweepSkipsMostlyLiveLog) {
+  size_t disk_before = 0;
+  {
+    auto kv = open();
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(kv->put("k" + std::to_string(i), Buffer::zeros(64)).ok());
+    }
+    ASSERT_TRUE(kv->erase("k0").ok());  // small dead share
+    disk_before = kv->disk_bytes();
+  }
+  auto kv = open();
+  // Under the ratio: no rewrite (the tombstone's dead bytes survive).
+  EXPECT_EQ(kv->disk_bytes(), disk_before);
+  EXPECT_GT(kv->dead_bytes(), 0u);
+}
+
 TEST_F(LogKvTest, ManyKeysStressAndReopen) {
   LogKvOptions opt;
   opt.segment_max_bytes = 4096;
