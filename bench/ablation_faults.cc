@@ -16,12 +16,34 @@
 // fault-free end state (zero models, zero segments, zero bytes), proving no
 // reference count was ever leaked or double-applied.
 //
+// Beyond the MTBF matrix, three replication fault legs (DESIGN.md §15)
+// exercise the k-way replica machinery end to end:
+//   --kill-one-forever  provider 0 crashes with its backend WIPED (permanent
+//                       loss), restarts empty 30 simulated seconds later, and
+//                       anti-entropy repair rebuilds it from replica peers
+//                       mid-run. The leg passes only if the cluster converges
+//                       back to full k-way replication with a bit-identical
+//                       client read-back and zero parked hints.
+//   --drain             the last provider is drained out of the ring under
+//                       ongoing traffic; its catalog must migrate to the
+//                       successor replicas and the provider must end empty.
+//   --partition         the kill-one-forever schedule plus a symmetric
+//                       network partition islanding the recovering provider:
+//                       its restart (and the hinted-handoff replay it
+//                       triggers) happens INSIDE the partition, so replay
+//                       traffic is held and re-delivered reordered after the
+//                       heal. Proves handoff replay survives partitions.
+//
 // Flags: --gpus N        worker count            (default 128)
 //        --candidates N  NAS candidate budget    (default 400)
 //        --seed S        NAS + fault seed        (default 42)
 //        --cache-mb N    per-client segment cache (0 = off). The cache must
 //                        not change completion, the drain-to-zero end state,
 //                        or --verify reproducibility — only wire traffic.
+//        --replication K replica count override (0 = library default; 1
+//                        restores the paper's single-owner placement — the
+//                        replication legs above require K >= 2)
+//        --kill-one-forever / --drain / --partition   enable the legs above
 //        --verify        run every fault config TWICE and compare digests
 //                        (bit-identical reproducibility check)
 //        --metrics-out FILE  JSON metrics snapshot over all fault configs
@@ -64,6 +86,16 @@ uint64_t outcome_digest(const bench::NasOutcome& out) {
   mix(out.fault.end_models);
   mix(out.fault.end_segments);
   mix(static_cast<uint64_t>(out.fault.end_logical_bytes));
+  mix(out.fault.read_failovers);
+  mix(out.fault.hints_sent);
+  mix(out.fault.hints_replayed);
+  mix(out.fault.partitioned_messages);
+  mix(static_cast<uint64_t>(out.fault.end_parked_hints));
+  mix(static_cast<uint64_t>(out.fault.converged) |
+      (static_cast<uint64_t>(out.fault.readback_ok) << 1) |
+      (static_cast<uint64_t>(out.fault.repair_ok) << 2) |
+      (static_cast<uint64_t>(out.fault.drain_ok) << 3));
+  mix(out.fault.readback_digest);
   return h;
 }
 
@@ -83,6 +115,11 @@ int main(int argc, char** argv) {
       bench::arg_int(argc, argv, "--candidates", 400));
   uint64_t seed = static_cast<uint64_t>(bench::arg_int(argc, argv, "--seed", 42));
   int cache_mb = bench::arg_int(argc, argv, "--cache-mb", 0);
+  size_t replication = static_cast<size_t>(
+      bench::arg_int(argc, argv, "--replication", 0));
+  bool leg_kill = bench::arg_flag(argc, argv, "--kill-one-forever");
+  bool leg_drain = bench::arg_flag(argc, argv, "--drain");
+  bool leg_partition = bench::arg_flag(argc, argv, "--partition");
   bool verify = bench::arg_flag(argc, argv, "--verify");
   auto obs = bench::Observability::from_args(argc, argv);
   if (verify && !obs.trace_path.empty()) {
@@ -105,6 +142,7 @@ int main(int argc, char** argv) {
   // Fault-free reference: same workload, no injector at all.
   bench::RunOptions baseline_opts;
   baseline_opts.cache = cache_cfg;
+  baseline_opts.replication = replication;
   auto baseline = bench::run_nas_approach(Approach::kEvoStore, gpus,
                                           candidates, seed, baseline_opts);
   std::printf("fault-free baseline: makespan %.1fs, %zu tasks, %zu retired\n\n",
@@ -125,6 +163,7 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) {
     bench::RunOptions opts;
     opts.cache = cache_cfg;
+    opts.replication = replication;
     opts.fault_seed = seed;
     opts.fault_mtbf = row.mtbf;
     opts.fault_mttr = row.mttr;
@@ -160,11 +199,131 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Replication fault legs (DESIGN.md §15) -------------------------------
+  // Each leg is a full NAS run with one orchestrated fault, triggered at a
+  // fixed fraction of the fault-free makespan so the schedule is a pure
+  // function of the flags (required for --verify digest matching).
+  const double leg_t = 0.25 * baseline.result.makespan;
+  auto reproducible = [&](const bench::RunOptions& opts,
+                          const bench::NasOutcome& first) {
+    if (!verify) return true;
+    auto again = bench::run_nas_approach(Approach::kEvoStore, gpus, candidates,
+                                         seed, opts);
+    return outcome_digest(again) == outcome_digest(first);
+  };
+  auto print_leg = [&](const char* label, const bench::NasOutcome& out,
+                       bool ok) {
+    std::printf("%-22s %9.1fs %7.2fx failovers %" PRIu64 ", hints %" PRIu64
+                "/%" PRIu64 " replayed, parked %zu, partitioned %" PRIu64
+                " — %s\n",
+                label, out.result.makespan,
+                out.result.makespan / baseline.result.makespan,
+                out.fault.read_failovers, out.fault.hints_sent,
+                out.fault.hints_replayed, out.fault.end_parked_hints,
+                out.fault.partitioned_messages, ok ? "ok" : "FAIL");
+    if (!ok) {
+      std::printf("   !! repair=%d drain=%d converged=%d readback=%d "
+                  "exhausted=%" PRIu64 " drain_failures=%" PRIu64
+                  " drained=%d traces=%zu/%zu\n",
+                  out.fault.repair_ok ? 1 : 0, out.fault.drain_ok ? 1 : 0,
+                  out.fault.converged ? 1 : 0, out.fault.readback_ok ? 1 : 0,
+                  out.fault.exhausted, out.fault.drain_failures,
+                  out.fault.drained_to_zero ? 1 : 0, out.result.traces.size(),
+                  baseline.result.traces.size());
+    }
+  };
+  if (leg_kill || leg_drain || leg_partition) {
+    std::printf("\nreplication fault legs (trigger at t=%.1fs):\n", leg_t);
+  }
+  if (leg_kill) {
+    bench::RunOptions opts;
+    opts.cache = cache_cfg;
+    opts.replication = replication;
+    opts.fault_seed = seed;
+    opts.fault_crash_providers = 0;  // only the orchestrated permanent kill
+    opts.kill_forever_at = leg_t;
+    if (obs.enabled()) opts.observability = &obs;
+    auto out = bench::run_nas_approach(Approach::kEvoStore, gpus, candidates,
+                                       seed, opts);
+    // Acceptance: the wiped provider is rebuilt from its replica peers, the
+    // cluster converges back to FULL k-way replication with bit-identical
+    // envelopes, the client read-back succeeds for every surviving model,
+    // no hint stays parked, and no operation surfaced an error.
+    bool ok = out.fault.repair_ok && out.fault.converged &&
+              out.fault.readback_ok && out.fault.end_parked_hints == 0 &&
+              out.fault.exhausted == 0 && out.fault.drain_failures == 0 &&
+              out.fault.drained_to_zero &&
+              out.result.traces.size() == baseline.result.traces.size() &&
+              reproducible(opts, out);
+    print_leg("kill-one-forever", out, ok);
+    all_ok = all_ok && ok;
+  }
+  if (leg_drain) {
+    bench::RunOptions opts;
+    opts.cache = cache_cfg;
+    opts.replication = replication;
+    opts.fault_seed = seed;
+    opts.fault_crash_providers = 0;
+    opts.drain_at = leg_t;
+    if (obs.enabled()) opts.observability = &obs;
+    auto out = bench::run_nas_approach(Approach::kEvoStore, gpus, candidates,
+                                       seed, opts);
+    // Acceptance: drain completed under ongoing traffic, the drained
+    // provider ended empty and out of the ring, and the surviving replicas
+    // hold every model at full replication.
+    bool ok = out.fault.drain_ok && out.fault.converged &&
+              out.fault.readback_ok && out.fault.end_parked_hints == 0 &&
+              out.fault.exhausted == 0 && out.fault.drain_failures == 0 &&
+              out.fault.drained_to_zero &&
+              out.result.traces.size() == baseline.result.traces.size() &&
+              reproducible(opts, out);
+    print_leg("drain", out, ok);
+    all_ok = all_ok && ok;
+  }
+  if (leg_partition) {
+    // Kill-one-forever schedule plus a partition islanding the recovering
+    // provider over [leg_t+20, leg_t+40): the restart at leg_t+30 lands
+    // INSIDE the window, so the hinted-handoff replay it triggers is held by
+    // the partition and re-delivered in seeded reordered order at the heal.
+    bench::RunOptions opts;
+    opts.cache = cache_cfg;
+    opts.replication = replication;
+    opts.fault_seed = seed;
+    opts.fault_crash_providers = 0;
+    opts.kill_forever_at = leg_t;
+    opts.partition_at = leg_t + 20;
+    opts.partition_duration = 20;
+    if (obs.enabled()) opts.observability = &obs;
+    auto out = bench::run_nas_approach(Approach::kEvoStore, gpus, candidates,
+                                       seed, opts);
+    bool ok = out.fault.partitioned_messages > 0 && out.fault.repair_ok &&
+              out.fault.converged && out.fault.readback_ok &&
+              out.fault.end_parked_hints == 0 && out.fault.exhausted == 0 &&
+              out.fault.drain_failures == 0 && out.fault.drained_to_zero &&
+              out.result.traces.size() == baseline.result.traces.size() &&
+              reproducible(opts, out);
+    print_leg("partition+handoff", out, ok);
+    all_ok = all_ok && ok;
+  }
+
   std::printf("\nchecks:\n");
   std::printf("  - every fault config completed all %zu candidates\n",
               baseline.result.traces.size());
   std::printf("  - post-run drain (retire survivors) reached the fault-free "
               "end state: zero models / segments / bytes\n");
+  if (leg_kill) {
+    std::printf("  - kill-one-forever: wiped provider rebuilt from replica "
+                "peers; full k-way replication restored; read-back "
+                "bit-identical; zero client-visible errors\n");
+  }
+  if (leg_drain) {
+    std::printf("  - drain: catalog migrated to successor replicas under "
+                "ongoing traffic; drained provider ended empty\n");
+  }
+  if (leg_partition) {
+    std::printf("  - partition: hinted-handoff replay was held by the "
+                "partition and survived the reordered heal\n");
+  }
   if (verify) {
     std::printf("  - reruns with the same seed were bit-identical "
                 "(trace times, fault counters, end state)\n");

@@ -5,9 +5,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baseline/hdf5_pfs.h"
 #include "bench/bench_common.h"
+#include "common/hash.h"
 #include "nas/attn_space.h"
 #include "nas/runner.h"
 #include "net/fault.h"
@@ -50,6 +53,24 @@ struct FaultOutcome {
   size_t end_segments = 0;
   size_t end_logical_bytes = 0;
   bool drained_to_zero = false;
+  // K-way replication fault model (DESIGN.md §15).
+  uint64_t read_failovers = 0;        // reads that fell over to another replica
+  uint64_t hints_sent = 0;            // writes parked as hinted handoffs
+  uint64_t hints_replayed = 0;        // hints delivered on target recovery
+  uint64_t partitioned_messages = 0;  // legs held by a network partition
+  size_t end_parked_hints = 0;        // hints still parked when the run ended
+  /// Kill-one-forever leg: the mid-run repair_provider() call succeeded.
+  bool repair_ok = false;
+  /// Drain leg: the mid-run drain_provider() call succeeded and the drained
+  /// provider ended the run with an empty catalog.
+  bool drain_ok = false;
+  /// Post-run audit: every surviving model present on ALL of its replicas
+  /// with bit-identical self-owned segment envelopes (full k-way strength).
+  bool converged = false;
+  /// Post-run read-back: every surviving model loaded through the client API
+  /// without error, its content folded into `readback_digest`.
+  bool readback_ok = false;
+  uint64_t readback_digest = 0;
 };
 
 struct NasOutcome {
@@ -100,6 +121,26 @@ struct RunOptions {
   /// No crash is scheduled past this simulated time (keeps the end-of-run
   /// drain out of the fault window).
   double fault_horizon = 4000;
+  /// Replica count for EvoStore clients (0 = library default). 1 restores
+  /// the paper's single-owner placement.
+  size_t replication = 0;
+  /// Kill-one-FOREVER leg (requires fault_seed != 0): at this simulated time
+  /// provider 0 crashes AND its backend is wiped — permanent data loss, not
+  /// a crash window. `kill_repair_delay` seconds later it restarts empty and
+  /// repair_provider() rebuilds it from its replica peers while the search
+  /// keeps running. 0 disables.
+  double kill_forever_at = 0;
+  double kill_repair_delay = 30;
+  /// Symmetric network partition islanding provider 0's node over
+  /// [partition_at, partition_at + partition_duration): crossing messages
+  /// are held and re-delivered after the heal in a seeded reordered order
+  /// (requires fault_seed != 0). 0 disables.
+  double partition_at = 0;
+  double partition_duration = 0;
+  /// Drain leg (requires fault_seed != 0 for the fault accounting): at this
+  /// simulated time the LAST provider is drained out of the ring under
+  /// ongoing traffic. 0 disables.
+  double drain_at = 0;
   /// When set, the run attaches the harness's metrics registry (and, on the
   /// first attached cluster, its tracer) to the cluster's RpcSystem — see
   /// Observability in bench_common.h. Non-owning; detached before the
@@ -114,6 +155,96 @@ inline compress::ChunkerConfig sim_scale_chunker() {
   return compress::ChunkerConfig{/*min_bytes=*/32, /*avg_bytes=*/64,
                                  /*max_bytes=*/256};
 }
+
+namespace detail {
+
+/// Kill-one-forever orchestration, spawned alongside the NAS run. Parameters
+/// travel by value (pointers/ids) — the coroutine outlives the spawning
+/// statement, so it must not capture references to locals via a lambda.
+inline sim::CoTask<void> kill_forever_leg(sim::Simulation* sim,
+                                          net::FaultInjector* injector,
+                                          core::EvoStoreRepository* repo,
+                                          storage::MemKv* backend,
+                                          common::NodeId node,
+                                          common::ProviderId provider,
+                                          double at, double repair_delay,
+                                          bool* repair_ok) {
+  co_await sim->delay(at);
+  injector->crash_node(node);
+  // Permanent loss: the backend dies with the process, so the restart below
+  // comes back EMPTY — only anti-entropy repair can rebuild this replica.
+  for (const std::string& key : backend->keys()) (void)backend->erase(key);
+  co_await sim->delay(repair_delay);
+  injector->restart_node(node);
+  auto st = co_await repo->repair_provider(provider);
+  *repair_ok = st.ok();
+}
+
+/// Drain orchestration: flip membership + migrate the catalog mid-run.
+inline sim::CoTask<void> drain_leg(sim::Simulation* sim,
+                                   core::EvoStoreRepository* repo,
+                                   common::ProviderId provider, double at,
+                                   bool* drain_ok) {
+  co_await sim->delay(at);
+  auto st = co_await repo->drain_provider(provider);
+  *drain_ok = st.ok();
+}
+
+/// Post-run replica-convergence audit: every id present on ALL of its
+/// replicas, with bit-identical self-owned segment envelopes everywhere.
+/// (Ancestor-owned composition entries belong to the ancestor's replica set
+/// and are audited under the ancestor's own id.)
+inline bool full_replication_converged(core::EvoStoreRepository& repo,
+                                       const std::vector<common::ModelId>& ids) {
+  const core::Membership& membership = repo.membership();
+  for (common::ModelId id : ids) {
+    auto reps = membership.replicas(id);
+    size_t want = std::min(membership.replication(), membership.live_count());
+    if (reps.size() != want || reps.empty()) return false;
+    const core::OwnerMap* owners = nullptr;
+    for (common::ProviderId p : reps) {
+      if (!repo.provider(p).has_model(id)) return false;
+      if (owners == nullptr) owners = repo.provider(p).owner_map(id);
+    }
+    if (owners == nullptr) return false;
+    for (const common::SegmentKey& key : owners->entries()) {
+      if (key.owner != id) continue;  // ancestor-owned: audited under its id
+      const auto* first = repo.provider(reps[0]).segment_envelope(key);
+      if (first == nullptr) return false;
+      for (size_t i = 1; i < reps.size(); ++i) {
+        const auto* other = repo.provider(reps[i]).segment_envelope(key);
+        if (other == nullptr || !(*other == *first)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Post-run read-back: load every surviving model through the client API and
+/// fold its content fingerprints into an order-sensitive digest.
+inline sim::CoTask<bool> readback_population(
+    core::EvoStoreRepository* repo, common::NodeId reader,
+    const std::vector<common::ModelId>* ids, uint64_t* digest) {
+  uint64_t h = 0x243f6a8885a308d3ULL;
+  bool ok = true;
+  for (common::ModelId id : *ids) {
+    auto r = co_await repo->load(reader, id);
+    if (!r.ok()) {
+      ok = false;
+      continue;
+    }
+    h = common::hash_combine(h, id.value);
+    for (common::VertexId v = 0; v < r->vertex_count(); ++v) {
+      common::Hash128 f = r->segment(v).identity();
+      h = common::hash_combine(h, f.hi);
+      h = common::hash_combine(h, f.lo);
+    }
+  }
+  *digest = h;
+  co_return ok;
+}
+
+}  // namespace detail
 
 inline NasOutcome run_nas_approach(Approach approach, int gpus,
                                    size_t candidates, uint64_t seed,
@@ -144,6 +275,7 @@ inline NasOutcome run_nas_approach(Approach approach, int gpus,
       core::ClientConfig ccfg;
       ccfg.put_codec = options.put_codec;
       ccfg.cache = options.cache;
+      if (options.replication != 0) ccfg.replication = options.replication;
       std::vector<std::unique_ptr<storage::MemKv>> backing;
       std::vector<storage::KvStore*> backends;
       std::unique_ptr<net::FaultInjector> injector;
@@ -176,12 +308,67 @@ inline NasOutcome run_nas_approach(Approach approach, int gpus,
         ccfg.retry.max_attempts = 12;
         ccfg.rpc_timeout = 1.0;
         ccfg.fault_seed = options.fault_seed;
+        // Two-tier write budget: a replica leg that keeps failing parks its
+        // hinted handoff after ~6 fast attempts instead of riding the whole
+        // budget, while outer put rounds (same token, idempotent) keep the
+        // operation alive through long outages — including the case where
+        // the CLIENT's own co-located node is the one that crashed.
+        ccfg.retry.write_leg_attempts = 6;
+        if (options.kill_forever_at > 0 || options.partition_duration > 0) {
+          // The orchestrated outages below run much longer than the MTTR the
+          // default budget was sized for — and providers are CO-LOCATED with
+          // compute nodes, so the killed node's own workers lose their
+          // client egress for the whole window. Extend the attempt cap so
+          // cumulative backoff (~13 s for the first 12 attempts, then
+          // max_backoff per attempt) rides through the longest outage plus
+          // reorder-heal slack instead of exhausting mid-window.
+          double outage =
+              options.kill_repair_delay + options.partition_duration + 10;
+          ccfg.retry.max_attempts =
+              12 + static_cast<int>(outage / ccfg.retry.max_backoff);
+        }
       }
       core::EvoStoreRepository repo(cluster.rpc, cluster.provider_nodes,
                                     options.provider_config, backends, ccfg);
       cfg.use_transfer = true;
+      // Fault-orchestration legs run as independent simulated processes
+      // inside run_nas's event loop; the futures let the post-run accounting
+      // below confirm each leg actually finished.
+      bool repair_ok = false;
+      bool drain_ok = false;
+      const bool kill_leg =
+          injector != nullptr && options.kill_forever_at > 0 && !backing.empty();
+      const bool drain_leg_on =
+          injector != nullptr && options.drain_at > 0 &&
+          cluster.provider_nodes.size() > 1;
+      if (kill_leg) {
+        cluster.sim.spawn(detail::kill_forever_leg(
+            // evo-lint: suppress(EVO-CORO-004) drained by sim.run() below
+            &cluster.sim, injector.get(), &repo, backing.front().get(),
+            cluster.provider_nodes.front(), common::ProviderId{0},
+            // evo-lint: suppress(EVO-CORO-004) drained by sim.run() below
+            options.kill_forever_at, options.kill_repair_delay, &repair_ok));
+      }
+      if (drain_leg_on) {
+        const auto last = static_cast<common::ProviderId>(
+            cluster.provider_nodes.size() - 1);
+        cluster.sim.spawn(detail::drain_leg(
+            // evo-lint: suppress(EVO-CORO-004) drained by sim.run() below
+            &cluster.sim, &repo, last, options.drain_at, &drain_ok));
+      }
+      if (injector != nullptr && options.partition_duration > 0) {
+        const std::vector<common::NodeId> island{
+            cluster.provider_nodes.front()};
+        injector->schedule_partition(
+            island, options.partition_at,
+            options.partition_at + options.partition_duration);
+      }
       out.result = nas::run_nas(cluster.sim, cluster.fabric, space, &repo,
                                 cluster.workers, cluster.controller, cfg);
+      // A leg whose trigger time lands past the search makespan is still
+      // pending: drain the event queue so it runs to completion before the
+      // audits below.
+      if (kill_leg || drain_leg_on) cluster.sim.run();
       out.stored_bytes = repo.stored_payload_bytes();
       out.physical_bytes = repo.stored_physical_bytes();
       out.pre_dedup_physical_bytes = repo.stored_pre_dedup_physical_bytes();
@@ -190,6 +377,24 @@ inline NasOutcome run_nas_approach(Approach approach, int gpus,
       out.peak_metadata_bytes = repo.total_metadata_bytes();
       if (injector != nullptr) {
         out.fault_enabled = true;
+        // Replica-convergence audit and client read-back run BEFORE the
+        // retire-drain below empties the repository. The audit walks every
+        // surviving model's replica set; the read-back digests content
+        // fingerprints through the normal client path (failover included).
+        out.fault.converged = detail::full_replication_converged(
+            repo, out.result.final_population);
+        out.fault.readback_ok = cluster.sim.run_until_complete(
+            detail::readback_population(&repo, cluster.workers[0],
+                                        &out.result.final_population,
+                                        &out.fault.readback_digest));
+        out.fault.repair_ok = repair_ok;
+        if (drain_leg_on) {
+          const auto last = static_cast<common::ProviderId>(
+              cluster.provider_nodes.size() - 1);
+          out.fault.drain_ok = drain_ok && repo.provider(last).drained() &&
+                               repo.provider(last).model_ids().empty() &&
+                               !repo.membership().is_live(last);
+        }
         // Retire every model still alive in the population, then check the
         // repository really is empty — the acceptance criterion that
         // refcounts never leaked or double-applied under faults.
@@ -212,6 +417,13 @@ inline NasOutcome run_nas_approach(Approach approach, int gpus,
         out.fault.exhausted = cs.exhausted;
         out.fault.partial_lcp_queries = cs.partial_lcp_queries;
         out.fault.degraded_transfers = cs.degraded_transfers;
+        out.fault.read_failovers = cs.read_failovers;
+        out.fault.hints_sent = cs.hints_sent;
+        out.fault.partitioned_messages = is.partitioned_messages;
+        for (size_t p = 0; p < repo.provider_count(); ++p) {
+          out.fault.hints_replayed += repo.provider(p).stats().hints_replayed;
+        }
+        out.fault.end_parked_hints = repo.total_hints();
         out.fault.provider_restarts = repo.total_provider_restarts();
         out.fault.deduped_replays = repo.total_deduped_replays();
         out.fault.end_models = repo.total_models();

@@ -20,9 +20,13 @@
 // one reference on `base` for as long as the envelope lives, and releases it
 // (possibly cascading) when the envelope is freed — see handle_modify_refs.
 // A kChunked envelope additionally holds one reference on every manifest
-// chunk in its provider's chunk store (storage/chunk_store.h); only the
-// provider that chunked it can resolve the manifest, so chunked envelopes
-// never travel on the wire — reads reassemble back to kInline first.
+// chunk in its provider's chunk store (storage/chunk_store.h); a client can
+// never resolve a manifest, so chunked envelopes never travel on the
+// client-facing wire — reads reassemble back to kInline first. The one
+// exception is provider-to-provider traffic (kReplicate, driven by hint
+// replay, drain, and repair): manifests travel as-is there, and the
+// receiving replica pulls any chunk bodies it is missing content-addressed
+// via kFetchChunks from whichever peer holds them.
 #pragma once
 
 #include <cstdint>

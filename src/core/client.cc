@@ -34,6 +34,12 @@ Client::Client(net::RpcSystem& rpc, NodeId self, uint32_t client_id,
       config_(config),
       retry_rng_(common::hash_combine(config.fault_seed, client_id)) {
   assert(!provider_nodes_.empty());
+  // Shared membership when the repository installed one (drains propagate
+  // to every client at once); otherwise a private fully-live view.
+  membership_ = config_.membership != nullptr
+                    ? config_.membership
+                    : std::make_shared<Membership>(provider_nodes_.size(),
+                                                   config_.replication);
   // Client-side end-to-end latencies land in the cluster registry when one
   // is attached to the RpcSystem (pointers stay null otherwise, so the
   // unattached hot path pays one branch per operation).
@@ -89,8 +95,11 @@ sim::CoTask<Result<wire::LcpQueryResponse>> Client::query_lcp(
   auto& sim = rpc_->simulation();
   std::vector<sim::Future<Result<wire::LcpQueryResponse>>> futures;
   futures.reserve(provider_nodes_.size());
-  for (NodeId node : provider_nodes_) {
-    futures.push_back(sim.spawn(lcp_one(node, req, span.context())));
+  for (size_t p = 0; p < provider_nodes_.size(); ++p) {
+    // Drained providers hold no catalog; broadcasting to them would only
+    // burn the retry budget and mark the reduce partial.
+    if (!membership_->is_live(static_cast<common::ProviderId>(p))) continue;
+    futures.push_back(sim.spawn(lcp_one(provider_nodes_[p], req, span.context())));
   }
   wire::LcpQueryResponse best;
   size_t unreachable = 0;
@@ -146,10 +155,14 @@ sim::CoTask<Result<wire::ModifyRefsResponse>> Client::refs_one(
 
 sim::CoTask<Status> Client::put_one(NodeId home, wire::PutModelRequest req,
                                     size_t payload_bytes,
-                                    obs::TraceContext parent) {
+                                    obs::TraceContext parent, int attempt_cap,
+                                    bool prior_rounds) {
   // Data plane first: the consolidated new tensors cross via bulk RDMA,
   // then the (small) metadata RPC publishes the model. Both legs retry as
   // one unit — a lost publish re-sends the (idempotent) payload too.
+  // `attempt_cap` bounds THIS leg only; exhausting it is not an operation
+  // failure (put_model may hint the leg away or re-fan another round), so
+  // the exhausted counter is the caller's to bump.
   for (int attempt = 1;; ++attempt) {
     obs::Span span =
         obs::Tracer::maybe_begin(tracer(), "put_attempt", self_, parent);
@@ -167,9 +180,11 @@ sim::CoTask<Status> Client::put_one(NodeId home, wire::PutModelRequest req,
       span.tag("outcome", "ok");
       co_return st;
     }
-    // Model ids are globally unique, so AlreadyExists on a RETRY can only
-    // mean an earlier attempt committed and its response was lost.
-    if (attempt > 1 && st.code() == common::ErrorCode::kAlreadyExists) {
+    // Model ids are globally unique, so AlreadyExists on a RETRY (including
+    // an earlier outer round) can only mean an earlier attempt committed and
+    // its response was lost.
+    if ((attempt > 1 || prior_rounds) &&
+        st.code() == common::ErrorCode::kAlreadyExists) {
       span.tag("outcome", "committed-by-earlier-attempt");
       co_return Status::Ok();
     }
@@ -177,9 +192,8 @@ sim::CoTask<Status> Client::put_one(NodeId home, wire::PutModelRequest req,
       span.tag("outcome", st.to_string());
       co_return st;
     }
-    if (attempt >= config_.retry.max_attempts) {
-      ++fault_stats_.exhausted;
-      span.tag("outcome", "exhausted: " + st.to_string());
+    if (attempt >= attempt_cap) {
+      span.tag("outcome", "leg exhausted: " + st.to_string());
       co_return st;
     }
     ++fault_stats_.retries;
@@ -205,62 +219,159 @@ sim::CoTask<Status> Client::modify_refs(
   // the next round (the cascade drains down the delta chain). Increments
   // never free, so they always finish in one round.
   while (!pending.empty()) {
-    std::map<common::ProviderId, std::vector<common::SegmentKey>> groups;
+    // Group keys by their (identical) replica set: every replica of a key
+    // must see the same logical ±1. Each replica gets its own tokened copy
+    // of the group's request — the token makes retries AND hint replays
+    // exactly-once per replica.
+    std::map<std::vector<common::ProviderId>, std::vector<common::SegmentKey>>
+        groups;
     for (const auto& key : pending) {
-      groups[home_of(key.owner)].push_back(key);
-    }
-    std::vector<std::vector<common::SegmentKey>> order;
-    std::vector<sim::Future<Result<wire::ModifyRefsResponse>>> futures;
-    order.reserve(groups.size());
-    futures.reserve(groups.size());
-    for (auto& [provider, group_keys] : groups) {
-      wire::ModifyRefsRequest req;
-      req.increment = first_round ? increment : false;
-      // One token per provider-group request; refs_one reuses it across
-      // retries, so a replayed delivery is deduplicated provider-side and
-      // the refcounts move exactly once.
-      req.token = next_token();
-      // Pin-ledger bookkeeping describes the caller's keys only; the
-      // cascaded base releases of later rounds are plain delta-dependency
-      // references, never pins.
-      if (first_round) {
-        req.pin_epoch = pin_epoch;
-        req.pin_consume = pin_consume;
-      }
-      order.push_back(group_keys);
-      req.keys = std::move(group_keys);
-      futures.push_back(
-          sim.spawn(refs_one(provider_node(provider), std::move(req), parent)));
+      groups[replicas_of(key.owner)].push_back(key);
     }
     pending.clear();
-    for (size_t i = 0; i < futures.size(); ++i) {
-      auto r = co_await futures[i];
-      if (!r.ok()) {
-        status = combine(status, r.status());
+    struct GroupLeg {
+      common::ProviderId replica = 0;
+      size_t future_idx = 0;
+      common::Bytes payload;  // serialized request, kept for hinting
+    };
+    struct GroupState {
+      std::vector<common::ProviderId> reps;
+      std::vector<common::SegmentKey> keys;
+      std::vector<GroupLeg> legs;
+    };
+    std::vector<GroupState> states;
+    std::vector<sim::Future<Result<wire::ModifyRefsResponse>>> futures;
+    states.reserve(groups.size());
+    for (auto& [reps, group_keys] : groups) {
+      GroupState gs;
+      gs.reps = reps;
+      gs.keys = group_keys;
+      for (common::ProviderId p : reps) {
+        wire::ModifyRefsRequest req;
+        req.increment = first_round ? increment : false;
+        req.token = next_token();
+        // Pin-ledger bookkeeping describes the caller's keys only; the
+        // cascaded base releases of later rounds are plain delta-dependency
+        // references, never pins.
+        if (first_round) {
+          req.pin_epoch = pin_epoch;
+          req.pin_consume = pin_consume;
+        }
+        req.keys = group_keys;
+        GroupLeg leg;
+        leg.replica = p;
+        leg.future_idx = futures.size();
+        leg.payload = pack(req);
+        gs.legs.push_back(std::move(leg));
+        futures.push_back(
+            sim.spawn(refs_one(provider_node(p), std::move(req), parent)));
+      }
+      states.push_back(std::move(gs));
+    }
+    for (size_t s = 0; s < states.size(); ++s) {
+      // Replicas hold identical copies and each logical ±1 reaches every
+      // replica exactly once, so their refcounts move in lockstep: any ONE
+      // successful response is authoritative for the cascade. Prefer the one
+      // that found the most keys (a freshly rebuilt replica may briefly lag).
+      std::optional<wire::ModifyRefsResponse> authoritative;
+      std::map<common::SegmentKey, size_t> missing_votes;
+      size_t successes = 0;
+      Status group_status;
+      std::vector<common::ProviderId> failed_reps;
+      std::vector<common::Bytes> failed_payloads;
+      for (size_t i = 0; i < states[s].legs.size(); ++i) {
+        auto r = co_await futures[states[s].legs[i].future_idx];
+        if (!r.ok()) {
+          group_status = combine(group_status, r.status());
+          if (common::is_retryable(r.status().code()) &&
+              membership_->is_live(states[s].legs[i].replica)) {
+            failed_reps.push_back(states[s].legs[i].replica);
+            failed_payloads.push_back(std::move(states[s].legs[i].payload));
+          }
+          continue;
+        }
+        wire::ModifyRefsResponse resp = std::move(r).value();
+        ++successes;
+        for (const auto& mk : resp.missing_keys) ++missing_votes[mk];
+        if (!authoritative.has_value() ||
+            resp.missing < authoritative->missing) {
+          authoritative.emplace(std::move(resp));
+        }
+      }
+      if (successes == 0) {
+        // Every replica unreachable: the delta is lost, not parked — a hint
+        // needs at least one live custodian that applied it.
+        status = combine(status, group_status);
         continue;
       }
-      if (first_round && applied_out != nullptr) {
-        applied_out->insert(applied_out->end(), order[i].begin(),
-                            order[i].end());
+      // Park a hint for each unreachable still-member replica: the delta
+      // must land there eventually or the copies diverge.
+      for (size_t i = 0; i < failed_reps.size(); ++i) {
+        std::vector<common::ProviderId> custodians;
+        for (common::ProviderId p : states[s].reps) {
+          if (p != failed_reps[i]) custodians.push_back(p);
+        }
+        Status hs = co_await send_hint(failed_reps[i], Provider::kModifyRefs,
+                                       std::move(failed_payloads[i]),
+                                       std::move(custodians), parent);
+        if (!hs.ok()) status = combine(status, hs);
+      }
+      // A key is only globally missing when EVERY responding replica
+      // reported it missing (one lagging rebuild must not look like a lost
+      // segment).
+      uint32_t group_missing = 0;
+      for (const auto& [mk, votes] : missing_votes) {
+        (void)mk;
+        if (votes == successes) ++group_missing;
       }
       if (first_round) {
-        missing += r->missing;
-        if (missing_out == nullptr) {
-          // Caller treats missing keys as an error.
-          status = combine(status, r->status);
+        if (applied_out != nullptr) {
+          applied_out->insert(applied_out->end(), states[s].keys.begin(),
+                              states[s].keys.end());
         }
-      } else if (r->missing > 0) {
+        missing += group_missing;
+        if (group_missing > 0 && missing_out == nullptr) {
+          // Caller treats missing keys as an error.
+          status = combine(
+              status, Status::NotFound(std::to_string(group_missing) +
+                                       " segment(s) not found"));
+        }
+      } else if (group_missing > 0) {
         // A cascaded base release hit an already-freed key — the delta
         // dependency held a reference, so this should be impossible.
-        status = combine(status, r->status);
+        status = combine(status,
+                         Status::NotFound("cascaded base release missed"));
       }
-      pending.insert(pending.end(), r->freed_bases.begin(),
-                     r->freed_bases.end());
+      pending.insert(pending.end(), authoritative->freed_bases.begin(),
+                     authoritative->freed_bases.end());
     }
     first_round = false;
   }
   if (missing_out != nullptr) *missing_out = missing;
   co_return status;
+}
+
+sim::CoTask<Status> Client::send_hint(common::ProviderId target,
+                                      std::string method, common::Bytes payload,
+                                      std::vector<common::ProviderId> custodians,
+                                      obs::TraceContext parent) {
+  wire::StoreHintRequest req;
+  req.hint.target = target;
+  req.hint.method = std::move(method);
+  req.hint.payload = std::move(payload);
+  Status last = Status::Unavailable("no live custodian for hint");
+  for (common::ProviderId custodian : custodians) {
+    if (!membership_->is_live(custodian)) continue;
+    auto r = co_await call_retried<wire::StoreHintResponse>(
+        provider_node(custodian), Provider::kStoreHint, req, parent);
+    Status st = r.ok() ? r->status : r.status();
+    if (st.ok()) {
+      ++fault_stats_.hints_sent;
+      co_return st;
+    }
+    last = st;
+  }
+  co_return last;
 }
 
 sim::CoTask<Status> Client::fan_out_refs(const OwnerMap& owners,
@@ -363,15 +474,38 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
   encode.tag_u64("physical_bytes", payload);
   encode.end();
 
-  NodeId home = provider_node(home_of(m.id()));
   auto& sim = rpc_->simulation();
-  // The home-provider write and the inherited-segment ref increments
-  // proceed in parallel (distinct providers). A pinned transfer already
-  // holds +1 on every inherited segment — that pin simply becomes this
-  // model's reference (or, for a fine-tuned vertex, its envelope's delta
-  // base reference).
-  auto put_future =
-      sim.spawn(put_one(home, std::move(req), payload, span.context()));
+  // The model write fans out to every replica in its rendezvous set (same
+  // request, same token — providers deduplicate, so a replica reached twice
+  // commits once) while the inherited-segment ref increments proceed in
+  // parallel. A pinned transfer already holds +1 on every inherited
+  // segment — that pin simply becomes this model's reference (or, for a
+  // fine-tuned vertex, its envelope's delta base reference).
+  //
+  // Two-tier retry budget (RetryPolicy::write_leg_attempts): each leg gets a
+  // short per-round cap, and rounds below re-fan the same tokened request to
+  // the replicas that have not committed yet. One replica down → its leg
+  // exhausts fast and becomes a hinted handoff; the client's own egress
+  // down → every leg fails fast but the rounds ride out the outage.
+  std::vector<common::ProviderId> put_reps = replicas_of(m.id());
+  const int leg_cap =
+      config_.retry.write_leg_attempts > 0
+          ? std::min(config_.retry.write_leg_attempts,
+                     config_.retry.max_attempts)
+          : config_.retry.max_attempts;
+  const int put_rounds =
+      config_.retry.write_leg_attempts > 0 ? config_.retry.max_attempts : 1;
+  std::vector<char> put_done(put_reps.size(), 0);
+  std::vector<Status> leg_status(put_reps.size());
+  std::vector<sim::Future<Status>> put_futures;
+  std::vector<size_t> put_idx;
+  put_futures.reserve(put_reps.size());
+  for (size_t i = 0; i < put_reps.size(); ++i) {
+    put_idx.push_back(i);
+    put_futures.push_back(sim.spawn(put_one(provider_node(put_reps[i]), req,
+                                            payload, span.context(), leg_cap,
+                                            /*prior_rounds=*/false)));
+  }
   Status ref_status;
   if (tc == nullptr || !tc->pinned) {
     std::vector<common::SegmentKey> keys;
@@ -411,7 +545,68 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
                              nullptr, nullptr, span.context(),
                              config_.token_epoch));
   }
-  Status put_status = co_await put_future;
+  // The put commits once ANY replica holds the model (degraded-but-correct:
+  // reads fail over, repair restores full replication). A replica that
+  // stayed unreachable through its whole budget gets the request parked as
+  // a hinted handoff on a replica that did commit.
+  bool committed = false;
+  bool fatal = false;
+  for (int round = 1;; ++round) {
+    for (size_t j = 0; j < put_futures.size(); ++j) {
+      Status st = co_await put_futures[j];
+      leg_status[put_idx[j]] = st;
+      if (st.ok()) {
+        put_done[put_idx[j]] = 1;
+        committed = true;
+      } else if (!common::is_retryable(st.code())) {
+        fatal = true;
+      }
+    }
+    // Stop as soon as anything committed (stragglers become hints), on a
+    // non-retryable error (a bug, not a fault), or when the round budget is
+    // spent. Otherwise every leg failed retryably — likely our own egress is
+    // down — so back off and re-fan the same tokened request.
+    if (committed || fatal || round >= put_rounds) break;
+    ++fault_stats_.retries;
+    co_await sim.delay(backoff_delay(round));
+    put_futures.clear();
+    put_idx.clear();
+    for (size_t i = 0; i < put_reps.size(); ++i) {
+      if (put_done[i] != 0) continue;
+      put_idx.push_back(i);
+      put_futures.push_back(sim.spawn(put_one(provider_node(put_reps[i]), req,
+                                              payload, span.context(), leg_cap,
+                                              /*prior_rounds=*/true)));
+    }
+  }
+  Status put_status;
+  std::vector<common::ProviderId> missed;
+  for (size_t i = 0; i < put_reps.size(); ++i) {
+    if (put_done[i] != 0) continue;
+    put_status = combine(put_status, leg_status[i]);
+    if (common::is_retryable(leg_status[i].code())) missed.push_back(put_reps[i]);
+  }
+  if (committed) {
+    put_status = Status::Ok();
+    if (!missed.empty()) {
+      common::Bytes packed = pack(req);
+      for (common::ProviderId target : missed) {
+        if (!membership_->is_live(target)) continue;
+        std::vector<common::ProviderId> custodians;
+        for (common::ProviderId p : put_reps) {
+          if (p != target) custodians.push_back(p);
+        }
+        // Best-effort: a failed hint only delays convergence until the next
+        // anti-entropy repair, it never loses the committed write.
+        (void)co_await send_hint(target, Provider::kPutModel, packed,
+                                 std::move(custodians), span.context());
+      }
+    }
+  } else if (!put_status.ok() && common::is_retryable(put_status.code())) {
+    // The whole operation ran out of budget — THIS is a client-visible
+    // exhaustion (per-leg exhaustion that ended in a hint is not).
+    ++fault_stats_.exhausted;
+  }
   Status final_status = combine(put_status, ref_status);
   span.tag("outcome", final_status.ok() ? "ok" : final_status.to_string());
   if (hist_put_seconds_ != nullptr) {
@@ -425,18 +620,36 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
 sim::CoTask<Result<ModelMeta>> Client::get_meta(ModelId id,
                                                 obs::TraceContext parent) {
   wire::GetMetaRequest req{id};
-  auto r = co_await call_retried<wire::GetMetaResponse>(
-      provider_node(home_of(id)), Provider::kGetMeta, req, parent);
-  if (!r.ok()) co_return r.status();
-  if (!r->found) co_return Status::NotFound("model " + id.to_string());
-  ModelMeta meta;
-  meta.graph = std::move(r->graph);
-  meta.owners = std::move(r->owners);
-  meta.quality = r->quality;
-  meta.ancestor = r->ancestor;
-  meta.store_time = r->store_time;
-  meta.store_seq = r->store_seq;
-  co_return meta;
+  std::vector<common::ProviderId> reps = replicas_of(id);
+  Status last = Status::NotFound("model " + id.to_string());
+  for (size_t i = 0; i < reps.size(); ++i) {
+    if (i > 0) ++fault_stats_.read_failovers;
+    auto r = co_await call_retried<wire::GetMetaResponse>(
+        provider_node(reps[i]), Provider::kGetMeta, req, parent);
+    if (!r.ok()) {
+      // Exhausted retries on this replica: the next one may still answer.
+      // Non-retryable failures signal bugs, not faults, and propagate.
+      if (!common::is_retryable(r.status().code())) co_return r.status();
+      last = r.status();
+      continue;
+    }
+    if (!r->found) {
+      // Keep probing: this replica may have been rebuilt after data loss
+      // (or be lagging a repair) — "gone" is only believable when every
+      // reachable replica agrees.
+      last = Status::NotFound("model " + id.to_string());
+      continue;
+    }
+    ModelMeta meta;
+    meta.graph = std::move(r->graph);
+    meta.owners = std::move(r->owners);
+    meta.quality = r->quality;
+    meta.ancestor = r->ancestor;
+    meta.store_time = r->store_time;
+    meta.store_seq = r->store_seq;
+    co_return meta;
+  }
+  co_return last;
 }
 
 sim::CoTask<Result<wire::ReadSegmentsResponse>> Client::read_one(
@@ -534,14 +747,16 @@ sim::CoTask<Status> Client::fetch_envelopes(
     std::unordered_map<common::SegmentKey, CompressedSegment>* out,
     obs::TraceContext parent) {
   const double now = rpc_->simulation().now();
-  // Phase 1 — serve trusted cache entries locally, group the rest by the
-  // provider hosting them (skipping duplicates and keys already fetched).
-  // A cached-but-untrusted entry travels as its version: the provider can
+  auto& sim = rpc_->simulation();
+  // Phase 1 — serve trusted cache entries locally; everything else enters
+  // the failover loop at its preferred replica (attempt index 0). A
+  // cached-but-untrusted entry travels as its version: the provider can
   // then answer kNotModified instead of shipping payload.
-  std::map<common::ProviderId, wire::ReadSegmentsRequest> groups;
-  std::unordered_set<common::SegmentKey> queued;
+  std::vector<common::SegmentKey> todo;
+  std::unordered_map<common::SegmentKey, size_t> attempt;
+  std::unordered_map<common::SegmentKey, uint64_t> cached_version;
   for (const auto& key : keys) {
-    if (out->count(key) != 0 || !queued.insert(key).second) continue;
+    if (out->count(key) != 0 || attempt.count(key) != 0) continue;
     const cache::SegmentCache::Entry* e =
         cache_ != nullptr ? cache_->lookup(key) : nullptr;
     if (e != nullptr && cache_->trusted(*e, now)) {
@@ -549,79 +764,103 @@ sim::CoTask<Status> Client::fetch_envelopes(
       out->emplace(key, e->envelope);
       continue;
     }
-    auto& req = groups[home_of(key.owner)];
-    req.keys.push_back(key);
+    attempt.emplace(key, 0);
     if (cache_ != nullptr) {
-      req.cached_versions.push_back(e != nullptr ? e->version : 0);
+      cached_version.emplace(key, e != nullptr ? e->version : 0);
     }
+    todo.push_back(key);
   }
-  auto& sim = rpc_->simulation();
-  std::vector<std::vector<common::SegmentKey>> order;
-  std::vector<sim::Future<Result<wire::ReadSegmentsResponse>>> futures;
-  for (auto& [provider, req] : groups) {
-    if (cache_ != nullptr) {
-      req.reader_node = self_;
-      req.caching = true;
-      req.accept_redirect = config_.cache.follow_redirects;
-    }
-    order.push_back(req.keys);
-    futures.push_back(
-        sim.spawn(read_one(provider_node(provider), std::move(req), parent)));
-  }
-  // Phase 2 — per-key dispositions: fresh envelopes fill the cache,
-  // NotModified serves the (revalidated) cached copy, redirects queue a
-  // peer fetch. Keys whose cached entry vanished mid-flight (evicted, or a
-  // version mismatch) fall back to a plain provider re-fetch.
+  // Phase 2 — provider rounds with read failover: keys group by their
+  // current replica choice; per-key dispositions (fresh envelopes fill the
+  // cache, NotModified serves the revalidated cached copy, redirects queue
+  // a peer fetch). A group whose replica fails retryably — or answers
+  // NotFound, which a freshly rebuilt replica briefly does — requeues its
+  // keys at each key's NEXT replica; only a key that exhausts its whole
+  // replica set fails the read.
   std::map<NodeId, wire::PeerReadRequest> redirects;
   std::vector<common::SegmentKey> fallback;
-  for (size_t i = 0; i < futures.size(); ++i) {
-    auto r = co_await futures[i];
-    if (!r.ok()) {
-      // A group-level failure (NotFound after a retire race, unreachable
-      // provider): drop the group's cache entries — they may be the reason
-      // the answer is gone — and propagate, exactly as before.
+  while (!todo.empty()) {
+    std::map<common::ProviderId, wire::ReadSegmentsRequest> groups;
+    for (const auto& key : todo) {
+      auto& req = groups[replicas_of(key.owner)[attempt[key]]];
+      req.keys.push_back(key);
+      if (cache_ != nullptr) req.cached_versions.push_back(cached_version[key]);
+    }
+    todo.clear();
+    std::vector<std::vector<common::SegmentKey>> order;
+    std::vector<sim::Future<Result<wire::ReadSegmentsResponse>>> futures;
+    for (auto& [provider, req] : groups) {
       if (cache_ != nullptr) {
-        for (const auto& key : order[i]) cache_->invalidate(key);
+        req.reader_node = self_;
+        req.caching = true;
+        req.accept_redirect = config_.cache.follow_redirects;
       }
-      co_return r.status();
+      order.push_back(req.keys);
+      futures.push_back(
+          sim.spawn(read_one(provider_node(provider), std::move(req), parent)));
     }
-    auto& resp = r.value();
-    if (resp.info.size() != order[i].size()) {
-      co_return Status::Internal("info count mismatch in read fan-out");
-    }
-    size_t fresh_idx = 0;
-    for (size_t j = 0; j < order[i].size(); ++j) {
-      const common::SegmentKey& key = order[i][j];
-      const wire::ReadEntryInfo& info = resp.info[j];
-      switch (info.state) {
-        case wire::ReadEntryState::kFresh: {
-          if (fresh_idx >= resp.segments.size()) {
-            co_return Status::Internal("segment count mismatch in read fan-out");
-          }
-          CompressedSegment env = std::move(resp.segments[fresh_idx++]);
-          if (cache_ != nullptr) {
-            cache_->count_miss();
-            cache_->insert(key, env, info.version, sim.now());
-          }
-          out->emplace(key, std::move(env));
-          break;
+    for (size_t i = 0; i < futures.size(); ++i) {
+      auto r = co_await futures[i];
+      if (!r.ok()) {
+        // Drop the group's cache entries — they may be the reason the
+        // answer is gone — then fail the keys over to their next replicas.
+        if (cache_ != nullptr) {
+          for (const auto& key : order[i]) cache_->invalidate(key);
         }
-        case wire::ReadEntryState::kNotModified: {
-          const cache::SegmentCache::Entry* e =
-              cache_ != nullptr ? cache_->lookup(key) : nullptr;
-          if (e != nullptr && cache_->revalidate(key, info.version, sim.now())) {
-            cache_->count_revalidation(e->envelope.physical_bytes);
-            out->emplace(key, e->envelope);
-          } else {
-            fallback.push_back(key);
-          }
-          break;
+        Status st = r.status();
+        if (!common::is_retryable(st.code()) &&
+            st.code() != common::ErrorCode::kNotFound) {
+          co_return st;
         }
-        case wire::ReadEntryState::kRedirect: {
-          auto& preq = redirects[info.redirect];
-          preq.keys.push_back(key);
-          preq.versions.push_back(info.version);
-          break;
+        for (const auto& key : order[i]) {
+          size_t next = ++attempt[key];
+          if (next >= replicas_of(key.owner).size()) co_return st;
+          ++fault_stats_.read_failovers;
+          if (cache_ != nullptr) cached_version[key] = 0;
+          todo.push_back(key);
+        }
+        continue;
+      }
+      auto& resp = r.value();
+      if (resp.info.size() != order[i].size()) {
+        co_return Status::Internal("info count mismatch in read fan-out");
+      }
+      size_t fresh_idx = 0;
+      for (size_t j = 0; j < order[i].size(); ++j) {
+        const common::SegmentKey& key = order[i][j];
+        const wire::ReadEntryInfo& info = resp.info[j];
+        switch (info.state) {
+          case wire::ReadEntryState::kFresh: {
+            if (fresh_idx >= resp.segments.size()) {
+              co_return Status::Internal(
+                  "segment count mismatch in read fan-out");
+            }
+            CompressedSegment env = std::move(resp.segments[fresh_idx++]);
+            if (cache_ != nullptr) {
+              cache_->count_miss();
+              cache_->insert(key, env, info.version, sim.now());
+            }
+            out->emplace(key, std::move(env));
+            break;
+          }
+          case wire::ReadEntryState::kNotModified: {
+            const cache::SegmentCache::Entry* e =
+                cache_ != nullptr ? cache_->lookup(key) : nullptr;
+            if (e != nullptr &&
+                cache_->revalidate(key, info.version, sim.now())) {
+              cache_->count_revalidation(e->envelope.physical_bytes);
+              out->emplace(key, e->envelope);
+            } else {
+              fallback.push_back(key);
+            }
+            break;
+          }
+          case wire::ReadEntryState::kRedirect: {
+            auto& preq = redirects[info.redirect];
+            preq.keys.push_back(key);
+            preq.versions.push_back(info.version);
+            break;
+          }
         }
       }
     }
@@ -662,45 +901,67 @@ sim::CoTask<Status> Client::fetch_envelopes(
       }
     }
   }
-  // Phase 4 — provider re-fetch for everything the optimistic paths missed.
-  // No cached versions, no redirects: the providers must answer kFresh, so
-  // this terminates in one round.
+  // Phase 4 — provider re-fetch for everything the optimistic paths missed
+  // (evicted cache entries, cold or dead redirect peers). No cached
+  // versions, no redirects: providers answer kFresh only — but the fetch
+  // still fails over down each key's replica set, so a redirect that named
+  // a now-dead peer never strands the read on an equally dead owner.
   if (!fallback.empty()) {
-    std::map<common::ProviderId, wire::ReadSegmentsRequest> fb_groups;
+    std::unordered_map<common::SegmentKey, size_t> fb_attempt;
+    std::vector<common::SegmentKey> fb_todo;
     for (const auto& key : fallback) {
-      fb_groups[home_of(key.owner)].keys.push_back(key);
+      if (fb_attempt.emplace(key, 0).second) fb_todo.push_back(key);
     }
-    std::vector<std::vector<common::SegmentKey>> fb_order;
-    std::vector<sim::Future<Result<wire::ReadSegmentsResponse>>> fb_futures;
-    for (auto& [provider, req] : fb_groups) {
-      if (cache_ != nullptr) {
-        req.reader_node = self_;
-        req.caching = true;
+    while (!fb_todo.empty()) {
+      std::map<common::ProviderId, wire::ReadSegmentsRequest> fb_groups;
+      for (const auto& key : fb_todo) {
+        fb_groups[replicas_of(key.owner)[fb_attempt[key]]].keys.push_back(key);
       }
-      fb_order.push_back(req.keys);
-      fb_futures.push_back(
-          sim.spawn(read_one(provider_node(provider), std::move(req), parent)));
-    }
-    for (size_t i = 0; i < fb_futures.size(); ++i) {
-      auto r = co_await fb_futures[i];
-      if (!r.ok()) {
+      fb_todo.clear();
+      std::vector<std::vector<common::SegmentKey>> fb_order;
+      std::vector<sim::Future<Result<wire::ReadSegmentsResponse>>> fb_futures;
+      for (auto& [provider, req] : fb_groups) {
         if (cache_ != nullptr) {
-          for (const auto& key : fb_order[i]) cache_->invalidate(key);
+          req.reader_node = self_;
+          req.caching = true;
         }
-        co_return r.status();
+        fb_order.push_back(req.keys);
+        fb_futures.push_back(sim.spawn(
+            read_one(provider_node(provider), std::move(req), parent)));
       }
-      auto& resp = r.value();
-      if (resp.segments.size() != fb_order[i].size() ||
-          resp.info.size() != fb_order[i].size()) {
-        co_return Status::Internal("segment count mismatch in read fallback");
-      }
-      for (size_t j = 0; j < fb_order[i].size(); ++j) {
-        CompressedSegment env = std::move(resp.segments[j]);
-        if (cache_ != nullptr) {
-          cache_->count_miss();
-          cache_->insert(fb_order[i][j], env, resp.info[j].version, sim.now());
+      for (size_t i = 0; i < fb_futures.size(); ++i) {
+        auto r = co_await fb_futures[i];
+        if (!r.ok()) {
+          if (cache_ != nullptr) {
+            for (const auto& key : fb_order[i]) cache_->invalidate(key);
+          }
+          Status st = r.status();
+          if (!common::is_retryable(st.code()) &&
+              st.code() != common::ErrorCode::kNotFound) {
+            co_return st;
+          }
+          for (const auto& key : fb_order[i]) {
+            size_t next = ++fb_attempt[key];
+            if (next >= replicas_of(key.owner).size()) co_return st;
+            ++fault_stats_.read_failovers;
+            fb_todo.push_back(key);
+          }
+          continue;
         }
-        out->emplace(fb_order[i][j], std::move(env));
+        auto& resp = r.value();
+        if (resp.segments.size() != fb_order[i].size() ||
+            resp.info.size() != fb_order[i].size()) {
+          co_return Status::Internal("segment count mismatch in read fallback");
+        }
+        for (size_t j = 0; j < fb_order[i].size(); ++j) {
+          CompressedSegment env = std::move(resp.segments[j]);
+          if (cache_ != nullptr) {
+            cache_->count_miss();
+            cache_->insert(fb_order[i][j], env, resp.info[j].version,
+                           sim.now());
+          }
+          out->emplace(fb_order[i][j], std::move(env));
+        }
       }
     }
   }
@@ -930,26 +1191,72 @@ sim::CoTask<Status> Client::abandon_transfer(const TransferContext& tc) {
 
 // ---- retire ----------------------------------------------------------------
 
+sim::CoTask<Result<wire::RetireResponse>> Client::retire_one(
+    NodeId to, wire::RetireRequest req, obs::TraceContext parent) {
+  co_return co_await call_retried<wire::RetireResponse>(
+      to, Provider::kRetire, std::move(req), parent);
+}
+
 sim::CoTask<Status> Client::retire(ModelId id) {
   obs::Span span = obs::Tracer::maybe_begin(tracer(), "retire", self_);
   span.tag("model", id.to_string());
   // Tokened: a retry whose first delivery already removed the model replays
   // the cached owner map instead of answering NotFound (which would leak
-  // every refcount the fan-out below is about to release).
+  // every refcount the fan-out below is about to release). The same token
+  // fans to every replica — each removes its copy of the metadata once.
   wire::RetireRequest req{id, next_token()};
-  auto r = co_await call_retried<wire::RetireResponse>(
-      provider_node(home_of(id)), Provider::kRetire, req, span.context());
-  if (!r.ok()) co_return r.status();
-  if (!r->status.ok()) co_return r->status;
+  std::vector<common::ProviderId> reps = replicas_of(id);
+  auto& sim = rpc_->simulation();
+  std::vector<sim::Future<Result<wire::RetireResponse>>> futures;
+  futures.reserve(reps.size());
+  for (common::ProviderId p : reps) {
+    futures.push_back(
+        sim.spawn(retire_one(provider_node(p), req, span.context())));
+  }
+  std::optional<OwnerMap> owners;
+  Status status;
+  std::vector<common::ProviderId> missed;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto r = co_await futures[i];
+    Status st = r.ok() ? r->status : r.status();
+    if (r.ok() && st.ok()) {
+      // Any replica's owner map will do — they hold identical copies.
+      if (!owners.has_value()) owners.emplace(std::move(r->owners));
+      continue;
+    }
+    status = combine(status, st);
+    if (!r.ok() && common::is_retryable(r.status().code())) {
+      missed.push_back(reps[i]);
+    }
+    // A NotFound from one replica is tolerated as long as another found the
+    // model (a rebuilt replica may briefly lag its peers).
+  }
+  if (!owners.has_value()) co_return status;
+  // Park the retire on a custodian for each unreachable replica: its copy
+  // of the metadata must eventually go, or a failover read would resurrect
+  // a retired model.
+  if (!missed.empty()) {
+    common::Bytes packed = pack(req);
+    for (common::ProviderId target : missed) {
+      if (!membership_->is_live(target)) continue;
+      std::vector<common::ProviderId> custodians;
+      for (common::ProviderId p : reps) {
+        if (p != target) custodians.push_back(p);
+      }
+      (void)co_await send_hint(target, Provider::kRetire, packed,
+                               std::move(custodians), span.context());
+    }
+  }
   // Drop every cached segment the retired model contributed — the bytes may
   // be freed the moment the decrements below land, and a later model reusing
   // the key must never be answered from this copy.
   if (cache_ != nullptr) {
-    for (const auto& entry : r->owners.entries()) cache_->invalidate(entry);
+    for (const auto& entry : owners->entries()) cache_->invalidate(entry);
   }
   // Decrement every tensor the retired model referenced — its own segments
-  // and the inherited ones alike (O(k), k = leaf layers).
-  co_return co_await fan_out_refs(r->owners, /*increment=*/false,
+  // and the inherited ones alike (O(k), k = leaf layers). modify_refs fans
+  // each logical decrement to every replica internally.
+  co_return co_await fan_out_refs(*owners, /*increment=*/false,
                                   ModelId::invalid(), span.context());
 }
 

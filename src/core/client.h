@@ -1,9 +1,13 @@
 // EvoStore client library (paper §4.3): the side applications link against.
 //
-// The client interprets owner maps, talks to the home provider for metadata,
-// fans bulk reads/writes out to the providers owning each segment in
-// parallel, broadcasts LCP queries and reduces the replies, and drives the
-// distributed reference-count updates for put/retire.
+// The client interprets owner maps, talks to a model's replica set for
+// metadata (preferred replica first, failing over down the rendezvous order
+// on faults), fans bulk reads/writes out to the providers owning each
+// segment in parallel, broadcasts LCP queries and reduces the replies, and
+// drives the distributed reference-count updates for put/retire. Writes go
+// to every replica; a replica that stays unreachable through the retry
+// budget gets its copy of the request parked as a hinted handoff on a
+// surviving peer (DESIGN.md §15).
 #pragma once
 
 #include <memory>
@@ -43,6 +47,16 @@ struct RetryPolicy {
   /// Backoff is scaled by a factor drawn uniformly from
   /// [1 - jitter, 1 + jitter] (seeded RNG — deterministic per client).
   double jitter_fraction = 0.1;
+  /// Two-tier budget for replicated writes. 0 (default) keeps the classic
+  /// behavior: each replica leg retries up to `max_attempts` before the
+  /// caller parks a hinted handoff. A positive value caps each leg at that
+  /// many attempts per round — a write whose target is down parks its hint
+  /// after ~a second instead of riding the whole budget — and put_model adds
+  /// up to `max_attempts` outer rounds that re-fan the SAME tokened request
+  /// to the replicas that have not committed yet (idempotent), so a client
+  /// whose own egress is down (co-located node outage) still rides through
+  /// long outages instead of failing fast.
+  int write_leg_attempts = 0;
 };
 
 struct ClientConfig {
@@ -73,6 +87,15 @@ struct ClientConfig {
   /// read path and the wire traffic stay byte-identical to an uncached
   /// deployment.
   cache::CacheConfig cache;
+  /// Replicas per key (k-way rendezvous placement, DESIGN.md §15). Clamped
+  /// to the live provider count, so single-provider deployments behave
+  /// exactly as unreplicated ones regardless of this value.
+  size_t replication = 2;
+  /// Shared ring-membership view. Null builds a private fully-live view
+  /// over the client's provider list (fine for a fixed cluster); an
+  /// EvoStoreRepository installs one shared instance across its clients so
+  /// a drain is visible to everyone at the same instant.
+  std::shared_ptr<Membership> membership;
 };
 
 /// Fault-path counters for one client (all zero in a fault-free run).
@@ -86,6 +109,11 @@ struct ClientFaultStats {
   /// prepare_transfer calls that degraded to "train from scratch" because
   /// the pin could not be completed under faults.
   uint64_t degraded_transfers = 0;
+  /// Reads (metadata or segment groups) answered by a later replica after
+  /// an earlier one failed or answered not-found.
+  uint64_t read_failovers = 0;
+  /// Hinted handoffs parked on a surviving replica for an unreachable one.
+  uint64_t hints_sent = 0;
 };
 
 /// Everything needed to perform one transfer-learning operation: produced by
@@ -247,8 +275,15 @@ class Client {
   NodeId provider_node(common::ProviderId p) const {
     return provider_nodes_[p];
   }
+  /// The replica set for `id`, preference order (rendezvous top-k over the
+  /// live membership).
+  std::vector<common::ProviderId> replicas_of(ModelId id) const {
+    return membership_->replicas(id);
+  }
+  /// The preferred replica for `id` (first element of replicas_of).
   common::ProviderId home_of(ModelId id) const {
-    return provider_for(id, provider_nodes_.size());
+    std::vector<common::ProviderId> r = membership_->replicas(id);
+    return r.empty() ? 0 : r.front();
   }
 
   /// Fresh idempotency token, never 0: incarnation epoch (16 bits) | client
@@ -309,10 +344,21 @@ class Client {
   sim::CoTask<Result<wire::ModifyRefsResponse>> refs_one(
       NodeId to, wire::ModifyRefsRequest req, obs::TraceContext parent);
   sim::CoTask<Status> put_one(NodeId home, wire::PutModelRequest req,
-                              size_t payload_bytes, obs::TraceContext parent);
+                              size_t payload_bytes, obs::TraceContext parent,
+                              int attempt_cap, bool prior_rounds);
   sim::CoTask<Result<wire::ReadSegmentsResponse>> read_one(
       NodeId to, wire::ReadSegmentsRequest req, obs::TraceContext parent);
   sim::CoTask<Result<wire::StatsResponse>> stats_one(NodeId to);
+  sim::CoTask<Result<wire::RetireResponse>> retire_one(
+      NodeId to, wire::RetireRequest req, obs::TraceContext parent);
+  // Park a hinted handoff for `target` (a replica that stayed unreachable
+  // through a write's retry budget) on the first custodian in `custodians`
+  // that accepts it. `payload` is the serialized original request — token
+  // included, so the eventual replay deduplicates exactly like a retry.
+  sim::CoTask<Status> send_hint(common::ProviderId target, std::string method,
+                                common::Bytes payload,
+                                std::vector<common::ProviderId> custodians,
+                                obs::TraceContext parent);
   // One peer-cache fetch after a provider redirect hint. Single attempt —
   // a dead or cold peer is not worth a retry budget; the caller falls back
   // to the provider (with redirects disabled, guaranteeing termination).
@@ -359,6 +405,7 @@ class Client {
   uint32_t token_seq_ = 0;
   std::vector<NodeId> provider_nodes_;
   ClientConfig config_;
+  std::shared_ptr<Membership> membership_;
   compress::CodecStatsTable codec_stats_{};
   ClientFaultStats fault_stats_{};
   common::Xoshiro256 retry_rng_;

@@ -1,10 +1,13 @@
 #include "core/provider.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <set>
 
 #include "common/log.h"
 #include "core/lcp.h"
+#include "core/placement.h"
 
 namespace evostore::core {
 
@@ -358,6 +361,8 @@ void Provider::restart() {
   last_pin_epoch_ = 0;
   dedup_.clear();
   dedup_order_.clear();
+  hints_.clear();
+  hint_seq_ = 0;
   payload_bytes_ = 0;
   physical_bytes_ = 0;
   inline_physical_bytes_ = 0;
@@ -406,6 +411,18 @@ void Provider::restore_from_backend() {
         continue;
       }
       tokens.emplace_back(at, token, std::move(resp));
+    } else if (key.rfind("hint/", 0) == 0) {
+      // Parked hinted handoffs survive this provider's own crashes: the
+      // guarantee is "replayed once the target recovers", not "replayed
+      // unless the custodian also crashed in between".
+      uint64_t seq = std::strtoull(key.c_str() + 5, nullptr, 10);
+      wire::HintRecord hint = wire::HintRecord::deserialize(d);
+      if (!d.finish().ok()) {
+        EVO_WARN << "restore: corrupt hint record '" << key << "'";
+        continue;
+      }
+      hint_seq_ = std::max(hint_seq_, seq);
+      hints_.emplace(seq, std::move(hint));
     } else if (key.rfind("meta/", 0) == 0) {
       common::ModelId id{std::strtoull(key.c_str() + 5, nullptr, 10)};
       MetaRecord meta;
@@ -540,6 +557,22 @@ void Provider::register_handlers(net::RpcSystem& rpc) {
   rpc.register_handler(node_, kGetStats, [this](Bytes b) {
     return handle_get_stats(std::move(b));
   });
+  rpc.register_handler(node_, kStoreHint, [this](Bytes b) {
+    return handle_store_hint(std::move(b));
+  });
+  rpc.register_handler(node_, kReplicate, [this](Bytes b) {
+    return handle_replicate(std::move(b));
+  });
+  rpc.register_handler(node_, kFetchChunks,
+                       [this](Bytes b, net::HandlerContext c) {
+                         return handle_fetch_chunks(std::move(b), c);
+                       });
+  rpc.register_handler(node_, kDrain, [this](Bytes b) {
+    return handle_drain(std::move(b));
+  });
+  rpc.register_handler(node_, kRepairPeer, [this](Bytes b) {
+    return handle_repair(std::move(b));
+  });
 }
 
 int Provider::refcount(const common::SegmentKey& key) const {
@@ -576,6 +609,11 @@ sim::CoTask<Bytes> Provider::handle_put(Bytes request,
     co_return pack(resp);
   }
   ++stats_.puts;
+  if (drained_) {
+    resp.status = Status::Unavailable("provider " + std::to_string(id_) +
+                                      " drained");
+    co_return pack(resp);
+  }
   // A token minted by a newer client incarnation proves the older ones are
   // gone — reap the transfer pins they leaked (DESIGN.md §14).
   observe_epoch(req.token);
@@ -608,9 +646,16 @@ sim::CoTask<Bytes> Provider::handle_put(Bytes request,
     write.tag_u64("physical_bytes", physical);
     co_await charge_pool(static_cast<double>(physical));
   }
-  // Re-check after the await: a deadline-driven retry of this same put may
-  // have landed while the pool transfer ran (model ids are globally unique,
-  // so AlreadyExists here can only mean an earlier attempt succeeded).
+  // Re-check after the await: a drain may have started (committing into a
+  // catalog the drain already migrated would strand the model) ...
+  if (drained_) {
+    resp.status = Status::Unavailable("provider " + std::to_string(id_) +
+                                      " drained");
+    co_return pack(resp);
+  }
+  // ... and a deadline-driven retry of this same put may have landed while
+  // the pool transfer ran (model ids are globally unique, so AlreadyExists
+  // here can only mean an earlier attempt succeeded).
   if (models_.find(req.id) != models_.end()) {
     resp.status = Status::AlreadyExists("model " + req.id.to_string());
     co_return pack(resp);
@@ -717,11 +762,20 @@ sim::CoTask<Bytes> Provider::handle_read_segments(Bytes request,
     // with accept_redirect off.
     if (req.accept_redirect) {
       auto dir = cache_dir_.find(key);
-      if (dir != cache_dir_.end() && dir->second != req.reader_node) {
-        resp.info.push_back(
-            {wire::ReadEntryState::kRedirect, version, dir->second});
-        ++stats_.redirects_issued;
-        continue;
+      if (dir != cache_dir_.end()) {
+        // Never bounce a reader at a peer this provider can observe dead —
+        // the injector stands in for the deployment's failure detector. A
+        // stale hint at a crashed client would cost every reader a full
+        // peer timeout per key until the entry is overwritten; drop it.
+        net::FaultInjector* injector = rpc_->fault_injector();
+        if (injector != nullptr && !injector->node_up(dir->second)) {
+          cache_dir_.erase(dir);
+        } else if (dir->second != req.reader_node) {
+          resp.info.push_back(
+              {wire::ReadEntryState::kRedirect, version, dir->second});
+          ++stats_.redirects_issued;
+          continue;
+        }
       }
     }
     // Chunked envelopes resolve back to inline here: the manifest only
@@ -794,6 +848,7 @@ sim::CoTask<Bytes> Provider::handle_modify_refs(Bytes request,
       auto it = segments_.find(key);
       if (it == segments_.end()) {
         ++resp.missing;
+        resp.missing_keys.push_back(key);
         continue;
       }
       ++it->second.refs;
@@ -806,6 +861,7 @@ sim::CoTask<Bytes> Provider::handle_modify_refs(Bytes request,
       if (req.pin_epoch != 0) pin_remove(req.pin_epoch, key);
       if (!release_ref(key, &resp.freed_bytes, &resp.freed_bases)) {
         ++resp.missing;
+        resp.missing_keys.push_back(key);
       }
     }
   }
@@ -898,6 +954,514 @@ sim::CoTask<Bytes> Provider::handle_lcp_query(Bytes request,
   co_return pack(resp);
 }
 
+// ---- replication fault model (DESIGN.md §15) ----------------------------
+
+std::string Provider::hint_key(uint64_t seq) {
+  // Zero-padded so the backend's lexicographic key sort (restore order)
+  // equals numeric arrival order.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "hint/%020llu",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+uint64_t Provider::record_hint(wire::HintRecord hint) {
+  uint64_t seq = ++hint_seq_;
+  if (backend_ != nullptr) {
+    common::Serializer s;
+    hint.serialize(s);
+    auto st = backend_->put(hint_key(seq),
+                            common::Buffer::dense(std::move(s).take()));
+    if (!st.ok()) EVO_WARN << "record_hint: " << st.to_string();
+  }
+  hints_.emplace(seq, std::move(hint));
+  ++stats_.hints_recorded;
+  return seq;
+}
+
+void Provider::erase_hint(uint64_t seq) {
+  hints_.erase(seq);
+  if (backend_ != nullptr) (void)backend_->erase(hint_key(seq));
+}
+
+size_t Provider::hint_count_for(common::ProviderId target) const {
+  size_t n = 0;
+  for (const auto& [seq, hint] : hints_) {
+    if (hint.target == target) ++n;
+  }
+  return n;
+}
+
+sim::CoTask<uint64_t> Provider::replay_hints(common::ProviderId target,
+                                             common::NodeId target_node) {
+  // Snapshot the matching sequence numbers first: hints_ can gain or lose
+  // entries while this coroutine is suspended (a concurrent store_hint, a
+  // racing discard after repair) and no iterator may be held across a
+  // co_await.
+  std::vector<uint64_t> seqs;
+  for (const auto& [seq, hint] : hints_) {
+    if (hint.target == target) seqs.push_back(seq);
+  }
+  uint64_t replayed = 0;
+  for (uint64_t seq : seqs) {
+    auto it = hints_.find(seq);
+    if (it == hints_.end()) continue;  // discarded while we were replaying
+    // Copies, not references: the map entry must not be touched across the
+    // suspension below.
+    std::string method = it->second.method;
+    Bytes payload = it->second.payload;
+    net::CallOptions opts;
+    opts.timeout = config_.peer_rpc_timeout;
+    auto r = co_await rpc_->call(node_, target_node, method,
+                                 std::move(payload), opts);
+    if (!r.ok()) break;  // target went down again; keep the rest parked
+    // The response itself is method-specific and belongs to a client that
+    // has long since given up on it; transport delivery is what matters —
+    // the original idempotency token inside the payload made the apply
+    // exactly-once.
+    ++stats_.hints_replayed;
+    erase_hint(seq);
+    ++replayed;
+  }
+  if (replayed > 0) {
+    EVO_INFO << "provider " << id_ << " replayed " << replayed
+             << " hint(s) to recovered provider " << target;
+  }
+  co_return replayed;
+}
+
+uint64_t Provider::discard_hints_for(common::ProviderId target) {
+  uint64_t discarded = 0;
+  for (auto it = hints_.begin(); it != hints_.end();) {
+    if (it->second.target == target) {
+      if (backend_ != nullptr) (void)backend_->erase(hint_key(it->first));
+      it = hints_.erase(it);
+      ++discarded;
+    } else {
+      ++it;
+    }
+  }
+  stats_.hints_discarded += discarded;
+  return discarded;
+}
+
+sim::CoTask<Bytes> Provider::handle_store_hint(Bytes request) {
+  common::Deserializer d(request);
+  auto req = wire::StoreHintRequest::deserialize(d);
+  wire::StoreHintResponse resp;
+  if (!d.ok()) {
+    resp.status = d.status();
+    co_return pack(resp);
+  }
+  co_await sim_->delay(config_.op_seconds);
+  if (drained_) {
+    resp.status = Status::Unavailable("provider " + std::to_string(id_) +
+                                      " drained");
+    co_return pack(resp);
+  }
+  record_hint(std::move(req.hint));
+  resp.status = Status::Ok();
+  co_return pack(resp);
+}
+
+sim::CoTask<Bytes> Provider::handle_fetch_chunks(Bytes request,
+                                                 net::HandlerContext ctx) {
+  common::Deserializer d(request);
+  auto req = wire::FetchChunksRequest::deserialize(d);
+  wire::FetchChunksResponse resp;
+  if (!d.ok()) {
+    resp.status = d.status();
+    co_return pack(resp);
+  }
+  co_await sim_->delay(config_.op_seconds +
+                       config_.per_segment_seconds *
+                           static_cast<double>(req.digests.size()));
+  for (const auto& digest : req.digests) {
+    const storage::ChunkStore::Chunk* chunk = chunk_store_.find(digest);
+    if (chunk == nullptr) continue;  // requester retries elsewhere
+    resp.chunks.push_back(wire::ChunkBodyEntry{digest, chunk->bytes,
+                                               chunk->cost});
+    resp.payload_bytes += chunk->cost;
+  }
+  {
+    obs::Span fetch = obs::Tracer::maybe_begin(tracer(), "chunk_serve",
+                                               node_, ctx.trace);
+    fetch.tag_u64("chunks", resp.chunks.size());
+    fetch.tag_u64("physical_bytes", resp.payload_bytes);
+    co_await charge_pool(static_cast<double>(resp.payload_bytes));
+  }
+  // Ok even when some digests were absent: the requester falls back to the
+  // next peer for the remainder.
+  resp.status = Status::Ok();
+  co_return pack(resp);
+}
+
+sim::CoTask<Bytes> Provider::handle_replicate(Bytes request) {
+  common::Deserializer d(request);
+  auto req = wire::ReplicateRequest::deserialize(d);
+  wire::ReplicateResponse resp;
+  if (!d.ok()) {
+    resp.status = d.status();
+    co_return pack(resp);
+  }
+  co_await sim_->delay(config_.op_seconds +
+                       config_.per_segment_seconds *
+                           static_cast<double>(req.segments.size()));
+  if (drained_) {
+    resp.status = Status::Unavailable("provider " + std::to_string(id_) +
+                                      " drained");
+    co_return pack(resp);
+  }
+  // Install-if-absent throughout: an entry already here is being actively
+  // maintained by client traffic (its refcount is live GC state) and must
+  // never be overwritten by an anti-entropy copy.
+  if (req.has_meta && models_.find(req.id) == models_.end()) {
+    MetaRecord meta;
+    meta.graph = std::move(req.graph);
+    meta.owners = std::move(req.owners);
+    meta.quality = req.quality;
+    meta.ancestor = req.ancestor;
+    meta.store_time = req.store_time;
+    meta.store_seq = ++seq_;
+    persist_meta(req.id, meta);
+    models_.emplace(req.id, std::move(meta));
+    resp.installed_meta = true;
+    ++stats_.replica_installed_models;
+  }
+  // Manifests travel as-is on this path: collect the chunk bodies the local
+  // store is missing before touching any catalog state.
+  std::vector<common::Hash128> missing;
+  for (const auto& seg : req.segments) {
+    if (segments_.find(seg.key) != segments_.end()) continue;
+    if (seg.segment.kind != compress::EnvelopeKind::kChunked) continue;
+    for (const compress::ChunkRef& c : seg.segment.chunks) {
+      if (chunk_store_.find(c.digest) == nullptr) missing.push_back(c.digest);
+    }
+  }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  // Pull the bodies content-addressed: the pushing provider first, then any
+  // other replica peer — whoever holds a digest serves it.
+  std::map<common::Hash128, wire::ChunkBodyEntry> fetched;
+  if (!missing.empty()) {
+    std::vector<common::NodeId> sources;
+    sources.push_back(req.source_node);
+    for (common::NodeId n : req.peer_nodes) {
+      if (n != node_ && n != req.source_node) sources.push_back(n);
+    }
+    for (common::NodeId source : sources) {
+      if (fetched.size() == missing.size()) break;
+      wire::FetchChunksRequest freq;
+      for (const auto& digest : missing) {
+        if (fetched.find(digest) == fetched.end()) freq.digests.push_back(digest);
+      }
+      net::CallOptions opts;
+      opts.timeout = config_.peer_rpc_timeout;
+      auto r = co_await net::typed_call<wire::FetchChunksResponse>(
+          rpc_, node_, source, kFetchChunks, freq, opts);
+      if (!r.ok() || !r->status.ok()) continue;
+      // The bodies move over the bulk path at their modeled physical cost.
+      if (r->payload_bytes > 0) {
+        (void)co_await rpc_->bulk(
+            source, node_, common::Buffer::synthetic(r->payload_bytes, 0));
+      }
+      for (auto& c : r->chunks) {
+        ++resp.fetched_chunks;
+        ++stats_.replica_chunks_fetched;
+        fetched.emplace(c.digest, std::move(c));
+      }
+    }
+  }
+  // Install the absent segments. No suspension below this point: catalog
+  // mutation and its accounting commit atomically in sim time.
+  uint64_t installed_physical = 0;
+  for (auto& seg : req.segments) {
+    if (segments_.find(seg.key) != segments_.end()) continue;
+    compress::CompressedSegment env = std::move(seg.segment);
+    if (compress::codec_for(env.codec) == nullptr) continue;
+    if (env.kind == compress::EnvelopeKind::kChunked) {
+      // Re-reference chunks already here; store fetched bodies fresh. An
+      // unfetchable body makes the segment unservable — skip it whole (a
+      // later repair pass retries) and roll back the references taken.
+      size_t taken = 0;
+      bool complete = true;
+      for (const compress::ChunkRef& c : env.chunks) {
+        if (chunk_store_.find(c.digest) != nullptr) {
+          if (!chunk_store_.add_ref_existing(c.digest)) {
+            complete = false;
+            break;
+          }
+        } else {
+          auto fit = fetched.find(c.digest);
+          if (fit == fetched.end()) {
+            complete = false;
+            break;
+          }
+          std::span<const std::byte> body(fit->second.bytes);
+          chunk_store_.add_ref(c.digest, body, fit->second.cost);
+        }
+        ++taken;
+      }
+      if (!complete) {
+        for (size_t i = 0; i < taken; ++i) {
+          chunk_store_.release(env.chunks[i].digest);
+        }
+        continue;
+      }
+    }
+    // The refcount travels: replication copies GC state, so the symmetric
+    // decrements that arrive later balance on every replica. The version is
+    // a fresh local sequence — the safe direction for cache validation (a
+    // mismatch costs one extra fetch, never a stale read).
+    SegEntry entry;
+    entry.segment = std::move(env);
+    entry.refs = static_cast<int32_t>(seg.refs);
+    entry.version = ++seq_;
+    installed_physical += entry.segment.physical_bytes;
+    account_stored(entry.segment, +1);
+    common::SegmentKey key = seg.key;
+    segments_[key] = std::move(entry);
+    persist_segment(key, segments_[key]);
+    ++resp.installed_segments;
+    ++stats_.replica_installed_segments;
+  }
+  co_await charge_pool(static_cast<double>(installed_physical));
+  resp.status = Status::Ok();
+  co_return pack(resp);
+}
+
+sim::CoTask<uint64_t> Provider::push_owner(
+    common::ModelId id, bool with_meta,
+    std::vector<common::ProviderId> targets,
+    std::vector<common::NodeId> provider_nodes,
+    std::vector<common::NodeId> peer_nodes) {
+  wire::ReplicateRequest rr;
+  rr.id = id;
+  auto mit = models_.find(id);
+  if (with_meta && mit != models_.end()) {
+    rr.has_meta = true;
+    rr.graph = mit->second.graph;
+    rr.owners = mit->second.owners;
+    rr.quality = mit->second.quality;
+    rr.ancestor = mit->second.ancestor;
+    rr.store_time = mit->second.store_time;
+  }
+  // Deterministic segment order (segments_ is hashed): sort by vertex.
+  std::vector<std::pair<common::SegmentKey, const SegEntry*>> local;
+  for (const auto& [key, entry] : segments_) {
+    if (key.owner == id) local.push_back({key, &entry});
+  }
+  std::sort(local.begin(), local.end(), [](const auto& a, const auto& b) {
+    return a.first.vertex < b.first.vertex;
+  });
+  for (const auto& [key, entry] : local) {
+    rr.segments.push_back(wire::ReplicateSegment{
+        key, entry->segment,
+        static_cast<uint32_t>(std::max(entry->refs, 0))});
+  }
+  rr.source_node = node_;
+  rr.peer_nodes = std::move(peer_nodes);
+  const uint64_t pushed = rr.segments.size();
+  for (common::ProviderId target : targets) {
+    if (target >= provider_nodes.size()) continue;
+    net::CallOptions opts;
+    opts.timeout = config_.peer_rpc_timeout;
+    // Best effort: a joiner that is down right now is rebuilt by the next
+    // repair pass; the surviving replicas still hold everything.
+    (void)co_await net::typed_call<wire::ReplicateResponse>(
+        rpc_, node_, provider_nodes[target], kReplicate, rr, opts);
+  }
+  co_return pushed;
+}
+
+sim::CoTask<Bytes> Provider::handle_drain(Bytes request) {
+  common::Deserializer d(request);
+  auto req = wire::DrainRequest::deserialize(d);
+  wire::DrainResponse resp;
+  if (!d.ok()) {
+    resp.status = d.status();
+    co_return pack(resp);
+  }
+  co_await sim_->delay(config_.op_seconds);
+  if (drained_) {  // idempotent: the catalog is already gone
+    resp.status = Status::Ok();
+    co_return pack(resp);
+  }
+  const size_t n = req.provider_nodes.size();
+  if (n <= id_ || req.live.size() < n) {
+    resp.status = Status::InvalidArgument("drain ring view too small");
+    co_return pack(resp);
+  }
+  // Refuse new state from here on: a put or replicate landing mid-migration
+  // would commit into a catalog about to be wiped. Reads keep working off
+  // the intact catalog until the wipe (in-flight readers), after which the
+  // natural NotFound routes them to the surviving replicas.
+  drained_ = true;
+  const size_t k = req.replication == 0 ? 1 : req.replication;
+  std::vector<bool> new_live(n, false);
+  for (size_t i = 0; i < n; ++i) new_live[i] = req.live[i] != 0;
+  new_live[id_] = false;  // this provider is leaving, whatever the view says
+  std::vector<bool> old_live = new_live;
+  old_live[id_] = true;
+  // Every owner id with local state: models first, then orphan segment
+  // owners (meta retired, payloads alive through inherited references).
+  std::vector<ModelId> with_meta = model_ids();
+  std::set<ModelId> orphan_owners;
+  for (const auto& [key, entry] : segments_) {
+    if (models_.find(key.owner) == models_.end()) orphan_owners.insert(key.owner);
+  }
+  // HRW's minimal-movement property does the routing: each key's new
+  // replica set differs from the old one only by the joiner(s) replacing
+  // this provider, so only those targets need a push.
+  auto joiners_of = [&](ModelId id) {
+    std::vector<common::ProviderId> joiners;
+    auto old_set = replicas_for(id, n, k, old_live);
+    auto new_set = replicas_for(id, n, k, new_live);
+    for (common::ProviderId p : new_set) {
+      if (std::find(old_set.begin(), old_set.end(), p) == old_set.end()) {
+        joiners.push_back(p);
+      }
+    }
+    std::vector<common::NodeId> peers;
+    for (common::ProviderId p : old_set) {
+      if (p != id_ && p < n) peers.push_back(req.provider_nodes[p]);
+    }
+    return std::make_pair(joiners, peers);
+  };
+  for (ModelId id : with_meta) {
+    auto [joiners, peers] = joiners_of(id);
+    uint64_t segs = co_await push_owner(id, /*with_meta=*/true, joiners,
+                                        req.provider_nodes, peers);
+    ++resp.models_moved;
+    resp.segments_moved += segs;
+    ++stats_.drain_models_moved;
+    stats_.drain_segments_moved += segs;
+  }
+  for (ModelId owner : orphan_owners) {
+    auto [joiners, peers] = joiners_of(owner);
+    uint64_t segs = co_await push_owner(owner, /*with_meta=*/false, joiners,
+                                        req.provider_nodes, peers);
+    resp.segments_moved += segs;
+    stats_.drain_segments_moved += segs;
+  }
+  // Hand the parked hints to the lowest-id surviving provider: their
+  // targets may still recover and expect a replay.
+  if (!hints_.empty()) {
+    common::ProviderId refuge = static_cast<common::ProviderId>(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (new_live[i]) {
+        refuge = static_cast<common::ProviderId>(i);
+        break;
+      }
+    }
+    if (refuge < n) {
+      std::vector<uint64_t> seqs;
+      for (const auto& [seq, hint] : hints_) seqs.push_back(seq);
+      const common::NodeId refuge_node = req.provider_nodes[refuge];
+      for (uint64_t seq : seqs) {
+        auto it = hints_.find(seq);
+        if (it == hints_.end()) continue;
+        wire::StoreHintRequest hreq;
+        hreq.hint = it->second;  // copy: no map access across the await
+        net::CallOptions opts;
+        opts.timeout = config_.peer_rpc_timeout;
+        auto r = co_await net::typed_call<wire::StoreHintResponse>(
+            rpc_, node_, refuge_node, kStoreHint, hreq, opts);
+        if (!r.ok() || !r->status.ok()) continue;
+        erase_hint(seq);
+        ++resp.hints_moved;
+      }
+    }
+  }
+  // Wipe the local catalog and its durable records. The idempotency cache
+  // survives: a client retry of a pre-drain mutation must still replay its
+  // original response instead of hitting the drained gate.
+  for (auto& [key, entry] : segments_) {
+    release_chunks(entry.segment);
+    account_stored(entry.segment, -1);
+    erase_segment_record(key);
+  }
+  segments_.clear();
+  for (auto& [id, meta] : models_) erase_meta(id);
+  models_.clear();
+  cache_dir_.clear();
+  for (auto& [epoch, keys] : pins_) {
+    for (auto& [key, count] : keys) persist_pin(epoch, key, 0);
+  }
+  pins_.clear();
+  (void)chunk_store_.drop_unreferenced();
+  EVO_INFO << "provider " << id_ << " drained: " << resp.models_moved
+           << " models, " << resp.segments_moved << " segments moved";
+  resp.status = Status::Ok();
+  co_return pack(resp);
+}
+
+sim::CoTask<Bytes> Provider::handle_repair(Bytes request) {
+  common::Deserializer d(request);
+  auto req = wire::RepairRequest::deserialize(d);
+  wire::RepairResponse resp;
+  if (!d.ok()) {
+    resp.status = d.status();
+    co_return pack(resp);
+  }
+  co_await sim_->delay(config_.op_seconds);
+  const size_t n = req.provider_nodes.size();
+  if (drained_ || req.target == id_ || n <= req.target ||
+      req.live.size() < n) {
+    resp.status = Status::Ok();  // nothing this provider can contribute
+    co_return pack(resp);
+  }
+  const size_t k = req.replication == 0 ? 1 : req.replication;
+  std::vector<bool> live(n, false);
+  for (size_t i = 0; i < n; ++i) live[i] = req.live[i] != 0;
+  // Responsibility rule: for each owner id whose replica set contains the
+  // target, the FIRST live member of the set that is not the target pushes.
+  // Every peer evaluates the same deterministic rule, so the target gets
+  // each model exactly once with no coordination.
+  auto responsible = [&](ModelId id) {
+    auto set = replicas_for(id, n, k, live);
+    if (std::find(set.begin(), set.end(), req.target) == set.end()) {
+      return false;
+    }
+    for (common::ProviderId p : set) {
+      if (p != req.target) return p == id_;
+    }
+    return false;
+  };
+  auto peers_of = [&](ModelId id) {
+    std::vector<common::NodeId> peers;
+    for (common::ProviderId p : replicas_for(id, n, k, live)) {
+      if (p != id_ && p != req.target && p < n) {
+        peers.push_back(req.provider_nodes[p]);
+      }
+    }
+    return peers;
+  };
+  std::vector<ModelId> with_meta = model_ids();
+  std::set<ModelId> orphan_owners;
+  for (const auto& [key, entry] : segments_) {
+    if (models_.find(key.owner) == models_.end()) orphan_owners.insert(key.owner);
+  }
+  const std::vector<common::ProviderId> target_only{req.target};
+  for (ModelId id : with_meta) {
+    if (!responsible(id)) continue;
+    uint64_t segs =
+        co_await push_owner(id, /*with_meta=*/true, target_only,
+                            req.provider_nodes, peers_of(id));
+    ++resp.models_pushed;
+    resp.segments_pushed += segs;
+  }
+  for (ModelId owner : orphan_owners) {
+    if (!responsible(owner)) continue;
+    uint64_t segs =
+        co_await push_owner(owner, /*with_meta=*/false, target_only,
+                            req.provider_nodes, peers_of(owner));
+    resp.segments_pushed += segs;
+  }
+  resp.status = Status::Ok();
+  co_return pack(resp);
+}
+
 sim::CoTask<Bytes> Provider::handle_get_stats(Bytes request) {
   (void)request;
   ++stats_.stat_gets;
@@ -923,6 +1487,14 @@ sim::CoTask<Bytes> Provider::handle_get_stats(Bytes request) {
   resp.not_modified_reads = stats_.not_modified_reads;
   resp.redirects_issued = stats_.redirects_issued;
   resp.pins_reaped = stats_.pins_reaped;
+  resp.handoff_recorded = stats_.hints_recorded;
+  resp.handoff_replayed = stats_.hints_replayed;
+  resp.handoff_discarded = stats_.hints_discarded;
+  resp.replica_installed_models = stats_.replica_installed_models;
+  resp.replica_installed_segments = stats_.replica_installed_segments;
+  resp.replica_chunks_fetched = stats_.replica_chunks_fetched;
+  resp.drain_models_moved = stats_.drain_models_moved;
+  resp.drain_segments_moved = stats_.drain_segments_moved;
   for (size_t i = 0; i < compress::kCodecCount; ++i) {
     const auto& u = codec_usage_[i];
     if (u.segments == 0) continue;

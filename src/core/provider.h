@@ -59,6 +59,10 @@ struct ProviderConfig {
   /// unless a harness opts into simulation-scale parameters.
   bool chunking = true;
   compress::ChunkerConfig chunker;
+  /// Deadline on provider-to-provider RPCs (hint replay, replicate pushes,
+  /// chunk fetches): a down peer must fail the call, not hang the drain or
+  /// repair pass.
+  double peer_rpc_timeout = 1.0;
 };
 
 struct ProviderStats {
@@ -92,6 +96,22 @@ struct ProviderStats {
   /// Stale-epoch pins reaped when a newer client incarnation appeared (the
   /// leaked pins of a client that crashed mid-transfer).
   uint64_t pins_reaped = 0;
+  // Replication fault model (DESIGN.md §15).
+  /// Hinted handoffs parked here for a down replica.
+  uint64_t hints_recorded = 0;
+  /// Hints replayed to their target after it recovered.
+  uint64_t hints_replayed = 0;
+  /// Hints discarded because a full repair push subsumed them.
+  uint64_t hints_discarded = 0;
+  /// Metadata records installed via evostore.replicate (repair/drain pushes).
+  uint64_t replica_installed_models = 0;
+  /// Segments installed via evostore.replicate.
+  uint64_t replica_installed_segments = 0;
+  /// Chunk bodies pulled from peers while installing replicated manifests.
+  uint64_t replica_chunks_fetched = 0;
+  /// Catalog entries this provider migrated away when drained.
+  uint64_t drain_models_moved = 0;
+  uint64_t drain_segments_moved = 0;
 };
 
 class Provider {
@@ -132,8 +152,21 @@ class Provider {
   bool has_model(common::ModelId id) const {
     return models_.find(id) != models_.end();
   }
+  /// Stored owner map for `id` (nullptr when absent): lets harnesses walk a
+  /// model's composition for replica-convergence audits.
+  const OwnerMap* owner_map(common::ModelId id) const {
+    auto it = models_.find(id);
+    return it == models_.end() ? nullptr : &it->second.owners;
+  }
   bool has_segment(const common::SegmentKey& key) const {
     return segments_.find(key) != segments_.end();
+  }
+  /// At-rest envelope stored for `key` (nullptr when absent): lets tests and
+  /// GC audits inspect the stored encoding (inline vs chunked manifest).
+  const compress::CompressedSegment* segment_envelope(
+      const common::SegmentKey& key) const {
+    auto it = segments_.find(key);
+    return it == segments_.end() ? nullptr : &it->second.segment;
   }
   int refcount(const common::SegmentKey& key) const;
   /// Current version of a stored segment (the store sequence of the put
@@ -160,6 +193,28 @@ class Provider {
   /// operation counters survive (they model external monitoring).
   void restart();
 
+  // ---- replication fault model (DESIGN.md §15) ----
+  /// True once evostore.drain migrated this provider's catalog away: it no
+  /// longer accepts puts, hints, or replicate pushes, and serves nothing
+  /// (clients route around it via the shared Membership).
+  bool drained() const { return drained_; }
+  /// Hinted-handoff records currently parked here (all targets).
+  size_t hint_count() const { return hints_.size(); }
+  /// Hints parked here for one specific target replica.
+  size_t hint_count_for(common::ProviderId target) const;
+  /// Replay every parked hint aimed at `target` (now back up at
+  /// `target_node`) in original arrival order, erasing each on delivery.
+  /// Stops at the first transport failure (the target died again) and keeps
+  /// the remainder for the next recovery. Spawned by the repository's
+  /// restart hook on every surviving peer. Returns the number replayed.
+  sim::CoTask<uint64_t> replay_hints(common::ProviderId target,
+                                     common::NodeId target_node);
+  /// Drop every parked hint aimed at `target` without replaying: a full
+  /// repair push just rebuilt the target from live replica state (which
+  /// already contains the hinted writes), and the target's idempotency
+  /// cache was lost with its backend — replaying now would double-apply.
+  uint64_t discard_hints_for(common::ProviderId target);
+
   static constexpr const char* kPutModel = "evostore.put_model";
   static constexpr const char* kGetMeta = "evostore.get_meta";
   static constexpr const char* kReadSegments = "evostore.read_segments";
@@ -167,6 +222,11 @@ class Provider {
   static constexpr const char* kRetire = "evostore.retire";
   static constexpr const char* kLcpQuery = "evostore.lcp_query";
   static constexpr const char* kGetStats = "evostore.get_stats";
+  static constexpr const char* kStoreHint = "evostore.store_hint";
+  static constexpr const char* kReplicate = "evostore.replicate";
+  static constexpr const char* kFetchChunks = "evostore.fetch_chunks";
+  static constexpr const char* kDrain = "evostore.drain";
+  static constexpr const char* kRepairPeer = "evostore.repair_peer";
 
  private:
   struct MetaRecord {
@@ -263,6 +323,27 @@ class Provider {
   sim::CoTask<common::Bytes> handle_lcp_query(common::Bytes request,
                                               net::HandlerContext ctx);
   sim::CoTask<common::Bytes> handle_get_stats(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_store_hint(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_replicate(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_fetch_chunks(common::Bytes request,
+                                                 net::HandlerContext ctx);
+  sim::CoTask<common::Bytes> handle_drain(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_repair(common::Bytes request);
+
+  // ---- replication fault model internals (DESIGN.md §15) ----
+  /// Durably park one hint; returns its sequence number.
+  uint64_t record_hint(wire::HintRecord hint);
+  void erase_hint(uint64_t seq);
+  static std::string hint_key(uint64_t seq);
+  /// Push one owner id's local state (metadata when `with_meta`, plus every
+  /// locally stored segment owned by it) to each provider in `targets` via
+  /// evostore.replicate. `peer_nodes` names where missing chunk bodies can
+  /// be fetched besides this provider. Returns segments pushed (counted once
+  /// whatever the fan-out, for drain/repair reporting).
+  sim::CoTask<uint64_t> push_owner(common::ModelId id, bool with_meta,
+                                   std::vector<common::ProviderId> targets,
+                                   std::vector<common::NodeId> provider_nodes,
+                                   std::vector<common::NodeId> peer_nodes);
 
   /// The attached tracer, if any (provider-side child spans: segment
   /// writes, KV commits, LCP scans).
@@ -301,6 +382,13 @@ class Provider {
   std::unordered_map<uint64_t, common::Bytes> dedup_;
   std::deque<uint64_t> dedup_order_;
   uint64_t dedup_seq_ = 0;
+  /// Hinted-handoff parking lot: arrival seq -> record, ordered so replay
+  /// preserves per-key write order (all hints for one key land on the same
+  /// peer while membership is stable). Durable as "hint/<seq>" records.
+  std::map<uint64_t, wire::HintRecord> hints_;
+  uint64_t hint_seq_ = 0;
+  /// Set by evostore.drain after the catalog migrated away.
+  bool drained_ = false;
   size_t payload_bytes_ = 0;   // logical (decoded) bytes of live segments
   size_t physical_bytes_ = 0;  // post-compression bytes of live segments
                                // (pre-dedup: counts duplicated chunks fully)

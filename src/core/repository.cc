@@ -8,6 +8,10 @@ namespace evostore::core {
 
 namespace {
 
+Status combine(Status acc, const Status& next) {
+  return acc.ok() ? next : acc;
+}
+
 constexpr const char* kEpochKey = "repo/epoch";
 
 // Read-modify-write the incarnation counter persisted in `backend`.
@@ -41,6 +45,11 @@ EvoStoreRepository::EvoStoreRepository(net::RpcSystem& rpc,
     if (backend != nullptr) epoch = std::max(epoch, bump_epoch(*backend));
   }
   client_config_.token_epoch = epoch;
+  // One membership view shared by every client this repository creates: a
+  // drain flips liveness once and every placement decision sees it.
+  membership_ = std::make_shared<Membership>(provider_nodes_.size(),
+                                             client_config_.replication);
+  client_config_.membership = membership_;
   providers_.reserve(provider_nodes_.size());
   for (size_t i = 0; i < provider_nodes_.size(); ++i) {
     storage::KvStore* backend = i < backends.size() ? backends[i] : nullptr;
@@ -49,8 +58,20 @@ EvoStoreRepository::EvoStoreRepository(net::RpcSystem& rpc,
         backend));
     if (rpc.fault_injector() != nullptr) {
       rpc.fault_injector()->on_restart(
-          provider_nodes_[i],
-          [p = providers_.back().get()] { p->restart(); });
+          provider_nodes_[i], [this, i] {
+            providers_[i]->restart();
+            // Hinted-handoff replay: every surviving peer that parked writes
+            // for this provider pushes them now, in arrival order. The spawn
+            // detaches — replay proceeds concurrently with resumed traffic,
+            // exactly-once thanks to the replayed requests' own tokens.
+            common::ProviderId target = providers_[i]->id();
+            for (auto& peer : providers_) {
+              if (peer->id() == target) continue;
+              if (peer->hint_count_for(target) == 0) continue;
+              rpc_->simulation().spawn(
+                  peer->replay_hints(target, provider_nodes_[i]));
+            }
+          });
     }
   }
 }
@@ -148,8 +169,75 @@ ClientFaultStats EvoStoreRepository::total_client_fault_stats() const {
     total.exhausted += s.exhausted;
     total.partial_lcp_queries += s.partial_lcp_queries;
     total.degraded_transfers += s.degraded_transfers;
+    total.read_failovers += s.read_failovers;
+    total.hints_sent += s.hints_sent;
   }
   return total;
+}
+
+size_t EvoStoreRepository::total_hints() const {
+  size_t n = 0;
+  for (const auto& p : providers_) n += p->hint_count();
+  return n;
+}
+
+sim::CoTask<Status> EvoStoreRepository::drain_provider(common::ProviderId p) {
+  if (p >= providers_.size()) {
+    co_return Status::InvalidArgument("no such provider");
+  }
+  // Membership flips BEFORE the migration starts: a put landing after this
+  // line already targets the post-drain replica set, so nothing new can
+  // strand on the leaving provider (it refuses writes once drained anyway).
+  membership_->retire_provider(p);
+  wire::DrainRequest req;
+  req.replication = static_cast<uint32_t>(membership_->replication());
+  req.provider_nodes = provider_nodes_;
+  const std::vector<bool>& live = membership_->live();
+  req.live.reserve(live.size());
+  for (size_t i = 0; i < live.size(); ++i) req.live.push_back(live[i] ? 1 : 0);
+  // Intra-node, no deadline: a drain moves a whole catalog and its duration
+  // scales with stored volume, not with an RPC budget.
+  net::CallOptions opts;
+  opts.timeout = -1;
+  auto r = co_await net::typed_call<wire::DrainResponse>(
+      rpc_, provider_nodes_[p], provider_nodes_[p], Provider::kDrain, req,
+      opts);
+  if (!r.ok()) co_return r.status();
+  co_return r->status;
+}
+
+sim::CoTask<Status> EvoStoreRepository::repair_provider(common::ProviderId p) {
+  if (p >= providers_.size()) {
+    co_return Status::InvalidArgument("no such provider");
+  }
+  wire::RepairRequest req;
+  req.target = p;
+  req.replication = static_cast<uint32_t>(membership_->replication());
+  req.provider_nodes = provider_nodes_;
+  const std::vector<bool>& live = membership_->live();
+  req.live.reserve(live.size());
+  for (size_t i = 0; i < live.size(); ++i) req.live.push_back(live[i] ? 1 : 0);
+  Status status;
+  for (size_t i = 0; i < providers_.size(); ++i) {
+    if (i == p || !membership_->is_live(static_cast<common::ProviderId>(i))) {
+      continue;
+    }
+    net::CallOptions opts;
+    opts.timeout = -1;
+    auto r = co_await net::typed_call<wire::RepairResponse>(
+        rpc_, provider_nodes_[i], provider_nodes_[i], Provider::kRepairPeer,
+        req, opts);
+    status = combine(status, r.ok() ? r->status : r.status());
+  }
+  if (status.ok()) {
+    // The pushes rebuilt the target from live replica state, which already
+    // contains every parked hint's effect; the target's dedup records died
+    // with its backend, so replaying those hints would double-apply them.
+    for (auto& peer : providers_) {
+      if (peer->id() != p) (void)peer->discard_hints_for(p);
+    }
+  }
+  co_return status;
 }
 
 uint64_t EvoStoreRepository::total_provider_restarts() const {

@@ -108,6 +108,32 @@ class EvoStoreRepository final : public ModelRepository {
   size_t total_segments() const;
   size_t total_metadata_bytes() const;
 
+  /// Shared ring-membership view installed into every client (k-way
+  /// replica placement; drain flips liveness here first).
+  Membership& membership() { return *membership_; }
+  const Membership& membership() const { return *membership_; }
+
+  /// Parked hinted-handoff records across all providers (converges to 0
+  /// once every crashed replica has been restarted or repaired).
+  size_t total_hints() const;
+
+  /// Drain provider `p` out of the ring: flip the shared membership first
+  /// (from that instant every client places on the survivors only, so the
+  /// migration races no new arrivals), then drive `evostore.drain` — the
+  /// provider pushes its catalog to the successor replicas of each owner id,
+  /// re-homes its parked hints, and empties itself. Safe under ongoing
+  /// traffic; idempotent.
+  sim::CoTask<Status> drain_provider(common::ProviderId p);
+
+  /// Anti-entropy rebuild of provider `p` after permanent data loss (its
+  /// backend wiped, then restarted empty): every live peer pushes the
+  /// models/segments it is first-live-responsible for, pulling chunk bodies
+  /// from whichever replica has them; afterwards the now-subsumed parked
+  /// hints for `p` are discarded everywhere (the pushed state already
+  /// contains their effects, and `p`'s dedup records died with its backend,
+  /// so replaying them would double-apply).
+  sim::CoTask<Status> repair_provider(common::ProviderId p);
+
   /// Sum of the fault-path counters of every client created so far (all
   /// zero in a fault-free run).
   ClientFaultStats total_client_fault_stats() const;
@@ -120,6 +146,7 @@ class EvoStoreRepository final : public ModelRepository {
  private:
   net::RpcSystem* rpc_;
   std::vector<NodeId> provider_nodes_;
+  std::shared_ptr<Membership> membership_;
   std::vector<std::unique_ptr<Provider>> providers_;
   std::unordered_map<NodeId, std::unique_ptr<Client>> clients_;
   ClientConfig client_config_;

@@ -387,6 +387,11 @@ struct ModifyRefsResponse {
   /// dependent envelope was freed by this request. The caller must decrement
   /// these in turn (the release can cascade down a delta chain).
   std::vector<SegmentKey> freed_bases;
+  /// The request keys this provider did not hold (parallel data for
+  /// `missing`). With k-way replication a key is only globally missing when
+  /// EVERY replica reports it here — one replica lagging (repairing,
+  /// freshly rebuilt) must not fail the whole operation.
+  std::vector<SegmentKey> missing_keys;
 
   void serialize(Serializer& s) const {
     serialize_status(s, status);
@@ -394,6 +399,8 @@ struct ModifyRefsResponse {
     s.u64(freed_bytes);
     s.u64(freed_bases.size());
     for (const auto& k : freed_bases) serialize_key(s, k);
+    s.u64(missing_keys.size());
+    for (const auto& k : missing_keys) serialize_key(s, k);
   }
   static ModifyRefsResponse deserialize(Deserializer& d) {
     ModifyRefsResponse r;
@@ -405,6 +412,12 @@ struct ModifyRefsResponse {
     r.freed_bases.reserve(n);
     for (uint64_t i = 0; i < n && d.ok(); ++i) {
       r.freed_bases.push_back(deserialize_key(d));
+    }
+    uint64_t nm = d.u64();
+    if (!d.check_count(nm, 2)) return r;
+    r.missing_keys.reserve(nm);
+    for (uint64_t i = 0; i < nm && d.ok(); ++i) {
+      r.missing_keys.push_back(deserialize_key(d));
     }
     return r;
   }
@@ -442,6 +455,343 @@ struct RetireResponse {
     RetireResponse r;
     r.status = deserialize_status(d);
     r.owners = OwnerMap::deserialize(d);
+    return r;
+  }
+};
+
+// ---- store_hint (hinted handoff, DESIGN.md §15) --------------------------
+
+/// One write a down replica missed, parked durably on a live peer until the
+/// target recovers. The payload is the ORIGINAL serialized request (put /
+/// modify_refs / retire), token and all — replay simply re-sends it, and the
+/// embedded idempotency token makes the replay exactly-once even when the
+/// target had in fact applied the write before crashing.
+struct HintRecord {
+  common::ProviderId target = 0;  ///< replica the write was aimed at
+  std::string method;             ///< RPC method to replay
+  common::Bytes payload;          ///< serialized original request
+
+  friend bool operator==(const HintRecord&, const HintRecord&) = default;
+
+  void serialize(Serializer& s) const {
+    s.u32(target);
+    s.str(method);
+    s.bytes(payload);
+  }
+  static HintRecord deserialize(Deserializer& d) {
+    HintRecord r;
+    r.target = d.u32();
+    r.method = d.str();
+    r.payload = d.bytes();
+    return r;
+  }
+};
+
+struct StoreHintRequest {
+  HintRecord hint;
+  void serialize(Serializer& s) const { hint.serialize(s); }
+  static StoreHintRequest deserialize(Deserializer& d) {
+    return StoreHintRequest{HintRecord::deserialize(d)};
+  }
+};
+
+struct StoreHintResponse {
+  common::Status status;
+  void serialize(Serializer& s) const { serialize_status(s, status); }
+  static StoreHintResponse deserialize(Deserializer& d) {
+    return StoreHintResponse{deserialize_status(d)};
+  }
+};
+
+// ---- replicate (anti-entropy push: drain migration + peer repair) --------
+
+/// One stored segment travelling provider-to-provider. Unlike put_model,
+/// kChunked envelopes travel AS MANIFESTS here — the receiver re-references
+/// chunks it already holds and pulls only missing bodies via fetch_chunks
+/// (cross-provider dedup-aware rebuild). The source's refcount travels too:
+/// replication copies GC state, so later symmetric decrements balance.
+struct ReplicateSegment {
+  SegmentKey key;
+  CompressedSegment segment;
+  uint32_t refs = 0;
+
+  void serialize(Serializer& s) const {
+    serialize_key(s, key);
+    segment.serialize(s);
+    s.u32(refs);
+  }
+  static ReplicateSegment deserialize(Deserializer& d) {
+    ReplicateSegment r;
+    r.key = deserialize_key(d);
+    r.segment = CompressedSegment::deserialize(d);
+    r.refs = d.u32();
+    return r;
+  }
+};
+
+struct ReplicateRequest {
+  /// Metadata present? Orphan segments (owner meta already retired, payload
+  /// alive through inherited references) replicate with has_meta = false.
+  bool has_meta = false;
+  ModelId id;
+  ArchGraph graph;
+  OwnerMap owners;
+  double quality = 0;
+  ModelId ancestor;
+  double store_time = 0;
+  std::vector<ReplicateSegment> segments;
+  /// Where missing chunk bodies live: the pushing provider first, then any
+  /// other replica peer (whoever has the content-addressed chunk serves it).
+  common::NodeId source_node = 0;
+  std::vector<common::NodeId> peer_nodes;
+
+  void serialize(Serializer& s) const {
+    s.boolean(has_meta);
+    s.u64(id.value);
+    if (has_meta) {
+      graph.serialize(s);
+      owners.serialize(s);
+      s.f64(quality);
+      s.u64(ancestor.value);
+      s.f64(store_time);
+    }
+    s.u64(segments.size());
+    for (const auto& seg : segments) seg.serialize(s);
+    s.u32(source_node);
+    s.u64(peer_nodes.size());
+    for (common::NodeId n : peer_nodes) s.u32(n);
+  }
+  static ReplicateRequest deserialize(Deserializer& d) {
+    ReplicateRequest r;
+    r.has_meta = d.boolean();
+    r.id.value = d.u64();
+    if (r.has_meta && d.ok()) {
+      r.graph = ArchGraph::deserialize(d);
+      r.owners = OwnerMap::deserialize(d);
+      r.quality = d.f64();
+      r.ancestor.value = d.u64();
+      r.store_time = d.f64();
+    }
+    uint64_t n = d.u64();
+    if (!d.check_count(n, 7)) return r;
+    r.segments.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+      r.segments.push_back(ReplicateSegment::deserialize(d));
+    }
+    r.source_node = d.u32();
+    uint64_t np = d.u64();
+    if (!d.check_count(np, 1)) return r;
+    r.peer_nodes.reserve(np);
+    for (uint64_t i = 0; i < np && d.ok(); ++i) r.peer_nodes.push_back(d.u32());
+    return r;
+  }
+};
+
+struct ReplicateResponse {
+  common::Status status;
+  bool installed_meta = false;
+  uint32_t installed_segments = 0;
+  uint32_t fetched_chunks = 0;
+
+  void serialize(Serializer& s) const {
+    serialize_status(s, status);
+    s.boolean(installed_meta);
+    s.u32(installed_segments);
+    s.u32(fetched_chunks);
+  }
+  static ReplicateResponse deserialize(Deserializer& d) {
+    ReplicateResponse r;
+    r.status = deserialize_status(d);
+    r.installed_meta = d.boolean();
+    r.installed_segments = d.u32();
+    r.fetched_chunks = d.u32();
+    return r;
+  }
+};
+
+// ---- fetch_chunks (content-addressed chunk bodies by digest) -------------
+
+struct FetchChunksRequest {
+  std::vector<common::Hash128> digests;
+
+  void serialize(Serializer& s) const {
+    s.u64(digests.size());
+    for (const auto& h : digests) {
+      s.u64(h.hi);
+      s.u64(h.lo);
+    }
+  }
+  static FetchChunksRequest deserialize(Deserializer& d) {
+    FetchChunksRequest r;
+    uint64_t n = d.u64();
+    if (!d.check_count(n, 2)) return r;
+    r.digests.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+      common::Hash128 h;
+      h.hi = d.u64();
+      h.lo = d.u64();
+      r.digests.push_back(h);
+    }
+    return r;
+  }
+};
+
+/// One chunk body with the modeled storage cost it carries at the source
+/// (the telescoping per-chunk share — see DESIGN.md §13); the cost travels
+/// so the receiver's byte accounting replicates exactly.
+struct ChunkBodyEntry {
+  common::Hash128 digest;
+  common::Bytes bytes;
+  uint64_t cost = 0;
+
+  void serialize(Serializer& s) const {
+    s.u64(digest.hi);
+    s.u64(digest.lo);
+    s.bytes(bytes);
+    s.u64(cost);
+  }
+  static ChunkBodyEntry deserialize(Deserializer& d) {
+    ChunkBodyEntry e;
+    e.digest.hi = d.u64();
+    e.digest.lo = d.u64();
+    e.bytes = d.bytes();
+    e.cost = d.u64();
+    return e;
+  }
+};
+
+struct FetchChunksResponse {
+  common::Status status;
+  /// Bodies for the digests this provider holds (request order, absent ones
+  /// skipped — the requester retries the remainder against another peer).
+  std::vector<ChunkBodyEntry> chunks;
+  uint64_t payload_bytes = 0;
+
+  void serialize(Serializer& s) const {
+    serialize_status(s, status);
+    s.u64(chunks.size());
+    for (const auto& c : chunks) c.serialize(s);
+    s.u64(payload_bytes);
+  }
+  static FetchChunksResponse deserialize(Deserializer& d) {
+    FetchChunksResponse r;
+    r.status = deserialize_status(d);
+    uint64_t n = d.u64();
+    if (!d.check_count(n, 5)) return r;
+    r.chunks.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) {
+      r.chunks.push_back(ChunkBodyEntry::deserialize(d));
+    }
+    r.payload_bytes = d.u64();
+    return r;
+  }
+};
+
+// ---- drain (decommission: migrate catalog to successor replicas) ---------
+
+/// Self-contained ring view: the post-drain membership, the replication
+/// factor, and every provider's fabric node, so the drained provider can
+/// compute successor replica sets and push without any directory service.
+struct DrainRequest {
+  uint32_t replication = 0;
+  std::vector<common::NodeId> provider_nodes;  ///< ProviderId -> NodeId
+  std::vector<uint8_t> live;  ///< post-drain membership (self already 0)
+
+  void serialize(Serializer& s) const {
+    s.u32(replication);
+    s.u64(provider_nodes.size());
+    for (common::NodeId n : provider_nodes) s.u32(n);
+    s.u64(live.size());
+    for (uint8_t b : live) s.u8(b);
+  }
+  static DrainRequest deserialize(Deserializer& d) {
+    DrainRequest r;
+    r.replication = d.u32();
+    uint64_t n = d.u64();
+    if (!d.check_count(n, 1)) return r;
+    r.provider_nodes.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) r.provider_nodes.push_back(d.u32());
+    uint64_t nl = d.u64();
+    if (!d.check_count(nl, 1)) return r;
+    r.live.reserve(nl);
+    for (uint64_t i = 0; i < nl && d.ok(); ++i) r.live.push_back(d.u8());
+    return r;
+  }
+};
+
+struct DrainResponse {
+  common::Status status;
+  uint64_t models_moved = 0;
+  uint64_t segments_moved = 0;
+  uint64_t hints_moved = 0;
+
+  void serialize(Serializer& s) const {
+    serialize_status(s, status);
+    s.u64(models_moved);
+    s.u64(segments_moved);
+    s.u64(hints_moved);
+  }
+  static DrainResponse deserialize(Deserializer& d) {
+    DrainResponse r;
+    r.status = deserialize_status(d);
+    r.models_moved = d.u64();
+    r.segments_moved = d.u64();
+    r.hints_moved = d.u64();
+    return r;
+  }
+};
+
+// ---- repair_peer (anti-entropy rebuild of a lost provider) ---------------
+
+/// Ask a live peer to push every model it is first-live-replica for whose
+/// replica set includes `target` (the provider being rebuilt). Carries the
+/// full ring view so responsibility is computed identically everywhere —
+/// exactly one peer pushes each model.
+struct RepairRequest {
+  common::ProviderId target = 0;
+  uint32_t replication = 0;
+  std::vector<common::NodeId> provider_nodes;
+  std::vector<uint8_t> live;  ///< full membership, target included
+
+  void serialize(Serializer& s) const {
+    s.u32(target);
+    s.u32(replication);
+    s.u64(provider_nodes.size());
+    for (common::NodeId n : provider_nodes) s.u32(n);
+    s.u64(live.size());
+    for (uint8_t b : live) s.u8(b);
+  }
+  static RepairRequest deserialize(Deserializer& d) {
+    RepairRequest r;
+    r.target = d.u32();
+    r.replication = d.u32();
+    uint64_t n = d.u64();
+    if (!d.check_count(n, 1)) return r;
+    r.provider_nodes.reserve(n);
+    for (uint64_t i = 0; i < n && d.ok(); ++i) r.provider_nodes.push_back(d.u32());
+    uint64_t nl = d.u64();
+    if (!d.check_count(nl, 1)) return r;
+    r.live.reserve(nl);
+    for (uint64_t i = 0; i < nl && d.ok(); ++i) r.live.push_back(d.u8());
+    return r;
+  }
+};
+
+struct RepairResponse {
+  common::Status status;
+  uint64_t models_pushed = 0;
+  uint64_t segments_pushed = 0;
+
+  void serialize(Serializer& s) const {
+    serialize_status(s, status);
+    s.u64(models_pushed);
+    s.u64(segments_pushed);
+  }
+  static RepairResponse deserialize(Deserializer& d) {
+    RepairResponse r;
+    r.status = deserialize_status(d);
+    r.models_pushed = d.u64();
+    r.segments_pushed = d.u64();
     return r;
   }
 };
@@ -584,6 +934,15 @@ struct StatsResponse {
   uint64_t not_modified_reads = 0;  // validation handshakes answered cheaply
   uint64_t redirects_issued = 0;    // reads pointed at a peer cache
   uint64_t pins_reaped = 0;         // stale-epoch pins released on the ledger
+  // Replication fault model (DESIGN.md §15).
+  uint64_t handoff_recorded = 0;    // hints parked for a down replica
+  uint64_t handoff_replayed = 0;    // hints delivered on target recovery
+  uint64_t handoff_discarded = 0;   // hints subsumed by a full repair push
+  uint64_t replica_installed_models = 0;    // metas installed via replicate
+  uint64_t replica_installed_segments = 0;  // segments installed via replicate
+  uint64_t replica_chunks_fetched = 0;      // chunk bodies pulled from peers
+  uint64_t drain_models_moved = 0;          // metas migrated by evostore.drain
+  uint64_t drain_segments_moved = 0;        // segments migrated by drain
   std::vector<CodecUsageEntry> codecs;
   // Per-provider histogram digests (name-ordered: providers export their
   // registry with std::map iteration, so the wire order is deterministic).
@@ -610,6 +969,14 @@ struct StatsResponse {
     s.u64(not_modified_reads);
     s.u64(redirects_issued);
     s.u64(pins_reaped);
+    s.u64(handoff_recorded);
+    s.u64(handoff_replayed);
+    s.u64(handoff_discarded);
+    s.u64(replica_installed_models);
+    s.u64(replica_installed_segments);
+    s.u64(replica_chunks_fetched);
+    s.u64(drain_models_moved);
+    s.u64(drain_segments_moved);
     s.u64(codecs.size());
     for (const auto& c : codecs) {
       s.u8(static_cast<uint8_t>(c.codec));
@@ -642,6 +1009,14 @@ struct StatsResponse {
     r.not_modified_reads = d.u64();
     r.redirects_issued = d.u64();
     r.pins_reaped = d.u64();
+    r.handoff_recorded = d.u64();
+    r.handoff_replayed = d.u64();
+    r.handoff_discarded = d.u64();
+    r.replica_installed_models = d.u64();
+    r.replica_installed_segments = d.u64();
+    r.replica_chunks_fetched = d.u64();
+    r.drain_models_moved = d.u64();
+    r.drain_segments_moved = d.u64();
     uint64_t n = d.u64();
     if (!d.check_count(n, 4)) return r;
     r.codecs.reserve(n);
@@ -694,6 +1069,14 @@ inline StatsResponse merge_stats(const std::vector<StatsResponse>& parts) {
     total.not_modified_reads += p.not_modified_reads;
     total.redirects_issued += p.redirects_issued;
     total.pins_reaped += p.pins_reaped;
+    total.handoff_recorded += p.handoff_recorded;
+    total.handoff_replayed += p.handoff_replayed;
+    total.handoff_discarded += p.handoff_discarded;
+    total.replica_installed_models += p.replica_installed_models;
+    total.replica_installed_segments += p.replica_installed_segments;
+    total.replica_chunks_fetched += p.replica_chunks_fetched;
+    total.drain_models_moved += p.drain_models_moved;
+    total.drain_segments_moved += p.drain_segments_moved;
     for (const CodecUsageEntry& c : p.codecs) {
       auto it = std::find_if(codecs.begin(), codecs.end(),
                              [&](const auto& e) { return e.codec == c.codec; });

@@ -1,5 +1,8 @@
 #include "net/fault.h"
 
+#include <algorithm>
+
+#include "common/hash.h"
 #include "common/log.h"
 
 namespace evostore::net {
@@ -37,6 +40,37 @@ void FaultInjector::schedule_mtbf(common::NodeId node, double start,
 
 void FaultInjector::on_restart(common::NodeId node, std::function<void()> fn) {
   restart_hooks_[node].push_back(std::move(fn));
+}
+
+void FaultInjector::schedule_partition(std::vector<common::NodeId> island,
+                                       double start, double end) {
+  if (end <= start || island.empty()) return;
+  std::sort(island.begin(), island.end());
+  // Each partition draws its reorder jitter from its OWN rng, seeded from
+  // the config seed and the window parameters: adding a partition never
+  // perturbs the drop/spike streams, and reruns reproduce the same smear.
+  uint64_t seed = common::hash_combine(
+      common::hash_combine(config_.seed, island.front()),
+      static_cast<uint64_t>(start * 1e6));
+  partitions_.emplace_back(std::move(island), start, end, seed);
+}
+
+double FaultInjector::partition_hold(common::NodeId from, common::NodeId to) {
+  if (partitions_.empty() || from == to) return 0;
+  double now = sim_->now();
+  for (Partition& p : partitions_) {
+    if (now < p.start || now >= p.end) continue;
+    bool from_in = std::binary_search(p.island.begin(), p.island.end(), from);
+    bool to_in = std::binary_search(p.island.begin(), p.island.end(), to);
+    if (from_in == to_in) continue;
+    ++stats_.partitioned_messages;
+    // Held until the heal, then delivered at a seeded offset inside the
+    // reorder spread — so two messages held in send order A, B can land as
+    // B, A after the heal.
+    return (p.end - now) + p.jitter_rng.uniform() *
+                               std::max(config_.partition_reorder_spread, 0.0);
+  }
+  return 0;
 }
 
 bool FaultInjector::should_drop(common::NodeId from, common::NodeId to) {

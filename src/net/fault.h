@@ -45,6 +45,12 @@ struct FaultConfig {
   /// the peer is unreachable (transport-level keepalive). An RPC deadline,
   /// when set and sooner, preempts this with DeadlineExceeded.
   double loss_detect_seconds = 0.5;
+  /// Network partitions (schedule_partition) do not drop crossing messages —
+  /// they HOLD them until the partition heals, then deliver them smeared
+  /// over this many seconds in a deterministic seeded order (the "reordered
+  /// heal": held messages land interleaved, not in send order, which is
+  /// exactly the ambiguity idempotency tokens must absorb).
+  double partition_reorder_spread = 0.05;
 };
 
 struct FaultStats {
@@ -54,6 +60,8 @@ struct FaultStats {
   uint64_t latency_spikes = 0;
   /// Message legs refused because the destination (or source) was down.
   uint64_t rejected_down = 0;
+  /// Message legs held by a network partition until its heal.
+  uint64_t partitioned_messages = 0;
 };
 
 class FaultInjector {
@@ -80,6 +88,33 @@ class FaultInjector {
   /// marked up). Providers hook their backend-recovery here.
   void on_restart(common::NodeId node, std::function<void()> fn);
 
+  /// Crash `node` immediately (no scheduled restart). Pairs with
+  /// restart_node for harness-driven windows whose end is not known at
+  /// schedule time — e.g. "kill one forever, repair after the run".
+  void crash_node(common::NodeId node) { crash_now(node); }
+  /// Bring `node` back up immediately and run its restart hooks (once the
+  /// down-counter reaches zero). No-op if the node is already up.
+  void restart_node(common::NodeId node) {
+    if (!node_up(node)) restart_now(node);
+  }
+
+  /// Schedule a symmetric network partition: from `start` to `end`, every
+  /// message leg crossing between `island` and the rest of the cluster is
+  /// HELD (not dropped) and delivered only after the heal, smeared over
+  /// `partition_reorder_spread` seconds in a seeded deterministic order.
+  /// Senders observe timeouts meanwhile and retry; the held originals land
+  /// later as duplicates, which idempotency tokens must absorb. Intra-island
+  /// and intra-mainland traffic is unaffected.
+  void schedule_partition(std::vector<common::NodeId> island, double start,
+                          double end);
+
+  /// Extra delay a message leg from->to must wait out before delivery
+  /// because a partition window is open across it; 0 when unaffected.
+  /// Counts a partitioned message and draws its reorder jitter from the
+  /// partition's own seeded RNG (so runs without partitions keep their
+  /// exact RNG streams).
+  double partition_hold(common::NodeId from, common::NodeId to);
+
   bool node_up(common::NodeId node) const {
     auto it = down_.find(node);
     return it == down_.end() || it->second == 0;
@@ -97,6 +132,17 @@ class FaultInjector {
   void count_rejected() { ++stats_.rejected_down; }
 
  private:
+  struct Partition {
+    std::vector<common::NodeId> island;  // sorted for binary_search
+    double start = 0;
+    double end = 0;
+    common::Xoshiro256 jitter_rng;
+
+    Partition(std::vector<common::NodeId> nodes, double s, double e,
+              uint64_t seed)
+        : island(std::move(nodes)), start(s), end(e), jitter_rng(seed) {}
+  };
+
   void crash_now(common::NodeId node);
   void restart_now(common::NodeId node);
 
@@ -107,6 +153,7 @@ class FaultInjector {
   // Down-counter per node: schedules could overlap; a node is up when 0.
   std::map<common::NodeId, int> down_;
   std::map<common::NodeId, std::vector<std::function<void()>>> restart_hooks_;
+  std::vector<Partition> partitions_;
 };
 
 }  // namespace evostore::net

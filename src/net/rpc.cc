@@ -130,6 +130,12 @@ sim::CoTask<Result<Bytes>> RpcSystem::call_inner(NodeId from, NodeId to,
     }
     double spike = injector_->latency_spike(from, to);
     if (spike > 0) co_await simulation().delay(spike);
+    // Partition across this leg: the request is HELD until the heal (plus a
+    // seeded reorder jitter), not dropped. The caller's deadline fires long
+    // before; this abandoned frame still delivers the handler's effect after
+    // the heal — the late-duplicate ambiguity idempotency tokens absorb.
+    double hold = injector_->partition_hold(from, to);
+    if (hold > 0) co_await simulation().delay(hold);
   }
 
   // Request travels to the server.
@@ -191,6 +197,11 @@ sim::CoTask<Result<Bytes>> RpcSystem::call_inner(NodeId from, NodeId to,
     }
     double spike = injector_->latency_spike(to, from);
     if (spike > 0) co_await simulation().delay(spike);
+    // Partition opened while the handler ran: the response is held until
+    // the heal (the request already committed — same ambiguity as a crash
+    // after commit, resolved the same way).
+    double hold = injector_->partition_hold(to, from);
+    if (hold > 0) co_await simulation().delay(hold);
   }
 
   stats_.response_bytes += static_cast<double>(response.size());
@@ -289,6 +300,8 @@ sim::CoTask<common::Status> RpcSystem::bulk(NodeId from, NodeId to,
     }
     double spike = injector_->latency_spike(from, to);
     if (spike > 0) co_await simulation().delay(spike);
+    double hold = injector_->partition_hold(from, to);
+    if (hold > 0) co_await simulation().delay(hold);
   }
   co_await fabric_->move_bytes(from, to, payload_bytes);
   co_return common::Status::Ok();

@@ -142,8 +142,11 @@ TEST_F(CacheReadTest, CrashedPeerFallsBackToProvider) {
   auto m = make_and_store(env);
   expect_identical(env.run(env.client().get_model(m.id())), m);
 
-  // A goes down for good; B still gets the redirect hints but every peer
-  // fetch fails — the fallback re-read must deliver identical bytes.
+  // A goes down for good. The providers notice the dead peer the moment a
+  // redirect would name it, drop the stale directory entry, and serve the
+  // bytes themselves — B must see identical payloads WITHOUT ever being
+  // pointed at the corpse (regression: redirect-to-dead-peer used to cost
+  // every read a doomed peer round trip).
   injector.schedule_crash(env.worker, env.sim.now(), /*downtime=*/1e9);
   NodeId node_b = env.fabric.add_node(25e9, 25e9);
   Client& cli_b = env.repo->client(node_b);
@@ -151,8 +154,11 @@ TEST_F(CacheReadTest, CrashedPeerFallsBackToProvider) {
 
   const auto& bs = cli_b.segment_cache()->stats();
   EXPECT_EQ(bs.peer_hits, 0u);
-  EXPECT_EQ(bs.peer_misses, m.vertex_count());
+  EXPECT_EQ(bs.peer_misses, 0u);
   EXPECT_EQ(bs.misses, m.vertex_count());
+  auto stats = env.run(cli_b.collect_stats());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->totals.redirects_issued, 0u);
 }
 
 TEST_F(CacheReadTest, FaultedRunIsDeterministicAcrossReplays) {

@@ -112,14 +112,17 @@ TEST(Client, DerivedModelStoresOnlyNewSegments) {
 
   size_t after = env.repo->stored_payload_bytes();
   size_t added = after - base_bytes;
-  EXPECT_LT(added, derived.total_bytes());  // incremental, not full
-  // Exactly the 3 mutated segments were added.
+  // Exactly the 3 mutated segments were added, once per replica (the
+  // cluster-wide sum counts every copy; k-way placement stores each
+  // self-owned segment on its owner's whole replica set).
+  const size_t k = env.repo->membership().replication();
   size_t expected = 0;
   for (VertexId v = static_cast<VertexId>(derived_g.size() - 3);
        v < derived_g.size(); ++v) {
     expected += derived.segment(v).nbytes();
   }
-  EXPECT_EQ(added, expected);
+  EXPECT_LT(added, k * derived.total_bytes());  // incremental, not full
+  EXPECT_EQ(added, k * expected);
 
   // And the derived model still loads completely.
   auto loaded = env.run(env.client().get_model(derived.id()));
@@ -190,7 +193,9 @@ TEST(Client, ConcurrentWritersDifferentModels) {
   }
   env.sim.run();
   for (auto& f : fs) EXPECT_TRUE(f.get());
-  EXPECT_EQ(env.repo->total_models(), static_cast<size_t>(kWriters));
+  // Every model's metadata lands on its full replica set.
+  EXPECT_EQ(env.repo->total_models(),
+            env.repo->membership().replication() * static_cast<size_t>(kWriters));
 }
 
 TEST(Client, TransferAfterAncestorRetiredFallsBackToScratch) {

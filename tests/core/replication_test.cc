@@ -1,0 +1,434 @@
+// K-way replication fault model (DESIGN.md §15): hinted handoff parked on a
+// surviving replica while a peer is down and replayed exactly-once on its
+// recovery; anti-entropy repair rebuilding a permanently-lost provider from
+// its replica peers (pulling content-addressed chunk bodies from whichever
+// peer has them); drain migrating a provider's catalog to its successor
+// replicas; and the whole handoff cycle surviving a network partition whose
+// heal re-delivers held messages in a reordered order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "net/fault.h"
+#include "storage/mem_kv.h"
+#include "tests/core/test_env.h"
+
+namespace evostore::core {
+namespace {
+
+using common::ModelId;
+using common::NodeId;
+using common::ProviderId;
+using common::SegmentKey;
+using common::VertexId;
+using testing::chain_graph;
+
+// Simulation-scale chunking (see dedup_gc_test.cc): compact sim payloads
+// never reach the deployment-scale 4 KiB threshold.
+ProviderConfig chunked_config() {
+  ProviderConfig cfg;
+  cfg.chunker = compress::ChunkerConfig{/*min_bytes=*/32, /*avg_bytes=*/64,
+                                        /*max_bytes=*/256};
+  return cfg;
+}
+
+// Multi-provider cluster with per-provider MemKv backends and a fault
+// injector attached BEFORE repository construction (so restart hooks —
+// recovery + hint replay — are registered). Client retries are kept short:
+// a write aimed at a down replica must give up quickly and park a hint
+// instead of riding out the outage.
+struct ReplEnv {
+  std::vector<std::unique_ptr<storage::MemKv>> backends;
+  sim::Simulation sim;
+  net::Fabric fabric;
+  net::RpcSystem rpc;
+  net::FaultInjector injector;
+  std::vector<NodeId> provider_nodes;
+  NodeId worker;
+  std::unique_ptr<EvoStoreRepository> repo;
+
+  explicit ReplEnv(int providers, ProviderConfig config = {})
+      : fabric(sim,
+               net::FabricConfig{.latency = 1.5e-6, .local_latency = 2e-7}),
+        rpc(fabric),
+        injector(sim, net::FaultConfig{.seed = 11,
+                                       .loss_detect_seconds = 0.005}) {
+    rpc.set_fault_injector(&injector);
+    std::vector<storage::KvStore*> raw;
+    for (int i = 0; i < providers; ++i) {
+      provider_nodes.push_back(fabric.add_node(25e9, 25e9));
+      backends.push_back(std::make_unique<storage::MemKv>());
+      raw.push_back(backends.back().get());
+    }
+    worker = fabric.add_node(25e9, 25e9);
+    ClientConfig cc;
+    cc.rpc_timeout = 0.02;
+    cc.retry.max_attempts = 2;
+    cc.retry.initial_backoff = 0.005;
+    cc.retry.max_backoff = 0.01;
+    repo = std::make_unique<EvoStoreRepository>(rpc, provider_nodes, config,
+                                                raw, cc);
+  }
+
+  Client& client() { return repo->client(worker); }
+
+  template <typename T>
+  T run(sim::CoTask<T> task) {
+    return sim.run_until_complete(std::move(task));
+  }
+
+  /// Advance simulated time (drives detached replay / repair coroutines).
+  void settle(double seconds) {
+    auto idle = [this, seconds]() -> sim::CoTask<void> {
+      co_await sim.delay(seconds);
+    };
+    run(idle());
+  }
+
+  model::Model make_model(const model::ArchGraph& g, uint64_t seed) {
+    auto m = model::Model::random(repo->allocate_id(), g, seed);
+    m.set_quality(0.6);
+    return m;
+  }
+
+  sim::CoTask<common::Status> put(const model::Model& m) {
+    co_return co_await client().put_model(m, nullptr);
+  }
+
+  void expect_reads_back(const model::Model& want) {
+    auto got = run(client().get_model(want.id()));
+    ASSERT_TRUE(got.ok()) << got.status().to_string();
+    for (VertexId v = 0; v < want.vertex_count(); ++v) {
+      EXPECT_TRUE(got->segment(v).content_equals(want.segment(v)))
+          << "vertex " << v;
+    }
+  }
+};
+
+TEST(Replication, EveryReplicaHoldsEveryModel) {
+  ReplEnv env(4);
+  auto g = chain_graph(5, 16);
+  std::vector<model::Model> models;
+  for (uint64_t s = 1; s <= 6; ++s) models.push_back(env.make_model(g, s));
+  for (const auto& m : models) ASSERT_TRUE(env.run(env.put(m)).ok());
+
+  const Membership& membership = env.repo->membership();
+  ASSERT_EQ(membership.replication(), 2u);
+  for (const auto& m : models) {
+    auto reps = membership.replicas(m.id());
+    ASSERT_EQ(reps.size(), 2u);
+    for (ProviderId p : reps) {
+      EXPECT_TRUE(env.repo->provider(p).has_model(m.id()));
+      for (VertexId v = 0; v < m.vertex_count(); ++v) {
+        SegmentKey key{m.id(), v};
+        EXPECT_TRUE(env.repo->provider(p).has_segment(key));
+        // The replica-group refcount invariant: every replica sees the same
+        // logical ±1 stream, so counts march in lockstep.
+        EXPECT_EQ(env.repo->provider(p).refcount(key),
+                  env.repo->provider(reps[0]).refcount(key));
+      }
+    }
+    // Non-replicas hold nothing for this model.
+    for (size_t p = 0; p < env.repo->provider_count(); ++p) {
+      if (std::find(reps.begin(), reps.end(), static_cast<ProviderId>(p)) !=
+          reps.end()) {
+        continue;
+      }
+      EXPECT_FALSE(env.repo->provider(p).has_model(m.id()));
+    }
+  }
+}
+
+TEST(Replication, WriteDuringOutageParksHintAndReplaysOnRestart) {
+  ReplEnv env(3);
+  auto g = chain_graph(6, 16);
+  auto m1 = env.make_model(g, 1);
+  ASSERT_TRUE(env.run(env.put(m1)).ok());
+
+  auto m2 = env.make_model(chain_graph(6, 16, 1, 3), 2);
+  auto reps = env.repo->membership().replicas(m2.id());
+  ASSERT_EQ(reps.size(), 2u);
+  // Crash the PRIMARY replica: the write must commit on the survivor with a
+  // hint parked, and reads must fail over past the dead primary.
+  ProviderId down = reps[0];
+  env.injector.crash_node(env.provider_nodes[down]);
+
+  ASSERT_TRUE(env.run(env.put(m2)).ok());
+  EXPECT_GE(env.repo->total_client_fault_stats().hints_sent, 1u);
+  EXPECT_GE(env.repo->total_hints(), 1u);
+  EXPECT_FALSE(env.repo->provider(down).has_model(m2.id()));
+
+  env.expect_reads_back(m2);  // served by the surviving replica
+  EXPECT_GT(env.repo->total_client_fault_stats().read_failovers, 0u);
+
+  // Recovery: the restart hook reloads the backend (m1 intact) and every
+  // peer replays its parked hints — the missed put arrives now.
+  env.injector.restart_node(env.provider_nodes[down]);
+  env.settle(2.0);
+
+  EXPECT_EQ(env.repo->total_hints(), 0u);
+  EXPECT_TRUE(env.repo->provider(down).has_model(m2.id()));
+  EXPECT_GT(env.repo->provider(reps[1]).stats().hints_replayed, 0u);
+  for (VertexId v = 0; v < m2.vertex_count(); ++v) {
+    SegmentKey key{m2.id(), v};
+    EXPECT_EQ(env.repo->provider(down).refcount(key),
+              env.repo->provider(reps[1]).refcount(key));
+  }
+  env.expect_reads_back(m1);
+  env.expect_reads_back(m2);
+}
+
+TEST(Replication, HintReplayIsIdempotentAcrossReincarnation) {
+  // The ambiguity hinted handoff must absorb: the target APPLIED the write,
+  // then crashed before anyone saw the response. The parked hint replays on
+  // recovery and the embedded idempotency token — whose dedup record the
+  // target recovered from its backend — makes the replay a no-op.
+  ReplEnv env(3);
+  auto g = chain_graph(4, 16);
+  auto m = env.make_model(g, 1);
+  ASSERT_TRUE(env.run(env.put(m)).ok());
+  auto reps = env.repo->membership().replicas(m.id());
+  ASSERT_EQ(reps.size(), 2u);
+  ProviderId target = reps[0];
+  ProviderId custodian = reps[1];
+  SegmentKey key{m.id(), 1};
+  ASSERT_EQ(env.repo->provider(target).refcount(key), 1);
+
+  wire::ModifyRefsRequest req;
+  req.increment = true;
+  req.keys.push_back(key);
+  req.token = 0x5151000200000007ULL;
+  // Applied on the target for real...
+  auto deliver = [&]() -> sim::CoTask<common::Status> {
+    auto r = co_await net::typed_call<wire::ModifyRefsResponse>(
+        &env.rpc, env.worker, env.provider_nodes[target], Provider::kModifyRefs,
+        req);
+    co_return r.ok() ? r->status : r.status();
+  };
+  ASSERT_TRUE(env.run(deliver()).ok());
+  ASSERT_EQ(env.repo->provider(target).refcount(key), 2);
+
+  // ...but the client never saw the response, so the SAME request was parked
+  // as a hint on the custodian.
+  common::Serializer s;
+  req.serialize(s);
+  wire::StoreHintRequest hreq;
+  hreq.hint.target = target;
+  hreq.hint.method = Provider::kModifyRefs;
+  hreq.hint.payload = std::move(s).take();
+  auto park = [&]() -> sim::CoTask<common::Status> {
+    auto r = co_await net::typed_call<wire::StoreHintResponse>(
+        &env.rpc, env.worker, env.provider_nodes[custodian],
+        Provider::kStoreHint, hreq);
+    co_return r.ok() ? r->status : r.status();
+  };
+  ASSERT_TRUE(env.run(park()).ok());
+  ASSERT_EQ(env.repo->provider(custodian).hint_count_for(target), 1u);
+
+  // Reincarnation: crash, then restart (state + token dedup cache recovered
+  // from the backend); the restart hook replays the hint.
+  env.injector.crash_node(env.provider_nodes[target]);
+  env.injector.restart_node(env.provider_nodes[target]);
+  env.settle(2.0);
+
+  EXPECT_EQ(env.repo->provider(custodian).hint_count_for(target), 0u);
+  EXPECT_EQ(env.repo->provider(target).refcount(key), 2);  // applied ONCE
+  EXPECT_EQ(env.repo->provider(target).stats().deduped_replays, 1u);
+}
+
+TEST(Replication, RepairRebuildsWipedProviderFromPeers) {
+  ReplEnv env(3, chunked_config());
+  auto g = chain_graph(8, 48);
+  std::vector<model::Model> models;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    models.push_back(env.make_model(g, seed));
+    ASSERT_TRUE(env.run(env.put(models.back())).ok());
+  }
+
+  // Permanent loss: the provider dies AND its backend is wiped, so the
+  // restart comes back empty — only anti-entropy repair can rebuild it.
+  constexpr ProviderId kLost = 0;
+  env.injector.crash_node(env.provider_nodes[kLost]);
+  for (const std::string& key : env.backends[kLost]->keys()) {
+    ASSERT_TRUE(env.backends[kLost]->erase(key).ok());
+  }
+  env.injector.restart_node(env.provider_nodes[kLost]);
+  env.settle(0.1);
+  ASSERT_EQ(env.repo->provider(kLost).model_count(), 0u);
+
+  ASSERT_TRUE(env.run(env.repo->repair_provider(kLost)).ok());
+
+  // Every model whose replica set includes the lost provider is back, with
+  // envelopes (chunk manifests included) and refcounts matching its peer.
+  size_t rebuilt = 0;
+  for (const auto& m : models) {
+    auto reps = env.repo->membership().replicas(m.id());
+    if (std::find(reps.begin(), reps.end(), kLost) == reps.end()) continue;
+    ++rebuilt;
+    ProviderId peer = reps[0] == kLost ? reps[1] : reps[0];
+    EXPECT_TRUE(env.repo->provider(kLost).has_model(m.id()));
+    for (VertexId v = 0; v < m.vertex_count(); ++v) {
+      SegmentKey key{m.id(), v};
+      const auto* mine = env.repo->provider(kLost).segment_envelope(key);
+      const auto* theirs = env.repo->provider(peer).segment_envelope(key);
+      ASSERT_NE(mine, nullptr) << "vertex " << v;
+      ASSERT_NE(theirs, nullptr) << "vertex " << v;
+      EXPECT_EQ(*mine, *theirs) << "vertex " << v;
+      EXPECT_EQ(env.repo->provider(kLost).refcount(key),
+                env.repo->provider(peer).refcount(key));
+    }
+    env.expect_reads_back(m);
+  }
+  EXPECT_GT(rebuilt, 0u);
+  // The rebuild was chunk-aware: manifests travelled and the missing bodies
+  // were pulled content-addressed from peers, not re-uploaded by clients.
+  EXPECT_GT(env.repo->provider(kLost).stats().replica_chunks_fetched, 0u);
+  EXPECT_EQ(env.repo->total_hints(), 0u);
+}
+
+TEST(Replication, ReplicateInstallPullsChunksFromAnyLivePeer) {
+  // The pushing provider is only the FIRST chunk source: when it cannot
+  // serve (it died mid-push), the installer falls back to the other replica
+  // peers — whoever holds the content-addressed body serves it.
+  ReplEnv env(3, chunked_config());
+  auto g = chain_graph(8, 48);
+  auto m = env.make_model(g, 1);
+  ASSERT_TRUE(env.run(env.put(m)).ok());
+  auto reps = env.repo->membership().replicas(m.id());
+  ASSERT_EQ(reps.size(), 2u);
+  ProviderId third = 0;
+  for (size_t p = 0; p < env.repo->provider_count(); ++p) {
+    if (std::find(reps.begin(), reps.end(), static_cast<ProviderId>(p)) ==
+        reps.end()) {
+      third = static_cast<ProviderId>(p);
+    }
+  }
+
+  // A chunked envelope as stored on a replica.
+  SegmentKey key{m.id(), 1};
+  const auto* env_stored = env.repo->provider(reps[0]).segment_envelope(key);
+  ASSERT_NE(env_stored, nullptr);
+  ASSERT_EQ(env_stored->kind, compress::EnvelopeKind::kChunked);
+
+  wire::ReplicateRequest req;
+  req.has_meta = false;
+  req.id = m.id();
+  req.segments.push_back({key, *env_stored, /*refs=*/1});
+  // Source: a replica that just died. Peer list: the surviving replica.
+  req.source_node = env.provider_nodes[reps[0]];
+  req.peer_nodes = {env.provider_nodes[reps[1]]};
+  env.injector.crash_node(env.provider_nodes[reps[0]]);
+
+  auto push = [&]() -> sim::CoTask<wire::ReplicateResponse> {
+    auto r = co_await net::typed_call<wire::ReplicateResponse>(
+        &env.rpc, env.worker, env.provider_nodes[third], Provider::kReplicate,
+        req);
+    EXPECT_TRUE(r.ok()) << r.status().to_string();
+    co_return r.ok() ? *r : wire::ReplicateResponse{};
+  };
+  auto resp = env.run(push());
+  EXPECT_TRUE(resp.status.ok()) << resp.status.to_string();
+  EXPECT_EQ(resp.installed_segments, 1u);
+  EXPECT_GT(resp.fetched_chunks, 0u);
+
+  const auto* installed = env.repo->provider(third).segment_envelope(key);
+  ASSERT_NE(installed, nullptr);
+  EXPECT_EQ(*installed, *env_stored);
+  EXPECT_GT(env.repo->provider(third).stats().replica_chunks_fetched, 0u);
+}
+
+TEST(Replication, DrainMigratesCatalogUnderOngoingMembershipView) {
+  ReplEnv env(4);
+  auto g = chain_graph(6, 16);
+  std::vector<model::Model> models;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    models.push_back(env.make_model(g, seed));
+    ASSERT_TRUE(env.run(env.put(models.back())).ok());
+  }
+
+  constexpr ProviderId kLeaving = 1;
+  ASSERT_TRUE(env.run(env.repo->drain_provider(kLeaving)).ok());
+
+  // The provider left the ring empty and refuses new work.
+  EXPECT_TRUE(env.repo->provider(kLeaving).drained());
+  EXPECT_EQ(env.repo->provider(kLeaving).model_count(), 0u);
+  EXPECT_EQ(env.repo->provider(kLeaving).segment_count(), 0u);
+  EXPECT_FALSE(env.repo->membership().is_live(kLeaving));
+  EXPECT_GT(env.repo->provider(kLeaving).stats().drain_models_moved, 0u);
+
+  // Every model is still at full replication strength on the survivors and
+  // reads back bit-identical.
+  for (const auto& m : models) {
+    auto reps = env.repo->membership().replicas(m.id());
+    ASSERT_EQ(reps.size(), 2u);
+    for (ProviderId p : reps) {
+      EXPECT_NE(p, kLeaving);
+      EXPECT_TRUE(env.repo->provider(p).has_model(m.id()));
+    }
+    env.expect_reads_back(m);
+  }
+
+  // New writes place on the survivors only.
+  auto late = env.make_model(g, 99);
+  ASSERT_TRUE(env.run(env.put(late)).ok());
+  EXPECT_FALSE(env.repo->provider(kLeaving).has_model(late.id()));
+  env.expect_reads_back(late);
+}
+
+TEST(Replication, HandoffReplaySurvivesPartitionWithReorderedHeal) {
+  // The replica crashes, writes park as hints, and it restarts INSIDE a
+  // network partition: the replayed hints are held by the partition and
+  // delivered after the heal, smeared in a seeded reordered order — which
+  // the hints' embedded idempotency tokens must absorb.
+  ReplEnv env(3);
+  auto g = chain_graph(6, 16);
+  auto m1 = env.make_model(g, 1);
+  ASSERT_TRUE(env.run(env.put(m1)).ok());
+
+  std::vector<model::Model> missed;
+  for (uint64_t seed = 2; seed <= 4; ++seed) {
+    missed.push_back(env.make_model(chain_graph(6, 16, 1, 2 + seed), seed));
+  }
+  // All three writes target the same down replica only if their replica
+  // sets agree; instead just crash ONE provider and keep the writes whose
+  // replica sets include it (every write still succeeds on its survivor).
+  constexpr ProviderId kVictim = 0;
+
+  auto driver = [&]() -> sim::CoTask<void> {
+    double now = env.sim.now();
+    env.injector.schedule_crash(env.provider_nodes[kVictim], now + 1e-6,
+                                /*downtime=*/0.2);
+    env.injector.schedule_partition({env.provider_nodes[kVictim]}, now + 0.1,
+                                    now + 0.35);
+    co_await env.sim.delay(1e-4);
+    for (const auto& m : missed) {
+      auto st = co_await env.client().put_model(m, nullptr);
+      EXPECT_TRUE(st.ok()) << st.to_string();
+    }
+    // Ride past restart (t+0.2, inside the partition), the heal (t+0.35),
+    // and the reorder spread.
+    co_await env.sim.delay(1.5);
+  };
+  env.run(driver());
+
+  EXPECT_GT(env.injector.stats().partitioned_messages, 0u);
+  EXPECT_EQ(env.repo->total_hints(), 0u);
+  size_t victim_writes = 0;
+  for (const auto& m : missed) {
+    auto reps = env.repo->membership().replicas(m.id());
+    if (std::find(reps.begin(), reps.end(), kVictim) == reps.end()) continue;
+    ++victim_writes;
+    EXPECT_TRUE(env.repo->provider(kVictim).has_model(m.id()));
+    env.expect_reads_back(m);
+  }
+  EXPECT_GT(victim_writes, 0u);
+  uint64_t replayed = 0;
+  for (size_t p = 0; p < env.repo->provider_count(); ++p) {
+    replayed += env.repo->provider(p).stats().hints_replayed;
+  }
+  EXPECT_GT(replayed, 0u);
+}
+
+}  // namespace
+}  // namespace evostore::core

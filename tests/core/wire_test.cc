@@ -313,6 +313,199 @@ TEST(Wire, RetireMessages) {
   EXPECT_EQ(rout.owners, resp.owners);
 }
 
+TEST(Wire, ModifyRefsMissingKeys) {
+  // Replication-era miss reporting: every missing segment identified by key
+  // so the client can vote on unanimity across replicas.
+  ModifyRefsResponse resp;
+  resp.status = common::Status::NotFound("2 segment(s) missing");
+  resp.missing = 2;
+  resp.missing_keys.push_back({ModelId::make(6, 1), 3});
+  resp.missing_keys.push_back({ModelId::make(6, 2), 0});
+  auto out = round_trip(resp);
+  EXPECT_EQ(out.missing, 2u);
+  EXPECT_EQ(out.missing_keys, resp.missing_keys);
+  EXPECT_TRUE(round_trip(ModifyRefsResponse{}).missing_keys.empty());
+}
+
+TEST(Wire, HintMessages) {
+  HintRecord hint;
+  hint.target = 3;
+  hint.method = "evostore.put_model";
+  hint.payload = common::Bytes{std::byte{1}, std::byte{2}, std::byte{250},
+                               std::byte{0}, std::byte{7}};
+  auto hout = round_trip(hint);
+  EXPECT_EQ(hout, hint);
+
+  StoreHintRequest req;
+  req.hint = hint;
+  auto rout = round_trip(req);
+  EXPECT_EQ(rout.hint, hint);
+
+  StoreHintResponse resp;
+  resp.status = common::Status::Unavailable("drained");
+  auto sout = round_trip(resp);
+  EXPECT_EQ(sout.status.code(), common::ErrorCode::kUnavailable);
+
+  // Empty payload (degenerate but legal) survives too.
+  HintRecord empty;
+  EXPECT_EQ(round_trip(empty), empty);
+}
+
+TEST(Wire, ReplicateMessages) {
+  auto g = chain_graph(3, 8);
+
+  ReplicateRequest req;
+  req.has_meta = true;
+  req.id = ModelId::make(9, 1);
+  req.graph = g;
+  req.owners = OwnerMap::self_owned(req.id, g.size());
+  req.quality = 0.75;
+  req.ancestor = ModelId::make(9, 0);
+  req.store_time = 17.5;
+  ReplicateSegment seg;
+  seg.key = SegmentKey{req.id, 1};
+  seg.segment = raw_envelope(model::make_random_segment(g, 1, 6));
+  seg.refs = 3;
+  req.segments.push_back(seg);
+  req.source_node = 5;
+  req.peer_nodes = {6, 7};
+  auto out = round_trip(req);
+  EXPECT_TRUE(out.has_meta);
+  EXPECT_EQ(out.id, req.id);
+  EXPECT_EQ(out.graph.graph_hash(), g.graph_hash());
+  EXPECT_EQ(out.owners, req.owners);
+  EXPECT_DOUBLE_EQ(out.quality, req.quality);
+  EXPECT_EQ(out.ancestor, req.ancestor);
+  EXPECT_DOUBLE_EQ(out.store_time, req.store_time);
+  ASSERT_EQ(out.segments.size(), 1u);
+  EXPECT_EQ(out.segments[0].key, seg.key);
+  EXPECT_EQ(out.segments[0].segment, seg.segment);
+  EXPECT_EQ(out.segments[0].refs, 3u);
+  EXPECT_EQ(out.source_node, 5u);
+  EXPECT_EQ(out.peer_nodes, req.peer_nodes);
+
+  // Orphan push: no metadata block on the wire at all.
+  ReplicateRequest orphan;
+  orphan.has_meta = false;
+  orphan.id = ModelId::make(9, 2);
+  orphan.segments.push_back(seg);
+  orphan.source_node = 4;
+  auto oout = round_trip(orphan);
+  EXPECT_FALSE(oout.has_meta);
+  EXPECT_EQ(oout.id, orphan.id);
+  ASSERT_EQ(oout.segments.size(), 1u);
+
+  ReplicateResponse resp;
+  resp.status = common::Status::Ok();
+  resp.installed_meta = true;
+  resp.installed_segments = 7;
+  resp.fetched_chunks = 2;
+  auto sout = round_trip(resp);
+  EXPECT_TRUE(sout.installed_meta);
+  EXPECT_EQ(sout.installed_segments, 7u);
+  EXPECT_EQ(sout.fetched_chunks, 2u);
+}
+
+TEST(Wire, FetchChunksMessages) {
+  FetchChunksRequest req;
+  req.digests.push_back({0x1111222233334444ULL, 0x5555666677778888ULL});
+  req.digests.push_back({0, 1});
+  auto rout = round_trip(req);
+  ASSERT_EQ(rout.digests.size(), 2u);
+  EXPECT_EQ(rout.digests[0].hi, req.digests[0].hi);
+  EXPECT_EQ(rout.digests[0].lo, req.digests[0].lo);
+  EXPECT_EQ(rout.digests[1].lo, 1u);
+
+  FetchChunksResponse resp;
+  resp.status = common::Status::Ok();
+  ChunkBodyEntry e;
+  e.digest = {42, 43};
+  e.bytes = common::Bytes{std::byte{9}, std::byte{8}, std::byte{7}};
+  e.cost = 4096;
+  resp.chunks.push_back(e);
+  resp.payload_bytes = 3;
+  auto sout = round_trip(resp);
+  ASSERT_EQ(sout.chunks.size(), 1u);
+  EXPECT_EQ(sout.chunks[0].digest.hi, 42u);
+  EXPECT_EQ(sout.chunks[0].bytes, e.bytes);
+  EXPECT_EQ(sout.chunks[0].cost, 4096u);
+  EXPECT_EQ(sout.payload_bytes, 3u);
+
+  // Absent digests are simply skipped; an empty response round-trips.
+  EXPECT_TRUE(round_trip(FetchChunksResponse{}).chunks.empty());
+}
+
+TEST(Wire, DrainMessages) {
+  DrainRequest req;
+  req.replication = 2;
+  req.provider_nodes = {10, 11, 12, 13};
+  req.live = {1, 1, 0, 1};
+  auto rout = round_trip(req);
+  EXPECT_EQ(rout.replication, 2u);
+  EXPECT_EQ(rout.provider_nodes, req.provider_nodes);
+  EXPECT_EQ(rout.live, req.live);
+
+  DrainResponse resp;
+  resp.status = common::Status::Ok();
+  resp.models_moved = 12;
+  resp.segments_moved = 99;
+  resp.hints_moved = 3;
+  auto sout = round_trip(resp);
+  EXPECT_EQ(sout.models_moved, 12u);
+  EXPECT_EQ(sout.segments_moved, 99u);
+  EXPECT_EQ(sout.hints_moved, 3u);
+}
+
+TEST(Wire, RepairMessages) {
+  RepairRequest req;
+  req.target = 2;
+  req.replication = 3;
+  req.provider_nodes = {20, 21, 22};
+  req.live = {1, 1, 1};
+  auto rout = round_trip(req);
+  EXPECT_EQ(rout.target, 2u);
+  EXPECT_EQ(rout.replication, 3u);
+  EXPECT_EQ(rout.provider_nodes, req.provider_nodes);
+  EXPECT_EQ(rout.live, req.live);
+
+  RepairResponse resp;
+  resp.status = common::Status::Unavailable("peer down");
+  resp.models_pushed = 4;
+  resp.segments_pushed = 40;
+  auto sout = round_trip(resp);
+  EXPECT_EQ(sout.status.code(), common::ErrorCode::kUnavailable);
+  EXPECT_EQ(sout.models_pushed, 4u);
+  EXPECT_EQ(sout.segments_pushed, 40u);
+}
+
+TEST(Wire, StatsReplicationCounters) {
+  StatsResponse resp;
+  resp.status = common::Status::Ok();
+  resp.handoff_recorded = 5;
+  resp.handoff_replayed = 4;
+  resp.handoff_discarded = 1;
+  resp.replica_chunks_fetched = 9;
+  resp.drain_models_moved = 2;
+  resp.drain_segments_moved = 20;
+  auto out = round_trip(resp);
+  EXPECT_EQ(out.handoff_recorded, 5u);
+  EXPECT_EQ(out.handoff_replayed, 4u);
+  EXPECT_EQ(out.handoff_discarded, 1u);
+  EXPECT_EQ(out.replica_chunks_fetched, 9u);
+  EXPECT_EQ(out.drain_models_moved, 2u);
+  EXPECT_EQ(out.drain_segments_moved, 20u);
+
+  StatsResponse other;
+  other.status = common::Status::Ok();
+  other.handoff_recorded = 1;
+  other.replica_chunks_fetched = 1;
+  other.drain_segments_moved = 2;
+  auto total = merge_stats({resp, other});
+  EXPECT_EQ(total.handoff_recorded, 6u);
+  EXPECT_EQ(total.replica_chunks_fetched, 10u);
+  EXPECT_EQ(total.drain_segments_moved, 22u);
+}
+
 TEST(Wire, LcpQueryMessages) {
   LcpQueryRequest req;
   req.graph = chain_graph(5, 16);

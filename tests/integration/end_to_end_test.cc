@@ -17,10 +17,20 @@ using common::NodeId;
 using common::VertexId;
 using core::testing::ClusterEnv;
 
+// The paper-reproduction comparisons below measure the single-copy storage
+// model against unreplicated baselines, so they pin replication = 1; the
+// k-way replica machinery is covered by tests/core/replication_test.cc and
+// the fault-ablation benches.
+core::ClientConfig single_copy() {
+  core::ClientConfig cfg;
+  cfg.replication = 1;
+  return cfg;
+}
+
 TEST(EndToEnd, NasChainThroughEvoStore) {
   // Simulate 30 generations of transfer learning through the public API and
   // verify every stored model stays byte-identical when read back.
-  ClusterEnv env(8);
+  ClusterEnv env(8, {}, single_copy());
   auto& cli = env.client();
   workload::DeepSpace space;
   common::Xoshiro256 rng(5);
@@ -84,7 +94,7 @@ TEST(EndToEnd, NasChainThroughEvoStore) {
 TEST(EndToEnd, Figure4StyleIncrementalWriteWorkload) {
   // The Fig. 4 micro-benchmark shape at miniature scale: 8 workers writing
   // 25% - 100% modified models; dedup visible in stored bytes.
-  ClusterEnv env(2);
+  ClusterEnv env(2, {}, single_copy());
   workload::ArchGenConfig gen_cfg;
   gen_cfg.total_bytes = 8ull << 20;
   gen_cfg.leaf_layers = 20;
@@ -114,7 +124,7 @@ TEST(EndToEnd, Figure4StyleIncrementalWriteWorkload) {
 TEST(EndToEnd, EvoStoreVsHdf5StorageFootprint) {
   // Same derived-model stream into both repositories: EvoStore dedups,
   // HDF5+PFS duplicates (paper Fig. 10 mechanism).
-  ClusterEnv env(4);
+  ClusterEnv env(4, {}, single_copy());
   NodeId h5_client = env.fabric.add_node(25e9, 25e9);
   NodeId redis_node = env.fabric.add_node(25e9, 25e9);
   storage::Pfs pfs(env.fabric, storage::PfsConfig{});
@@ -194,7 +204,7 @@ TEST(EndToEnd, SmallNasRunsAcrossAllThreeApproaches) {
     std::vector<NodeId> workers, providers;
     NodeId controller;
     build_cluster(sim, fabric, workers, providers, controller);
-    core::EvoStoreRepository repo(rpc, providers);
+    core::EvoStoreRepository repo(rpc, providers, {}, {}, single_copy());
     cfg.use_transfer = true;
     auto r = nas::run_nas(sim, fabric, space, &repo, workers, controller, cfg);
     makespans[1] = r.makespan;

@@ -15,6 +15,15 @@ namespace {
 using common::NodeId;
 using core::testing::ClusterEnv;
 
+// Storage-footprint shapes compare the single-copy model against
+// unreplicated baselines, so they pin replication = 1; k-way replication is
+// covered by tests/core/replication_test.cc and the fault-ablation benches.
+core::ClientConfig single_copy() {
+  core::ClientConfig cfg;
+  cfg.replication = 1;
+  return cfg;
+}
+
 // Fig. 4 shape: partial writes scale inversely with the modified fraction.
 TEST(ShapeInvariants, PartialWriteTimeScalesWithModifiedFraction) {
   workload::ArchGenConfig gen;
@@ -108,7 +117,7 @@ TEST(ShapeInvariants, CollectiveQueryBeatsCentralizedScan) {
 // Fig. 10 shape: with NAS-like derivation streams, EvoStore's stored bytes
 // stay far below per-model full copies.
 TEST(ShapeInvariants, DedupFactorOnDerivationStream) {
-  ClusterEnv env(4);
+  ClusterEnv env(4, {}, single_copy());
   auto& client = env.client();
   workload::DeepSpace space;
   common::Xoshiro256 rng(9);

@@ -67,8 +67,10 @@ TEST(NasRunner, TransferRunStoresAndRetires) {
   EXPECT_EQ(result.traces.size(), cfg.total_candidates);
   // Population cap 16 of 60 candidates -> >= 40 retirements.
   EXPECT_GE(result.retired, cfg.total_candidates - cfg.population_cap - 4);
-  // Live models bounded by population cap (plus in-flight slack).
-  EXPECT_LE(env.repo->total_models(), cfg.population_cap + 8);
+  // Live models bounded by population cap (plus in-flight slack); the
+  // cluster-wide sum counts every replica of each model once.
+  const size_t k = env.repo->membership().replication();
+  EXPECT_LE(env.repo->total_models(), k * (cfg.population_cap + 8));
   // Transfers happened and carried meaningful prefixes.
   EXPECT_GT(result.transfers, cfg.total_candidates / 4);
   EXPECT_GT(result.mean_lcp_fraction, 0.1);

@@ -66,8 +66,8 @@ TEST(Rpc, MissingHandlerIsUnimplemented) {
 
 TEST(Rpc, DeadlineExceededWhenHandlerTooSlow) {
   Env env;
-  env.rpc.register_handler(env.b, "slow", [&](Bytes) -> CoTask<Bytes> {
-    co_await env.sim.delay(10.0);
+  env.rpc.register_handler(env.b, "slow", [sim = &env.sim](Bytes) -> CoTask<Bytes> {
+    co_await sim->delay(10.0);
     co_return Bytes{};
   });
   auto task = [&]() -> CoTask<common::Status> {
@@ -83,8 +83,8 @@ TEST(Rpc, DeadlineExceededWhenHandlerTooSlow) {
 
 TEST(Rpc, DeadlineFiresAtExactlyTimeoutSeconds) {
   Env env;
-  env.rpc.register_handler(env.b, "slow", [&](Bytes) -> CoTask<Bytes> {
-    co_await env.sim.delay(10.0);
+  env.rpc.register_handler(env.b, "slow", [sim = &env.sim](Bytes) -> CoTask<Bytes> {
+    co_await sim->delay(10.0);
     co_return Bytes{};
   });
   auto task = [&]() -> CoTask<double> {
@@ -113,8 +113,8 @@ TEST(Rpc, FastCallUnaffectedByDeadline) {
 TEST(Rpc, DefaultTimeoutAppliesWhenOptionsLeaveZero) {
   Env env;
   env.rpc.set_default_timeout(0.1);
-  env.rpc.register_handler(env.b, "slow", [&](Bytes) -> CoTask<Bytes> {
-    co_await env.sim.delay(10.0);
+  env.rpc.register_handler(env.b, "slow", [sim = &env.sim](Bytes) -> CoTask<Bytes> {
+    co_await sim->delay(10.0);
     co_return Bytes{};
   });
   auto task = [&]() -> CoTask<common::Status> {
@@ -128,8 +128,8 @@ TEST(Rpc, DefaultTimeoutAppliesWhenOptionsLeaveZero) {
 TEST(Rpc, NegativeTimeoutDisablesDefaultDeadline) {
   Env env;
   env.rpc.set_default_timeout(0.1);
-  env.rpc.register_handler(env.b, "slow", [&](Bytes) -> CoTask<Bytes> {
-    co_await env.sim.delay(1.0);
+  env.rpc.register_handler(env.b, "slow", [sim = &env.sim](Bytes) -> CoTask<Bytes> {
+    co_await sim->delay(1.0);
     co_return Bytes{};
   });
   auto task = [&]() -> CoTask<bool> {
@@ -194,8 +194,8 @@ TEST(Rpc, RoundTripPaysTwoLatencies) {
 
 TEST(Rpc, HandlerCanAwait) {
   Env env;
-  env.rpc.register_handler(env.b, "slow", [&](Bytes) -> CoTask<Bytes> {
-    co_await env.sim.delay(1.0);
+  env.rpc.register_handler(env.b, "slow", [sim = &env.sim](Bytes) -> CoTask<Bytes> {
+    co_await sim->delay(1.0);
     co_return Bytes{};  // empty response: no bandwidth term in the check
   });
   auto task = [&]() -> CoTask<double> {
@@ -208,8 +208,8 @@ TEST(Rpc, HandlerCanAwait) {
 TEST(Rpc, ServicePoolSerializesHandlers) {
   Env env;
   env.rpc.set_service_pool(env.b, 1, 0.0);
-  env.rpc.register_handler(env.b, "slow", [&](Bytes) -> CoTask<Bytes> {
-    co_await env.sim.delay(1.0);
+  env.rpc.register_handler(env.b, "slow", [sim = &env.sim](Bytes) -> CoTask<Bytes> {
+    co_await sim->delay(1.0);
     co_return Bytes{};
   });
   auto call_once = [&]() -> CoTask<void> {

@@ -7,86 +7,81 @@
 namespace evostore::sim {
 namespace {
 
-CoTask<void> xfer(Simulation* sim, FlowScheduler& fs, std::vector<PortId> path,
-                  double bytes, double* done_at) {
+// Returns the virtual time at which the transfer completed. Results travel
+// through the spawn Future rather than out-pointers, so the detached frame
+// holds no addresses into a test's stack (EVO-CORO-004); the Simulation
+// travels as a pointer because it is read after the suspension point and
+// the executor outlives every frame it runs (EVO-CORO-003a exemption).
+CoTask<double> xfer(Simulation* sim, FlowScheduler& fs,
+                    std::vector<PortId> path, double bytes) {
   co_await fs.transfer(std::move(path), bytes);
-  *done_at = sim->now();
+  co_return sim->now();
 }
 
 TEST(Flow, SingleTransferTakesBytesOverCapacity) {
   Simulation sim;
   FlowScheduler fs(sim);
   PortId p = fs.add_port(100.0);
-  double t = 0;
   std::vector<PortId> path{p};
-  auto f = sim.spawn(xfer(&sim, fs, path, 500.0, &t));
+  auto f = sim.spawn(xfer(&sim, fs, path, 500.0));
   sim.run();
-  (void)f;
-  EXPECT_NEAR(t, 5.0, 1e-9);
+  EXPECT_NEAR(f.get(), 5.0, 1e-9);
 }
 
 TEST(Flow, ZeroBytesCompletesInstantly) {
   Simulation sim;
   FlowScheduler fs(sim);
   PortId p = fs.add_port(100.0);
-  double t = -1;
   std::vector<PortId> path{p};
-  auto f = sim.spawn(xfer(&sim, fs, path, 0.0, &t));
+  auto f = sim.spawn(xfer(&sim, fs, path, 0.0));
   sim.run();
-  (void)f;
-  EXPECT_DOUBLE_EQ(t, 0.0);
+  EXPECT_DOUBLE_EQ(f.get(), 0.0);
 }
 
 TEST(Flow, TwoEqualFlowsShareFairly) {
   Simulation sim;
   FlowScheduler fs(sim);
   PortId p = fs.add_port(10.0);
-  double t1 = 0, t2 = 0;
   std::vector<PortId> path{p};
-  auto f1 = sim.spawn(xfer(&sim, fs, path, 100.0, &t1));
-  auto f2 = sim.spawn(xfer(&sim, fs, path, 100.0, &t2));
+  auto f1 = sim.spawn(xfer(&sim, fs, path, 100.0));
+  auto f2 = sim.spawn(xfer(&sim, fs, path, 100.0));
   sim.run();
-  (void)f1; (void)f2;
-  EXPECT_NEAR(t1, 20.0, 1e-6);
-  EXPECT_NEAR(t2, 20.0, 1e-6);
+  EXPECT_NEAR(f1.get(), 20.0, 1e-6);
+  EXPECT_NEAR(f2.get(), 20.0, 1e-6);
 }
 
 TEST(Flow, ShortFlowFinishesThenLongSpeedsUp) {
   Simulation sim;
   FlowScheduler fs(sim);
   PortId p = fs.add_port(10.0);
-  double t_short = 0, t_long = 0;
   std::vector<PortId> path{p};
-  auto f1 = sim.spawn(xfer(&sim, fs, path, 50.0, &t_short));
-  auto f2 = sim.spawn(xfer(&sim, fs, path, 150.0, &t_long));
+  auto f1 = sim.spawn(xfer(&sim, fs, path, 50.0));
+  auto f2 = sim.spawn(xfer(&sim, fs, path, 150.0));
   sim.run();
-  (void)f1; (void)f2;
   // Shared at 5 B/s until the short one finishes at t=10 (50 bytes);
   // the long one then has 100 left at full 10 B/s -> t=20.
-  EXPECT_NEAR(t_short, 10.0, 1e-6);
-  EXPECT_NEAR(t_long, 20.0, 1e-6);
+  EXPECT_NEAR(f1.get(), 10.0, 1e-6);
+  EXPECT_NEAR(f2.get(), 20.0, 1e-6);
 }
 
 TEST(Flow, LateArrivalSlowsExisting) {
   Simulation sim;
   FlowScheduler fs(sim);
   PortId p = fs.add_port(10.0);
-  double t1 = 0, t2 = 0;
   std::vector<PortId> path{p};
-  auto f1 = sim.spawn(xfer(&sim, fs, path, 100.0, &t1));
-  auto starter = [&]() -> CoTask<void> {
+  auto f1 = sim.spawn(xfer(&sim, fs, path, 100.0));
+  auto starter = [&]() -> CoTask<double> {
     co_await sim.delay(5.0);  // first flow has moved 50 bytes by now
     std::vector<PortId> pth{p};
     co_await fs.transfer(std::move(pth), 50.0);
-    t2 = sim.now();
+    co_return sim.now();
   };
   auto f2 = sim.spawn(starter());
   sim.run();
-  (void)f1; (void)f2;
   // From t=5 both share 5 B/s: flow1 needs 50 more (10s shared), flow2
   // needs 50 (10s). Both hit zero at t=15.
-  EXPECT_NEAR(t1, 15.0, 1e-6);
-  EXPECT_NEAR(t2, 15.0, 1e-6);
+  EXPECT_NEAR(f1.get(), 15.0, 1e-6);
+  EXPECT_NEAR(f2.get(), 15.0, 1e-6);
 }
 
 TEST(Flow, MultiPortPathLimitedByBottleneck) {
@@ -94,12 +89,10 @@ TEST(Flow, MultiPortPathLimitedByBottleneck) {
   FlowScheduler fs(sim);
   PortId fast = fs.add_port(100.0);
   PortId slow = fs.add_port(10.0);
-  double t = 0;
   std::vector<PortId> path{fast, slow};
-  auto f = sim.spawn(xfer(&sim, fs, path, 100.0, &t));
+  auto f = sim.spawn(xfer(&sim, fs, path, 100.0));
   sim.run();
-  (void)f;
-  EXPECT_NEAR(t, 10.0, 1e-6);
+  EXPECT_NEAR(f.get(), 10.0, 1e-6);
 }
 
 TEST(Flow, CrossTrafficOnSharedMiddlePort) {
@@ -108,27 +101,24 @@ TEST(Flow, CrossTrafficOnSharedMiddlePort) {
   PortId a = fs.add_port(100.0);
   PortId shared = fs.add_port(10.0);
   PortId b = fs.add_port(100.0);
-  double t1 = 0, t2 = 0;
   std::vector<PortId> p1{a, shared};
   std::vector<PortId> p2{shared, b};
-  auto f1 = sim.spawn(xfer(&sim, fs, p1, 50.0, &t1));
-  auto f2 = sim.spawn(xfer(&sim, fs, p2, 50.0, &t2));
+  auto f1 = sim.spawn(xfer(&sim, fs, p1, 50.0));
+  auto f2 = sim.spawn(xfer(&sim, fs, p2, 50.0));
   sim.run();
-  (void)f1; (void)f2;
   // Both bottlenecked by the shared port at 5 B/s each.
-  EXPECT_NEAR(t1, 10.0, 1e-6);
-  EXPECT_NEAR(t2, 10.0, 1e-6);
+  EXPECT_NEAR(f1.get(), 10.0, 1e-6);
+  EXPECT_NEAR(f2.get(), 10.0, 1e-6);
 }
 
 TEST(Flow, BytesCarriedAccounting) {
   Simulation sim;
   FlowScheduler fs(sim);
   PortId p = fs.add_port(10.0);
-  double t = 0;
   std::vector<PortId> path{p};
-  auto f = sim.spawn(xfer(&sim, fs, path, 123.0, &t));
+  auto f = sim.spawn(xfer(&sim, fs, path, 123.0));
   sim.run();
-  (void)f;
+  ASSERT_TRUE(f.done());
   EXPECT_NEAR(fs.bytes_carried(p), 123.0, 1e-6);
   EXPECT_EQ(fs.active_flows(p), 0);
 }
@@ -138,32 +128,29 @@ TEST(Flow, ManyConcurrentFlowsAggregateThroughputIsCapacity) {
   FlowScheduler fs(sim);
   PortId p = fs.add_port(100.0);
   constexpr int kFlows = 50;
-  std::vector<double> done(kFlows, 0.0);
-  std::vector<Future<void>> futures;
+  std::vector<Future<double>> futures;
   for (int i = 0; i < kFlows; ++i) {
     std::vector<PortId> path{p};
-    futures.push_back(sim.spawn(xfer(&sim, fs, path, 100.0, &done[i])));
+    futures.push_back(sim.spawn(xfer(&sim, fs, path, 100.0)));
   }
   sim.run();
   // 50 flows x 100 bytes over 100 B/s aggregate -> all finish at t=50.
-  for (double t : done) EXPECT_NEAR(t, 50.0, 1e-6);
+  for (const auto& f : futures) EXPECT_NEAR(f.get(), 50.0, 1e-6);
 }
 
 TEST(Flow, StaggeredSizesCompleteInSizeOrder) {
   Simulation sim;
   FlowScheduler fs(sim);
   PortId p = fs.add_port(12.0);
-  double t_small = 0, t_mid = 0, t_big = 0;
   std::vector<PortId> path{p};
-  auto f1 = sim.spawn(xfer(&sim, fs, path, 12.0, &t_small));
-  auto f2 = sim.spawn(xfer(&sim, fs, path, 24.0, &t_mid));
-  auto f3 = sim.spawn(xfer(&sim, fs, path, 48.0, &t_big));
+  auto f1 = sim.spawn(xfer(&sim, fs, path, 12.0));
+  auto f2 = sim.spawn(xfer(&sim, fs, path, 24.0));
+  auto f3 = sim.spawn(xfer(&sim, fs, path, 48.0));
   sim.run();
-  (void)f1; (void)f2; (void)f3;
-  EXPECT_LT(t_small, t_mid);
-  EXPECT_LT(t_mid, t_big);
+  EXPECT_LT(f1.get(), f2.get());
+  EXPECT_LT(f2.get(), f3.get());
   // Conservation: total bytes / capacity = last completion.
-  EXPECT_NEAR(t_big, (12.0 + 24.0 + 48.0) / 12.0, 1e-6);
+  EXPECT_NEAR(f3.get(), (12.0 + 24.0 + 48.0) / 12.0, 1e-6);
 }
 
 TEST(Flow, SequentialTransfersDoNotInterfere) {
