@@ -34,6 +34,9 @@
 //   --trust S        trust window of the `trusted` tier       (default 3600)
 //   --verify         bit-identical read-back in every tier
 //   --metrics-out FILE  JSON metrics snapshot (client.cache.* counters)
+//   --events-out FILE   flight-recorder event log over all sweeps
+//                       (cache.trusted / cache.lookup / cache.peer /
+//                       cache.peer_serve / gc.* lifecycle events)
 //   --trace-out FILE    Chrome trace of the first sweep
 #include <algorithm>
 #include <cinttypes>

@@ -44,9 +44,20 @@
 //                        restores the paper's single-owner placement — the
 //                        replication legs above require K >= 2)
 //        --kill-one-forever / --drain / --partition   enable the legs above
+//        --legs-only     skip the MTBF matrix and run only the enabled legs.
+//                        CI invariant runs use this so the exported event
+//                        log covers exactly the orchestrated legs (the
+//                        lossy matrix row may legitimately strand a parked
+//                        hint when a drop interrupts the final replay,
+//                        which the strict hint-balance invariant rejects).
 //        --verify        run every fault config TWICE and compare digests
 //                        (bit-identical reproducibility check)
 //        --metrics-out FILE  JSON metrics snapshot over all fault configs
+//        --events-out FILE   flight-recorder event log (JSON; a .csv path
+//                            selects CSV). Like metrics — and unlike the
+//                            tracer — recording is pure memory append, so
+//                            the flag is KEPT under --verify and two
+//                            verified reruns export byte-identical logs.
 //        --trace-out FILE    Chrome trace of the first fault run. IGNORED
 //                            under --verify: the tracer binds to the first
 //                            run only, and its wire-header framing changes
@@ -120,6 +131,7 @@ int main(int argc, char** argv) {
   bool leg_kill = bench::arg_flag(argc, argv, "--kill-one-forever");
   bool leg_drain = bench::arg_flag(argc, argv, "--drain");
   bool leg_partition = bench::arg_flag(argc, argv, "--partition");
+  bool legs_only = bench::arg_flag(argc, argv, "--legs-only");
   bool verify = bench::arg_flag(argc, argv, "--verify");
   auto obs = bench::Observability::from_args(argc, argv);
   if (verify && !obs.trace_path.empty()) {
@@ -156,46 +168,50 @@ int main(int argc, char** argv) {
       {"lossy    (+1% drops)", 150, 5, 0.01, 1},
   };
 
-  std::printf("%-22s %10s %8s %8s %9s %8s %8s %7s %7s\n", "config",
-              "makespan", "slowdown", "crashes", "restarts", "retries",
-              "replays", "partial", "drain");
   bool all_ok = true;
-  for (const Row& row : rows) {
-    bench::RunOptions opts;
-    opts.cache = cache_cfg;
-    opts.replication = replication;
-    opts.fault_seed = seed;
-    opts.fault_mtbf = row.mtbf;
-    opts.fault_mttr = row.mttr;
-    opts.fault_drop_probability = row.drop;
-    opts.fault_crash_providers = row.crash_providers;
-    if (obs.enabled()) opts.observability = &obs;
-    auto out = bench::run_nas_approach(Approach::kEvoStore, gpus, candidates,
-                                       seed, opts);
-    bool row_ok = out.fault.drained_to_zero && out.fault.drain_failures == 0 &&
-                  out.result.traces.size() == baseline.result.traces.size();
-    if (verify) {
-      // The rerun must be bit-identical to the first, so it gets the exact
-      // same observability attachment (metrics only; tracing is disabled
-      // above and metrics never perturb simulated time).
-      auto again = bench::run_nas_approach(Approach::kEvoStore, gpus,
-                                           candidates, seed, opts);
-      if (outcome_digest(again) != outcome_digest(out)) {
-        std::printf("!! %s: NOT reproducible (digest mismatch)\n", row.label);
-        row_ok = false;
+  if (!legs_only) {
+    std::printf("%-22s %10s %8s %8s %9s %8s %8s %7s %7s\n", "config",
+                "makespan", "slowdown", "crashes", "restarts", "retries",
+                "replays", "partial", "drain");
+    for (const Row& row : rows) {
+      bench::RunOptions opts;
+      opts.cache = cache_cfg;
+      opts.replication = replication;
+      opts.fault_seed = seed;
+      opts.fault_mtbf = row.mtbf;
+      opts.fault_mttr = row.mttr;
+      opts.fault_drop_probability = row.drop;
+      opts.fault_crash_providers = row.crash_providers;
+      if (obs.enabled()) opts.observability = &obs;
+      auto out = bench::run_nas_approach(Approach::kEvoStore, gpus, candidates,
+                                         seed, opts);
+      bool row_ok = out.fault.drained_to_zero &&
+                    out.fault.drain_failures == 0 &&
+                    out.result.traces.size() == baseline.result.traces.size();
+      if (verify) {
+        // The rerun must be bit-identical to the first, so it gets the exact
+        // same observability attachment (metrics and events only; tracing is
+        // disabled above and neither perturbs simulated time).
+        auto again = bench::run_nas_approach(Approach::kEvoStore, gpus,
+                                             candidates, seed, opts);
+        if (outcome_digest(again) != outcome_digest(out)) {
+          std::printf("!! %s: NOT reproducible (digest mismatch)\n", row.label);
+          row_ok = false;
+        }
       }
-    }
-    all_ok = all_ok && row_ok;
-    std::printf("%-22s %9.1fs %7.2fx %8" PRIu64 " %9" PRIu64 " %8" PRIu64
-                " %8" PRIu64 " %7" PRIu64 " %7s\n",
-                row.label, out.result.makespan,
-                out.result.makespan / baseline.result.makespan,
-                out.fault.crashes, out.fault.restarts, out.fault.retries,
-                out.fault.deduped_replays, out.fault.partial_lcp_queries,
-                out.fault.drained_to_zero ? "zero" : "LEAK");
-    if (out.fault.exhausted != 0) {
-      std::printf("   !! %" PRIu64 " operations exhausted their retry budget\n",
-                  out.fault.exhausted);
+      all_ok = all_ok && row_ok;
+      std::printf("%-22s %9.1fs %7.2fx %8" PRIu64 " %9" PRIu64 " %8" PRIu64
+                  " %8" PRIu64 " %7" PRIu64 " %7s\n",
+                  row.label, out.result.makespan,
+                  out.result.makespan / baseline.result.makespan,
+                  out.fault.crashes, out.fault.restarts, out.fault.retries,
+                  out.fault.deduped_replays, out.fault.partial_lcp_queries,
+                  out.fault.drained_to_zero ? "zero" : "LEAK");
+      if (out.fault.exhausted != 0) {
+        std::printf("   !! %" PRIu64
+                    " operations exhausted their retry budget\n",
+                    out.fault.exhausted);
+      }
     }
   }
 
@@ -307,8 +323,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nchecks:\n");
-  std::printf("  - every fault config completed all %zu candidates\n",
-              baseline.result.traces.size());
+  if (!legs_only) {
+    std::printf("  - every fault config completed all %zu candidates\n",
+                baseline.result.traces.size());
+  }
   std::printf("  - post-run drain (retire survivors) reached the fault-free "
               "end state: zero models / segments / bytes\n");
   if (leg_kill) {

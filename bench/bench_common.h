@@ -1,6 +1,7 @@
 // Shared helpers for the figure-reproduction harnesses.
 #pragma once
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -11,6 +12,7 @@
 
 #include "core/repository.h"
 #include "net/fabric.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -68,34 +70,45 @@ inline std::string arg_str(int argc, char** argv, const char* flag,
   return fallback;
 }
 
-/// `--metrics-out FILE` / `--trace-out FILE` support for the harnesses.
+/// `--metrics-out FILE` / `--trace-out FILE` / `--events-out FILE` support
+/// for the harnesses.
 ///
-/// Owns the cluster-wide MetricsRegistry and the Tracer. Lifecycle:
-/// `attach(cluster)` before the workload runs (the tracer binds to the
-/// FIRST cluster attached — later clusters get metrics only, so a
-/// multi-scale sweep traces its first run rather than concatenating
-/// unrelated traces); `detach(cluster)` before the cluster is destroyed;
-/// `finish()` after all runs writes the requested files. Both exports are
-/// keyed on simulated time and deterministic registry/span state, so two
-/// identical seeded runs write byte-identical files.
+/// Owns the cluster-wide MetricsRegistry, the Tracer, and the flight
+/// recorder (EventLog). Lifecycle: `attach(cluster)` before the workload
+/// runs (the tracer binds to the FIRST cluster attached — later clusters
+/// get metrics and events only, so a multi-scale sweep traces its first
+/// run rather than concatenating unrelated traces); `detach(cluster)`
+/// before the cluster is destroyed; `finish()` after all runs writes the
+/// requested files. All exports are keyed on simulated time and
+/// deterministic registry/span/ring state, so two identical seeded runs
+/// write byte-identical files. Unlike the tracer (which changes wire
+/// framing and is therefore forbidden under --verify), metrics and events
+/// are pure in-memory recording and stay available under --verify.
 struct Observability {
   std::string metrics_path;  // empty = no metrics export
   std::string trace_path;    // empty = no trace export
+  std::string events_path;   // empty = no event-log export (.csv = CSV)
   obs::MetricsRegistry registry;
+  obs::EventLog events;
   std::optional<obs::Tracer> tracer;
 
   static Observability from_args(int argc, char** argv) {
     Observability o;
     o.metrics_path = arg_str(argc, argv, "--metrics-out", "");
     o.trace_path = arg_str(argc, argv, "--trace-out", "");
+    o.events_path = arg_str(argc, argv, "--events-out", "");
     return o;
   }
 
-  bool enabled() const { return !metrics_path.empty() || !trace_path.empty(); }
+  bool enabled() const {
+    return !metrics_path.empty() || !trace_path.empty() ||
+           !events_path.empty();
+  }
 
   void attach(Cluster& cluster) {
     if (!enabled()) return;
     cluster.rpc.set_metrics(&registry);
+    if (!events_path.empty()) cluster.rpc.set_events(&events);
     if (!trace_path.empty() && !tracer.has_value()) {
       tracer.emplace(cluster.sim);
       cluster.rpc.set_tracer(&*tracer);
@@ -106,6 +119,7 @@ struct Observability {
   /// only recorded spans afterwards, never touching the dead simulation).
   void detach(Cluster& cluster) {
     cluster.rpc.set_tracer(nullptr);
+    cluster.rpc.set_events(nullptr);
     cluster.rpc.set_metrics(nullptr);
   }
 
@@ -116,6 +130,19 @@ struct Observability {
       registry.write_json(out);
       out << "\n";
       std::printf("metrics snapshot -> %s\n", metrics_path.c_str());
+    }
+    if (!events_path.empty()) {
+      std::ofstream out(events_path);
+      bool csv = events_path.size() >= 4 &&
+                 events_path.compare(events_path.size() - 4, 4, ".csv") == 0;
+      if (csv) {
+        events.write_csv(out);
+      } else {
+        events.write_json(out);
+        out << "\n";
+      }
+      std::printf("event log (%zu events, %" PRIu64 " dropped) -> %s\n",
+                  events.size(), events.dropped(), events_path.c_str());
     }
     if (!trace_path.empty() && tracer.has_value()) {
       std::ofstream out(trace_path);

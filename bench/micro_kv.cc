@@ -1,8 +1,11 @@
-// Micro-benchmarks for the KV store backends (MemKv vs LogKv).
+// Micro-benchmarks for the KV store backends (MemKv vs LogKv), plus the
+// observability primitives the data path leans on.
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
 
+#include "obs/events.h"
+#include "obs/metrics.h"
 #include "storage/log_kv.h"
 #include "storage/mem_kv.h"
 
@@ -118,5 +121,43 @@ void BM_BufferContentHash(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_BufferContentHash)->Arg(4096)->Arg(1 << 20);
+
+// The per-operation cost of the two ways to bump a counter. Instrumented
+// hot paths must cache the Counter* at attach time (the idiom everywhere in
+// src/) — the by-name variant re-hashes the metric name per operation and
+// exists here as the anti-pattern to measure against, not to copy.
+void BM_MetricsCounterByName(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (auto _ : state) {
+    registry.counter("provider.put_count")->add();
+  }
+  benchmark::DoNotOptimize(registry.counter("provider.put_count")->value());
+}
+BENCHMARK(BM_MetricsCounterByName);
+
+void BM_MetricsCounterCached(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.counter("provider.put_count");
+  for (auto _ : state) {
+    c->add();
+  }
+  benchmark::DoNotOptimize(c->value());
+}
+BENCHMARK(BM_MetricsCounterCached);
+
+// Flight-recorder append: one branch + ring write + attr string copies.
+// This is the cost every instrumented call site pays when --events-out is
+// active (and a single null-check when it is not).
+void BM_EventLogRecord(benchmark::State& state) {
+  obs::EventLog log;
+  double t = 0;
+  for (auto _ : state) {
+    t += 1e-6;
+    log.record(t, "hint.recorded", 3,
+               {{"count", "1"}, {"target", "2"}});
+  }
+  benchmark::DoNotOptimize(log.recorded());
+}
+BENCHMARK(BM_EventLogRecord);
 
 }  // namespace

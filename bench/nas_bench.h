@@ -285,7 +285,10 @@ inline NasOutcome run_nas_approach(Approach approach, int gpus,
         fcfg.drop_probability = options.fault_drop_probability;
         injector = std::make_unique<net::FaultInjector>(cluster.sim, fcfg);
         // Must be installed before the repository is built so provider
-        // restart hooks get registered.
+        // restart hooks get registered. The flight recorder (attached above
+        // through the rpc system) also observes crash/restart/partition
+        // transitions.
+        injector->set_events(cluster.rpc.events());
         cluster.rpc.set_fault_injector(injector.get());
         // Crash recovery needs durable provider state: back every provider
         // with an in-memory KV store (write-through, restored on restart).

@@ -23,6 +23,16 @@ common::Bytes pack(const Response& response) {
   return std::move(s).take();
 }
 
+// Comma-joined provider list for flight-recorder attrs (e.g. "0,2,3").
+std::string id_list(const std::vector<common::ProviderId>& ids) {
+  std::string out;
+  for (common::ProviderId p : ids) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(p);
+  }
+  return out;
+}
+
 }  // namespace
 
 Client::Client(net::RpcSystem& rpc, NodeId self, uint32_t client_id,
@@ -56,9 +66,12 @@ Client::Client(net::RpcSystem& rpc, NodeId self, uint32_t client_id,
       cache_->bind_metrics(shared, "client.cache");
     }
     if (config_.cache.serve_peers) {
-      rpc.register_handler(self_, kPeerRead, [this](common::Bytes b) {
-        return handle_peer_read(std::move(b));
-      });
+      // Context-aware registration: the serve-side span parents under the
+      // RPC serve span, so a redirected read's trace shows the peer leg.
+      rpc.register_handler(
+          self_, kPeerRead, [this](common::Bytes b, net::HandlerContext ctx) {
+            return handle_peer_read(std::move(b), ctx);
+          });
     }
   }
 }
@@ -586,6 +599,22 @@ sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc)
     put_status = combine(put_status, leg_status[i]);
     if (common::is_retryable(leg_status[i].code())) missed.push_back(put_reps[i]);
   }
+  if (obs::EventLog* ev = events()) {
+    // One event per fan-out leg: which replicas committed the write and
+    // which exhausted their budget (the latter become hinted handoffs).
+    for (size_t i = 0; i < put_reps.size(); ++i) {
+      if (put_done[i] != 0) {
+        ev->record(sim.now(), "write.leg_committed", self_,
+                   {{"model", req.id.to_string()},
+                    {"replica", obs::EventLog::u64(put_reps[i])}});
+      } else {
+        ev->record(sim.now(), "write.leg_exhausted", self_,
+                   {{"model", req.id.to_string()},
+                    {"replica", obs::EventLog::u64(put_reps[i])},
+                    {"error", leg_status[i].to_string()}});
+      }
+    }
+  }
   if (committed) {
     put_status = Status::Ok();
     if (!missed.empty()) {
@@ -623,7 +652,15 @@ sim::CoTask<Result<ModelMeta>> Client::get_meta(ModelId id,
   std::vector<common::ProviderId> reps = replicas_of(id);
   Status last = Status::NotFound("model " + id.to_string());
   for (size_t i = 0; i < reps.size(); ++i) {
-    if (i > 0) ++fault_stats_.read_failovers;
+    if (i > 0) {
+      ++fault_stats_.read_failovers;
+      if (obs::EventLog* ev = events()) {
+        ev->record(rpc_->simulation().now(), "read.failover", self_,
+                   {{"model", id.to_string()},
+                    {"from", obs::EventLog::u64(reps[i - 1])},
+                    {"to", obs::EventLog::u64(reps[i])}});
+      }
+    }
     auto r = co_await call_retried<wire::GetMetaResponse>(
         provider_node(reps[i]), Provider::kGetMeta, req, parent);
     if (!r.ok()) {
@@ -647,6 +684,15 @@ sim::CoTask<Result<ModelMeta>> Client::get_meta(ModelId id,
     meta.ancestor = r->ancestor;
     meta.store_time = r->store_time;
     meta.store_seq = r->store_seq;
+    if (obs::EventLog* ev = events()) {
+      // `replicas` lets the analyzer assert no read was ever served by a
+      // node outside the model's replica set (a placement-routing bug).
+      ev->record(rpc_->simulation().now(), "read.served", self_,
+                 {{"model", id.to_string()},
+                  {"provider", obs::EventLog::u64(reps[i])},
+                  {"rank", obs::EventLog::u64(i)},
+                  {"replicas", id_list(reps)}});
+    }
     co_return meta;
   }
   co_return last;
@@ -717,14 +763,19 @@ sim::CoTask<Result<wire::PeerReadResponse>> Client::peer_one(
   co_return std::move(r).value();
 }
 
-sim::CoTask<common::Bytes> Client::handle_peer_read(common::Bytes request) {
+sim::CoTask<common::Bytes> Client::handle_peer_read(common::Bytes request,
+                                                    net::HandlerContext ctx) {
+  obs::Span span =
+      obs::Tracer::maybe_begin(tracer(), "peer_serve", self_, ctx.trace);
   common::Deserializer d(request);
   auto req = wire::PeerReadRequest::deserialize(d);
   wire::PeerReadResponse resp;
   if (!d.ok()) {
     resp.status = d.status();
+    span.tag("outcome", resp.status.to_string());
     co_return pack(resp);
   }
+  uint64_t served = 0;
   resp.found.reserve(req.keys.size());
   for (size_t i = 0; i < req.keys.size(); ++i) {
     const uint64_t want = i < req.versions.size() ? req.versions[i] : 0;
@@ -734,11 +785,20 @@ sim::CoTask<common::Bytes> Client::handle_peer_read(common::Bytes request) {
       resp.found.push_back(1);
       resp.payload_bytes += e->envelope.physical_bytes;
       resp.segments.push_back(e->envelope);
+      ++served;
     } else {
       resp.found.push_back(0);
     }
   }
   resp.status = Status::Ok();
+  span.tag("outcome", "ok");
+  span.tag_u64("served", served);
+  span.tag_u64("missed", req.keys.size() - served);
+  if (obs::EventLog* ev = events()) {
+    ev->record(rpc_->simulation().now(), "cache.peer_serve", self_,
+               {{"served", obs::EventLog::u64(served)},
+                {"missed", obs::EventLog::u64(req.keys.size() - served)}});
+  }
   co_return pack(resp);
 }
 
@@ -755,12 +815,14 @@ sim::CoTask<Status> Client::fetch_envelopes(
   std::vector<common::SegmentKey> todo;
   std::unordered_map<common::SegmentKey, size_t> attempt;
   std::unordered_map<common::SegmentKey, uint64_t> cached_version;
+  uint64_t trusted_hits = 0;
   for (const auto& key : keys) {
     if (out->count(key) != 0 || attempt.count(key) != 0) continue;
     const cache::SegmentCache::Entry* e =
         cache_ != nullptr ? cache_->lookup(key) : nullptr;
     if (e != nullptr && cache_->trusted(*e, now)) {
       cache_->count_hit(e->envelope.physical_bytes);
+      ++trusted_hits;
       out->emplace(key, e->envelope);
       continue;
     }
@@ -769,6 +831,12 @@ sim::CoTask<Status> Client::fetch_envelopes(
       cached_version.emplace(key, e != nullptr ? e->version : 0);
     }
     todo.push_back(key);
+  }
+  if (trusted_hits > 0) {
+    if (obs::EventLog* ev = events()) {
+      ev->record(now, "cache.trusted", self_,
+                 {{"hits", obs::EventLog::u64(trusted_hits)}});
+    }
   }
   // Phase 2 — provider rounds with read failover: keys group by their
   // current replica choice; per-key dispositions (fresh envelopes fill the
@@ -788,6 +856,7 @@ sim::CoTask<Status> Client::fetch_envelopes(
     }
     todo.clear();
     std::vector<std::vector<common::SegmentKey>> order;
+    std::vector<common::ProviderId> order_provider;
     std::vector<sim::Future<Result<wire::ReadSegmentsResponse>>> futures;
     for (auto& [provider, req] : groups) {
       if (cache_ != nullptr) {
@@ -796,6 +865,7 @@ sim::CoTask<Status> Client::fetch_envelopes(
         req.accept_redirect = config_.cache.follow_redirects;
       }
       order.push_back(req.keys);
+      order_provider.push_back(provider);
       futures.push_back(
           sim.spawn(read_one(provider_node(provider), std::move(req), parent)));
     }
@@ -812,6 +882,14 @@ sim::CoTask<Status> Client::fetch_envelopes(
             st.code() != common::ErrorCode::kNotFound) {
           co_return st;
         }
+        if (obs::EventLog* ev = events()) {
+          // Aggregated: one event per failed group, not per key, so a large
+          // fan-out can never flood the ring with identical failovers.
+          ev->record(sim.now(), "read.failover", self_,
+                     {{"from", obs::EventLog::u64(order_provider[i])},
+                      {"keys", obs::EventLog::u64(order[i].size())},
+                      {"error", st.to_string()}});
+        }
         for (const auto& key : order[i]) {
           size_t next = ++attempt[key];
           if (next >= replicas_of(key.owner).size()) co_return st;
@@ -825,6 +903,8 @@ sim::CoTask<Status> Client::fetch_envelopes(
       if (resp.info.size() != order[i].size()) {
         co_return Status::Internal("info count mismatch in read fan-out");
       }
+      uint64_t nm_count = 0;
+      uint64_t redirect_count = 0;
       size_t fresh_idx = 0;
       for (size_t j = 0; j < order[i].size(); ++j) {
         const common::SegmentKey& key = order[i][j];
@@ -844,6 +924,7 @@ sim::CoTask<Status> Client::fetch_envelopes(
             break;
           }
           case wire::ReadEntryState::kNotModified: {
+            ++nm_count;
             const cache::SegmentCache::Entry* e =
                 cache_ != nullptr ? cache_->lookup(key) : nullptr;
             if (e != nullptr &&
@@ -856,12 +937,20 @@ sim::CoTask<Status> Client::fetch_envelopes(
             break;
           }
           case wire::ReadEntryState::kRedirect: {
+            ++redirect_count;
             auto& preq = redirects[info.redirect];
             preq.keys.push_back(key);
             preq.versions.push_back(info.version);
             break;
           }
         }
+      }
+      if (obs::EventLog* ev = events()) {
+        ev->record(sim.now(), "cache.lookup", self_,
+                   {{"provider", obs::EventLog::u64(order_provider[i])},
+                    {"fresh", obs::EventLog::u64(fresh_idx)},
+                    {"not_modified", obs::EventLog::u64(nm_count)},
+                    {"redirect", obs::EventLog::u64(redirect_count)}});
       }
     }
   }
@@ -871,33 +960,46 @@ sim::CoTask<Status> Client::fetch_envelopes(
   // redirect named its exact current version and the peer matched it).
   if (!redirects.empty()) {
     std::vector<wire::PeerReadRequest> peer_reqs;
+    std::vector<NodeId> peer_ids;
     std::vector<sim::Future<Result<wire::PeerReadResponse>>> peer_futures;
     for (auto& [peer, preq] : redirects) {
       peer_reqs.push_back(preq);
+      peer_ids.push_back(peer);
       peer_futures.push_back(sim.spawn(peer_one(peer, std::move(preq), parent)));
     }
     for (size_t i = 0; i < peer_futures.size(); ++i) {
       auto r = co_await peer_futures[i];
       const wire::PeerReadRequest& preq = peer_reqs[i];
+      uint64_t peer_hits = 0;
+      uint64_t peer_misses = 0;
       if (!r.ok() || !r->status.ok() ||
           r->found.size() != preq.keys.size()) {
         for (const auto& key : preq.keys) {
           cache_->count_peer_miss();
+          ++peer_misses;
           fallback.push_back(key);
         }
-        continue;
-      }
-      size_t seg_idx = 0;
-      for (size_t j = 0; j < preq.keys.size(); ++j) {
-        if (r->found[j] != 0 && seg_idx < r->segments.size()) {
-          CompressedSegment env = std::move(r->segments[seg_idx++]);
-          cache_->count_peer_hit();
-          cache_->insert(preq.keys[j], env, preq.versions[j], sim.now());
-          out->emplace(preq.keys[j], std::move(env));
-        } else {
-          cache_->count_peer_miss();
-          fallback.push_back(preq.keys[j]);
+      } else {
+        size_t seg_idx = 0;
+        for (size_t j = 0; j < preq.keys.size(); ++j) {
+          if (r->found[j] != 0 && seg_idx < r->segments.size()) {
+            CompressedSegment env = std::move(r->segments[seg_idx++]);
+            cache_->count_peer_hit();
+            ++peer_hits;
+            cache_->insert(preq.keys[j], env, preq.versions[j], sim.now());
+            out->emplace(preq.keys[j], std::move(env));
+          } else {
+            cache_->count_peer_miss();
+            ++peer_misses;
+            fallback.push_back(preq.keys[j]);
+          }
         }
+      }
+      if (obs::EventLog* ev = events()) {
+        ev->record(sim.now(), "cache.peer", self_,
+                   {{"peer", obs::EventLog::u64(peer_ids[i])},
+                    {"hits", obs::EventLog::u64(peer_hits)},
+                    {"misses", obs::EventLog::u64(peer_misses)}});
       }
     }
   }
@@ -919,6 +1021,7 @@ sim::CoTask<Status> Client::fetch_envelopes(
       }
       fb_todo.clear();
       std::vector<std::vector<common::SegmentKey>> fb_order;
+      std::vector<common::ProviderId> fb_provider;
       std::vector<sim::Future<Result<wire::ReadSegmentsResponse>>> fb_futures;
       for (auto& [provider, req] : fb_groups) {
         if (cache_ != nullptr) {
@@ -926,6 +1029,7 @@ sim::CoTask<Status> Client::fetch_envelopes(
           req.caching = true;
         }
         fb_order.push_back(req.keys);
+        fb_provider.push_back(provider);
         fb_futures.push_back(sim.spawn(
             read_one(provider_node(provider), std::move(req), parent)));
       }
@@ -939,6 +1043,12 @@ sim::CoTask<Status> Client::fetch_envelopes(
           if (!common::is_retryable(st.code()) &&
               st.code() != common::ErrorCode::kNotFound) {
             co_return st;
+          }
+          if (obs::EventLog* ev = events()) {
+            ev->record(sim.now(), "read.failover", self_,
+                       {{"from", obs::EventLog::u64(fb_provider[i])},
+                        {"keys", obs::EventLog::u64(fb_order[i].size())},
+                        {"error", st.to_string()}});
           }
           for (const auto& key : fb_order[i]) {
             size_t next = ++fb_attempt[key];
@@ -1232,6 +1342,11 @@ sim::CoTask<Status> Client::retire(ModelId id) {
     // model (a rebuilt replica may briefly lag its peers).
   }
   if (!owners.has_value()) co_return status;
+  if (obs::EventLog* ev = events()) {
+    ev->record(sim.now(), "gc.retire", self_,
+               {{"model", id.to_string()},
+                {"missed", obs::EventLog::u64(missed.size())}});
+  }
   // Park the retire on a custodian for each unreachable replica: its copy
   // of the metadata must eventually go, or a failover read would resurrect
   // a retired model.

@@ -299,6 +299,9 @@ class Client {
 
   /// The attached tracer, if any (client-side root + attempt spans).
   obs::Tracer* tracer() { return rpc_->tracer(); }
+  /// The attached flight recorder, if any (write-leg / failover / cache
+  /// lifecycle events). Null when detached: call sites pay one branch.
+  obs::EventLog* events() { return rpc_->events(); }
 
   /// typed_call with the client's deadline, retried per RetryPolicy on
   /// retryable failures. The request is reused verbatim across attempts, so
@@ -365,8 +368,10 @@ class Client {
   sim::CoTask<Result<wire::PeerReadResponse>> peer_one(
       NodeId to, wire::PeerReadRequest req, obs::TraceContext parent);
   // Serves kPeerRead: answers from the local cache, exact-version matches
-  // only (anything else could resurrect bytes the provider replaced).
-  sim::CoTask<common::Bytes> handle_peer_read(common::Bytes request);
+  // only (anything else could resurrect bytes the provider replaced). The
+  // handler context parents the serve-side span under the RPC span.
+  sim::CoTask<common::Bytes> handle_peer_read(common::Bytes request,
+                                              net::HandlerContext ctx);
 
   // Fan one ModifyRefs round out to the providers hosting `keys`.
   // Returns the number of keys the providers reported missing via

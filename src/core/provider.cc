@@ -184,6 +184,7 @@ void Provider::maybe_chunk(compress::CompressedSegment& env) {
   const uint64_t total = payload.size();
   env.chunks.reserve(ends.size());
   size_t start = 0;
+  uint64_t dedup_hits = 0;
   for (size_t end : ends) {
     std::span<const std::byte> piece = payload.subspan(start, end - start);
     common::Hash128 digest = common::hash128_bytes(piece);
@@ -193,11 +194,20 @@ void Provider::maybe_chunk(compress::CompressedSegment& env) {
     uint64_t cost = physical * end / total - physical * start / total;
     bool miss = chunk_store_.add_ref(digest, piece, cost);
     (miss ? counter_chunk_misses_ : counter_chunk_hits_)->add(1);
+    if (!miss) ++dedup_hits;
     record(hist_chunk_bytes_, shared_chunk_bytes_,
            static_cast<double>(piece.size()));
     env.chunks.push_back(
         compress::ChunkRef{digest, static_cast<uint32_t>(piece.size())});
     start = end;
+  }
+  if (dedup_hits > 0) {
+    if (obs::EventLog* ev = events()) {
+      // Aggregated per envelope, not per chunk, to bound event volume.
+      ev->record(sim_->now(), "dedup.hit", node_,
+                 {{"chunks", obs::EventLog::u64(dedup_hits)},
+                  {"of", obs::EventLog::u64(ends.size())}});
+    }
   }
   env.kind = compress::EnvelopeKind::kChunked;
   env.payload.clear();
@@ -371,6 +381,12 @@ void Provider::restart() {
   seq_ = 0;
   dedup_seq_ = 0;
   if (backend_ != nullptr) restore_from_backend();
+  if (obs::EventLog* ev = events()) {
+    ev->record(sim_->now(), "provider.recover", node_,
+               {{"models", obs::EventLog::u64(models_.size())},
+                {"segments", obs::EventLog::u64(segments_.size())},
+                {"hints", obs::EventLog::u64(hints_.size())}});
+  }
   EVO_INFO << "provider " << id_ << " restarted: " << models_.size()
            << " models, " << segments_.size() << " segments recovered";
 }
@@ -560,19 +576,21 @@ void Provider::register_handlers(net::RpcSystem& rpc) {
   rpc.register_handler(node_, kStoreHint, [this](Bytes b) {
     return handle_store_hint(std::move(b));
   });
-  rpc.register_handler(node_, kReplicate, [this](Bytes b) {
-    return handle_replicate(std::move(b));
-  });
+  rpc.register_handler(node_, kReplicate,
+                       [this](Bytes b, net::HandlerContext c) {
+                         return handle_replicate(std::move(b), c);
+                       });
   rpc.register_handler(node_, kFetchChunks,
                        [this](Bytes b, net::HandlerContext c) {
                          return handle_fetch_chunks(std::move(b), c);
                        });
-  rpc.register_handler(node_, kDrain, [this](Bytes b) {
-    return handle_drain(std::move(b));
+  rpc.register_handler(node_, kDrain, [this](Bytes b, net::HandlerContext c) {
+    return handle_drain(std::move(b), c);
   });
-  rpc.register_handler(node_, kRepairPeer, [this](Bytes b) {
-    return handle_repair(std::move(b));
-  });
+  rpc.register_handler(node_, kRepairPeer,
+                       [this](Bytes b, net::HandlerContext c) {
+                         return handle_repair(std::move(b), c);
+                       });
 }
 
 int Provider::refcount(const common::SegmentKey& key) const {
@@ -870,6 +888,16 @@ sim::CoTask<Bytes> Provider::handle_modify_refs(Bytes request,
                     : Status::NotFound(std::to_string(resp.missing) +
                                        " segment(s) missing");
   span.tag_u64("freed_bases", resp.freed_bases.size());
+  if (resp.freed_bytes > 0) {
+    if (obs::EventLog* ev = events()) {
+      // Aggregated per request: how many logical bytes this decrement batch
+      // actually freed (refcounts that hit zero), for GC-rate time-series.
+      ev->record(sim_->now(), "gc.segment_freed", node_,
+                 {{"bytes", obs::EventLog::u64(resp.freed_bytes)},
+                  {"cascade_bases",
+                   obs::EventLog::u64(resp.freed_bases.size())}});
+    }
+  }
   record(hist_refs_seconds_, shared_refs_seconds_, sim_->now() - t0);
   Bytes packed = pack(resp);
   dedup_store(req.token, packed);
@@ -974,8 +1002,17 @@ uint64_t Provider::record_hint(wire::HintRecord hint) {
                             common::Buffer::dense(std::move(s).take()));
     if (!st.ok()) EVO_WARN << "record_hint: " << st.to_string();
   }
+  common::ProviderId target = hint.target;
   hints_.emplace(seq, std::move(hint));
   ++stats_.hints_recorded;
+  if (obs::EventLog* ev = events()) {
+    // The analyzer balances hint lifecycles: every `hint.recorded` count
+    // must eventually be matched by a replay, a supersede (repair made the
+    // hint moot), or a move (drain re-parked it — the refuge re-records it,
+    // so a moved hint contributes to both sides consistently).
+    ev->record(sim_->now(), "hint.recorded", node_,
+               {{"count", "1"}, {"target", obs::EventLog::u64(target)}});
+  }
   return seq;
 }
 
@@ -1002,6 +1039,11 @@ sim::CoTask<uint64_t> Provider::replay_hints(common::ProviderId target,
   for (const auto& [seq, hint] : hints_) {
     if (hint.target == target) seqs.push_back(seq);
   }
+  // Roots its own trace: replay is triggered by a restart hook, not an RPC.
+  obs::Span span =
+      obs::Tracer::maybe_begin(tracer(), "replay_hints", node_);
+  span.tag_u64("target", target);
+  span.tag_u64("parked", seqs.size());
   uint64_t replayed = 0;
   for (uint64_t seq : seqs) {
     auto it = hints_.find(seq);
@@ -1012,9 +1054,14 @@ sim::CoTask<uint64_t> Provider::replay_hints(common::ProviderId target,
     Bytes payload = it->second.payload;
     net::CallOptions opts;
     opts.timeout = config_.peer_rpc_timeout;
+    opts.parent = span.context();
     auto r = co_await rpc_->call(node_, target_node, method,
                                  std::move(payload), opts);
     if (!r.ok()) break;  // target went down again; keep the rest parked
+    // Re-check after the suspension: a repair that finished while this
+    // call was in flight already discarded (and accounted) the hint —
+    // counting it replayed too would double-resolve it.
+    if (hints_.find(seq) == hints_.end()) continue;
     // The response itself is method-specific and belongs to a client that
     // has long since given up on it; transport delivery is what matters —
     // the original idempotency token inside the payload made the apply
@@ -1023,7 +1070,14 @@ sim::CoTask<uint64_t> Provider::replay_hints(common::ProviderId target,
     erase_hint(seq);
     ++replayed;
   }
+  span.tag_u64("replayed", replayed);
+  span.tag("outcome", replayed == seqs.size() ? "ok" : "interrupted");
   if (replayed > 0) {
+    if (obs::EventLog* ev = events()) {
+      ev->record(sim_->now(), "hint.replayed", node_,
+                 {{"count", obs::EventLog::u64(replayed)},
+                  {"target", obs::EventLog::u64(target)}});
+    }
     EVO_INFO << "provider " << id_ << " replayed " << replayed
              << " hint(s) to recovered provider " << target;
   }
@@ -1042,6 +1096,13 @@ uint64_t Provider::discard_hints_for(common::ProviderId target) {
     }
   }
   stats_.hints_discarded += discarded;
+  if (discarded > 0) {
+    if (obs::EventLog* ev = events()) {
+      ev->record(sim_->now(), "hint.superseded", node_,
+                 {{"count", obs::EventLog::u64(discarded)},
+                  {"target", obs::EventLog::u64(target)}});
+    }
+  }
   return discarded;
 }
 
@@ -1096,12 +1157,16 @@ sim::CoTask<Bytes> Provider::handle_fetch_chunks(Bytes request,
   co_return pack(resp);
 }
 
-sim::CoTask<Bytes> Provider::handle_replicate(Bytes request) {
+sim::CoTask<Bytes> Provider::handle_replicate(Bytes request,
+                                              net::HandlerContext ctx) {
+  obs::Span span =
+      obs::Tracer::maybe_begin(tracer(), "replicate_serve", node_, ctx.trace);
   common::Deserializer d(request);
   auto req = wire::ReplicateRequest::deserialize(d);
   wire::ReplicateResponse resp;
   if (!d.ok()) {
     resp.status = d.status();
+    span.tag("outcome", resp.status.to_string());
     co_return pack(resp);
   }
   co_await sim_->delay(config_.op_seconds +
@@ -1110,6 +1175,7 @@ sim::CoTask<Bytes> Provider::handle_replicate(Bytes request) {
   if (drained_) {
     resp.status = Status::Unavailable("provider " + std::to_string(id_) +
                                       " drained");
+    span.tag("outcome", resp.status.to_string());
     co_return pack(resp);
   }
   // Install-if-absent throughout: an entry already here is being actively
@@ -1157,6 +1223,9 @@ sim::CoTask<Bytes> Provider::handle_replicate(Bytes request) {
       }
       net::CallOptions opts;
       opts.timeout = config_.peer_rpc_timeout;
+      // Parent the chunk-pull leg under the replicate serve span so a trace
+      // shows which repair/drain push paid for which body transfers.
+      opts.parent = span.context();
       auto r = co_await net::typed_call<wire::FetchChunksResponse>(
           rpc_, node_, source, kFetchChunks, freq, opts);
       if (!r.ok() || !r->status.ok()) continue;
@@ -1226,6 +1295,17 @@ sim::CoTask<Bytes> Provider::handle_replicate(Bytes request) {
     ++stats_.replica_installed_segments;
   }
   co_await charge_pool(static_cast<double>(installed_physical));
+  span.tag_u64("installed_segments", resp.installed_segments);
+  span.tag_u64("fetched_chunks", resp.fetched_chunks);
+  span.tag("installed_meta", resp.installed_meta ? "1" : "0");
+  span.tag("outcome", "ok");
+  if (obs::EventLog* ev = events()) {
+    ev->record(sim_->now(), "replicate.install", node_,
+               {{"model", req.id.to_string()},
+                {"meta", resp.installed_meta ? "1" : "0"},
+                {"segments", obs::EventLog::u64(resp.installed_segments)},
+                {"chunks_fetched", obs::EventLog::u64(resp.fetched_chunks)}});
+  }
   resp.status = Status::Ok();
   co_return pack(resp);
 }
@@ -1234,7 +1314,7 @@ sim::CoTask<uint64_t> Provider::push_owner(
     common::ModelId id, bool with_meta,
     std::vector<common::ProviderId> targets,
     std::vector<common::NodeId> provider_nodes,
-    std::vector<common::NodeId> peer_nodes) {
+    std::vector<common::NodeId> peer_nodes, obs::TraceContext parent) {
   wire::ReplicateRequest rr;
   rr.id = id;
   auto mit = models_.find(id);
@@ -1266,6 +1346,7 @@ sim::CoTask<uint64_t> Provider::push_owner(
     if (target >= provider_nodes.size()) continue;
     net::CallOptions opts;
     opts.timeout = config_.peer_rpc_timeout;
+    opts.parent = parent;
     // Best effort: a joiner that is down right now is rebuilt by the next
     // repair pass; the surviving replicas still hold everything.
     (void)co_await net::typed_call<wire::ReplicateResponse>(
@@ -1274,7 +1355,8 @@ sim::CoTask<uint64_t> Provider::push_owner(
   co_return pushed;
 }
 
-sim::CoTask<Bytes> Provider::handle_drain(Bytes request) {
+sim::CoTask<Bytes> Provider::handle_drain(Bytes request,
+                                          net::HandlerContext ctx) {
   common::Deserializer d(request);
   auto req = wire::DrainRequest::deserialize(d);
   wire::DrainResponse resp;
@@ -1291,6 +1373,14 @@ sim::CoTask<Bytes> Provider::handle_drain(Bytes request) {
   if (n <= id_ || req.live.size() < n) {
     resp.status = Status::InvalidArgument("drain ring view too small");
     co_return pack(resp);
+  }
+  obs::Span span =
+      obs::Tracer::maybe_begin(tracer(), "drain_serve", node_, ctx.trace);
+  if (obs::EventLog* ev = events()) {
+    ev->record(sim_->now(), "drain.begin", node_,
+               {{"models", obs::EventLog::u64(models_.size())},
+                {"segments", obs::EventLog::u64(segments_.size())},
+                {"hints", obs::EventLog::u64(hints_.size())}});
   }
   // Refuse new state from here on: a put or replicate landing mid-migration
   // would commit into a catalog about to be wiped. Reads keep working off
@@ -1331,7 +1421,8 @@ sim::CoTask<Bytes> Provider::handle_drain(Bytes request) {
   for (ModelId id : with_meta) {
     auto [joiners, peers] = joiners_of(id);
     uint64_t segs = co_await push_owner(id, /*with_meta=*/true, joiners,
-                                        req.provider_nodes, peers);
+                                        req.provider_nodes, peers,
+                                        span.context());
     ++resp.models_moved;
     resp.segments_moved += segs;
     ++stats_.drain_models_moved;
@@ -1340,7 +1431,8 @@ sim::CoTask<Bytes> Provider::handle_drain(Bytes request) {
   for (ModelId owner : orphan_owners) {
     auto [joiners, peers] = joiners_of(owner);
     uint64_t segs = co_await push_owner(owner, /*with_meta=*/false, joiners,
-                                        req.provider_nodes, peers);
+                                        req.provider_nodes, peers,
+                                        span.context());
     resp.segments_moved += segs;
     stats_.drain_segments_moved += segs;
   }
@@ -1371,6 +1463,13 @@ sim::CoTask<Bytes> Provider::handle_drain(Bytes request) {
         erase_hint(seq);
         ++resp.hints_moved;
       }
+      if (resp.hints_moved > 0) {
+        if (obs::EventLog* ev = events()) {
+          ev->record(sim_->now(), "hint.moved", node_,
+                     {{"count", obs::EventLog::u64(resp.hints_moved)},
+                      {"refuge", obs::EventLog::u64(refuge)}});
+        }
+      }
     }
   }
   // Wipe the local catalog and its durable records. The idempotency cache
@@ -1392,11 +1491,27 @@ sim::CoTask<Bytes> Provider::handle_drain(Bytes request) {
   (void)chunk_store_.drop_unreferenced();
   EVO_INFO << "provider " << id_ << " drained: " << resp.models_moved
            << " models, " << resp.segments_moved << " segments moved";
+  span.tag_u64("models_moved", resp.models_moved);
+  span.tag_u64("segments_moved", resp.segments_moved);
+  span.tag_u64("hints_moved", resp.hints_moved);
+  span.tag("outcome", "ok");
+  if (obs::EventLog* ev = events()) {
+    // The analyzer asserts every drain.begin has a drain.end whose *_left
+    // counts are all zero: nothing may remain placed on a drained node.
+    ev->record(sim_->now(), "drain.end", node_,
+               {{"models_left", obs::EventLog::u64(models_.size())},
+                {"segments_left", obs::EventLog::u64(segments_.size())},
+                {"hints_left", obs::EventLog::u64(hints_.size())},
+                {"models_moved", obs::EventLog::u64(resp.models_moved)},
+                {"segments_moved", obs::EventLog::u64(resp.segments_moved)},
+                {"hints_moved", obs::EventLog::u64(resp.hints_moved)}});
+  }
   resp.status = Status::Ok();
   co_return pack(resp);
 }
 
-sim::CoTask<Bytes> Provider::handle_repair(Bytes request) {
+sim::CoTask<Bytes> Provider::handle_repair(Bytes request,
+                                           net::HandlerContext ctx) {
   common::Deserializer d(request);
   auto req = wire::RepairRequest::deserialize(d);
   wire::RepairResponse resp;
@@ -1411,6 +1526,9 @@ sim::CoTask<Bytes> Provider::handle_repair(Bytes request) {
     resp.status = Status::Ok();  // nothing this provider can contribute
     co_return pack(resp);
   }
+  obs::Span span =
+      obs::Tracer::maybe_begin(tracer(), "repair_serve", node_, ctx.trace);
+  span.tag_u64("target", req.target);
   const size_t k = req.replication == 0 ? 1 : req.replication;
   std::vector<bool> live(n, false);
   for (size_t i = 0; i < n; ++i) live[i] = req.live[i] != 0;
@@ -1447,7 +1565,7 @@ sim::CoTask<Bytes> Provider::handle_repair(Bytes request) {
     if (!responsible(id)) continue;
     uint64_t segs =
         co_await push_owner(id, /*with_meta=*/true, target_only,
-                            req.provider_nodes, peers_of(id));
+                            req.provider_nodes, peers_of(id), span.context());
     ++resp.models_pushed;
     resp.segments_pushed += segs;
   }
@@ -1455,8 +1573,18 @@ sim::CoTask<Bytes> Provider::handle_repair(Bytes request) {
     if (!responsible(owner)) continue;
     uint64_t segs =
         co_await push_owner(owner, /*with_meta=*/false, target_only,
-                            req.provider_nodes, peers_of(owner));
+                            req.provider_nodes, peers_of(owner),
+                            span.context());
     resp.segments_pushed += segs;
+  }
+  span.tag_u64("models_pushed", resp.models_pushed);
+  span.tag_u64("segments_pushed", resp.segments_pushed);
+  span.tag("outcome", "ok");
+  if (obs::EventLog* ev = events()) {
+    ev->record(sim_->now(), "repair.peer_push", node_,
+               {{"target", obs::EventLog::u64(req.target)},
+                {"models", obs::EventLog::u64(resp.models_pushed)},
+                {"segments", obs::EventLog::u64(resp.segments_pushed)}});
   }
   resp.status = Status::Ok();
   co_return pack(resp);

@@ -324,11 +324,14 @@ class Provider {
                                               net::HandlerContext ctx);
   sim::CoTask<common::Bytes> handle_get_stats(common::Bytes request);
   sim::CoTask<common::Bytes> handle_store_hint(common::Bytes request);
-  sim::CoTask<common::Bytes> handle_replicate(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_replicate(common::Bytes request,
+                                              net::HandlerContext ctx);
   sim::CoTask<common::Bytes> handle_fetch_chunks(common::Bytes request,
                                                  net::HandlerContext ctx);
-  sim::CoTask<common::Bytes> handle_drain(common::Bytes request);
-  sim::CoTask<common::Bytes> handle_repair(common::Bytes request);
+  sim::CoTask<common::Bytes> handle_drain(common::Bytes request,
+                                          net::HandlerContext ctx);
+  sim::CoTask<common::Bytes> handle_repair(common::Bytes request,
+                                           net::HandlerContext ctx);
 
   // ---- replication fault model internals (DESIGN.md §15) ----
   /// Durably park one hint; returns its sequence number.
@@ -340,14 +343,20 @@ class Provider {
   /// evostore.replicate. `peer_nodes` names where missing chunk bodies can
   /// be fetched besides this provider. Returns segments pushed (counted once
   /// whatever the fan-out, for drain/repair reporting).
+  /// `parent` parents the replicate RPC spans under the caller's drain /
+  /// repair serve span (invalid roots them, matching the untraced path).
   sim::CoTask<uint64_t> push_owner(common::ModelId id, bool with_meta,
                                    std::vector<common::ProviderId> targets,
                                    std::vector<common::NodeId> provider_nodes,
-                                   std::vector<common::NodeId> peer_nodes);
+                                   std::vector<common::NodeId> peer_nodes,
+                                   obs::TraceContext parent = {});
 
   /// The attached tracer, if any (provider-side child spans: segment
   /// writes, KV commits, LCP scans).
   obs::Tracer* tracer() { return rpc_->tracer(); }
+  /// The attached flight recorder, if any (replication lifecycle events:
+  /// hints, drain, repair, replica installs, dedup and GC activity).
+  obs::EventLog* events() { return rpc_->events(); }
   /// Record `v` into the local histogram and, when a cluster registry is
   /// attached to the RpcSystem, the shared one.
   void record(obs::Histogram* local, obs::Histogram* shared, double v) {

@@ -210,6 +210,10 @@ sim::CoTask<Status> EvoStoreRepository::repair_provider(common::ProviderId p) {
   if (p >= providers_.size()) {
     co_return Status::InvalidArgument("no such provider");
   }
+  if (obs::EventLog* ev = rpc_->events()) {
+    ev->record(rpc_->simulation().now(), "repair.begin", provider_nodes_[p],
+               {{"target", obs::EventLog::u64(p)}});
+  }
   wire::RepairRequest req;
   req.target = p;
   req.replication = static_cast<uint32_t>(membership_->replication());
@@ -236,6 +240,13 @@ sim::CoTask<Status> EvoStoreRepository::repair_provider(common::ProviderId p) {
     for (auto& peer : providers_) {
       if (peer->id() != p) (void)peer->discard_hints_for(p);
     }
+  }
+  if (obs::EventLog* ev = rpc_->events()) {
+    // The analyzer asserts every repair.begin is closed by a repair.end and
+    // that the outcome was ok (an interrupted repair is a coverage hole).
+    ev->record(rpc_->simulation().now(), "repair.end", provider_nodes_[p],
+               {{"target", obs::EventLog::u64(p)},
+                {"outcome", status.ok() ? "ok" : status.to_string()}});
   }
   co_return status;
 }

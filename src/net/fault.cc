@@ -52,6 +52,25 @@ void FaultInjector::schedule_partition(std::vector<common::NodeId> island,
   uint64_t seed = common::hash_combine(
       common::hash_combine(config_.seed, island.front()),
       static_cast<uint64_t>(start * 1e6));
+  // Flight-recorder bookends. Scheduled unconditionally (the callbacks are
+  // no-ops when no recorder is attached): a record-only callback touches no
+  // simulation or cluster state, so attaching events cannot perturb a run.
+  std::string island_attr;
+  for (common::NodeId n : island) {
+    if (!island_attr.empty()) island_attr += ",";
+    island_attr += std::to_string(n);
+  }
+  sim_->schedule_callback(start, [this, island_attr, end] {
+    if (events_ == nullptr) return;
+    events_->record(sim_->now(), "fault.partition_open", 0,
+                    {{"island", island_attr},
+                     {"until", obs::EventLog::f64(end)}});
+  });
+  sim_->schedule_callback(end, [this, island_attr] {
+    if (events_ == nullptr) return;
+    events_->record(sim_->now(), "fault.partition_heal", 0,
+                    {{"island", island_attr}});
+  });
   partitions_.emplace_back(std::move(island), start, end, seed);
 }
 
@@ -90,13 +109,24 @@ double FaultInjector::latency_spike(common::NodeId from, common::NodeId to) {
 void FaultInjector::crash_now(common::NodeId node) {
   ++stats_.crashes;
   ++down_[node];
+  if (events_ != nullptr) {
+    events_->record(sim_->now(), "fault.crash", node,
+                    {{"down_depth",
+                      obs::EventLog::u64(
+                          static_cast<uint64_t>(down_[node]))}});
+  }
 }
 
 void FaultInjector::restart_now(common::NodeId node) {
   ++stats_.restarts;
   auto it = down_.find(node);
   if (it != down_.end() && it->second > 0) --it->second;
-  if (!node_up(node)) return;  // another overlapping window still open
+  bool up = node_up(node);
+  if (events_ != nullptr) {
+    events_->record(sim_->now(), "fault.restart", node,
+                    {{"up", up ? "1" : "0"}});
+  }
+  if (!up) return;  // another overlapping window still open
   auto hooks = restart_hooks_.find(node);
   if (hooks == restart_hooks_.end()) return;
   for (auto& fn : hooks->second) fn();

@@ -26,6 +26,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "obs/events.h"
 #include "sim/simulation.h"
 
 namespace evostore::net {
@@ -72,6 +73,12 @@ class FaultInjector {
   const FaultConfig& config() const { return config_; }
   const FaultStats& stats() const { return stats_; }
   sim::Simulation& simulation() { return *sim_; }
+
+  /// Attach a flight recorder for fault lifecycle events (`fault.crash`,
+  /// `fault.restart`, `fault.partition_open`, `fault.partition_heal`).
+  /// Recording is pure memory append and draws nothing from the RNGs, so
+  /// attaching it never perturbs a seeded schedule. nullptr detaches.
+  void set_events(obs::EventLog* events) { events_ = events; }
 
   /// Schedule one crash window: `node` goes down at `at` (simulated time,
   /// >= now) and restarts `downtime` seconds later.
@@ -150,6 +157,7 @@ class FaultInjector {
   FaultConfig config_;
   common::Xoshiro256 rng_;
   FaultStats stats_;
+  obs::EventLog* events_ = nullptr;
   // Down-counter per node: schedules could overlap; a node is up when 0.
   std::map<common::NodeId, int> down_;
   std::map<common::NodeId, std::vector<std::function<void()>>> restart_hooks_;

@@ -45,6 +45,7 @@
 #include "common/types.h"
 #include "net/fabric.h"
 #include "net/fault.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/sync.h"
@@ -120,6 +121,14 @@ class RpcSystem {
   void set_metrics(obs::MetricsRegistry* metrics);
   obs::MetricsRegistry* metrics() { return metrics_; }
 
+  /// Attach a flight recorder (obs/events.h). The RpcSystem itself records
+  /// nothing; it is the distribution point clients, providers, and the
+  /// fault injector read their `EventLog*` through. Recording is pure
+  /// memory append — unlike trace framing it never changes wire bytes or
+  /// simulated timings, so it is safe under `--verify`. nullptr detaches.
+  void set_events(obs::EventLog* events) { events_ = events; }
+  obs::EventLog* events() { return events_; }
+
   /// Register `handler` for (node, method). Replaces any previous handler.
   void register_handler(NodeId node, std::string method, RpcHandler handler);
   void register_handler(NodeId node, std::string method,
@@ -175,6 +184,7 @@ class RpcSystem {
   RpcStats stats_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::EventLog* events_ = nullptr;
   // Cached histogram pointers (stable for the registry's lifetime); null
   // when no registry is attached, so the untraced hot path is one branch.
   obs::Histogram* hist_call_seconds_ = nullptr;

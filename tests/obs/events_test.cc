@@ -1,0 +1,144 @@
+#include "obs/events.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace evostore::obs {
+namespace {
+
+std::string json_of(const EventLog& log) {
+  std::ostringstream os;
+  log.write_json(os);
+  return os.str();
+}
+
+std::string csv_of(const EventLog& log) {
+  std::ostringstream os;
+  log.write_csv(os);
+  return os.str();
+}
+
+TEST(EventLog, RecordsAndCounts) {
+  EventLog log;
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.recorded(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+  log.record(1.0, "hint.recorded", 3,
+             {{"count", EventLog::u64(1)}, {"target", EventLog::u64(2)}});
+  log.record(2.0, "hint.replayed", 3, {{"count", "1"}});
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.recorded(), 2u);
+  EXPECT_EQ(log.dropped(), 0u);
+  auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0]->id, "hint.recorded");
+  EXPECT_EQ(snap[0]->node, 3u);
+  ASSERT_EQ(snap[0]->attrs.size(), 2u);
+  EXPECT_EQ(snap[0]->attrs[0].first, "count");
+  EXPECT_EQ(snap[0]->attrs[0].second, "1");
+  EXPECT_EQ(snap[1]->id, "hint.replayed");
+}
+
+TEST(EventLog, WraparoundKeepsNewest) {
+  EventLog log(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    log.record(static_cast<double>(i), "e", 0, {{"i", EventLog::u64(i)}});
+  }
+  EXPECT_EQ(log.capacity(), 4u);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.recorded(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  // The oldest six were evicted; seqs 6..9 survive, oldest-first.
+  auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap[i]->seq, 6 + i);
+    EXPECT_EQ(snap[i]->attrs[0].second, std::to_string(6 + i));
+  }
+}
+
+TEST(EventLog, ZeroCapacityClampsToOne) {
+  EventLog log(0);
+  EXPECT_EQ(log.capacity(), 1u);
+  log.record(1.0, "a", 0);
+  log.record(2.0, "b", 0);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.dropped(), 1u);
+  EXPECT_EQ(log.snapshot()[0]->id, "b");
+}
+
+TEST(EventLog, ByteStableAcrossInsertionOrders) {
+  // Two logs fed the same events in different orders must export the same
+  // bytes: the export sorts by content, not by arrival.
+  struct Ev {
+    double t;
+    const char* id;
+    uint32_t node;
+  };
+  std::vector<Ev> evs = {{2.0, "b.second", 1},
+                         {1.0, "a.first", 0},
+                         {2.0, "a.also_second", 2},
+                         {0.5, "c.earliest", 7}};
+  EventLog fwd, rev;
+  for (const Ev& e : evs) {
+    fwd.record(e.t, e.id, e.node, {{"k", "v"}});
+  }
+  for (auto it = evs.rbegin(); it != evs.rend(); ++it) {
+    rev.record(it->t, it->id, it->node, {{"k", "v"}});
+  }
+  EXPECT_EQ(json_of(fwd), json_of(rev));
+  EXPECT_EQ(csv_of(fwd), csv_of(rev));
+  // And the sort is (time, id, ...): same-time events order by id.
+  std::string json = json_of(fwd);
+  EXPECT_LT(json.find("c.earliest"), json.find("a.first"));
+  EXPECT_LT(json.find("a.first"), json.find("a.also_second"));
+  EXPECT_LT(json.find("a.also_second"), json.find("b.second"));
+}
+
+TEST(EventLog, ZeroEventExport) {
+  EventLog log(8);
+  EXPECT_EQ(json_of(log),
+            "{\n"
+            "  \"capacity\": 8,\n"
+            "  \"recorded\": 0,\n"
+            "  \"dropped\": 0,\n"
+            "  \"events\": []\n"
+            "}\n");
+  EXPECT_EQ(csv_of(log), "time,id,node,attrs\n");
+}
+
+TEST(EventLog, JsonEscapesAttrValues) {
+  EventLog log;
+  log.record(1.0, "e", 0, {{"msg", "a\"b\\c\nd"}});
+  std::string json = json_of(log);
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+  // CSV doubles quotes and flattens newlines (one line per event).
+  std::string csv = csv_of(log);
+  EXPECT_NE(csv.find("msg=a\"\"b\\c d"), std::string::npos);
+}
+
+TEST(EventLog, ClearResets) {
+  EventLog log(2);
+  log.record(1.0, "a", 0);
+  log.record(2.0, "b", 0);
+  log.record(3.0, "c", 0);
+  EXPECT_EQ(log.dropped(), 1u);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.recorded(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+  log.record(4.0, "d", 0);
+  EXPECT_EQ(log.snapshot()[0]->seq, 0u);
+}
+
+TEST(EventLog, Formatters) {
+  EXPECT_EQ(EventLog::u64(0), "0");
+  EXPECT_EQ(EventLog::u64(18446744073709551615ull), "18446744073709551615");
+  EXPECT_EQ(EventLog::f64(1.5), EventLog::f64(1.5));  // deterministic
+}
+
+}  // namespace
+}  // namespace evostore::obs
