@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/log.h"
+
 namespace evostore::baseline {
 
 using common::Buffer;
@@ -27,6 +29,7 @@ sim::CoTask<void> Hdf5PfsRepository::charge_staging(double bytes,
       bytes / config_.staging_bandwidth);
 }
 
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
 sim::CoTask<Status> Hdf5PfsRepository::store(NodeId client, const Model& m,
                                              const core::TransferContext* tc) {
   (void)tc;  // no incremental storage: the full model is always written
@@ -103,6 +106,7 @@ sim::CoTask<Result<Model>> Hdf5PfsRepository::load(NodeId client, ModelId id) {
 }
 
 sim::CoTask<Result<std::optional<core::TransferContext>>>
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
 Hdf5PfsRepository::prepare_transfer(NodeId client, const ArchGraph& g,
                                     bool fetch_payload) {
   if (redis_ == nullptr) {
@@ -180,7 +184,15 @@ Hdf5PfsRepository::prepare_transfer(NodeId client, const ArchGraph& g,
   // ancestor was retired while pinned and its file is now ours to delete.
   auto unpin = co_await redis_->unpin(client, tc.ancestor);
   if (unpin.status.ok() && unpin.remove_weights) {
-    co_await pfs_->remove(client, RedisQueries::weights_path(tc.ancestor));
+    auto removed =
+        co_await pfs_->remove(client, RedisQueries::weights_path(tc.ancestor));
+    if (!removed.ok()) {
+      // Best-effort cleanup: the load itself succeeded, but a leaked file
+      // would silently distort stored-bytes accounting, so make it visible.
+      EVO_WARN << "hdf5+pfs: removing retired ancestor "
+               << tc.ancestor.value
+               << " weights failed: " << removed.message();
+    }
   }
   if (!status.ok()) co_return status;
   co_return std::optional<core::TransferContext>(std::move(tc));

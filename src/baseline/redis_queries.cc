@@ -252,6 +252,7 @@ sim::CoTask<Bytes> RedisQueries::handle_retire(Bytes request) {
 // ---- client-side wrappers ---------------------------------------------------
 
 sim::CoTask<RedisQueries::AddResult> RedisQueries::begin_add(
+    // NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
     NodeId client, ModelId id, const ArchGraph& graph, double quality) {
   BeginAddReq req;
   req.id = id;
@@ -276,6 +277,7 @@ sim::CoTask<Status> RedisQueries::finish_add(NodeId client, ModelId id) {
 }
 
 sim::CoTask<Result<core::wire::LcpQueryResponse>> RedisQueries::query(
+    // NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
     NodeId client, const ArchGraph& graph) {
   core::wire::LcpQueryRequest req;
   req.graph = graph;

@@ -99,6 +99,7 @@ sim::CoTask<Result<wire::LcpQueryResponse>> Client::lcp_one(
 }
 
 sim::CoTask<Result<wire::LcpQueryResponse>> Client::query_lcp(
+    // NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
     const ArchGraph& g, obs::TraceContext parent) {
   obs::Span span =
       obs::Tracer::maybe_begin(tracer(), "lcp_query", self_, parent);
@@ -387,6 +388,7 @@ sim::CoTask<Status> Client::send_hint(common::ProviderId target,
   co_return last;
 }
 
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
 sim::CoTask<Status> Client::fan_out_refs(const OwnerMap& owners,
                                          bool increment, ModelId exclude_owner,
                                          obs::TraceContext parent) {
@@ -399,6 +401,7 @@ sim::CoTask<Status> Client::fan_out_refs(const OwnerMap& owners,
                                  parent);
 }
 
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
 sim::CoTask<Status> Client::put_model(const Model& m, const TransferContext* tc) {
   obs::Span span = obs::Tracer::maybe_begin(tracer(), "put_model", self_);
   span.tag("model", m.id().to_string());
@@ -803,6 +806,7 @@ sim::CoTask<common::Bytes> Client::handle_peer_read(common::Bytes request,
 }
 
 sim::CoTask<Status> Client::fetch_envelopes(
+    // NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
     const std::vector<common::SegmentKey>& keys,
     std::unordered_map<common::SegmentKey, CompressedSegment>* out,
     obs::TraceContext parent) {
@@ -1209,6 +1213,7 @@ sim::CoTask<Result<Model>> Client::get_model_via_chain(ModelId id) {
 }
 
 sim::CoTask<Result<std::optional<TransferContext>>> Client::prepare_transfer(
+    // NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
     const ArchGraph& g, bool fetch_payload) {
   obs::Span span =
       obs::Tracer::maybe_begin(tracer(), "prepare_transfer", self_);
@@ -1287,6 +1292,7 @@ sim::CoTask<Result<std::optional<TransferContext>>> Client::prepare_transfer(
   co_return std::optional<TransferContext>(std::move(tc));
 }
 
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
 sim::CoTask<Status> Client::abandon_transfer(const TransferContext& tc) {
   if (!tc.pinned) co_return Status::Ok();
   std::vector<common::SegmentKey> keys;

@@ -90,11 +90,13 @@ Client& EvoStoreRepository::client(NodeId node) {
 }
 
 sim::CoTask<Result<std::optional<TransferContext>>>
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
 EvoStoreRepository::prepare_transfer(NodeId node, const ArchGraph& g,
                                      bool fetch_payload) {
   co_return co_await client(node).prepare_transfer(g, fetch_payload);
 }
 
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
 sim::CoTask<Status> EvoStoreRepository::store(NodeId node, const Model& m,
                                               const TransferContext* tc) {
   co_return co_await client(node).put_model(m, tc);

@@ -43,6 +43,7 @@ void RpcSystem::set_service_pool(NodeId node, int slots,
 }
 
 sim::CoTask<Result<Bytes>> RpcSystem::call(NodeId from, NodeId to,
+                                           // NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
                                            const std::string& method,
                                            Bytes request, CallOptions options) {
   if (handlers_.find(std::make_pair(to, method)) == handlers_.end()) {
@@ -271,6 +272,7 @@ sim::CoTask<Result<Bytes>> RpcSystem::race_deadline(
 }
 
 sim::CoTask<common::Status> RpcSystem::bulk(NodeId from, NodeId to,
+                                            // NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
                                             const Buffer& buffer) {
   // Everything this frame needs from `buffer` is read before the first
   // suspension point; the reference must not be touched after a co_await

@@ -30,6 +30,7 @@ sim::CoTask<void> Pfs::mds_op() {
   mds_slots_->release();
 }
 
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
 sim::CoTask<void> Pfs::data_transfer(NodeId client, const File& file,
                                      size_t bytes, bool to_ost) {
   if (bytes == 0) co_return;

@@ -88,8 +88,9 @@ TEST(Rpc, DeadlineFiresAtExactlyTimeoutSeconds) {
     co_return Bytes{};
   });
   auto task = [&]() -> CoTask<double> {
-    co_await env.rpc.call(env.a, env.b, "slow", Bytes{},
-                          CallOptions{.timeout = 0.25});
+    auto r = co_await env.rpc.call(env.a, env.b, "slow", Bytes{},
+                                   CallOptions{.timeout = 0.25});
+    EXPECT_FALSE(r.ok());
     co_return env.sim.now();
   };
   EXPECT_NEAR(env.sim.run_until_complete(task()), 0.25, 1e-9);
@@ -186,7 +187,8 @@ TEST(Rpc, RoundTripPaysTwoLatencies) {
     co_return Bytes{};
   });
   auto task = [&]() -> CoTask<double> {
-    co_await env.rpc.call(env.a, env.b, "f", Bytes{});
+    auto r = co_await env.rpc.call(env.a, env.b, "f", Bytes{});
+    EXPECT_TRUE(r.ok());
     co_return env.sim.now();
   };
   EXPECT_NEAR(env.sim.run_until_complete(task()), 0.002, 1e-9);
@@ -199,7 +201,8 @@ TEST(Rpc, HandlerCanAwait) {
     co_return Bytes{};  // empty response: no bandwidth term in the check
   });
   auto task = [&]() -> CoTask<double> {
-    co_await env.rpc.call(env.a, env.b, "slow", Bytes{});
+    auto r = co_await env.rpc.call(env.a, env.b, "slow", Bytes{});
+    EXPECT_TRUE(r.ok());
     co_return env.sim.now();
   };
   EXPECT_NEAR(env.sim.run_until_complete(task()), 1.002, 1e-9);
@@ -213,7 +216,8 @@ TEST(Rpc, ServicePoolSerializesHandlers) {
     co_return Bytes{};
   });
   auto call_once = [&]() -> CoTask<void> {
-    co_await env.rpc.call(env.a, env.b, "slow", Bytes{});
+    auto r = co_await env.rpc.call(env.a, env.b, "slow", Bytes{});
+    EXPECT_TRUE(r.ok());
   };
   auto f1 = env.sim.spawn(call_once());
   auto f2 = env.sim.spawn(call_once());
@@ -231,7 +235,8 @@ TEST(Rpc, ServicePoolOverheadCharged) {
     co_return Bytes{};
   });
   auto task = [&]() -> CoTask<double> {
-    co_await env.rpc.call(env.a, env.b, "f", Bytes{});
+    auto r = co_await env.rpc.call(env.a, env.b, "f", Bytes{});
+    EXPECT_TRUE(r.ok());
     co_return env.sim.now();
   };
   EXPECT_NEAR(env.sim.run_until_complete(task()), 0.502, 1e-9);
@@ -240,8 +245,9 @@ TEST(Rpc, ServicePoolOverheadCharged) {
 TEST(Rpc, BulkChargesBytesAndStats) {
   Env env;
   auto task = [&]() -> CoTask<double> {
-    co_await env.rpc.bulk(env.a, env.b,
-                          common::Buffer::synthetic(500.0 * 1000, 1));
+    auto st = co_await env.rpc.bulk(env.a, env.b,
+                                    common::Buffer::synthetic(500.0 * 1000, 1));
+    EXPECT_TRUE(st.ok());
     co_return env.sim.now();
   };
   // 500000 bytes over 1000 B/s NIC + 1ms latency.
@@ -256,7 +262,8 @@ TEST(Rpc, PayloadSizeAffectsTransferTime) {
     co_return Bytes{};
   });
   auto task = [&]() -> CoTask<double> {
-    co_await env.rpc.call(env.a, env.b, "f", Bytes(10000));
+    auto r = co_await env.rpc.call(env.a, env.b, "f", Bytes(10000));
+    EXPECT_TRUE(r.ok());
     co_return env.sim.now();
   };
   // 10000 bytes at 1000 B/s = 10s + 2 latencies.

@@ -68,10 +68,12 @@ TEST(Pfs, OverwriteReplacesContent) {
   auto task = [&]() -> CoTask<size_t> {
     std::vector<Buffer> v1;
     v1.push_back(Buffer::zeros(1000));
-    co_await env.pfs->write(env.client, "/f", std::move(v1));
+    auto st1 = co_await env.pfs->write(env.client, "/f", std::move(v1));
+    EXPECT_TRUE(st1.ok());
     std::vector<Buffer> v2;
     v2.push_back(Buffer::zeros(300));
-    co_await env.pfs->write(env.client, "/f", std::move(v2));
+    auto st2 = co_await env.pfs->write(env.client, "/f", std::move(v2));
+    EXPECT_TRUE(st2.ok());
     co_return env.pfs->stored_bytes();
   };
   EXPECT_EQ(env.sim.run_until_complete(task()), 300u);
@@ -82,7 +84,8 @@ TEST(Pfs, RemoveFreesSpace) {
   auto task = [&]() -> CoTask<bool> {
     std::vector<Buffer> v;
     v.push_back(Buffer::zeros(500));
-    co_await env.pfs->write(env.client, "/f", std::move(v));
+    auto wst = co_await env.pfs->write(env.client, "/f", std::move(v));
+    EXPECT_TRUE(wst.ok());
     auto st = co_await env.pfs->remove(env.client, "/f");
     EXPECT_TRUE(st.ok());
     auto missing = co_await env.pfs->remove(env.client, "/f");
@@ -97,7 +100,8 @@ TEST(Pfs, ExistsChecksMetadataOnly) {
   auto task = [&]() -> CoTask<std::pair<bool, bool>> {
     std::vector<Buffer> v;
     v.push_back(Buffer::zeros(10));
-    co_await env.pfs->write(env.client, "/f", std::move(v));
+    auto wst = co_await env.pfs->write(env.client, "/f", std::move(v));
+    EXPECT_TRUE(wst.ok());
     bool has = co_await env.pfs->exists(env.client, "/f");
     bool hasnt = co_await env.pfs->exists(env.client, "/g");
     co_return std::make_pair(has, hasnt);
@@ -120,7 +124,8 @@ TEST(Pfs, ReadRangeAssemblesAcrossExtents) {
       expected.insert(expected.end(), b1.begin(), b1.begin() + 20);
     }
     std::vector<Buffer> extents{e0, e1};
-    co_await env.pfs->write(env.client, "/f", std::move(extents));
+    auto wst = co_await env.pfs->write(env.client, "/f", std::move(extents));
+    EXPECT_TRUE(wst.ok());
     auto r = co_await env.pfs->read_range(env.client, "/f", 90, 30);
     EXPECT_TRUE(r.ok());
     co_return r.ok() && r->to_bytes() == expected;
@@ -133,7 +138,8 @@ TEST(Pfs, ReadRangePastEndFails) {
   auto task = [&]() -> CoTask<bool> {
     std::vector<Buffer> v;
     v.push_back(Buffer::zeros(100));
-    co_await env.pfs->write(env.client, "/f", std::move(v));
+    auto wst = co_await env.pfs->write(env.client, "/f", std::move(v));
+    EXPECT_TRUE(wst.ok());
     auto r = co_await env.pfs->read_range(env.client, "/f", 90, 20);
     co_return r.ok();
   };
@@ -148,7 +154,8 @@ TEST(Pfs, WriteTimeScalesWithStriping) {
     std::vector<Buffer> v;
     v.push_back(Buffer::synthetic(400 * 1024, 1));  // 400 KB >> stripe_size
     double t0 = env.sim.now();
-    co_await env.pfs->write(env.client, "/big", std::move(v));
+    auto st = co_await env.pfs->write(env.client, "/big", std::move(v));
+    EXPECT_TRUE(st.ok());
     t_striped = env.sim.now() - t0;
   };
   env.sim.run_until_complete(task());
@@ -164,7 +171,8 @@ TEST(Pfs, ConcurrentWritersSaturateOsts) {
   auto writer = [&](NodeId c, int i) -> CoTask<void> {
     std::vector<Buffer> v;
     v.push_back(Buffer::synthetic(100 * 1024, static_cast<uint64_t>(i)));
-    co_await env.pfs->write(c, "/f" + std::to_string(i), std::move(v));
+    auto st = co_await env.pfs->write(c, "/f" + std::to_string(i), std::move(v));
+    EXPECT_TRUE(st.ok());
   };
   std::vector<sim::Future<void>> fs;
   for (int i = 0; i < 16; ++i) fs.push_back(env.sim.spawn(writer(clients[i], i)));

@@ -1,0 +1,396 @@
+"""evostore-lint: per-function control-flow graphs.
+
+Statement-granularity CFGs built directly over the token stream from
+`cxx.py`. Each node is one statement (or one control-flow condition); edges
+follow structured control flow: `if`/`else` (including `if constexpr`),
+`while`/`for`/`do`, `switch` with fallthrough, `break`/`continue`, and the
+terminators `return`/`co_return`/`throw`. Nested lambdas are opaque: a
+lambda expression is part of the statement that contains it, and its body
+gets its own CFG when the engine analyzes that FunctionDef.
+
+Nodes carry a `suspends` flag (the statement contains an own-level
+`co_await`/`co_yield`), which is what turns this graph into the
+suspension-point-granularity lattice the coroutine rules reason over:
+"is there a path from this suspension to that use" is plain forward
+reachability here, replacing the textual-order + if-chain heuristics of the
+v1 analyzer. The determinism and status families reuse the same graphs for
+escape/use analysis ("is this status variable ever read on any path out of
+its definition").
+
+Deliberately approximate where C++ is hostile to token-level parsing:
+`goto` is treated as an opaque terminator-free statement, exceptions are
+ignored (the codebase compiles with the data paths exception-free by
+design), and a `switch` arm falls through to the next unless it ends in
+`break`/`return`. All of this errs toward *more* edges, i.e. toward
+reporting -- the corpus negatives pin down that the approximations do not
+produce false positives on the idioms actually used in-tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from cxx import OPEN, CLOSE  # noqa: F401  (re-exported structure helpers)
+import cxx
+
+
+@dataclass
+class Node:
+    idx: int
+    start: int           # inclusive token range of the statement/condition
+    end: int
+    kind: str            # 'stmt' | 'cond' | 'entry' | 'exit'
+    line: int = 0
+    suspends: bool = False
+    succs: list = field(default_factory=list)
+
+
+class Cfg:
+    """CFG for one FunctionDef. Nodes[0] is the entry, nodes[1] the exit."""
+
+    def __init__(self, func):
+        self.func = func
+        self.nodes: list[Node] = [
+            Node(0, -1, -1, "entry"), Node(1, -1, -1, "exit")]
+        self._reach_cache: dict[int, frozenset] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def _new(self, start, end, kind, line, suspends):
+        node = Node(len(self.nodes), start, end, kind, line, suspends)
+        self.nodes.append(node)
+        return node.idx
+
+    def _edge(self, a, b):
+        if b not in self.nodes[a].succs:
+            self.nodes[a].succs.append(b)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def entry(self):
+        return 0
+
+    @property
+    def exit(self):
+        return 1
+
+    def node_of(self, token_index):
+        """The statement/condition node whose token range covers
+        `token_index`, or None (e.g. tokens of a nested lambda body)."""
+        best = None
+        for node in self.nodes[2:]:
+            if node.start <= token_index <= node.end:
+                if best is None or node.start >= best.start:
+                    # prefer the tightest range (conditions nest in headers)
+                    if best is None or \
+                            (node.end - node.start) <= (best.end - best.start):
+                        best = node
+        return best
+
+    def reachable_from(self, idx) -> frozenset:
+        """Node indices reachable from `idx` via one or more edges (does
+        not include `idx` itself unless it sits on a cycle)."""
+        if idx in self._reach_cache:
+            return self._reach_cache[idx]
+        seen = set()
+        stack = list(self.nodes[idx].succs)
+        while stack:
+            n = stack.pop()
+            if n in seen:
+                continue
+            seen.add(n)
+            stack.extend(self.nodes[n].succs)
+        result = frozenset(seen)
+        self._reach_cache[idx] = result
+        return result
+
+    def statements(self):
+        return [n for n in self.nodes[2:] if n.kind in ("stmt", "cond")]
+
+    def render(self):
+        """Debug/teaching dump used by the self-suite."""
+        lines = []
+        for n in self.nodes:
+            tag = "~" if n.suspends else " "
+            lines.append(f"{n.idx:3}{tag}{n.kind:6} "
+                         f"[{n.start},{n.end}] -> {sorted(n.succs)}")
+        return "\n".join(lines)
+
+
+_TERMINATORS = {"return", "co_return", "throw"}
+
+
+def build(tokens, match, funcs, func) -> Cfg:
+    """Build the statement-granularity CFG for `func`'s body."""
+    cfg = Cfg(func)
+    body_start, body_end = func.body
+
+    def suspends(start, end):
+        for k in range(start, end + 1):
+            t = tokens[k]
+            if t.kind == "id" and t.text in ("co_await", "co_yield") \
+                    and cxx.own_level(funcs, func, k):
+                return True
+        return False
+
+    def make(start, end, kind="stmt"):
+        return cfg._new(start, end, kind, tokens[start].line,
+                        suspends(start, end))
+
+    # parse_block returns (entry_ids, open_ends) where open_ends are node
+    # ids whose fallthrough edge must be wired to whatever follows the
+    # block. `loops` is a stack of (continue_target_entries, break_sinks).
+    loop_stack: list[tuple[list, list]] = []
+
+    def wire(ends, targets):
+        for e in ends:
+            for t in targets:
+                cfg._edge(e, t)
+
+    def parse_block(k, limit):
+        entries: list[int] = []
+        open_ends: list[int] = []
+        first = True
+        while k <= limit:
+            t = tokens[k]
+            if t.kind == "punct" and t.text == ";":
+                k += 1
+                continue
+            ent, ends, k = parse_stmt(k, limit)
+            if ent:
+                if first:
+                    entries = ent
+                    first = False
+                else:
+                    wire(open_ends, ent)
+                open_ends = ends
+            if not ent and k > limit:
+                break
+        return entries, open_ends
+
+    def skip_label(k, limit):
+        """Skip `case X:` / `default:` / `name:` labels."""
+        t = tokens[k]
+        if t.kind == "id" and t.text == "case":
+            j = k + 1
+            while j <= limit and tokens[j].text != ":":
+                if tokens[j].text in OPEN and j in match:
+                    j = match[j]
+                j += 1
+            return j + 1
+        if t.kind == "id" and t.text == "default" and k + 1 <= limit \
+                and tokens[k + 1].text == ":":
+            return k + 2
+        return k
+
+    def parse_stmt(k, limit):
+        """Parse one statement starting at token k.
+
+        Returns (entry_ids, open_end_ids, next_k)."""
+        while True:
+            nk = skip_label(k, limit)
+            if nk == k:
+                break
+            k = nk
+        if k > limit:
+            return [], [], k + 1
+        t = tokens[k]
+
+        # Compound block.
+        if t.kind == "punct" and t.text == "{" and k in match:
+            close = match[k]
+            ent, ends = parse_block(k + 1, close - 1)
+            return ent, ends, close + 1
+
+        if t.kind == "id" and t.text == "if":
+            return parse_if(k, limit)
+        if t.kind == "id" and t.text in ("while", "switch"):
+            return parse_while_switch(k, limit, t.text)
+        if t.kind == "id" and t.text == "for":
+            return parse_for(k, limit)
+        if t.kind == "id" and t.text == "do":
+            return parse_do(k, limit)
+        if t.kind == "id" and t.text in ("try", "catch", "else"):
+            # try/catch: treat both blocks as sequential; stray else (from
+            # an approximation) likewise.
+            j = k + 1
+            if t.text == "catch" and j <= limit and tokens[j].text == "(" \
+                    and j in match:
+                j = match[j] + 1
+            ent, ends, nxt = parse_stmt(j, limit)
+            return ent, ends, nxt
+
+        # Plain statement: scan forward to ';' at depth 0. Matched bracket
+        # groups (call args, braced inits, lambda bodies) are skipped
+        # wholesale; an unmatched '}' is the enclosing block closing.
+        end = k
+        while end <= limit:
+            te = tokens[end]
+            if te.kind == "punct":
+                if te.text == ";":
+                    break
+                if te.text in OPEN and end in match:
+                    end = match[end] + 1
+                    continue
+                if te.text == "}":
+                    end -= 1
+                    break
+            end += 1
+        end = min(end, limit)
+        if end < k:
+            return [], [], k + 1
+        node = make(k, end)
+        first = tokens[k]
+        if first.kind == "id" and first.text in _TERMINATORS:
+            cfg._edge(node, cfg.exit)
+            return [node], [], end + 1
+        if first.kind == "id" and first.text == "break" and loop_stack:
+            loop_stack[-1][1].append(node)
+            return [node], [], end + 1
+        if first.kind == "id" and first.text == "continue" and loop_stack:
+            wire([node], loop_stack[-1][0])
+            return [node], [], end + 1
+        return [node], [node], end + 1
+
+    def cond_range(k):
+        """Range of the parenthesized condition after tokens[k] (an `if` /
+        `while` / `for` / `switch` keyword), handling `if constexpr`."""
+        j = k + 1
+        while j < body_end and tokens[j].kind == "id" \
+                and tokens[j].text in ("constexpr", "consteval"):
+            j += 1
+        if j < body_end and tokens[j].text == "(" and j in match:
+            return j, match[j]
+        return None
+
+    def parse_if(k, limit):
+        rng = cond_range(k)
+        if rng is None:  # malformed; treat as plain statement
+            node = make(k, min(k + 1, limit))
+            return [node], [node], k + 2
+        cond = make(k, rng[1], "cond")
+        then_ent, then_ends, nxt = parse_stmt(rng[1] + 1, limit)
+        wire([cond], then_ent or [])
+        open_ends = list(then_ends)
+        if not then_ent:
+            open_ends.append(cond)
+        if nxt <= limit and tokens[nxt].kind == "id" \
+                and tokens[nxt].text == "else":
+            else_ent, else_ends, nxt = parse_stmt(nxt + 1, limit)
+            wire([cond], else_ent or [])
+            if else_ent:
+                open_ends.extend(else_ends)
+            else:
+                open_ends.append(cond)
+        else:
+            open_ends.append(cond)  # false edge falls through
+        return [cond], open_ends, nxt
+
+    def parse_while_switch(k, limit, kw):
+        rng = cond_range(k)
+        if rng is None:
+            node = make(k, min(k + 1, limit))
+            return [node], [node], k + 2
+        cond = make(k, rng[1], "cond")
+        breaks: list[int] = []
+        if kw == "while":
+            loop_stack.append(([cond], breaks))
+            body_ent, body_ends, nxt = parse_stmt(rng[1] + 1, limit)
+            loop_stack.pop()
+            wire([cond], body_ent or [cond])
+            wire(body_ends, [cond])
+            open_ends = [cond] + breaks
+            return [cond], open_ends, nxt
+        # switch: conservatively, the condition can reach every arm entry
+        # and (if no default) fall through entirely.
+        loop_stack.append(([], breaks))  # continue passes through to outer
+        if len(loop_stack) >= 2:
+            loop_stack[-1] = (loop_stack[-2][0], breaks)
+        body_ent, body_ends, nxt = parse_stmt(rng[1] + 1, limit)
+        loop_stack.pop()
+        wire([cond], body_ent or [])
+        # Approximate: every arm entry is also reachable from the cond.
+        if nxt - 1 <= limit and rng[1] + 1 <= limit \
+                and tokens[rng[1] + 1].text == "{":
+            close = match.get(rng[1] + 1)
+            if close is not None:
+                j = rng[1] + 2
+                while j < close:
+                    tj = tokens[j]
+                    if tj.kind == "id" and tj.text in ("case", "default"):
+                        node = cfg.node_of(j)
+                        nxt_stmt = j
+                        while nxt_stmt < close and \
+                                tokens[nxt_stmt].text != ":":
+                            nxt_stmt += 1
+                        target = cfg.node_of(nxt_stmt + 1)
+                        if target is not None:
+                            cfg._edge(cond, target.idx)
+                        j = nxt_stmt + 1
+                        continue
+                    if tj.text in OPEN and j in match:
+                        j = match[j] + 1
+                        continue
+                    j += 1
+        open_ends = [cond] + list(body_ends) + breaks
+        return [cond], open_ends, nxt
+
+    def parse_for(k, limit):
+        rng = cond_range(k)
+        if rng is None:
+            node = make(k, min(k + 1, limit))
+            return [node], [node], k + 2
+        header = make(k, rng[1], "cond")
+        breaks: list[int] = []
+        loop_stack.append(([header], breaks))
+        body_ent, body_ends, nxt = parse_stmt(rng[1] + 1, limit)
+        loop_stack.pop()
+        wire([header], body_ent or [header])
+        wire(body_ends, [header])
+        return [header], [header] + breaks, nxt
+
+    def parse_do(k, limit):
+        body_ent, body_ends, nxt = parse_stmt(k + 1, limit)
+        cond_start = nxt
+        if nxt <= limit and tokens[nxt].kind == "id" \
+                and tokens[nxt].text == "while":
+            rng = cond_range(nxt)
+            if rng is not None:
+                cond = make(nxt, rng[1], "cond")
+                wire(body_ends, [cond])
+                wire([cond], body_ent or [cond])
+                nxt = rng[1] + 1
+                if nxt <= limit and tokens[nxt].text == ";":
+                    nxt += 1
+                return body_ent or [cond], [cond], nxt
+        return body_ent, body_ends, max(nxt, cond_start + 1)
+
+    entries, open_ends = parse_block(body_start + 1, body_end - 1)
+    wire([cfg.entry], entries or [cfg.exit])
+    wire(open_ends, [cfg.exit])
+    return cfg
+
+
+def uses_of(tokens, funcs, cfg, name, from_node, *, include_nested=True):
+    """Token indices where identifier `name` is read in any node reachable
+    from `from_node` (member accesses `x.name` excluded). With
+    `include_nested`, occurrences inside lambdas nested in those statements
+    count too -- a capture is an escape."""
+    out = []
+    reach = cfg.reachable_from(from_node)
+    for nid in reach:
+        node = cfg.nodes[nid]
+        if node.start < 0:
+            continue
+        for u in range(node.start, node.end + 1):
+            tu = tokens[u]
+            if tu.kind != "id" or tu.text != name:
+                continue
+            if u > 0 and tokens[u - 1].kind == "punct" \
+                    and tokens[u - 1].text in (".", "->", "::"):
+                continue  # member of something else with the same name
+            if not include_nested and not cxx.own_level(funcs, cfg.func, u):
+                continue
+            out.append(u)
+    return sorted(out)

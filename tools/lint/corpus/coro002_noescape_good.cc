@@ -1,0 +1,30 @@
+// Flow-sensitive EVO-CORO-002: binding the awaited temporary's result to a
+// reference is only a hazard if some later path actually READS the
+// reference after the full expression ends. A binding nothing ever reads
+// again, or one only read inside the same full expression, must stay
+// silent -- this file is the escape-analysis negative the v1 token scanner
+// could not express.
+//
+// EXPECTED-FINDINGS: none
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+
+namespace corpus {
+
+sim::CoTask<std::vector<std::string>> fetch_names();
+
+sim::CoTask<int> bound_but_never_read() {
+  // The reference dangles after the semicolon, but no path dereferences
+  // it: there is nothing to corrupt, so the lint stays silent.
+  const auto& names = co_await fetch_names();
+  co_return 0;
+}
+
+sim::CoTask<int> read_only_within_full_expression() {
+  int n = static_cast<int>((co_await fetch_names()).size());
+  co_return n;
+}
+
+}  // namespace corpus

@@ -1,0 +1,22 @@
+// Host wall-clock sources in simulation-deterministic code: two identical
+// runs observe different values, so any state or artifact derived from
+// them diverges. Sim time comes from Simulation::now().
+//
+// EXPECTED-FINDINGS:
+//   EVO-DET-001 x4 (steady_clock, system_clock, time(nullptr), clock_gettime)
+#include <chrono>
+#include <ctime>
+
+namespace corpus {
+
+double sample_host_time() {
+  auto t0 = std::chrono::steady_clock::now();          // EXPECT: EVO-DET-001
+  auto t1 = std::chrono::system_clock::now();          // EXPECT: EVO-DET-001
+  long stamp = time(nullptr);                          // EXPECT: EVO-DET-001
+  struct timespec ts;
+  clock_gettime(0, &ts);                               // EXPECT: EVO-DET-001
+  return std::chrono::duration<double>(t1 - t0).count() +
+         static_cast<double>(stamp + ts.tv_sec);
+}
+
+}  // namespace corpus

@@ -1,0 +1,31 @@
+// The shapes EVO-DET-001 must NOT flag: sim-clock reads, members and
+// declarations that merely reuse libc names, and a reasoned suppression
+// for host-only profiling that provably never reaches an exported
+// artifact.
+//
+// EXPECTED-FINDINGS: none
+#include <chrono>
+
+namespace corpus {
+
+struct Simulation {
+  double now() const;
+};
+
+struct Budget {
+  double time(int phase) const;  // a declaration named `time` is not libc
+};
+
+double sim_time(Simulation& sim, const Budget& b) {
+  double t = sim.now();     // the deterministic clock
+  double u = b.time(2);     // member access, not the libc symbol
+  return t + u;
+}
+
+double profile_once() {
+  // evo-lint: suppress(EVO-DET-001) host-only profiling, never exported
+  auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(start.time_since_epoch()).count();
+}
+
+}  // namespace corpus

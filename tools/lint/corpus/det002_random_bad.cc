@@ -1,0 +1,18 @@
+// Ambient randomness: entropy that no seed can reproduce. All randomness
+// must flow from the seeded common::Rng so a seed replays a run.
+//
+// EXPECTED-FINDINGS:
+//   EVO-DET-002 x3 (random_device, rand, srand)
+#include <cstdlib>
+#include <random>
+
+namespace corpus {
+
+int ambient_entropy() {
+  std::random_device rd;                               // EXPECT: EVO-DET-002
+  srand(42);                                           // EXPECT: EVO-DET-002
+  int r = rand();                                      // EXPECT: EVO-DET-002
+  return static_cast<int>(rd()) + r;
+}
+
+}  // namespace corpus

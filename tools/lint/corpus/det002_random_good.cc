@@ -1,0 +1,25 @@
+// Seeded randomness and name reuse EVO-DET-002 must NOT flag.
+//
+// EXPECTED-FINDINGS: none
+#include <cstdint>
+
+namespace corpus {
+
+struct Rng {
+  explicit Rng(uint64_t seed);
+  uint64_t next();
+  double rand(double lo, double hi);  // member named rand: not libc
+};
+
+uint64_t seeded(uint64_t seed) {
+  Rng rng(seed);
+  double jitter = rng.rand(0.0, 1.0);  // member access, deterministic
+  return rng.next() + static_cast<uint64_t>(jitter);
+}
+
+uint64_t documented_escape_hatch() {
+  // evo-lint: suppress(EVO-DET-002) one-off tool, output not compared across runs
+  return static_cast<uint64_t>(rand());
+}
+
+}  // namespace corpus

@@ -1,0 +1,39 @@
+// Unordered-container iteration feeding serialized/exported bytes: hash
+// iteration order is libstdc++-version- and seed-dependent, so the emitted
+// bytes are not stable across runs. Collect and sort first.
+//
+// EXPECTED-FINDINGS:
+//   EVO-DET-003 x2 (export-named function; sink call in loop body)
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace corpus {
+
+struct Serializer {
+  void u64(uint64_t v);
+  void str(const std::string& s);
+};
+
+struct Digest {
+  void update(uint64_t v);
+};
+
+struct Table {
+  std::unordered_map<std::string, uint64_t> counts_;
+
+  void serialize(Serializer& s) const {
+    for (const auto& kv : counts_) {                   // EXPECT: EVO-DET-003
+      s.str(kv.first);
+      s.u64(kv.second);
+    }
+  }
+
+  void accumulate(Digest& d) const {
+    for (const auto& kv : counts_) {                   // EXPECT: EVO-DET-003
+      d.update(kv.second);
+    }
+  }
+};
+
+}  // namespace corpus

@@ -1,0 +1,60 @@
+// The shapes EVO-DET-003 must NOT flag: collect-then-sort before emitting,
+// iteration over an ordered container inside an export function, loops
+// whose bodies feed no sink, and a reasoned suppression.
+//
+// EXPECTED-FINDINGS: none
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace corpus {
+
+struct Serializer {
+  void u64(uint64_t v);
+  void str(const std::string& s);
+};
+
+struct Table {
+  std::unordered_map<std::string, uint64_t> counts_;
+  std::map<std::string, uint64_t> ordered_;
+
+  std::vector<std::pair<std::string, uint64_t>> stable_rows() const {
+    std::vector<std::pair<std::string, uint64_t>> rows;
+    for (const auto& kv : counts_) {  // collecting, not emitting: silent
+      rows.push_back(kv);
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+
+  void serialize(Serializer& s) const {
+    for (const auto& kv : stable_rows()) {  // sorted view: deterministic
+      s.str(kv.first);
+      s.u64(kv.second);
+    }
+    for (const auto& kv : ordered_) {  // std::map iterates in key order
+      s.u64(kv.second);
+    }
+  }
+
+  uint64_t total() const {
+    uint64_t sum = 0;
+    for (const auto& kv : counts_) {  // order-insensitive fold: silent
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+  void debug_dump(Serializer& s) const {
+    // evo-lint: suppress(EVO-DET-003) debug-only dump, never diffed across runs
+    for (const auto& kv : counts_) {
+      s.str(kv.first);
+    }
+  }
+};
+
+}  // namespace corpus

@@ -1,0 +1,27 @@
+// Ordering derived from pointer values: allocation addresses differ run to
+// run (ASLR), so any iteration order or sort keyed on them is
+// nondeterministic.
+//
+// EXPECTED-FINDINGS:
+//   EVO-DET-004 x3 (map key, set key, pointer comparator lambda)
+#include <map>
+#include <set>
+
+namespace corpus {
+
+struct Node {
+  int id = 0;
+};
+
+struct Graph {
+  std::map<Node*, int> rank_;                          // EXPECT: EVO-DET-004
+  std::set<const Node*> live_;                         // EXPECT: EVO-DET-004
+};
+
+auto pointer_comparator() {
+  return [](const Node* x, const Node* y) {            // EXPECT: EVO-DET-004
+    return x < y;
+  };
+}
+
+}  // namespace corpus

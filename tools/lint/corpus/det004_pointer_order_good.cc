@@ -1,0 +1,28 @@
+// The shapes EVO-DET-004 must NOT flag: containers keyed on stable ids,
+// comparators that order by a field, and a reasoned suppression.
+//
+// EXPECTED-FINDINGS: none
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace corpus {
+
+struct Node {
+  uint64_t id = 0;
+};
+
+struct Graph {
+  std::map<uint64_t, int> rank_;       // keyed on a stable id
+  std::set<uint64_t> live_;
+  // evo-lint: suppress(EVO-DET-004) scratch set, never iterated or ordered-observed
+  std::set<const Node*> scratch_;
+};
+
+auto field_comparator() {
+  return [](const Node* x, const Node* y) {  // orders by id, not address
+    return x->id < y->id;
+  };
+}
+
+}  // namespace corpus

@@ -1,0 +1,39 @@
+// EVO-META-001: a suppression comment that silences nothing is itself a
+// finding -- suppressions must not rot. A suppression naming a rule that
+// does not exist is flagged too (usually a typo that silently disables
+// nothing). Used suppressions stay silent.
+//
+// EXPECTED-FINDINGS:
+//   EVO-META-001 x2 (stale suppression; unknown rule id)
+#include "sim/task.h"
+
+namespace corpus {
+
+struct Sim {
+  template <typename T>
+  void spawn(T&& task);
+};
+sim::CoTask<void> writer(int* slot);
+
+void still_used(Sim& sim) {
+  int counter = 0;
+  // evo-lint: suppress(EVO-CORO-004) drained by sim.run() before return
+  sim.spawn(writer(&counter));
+}
+
+void run_all(Sim& sim);
+
+void fixed_long_ago(Sim& sim) {
+  // The spawn this once silenced was rewritten to a drained run() call,
+  // but the comment was left behind -- it now suppresses nothing.
+  // evo-lint: suppress(EVO-CORO-004) drained by sim.run()  // EXPECT: EVO-META-001
+  run_all(sim);
+}
+
+void typo_in_rule_id(Sim& sim) {
+  int counter = 0;
+  // evo-lint: suppress(EVO-CORO-444) never a real rule  // EXPECT: EVO-META-001
+  sim.spawn(writer(&counter));  // evo-lint: suppress(EVO-CORO-004) drained by sim.run()
+}
+
+}  // namespace corpus

@@ -1,0 +1,25 @@
+// Discarded Status/Result return values: the codebase is exception-free on
+// its data paths, so a dropped Status is a failure that simply vanishes.
+//
+// EXPECTED-FINDINGS:
+//   EVO-STAT-001 x2 (free function, member call)
+#include <string>
+
+namespace common {
+class Status;
+}
+
+namespace corpus {
+
+common::Status persist(int epoch);
+
+struct Store {
+  common::Status put(const std::string& key, const std::string& value);
+};
+
+void checkpoint(Store& store) {
+  persist(7);                                          // EXPECT: EVO-STAT-001
+  store.put("epoch", "7");                             // EXPECT: EVO-STAT-001
+}
+
+}  // namespace corpus

@@ -1,0 +1,48 @@
+// The shapes EVO-STAT-001 must NOT flag: consumed, propagated, or
+// explicitly discarded results; std-container member calls that happen to
+// share a name with a Status-returning method; names that are provably
+// sometimes-void; and a reasoned suppression.
+//
+// EXPECTED-FINDINGS: none
+#include <map>
+#include <string>
+
+namespace common {
+class Status;
+}
+
+#define EVO_RETURN_IF_ERROR(expr) \
+  do {                            \
+    auto _st = (expr);            \
+    if (!_st.ok()) return _st;    \
+  } while (0)
+
+namespace corpus {
+
+common::Status persist(int epoch);
+
+struct Store {
+  common::Status put(const std::string& key, const std::string& value);
+  common::Status erase(const std::string& key);
+};
+
+struct RowWriter {
+  void finish() const;  // void here...
+};
+common::Status finish(int handle);  // ...Status elsewhere: ambiguous name
+
+common::Status checked(Store& store, RowWriter& rows) {
+  EVO_RETURN_IF_ERROR(persist(7));          // consumed by the macro
+  auto st = store.put("epoch", "7");        // bound and returned
+  (void)persist(8);                         // explicit, reviewable discard
+  // evo-lint: suppress(EVO-STAT-001) best-effort warm-up, outcome irrelevant
+  persist(9);
+
+  std::map<std::string, int> index_;
+  index_.erase("epoch");   // std::map::erase, not Store::erase
+
+  rows.finish();           // `finish` is void on RowWriter: ambiguous, silent
+  return st;
+}
+
+}  // namespace corpus

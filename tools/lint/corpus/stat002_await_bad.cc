@@ -1,0 +1,24 @@
+// A co_awaited Status/Result that nothing ever inspects: the await
+// suspends, the leg can fail, and the failure is computed then dropped.
+// Both the discarded-full-expression shape and the bound-but-never-read
+// shape (flow-sensitive: no CFG path reads the binding) are hazards.
+//
+// EXPECTED-FINDINGS:
+//   EVO-STAT-002 x2 (discarded full expression; binding no path reads)
+#include "sim/task.h"
+
+namespace common {
+class Status;
+}
+
+namespace corpus {
+
+sim::CoTask<common::Status> flush_segment(int id);
+
+sim::CoTask<void> drop_both(int id) {
+  co_await flush_segment(id);                          // EXPECT: EVO-STAT-002
+  auto st = co_await flush_segment(id + 1);            // EXPECT: EVO-STAT-002
+  co_return;
+}
+
+}  // namespace corpus

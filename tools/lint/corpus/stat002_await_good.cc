@@ -1,0 +1,44 @@
+// The shapes EVO-STAT-002 must NOT flag: inspected bindings (in the same
+// statement or on any later CFG path), explicit (void) discards, awaits of
+// non-Status tasks, and a reasoned suppression.
+//
+// EXPECTED-FINDINGS: none
+#include "sim/task.h"
+
+namespace common {
+class Status;
+}
+
+namespace corpus {
+
+sim::CoTask<common::Status> flush_segment(int id);
+sim::CoTask<void> pause(double seconds);
+void record(const common::Status& st);
+
+sim::CoTask<common::Status> inspected_later(int id) {
+  auto st = co_await flush_segment(id);
+  co_await pause(0.1);        // non-Status await: silent
+  if (!st.ok()) co_return st; // ...because a later path reads it
+  co_return st;
+}
+
+sim::CoTask<void> inspected_same_statement(int id) {
+  bool ok = (co_await flush_segment(id)).ok();
+  (void)ok;
+  co_return;
+}
+
+sim::CoTask<void> inspected_via_sink(int id) {
+  auto st = co_await flush_segment(id);
+  record(st);                 // escaping into a sink counts as inspection
+  co_return;
+}
+
+sim::CoTask<void> explicit_discard(int id) {
+  (void)co_await flush_segment(id);
+  // evo-lint: suppress(EVO-STAT-002) fire-and-forget warm-up, failure retried by caller
+  co_await flush_segment(id + 1);
+  co_return;
+}
+
+}  // namespace corpus

@@ -1,0 +1,32 @@
+// An error path that inspects a Status/Result and then returns a FRESH
+// Status that never mentions it: the original error code and annotated
+// message chain are dropped exactly where they mattered.
+//
+// EXPECTED-FINDINGS:
+//   EVO-STAT-003 x2 (Status variable; Result variable via `if (!r)`)
+#include <string>
+
+namespace common {
+class Status;
+template <typename T>
+class Result;
+}
+
+namespace corpus {
+
+common::Status load_manifest(const std::string& path);
+common::Result<int> parse_epoch(const std::string& text);
+
+common::Status reopen(const std::string& path) {
+  common::Status st = load_manifest(path);
+  if (!st.ok()) {
+    return common::Status::Internal("manifest load failed");  // EXPECT: EVO-STAT-003
+  }
+  common::Result<int> epoch = parse_epoch(path);
+  if (!epoch) {
+    return common::Status::InvalidArgument("bad epoch");      // EXPECT: EVO-STAT-003
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace corpus

@@ -1,0 +1,47 @@
+// The shapes EVO-STAT-003 must NOT flag: propagating the inspected status,
+// folding its message into the new one, guards on plain bools or on
+// `.ok()`-bearing non-Status types (a Deserializer), and a reasoned
+// suppression.
+//
+// EXPECTED-FINDINGS: none
+#include <string>
+
+namespace common {
+class Status;
+}
+
+namespace corpus {
+
+common::Status load_manifest(const std::string& path);
+bool quick_probe(const std::string& path);
+
+struct Reader {
+  bool ok() const;  // has .ok() but is not a Status: carries no context
+  std::string error() const;
+};
+
+common::Status reopen(const std::string& path, Reader& d) {
+  common::Status st = load_manifest(path);
+  if (!st.ok()) {
+    return st;  // propagated: context intact
+  }
+  common::Status again = load_manifest(path);
+  if (!again.ok()) {
+    return common::Status::Internal("reload failed: " + again.message());
+  }
+  bool probed = quick_probe(path);
+  if (!probed) {
+    return common::Status::NotFound("no manifest at " + path);  // bool guard
+  }
+  if (!d.ok()) {
+    return common::Status::Corruption("truncated manifest");  // not a Status
+  }
+  common::Status last = load_manifest(path);
+  if (!last.ok()) {
+    // evo-lint: suppress(EVO-STAT-003) caller maps every failure to one public error
+    return common::Status::Unavailable("manifest unavailable");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace corpus

@@ -1,0 +1,510 @@
+"""evostore-lint: C++ lexing and structural analysis shared by every rule
+family.
+
+This module is the bottom layer of the lint stack: a dependency-free C++
+tokenizer (no libclang in the toolchain image) plus the structural helpers
+every rule family builds on -- bracket matching, statement extents,
+function/lambda discovery, and co_await operand parsing. Rule logic lives in
+`evocoro.py` (coroutine lifetimes), `evodet.py` (determinism), and
+`evostat.py` (status discipline); the flow-sensitive layer (per-function
+CFGs) lives in `cfg.py`.
+
+The tokenizer also collects `// evo-lint: suppress(RULE-ID) reason`
+comments, keyed by line, so the engine can both honor them and detect the
+stale ones (EVO-META-001).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "default",
+    "return", "break", "continue", "goto", "try", "catch", "throw",
+    "co_await", "co_return", "co_yield", "new", "delete", "sizeof",
+    "alignof", "static_cast", "dynamic_cast", "const_cast",
+    "reinterpret_cast", "namespace", "using", "template", "typename",
+    "class", "struct", "union", "enum", "public", "private", "protected",
+    "const", "constexpr", "consteval", "constinit", "static", "inline",
+    "extern", "mutable", "volatile", "noexcept", "override", "final",
+    "auto", "void", "bool", "char", "short", "int", "long", "float",
+    "double", "signed", "unsigned", "true", "false", "nullptr", "this",
+    "operator", "friend", "virtual", "explicit", "typedef", "decltype",
+    "requires", "concept",
+}
+
+# Builtin type keywords that legitimately start a local declaration.
+DECL_TYPE_KEYWORDS = {
+    "auto", "void", "bool", "char", "short", "int", "long", "float",
+    "double", "signed", "unsigned",
+}
+
+TYPE_STARTERS = {
+    "auto", "const", "constexpr", "static", "void", "bool", "char", "short",
+    "int", "long", "float", "double", "signed", "unsigned", "struct",
+    "class", "enum", "volatile",
+}
+
+_PUNCT = [
+    "<<=", ">>=", "->*", "...", "::", "->", "&&", "||", "==", "!=", "<=",
+    ">=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "++",
+    "--", "##",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"evo-lint:\s*suppress\(\s*([A-Z0-9\-,\s]+?)\s*\)")
+
+
+@dataclass
+class Token:
+    kind: str   # 'id' | 'num' | 'str' | 'punct'
+    text: str
+    line: int
+    index: int = -1
+
+
+# --------------------------------------------------------------------------
+# Lexer
+# --------------------------------------------------------------------------
+
+def tokenize(source: str):
+    """Tokenize C++ source. Returns (tokens, suppressions) where
+    suppressions maps line -> set of rule ids suppressed on that line."""
+    tokens: list[Token] = []
+    suppressions: dict[int, set[str]] = {}
+    i, n, line = 0, len(source), 1
+    id_start = set("abcdefghijklmnopqrstuvwxyz"
+                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+    id_cont = id_start | set("0123456789")
+
+    def note_suppression(comment: str, at_line: int):
+        m = _SUPPRESS_RE.search(comment)
+        if not m:
+            return
+        # Only rule-id-shaped entries count ('EVO-...'): prose like
+        # `suppress(RULE-ID)` in documentation comments is not a
+        # suppression. Shape-valid-but-unknown ids (typos) are kept so the
+        # engine can report them (EVO-META-001).
+        rules = {r.strip() for r in m.group(1).split(",")
+                 if r.strip().startswith("EVO-")}
+        if rules:
+            suppressions.setdefault(at_line, set()).update(rules)
+
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Preprocessor directive: swallow the (possibly continued) line.
+        if c == "#" and (not tokens or tokens[-1].line != line):
+            while i < n and source[i] != "\n":
+                if source[i] == "\\" and i + 1 < n and source[i + 1] == "\n":
+                    i += 2
+                    line += 1
+                    continue
+                i += 1
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            j = source.find("\n", i)
+            j = n if j < 0 else j
+            note_suppression(source[i:j], line)
+            i = j
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "*":
+            j = source.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            note_suppression(source[i:j], line)
+            line += source.count("\n", i, j + 2)
+            i = j + 2
+            continue
+        if c == "R" and source[i:i + 2] == 'R"':
+            m = re.match(r'R"([^\s()\\]{0,16})\(', source[i:])
+            if m:
+                close = ")" + m.group(1) + '"'
+                j = source.find(close, i + m.end())
+                j = n - len(close) if j < 0 else j
+                end = j + len(close)
+                tokens.append(Token("str", source[i:end], line))
+                line += source.count("\n", i, end)
+                i = end
+                continue
+        if c == '"' or c == "'":
+            j = i + 1
+            while j < n and source[j] != c:
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            tokens.append(Token("str", source[i:j + 1], line))
+            line += source.count("\n", i, j + 1)
+            i = j + 1
+            continue
+        if c in id_start:
+            j = i + 1
+            while j < n and source[j] in id_cont:
+                j += 1
+            tokens.append(Token("id", source[i:j], line))
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (source[j] in id_cont or source[j] in ".'+-"
+                             and source[j - 1] in "eEpP'"):
+                j += 1
+            tokens.append(Token("num", source[i:j], line))
+            i = j
+            continue
+        for p in _PUNCT:
+            if source.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    for k, t in enumerate(tokens):
+        t.index = k
+    return tokens, suppressions
+
+
+# --------------------------------------------------------------------------
+# Structure: bracket matching, statements, function bodies
+# --------------------------------------------------------------------------
+
+OPEN = {"(": ")", "[": "]", "{": "}"}
+CLOSE = {v: k for k, v in OPEN.items()}
+
+
+def match_brackets(tokens):
+    """Map open-index -> close-index and vice versa for () [] {}."""
+    match: dict[int, int] = {}
+    stack: list[int] = []
+    for k, t in enumerate(tokens):
+        if t.text in OPEN and t.kind == "punct":
+            stack.append(k)
+        elif t.text in CLOSE and t.kind == "punct":
+            while stack:
+                o = stack.pop()
+                if OPEN[tokens[o].text] == t.text:
+                    match[o] = k
+                    match[k] = o
+                    break
+    return match
+
+
+@dataclass
+class FunctionDef:
+    name: str            # identifier, or '<lambda>' for lambdas
+    params: list         # list of parameter token lists
+    body: tuple          # (open-brace index, close-brace index)
+    header_line: int
+    is_lambda: bool = False
+    capture: list = field(default_factory=list)  # capture-list tokens
+    intro: tuple = ()    # ('[' index, ']' index) for lambdas
+
+
+_NOT_FUNC_NAMES = {"if", "for", "while", "switch", "catch", "return",
+                   "sizeof", "alignof", "decltype", "noexcept", "assert"}
+_HEADER_TRAILER = {"const", "noexcept", "override", "final", "mutable",
+                   "->", "::", "<", ">", ">>", "*", "&", "&&", ",",
+                   "requires"}
+
+
+def _is_lambda_intro(tokens, k):
+    """Is tokens[k] == '[' the start of a lambda capture list?"""
+    if k == 0:
+        return True
+    prev = tokens[k - 1]
+    if prev.kind in ("id", "num", "str"):
+        return prev.text in KEYWORDS and prev.text not in ("this",)
+    return prev.text not in (")", "]")
+
+
+def find_functions(tokens, match):
+    """Discover function-like definitions (named functions and lambdas)."""
+    funcs: list[FunctionDef] = []
+    for k, t in enumerate(tokens):
+        if t.text != "{" or t.kind != "punct" or k not in match:
+            continue
+        # Walk back over trailing header tokens to the parameter ')'.
+        j = k - 1
+        steps = 0
+        while j >= 0 and steps < 40:
+            tj = tokens[j]
+            if tj.text == ")" and j in match:
+                break
+            if (tj.kind == "id" and (tj.text not in KEYWORDS
+                                     or tj.text in DECL_TYPE_KEYWORDS)) \
+                    or tj.text in _HEADER_TRAILER:
+                j -= 1
+                steps += 1
+                continue
+            if tj.text == ")":
+                break
+            j = -1
+            break
+        if j < 0 or steps >= 40 or tokens[j].text != ")" or j not in match:
+            continue
+        close_paren = j
+        open_paren = match[j]
+        if open_paren == 0:
+            continue
+        before = tokens[open_paren - 1]
+        params = _split_params(tokens, open_paren, close_paren, match)
+        if before.text == "]" and before.kind == "punct" \
+                and open_paren - 1 in match:
+            intro_open = match[open_paren - 1]
+            if _is_lambda_intro(tokens, intro_open):
+                funcs.append(FunctionDef(
+                    name="<lambda>", params=params, body=(k, match[k]),
+                    header_line=tokens[intro_open].line, is_lambda=True,
+                    capture=tokens[intro_open + 1:open_paren - 1],
+                    intro=(intro_open, open_paren - 1)))
+            continue
+        if before.kind == "id" and before.text not in _NOT_FUNC_NAMES \
+                and before.text not in KEYWORDS:
+            # Reject calls used as conditions etc.: a function definition's
+            # name is preceded by a type/qualifier, not by an operator.
+            if open_paren >= 2:
+                p2 = tokens[open_paren - 2]
+                if p2.kind == "punct" and p2.text not in (
+                        "}", ";", ">", ">>", "*", "&", "&&", "::", "{", "]"):
+                    continue
+            funcs.append(FunctionDef(
+                name=before.text, params=params, body=(k, match[k]),
+                header_line=before.line))
+    # Lambdas with no parameter list: [..] { body }
+    for k, t in enumerate(tokens):
+        if t.text != "{" or k not in match or k == 0:
+            continue
+        before = tokens[k - 1]
+        if before.text == "]" and k - 1 in match:
+            intro_open = match[k - 1]
+            if _is_lambda_intro(tokens, intro_open):
+                funcs.append(FunctionDef(
+                    name="<lambda>", params=[], body=(k, match[k]),
+                    header_line=tokens[intro_open].line, is_lambda=True,
+                    capture=tokens[intro_open + 1:k - 1],
+                    intro=(intro_open, k - 1)))
+    funcs.sort(key=lambda f: f.body[0])
+    return funcs
+
+
+def _split_params(tokens, open_paren, close_paren, match):
+    params, cur, k = [], [], open_paren + 1
+    while k < close_paren:
+        t = tokens[k]
+        if t.text in OPEN and t.kind == "punct" and k in match:
+            cur.extend(tokens[k:match[k] + 1])
+            k = match[k] + 1
+            continue
+        if t.text == "," and t.kind == "punct":
+            if cur:
+                params.append(cur)
+            cur = []
+        elif t.text == "<" and t.kind == "punct":
+            close = match_angle(tokens, k, close_paren)
+            if close is not None:
+                cur.extend(tokens[k:close + 1])
+                k = close + 1
+                continue
+            cur.append(t)
+        else:
+            cur.append(t)
+        k += 1
+    if cur:
+        params.append(cur)
+    return params
+
+
+def match_angle(tokens, k, limit):
+    """Try to match tokens[k]=='<' as template-argument brackets."""
+    depth = 0
+    for j in range(k, min(limit, k + 120)):
+        text = tokens[j].text
+        if text == "<":
+            depth += 1
+        elif text == ">":
+            depth -= 1
+            if depth == 0:
+                return j
+        elif text == ">>":
+            depth -= 2
+            if depth <= 0:
+                return j
+        elif text in (";", "{", "}", "&&", "||") or tokens[j].kind == "str":
+            return None
+    return None
+
+
+def match_angle_back(tokens, k, limit=120):
+    """Match tokens[k]=='>' backwards to its opening '<', or None."""
+    depth = 0
+    for j in range(k, max(-1, k - limit), -1):
+        text = tokens[j].text
+        if text == ">":
+            depth += 1
+        elif text == ">>":
+            depth += 2
+        elif text == "<":
+            depth -= 1
+            if depth == 0:
+                return j
+        elif text in (";", "{", "}", "&&", "||") or tokens[j].kind == "str":
+            return None
+    return None
+
+
+def innermost_body(funcs, index):
+    """The innermost FunctionDef whose body contains token `index`."""
+    best = None
+    for f in funcs:
+        if f.body[0] < index < f.body[1]:
+            if best is None or f.body[0] > best.body[0]:
+                best = f
+    return best
+
+
+def own_level(funcs, owner, index):
+    """True if token `index` inside owner's body belongs to owner itself
+    (not to a nested function/lambda)."""
+    return innermost_body(funcs, index) is owner
+
+
+def statement_of(tokens, match, index):
+    """(start, end) token range of the statement containing `index`.
+
+    Boundaries are ';' '{' '}' at parenthesis depth 0 relative to the
+    statement. Bracketed groups are skipped wholesale, so `for (;;)`
+    headers and lambda bodies do not split the statement."""
+    start = index
+    while start > 0:
+        t = tokens[start - 1]
+        if t.text in (";", "{", "}") and t.kind == "punct":
+            break
+        if t.text in CLOSE and t.kind == "punct" and start - 1 in match:
+            start = match[start - 1]
+            continue
+        start -= 1
+    end = index
+    n = len(tokens)
+    while end < n:
+        t = tokens[end]
+        if t.kind == "punct":
+            if t.text == ";":
+                break
+            if t.text in OPEN and end in match:
+                end = match[end]
+                continue
+            if t.text == "}":
+                end -= 1
+                break
+        end += 1
+    return start, min(end, n - 1)
+
+
+def snippet(tokens, start, end):
+    return " ".join(t.text for t in tokens[start:end + 1])[:160]
+
+
+def depths(tokens, start, end):
+    """Bracket depth of each token in [start, end] relative to start."""
+    out = {}
+    d = 0
+    for k in range(start, end + 1):
+        t = tokens[k]
+        if t.kind == "punct" and t.text in CLOSE:
+            d = max(0, d - 1)
+        out[k] = d
+        if t.kind == "punct" and t.text in OPEN:
+            d += 1
+    return out
+
+
+# --------------------------------------------------------------------------
+# co_await operand parsing (shared by EVO-CORO-001/002/003 and EVO-STAT-002)
+# --------------------------------------------------------------------------
+
+def parse_operand(tokens, match, i, limit):
+    """Parse the operand expression of a co_await at index i-1.
+
+    Returns (end_index, classification, type_name):
+      classification in {'lvalue', 'move', 'call', 'ctor', 'braced'}."""
+    k = i
+    last_id = None
+    saw_call = False
+    saw_member_after_call = False
+    kind = "lvalue"
+    while k <= limit:
+        t = tokens[k]
+        if t.kind == "id" and t.text not in KEYWORDS:
+            last_id = t.text
+            k += 1
+            continue
+        if t.kind == "punct" and t.text in ("::", ".", "->"):
+            if saw_call:
+                saw_member_after_call = True
+            k += 1
+            continue
+        if t.kind == "punct" and t.text == "*" and last_id is None:
+            k += 1  # leading dereference
+            continue
+        if t.kind == "punct" and t.text == "<" and last_id is not None:
+            close = match_angle(tokens, k, limit + 1)
+            if close is not None:
+                k = close + 1
+                continue
+            break
+        if t.kind == "punct" and t.text == "(" and k in match:
+            if last_id is None:
+                k += 1  # parenthesized subexpression: step inside
+                continue
+            saw_call = True
+            kind = "call"
+            k = match[k] + 1
+            continue
+        if t.kind == "punct" and t.text == "[" and k in match:
+            k = match[k] + 1
+            continue
+        if t.kind == "punct" and t.text == "{" and k in match \
+                and last_id is not None:
+            kind = "braced"
+            k = match[k] + 1
+            continue
+        break
+    end = k - 1
+    if kind == "call":
+        if last_id == "move":
+            kind = "move"
+        elif last_id is not None and last_id[:1].isupper() \
+                and not saw_member_after_call:
+            kind = "ctor"
+    # `co_await std::move(task)` -- detect via the identifier chain.
+    text = " ".join(t.text for t in tokens[i:end + 1])
+    if kind in ("call", "ctor") and re.match(
+            r"(std\s*::\s*)?move\s*\(", text):
+        kind = "move"
+    return end, kind, last_id
+
+
+def callee_chain_start(tokens, name_idx):
+    """Start index of the postfix expression whose final callee name sits at
+    `name_idx` (walks back over `a.b->c::d` chains). For `rpc_->bulk` with
+    name_idx at `bulk`, returns the index of `rpc_`."""
+    k = name_idx
+    while k >= 2:
+        prev = tokens[k - 1]
+        if prev.kind == "punct" and prev.text in (".", "->", "::"):
+            base = tokens[k - 2]
+            if base.kind == "id":
+                k -= 2
+                continue
+            if base.kind == "punct" and base.text in (")", "]"):
+                # chained off a call/index result: treat that as the start
+                return None
+        break
+    return k

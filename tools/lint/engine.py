@@ -1,0 +1,403 @@
+"""evostore-lint v2: analysis engine.
+
+Orchestrates the rule families over one translation unit:
+
+- `evocoro`  EVO-CORO-001..004  coroutine-lifetime hazards
+- `evodet`   EVO-DET-001..004   determinism hazards (wall clock, ambient
+                                randomness, unordered iteration feeding
+                                exported bytes, pointer-value ordering)
+- `evostat`  EVO-STAT-001..003  status discipline (dropped Status/Result,
+                                uninspected awaited Status, context-dropping
+                                error paths)
+- engine-level EVO-META-001     stale `evo-lint: suppress(...)` comments
+
+The engine owns the pieces every family shares: the token stream and
+bracket structure (`cxx`), lazily-built per-function CFGs (`cfg`), the
+suppression table with *usage tracking* (a suppression that silences no
+finding is itself a finding), and the cross-file `Registry` of
+status-returning signatures and unordered-container names that the STAT and
+DET rules resolve calls against. `analyze_paths` runs the two-pass
+pipeline the driver uses: pass 1 collects signatures from every file in the
+scan set, pass 2 analyzes each file against the merged registry.
+
+Fingerprints are path-independent by design: they hash the rule id, the
+enclosing function, and the normalized statement text -- so a baseline
+entry survives file moves/renames and line drift, and only changes when the
+flagged code itself (or its enclosing function) changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import cxx
+import cfg as cfg_mod
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    message: str
+    context: str  # enclosing function name, '' if unknown
+    snippet: str  # normalized statement / declarator text
+
+    @property
+    def fingerprint(self) -> str:
+        # Path-independent: survives file moves/renames (satellite: baseline
+        # fingerprints keyed on rule + normalized snippet, not path+line).
+        key = f"{self.rule}|{self.context}|{self.snippet}"
+        return hashlib.sha1(key.encode()).hexdigest()[:12]
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: [{self.rule}] {self.message}\n"
+                f"    in: {self.context or '<file scope>'}   "
+                f"near: {self.snippet[:100]}")
+
+
+@dataclass
+class Registry:
+    """Cross-file facts the flow rules resolve unqualified names against.
+
+    Built token-level from every file in the scan set (headers included),
+    so a `.cc` iterating a member its header declared as unordered, or
+    discarding the Status of a method declared in another header, still
+    resolves. Name-keyed, not type-keyed: collisions are possible and
+    accepted (this is a linter, not a compiler); the corpus negatives pin
+    the idioms that must stay silent.
+    """
+    status_fns: set = field(default_factory=set)       # -> Status / Result
+    coro_status_fns: set = field(default_factory=set)  # -> CoTask/Future of ^
+    unordered_names: set = field(default_factory=set)  # unordered vars/members
+    ordered_names: set = field(default_factory=set)    # map/vector/... vars
+    void_fns: set = field(default_factory=set)         # -> void/bool/int/...
+    std_objs: set = field(default_factory=set)         # vars of std:: types
+
+    def merge(self, other: "Registry"):
+        self.status_fns |= other.status_fns
+        self.coro_status_fns |= other.coro_status_fns
+        self.unordered_names |= other.unordered_names
+        self.ordered_names |= other.ordered_names
+        self.void_fns |= other.void_fns
+        self.std_objs |= other.std_objs
+
+
+_UNORDERED_TYPES = {"unordered_map", "unordered_set", "unordered_multimap",
+                    "unordered_multiset", "flat_hash_map", "flat_hash_set"}
+_ORDERED_TYPES = {"map", "set", "multimap", "multiset", "vector", "deque",
+                  "array", "list", "string", "basic_string"}
+# Return types that definitively are NOT Status/Result: a name declared
+# returning one of these anywhere vetoes the same name as a status fn
+# (name-keyed resolution is ambiguous; ambiguity must stay silent).
+_NONSTATUS_RETURNS = {"void", "bool", "int", "long", "unsigned", "char",
+                      "float", "double", "size_t", "int32_t", "int64_t",
+                      "uint32_t", "uint64_t", "uint8_t", "uint16_t"}
+_TASK_WRAPPERS = {"CoTask", "Future", "Task"}
+_STATUSY = {"Status", "Result", "StatusOr"}
+
+# Declaration-context tokens: what may precede a return type / container
+# type at a declaration site.
+_DECL_BOUNDARY = {";", "{", "}", ":", ",", "(", "<", ">", "public",
+                  "private", "protected", "virtual", "static", "inline",
+                  "constexpr", "explicit", "friend", "extern", "mutable",
+                  "typename", "const"}
+
+
+def scan_registry(tokens, match) -> Registry:
+    """Collect status-returning signatures and unordered-container names."""
+    reg = Registry()
+    n = len(tokens)
+    for k, t in enumerate(tokens):
+        if t.kind != "id":
+            continue
+        # ---- unordered container declarations: `unordered_map<...> name`
+        if t.text in _UNORDERED_TYPES and k + 1 < n \
+                and tokens[k + 1].text == "<":
+            close = cxx.match_angle(tokens, k + 1, min(n, k + 200))
+            if close is not None and close + 1 < n:
+                j = close + 1
+                # skip ptr/ref/cv between type and name
+                while j < n and tokens[j].kind == "punct" \
+                        and tokens[j].text in ("*", "&", "&&"):
+                    j += 1
+                if j < n and tokens[j].kind == "id" \
+                        and tokens[j].text not in cxx.KEYWORDS:
+                    nxt = tokens[j + 1].text if j + 1 < n else ""
+                    if nxt in (";", "=", "{", ","):
+                        reg.unordered_names.add(tokens[j].text)
+            continue
+        # ---- variables declared with std:: types: `std::fstream f(...)`,
+        # `std::vector<T> v;`. Member calls off these can never be the
+        # repo's Status-returning methods (kills `index_.erase(it)` /
+        # `f.get(c)`-style collisions), and the container kinds feed the
+        # ordered/unordered name sets DET-003 disambiguates with.
+        if t.text == "std" and k + 2 < n and tokens[k + 1].text == "::" \
+                and tokens[k + 2].kind == "id":
+            ty = tokens[k + 2].text
+            j = k + 3
+            if j < n and tokens[j].text == "<":
+                close = cxx.match_angle(tokens, j, min(n, j + 200))
+                if close is None:
+                    continue
+                j = close + 1
+            while j < n and tokens[j].kind == "punct" \
+                    and tokens[j].text in ("*", "&", "&&"):
+                j += 1
+            if j < n and tokens[j].kind == "id" \
+                    and tokens[j].text not in cxx.KEYWORDS:
+                nxt = tokens[j + 1].text if j + 1 < n else ""
+                if nxt in (";", "=", "{", "(", ","):
+                    reg.std_objs.add(tokens[j].text)
+                    if ty in _ORDERED_TYPES:
+                        reg.ordered_names.add(tokens[j].text)
+                    elif ty in _UNORDERED_TYPES:
+                        reg.unordered_names.add(tokens[j].text)
+            continue
+        # ---- functions declared with definitively-non-Status returns:
+        # `void finish() const`. The name is vetoed as a status fn -- with
+        # name-keyed resolution a name that is provably sometimes-void is
+        # unreliable evidence, and ambiguity must stay silent.
+        if t.text in _NONSTATUS_RETURNS:
+            j = k + 1
+            while j < n and tokens[j].kind == "punct" \
+                    and tokens[j].text in ("*", "&", "&&"):
+                j += 1
+            if j < n and tokens[j].kind == "id" \
+                    and tokens[j].text not in cxx.KEYWORDS \
+                    and j + 1 < n and tokens[j + 1].text == "(":
+                chain = cxx.callee_chain_start(tokens, k)
+                prev = tokens[chain - 1] if chain and chain > 0 else None
+                ok_prev = prev is None or \
+                    (prev.kind == "punct" and prev.text in _DECL_BOUNDARY) \
+                    or (prev.kind == "id" and (prev.text in _DECL_BOUNDARY
+                                               or prev.text in cxx.KEYWORDS))
+                if ok_prev:
+                    reg.void_fns.add(tokens[j].text)
+            continue
+        # ---- function signatures returning Status/Result[/wrapped]
+        if t.text not in _STATUSY and t.text not in _TASK_WRAPPERS:
+            continue
+        coro = t.text in _TASK_WRAPPERS
+        j = k + 1
+        statusy_inner = not coro
+        if j < n and tokens[j].text == "<":
+            close = cxx.match_angle(tokens, j, min(n, j + 200))
+            if close is None:
+                continue
+            if coro:
+                inner = {tok.text for tok in tokens[j + 1:close]
+                         if tok.kind == "id"}
+                statusy_inner = bool(inner & _STATUSY)
+            j = close + 1
+        elif coro:
+            continue  # bare `Future` with no payload type
+        if not statusy_inner:
+            continue
+        if j >= n or tokens[j].kind != "id" \
+                or tokens[j].text in cxx.KEYWORDS:
+            continue
+        name = tokens[j].text
+        if j + 1 >= n or tokens[j + 1].text != "(":
+            continue
+        # Distinguish `Status foo(int x);` from `Status st(expr);` -- a
+        # declaration's return type is preceded by a declaration boundary
+        # (possibly via a namespace-qualified chain).
+        chain = cxx.callee_chain_start(tokens, k)
+        prev = tokens[chain - 1] if chain and chain > 0 else None
+        if prev is not None and prev.kind == "punct" \
+                and prev.text not in _DECL_BOUNDARY:
+            continue
+        if prev is not None and prev.kind == "id" \
+                and prev.text not in _DECL_BOUNDARY \
+                and prev.text not in cxx.KEYWORDS:
+            continue
+        (reg.coro_status_fns if coro else reg.status_fns).add(name)
+    return reg
+
+
+class Analyzer:
+    """One translation unit, all rule families."""
+
+    def __init__(self, path: str, source: str, registry: Registry | None =
+                 None, rules: set | None = None):
+        self.path = path
+        self.tokens, self.suppressions = cxx.tokenize(source)
+        self.match = cxx.match_brackets(self.tokens)
+        self.funcs = cxx.find_functions(self.tokens, self.match)
+        self.findings: list[Finding] = []
+        self.rules = rules  # None = all
+        self._coro_cache: dict[int, bool] = {}
+        self._cfg_cache: dict[int, cfg_mod.Cfg] = {}
+        self._used_suppressions: set = set()  # (line, rule)
+        local = scan_registry(self.tokens, self.match)
+        if registry is not None:
+            local.merge(registry)
+        self.registry = local
+
+    # -- shared helpers ----------------------------------------------------
+
+    def enabled(self, rule) -> bool:
+        return self.rules is None or rule in self.rules
+
+    def cfg_of(self, func) -> cfg_mod.Cfg:
+        key = func.body[0]
+        if key not in self._cfg_cache:
+            self._cfg_cache[key] = cfg_mod.build(
+                self.tokens, self.match, self.funcs, func)
+        return self._cfg_cache[key]
+
+    def is_coroutine(self, func) -> bool:
+        key = func.body[0]
+        if key not in self._coro_cache:
+            self._coro_cache[key] = any(
+                func.body[0] < t.index < func.body[1]
+                and cxx.own_level(self.funcs, func, t.index)
+                for t in self.tokens
+                if t.kind == "id" and t.text in
+                ("co_await", "co_return", "co_yield"))
+        return self._coro_cache[key]
+
+    def context_of(self, index) -> str:
+        f = cxx.innermost_body(self.funcs, index)
+        while f is not None and f.is_lambda:
+            outer = cxx.innermost_body(self.funcs, f.body[0] - 1)
+            if outer is None:
+                break
+            f = outer
+        return f.name if f is not None else ""
+
+    def suppressed(self, rule, line) -> bool:
+        for at in (line, line - 1):
+            if rule in self.suppressions.get(at, set()):
+                self._used_suppressions.add((at, rule))
+                return True
+        return False
+
+    def emit(self, rule, index, message, snippet_text):
+        if not self.enabled(rule):
+            return
+        line = self.tokens[index].line
+        if self.suppressed(rule, line):
+            return
+        self.findings.append(Finding(
+            rule=rule, path=self.path, line=line, message=message,
+            context=self.context_of(index), snippet=snippet_text))
+
+    def statement(self, index):
+        return cxx.statement_of(self.tokens, self.match, index)
+
+    def snippet(self, start, end):
+        return cxx.snippet(self.tokens, start, end)
+
+    # -- EVO-META-001: stale suppressions ---------------------------------
+
+    def _check_stale_suppressions(self, all_rules):
+        """A suppression comment that silenced nothing is itself reported:
+        suppressions must not rot. Only meaningful when every rule the
+        comment names actually ran this pass."""
+        if not self.enabled("EVO-META-001"):
+            return
+        for line in sorted(self.suppressions):
+            for rule in sorted(self.suppressions[line]):
+                if rule == "EVO-META-001":
+                    continue  # suppressing the meta rule is never valid
+                if rule not in all_rules:
+                    self.findings.append(Finding(
+                        rule="EVO-META-001", path=self.path, line=line,
+                        message=f"suppression names unknown rule '{rule}'",
+                        context="", snippet=f"suppress({rule})@unknown"))
+                    continue
+                if not self.enabled(rule):
+                    continue  # rule filtered out: can't judge staleness
+                if (line, rule) not in self._used_suppressions:
+                    self.findings.append(Finding(
+                        rule="EVO-META-001", path=self.path, line=line,
+                        message=f"stale suppression: no {rule} finding on "
+                                f"this line (or the line below) -- the "
+                                f"hazard was fixed or moved; delete the "
+                                f"comment",
+                        context=self.context_of(0) if self.tokens else "",
+                        snippet=f"suppress({rule})@{self._supp_context(line)}"
+                    ))
+
+    def _supp_context(self, line):
+        """Stable-ish anchor for a suppression fingerprint: the enclosing
+        function of the first token at/after the comment line."""
+        for t in self.tokens:
+            if t.line >= line:
+                return self.context_of(t.index) or "<file scope>"
+        return "<file scope>"
+
+    # ---------------------------------------------------------------------
+
+    def run(self):
+        import evocoro
+        import evodet
+        import evostat
+        known = all_rules()
+        evocoro.check(self)
+        evodet.check(self)
+        evostat.check(self)
+        self._check_stale_suppressions(known)
+        self.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return self.findings
+
+
+def _collect_rules():
+    import evocoro
+    import evodet
+    import evostat
+    rules = {}
+    rules.update(evocoro.RULES)
+    rules.update(evodet.RULES)
+    rules.update(evostat.RULES)
+    rules["EVO-META-001"] = ("a suppress() comment that matches no finding "
+                             "(stale suppression)")
+    return rules
+
+
+# Populated on first import of the rule modules (they import this module,
+# so defer to function call to avoid a cycle at import time).
+RULES: dict = {}
+
+
+def all_rules() -> dict:
+    if not RULES:
+        RULES.update(_collect_rules())
+    return RULES
+
+
+def analyze_source(source: str, path: str = "<memory>",
+                   registry: Registry | None = None,
+                   rules: set | None = None):
+    all_rules()
+    return Analyzer(path, source, registry, rules).run()
+
+
+def analyze_file(path: str, display_path: str | None = None,
+                 registry: Registry | None = None,
+                 rules: set | None = None):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        source = f.read()
+    all_rules()
+    return Analyzer(display_path or path, source, registry, rules).run()
+
+
+def analyze_paths(file_paths, display_paths=None, rules: set | None = None):
+    """Two-pass scan: build the cross-file registry, then analyze."""
+    all_rules()
+    display_paths = display_paths or file_paths
+    registry = Registry()
+    sources = []
+    for p in file_paths:
+        with open(p, "r", encoding="utf-8", errors="replace") as f:
+            sources.append(f.read())
+    for src in sources:
+        tokens, _ = cxx.tokenize(src)
+        registry.merge(scan_registry(tokens, cxx.match_brackets(tokens)))
+    findings = []
+    for src, disp in zip(sources, display_paths):
+        findings.extend(Analyzer(disp, src, registry, rules).run())
+    return findings

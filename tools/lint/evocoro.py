@@ -1,16 +1,15 @@
-"""evostore-lint: project-specific coroutine-lifetime static analysis.
+"""evostore-lint: coroutine-lifetime rule family (EVO-CORO-001..004).
 
 The simulation core, the RPC fabric, and every client/provider hot path in
 this codebase are C++20 coroutines. Two shipped PRs contained a GCC
 use-after-free in exactly this code (a `co_await` nested in a conditional
 expression destroying the awaited task's frame before its result was
-consumed). This module encodes the hazard classes we have actually been
+consumed). This family encodes the hazard classes we have actually been
 bitten by as mechanical checks that run on every TU, with no compiler
-dependency: a hand-rolled C++ lexer plus statement-level analysis. It is
-deliberately heuristic -- the rules are tuned to this codebase's idioms
-(CamelCase types, snake_case functions, `Simulation::spawn` as the detach
-point) and every rule supports inline suppression and a checked-in baseline
-so CI only fails on *new* findings.
+dependency.
+
+v2 is flow-sensitive: rules 002 and 003 reason over the per-function
+statement/suspension-point CFG from `cfg.py` instead of textual order.
 
 Rules
 -----
@@ -21,50 +20,56 @@ EVO-CORO-001  `co_await` nested inside a conditional (`?:`), logical
               `RpcSystem::call` ternary UAF). Awaits must be full
               expressions: hoist each branch into its own statement.
 
-EVO-CORO-002  `co_await` on a temporary whose result can outlive the
-              awaited frame: (a) binding the awaited result of a temporary
-              task to a reference, (b) awaiting a constructed temporary
-              awaiter (`Awaiter{...}` / `Awaiter(...)`). Temporaries with
-              owning state inside co_await expressions have been
-              double-destroyed by shipped GCC coroutine codegen (the PR 2
-              `race_deadline` awaiter UAF). Awaiters must be named locals.
+EVO-CORO-002  `co_await` on a temporary whose result ESCAPES the awaited
+              full expression (real escape analysis since v2):
+              (a) the awaited result of a temporary task is bound to a
+                  reference/forwarding reference AND that reference is read
+                  on some CFG path after the binding statement -- the frame
+                  that owned the result died at the end of the full
+                  expression, so every later read is a use-after-free;
+              (b) awaiting a constructed temporary awaiter
+                  (`Awaiter{...}` / `Awaiter(...)`) with owning state:
+                  shipped GCC double-destroyed these regardless of how the
+                  result is used (the PR 2 `race_deadline` awaiter UAF), so
+                  this arm stays structural. Awaiters must be named locals.
+              A reference binding whose result is never read afterwards is
+              NOT flagged: nothing escapes. This is what lets the rule run
+              with findings enabled instead of the v1 by-policy-empty
+              configuration.
 
 EVO-CORO-003  Lifetime-opaque references across a suspension point:
-              (a) a reference parameter of a coroutine read after the
-              coroutine could have suspended (the referent may be gone when
-              the frame resumes -- the reason `RpcSystem::call_inner` takes
-              `method` by value), (b) a by-reference-capturing coroutine
-              lambda handed directly to a registration/detach sink
-              (`spawn`, `register_handler`, `on_restart`), where the
-              closure outlives the statement.
+              (a) a reference parameter of a coroutine read at a statement
+              reachable (over the CFG, back edges included) from a
+              suspending statement -- the referent may be gone when the
+              frame resumes; (b) a by-reference-capturing coroutine lambda
+              handed directly to a registration/detach sink (`spawn`,
+              `register_handler`, `on_restart`), where the closure outlives
+              the statement.
 
 EVO-CORO-004  A detached coroutine (an argument of `Simulation::spawn`)
               receiving the address of a function-local variable. The
               spawned frame runs from the event loop; nothing ties it to
               the caller's scope. Exemption: `&sim` where the local is the
-              `Simulation` itself -- a frame cannot outlive the executor
-              that drives it.
+              `Simulation` itself -- a frame cannot outlive its executor.
 
 Suppression syntax
 ------------------
     ... flagged code ...  // evo-lint: suppress(EVO-CORO-003) reason
-or on the line directly above the finding:
-    // evo-lint: suppress(EVO-CORO-004) st outlives: sim.run() drains first
-    sim.spawn(worker(&st));
-
-Multiple rules: suppress(EVO-CORO-001,EVO-CORO-002). The reason text is
-mandatory by convention (reviewed, not enforced).
+or on the line directly above the finding. Multiple rules:
+suppress(EVO-CORO-001,EVO-CORO-002). The reason text is mandatory by
+convention (reviewed, not enforced), and a suppression matching no finding
+is itself reported as EVO-META-001.
 """
 
 from __future__ import annotations
 
-import hashlib
-import re
-from dataclasses import dataclass, field
+import cxx
+import cfg as cfg_mod
 
 RULES = {
     "EVO-CORO-001": "co_await inside a conditional/logical/comma expression",
-    "EVO-CORO-002": "co_await on a temporary with an escaping result",
+    "EVO-CORO-002": "co_await on a temporary whose result escapes the full "
+                    "expression",
     "EVO-CORO-003": "reference parameter or by-ref capture across a "
                     "suspension point",
     "EVO-CORO-004": "detached coroutine holding a pointer into the caller's "
@@ -83,963 +88,400 @@ AWAITER_ALLOWLIST = {"suspend_always", "suspend_never"}
 # executor outlives every frame it runs, by construction.
 EXECUTOR_TYPES = {"Simulation"}
 
-KEYWORDS = {
-    "if", "else", "for", "while", "do", "switch", "case", "default",
-    "return", "break", "continue", "goto", "try", "catch", "throw",
-    "co_await", "co_return", "co_yield", "new", "delete", "sizeof",
-    "alignof", "static_cast", "dynamic_cast", "const_cast",
-    "reinterpret_cast", "namespace", "using", "template", "typename",
-    "class", "struct", "union", "enum", "public", "private", "protected",
-    "const", "constexpr", "consteval", "constinit", "static", "inline",
-    "extern", "mutable", "volatile", "noexcept", "override", "final",
-    "auto", "void", "bool", "char", "short", "int", "long", "float",
-    "double", "signed", "unsigned", "true", "false", "nullptr", "this",
-    "operator", "friend", "virtual", "explicit", "typedef", "decltype",
-    "requires", "concept",
-}
 
-# Builtin type keywords that legitimately start a local declaration.
-_DECL_TYPE_KEYWORDS = {
-    "auto", "void", "bool", "char", "short", "int", "long", "float",
-    "double", "signed", "unsigned",
-}
-
-TYPE_STARTERS = {
-    "auto", "const", "constexpr", "static", "void", "bool", "char", "short",
-    "int", "long", "float", "double", "signed", "unsigned", "struct",
-    "class", "enum", "volatile",
-}
-
-_PUNCT = [
-    "<<=", ">>=", "->*", "...", "::", "->", "&&", "||", "==", "!=", "<=",
-    ">=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "++",
-    "--", "##",
-]
-
-_SUPPRESS_RE = re.compile(
-    r"evo-lint:\s*suppress\(\s*([A-Z0-9\-,\s]+?)\s*\)")
+def check(a):
+    """Run all EVO-CORO rules on analyzer `a` (an engine.Analyzer)."""
+    _rule_001(a)
+    _rule_002(a)
+    _rule_003(a)
+    _rule_004(a)
 
 
-@dataclass
-class Token:
-    kind: str   # 'id' | 'num' | 'str' | 'punct'
-    text: str
-    line: int
-    index: int = -1
+# -- EVO-CORO-001 ----------------------------------------------------------
 
-
-@dataclass
-class Finding:
-    rule: str
-    path: str
-    line: int
-    message: str
-    context: str  # enclosing function name, '' if unknown
-    snippet: str  # normalized statement / declarator text
-
-    @property
-    def fingerprint(self) -> str:
-        key = f"{self.rule}|{self.path}|{self.context}|{self.snippet}"
-        return hashlib.sha1(key.encode()).hexdigest()[:12]
-
-    def render(self) -> str:
-        return (f"{self.path}:{self.line}: [{self.rule}] {self.message}\n"
-                f"    in: {self.context or '<file scope>'}   "
-                f"near: {self.snippet[:100]}")
-
-
-# --------------------------------------------------------------------------
-# Lexer
-# --------------------------------------------------------------------------
-
-def tokenize(source: str):
-    """Tokenize C++ source. Returns (tokens, suppressions) where
-    suppressions maps line -> set of rule ids suppressed on that line."""
-    tokens: list[Token] = []
-    suppressions: dict[int, set[str]] = {}
-    i, n, line = 0, len(source), 1
-    id_start = set("abcdefghijklmnopqrstuvwxyz"
-                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
-    id_cont = id_start | set("0123456789")
-
-    def note_suppression(comment: str, at_line: int):
-        m = _SUPPRESS_RE.search(comment)
-        if not m:
-            return
-        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-        suppressions.setdefault(at_line, set()).update(rules)
-
-    while i < n:
-        c = source[i]
-        if c == "\n":
-            line += 1
-            i += 1
-            continue
-        if c in " \t\r\f\v":
-            i += 1
-            continue
-        # Preprocessor directive: swallow the (possibly continued) line.
-        if c == "#" and (not tokens or tokens[-1].line != line):
-            while i < n and source[i] != "\n":
-                if source[i] == "\\" and i + 1 < n and source[i + 1] == "\n":
-                    i += 2
-                    line += 1
-                    continue
-                i += 1
-            continue
-        if c == "/" and i + 1 < n and source[i + 1] == "/":
-            j = source.find("\n", i)
-            j = n if j < 0 else j
-            note_suppression(source[i:j], line)
-            i = j
-            continue
-        if c == "/" and i + 1 < n and source[i + 1] == "*":
-            j = source.find("*/", i + 2)
-            j = n - 2 if j < 0 else j
-            note_suppression(source[i:j], line)
-            line += source.count("\n", i, j + 2)
-            i = j + 2
-            continue
-        if c == "R" and source[i:i + 2] == 'R"':
-            m = re.match(r'R"([^\s()\\]{0,16})\(', source[i:])
-            if m:
-                close = ")" + m.group(1) + '"'
-                j = source.find(close, i + m.end())
-                j = n - len(close) if j < 0 else j
-                end = j + len(close)
-                tokens.append(Token("str", source[i:end], line))
-                line += source.count("\n", i, end)
-                i = end
-                continue
-        if c == '"' or c == "'":
-            j = i + 1
-            while j < n and source[j] != c:
-                if source[j] == "\\":
-                    j += 1
-                j += 1
-            tokens.append(Token("str", source[i:j + 1], line))
-            line += source.count("\n", i, j + 1)
-            i = j + 1
-            continue
-        if c in id_start:
-            j = i + 1
-            while j < n and source[j] in id_cont:
-                j += 1
-            tokens.append(Token("id", source[i:j], line))
-            i = j
-            continue
-        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
-            j = i + 1
-            while j < n and (source[j] in id_cont or source[j] in ".'+-"
-                             and source[j - 1] in "eEpP'"):
-                j += 1
-            tokens.append(Token("num", source[i:j], line))
-            i = j
-            continue
-        for p in _PUNCT:
-            if source.startswith(p, i):
-                tokens.append(Token("punct", p, line))
-                i += len(p)
-                break
-        else:
-            tokens.append(Token("punct", c, line))
-            i += 1
+def _rule_001(a):
+    tokens, match = a.tokens, a.match
     for k, t in enumerate(tokens):
-        t.index = k
-    return tokens, suppressions
-
-
-# --------------------------------------------------------------------------
-# Structure: bracket matching, statements, function bodies
-# --------------------------------------------------------------------------
-
-_OPEN = {"(": ")", "[": "]", "{": "}"}
-_CLOSE = {v: k for k, v in _OPEN.items()}
-
-
-def match_brackets(tokens):
-    """Map open-index -> close-index and vice versa for () [] {}."""
-    match: dict[int, int] = {}
-    stack: list[int] = []
-    for k, t in enumerate(tokens):
-        if t.text in _OPEN and t.kind == "punct":
-            stack.append(k)
-        elif t.text in _CLOSE and t.kind == "punct":
-            while stack:
-                o = stack.pop()
-                if _OPEN[tokens[o].text] == t.text:
-                    match[o] = k
-                    match[k] = o
-                    break
-    return match
-
-
-@dataclass
-class FunctionDef:
-    name: str            # identifier, or '<lambda>' for lambdas
-    params: list         # list of parameter token lists
-    body: tuple          # (open-brace index, close-brace index)
-    header_line: int
-    is_lambda: bool = False
-    capture: list = field(default_factory=list)  # capture-list tokens
-    intro: tuple = ()    # ('[' index, ']' index) for lambdas
-
-
-_NOT_FUNC_NAMES = {"if", "for", "while", "switch", "catch", "return",
-                   "sizeof", "alignof", "decltype", "noexcept", "assert"}
-_HEADER_TRAILER = {"const", "noexcept", "override", "final", "mutable",
-                   "->", "::", "<", ">", ">>", "*", "&", "&&", ",",
-                   "requires"}
-
-
-def _is_lambda_intro(tokens, k):
-    """Is tokens[k] == '[' the start of a lambda capture list?"""
-    if k == 0:
-        return True
-    prev = tokens[k - 1]
-    if prev.kind in ("id", "num", "str"):
-        return prev.text in KEYWORDS and prev.text not in ("this",)
-    return prev.text not in (")", "]")
-
-
-def find_functions(tokens, match):
-    """Discover function-like definitions (named functions and lambdas)."""
-    funcs: list[FunctionDef] = []
-    for k, t in enumerate(tokens):
-        if t.text != "{" or t.kind != "punct" or k not in match:
+        if t.kind != "id" or t.text != "co_await":
             continue
-        # Walk back over trailing header tokens to the parameter ')'.
-        j = k - 1
-        steps = 0
-        while j >= 0 and steps < 40:
+        start, end = a.statement(k)
+        depths = cxx.depths(tokens, start, end)
+        d_c = depths[k]
+        for j in range(start, k):
             tj = tokens[j]
-            if tj.text == ")" and j in match:
-                break
-            if (tj.kind == "id" and (tj.text not in KEYWORDS
-                                     or tj.text in _DECL_TYPE_KEYWORDS)) \
-                    or tj.text in _HEADER_TRAILER:
-                j -= 1
-                steps += 1
+            if tj.kind != "punct" or depths[j] > d_c:
                 continue
-            if tj.text == ")" :
+            if tj.text == "?":
+                a.emit(
+                    "EVO-CORO-001", k,
+                    "co_await inside a conditional expression: shipped "
+                    "GCC destroys the awaited temporary before the "
+                    "full expression consumes its result; use separate "
+                    "statements (if/else)",
+                    a.snippet(start, end))
                 break
-            j = -1
-            break
-        if j < 0 or steps >= 40 or tokens[j].text != ")" or j not in match:
-            continue
-        close_paren = j
-        open_paren = match[j]
-        if open_paren == 0:
-            continue
-        before = tokens[open_paren - 1]
-        params = _split_params(tokens, open_paren, close_paren, match)
-        if before.text == "]" and before.kind == "punct" \
-                and open_paren - 1 in match:
-            intro_open = match[open_paren - 1]
-            if _is_lambda_intro(tokens, intro_open):
-                funcs.append(FunctionDef(
-                    name="<lambda>", params=params, body=(k, match[k]),
-                    header_line=tokens[intro_open].line, is_lambda=True,
-                    capture=tokens[intro_open + 1:open_paren - 1],
-                    intro=(intro_open, open_paren - 1)))
-            continue
-        if before.kind == "id" and before.text not in _NOT_FUNC_NAMES \
-                and before.text not in KEYWORDS:
-            # Reject calls used as conditions etc.: a function definition's
-            # name is preceded by a type/qualifier, not by an operator.
-            if open_paren >= 2:
-                p2 = tokens[open_paren - 2]
-                if p2.kind == "punct" and p2.text not in (
-                        "}", ";", ">", ">>", "*", "&", "&&", "::", "{", "]"):
-                    continue
-            funcs.append(FunctionDef(
-                name=before.text, params=params, body=(k, match[k]),
-                header_line=before.line))
-    # Lambdas with no parameter list: [..] { body }
-    for k, t in enumerate(tokens):
-        if t.text != "{" or k not in match or k == 0:
-            continue
-        before = tokens[k - 1]
-        if before.text == "]" and k - 1 in match:
-            intro_open = match[k - 1]
-            if _is_lambda_intro(tokens, intro_open):
-                funcs.append(FunctionDef(
-                    name="<lambda>", params=[], body=(k, match[k]),
-                    header_line=tokens[intro_open].line, is_lambda=True,
-                    capture=tokens[intro_open + 1:k - 1],
-                    intro=(intro_open, k - 1)))
-    funcs.sort(key=lambda f: f.body[0])
-    return funcs
-
-
-def _split_params(tokens, open_paren, close_paren, match):
-    params, cur, k = [], [], open_paren + 1
-    while k < close_paren:
-        t = tokens[k]
-        if t.text in _OPEN and t.kind == "punct" and k in match:
-            cur.extend(tokens[k:match[k] + 1])
-            k = match[k] + 1
-            continue
-        if t.text == "," and t.kind == "punct":
-            if cur:
-                params.append(cur)
-            cur = []
-        elif t.text == "<" and t.kind == "punct":
-            close = _match_angle(tokens, k, close_paren)
-            if close is not None:
-                cur.extend(tokens[k:close + 1])
-                k = close + 1
-                continue
-            cur.append(t)
-        else:
-            cur.append(t)
-        k += 1
-    if cur:
-        params.append(cur)
-    return params
-
-
-def _match_angle(tokens, k, limit):
-    """Try to match tokens[k]=='<' as template-argument brackets."""
-    depth = 0
-    for j in range(k, min(limit, k + 120)):
-        text = tokens[j].text
-        if text == "<":
-            depth += 1
-        elif text == ">":
-            depth -= 1
-            if depth == 0:
-                return j
-        elif text == ">>":
-            depth -= 2
-            if depth <= 0:
-                return j
-        elif text in (";", "{", "}", "&&", "||") or tokens[j].kind == "str":
-            return None
-    return None
-
-
-def innermost_body(funcs, index):
-    """The innermost FunctionDef whose body contains token `index`."""
-    best = None
-    for f in funcs:
-        if f.body[0] < index < f.body[1]:
-            if best is None or f.body[0] > best.body[0]:
-                best = f
-    return best
-
-
-def own_level(funcs, owner, index):
-    """True if token `index` inside owner's body belongs to owner itself
-    (not to a nested function/lambda)."""
-    return innermost_body(funcs, index) is owner
-
-
-def statement_of(tokens, match, index):
-    """(start, end) token range of the statement containing `index`.
-
-    Boundaries are ';' '{' '}' at parenthesis depth 0 relative to the
-    statement. Bracketed groups are skipped wholesale, so `for (;;)`
-    headers and lambda bodies do not split the statement."""
-    start = index
-    while start > 0:
-        t = tokens[start - 1]
-        if t.text in (";", "{", "}") and t.kind == "punct":
-            break
-        if t.text in _CLOSE and t.kind == "punct" and start - 1 in match:
-            start = match[start - 1]
-            continue
-        start -= 1
-    end = index
-    n = len(tokens)
-    while end < n:
-        t = tokens[end]
-        if t.kind == "punct":
-            if t.text == ";":
+            if tj.text == "&&" and j + 2 <= k \
+                    and tokens[j + 1].kind == "id" \
+                    and tokens[j + 2].kind == "punct" \
+                    and tokens[j + 2].text == "=":
+                continue  # declarator: `auto&& name = co_await ...`
+            if tj.text in ("&&", "||"):
+                a.emit(
+                    "EVO-CORO-001", k,
+                    f"co_await on the right of '{tj.text}': the await "
+                    "is conditionally evaluated inside one full "
+                    "expression; hoist it into its own statement",
+                    a.snippet(start, end))
                 break
-            if t.text in _OPEN and end in match:
-                end = match[end]
-                continue
-            if t.text == "}":
-                end -= 1
+            if tj.text == "," and _is_operator_comma(a, j, start, depths):
+                a.emit(
+                    "EVO-CORO-001", k,
+                    "co_await after a comma operator in the same full "
+                    "expression; split the statement",
+                    a.snippet(start, end))
                 break
-        end += 1
-    return start, min(end, n - 1)
 
 
-def snippet(tokens, start, end):
-    return " ".join(t.text for t in tokens[start:end + 1])[:160]
-
-
-def _depths(tokens, start, end):
-    """Bracket depth of each token in [start, end] relative to start."""
-    depths = {}
-    d = 0
-    for k in range(start, end + 1):
-        t = tokens[k]
-        if t.kind == "punct" and t.text in _CLOSE:
-            d = max(0, d - 1)
-        depths[k] = d
-        if t.kind == "punct" and t.text in _OPEN:
-            d += 1
-    return depths
-
-
-# --------------------------------------------------------------------------
-# if/else chains (for EVO-CORO-003 branch-aware domination)
-# --------------------------------------------------------------------------
-
-def _statement_extent(tokens, match, k, limit):
-    """End index of the statement starting at token k (handles blocks,
-    control-flow headers and else-chains recursively)."""
-    n = min(limit, len(tokens) - 1)
-    while k <= n:
-        t = tokens[k]
-        if t.text == "{" and k in match:
-            return match[k]
-        if t.text in ("if", "for", "while", "switch", "catch") \
-                and t.kind == "id":
-            k += 1
-            if k <= n and tokens[k].text == "(" and k in match:
-                k = match[k] + 1
-            continue
-        if t.text == "else" and t.kind == "id":
-            k += 1
-            continue
-        if t.text == "do" and t.kind == "id":
-            k += 1
-            continue
-        if t.text == ";":
-            return k
-        if t.text in _OPEN and k in match:
-            k = match[k] + 1
-            continue
-        k += 1
-    return n
-
-
-def if_chains(tokens, match, start, end):
-    """All if/else chains in [start, end]: list of
-    (cond_range, [arm_range, ...])."""
-    chains = []
-    k = start
-    while k <= end:
-        t = tokens[k]
-        if t.kind == "id" and t.text == "if" and \
-                (k == 0 or tokens[k - 1].text != "else"):
-            if k + 1 <= end and tokens[k + 1].text == "(" \
-                    and k + 1 in match:
-                cond = (k + 1, match[k + 1])
-                arms = []
-                pos = cond[1] + 1
-                while True:
-                    arm_end = _statement_extent(tokens, match, pos, end)
-                    arms.append((pos, arm_end))
-                    nxt = arm_end + 1
-                    if nxt <= end and tokens[nxt].text == "else":
-                        if nxt + 1 <= end and tokens[nxt + 1].text == "if" \
-                                and nxt + 2 in match \
-                                and tokens[nxt + 2].text == "(":
-                            pos = match[nxt + 2] + 1
-                            continue
-                        pos = nxt + 1
-                        continue
-                    break
-                chains.append((cond, arms))
-        k += 1
-    return chains
-
-
-def _covers(tokens, match, chains, c_idx, c_stmt, use_idx, use_stmt,
-            operand_end):
-    """Does the co_await at c_idx cover (dominate a path to) use_idx?"""
-    if use_idx <= c_idx:
+def _is_operator_comma(a, j, start, depths):
+    if depths[j] != 0:
         return False
-    if c_stmt == use_stmt:
-        # Same statement: only across-suspension if the use comes after
-        # the awaited operand (evaluated post-resume).
-        return use_idx > operand_end
-    if use_stmt[0] <= c_stmt[1]:
-        return False  # use's statement starts before the await's ends
-    # Branch exclusion: await in one arm, use in a *different* arm of the
-    # same if/else chain -> mutually exclusive paths.
-    for cond, arms in chains:
-        if cond[0] <= c_idx <= cond[1]:
-            continue  # await in the condition dominates all arms
-        c_arm = next((a for a in arms if a[0] <= c_idx <= a[1]), None)
-        u_arm = next((a for a in arms if a[0] <= use_idx <= a[1]), None)
-        if c_arm is not None and u_arm is not None and c_arm != u_arm:
-            return False
+    # Top-level comma in a declaration list (`int a = 1, b = 2;`) or a
+    # for-header is not the comma operator we care about; only flag
+    # commas in plain expression statements.
+    t0 = a.tokens[start]
+    if t0.kind == "id" and (t0.text in cxx.TYPE_STARTERS
+                            or t0.text in ("for", "if", "while")):
+        return False
+    # Declaration of the form `Type name = ..., name2 = ...;`
+    if t0.kind == "id" and start + 1 < len(a.tokens) \
+            and a.tokens[start + 1].kind == "id":
+        return False
     return True
 
 
-# --------------------------------------------------------------------------
-# co_await operand parsing (rules 001/002)
-# --------------------------------------------------------------------------
+# -- EVO-CORO-002 (flow-sensitive escape analysis) -------------------------
 
-def parse_operand(tokens, match, i, limit):
-    """Parse the operand expression of a co_await at index i-1.
-
-    Returns (end_index, classification, type_name):
-      classification in {'lvalue', 'move', 'call', 'ctor', 'braced'}."""
-    k = i
-    last_id = None
-    saw_call = False
-    saw_member_after_call = False
-    kind = "lvalue"
-    while k <= limit:
-        t = tokens[k]
-        if t.kind == "id" and t.text not in KEYWORDS:
-            last_id = t.text
-            k += 1
+def _rule_002(a):
+    tokens, match = a.tokens, a.match
+    for k, t in enumerate(tokens):
+        if t.kind != "id" or t.text != "co_await":
             continue
-        if t.kind == "punct" and t.text in ("::", ".", "->"):
-            if saw_call:
-                saw_member_after_call = True
-            k += 1
+        start, end = a.statement(k)
+        op_end, op_kind, type_name = cxx.parse_operand(
+            tokens, match, k + 1, end)
+        if op_kind in ("ctor", "braced"):
+            base = (type_name or "").split("::")[-1]
+            if base in AWAITER_ALLOWLIST:
+                continue
+            a.emit(
+                "EVO-CORO-002", k,
+                f"co_await on a constructed temporary awaiter "
+                f"'{type_name}': temporaries with owning state inside "
+                "co_await expressions have been double-destroyed by "
+                "shipped GCC; await a named local instead",
+                a.snippet(start, end))
             continue
-        if t.kind == "punct" and t.text == "*" and last_id is None:
-            k += 1  # leading dereference
+        if op_kind != "call":
             continue
-        if t.kind == "punct" and t.text == "<" and last_id is not None:
-            close = _match_angle(tokens, k, limit + 1)
-            if close is not None:
-                k = close + 1
-                continue
-            break
-        if t.kind == "punct" and t.text == "(" and k in match:
-            if last_id is None:
-                k += 1  # parenthesized subexpression: step inside
-                continue
-            saw_call = True
-            kind = "call"
-            k = match[k] + 1
+        bound = _bound_reference_name(a, start, k)
+        if bound is None:
             continue
-        if t.kind == "punct" and t.text == "[" and k in match:
-            k = match[k] + 1
+        # Escape analysis: the reference dangles the instant the full
+        # expression ends -- but only a later READ makes it a bug. Walk the
+        # CFG from the binding statement; any reachable use (including a
+        # capture by a nested lambda) is the escape.
+        func = cxx.innermost_body(a.funcs, k)
+        if func is None:
             continue
-        if t.kind == "punct" and t.text == "{" and k in match \
-                and last_id is not None:
-            kind = "braced"
-            k = match[k] + 1
+        cfg = a.cfg_of(func)
+        node = cfg.node_of(k)
+        if node is None:
             continue
-        break
-    end = k - 1
-    if kind == "call":
-        if last_id == "move" or (last_id is not None
-                                 and not saw_member_after_call
-                                 and last_id == "move"):
-            kind = "move"
-        elif last_id is not None and last_id[:1].isupper() \
-                and not saw_member_after_call:
-            kind = "ctor"
-    # `co_await std::move(task)` -- detect via the identifier chain.
-    text = " ".join(t.text for t in tokens[i:end + 1])
-    if kind in ("call", "ctor") and re.match(
-            r"(std\s*::\s*)?move\s*\(", text):
-        kind = "move"
-    return end, kind, last_id
+        uses = cfg_mod.uses_of(tokens, a.funcs, cfg, bound, node.idx)
+        # Exclude the binding statement itself; textually earlier uses in
+        # the reachable set arrive via a loop back edge (the next iteration
+        # reads a reference this iteration left dangling) and count.
+        uses = [u for u in uses if not (start <= u <= end)]
+        if not uses:
+            continue
+        first_use = min(uses, key=lambda u: (u <= end, u))
+        a.emit(
+            "EVO-CORO-002", k,
+            f"result of awaiting a temporary task is bound to reference "
+            f"'{bound}' and read again on line "
+            f"{tokens[first_use].line}: the frame that owned the result "
+            "died at the end of this full expression, so that read is a "
+            "use-after-free; bind by value",
+            a.snippet(start, end))
 
 
-# --------------------------------------------------------------------------
-# Rules
-# --------------------------------------------------------------------------
-
-class Analyzer:
-    def __init__(self, path: str, source: str):
-        self.path = path
-        self.tokens, self.suppressions = tokenize(source)
-        self.match = match_brackets(self.tokens)
-        self.funcs = find_functions(self.tokens, self.match)
-        self.findings: list[Finding] = []
-        self._coro_cache: dict[int, bool] = {}
-
-    # -- helpers ----------------------------------------------------------
-
-    def _co_keyword_indices(self):
-        return [k for k, t in enumerate(self.tokens)
-                if t.kind == "id" and t.text in
-                ("co_await", "co_return", "co_yield")]
-
-    def _is_coroutine(self, func: FunctionDef) -> bool:
-        key = func.body[0]
-        if key not in self._coro_cache:
-            self._coro_cache[key] = any(
-                func.body[0] < k < func.body[1]
-                and own_level(self.funcs, func, k)
-                for k in self._co_keyword_indices())
-        return self._coro_cache[key]
-
-    def _context_of(self, index) -> str:
-        f = innermost_body(self.funcs, index)
-        while f is not None and f.is_lambda:
-            outer = innermost_body(self.funcs, f.body[0] - 1)
-            if outer is None:
-                break
-            f = outer
-        return f.name if f is not None else ""
-
-    def _suppressed(self, rule, line) -> bool:
-        for at in (line, line - 1):
-            if rule in self.suppressions.get(at, set()):
-                return True
-        return False
-
-    def _emit(self, rule, index, message, snippet_text):
-        line = self.tokens[index].line
-        if self._suppressed(rule, line):
-            return
-        self.findings.append(Finding(
-            rule=rule, path=self.path, line=line, message=message,
-            context=self._context_of(index), snippet=snippet_text))
-
-    # -- EVO-CORO-001 ------------------------------------------------------
-
-    def rule_001(self):
-        tokens, match = self.tokens, self.match
-        for k, t in enumerate(tokens):
-            if t.kind != "id" or t.text != "co_await":
-                continue
-            start, end = statement_of(tokens, match, k)
-            depths = _depths(tokens, start, end)
-            d_c = depths[k]
-            for j in range(start, k):
-                tj = tokens[j]
-                if tj.kind != "punct" or depths[j] > d_c:
-                    continue
-                if tj.text == "?":
-                    self._emit(
-                        "EVO-CORO-001", k,
-                        "co_await inside a conditional expression: shipped "
-                        "GCC destroys the awaited temporary before the "
-                        "full expression consumes its result; use separate "
-                        "statements (if/else)",
-                        snippet(tokens, start, end))
-                    break
-                if tj.text == "&&" and j + 2 <= k \
-                        and tokens[j + 1].kind == "id" \
-                        and tokens[j + 2].kind == "punct" \
-                        and tokens[j + 2].text == "=":
-                    continue  # declarator: `auto&& name = co_await ...`
-                if tj.text in ("&&", "||"):
-                    self._emit(
-                        "EVO-CORO-001", k,
-                        f"co_await on the right of '{tj.text}': the await "
-                        "is conditionally evaluated inside one full "
-                        "expression; hoist it into its own statement",
-                        snippet(tokens, start, end))
-                    break
-                if tj.text == "," and self._is_operator_comma(j, start,
-                                                              depths):
-                    self._emit(
-                        "EVO-CORO-001", k,
-                        "co_await after a comma operator in the same full "
-                        "expression; split the statement",
-                        snippet(tokens, start, end))
-                    break
-
-    def _is_operator_comma(self, j, start, depths):
-        if depths[j] != 0:
-            return False
-        # Top-level comma in a declaration list (`int a = 1, b = 2;`) or a
-        # for-header is not the comma operator we care about; only flag
-        # commas in plain expression statements.
-        t0 = self.tokens[start]
-        if t0.kind == "id" and (t0.text in TYPE_STARTERS
-                                or t0.text in ("for", "if", "while")):
-            return False
-        # Declaration of the form `Type name = ..., name2 = ...;`
-        if t0.kind == "id" and start + 1 < len(self.tokens) \
-                and self.tokens[start + 1].kind == "id":
-            return False
-        return True
-
-    # -- EVO-CORO-002 ------------------------------------------------------
-
-    def rule_002(self):
-        tokens, match = self.tokens, self.match
-        for k, t in enumerate(tokens):
-            if t.kind != "id" or t.text != "co_await":
-                continue
-            start, end = statement_of(tokens, match, k)
-            op_end, op_kind, type_name = parse_operand(
-                tokens, match, k + 1, end)
-            if op_kind in ("ctor", "braced"):
-                base = (type_name or "").split("::")[-1]
-                if base in AWAITER_ALLOWLIST:
-                    continue
-                self._emit(
-                    "EVO-CORO-002", k,
-                    f"co_await on a constructed temporary awaiter "
-                    f"'{type_name}': temporaries with owning state inside "
-                    "co_await expressions have been double-destroyed by "
-                    "shipped GCC; await a named local instead",
-                    snippet(tokens, start, end))
-                continue
-            if op_kind == "call" and self._binds_reference(start, k):
-                self._emit(
-                    "EVO-CORO-002", k,
-                    "result of awaiting a temporary task is bound to a "
-                    "reference: the frame that owns the result dies at the "
-                    "end of this full expression; bind by value",
-                    snippet(tokens, start, end))
-
-    def _binds_reference(self, start, await_idx):
-        """Statement shaped like `auto& x = co_await f(...)`?"""
-        eq = None
-        for j in range(start, await_idx):
-            if self.tokens[j].kind == "punct" and self.tokens[j].text == "=":
-                eq = j
-        if eq is None or eq != await_idx - 1:
-            return False
-        # declarator: ... & name =
-        if eq - 2 >= start:
-            name, amp = self.tokens[eq - 1], self.tokens[eq - 2]
-            if name.kind == "id" and amp.kind == "punct" \
-                    and amp.text in ("&", "&&"):
-                return True
-        return False
-
-    # -- EVO-CORO-003 ------------------------------------------------------
-
-    def rule_003(self):
-        for func in self.funcs:
-            if not self._is_coroutine(func):
-                continue
-            self._check_ref_params(func)
-        self._check_capture_sinks()
-
-    def _check_ref_params(self, func: FunctionDef):
-        tokens, match = self.tokens, self.match
-        body_start, body_end = func.body
-        awaits = [k for k in range(body_start + 1, body_end)
-                  if tokens[k].kind == "id" and tokens[k].text == "co_await"
-                  and own_level(self.funcs, func, k)]
-        if not awaits:
-            return
-        chains = if_chains(tokens, match, body_start + 1, body_end - 1)
-        await_info = []
-        for a in awaits:
-            stmt = statement_of(tokens, match, a)
-            op_end, _, _ = parse_operand(tokens, match, a + 1, stmt[1])
-            await_info.append((a, stmt, op_end))
-        for param in func.params:
-            name = self._ref_param_name(param)
-            if name is None:
-                continue
-            for u in range(body_start + 1, body_end):
-                tu = tokens[u]
-                if tu.kind != "id" or tu.text != name:
-                    continue
-                if not own_level(self.funcs, func, u):
-                    continue
-                if u > 0 and tokens[u - 1].kind == "punct" \
-                        and tokens[u - 1].text in (".", "->", "::"):
-                    continue  # member of something else, same name
-                u_stmt = statement_of(tokens, match, u)
-                for a, a_stmt, op_end in await_info:
-                    if _covers(tokens, match, chains, a, a_stmt, u,
-                               u_stmt, op_end):
-                        decl = " ".join(t.text for t in param)
-                        self._emit(
-                            "EVO-CORO-003", u,
-                            f"reference parameter '{name}' of coroutine "
-                            f"'{func.name}' is used across a suspension "
-                            "point; if the caller's frame is gone when "
-                            "this coroutine resumes, this is a "
-                            "use-after-free -- pass by value (or by "
-                            "pointer with a documented lifetime)",
-                            f"{func.name}({decl})")
-                        break
-                else:
-                    continue
-                break  # one finding per parameter
-
-    @staticmethod
-    def _ref_param_name(param_tokens):
-        """Name of a reference parameter, or None if by-value/unnamed."""
-        toks = list(param_tokens)
-        for j, t in enumerate(toks):
-            if t.kind == "punct" and t.text == "=":
-                toks = toks[:j]
-                break
-        has_ref = any(t.kind == "punct" and t.text in ("&", "&&")
-                      for t in toks)
-        if not has_ref or len(toks) < 2:
-            return None
-        last = toks[-1]
-        if last.kind != "id" or last.text in KEYWORDS:
-            return None
-        prev = toks[-2]
-        if prev.kind == "id" or (prev.kind == "punct"
-                                 and prev.text in (">", "&", "&&", "*")):
-            return last.text
+def _bound_reference_name(a, start, await_idx):
+    """If the statement is `... & name = co_await ...`, the bound name."""
+    tokens = a.tokens
+    eq = None
+    for j in range(start, await_idx):
+        if tokens[j].kind == "punct" and tokens[j].text == "=":
+            eq = j
+    if eq is None or eq != await_idx - 1:
         return None
+    if eq - 2 >= start:
+        name, amp = tokens[eq - 1], tokens[eq - 2]
+        if name.kind == "id" and amp.kind == "punct" \
+                and amp.text in ("&", "&&"):
+            return name.text
+    return None
 
-    def _check_capture_sinks(self):
-        """By-ref-capturing coroutine lambda passed directly to a
-        registration/detach sink."""
-        tokens, match = self.tokens, self.match
-        for func in self.funcs:
-            if not func.is_lambda or not self._is_coroutine(func):
-                continue
-            refcaps = self._ref_captures(func.capture)
-            if not refcaps:
-                continue
-            sink = self._direct_sink_of(func)
-            if sink is None:
-                continue
-            self._emit(
-                "EVO-CORO-003", func.intro[0],
-                f"coroutine lambda with by-reference capture "
-                f"[{', '.join(refcaps)}] is handed to '{sink}', which "
-                "stores or detaches it beyond this statement; capture "
-                "pointers/values with explicit lifetimes instead",
-                f"{sink}([{', '.join(refcaps)}] ...)")
 
-    @staticmethod
-    def _ref_captures(capture_tokens):
-        caps, cur = [], []
-        for t in capture_tokens:
-            if t.kind == "punct" and t.text == ",":
-                caps.append(cur)
-                cur = []
-            else:
-                cur.append(t)
-        if cur:
-            caps.append(cur)
-        out = []
-        for cap in caps:
-            if not cap:
-                continue
-            if cap[0].kind == "punct" and cap[0].text == "&" and \
-                    not any(t.text == "=" for t in cap):
-                out.append(" ".join(t.text for t in cap) or "&")
-        return out
+# -- EVO-CORO-003 (CFG reachability) ---------------------------------------
 
-    def _direct_sink_of(self, func: FunctionDef):
-        """If the lambda expression is directly an argument of a sink call,
-        return the sink name."""
-        tokens, match = self.tokens, self.match
-        intro = func.intro[0]
-        # Walk back over '(' or ',' to find the call whose argument list
-        # the lambda starts in.
-        j = intro - 1
-        if j < 0 or tokens[j].kind != "punct" or tokens[j].text not in \
-                ("(", ","):
-            return None
-        # Find the enclosing open paren.
-        depth = 0
-        while j >= 0:
-            t = tokens[j]
-            if t.kind == "punct" and t.text in _CLOSE:
-                depth += 1
-            elif t.kind == "punct" and t.text in _OPEN:
-                if depth == 0:
-                    if t.text == "(":
-                        break
-                    return None  # enclosed by [] or {} before any call
-                depth -= 1
-            j -= 1
-        if j <= 0:
-            return None
-        callee = tokens[j - 1]
-        if callee.kind == "id" and callee.text in STORE_SINKS:
-            return callee.text
-        return None
+def _rule_003(a):
+    for func in a.funcs:
+        if not a.is_coroutine(func):
+            continue
+        _check_ref_params(a, func)
+    _check_capture_sinks(a)
 
-    # -- EVO-CORO-004 ------------------------------------------------------
 
-    def rule_004(self):
-        tokens, match = self.tokens, self.match
-        for k, t in enumerate(tokens):
-            if t.kind != "id" or t.text not in DETACH_SINKS:
-                continue
-            if k + 1 >= len(tokens) or tokens[k + 1].text != "(" \
-                    or k + 1 not in match:
-                continue
-            # Require a call (sim.spawn / sim->spawn / spawn).
-            args_open, args_close = k + 1, match[k + 1]
-            func = innermost_body(self.funcs, k)
-            for j in range(args_open + 1, args_close):
-                tj = tokens[j]
-                if tj.kind != "punct" or tj.text != "&":
-                    continue
-                prev = tokens[j - 1]
-                if not (prev.kind == "punct"
-                        and prev.text in ("(", ",")):
-                    continue  # binary &, or part of a type
-                nxt = tokens[j + 1]
-                if nxt.kind != "id" or nxt.text in KEYWORDS:
-                    continue
-                if j + 2 <= args_close and tokens[j + 2].kind == "punct" \
-                        and tokens[j + 2].text in ("(", "::"):
-                    continue  # &ns::f or &f(...) -- not a plain local
-                if func is not None and self._is_stack_local(func,
-                                                             nxt.text, k):
-                    stmt = statement_of(tokens, match, k)
-                    self._emit(
-                        "EVO-CORO-004", j,
-                        f"detached coroutine receives '&{nxt.text}', the "
-                        "address of a stack variable of "
-                        f"'{func.name}'; the spawned frame runs from the "
-                        "event loop and can outlive it -- pass owning/"
-                        "shared state or a pointer to long-lived state",
-                        snippet(tokens, stmt[0], stmt[1]))
-
-    def _is_stack_local(self, func: FunctionDef, name: str, before_idx):
-        """Is `name` declared as a non-reference local (or by-value param)
-        of `func`?"""
-        tokens = self.tokens
-        # By-value parameter?
-        for param in func.params:
-            toks = [t for t in param if t.kind == "id"
-                    and t.text not in KEYWORDS]
-            if toks and toks[-1].text == name:
-                if any(t.kind == "punct" and t.text in ("&", "&&", "*")
-                       for t in param):
-                    return False
-                return True
-        # Local declaration before the spawn site?
-        body_start = func.body[0]
-        for u in range(body_start + 1, min(before_idx, func.body[1])):
+def _check_ref_params(a, func):
+    tokens, match = a.tokens, a.match
+    body_start, body_end = func.body
+    awaits = [k for k in range(body_start + 1, body_end)
+              if tokens[k].kind == "id" and tokens[k].text == "co_await"
+              and cxx.own_level(a.funcs, func, k)]
+    if not awaits:
+        return
+    cfg = a.cfg_of(func)
+    await_info = []
+    for k in awaits:
+        stmt = a.statement(k)
+        op_end, _, _ = cxx.parse_operand(tokens, match, k + 1, stmt[1])
+        node = cfg.node_of(k)
+        if node is not None:
+            await_info.append((k, node, op_end))
+    for param in func.params:
+        name = _ref_param_name(param)
+        if name is None:
+            continue
+        for u in range(body_start + 1, body_end):
             tu = tokens[u]
             if tu.kind != "id" or tu.text != name:
                 continue
-            nxt = tokens[u + 1] if u + 1 < len(tokens) else None
-            prev = tokens[u - 1]
-            if nxt is None or nxt.kind != "punct" \
-                    or nxt.text not in (";", "=", "{", "(", ","):
+            if not cxx.own_level(a.funcs, func, u):
                 continue
-            if prev.kind == "punct" and prev.text in ("&", "&&"):
-                return False  # declared as a reference
-            if prev.kind == "punct" and prev.text == "*":
-                return True   # local pointer: &ptr is still a stack address
-            if prev.kind == "id" and prev.text in EXECUTOR_TYPES:
-                return False  # the executor outlives its frames
-            if prev.kind == "id" and (prev.text not in KEYWORDS
-                                      or prev.text in _DECL_TYPE_KEYWORDS):
-                return True   # `Type name ...` / `int name ...`
-            if prev.kind == "punct" and prev.text == ">":
-                return True   # `std::vector<T> name`
-        return False
+            if u > 0 and tokens[u - 1].kind == "punct" \
+                    and tokens[u - 1].text in (".", "->", "::"):
+                continue  # member of something else, same name
+            u_node = cfg.node_of(u)
+            if u_node is None:
+                continue
+            if _use_after_suspension(cfg, await_info, u, u_node):
+                decl = " ".join(t.text for t in param)
+                a.emit(
+                    "EVO-CORO-003", u,
+                    f"reference parameter '{name}' of coroutine "
+                    f"'{func.name}' is used across a suspension "
+                    "point; if the caller's frame is gone when "
+                    "this coroutine resumes, this is a "
+                    "use-after-free -- pass by value (or by "
+                    "pointer with a documented lifetime)",
+                    f"{func.name}({decl})")
+                break  # one finding per parameter
 
-    # ---------------------------------------------------------------------
 
-    def run(self):
-        self.rule_001()
-        self.rule_002()
-        self.rule_003()
-        self.rule_004()
-        self.findings.sort(key=lambda f: (f.path, f.line, f.rule))
-        return self.findings
+def _use_after_suspension(cfg, await_info, use_idx, use_node):
+    """Is there a CFG path on which the use executes after a suspension?
 
+    Same-statement uses only count when the use token follows the awaited
+    operand (it is evaluated post-resume); cross-statement uses count when
+    the use's node is reachable from the await's node -- which, unlike the
+    v1 textual check, correctly includes uses that sit *before* the await
+    inside a loop body (iteration N+1 reads the reference after iteration
+    N suspended) and correctly excludes sibling if/else arms.
+    """
+    for k, a_node, op_end in await_info:
+        if use_node.idx == a_node.idx:
+            if use_idx > op_end:
+                return True
+            continue
+        if use_node.idx in cfg.reachable_from(a_node.idx):
+            return True
+    return False
+
+
+def _ref_param_name(param_tokens):
+    """Name of a reference parameter, or None if by-value/unnamed."""
+    toks = list(param_tokens)
+    for j, t in enumerate(toks):
+        if t.kind == "punct" and t.text == "=":
+            toks = toks[:j]
+            break
+    has_ref = any(t.kind == "punct" and t.text in ("&", "&&")
+                  for t in toks)
+    if not has_ref or len(toks) < 2:
+        return None
+    last = toks[-1]
+    if last.kind != "id" or last.text in cxx.KEYWORDS:
+        return None
+    prev = toks[-2]
+    if prev.kind == "id" or (prev.kind == "punct"
+                             and prev.text in (">", "&", "&&", "*")):
+        return last.text
+    return None
+
+
+def _check_capture_sinks(a):
+    """By-ref-capturing coroutine lambda passed directly to a
+    registration/detach sink."""
+    tokens, match = a.tokens, a.match
+    for func in a.funcs:
+        if not func.is_lambda or not a.is_coroutine(func):
+            continue
+        refcaps = _ref_captures(func.capture)
+        if not refcaps:
+            continue
+        sink = _direct_sink_of(a, func)
+        if sink is None:
+            continue
+        a.emit(
+            "EVO-CORO-003", func.intro[0],
+            f"coroutine lambda with by-reference capture "
+            f"[{', '.join(refcaps)}] is handed to '{sink}', which "
+            "stores or detaches it beyond this statement; capture "
+            "pointers/values with explicit lifetimes instead",
+            f"{sink}([{', '.join(refcaps)}] ...)")
+
+
+def _ref_captures(capture_tokens):
+    caps, cur = [], []
+    for t in capture_tokens:
+        if t.kind == "punct" and t.text == ",":
+            caps.append(cur)
+            cur = []
+        else:
+            cur.append(t)
+    if cur:
+        caps.append(cur)
+    out = []
+    for cap in caps:
+        if not cap:
+            continue
+        if cap[0].kind == "punct" and cap[0].text == "&" and \
+                not any(t.text == "=" for t in cap):
+            out.append(" ".join(t.text for t in cap) or "&")
+    return out
+
+
+def _direct_sink_of(a, func):
+    """If the lambda expression is directly an argument of a sink call,
+    return the sink name."""
+    tokens = a.tokens
+    intro = func.intro[0]
+    j = intro - 1
+    if j < 0 or tokens[j].kind != "punct" or tokens[j].text not in \
+            ("(", ","):
+        return None
+    depth = 0
+    while j >= 0:
+        t = tokens[j]
+        if t.kind == "punct" and t.text in cxx.CLOSE:
+            depth += 1
+        elif t.kind == "punct" and t.text in cxx.OPEN:
+            if depth == 0:
+                if t.text == "(":
+                    break
+                return None  # enclosed by [] or {} before any call
+            depth -= 1
+        j -= 1
+    if j <= 0:
+        return None
+    callee = tokens[j - 1]
+    if callee.kind == "id" and callee.text in STORE_SINKS:
+        return callee.text
+    return None
+
+
+# -- EVO-CORO-004 ----------------------------------------------------------
+
+def _rule_004(a):
+    tokens, match = a.tokens, a.match
+    for k, t in enumerate(tokens):
+        if t.kind != "id" or t.text not in DETACH_SINKS:
+            continue
+        if k + 1 >= len(tokens) or tokens[k + 1].text != "(" \
+                or k + 1 not in match:
+            continue
+        args_open, args_close = k + 1, match[k + 1]
+        func = cxx.innermost_body(a.funcs, k)
+        for j in range(args_open + 1, args_close):
+            tj = tokens[j]
+            if tj.kind != "punct" or tj.text != "&":
+                continue
+            prev = tokens[j - 1]
+            if not (prev.kind == "punct"
+                    and prev.text in ("(", ",")):
+                continue  # binary &, or part of a type
+            nxt = tokens[j + 1]
+            if nxt.kind != "id" or nxt.text in cxx.KEYWORDS:
+                continue
+            if j + 2 <= args_close and tokens[j + 2].kind == "punct" \
+                    and tokens[j + 2].text in ("(", "::"):
+                continue  # &ns::f or &f(...) -- not a plain local
+            if func is not None and _is_stack_local(a, func, nxt.text, k):
+                stmt = a.statement(k)
+                a.emit(
+                    "EVO-CORO-004", j,
+                    f"detached coroutine receives '&{nxt.text}', the "
+                    "address of a stack variable of "
+                    f"'{func.name}'; the spawned frame runs from the "
+                    "event loop and can outlive it -- pass owning/"
+                    "shared state or a pointer to long-lived state",
+                    a.snippet(stmt[0], stmt[1]))
+
+
+def _is_stack_local(a, func, name, before_idx):
+    """Is `name` declared as a non-reference local (or by-value param)
+    of `func`?"""
+    tokens = a.tokens
+    for param in func.params:
+        toks = [t for t in param if t.kind == "id"
+                and t.text not in cxx.KEYWORDS]
+        if toks and toks[-1].text == name:
+            if any(t.kind == "punct" and t.text in ("&", "&&", "*")
+                   for t in param):
+                return False
+            return True
+    body_start = func.body[0]
+    for u in range(body_start + 1, min(before_idx, func.body[1])):
+        tu = tokens[u]
+        if tu.kind != "id" or tu.text != name:
+            continue
+        nxt = tokens[u + 1] if u + 1 < len(tokens) else None
+        prev = tokens[u - 1]
+        if nxt is None or nxt.kind != "punct" \
+                or nxt.text not in (";", "=", "{", "(", ","):
+            continue
+        if prev.kind == "punct" and prev.text in ("&", "&&"):
+            return False  # declared as a reference
+        if prev.kind == "punct" and prev.text == "*":
+            return True   # local pointer: &ptr is still a stack address
+        if prev.kind == "id" and prev.text in EXECUTOR_TYPES:
+            return False  # the executor outlives its frames
+        if prev.kind == "id" and (prev.text not in cxx.KEYWORDS
+                                  or prev.text in cxx.DECL_TYPE_KEYWORDS):
+            return True   # `Type name ...` / `int name ...`
+        if prev.kind == "punct" and prev.text == ">":
+            return True   # `std::vector<T> name`
+    return False
+
+
+# -- compatibility shims (pre-v2 public API) -------------------------------
 
 def analyze_file(path: str, display_path: str | None = None):
-    with open(path, "r", encoding="utf-8", errors="replace") as f:
-        source = f.read()
-    return Analyzer(display_path or path, source).run()
+    import engine
+    return engine.analyze_file(path, display_path,
+                               rules=set(RULES))
 
 
 def analyze_source(source: str, path: str = "<memory>"):
-    return Analyzer(path, source).run()
+    import engine
+    return engine.analyze_source(source, path, rules=set(RULES))

@@ -1,0 +1,327 @@
+"""evostore-lint: determinism rule family (EVO-DET-001..004).
+
+Everything this repo guarantees about reproducibility -- bit-identical
+`--verify` digests, byte-stable metrics/event/trace exports, exactly-once
+hint replay audited across reruns -- rests on one contract: the simulation
+and every artifact derived from it consume no ambient nondeterminism. The
+hazards that have historically broken such contracts are mechanical and
+lexically visible, so they are linted:
+
+EVO-DET-001  Wall-clock time source (`steady_clock::now`,
+             `system_clock::now`, `high_resolution_clock::now`,
+             `gettimeofday`, `clock_gettime`, `timespec_get`, `time(...)`)
+             in simulation-deterministic code. Sim time comes from
+             `Simulation::now()`; host time makes two identical runs
+             diverge. Host-profiling measurements that provably never
+             reach an exported artifact may be suppressed with a reason.
+
+EVO-DET-002  Ambient randomness: `std::random_device`, `rand()`,
+             `srand()`. All randomness must flow from the seeded
+             `common::Rng` so a seed reproduces a run.
+
+EVO-DET-003  Iteration over an unordered container feeding a
+             serialization/export/digest sink. Hash iteration order is
+             libstdc++-version- and seed-dependent; bytes derived from it
+             are not stable. Either iterate a sorted view or collect+sort
+             before emitting. The container registry is cross-file (a
+             member declared unordered in the header is recognized in the
+             .cc), and a loop "feeds a sink" when the enclosing function
+             is an export/serialize/digest function or the loop body calls
+             one of the sink methods.
+
+EVO-DET-004  Pointer-value ordering: an ordered container keyed on a
+             pointer type (`std::map<T*, ...>`, `std::set<T*>`) or a
+             comparator returning `a < b` on pointer parameters.
+             Allocation addresses differ run to run (ASLR), so any
+             ordering derived from them is nondeterministic.
+"""
+
+from __future__ import annotations
+
+import re
+
+import cxx
+
+RULES = {
+    "EVO-DET-001": "wall-clock time source in simulation-deterministic code",
+    "EVO-DET-002": "ambient randomness (random_device/rand/srand)",
+    "EVO-DET-003": "unordered-container iteration feeding "
+                   "serialized/exported output",
+    "EVO-DET-004": "ordering derived from pointer values",
+}
+
+_CLOCK_TYPES = {"steady_clock", "system_clock", "high_resolution_clock"}
+_CLOCK_CALLS = {"gettimeofday", "clock_gettime", "timespec_get",
+                "localtime", "gmtime", "mktime"}
+
+# Function-name shapes that mark an export/serialization context for
+# DET-003 (the enclosing function writes bytes that land in an artifact).
+_EXPORT_FN_RE = re.compile(
+    r"(serialize|to_json|to_csv|export|write_json|write_csv|dump|digest|"
+    r"fingerprint|render|summari[sz]e)", re.IGNORECASE)
+
+# Callee names inside a loop body that mean "these bytes are being emitted
+# into an ordered artifact": the Serializer primitives, JSON/CSV helpers,
+# and digest/hash accumulation.
+_SINK_CALLS = {"serialize", "u8", "u16", "u32", "u64", "i64", "f64",
+               "boolean", "bytes", "str", "append", "emit", "add_row",
+               "hash_combine", "mix", "update", "to_json", "write",
+               "push_row", "key", "kv"}
+
+
+def check(a):
+    _rule_001_002(a)
+    _rule_003(a)
+    _rule_004(a)
+
+
+# -- EVO-DET-001 / EVO-DET-002 ---------------------------------------------
+
+def _rule_001_002(a):
+    tokens = a.tokens
+    n = len(tokens)
+    for k, t in enumerate(tokens):
+        if t.kind != "id":
+            continue
+        if t.text in _CLOCK_TYPES:
+            # ...clock :: now (
+            if k + 3 < n and tokens[k + 1].text == "::" \
+                    and tokens[k + 2].text == "now" \
+                    and tokens[k + 3].text == "(":
+                stmt = a.statement(k)
+                a.emit(
+                    "EVO-DET-001", k,
+                    f"host wall clock '{t.text}::now()' in "
+                    "simulation-deterministic code: two identical runs "
+                    "will observe different values -- use the sim clock "
+                    "(Simulation::now()), or suppress with a reason if "
+                    "this measurement provably never reaches an exported "
+                    "artifact",
+                    a.snippet(stmt[0], stmt[1]))
+            continue
+        if t.text in _CLOCK_CALLS and k + 1 < n \
+                and tokens[k + 1].text == "(" \
+                and not _is_decl_or_member(tokens, k):
+            stmt = a.statement(k)
+            a.emit(
+                "EVO-DET-001", k,
+                f"host time source '{t.text}()' in "
+                "simulation-deterministic code; use the sim clock",
+                a.snippet(stmt[0], stmt[1]))
+            continue
+        if t.text == "time" and k + 1 < n and tokens[k + 1].text == "(" \
+                and not _is_decl_or_member(tokens, k):
+            # `time(nullptr)` / `time(0)` / `time(NULL)`
+            inner = tokens[k + 2] if k + 2 < n else None
+            if inner is not None and inner.text in ("nullptr", "0", "NULL"):
+                stmt = a.statement(k)
+                a.emit(
+                    "EVO-DET-001", k,
+                    "wall-clock 'time(...)' in simulation-deterministic "
+                    "code; use the sim clock",
+                    a.snippet(stmt[0], stmt[1]))
+            continue
+        if t.text == "random_device":
+            stmt = a.statement(k)
+            a.emit(
+                "EVO-DET-002", k,
+                "std::random_device is ambient entropy: a seed can never "
+                "reproduce this run -- draw from the seeded common::Rng",
+                a.snippet(stmt[0], stmt[1]))
+            continue
+        if t.text in ("rand", "srand") and k + 1 < n \
+                and tokens[k + 1].text == "(" \
+                and not _is_decl_or_member(tokens, k):
+            stmt = a.statement(k)
+            a.emit(
+                "EVO-DET-002", k,
+                f"'{t.text}()' uses hidden global PRNG state; all "
+                "randomness must flow from the seeded common::Rng",
+                a.snippet(stmt[0], stmt[1]))
+
+
+def _is_decl_or_member(tokens, k):
+    """True when tokens[k] is a member access (`x.time(...)`), a qualified
+    name we do not recognize as the libc symbol (`foo::time`), or a
+    declaration of a function with that name (`int time(...)` at decl
+    scope)."""
+    if k == 0:
+        return True
+    prev = tokens[k - 1]
+    if prev.kind == "punct" and prev.text in (".", "->"):
+        return True
+    if prev.kind == "punct" and prev.text == "::":
+        # std::time / ::time are the libc symbol; anything_else::time not.
+        if k >= 2 and tokens[k - 2].kind == "id" \
+                and tokens[k - 2].text != "std":
+            return True
+        return False
+    if prev.kind == "id" and (prev.text not in cxx.KEYWORDS
+                              or prev.text in cxx.DECL_TYPE_KEYWORDS):
+        return True  # `double time(` -- a declaration, not a call
+    return False
+
+
+# -- EVO-DET-003 -----------------------------------------------------------
+
+def _rule_003(a):
+    tokens, match = a.tokens, a.match
+    unordered = a.registry.unordered_names
+    if not unordered:
+        return
+    n = len(tokens)
+    for k, t in enumerate(tokens):
+        if t.kind != "id" or t.text != "for":
+            continue
+        if k + 1 >= n or tokens[k + 1].text != "(" or k + 1 not in match:
+            continue
+        close = match[k + 1]
+        # Range-for: `for ( decl : expr )`
+        colon = None
+        depth = 0
+        for j in range(k + 2, close):
+            tj = tokens[j]
+            if tj.kind == "punct" and tj.text in cxx.OPEN:
+                depth += 1
+            elif tj.kind == "punct" and tj.text in cxx.CLOSE:
+                depth -= 1
+            elif tj.kind == "punct" and tj.text == ":" and depth == 0:
+                # skip `::`
+                colon = j
+                break
+        if colon is None:
+            continue
+        base = _range_base_name(tokens, colon + 1, close)
+        if base is None or base not in unordered:
+            continue
+        if base in a.registry.ordered_names:
+            continue  # same name declared ordered elsewhere: ambiguous
+        body_start = close + 1
+        body_end = body_start
+        if body_start < n and tokens[body_start].text == "{" \
+                and body_start in match:
+            body_end = match[body_start]
+        else:
+            stmt = cxx.statement_of(tokens, match, body_start)
+            body_end = stmt[1]
+        func = cxx.innermost_body(a.funcs, k)
+        fn_name = func.name if func is not None else ""
+        exporting_fn = bool(_EXPORT_FN_RE.search(fn_name))
+        sink = _sink_in_body(tokens, match, body_start, body_end)
+        if not exporting_fn and sink is None:
+            continue
+        why = (f"inside export function '{fn_name}'" if exporting_fn
+               else f"loop body feeds sink '{sink}'")
+        a.emit(
+            "EVO-DET-003", k,
+            f"iteration over unordered container '{base}' flows into "
+            f"serialized/exported output ({why}): hash iteration order is "
+            "not stable across runs or library versions -- collect and "
+            "sort (or iterate a sorted view) before emitting",
+            a.snippet(k, min(close, k + 30)))
+
+
+def _range_base_name(tokens, start, close):
+    """Base identifier of the range expression `m`, `self->m_`, `a.b`."""
+    last = None
+    j = start
+    while j < close:
+        t = tokens[j]
+        if t.kind == "id" and t.text not in cxx.KEYWORDS:
+            last = t.text
+            j += 1
+            continue
+        if t.kind == "punct" and t.text in (".", "->", "::", "(", ")", "*"):
+            j += 1
+            continue
+        break
+    return last
+
+
+def _sink_in_body(tokens, match, start, end):
+    for j in range(start, end + 1):
+        t = tokens[j]
+        if t.kind == "id" and t.text in _SINK_CALLS \
+                and j + 1 <= end and tokens[j + 1].text == "(":
+            return t.text
+        if t.kind == "punct" and t.text == "<<":
+            return "<<"
+    return None
+
+
+# -- EVO-DET-004 -----------------------------------------------------------
+
+def _rule_004(a):
+    tokens, match = a.tokens, a.match
+    n = len(tokens)
+    for k, t in enumerate(tokens):
+        if t.kind != "id" or t.text not in ("map", "set", "multimap",
+                                            "multiset"):
+            continue
+        if k + 1 >= n or tokens[k + 1].text != "<":
+            continue
+        # must be std:: (or unqualified in a using-std context); skip
+        # unordered_ variants (different rule) and member access.
+        if k >= 1 and tokens[k - 1].kind == "punct" \
+                and tokens[k - 1].text in (".", "->"):
+            continue
+        close = cxx.match_angle(tokens, k + 1, min(n, k + 120))
+        if close is None:
+            continue
+        # First template argument: up to the first depth-0 comma.
+        depth = 0
+        first_end = close
+        for j in range(k + 2, close):
+            tj = tokens[j]
+            if tj.text in ("<", "("):
+                depth += 1
+            elif tj.text in (">", ")"):
+                depth -= 1
+            elif tj.text == "," and depth == 0:
+                first_end = j
+                break
+        key_tokens = tokens[k + 2:first_end]
+        if key_tokens and key_tokens[-1].kind == "punct" \
+                and key_tokens[-1].text == "*":
+            key = " ".join(x.text for x in key_tokens)
+            stmt = a.statement(k)
+            a.emit(
+                "EVO-DET-004", k,
+                f"ordered container keyed on pointer value '{key}': "
+                "iteration order follows allocation addresses, which "
+                "differ run to run -- key on a stable id instead",
+                a.snippet(stmt[0], stmt[1]))
+    _pointer_comparators(a)
+
+
+def _pointer_comparators(a):
+    """Lambda comparators of the shape
+    `[](const T* x, const T* y) { return x < y; }`."""
+    tokens = a.tokens
+    for func in a.funcs:
+        if not func.is_lambda or len(func.params) != 2:
+            continue
+        names = []
+        for param in func.params:
+            if not any(t.kind == "punct" and t.text == "*" for t in param):
+                names = []
+                break
+            ids = [t for t in param if t.kind == "id"
+                   and t.text not in cxx.KEYWORDS]
+            if not ids:
+                names = []
+                break
+            names.append(ids[-1].text)
+        if len(names) != 2:
+            continue
+        body = tokens[func.body[0] + 1:func.body[1]]
+        text = " ".join(t.text for t in body)
+        x, y = names
+        if text.strip() in (f"return {x} < {y} ;", f"return {y} < {x} ;",
+                            f"return {x} > {y} ;", f"return {y} > {x} ;"):
+            a.emit(
+                "EVO-DET-004", func.intro[0],
+                f"comparator orders by raw pointer value ('{x}' vs "
+                f"'{y}'): allocation addresses differ run to run -- "
+                "compare a stable field instead",
+                f"[]({x}, {y}) {{ {text.strip()} }}")

@@ -1,0 +1,332 @@
+"""evostore-lint: status-discipline rule family (EVO-STAT-001..003).
+
+The codebase is exception-free on its data paths by design: every fallible
+operation returns `common::Status` / `common::Result<T>` (possibly wrapped
+in `sim::CoTask`). That contract only means anything if callers actually
+look at what comes back -- a silently dropped Status on one replication leg
+is how a cluster "succeeds" a write that half-failed. These rules make the
+discipline machine-checkable:
+
+EVO-STAT-001  A statement that calls a Status/Result-returning function and
+              discards the value (`kv->put(...);`). `(void)` is the
+              explicit, reviewable way to say "intentionally ignored".
+
+EVO-STAT-002  A `co_await` of a Status/Result-yielding task whose outcome
+              is never inspected: either the await is itself a discarded
+              full expression (`co_await rpc->bulk(...);`), or the result
+              is bound to a variable that no CFG path ever reads
+              (flow-sensitive: `auto st = co_await f(); <st never used>`).
+
+EVO-STAT-003  An error path that drops the context it just inspected:
+              `if (!st.ok()) return Status::Internal("boom");` constructs a
+              fresh Status without mentioning `st` -- the original code and
+              annotated message chain are lost exactly where they matter.
+              Propagate `st` itself, or fold it into the new message.
+
+Function names resolve against the cross-file registry built by
+`engine.scan_registry` (pass 1 of the driver), so a `.cc` discarding the
+Status of a method declared in a header is still caught. Name-keyed
+resolution is heuristic by design; negatives in the corpus pin the idioms
+that must stay silent, and `(void)` or a reasoned suppression handles the
+rest.
+"""
+
+from __future__ import annotations
+
+import cxx
+import cfg as cfg_mod
+
+RULES = {
+    "EVO-STAT-001": "discarded Status/Result return value",
+    "EVO-STAT-002": "co_awaited Status never inspected",
+    "EVO-STAT-003": "error path drops the inspected status's context",
+}
+
+_STATUS_FACTORIES = {
+    "NotFound", "AlreadyExists", "InvalidArgument", "FailedPrecondition",
+    "OutOfRange", "Corruption", "IoError", "Unavailable", "Internal",
+    "DeadlineExceeded", "Unimplemented", "Ok",
+}
+
+_BOUNDARY = {";", "{", "}"}
+
+
+def check(a):
+    _rule_001(a)
+    _rule_002(a)
+    _rule_003(a)
+
+
+# -- EVO-STAT-001 ----------------------------------------------------------
+
+def _rule_001(a):
+    tokens, match = a.tokens, a.match
+    fns = a.registry.status_fns
+    if not fns:
+        return
+    n = len(tokens)
+    for k, t in enumerate(tokens):
+        if t.kind != "id" or t.text not in fns:
+            continue
+        if t.text in a.registry.void_fns:
+            continue  # name also declared void/bool/... somewhere: ambiguous
+        if k + 1 >= n or tokens[k + 1].text != "(" or k + 1 not in match:
+            continue
+        close = match[k + 1]
+        if close + 1 >= n or tokens[close + 1].text != ";":
+            continue  # value is consumed by the surrounding expression
+        chain = cxx.callee_chain_start(tokens, k)
+        if chain is None:
+            continue  # chained off a call result: not a plain discard shape
+        if any(tokens[j].kind == "id"
+               and tokens[j].text in a.registry.std_objs
+               for j in range(chain, k)):
+            continue  # member call off a std:: object (`index_.erase(it)`)
+        prev = tokens[chain - 1] if chain > 0 else None
+        if prev is not None and not (prev.kind == "punct"
+                                     and prev.text in _BOUNDARY):
+            continue  # `return foo();`, `x = foo();`, `(void)foo();`, ...
+        if cxx.innermost_body(a.funcs, k) is None:
+            continue  # declaration at file/class scope, not a call
+        a.emit(
+            "EVO-STAT-001", k,
+            f"result of '{t.text}(...)' is a Status/Result and is "
+            "silently discarded: a failure here vanishes -- check it, "
+            "propagate it (EVO_RETURN_IF_ERROR), or discard explicitly "
+            "with (void)",
+            a.snippet(chain, close + 1))
+
+
+# -- EVO-STAT-002 ----------------------------------------------------------
+
+def _rule_002(a):
+    tokens, match = a.tokens, a.match
+    fns = a.registry.coro_status_fns
+    n = len(tokens)
+    for k, t in enumerate(tokens):
+        if t.kind != "id" or t.text != "co_await":
+            continue
+        stmt_start, stmt_end = a.statement(k)
+        op_end, op_kind, callee = cxx.parse_operand(
+            tokens, match, k + 1, stmt_end)
+        statusy = (callee in fns or callee in a.registry.status_fns) \
+            and callee not in a.registry.void_fns
+        prev = tokens[k - 1] if k > 0 else None
+        at_stmt_start = prev is None or (prev.kind == "punct"
+                                         and prev.text in _BOUNDARY)
+        # (a) discarded full-expression await of a Status-yielding task.
+        if at_stmt_start and statusy and op_end + 1 < n \
+                and tokens[op_end + 1].text == ";":
+            a.emit(
+                "EVO-STAT-002", k,
+                f"Status of 'co_await {callee}(...)' is discarded: the "
+                "await suspends, the leg can fail, and nothing observes "
+                "it -- bind and check the result, or discard explicitly "
+                "with (void)",
+                a.snippet(stmt_start, stmt_end))
+            continue
+        # (b) bound to a variable no CFG path ever reads.
+        if not statusy:
+            continue
+        bound = _bound_value_name(tokens, stmt_start, k)
+        if bound is None:
+            continue
+        func = cxx.innermost_body(a.funcs, k)
+        if func is None:
+            continue
+        cfg = a.cfg_of(func)
+        node = cfg.node_of(k)
+        if node is None:
+            continue
+        uses = cfg_mod.uses_of(tokens, a.funcs, cfg, bound, node.idx)
+        # Exclude the binding statement itself (the LHS write); uses at
+        # textually EARLIER tokens still count -- they are only in the
+        # reachable set via a loop back edge, i.e. a later iteration reads
+        # what this iteration bound.
+        uses = [u for u in uses if not (stmt_start <= u <= stmt_end)]
+        # A use inside the same statement after the await (e.g. `.ok()`
+        # chained) also counts as inspection.
+        same_stmt = any(
+            tokens[u].kind == "id" and tokens[u].text == bound
+            for u in range(op_end + 1, stmt_end + 1))
+        if uses or same_stmt:
+            continue
+        a.emit(
+            "EVO-STAT-002", k,
+            f"'{bound}' holds the Status of an awaited operation but no "
+            "path ever reads it: the error is computed and dropped -- "
+            "inspect it or delete the binding and discard explicitly",
+            a.snippet(stmt_start, stmt_end))
+
+
+def _bound_value_name(tokens, stmt_start, await_idx):
+    """`auto st = co_await ...` / `Status st = co_await ...` -> 'st'
+    (by-value bindings only; reference bindings are EVO-CORO-002's
+    business)."""
+    if await_idx - 1 <= stmt_start:
+        return None
+    eq = tokens[await_idx - 1]
+    if eq.kind != "punct" or eq.text != "=":
+        return None
+    name = tokens[await_idx - 2]
+    if name.kind != "id" or name.text in cxx.KEYWORDS:
+        return None
+    if await_idx - 3 >= stmt_start:
+        amp = tokens[await_idx - 3]
+        if amp.kind == "punct" and amp.text in ("&", "&&"):
+            return None
+    return name.text
+
+
+# -- EVO-STAT-003 ----------------------------------------------------------
+
+def _rule_003(a):
+    tokens, match = a.tokens, a.match
+    n = len(tokens)
+    for k, t in enumerate(tokens):
+        if t.kind != "id" or t.text != "if":
+            continue
+        j = k + 1
+        while j < n and tokens[j].kind == "id" \
+                and tokens[j].text in ("constexpr", "consteval"):
+            j += 1
+        if j >= n or tokens[j].text != "(" or j not in match:
+            continue
+        cond_open, cond_close = j, match[j]
+        name = _inspected_status_name(tokens, cond_open + 1, cond_close)
+        if name is None:
+            continue
+        func = cxx.innermost_body(a.funcs, k)
+        if func is None or not _status_typed(a, func, name):
+            continue  # `if (!ok)` on a bool, `!d.ok()` on a Deserializer...
+        arm_start, arm_end = _then_arm(tokens, match, cond_close + 1)
+        if arm_start is None:
+            continue
+        _flag_fresh_status_returns(a, name, arm_start, arm_end)
+
+
+def _inspected_status_name(tokens, start, close):
+    """Condition shaped like `!st.ok()` / `!st.ok() && ...` / `!res` ->
+    the inspected variable's name."""
+    if start >= close or tokens[start].text != "!":
+        return None
+    name_tok = tokens[start + 1] if start + 1 < close else None
+    if name_tok is None or name_tok.kind != "id" \
+            or name_tok.text in cxx.KEYWORDS:
+        return None
+    j = start + 2
+    if j < close and tokens[j].kind == "punct" and tokens[j].text == ".":
+        if j + 1 < close and tokens[j + 1].text == "ok":
+            return name_tok.text
+        return None
+    if j == close or (tokens[j].kind == "punct"
+                      and tokens[j].text in ("&&", ")")):
+        return name_tok.text  # `if (!res)` on a Result
+    return None
+
+
+def _status_typed(a, func, name):
+    """Positive evidence that `name` is Status/Result-typed inside `func`:
+    a `Status name` / `Result<...> name` declaration or parameter, or an
+    `auto name = [co_await] <status fn>(...)` binding. Plain bools and
+    `.ok()`-bearing non-Status types (Deserializer) must stay silent."""
+    tokens, match = a.tokens, a.match
+    start = func.intro[0] if func.intro else func.body[0]
+    end = func.body[1]
+    fns = a.registry.status_fns | a.registry.coro_status_fns
+    j = start
+    while j < end:
+        t = tokens[j]
+        if t.kind == "id" and t.text in ("Status", "StatusOr", "Result"):
+            m = j + 1
+            if m < end and tokens[m].text == "<":
+                close = cxx.match_angle(tokens, m, min(end, m + 100))
+                if close is None:
+                    j += 1
+                    continue
+                m = close + 1
+            while m < end and tokens[m].kind == "punct" \
+                    and tokens[m].text in ("*", "&", "&&"):
+                m += 1
+            if m < end and tokens[m].kind == "id" \
+                    and tokens[m].text == name:
+                return True
+            j = max(m, j + 1)
+            continue
+        if t.kind == "id" and t.text == "auto":
+            m = j + 1
+            while m < end and tokens[m].kind == "punct" \
+                    and tokens[m].text in ("*", "&", "&&"):
+                m += 1
+            if m < end and tokens[m].kind == "id" \
+                    and tokens[m].text == name \
+                    and m + 1 < end and tokens[m + 1].text == "=":
+                stmt_end = cxx.statement_of(tokens, match, m)[1]
+                for x in range(m + 2, min(stmt_end + 1, end)):
+                    tx = tokens[x]
+                    if tx.kind == "id" and (tx.text == "co_await"
+                                            or tx.text in fns):
+                        return True
+            j = max(m, j + 1)
+            continue
+        j += 1
+    return False
+
+
+def _then_arm(tokens, match, k):
+    """Token range of the then-arm statement/block starting at k."""
+    n = len(tokens)
+    if k >= n:
+        return None, None
+    if tokens[k].text == "{" and k in match:
+        return k + 1, match[k] - 1
+    stmt = cxx.statement_of(tokens, match, k)
+    return stmt
+
+
+def _flag_fresh_status_returns(a, name, start, end):
+    tokens, match = a.tokens, a.match
+    j = start
+    while j <= end:
+        t = tokens[j]
+        if t.kind == "punct" and t.text in cxx.OPEN and j in match \
+                and match[j] > end:
+            return  # malformed range
+        if t.kind == "id" and t.text in ("return", "co_return"):
+            stmt_end = j
+            depth = 0
+            while stmt_end <= end:
+                te = tokens[stmt_end]
+                if te.kind == "punct" and te.text in cxx.OPEN \
+                        and stmt_end in match:
+                    stmt_end = match[stmt_end]
+                    continue
+                if te.kind == "punct" and te.text == ";":
+                    break
+                stmt_end += 1
+            stmt_tokens = tokens[j:min(stmt_end, end) + 1]
+            if _constructs_fresh_status(stmt_tokens) \
+                    and not any(x.kind == "id" and x.text == name
+                                for x in stmt_tokens):
+                a.emit(
+                    "EVO-STAT-003", j,
+                    f"error path inspected '{name}' but returns a fresh "
+                    f"Status that never mentions it: the original error "
+                    "code and annotated context are dropped -- propagate "
+                    f"'{name}' or fold its message into the new one",
+                    a.snippet(j, min(stmt_end, end)))
+            j = stmt_end + 1
+            continue
+        j += 1
+
+
+def _constructs_fresh_status(stmt_tokens):
+    """`return Status::Factory(...)` / `co_return Status::Factory(...)`."""
+    for i in range(len(stmt_tokens) - 2):
+        if stmt_tokens[i].kind == "id" \
+                and stmt_tokens[i].text in ("Status",) \
+                and stmt_tokens[i + 1].text == "::" \
+                and stmt_tokens[i + 2].kind == "id" \
+                and stmt_tokens[i + 2].text in _STATUS_FACTORIES:
+            return True
+    return False

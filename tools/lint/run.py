@@ -1,25 +1,35 @@
 #!/usr/bin/env python3
 """evostore-lint driver.
 
-Walks the given files/directories (default: src bench tests examples),
-runs the coroutine-lifetime rules from evocoro.py on every .h/.cc/.cpp TU,
-and reports findings not present in the checked-in baseline.
+Walks the given files/directories (default: src bench tests examples
+tools/obsq), runs every rule family (EVO-CORO coroutine lifetimes, EVO-DET
+determinism, EVO-STAT status discipline, EVO-META lint hygiene) on every
+.h/.cc/.cpp TU in two passes -- pass 1 builds the cross-file registry of
+status-returning signatures and unordered-container names, pass 2 analyzes
+-- and reports findings not present in the checked-in baseline.
 
 Usage:
     python3 tools/lint/run.py src bench tests
-    python3 tools/lint/run.py --update-baseline src bench tests
+    python3 tools/lint/run.py --baseline-update src bench tests
     python3 tools/lint/run.py --no-baseline tools/lint/corpus/foo_bad.cc
+    python3 tools/lint/run.py --rules EVO-DET-001,EVO-DET-002 src
 
 Exit codes: 0 = clean (no findings outside the baseline), 1 = new
 findings, 2 = usage error.
 
 Baseline file (tools/lint/baseline.txt) lines are
     RULE-ID  FINGERPRINT  PATH  # context/snippet
-and match on (rule, fingerprint); the fingerprint hashes the rule, path,
-enclosing function, and the normalized statement text, so findings keep
-matching across unrelated line drift. Stale entries (present in the
-baseline but no longer reported) are warned about -- regenerate with
---update-baseline to drop them.
+and match on (rule, fingerprint). Fingerprints are path- and
+line-independent -- they hash the rule id, the enclosing function, and the
+normalized statement text -- so an entry survives file moves/renames and
+line drift, and only changes when the flagged code itself changes. The
+PATH column is informational. Stale entries (present in the baseline but no
+longer reported) are warned about; regenerate with --baseline-update to
+drop them.
+
+Under GitHub Actions (GITHUB_ACTIONS=true, or --github-annotations), each
+new finding is also emitted as a `::error file=...,line=...` workflow
+command so it surfaces inline on the PR diff.
 """
 
 from __future__ import annotations
@@ -30,9 +40,10 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-import evocoro  # noqa: E402
+import engine  # noqa: E402
 
 EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+DEFAULT_PATHS = ["src", "bench", "tests", "examples", "tools/obsq"]
 DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 "baseline.txt")
 
@@ -75,57 +86,78 @@ def write_baseline(path, findings):
     with open(path, "w", encoding="utf-8") as f:
         f.write("# evostore-lint baseline. One line per accepted finding:\n"
                 "#   RULE-ID FINGERPRINT PATH  # context | snippet\n"
-                "# Regenerate: python3 tools/lint/run.py --update-baseline"
-                " src bench tests examples\n"
-                "# Keep this file empty for EVO-CORO-001/002: those are the"
+                "# Fingerprints hash (rule, enclosing function, normalized"
+                " statement) -- they\n"
+                "# survive file moves/renames and line drift. Regenerate:\n"
+                "#   python3 tools/lint/run.py --baseline-update"
+                " src bench tests examples tools/obsq\n"
+                "# Policy: keep this file empty for EVO-CORO-001/002 (the"
                 " UAF classes that\n"
-                "# shipped twice -- fix them, never baseline them.\n")
+                "# shipped twice), for EVO-DET/EVO-STAT (the determinism"
+                " and status contracts\n"
+                "# CI verifies dynamically), and for EVO-META-001 (stale"
+                " suppressions are\n"
+                "# deleted, not accepted). Fix them; never baseline them.\n")
+        seen = set()
         for fi in findings:
+            key = (fi.rule, fi.fingerprint)
+            if key in seen:
+                continue
+            seen.add(key)
             f.write(f"{fi.rule} {fi.fingerprint} {fi.path}"
                     f"  # {fi.context} | {fi.snippet[:80]}\n")
 
 
+def emit_github_annotations(findings):
+    for fi in findings:
+        message = fi.message.replace("%", "%25").replace("\r", "%0D") \
+            .replace("\n", "%0A")
+        print(f"::error file={fi.path},line={fi.line},"
+              f"title={fi.rule}::{message}")
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(prog="evostore-lint", add_help=True)
-    ap.add_argument("paths", nargs="*",
-                    default=["src", "bench", "tests", "examples"],
+    ap.add_argument("paths", nargs="*", default=DEFAULT_PATHS,
                     help="files or directories to lint")
     ap.add_argument("--baseline", default=DEFAULT_BASELINE,
                     help="baseline file (default: tools/lint/baseline.txt)")
     ap.add_argument("--no-baseline", action="store_true",
                     help="report every finding, ignoring the baseline")
-    ap.add_argument("--update-baseline", action="store_true",
+    ap.add_argument("--baseline-update", "--update-baseline",
+                    dest="baseline_update", action="store_true",
                     help="rewrite the baseline to the current findings")
     ap.add_argument("--rules", default="",
                     help="comma-separated rule ids to run (default: all)")
+    ap.add_argument("--github-annotations", action="store_true",
+                    help="emit ::error workflow commands (auto-enabled "
+                         "when GITHUB_ACTIONS is set)")
     ap.add_argument("--list-rules", action="store_true")
     args = ap.parse_args(argv)
 
+    all_rules = engine.all_rules()
     if args.list_rules:
-        for rule, desc in sorted(evocoro.RULES.items()):
+        for rule, desc in sorted(all_rules.items()):
             print(f"{rule}  {desc}")
         return 0
 
     only = {r.strip() for r in args.rules.split(",") if r.strip()}
     for r in only:
-        if r not in evocoro.RULES:
+        if r not in all_rules:
             print(f"evostore-lint: unknown rule {r}", file=sys.stderr)
             return 2
+    rules = only or None
 
     files = collect_files(args.paths)
-    findings = []
-    for path in files:
-        rel = os.path.relpath(path)
-        try:
-            findings.extend(evocoro.analyze_file(path, rel))
-        except Exception as e:  # a lexer bug must not take CI down silently
-            print(f"evostore-lint: internal error analyzing {rel}: {e}",
-                  file=sys.stderr)
-            return 2
-    if only:
-        findings = [f for f in findings if f.rule in only]
+    rels = [os.path.relpath(p) for p in files]
+    try:
+        findings = engine.analyze_paths(files, rels, rules=rules)
+    except Exception as e:  # a lexer bug must not take CI down silently
+        print(f"evostore-lint: internal error: {e}", file=sys.stderr)
+        return 2
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
 
-    if args.update_baseline:
+    if args.baseline_update:
         write_baseline(args.baseline, findings)
         print(f"evostore-lint: wrote {len(findings)} entries to "
               f"{args.baseline}")
@@ -150,8 +182,15 @@ def main(argv=None):
               f"files:\n")
         for fi in new:
             print(fi.render())
-            print(f"    suppress: // evo-lint: suppress({fi.rule}) <reason>"
-                  f"   fingerprint: {fi.fingerprint}\n")
+            if fi.rule == "EVO-META-001":
+                print("    fix: delete the stale suppression comment"
+                      f"   fingerprint: {fi.fingerprint}\n")
+            else:
+                print(f"    suppress: // evo-lint: suppress({fi.rule}) "
+                      f"<reason>   fingerprint: {fi.fingerprint}\n")
+        if args.github_annotations or \
+                os.environ.get("GITHUB_ACTIONS", "") == "true":
+            emit_github_annotations(new)
         return 1
 
     print(f"evostore-lint: OK -- {len(files)} files, "

@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
-"""Tests for evostore-lint (tools/lint/evocoro.py + run.py).
+"""Tests for evostore-lint v2 (tools/lint: cxx, cfg, engine, rule families).
 
 Corpus-driven: every tools/lint/corpus/*.cc file annotates its expected
 findings inline with `// EXPECT: <RULE-ID>` markers; each marker line must
 produce exactly that finding, and no unmarked line may produce any. The
 corpus includes reductions of the two UAFs that shipped (PR 2 race_deadline
 awaiter, PR 3 RpcSystem::call ternary), so this suite is the regression
-proof that the lint would have caught both.
+proof that the lint would have caught both -- now under the flow-sensitive
+v2 engine. Unit tests cover the CFG edge cases (nested lambdas,
+`if constexpr`, macro-heavy statements, loop back edges) and the driver
+tests cover baseline fingerprints, --baseline-update, GitHub annotations,
+and the stale-suppression gate.
 
-Run directly (python3 tools/lint/test_lint.py) or via ctest (lint_corpus).
+Run directly (python3 tools/lint/test_lint.py) or via ctest (lint_selftest).
 """
 
 from __future__ import annotations
 
 import os
 import re
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -24,9 +29,10 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 CORPUS = os.path.join(HERE, "corpus")
 sys.path.insert(0, HERE)
 
-import evocoro  # noqa: E402
+import engine    # noqa: E402
+import evocoro   # noqa: E402  (compat shim exercised below)
 
-EXPECT_RE = re.compile(r"//\s*EXPECT:\s*(EVO-CORO-\d{3})")
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*(EVO-(?:CORO|DET|STAT|META)-\d{3})")
 
 
 def expected_findings(path):
@@ -40,16 +46,23 @@ def expected_findings(path):
 
 
 class CorpusTest(unittest.TestCase):
-    """Each corpus file's findings must match its EXPECT markers exactly."""
+    """Each corpus file's findings must match its EXPECT markers exactly,
+    with every rule family enabled."""
 
     maxDiff = None
 
     def test_corpus_files_exist(self):
         files = sorted(f for f in os.listdir(CORPUS) if f.endswith(".cc"))
-        self.assertGreaterEqual(len(files), 10)
-        # The two historical UAV reductions must be present.
+        self.assertGreaterEqual(len(files), 25)
+        # The two historical UAF reductions must be present.
         self.assertIn("coro001_ternary_bad.cc", files)
         self.assertIn("coro002_awaiter_bad.cc", files)
+        # Every new family ships with at least a positive and a negative.
+        for fam in ("det001", "det002", "det003", "det004",
+                    "stat001", "stat002", "stat003"):
+            fam_files = [f for f in files if f.startswith(fam)]
+            self.assertGreaterEqual(len(fam_files), 2, fam)
+        self.assertIn("meta001_stale_suppression.cc", files)
 
     def test_corpus(self):
         for name in sorted(os.listdir(CORPUS)):
@@ -58,7 +71,7 @@ class CorpusTest(unittest.TestCase):
             path = os.path.join(CORPUS, name)
             with self.subTest(corpus=name):
                 got = {(f.rule, f.line)
-                       for f in evocoro.analyze_file(path, name)}
+                       for f in engine.analyze_file(path, name)}
                 self.assertEqual(expected_findings(path), got)
 
     def test_pr3_reduction_flags_both_arms(self):
@@ -70,18 +83,35 @@ class CorpusTest(unittest.TestCase):
         self.assertTrue(all(f.rule == "EVO-CORO-001" for f in ternary))
 
     def test_pr2_reduction_flags_temporary_awaiter(self):
+        """The PR 2 awaiter UAF reduction must still be caught by the
+        flow-sensitive EVO-CORO-002."""
         findings = evocoro.analyze_file(
             os.path.join(CORPUS, "coro002_awaiter_bad.cc"))
         self.assertEqual({f.rule for f in findings}, {"EVO-CORO-002"})
         self.assertEqual({f.context for f in findings},
                          {"race_wait", "race_wait_paren"})
 
+    def test_escape_analysis_distinguishes_read_from_unread(self):
+        """coro002_refbind_bad binds AND reads -> flagged; the noescape
+        twin binds and never reads -> silent. Same binding shape, the CFG
+        escape analysis is the only thing telling them apart."""
+        bad = engine.analyze_file(
+            os.path.join(CORPUS, "coro002_refbind_bad.cc"))
+        good = engine.analyze_file(
+            os.path.join(CORPUS, "coro002_noescape_good.cc"))
+        self.assertEqual([f.rule for f in bad],
+                         ["EVO-CORO-002", "EVO-CORO-002"])
+        self.assertEqual(good, [])
+
 
 class UnitTest(unittest.TestCase):
     """Direct analyzer behaviors not tied to a corpus file."""
 
     def find(self, source):
-        return evocoro.analyze_source(source)
+        return engine.analyze_source(source)
+
+    def rules(self, source):
+        return [f.rule for f in self.find(source)]
 
     def test_named_task_await_is_silent(self):
         src = """
@@ -100,7 +130,7 @@ class UnitTest(unittest.TestCase):
           while (live && co_await more()) {}
         }
         """
-        self.assertEqual([f.rule for f in self.find(src)], ["EVO-CORO-001"])
+        self.assertEqual(self.rules(src), ["EVO-CORO-001"])
 
     def test_ref_param_in_sibling_else_branch_is_silent(self):
         src = """
@@ -121,7 +151,7 @@ class UnitTest(unittest.TestCase):
           co_return v;
         }
         """
-        self.assertEqual([f.rule for f in self.find(src)], ["EVO-CORO-003"])
+        self.assertEqual(self.rules(src), ["EVO-CORO-003"])
 
     def test_suppression_scopes_to_one_line(self):
         src = """
@@ -151,14 +181,125 @@ class UnitTest(unittest.TestCase):
         self.assertEqual(a[0].fingerprint, b[0].fingerprint)
         self.assertNotEqual(a[0].line, b[0].line)
 
+    def test_fingerprint_independent_of_path(self):
+        src = ("sim::CoTask<void> d();\n"
+               "sim::CoTask<void> f(const int& v) {\n"
+               "  co_await d();\n"
+               "  (void)v;\n"
+               "}\n")
+        a = engine.analyze_source(src, path="src/net/rpc.cc")
+        b = engine.analyze_source(src, path="src/core/renamed.cc")
+        self.assertEqual(len(a), 1)
+        self.assertEqual(a[0].fingerprint, b[0].fingerprint)
+
+    # -- CFG edge cases ----------------------------------------------------
+
+    def test_cfg_nested_lambda_use_counts_as_escape(self):
+        """A dangling ref read inside a nested lambda on a later path must
+        still count as a use (include_nested)."""
+        src = """
+        sim::CoTask<std::vector<int>> fetch();
+        sim::CoTask<int> f(Sim& sim) {
+          const auto& v = co_await fetch();
+          sim.defer([&] { consume(v); });
+          co_return 0;
+        }
+        """
+        self.assertIn("EVO-CORO-002", self.rules(src))
+
+    def test_cfg_if_constexpr_branches(self):
+        src = """
+        sim::CoTask<common::Status> flush();
+        template <bool kSync>
+        sim::CoTask<common::Status> f() {
+          auto st = co_await flush();
+          if constexpr (kSync) {
+            co_return st;
+          } else {
+            co_return st;
+          }
+        }
+        """
+        self.assertEqual(self.find(src), [])
+
+    def test_cfg_macro_heavy_statement(self):
+        src = """
+        sim::CoTask<common::Status> step(int i);
+        sim::CoTask<common::Status> f() {
+          EVO_RETURN_IF_ERROR(co_await step(1));
+          EVO_LOG(kInfo) << "done" << 1;
+          co_return common::Status::Ok();
+        }
+        """
+        # Must parse without error; the macro consumes the awaited Status.
+        self.assertEqual(self.find(src), [])
+
+    def test_cfg_loop_back_edge_reaches_earlier_use(self):
+        """`record(st)` textually precedes the await but is reachable via
+        the loop back edge, so the binding IS inspected."""
+        src = """
+        sim::CoTask<common::Status> flush(int i);
+        void record(const common::Status& st);
+        sim::CoTask<void> f() {
+          common::Status st;
+          for (int i = 0; i < 3; ++i) {
+            if (i > 0) record(st);
+            st = co_await flush(i);
+          }
+          co_return;
+        }
+        """
+        self.assertEqual(self.find(src), [])
+
+    def test_stat002_unread_binding_flags(self):
+        src = """
+        sim::CoTask<common::Status> flush(int i);
+        sim::CoTask<void> f() {
+          auto st = co_await flush(1);
+          co_return;
+        }
+        """
+        self.assertEqual(self.rules(src), ["EVO-STAT-002"])
+
+    def test_stat001_registry_resolves_cross_file(self):
+        """A .cc discarding the Status of a method declared in another file
+        of the scan set is still caught (two-pass registry)."""
+        header = "struct Kv { common::Status put(int k); };\n"
+        impl = "void f(Kv& kv) { kv.put(1); }\n"
+        with tempfile.TemporaryDirectory() as tmp:
+            h = os.path.join(tmp, "kv.h")
+            cc = os.path.join(tmp, "use.cc")
+            with open(h, "w") as fh:
+                fh.write(header)
+            with open(cc, "w") as fc:
+                fc.write(impl)
+            findings = engine.analyze_paths([h, cc])
+            self.assertEqual([f.rule for f in findings], ["EVO-STAT-001"])
+
+    def test_meta001_not_suppressible(self):
+        src = """
+        void f() {
+          // evo-lint: suppress(EVO-META-001) trying to silence the meta rule
+          // evo-lint: suppress(EVO-CORO-004) stale
+          int x = 0;
+          (void)x;
+        }
+        """
+        rules = self.rules(src)
+        self.assertIn("EVO-META-001", rules)
+
 
 class DriverTest(unittest.TestCase):
-    """run.py end-to-end: baseline semantics and exit codes."""
+    """run.py end-to-end: baseline semantics, annotations, exit codes."""
 
-    def run_lint(self, *args):
+    def run_lint(self, *args, env_extra=None):
+        env = dict(os.environ)
+        env.pop("GITHUB_ACTIONS", None)
+        if env_extra:
+            env.update(env_extra)
         proc = subprocess.run(
             [sys.executable, os.path.join(HERE, "run.py"), *args],
-            capture_output=True, text=True)
+            capture_output=True, text=True, env=env)
         return proc.returncode, proc.stdout + proc.stderr
 
     def test_bad_corpus_fails_without_baseline(self):
@@ -179,9 +320,32 @@ class DriverTest(unittest.TestCase):
             code, out = self.run_lint("--baseline", baseline, bad)
             self.assertEqual(code, 1, out)
             code, out = self.run_lint("--baseline", baseline,
-                                      "--update-baseline", bad)
+                                      "--baseline-update", bad)
             self.assertEqual(code, 0, out)
             code, out = self.run_lint("--baseline", baseline, bad)
+            self.assertEqual(code, 0, out)
+            self.assertIn("baselined", out)
+
+    def test_baseline_survives_rename(self):
+        """Fingerprints hash rule+context+snippet, not path+line: a
+        baselined finding must stay baselined after the file moves and the
+        line shifts."""
+        bad_src = open(
+            os.path.join(CORPUS, "coro003_refparam_bad.cc")).read()
+        with tempfile.TemporaryDirectory() as tmp:
+            old = os.path.join(tmp, "old_name.cc")
+            with open(old, "w") as f:
+                f.write(bad_src)
+            baseline = os.path.join(tmp, "baseline.txt")
+            code, out = self.run_lint("--baseline", baseline,
+                                      "--baseline-update", old)
+            self.assertEqual(code, 0, out)
+            new = os.path.join(tmp, "sub", "new_name.cc")
+            os.makedirs(os.path.dirname(new))
+            with open(new, "w") as f:
+                f.write("// moved\n// lines drifted\n" + bad_src)
+            os.unlink(old)
+            code, out = self.run_lint("--baseline", baseline, new)
             self.assertEqual(code, 0, out)
             self.assertIn("baselined", out)
 
@@ -195,10 +359,55 @@ class DriverTest(unittest.TestCase):
             self.assertEqual(code, 0, out)
             self.assertIn("stale", out)
 
+    def test_stale_suppression_fails_the_run(self):
+        code, out = self.run_lint(
+            "--no-baseline",
+            os.path.join(CORPUS, "meta001_stale_suppression.cc"))
+        self.assertEqual(code, 1)
+        self.assertIn("EVO-META-001", out)
+        self.assertIn("delete the stale suppression", out)
+
+    def test_github_annotations_flag(self):
+        code, out = self.run_lint(
+            "--no-baseline", "--github-annotations",
+            os.path.join(CORPUS, "coro001_ternary_bad.cc"))
+        self.assertEqual(code, 1)
+        self.assertIn("::error file=", out)
+        self.assertIn("title=EVO-CORO-001", out)
+
+    def test_github_annotations_auto_under_actions(self):
+        code, out = self.run_lint(
+            "--no-baseline", os.path.join(CORPUS, "coro001_ternary_bad.cc"),
+            env_extra={"GITHUB_ACTIONS": "true"})
+        self.assertEqual(code, 1)
+        self.assertIn("::error file=", out)
+
+    def test_no_annotations_outside_actions(self):
+        code, out = self.run_lint(
+            "--no-baseline", os.path.join(CORPUS, "coro001_ternary_bad.cc"))
+        self.assertEqual(code, 1)
+        self.assertNotIn("::error", out)
+
+    def test_list_rules_covers_all_families(self):
+        code, out = self.run_lint("--list-rules")
+        self.assertEqual(code, 0)
+        for rule in ("EVO-CORO-001", "EVO-CORO-002", "EVO-CORO-003",
+                     "EVO-CORO-004", "EVO-DET-001", "EVO-DET-002",
+                     "EVO-DET-003", "EVO-DET-004", "EVO-STAT-001",
+                     "EVO-STAT-002", "EVO-STAT-003", "EVO-META-001"):
+            self.assertIn(rule, out)
+
     def test_unknown_rule_is_usage_error(self):
         code, _ = self.run_lint("--rules", "EVO-CORO-999",
                                 os.path.join(CORPUS))
         self.assertEqual(code, 2)
+
+    def test_whole_corpus_as_tree_scan(self):
+        """The corpus dir as a scan set must produce findings (exit 1) but
+        never an internal error (exit 2)."""
+        code, out = self.run_lint("--no-baseline", CORPUS)
+        self.assertEqual(code, 1, out)
+        self.assertNotIn("internal error", out)
 
 
 if __name__ == "__main__":
