@@ -12,6 +12,14 @@
 // candidate that every matched predecessor agrees on and whose in-degree
 // equals the G-vertex's (the paper's max(in_degree) guard — a vertex with a
 // predecessor outside the prefix in either graph can never be eligible).
+//
+// One run compares a query against ONE stored model; a provider answering
+// `find_ancestor` at paper scale scans its whole catalog this way. At
+// catalog scale that scan is the dominant cost — the prefix index
+// (core/prefix_index.h, DESIGN.md §16) replaces it with an O(prefix depth)
+// trie walk plus a single confirming `run`, keeping this header as the
+// exactness oracle (scan fallback, `lcp_index_verify`, and the `--verify`
+// benches all re-answer through it).
 #pragma once
 
 #include <cstdint>

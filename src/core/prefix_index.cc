@@ -1,0 +1,219 @@
+#include "core/prefix_index.h"
+
+#include <utility>
+
+namespace evostore::core {
+
+namespace {
+// Domain seed for prefix tokens so they can never collide with other
+// Hasher128 uses (chunk ids, graph hashes) by construction.
+constexpr uint64_t kTokenSeed = 0x9106f5c1a7e03b2dULL;
+}  // namespace
+
+std::vector<common::Hash128> prefix_tokens(const model::ArchGraph& g) {
+  std::vector<common::Hash128> tokens;
+  if (g.empty()) return tokens;
+  tokens.reserve(g.size());
+
+  // Predecessor lists in ascending order (out-edges are iterated in
+  // ascending source order, so each preds[w] comes out sorted).
+  std::vector<std::vector<common::VertexId>> preds(g.size());
+  for (common::VertexId u = 0; u < g.size(); ++u) {
+    for (common::VertexId w : g.out_edges(u)) preds[w].push_back(u);
+  }
+
+  // Token 0: the root signature alone — Algorithm 1 binds roots purely on
+  // signature equality, so the root token must not see structure.
+  {
+    common::Hasher128 h(kTokenSeed);
+    h.h128(g.signature(g.root()));
+    tokens.push_back(h.finish());
+  }
+
+  for (common::VertexId v = 1; v < g.size(); ++v) {
+    // Downward closure under the identity map: every predecessor must have
+    // a smaller id. The first violation ends the canonical prefix — beyond
+    // it, "same position" no longer implies "same predecessors inside the
+    // prefix", and identity matching would be unsound.
+    bool closed = true;
+    for (common::VertexId p : preds[v]) {
+      if (p >= v) {
+        closed = false;
+        break;
+      }
+    }
+    if (!closed) break;
+    common::Hasher128 h(kTokenSeed);
+    h.h128(g.signature(v));
+    h.u64(g.in_degree(v));
+    h.u64(preds[v].size());
+    for (common::VertexId p : preds[v]) h.u64(p);
+    tokens.push_back(h.finish());
+  }
+  return tokens;
+}
+
+bool is_linear(const model::ArchGraph& g) {
+  if (g.empty()) return true;
+  std::vector<uint32_t> pred_count(g.size(), 0);
+  std::vector<common::VertexId> only_pred(g.size(), 0);
+  for (common::VertexId u = 0; u < g.size(); ++u) {
+    for (common::VertexId w : g.out_edges(u)) {
+      ++pred_count[w];
+      only_pred[w] = u;
+    }
+  }
+  if (pred_count[g.root()] != 0) return false;
+  for (common::VertexId v = 1; v < g.size(); ++v) {
+    if (pred_count[v] != 1 || only_pred[v] != v - 1 || g.in_degree(v) != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrefixIndex::recompute_best(Node& n) {
+  bool any = false;
+  double q = 0;
+  common::ModelId id = common::ModelId::invalid();
+  if (!n.homed.empty()) {
+    any = true;
+    q = n.homed.begin()->first;
+    id = n.homed.begin()->second;
+  }
+  for (const auto& [tok, child] : n.children) {
+    (void)tok;
+    if (child->subtree_models == 0) continue;
+    if (!any || BestOrder{}({child->best_quality, child->best}, {q, id})) {
+      any = true;
+      q = child->best_quality;
+      id = child->best;
+    }
+  }
+  n.best_quality = q;
+  n.best = id;
+}
+
+void PrefixIndex::insert(common::ModelId id, double quality,
+                         const model::ArchGraph& g) {
+  std::vector<common::Hash128> tokens = prefix_tokens(g);
+  if (tokens.empty()) return;  // empty graph: never matched by the scan
+  if (!is_linear(g)) ++non_linear_models_;
+  Node* n = &root_;
+  ++n->subtree_models;
+  if (n->subtree_models == 1 ||
+      BestOrder{}({quality, id}, {n->best_quality, n->best})) {
+    n->best_quality = quality;
+    n->best = id;
+  }
+  for (const common::Hash128& tok : tokens) {
+    auto [it, created] = n->children.try_emplace(tok, nullptr);
+    if (created) {
+      it->second = std::make_unique<Node>();
+      ++node_count_;
+    }
+    n = it->second.get();
+    ++n->subtree_models;
+    if (n->subtree_models == 1 ||
+        BestOrder{}({quality, id}, {n->best_quality, n->best})) {
+      n->best_quality = quality;
+      n->best = id;
+    }
+  }
+  n->homed.insert({quality, id});
+  ++model_count_;
+}
+
+bool PrefixIndex::remove(common::ModelId id, const model::ArchGraph& g) {
+  std::vector<common::Hash128> tokens = prefix_tokens(g);
+  if (tokens.empty()) return false;
+
+  // Walk down recording the path; bail without touching anything if the
+  // model was never indexed (unknown path or no homed entry).
+  std::vector<Node*> path;
+  path.reserve(tokens.size() + 1);
+  Node* n = &root_;
+  path.push_back(n);
+  for (const common::Hash128& tok : tokens) {
+    auto it = n->children.find(tok);
+    if (it == n->children.end()) return false;
+    n = it->second.get();
+    path.push_back(n);
+  }
+  // The homed set is keyed by (quality, id); find the entry for `id`. The
+  // quality stored at insert is authoritative, but scan by id so a caller
+  // passing a drifted quality still removes the right record.
+  auto homed_it = n->homed.end();
+  for (auto it = n->homed.begin(); it != n->homed.end(); ++it) {
+    if (it->second == id) {
+      homed_it = it;
+      break;
+    }
+  }
+  if (homed_it == n->homed.end()) return false;
+  n->homed.erase(homed_it);
+  --model_count_;
+  if (!is_linear(g)) --non_linear_models_;
+
+  // Unwind bottom-up: drop counts, prune empty nodes, refresh aggregates.
+  for (size_t i = path.size(); i-- > 0;) {
+    Node* cur = path[i];
+    --cur->subtree_models;
+    if (cur->subtree_models == 0 && i > 0) {
+      path[i - 1]->children.erase(tokens[i - 1]);
+      --node_count_;
+      continue;  // parent aggregate handled on its own unwind step
+    }
+    recompute_best(*cur);
+  }
+  return true;
+}
+
+void PrefixIndex::clear() {
+  root_.children.clear();
+  root_.homed.clear();
+  root_.subtree_models = 0;
+  root_.best_quality = 0;
+  root_.best = common::ModelId::invalid();
+  model_count_ = 0;
+  node_count_ = 0;
+  non_linear_models_ = 0;
+}
+
+PrefixIndex::LookupResult PrefixIndex::lookup(const model::ArchGraph& g) const {
+  return lookup(prefix_tokens(g));
+}
+
+PrefixIndex::LookupResult PrefixIndex::lookup(
+    const std::vector<common::Hash128>& tokens) const {
+  LookupResult r;
+  const Node* n = &root_;
+  for (const common::Hash128& tok : tokens) {
+    auto it = n->children.find(tok);
+    if (it == n->children.end()) break;
+    n = it->second.get();
+    ++r.nodes_visited;
+    ++r.depth;
+  }
+  if (r.depth == 0) return r;  // no model shares even the root signature
+  r.found = true;
+  r.best = n->best;
+  r.best_quality = n->best_quality;
+  r.candidates = n->subtree_models;
+  return r;
+}
+
+size_t PrefixIndex::memory_bytes() const {
+  // Deterministic structural model: each trie node costs its struct plus an
+  // ordered-map entry (key + red-black node overhead) in its parent; each
+  // indexed model costs one homed-set entry (key + tree node overhead).
+  constexpr size_t kMapEntryOverhead = 48;  // rb-tree node bookkeeping
+  constexpr size_t kNodeBytes =
+      sizeof(Node) + sizeof(common::Hash128) + kMapEntryOverhead;
+  constexpr size_t kHomedEntryBytes =
+      sizeof(std::pair<double, common::ModelId>) + kMapEntryOverhead;
+  return sizeof(Node) + node_count_ * kNodeBytes +
+         model_count_ * kHomedEntryBytes;
+}
+
+}  // namespace evostore::core

@@ -1,0 +1,154 @@
+// Input-rooted catalog prefix index for sublinear LCP serving
+// (DESIGN.md §16; ROADMAP "Sublinear LCP" item).
+//
+// Provider-side LCP (paper §4.2, Algorithm 1) is a linear scan of the local
+// catalog per `find_ancestor` query — fine at paper scale, the dominant cost
+// at model-hub scale. This index maps a query `ArchGraph` to the set of
+// catalog models sharing its deepest common prefix in O(prefix depth) trie
+// steps instead of O(catalog models) graph comparisons.
+//
+// Structure: a trie over canonical *prefix tokens*. Token i fingerprints
+// vertex i of the BFS-flattened graph — its leaf-layer configuration
+// signature, its total in-degree, and the exact (sorted) list of its
+// predecessors among earlier-id vertices. Token 0 is the root's signature
+// alone (mirroring Algorithm 1's signature-only root binding). The token
+// sequence stops at the first vertex whose predecessor set is not fully
+// contained in the earlier-id prefix (the prefix is no longer downward
+// closed under the identity vertex map, so identity matching is no longer
+// valid beyond it).
+//
+// Exactness contract: two graphs sharing their first d tokens share an
+// identity-mapped common prefix of length >= d. When the query AND every
+// indexed model are linear chains (each non-root vertex's only predecessor
+// is the previous vertex — the shape every fine-tune lineage in the
+// sequential workload generators has), Algorithm 1's matching is forced
+// vertex-by-vertex and the exact LCP length EQUALS the shared token depth,
+// so the deepest trie node plus its best aggregate reproduce the scan's
+// answer exactly. For branchy DAGs no trie over one linearization can be
+// exact: a query can diverge token-wise from a model early (say in one
+// parallel branch) while Algorithm 1 happily matches a deeper prefix
+// through the other branch, so a model in a *sibling* subtree may beat the
+// trie's answer set. The index therefore tracks how many indexed models are
+// non-linear; the serving path consults the trie only when the query is
+// linear and `all_linear()` holds, and even then re-runs the exact LCP
+// against the chosen candidate, falling back to the full catalog scan on
+// any disagreement (see Provider::handle_lcp_query). `--verify` benches and
+// the randomized property tests additionally compare whole answers against
+// the scan.
+//
+// Maintenance is incremental — O(token depth) per mutation — on every
+// catalog path: put, retire/GC, drain, and the replicate-install path used
+// by repair. Like `ChunkStore`, the index is volatile and rebuilt from the
+// restored catalog on provider restart.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+#include "model/arch_graph.h"
+
+namespace evostore::core {
+
+/// Canonical prefix tokens of `g` (see file comment). Empty for an empty
+/// graph; otherwise token 0 always exists. The sequence is a maximal
+/// downward-closed prefix of the BFS order: it ends at the first vertex with
+/// a predecessor of a larger id.
+std::vector<common::Hash128> prefix_tokens(const model::ArchGraph& g);
+
+/// True when `g` is a linear chain: vertex 0 has no predecessors and every
+/// vertex v >= 1 has exactly one predecessor, v - 1. Inside this family the
+/// shared-token depth equals the exact LCP length (see file comment); empty
+/// graphs are vacuously linear.
+bool is_linear(const model::ArchGraph& g);
+
+class PrefixIndex {
+ public:
+  struct LookupResult {
+    /// True when at least one indexed model shares the query's root token
+    /// (equivalently: its root signature — token 0 is a function of the
+    /// signature alone, so this matches Algorithm 1's root binding).
+    bool found = false;
+    /// Shared token depth with every model in the answer set (the deepest
+    /// trie node on the query's token path).
+    size_t depth = 0;
+    /// Best model of the answer set under the scan's tie-break at equal
+    /// prefix length: highest quality, then lowest id.
+    common::ModelId best = common::ModelId::invalid();
+    double best_quality = 0;
+    /// Size of the answer set (all models at exactly `depth` shared tokens).
+    size_t candidates = 0;
+    /// Trie nodes touched by the walk (charged to the LcpCost model by the
+    /// caller, alongside the O(|query|) token computation).
+    uint64_t nodes_visited = 0;
+  };
+
+  /// Index a model. Empty graphs are not indexed (the scan also never
+  /// matches them: an empty graph yields an empty LCP against anything).
+  void insert(common::ModelId id, double quality, const model::ArchGraph& g);
+
+  /// Remove a model previously inserted with the same (id, graph). Returns
+  /// false (and changes nothing) if it was never indexed.
+  bool remove(common::ModelId id, const model::ArchGraph& g);
+
+  /// Drop everything (drain, restart).
+  void clear();
+
+  /// Answer set for a query graph: the deepest trie node on the query's
+  /// token path, with the per-subtree best aggregate.
+  LookupResult lookup(const model::ArchGraph& g) const;
+  /// Same, over precomputed tokens (lets the caller charge token
+  /// computation separately and reuse the tokens).
+  LookupResult lookup(const std::vector<common::Hash128>& tokens) const;
+
+  size_t model_count() const { return model_count_; }
+  size_t node_count() const { return node_count_; }
+  /// True when every indexed model is a linear chain — the regime where a
+  /// trie answer for a linear query is provably the scan's answer. Branchy
+  /// models are still indexed (so the catalog mirror stays trivial and the
+  /// index re-arms the moment the last one retires), but while any is
+  /// present the serving path must scan.
+  bool all_linear() const { return non_linear_models_ == 0; }
+  /// Physical footprint model: trie nodes (struct + ordered child-map entry
+  /// overhead) plus one homed-set entry per indexed model. Deterministic by
+  /// construction — counts structures, not allocator jitter.
+  size_t memory_bytes() const;
+
+ private:
+  /// (quality desc, id asc): *begin() of a set ordered this way is the
+  /// scan's tie-break winner at a fixed prefix length.
+  struct BestOrder {
+    bool operator()(const std::pair<double, common::ModelId>& a,
+                    const std::pair<double, common::ModelId>& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    }
+  };
+
+  struct Node {
+    /// Ordered children so every walk (and any future export) is
+    /// deterministic regardless of insertion order.
+    std::map<common::Hash128, std::unique_ptr<Node>> children;
+    /// Models whose token sequence ends exactly here.
+    std::set<std::pair<double, common::ModelId>, BestOrder> homed;
+    /// Aggregates over the whole subtree (this node + descendants).
+    size_t subtree_models = 0;
+    double best_quality = 0;
+    common::ModelId best = common::ModelId::invalid();
+  };
+
+  /// Recompute `n`'s best aggregate from its homed set and child
+  /// aggregates (children are already up to date).
+  static void recompute_best(Node& n);
+
+  Node root_;  // synthetic super-root; children keyed by token 0
+  size_t model_count_ = 0;
+  size_t node_count_ = 0;  // excludes the super-root
+  size_t non_linear_models_ = 0;
+};
+
+}  // namespace evostore::core

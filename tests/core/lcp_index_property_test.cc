@@ -1,0 +1,435 @@
+// Prefix-index answer equivalence (DESIGN.md §16): the indexed serving
+// path must produce exactly the answer the LcpWorkspace catalog scan
+// produces — on randomized chain families (where the token equivalence is
+// provably exact and the fallback guard must never fire) and on branchy
+// DeepSpace graphs (where the guard is allowed to bail to the scan but the
+// answer must still match). Cluster-level tests then hold the invariant
+// through every incremental-maintenance path: put, retire, drain,
+// restart-rebuild, and anti-entropy repair.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/lcp.h"
+#include "core/prefix_index.h"
+#include "net/fault.h"
+#include "storage/mem_kv.h"
+#include "tests/core/test_env.h"
+#include "workload/deepspace.h"
+
+namespace evostore::core {
+namespace {
+
+using common::ModelId;
+using common::ProviderId;
+using common::VertexId;
+using model::ArchGraph;
+using testing::ClusterEnv;
+using testing::chain_graph;
+using testing::widths_graph;
+
+struct CatalogEntry {
+  ModelId id;
+  double quality;
+  ArchGraph graph;
+};
+
+struct Answer {
+  bool found = false;
+  ModelId ancestor = ModelId::invalid();
+  double quality = 0;
+  std::vector<std::pair<VertexId, VertexId>> matches;
+
+  friend bool operator==(const Answer&, const Answer&) = default;
+};
+
+// The provider's scan: best by (prefix length, quality, lower id).
+Answer scan_answer(const std::vector<CatalogEntry>& catalog,
+                   const ArchGraph& q) {
+  LcpWorkspace ws;
+  Answer out;
+  for (const auto& e : catalog) {
+    LcpResult r = ws.run(q, e.graph, nullptr);
+    if (r.length() == 0) continue;
+    bool better = false;
+    if (!out.found) {
+      better = true;
+    } else if (r.length() != out.matches.size()) {
+      better = r.length() > out.matches.size();
+    } else if (e.quality != out.quality) {
+      better = e.quality > out.quality;
+    } else {
+      better = e.id < out.ancestor;
+    }
+    if (better) {
+      out.found = true;
+      out.ancestor = e.id;
+      out.quality = e.quality;
+      out.matches = std::move(r.matches);
+    }
+  }
+  return out;
+}
+
+// The provider's index path: linearity gate, trie lookup, one exact
+// confirmation run, scan fallback on a depth disagreement
+// (Provider::handle_lcp_query mirrors this exactly).
+Answer index_answer(const PrefixIndex& idx,
+                    const std::vector<CatalogEntry>& catalog,
+                    const ArchGraph& q, bool* fell_back) {
+  *fell_back = false;
+  if (!idx.all_linear() || !is_linear(q)) {
+    *fell_back = true;
+    return scan_answer(catalog, q);
+  }
+  auto hit = idx.lookup(q);
+  if (!hit.found) return {};
+  auto it = std::find_if(catalog.begin(), catalog.end(),
+                         [&](const CatalogEntry& e) { return e.id == hit.best; });
+  LcpWorkspace ws;
+  LcpResult r;
+  if (it != catalog.end()) r = ws.run(q, it->graph, nullptr);
+  if (it == catalog.end() || r.length() != hit.depth) {
+    *fell_back = true;
+    return scan_answer(catalog, q);
+  }
+  Answer out;
+  out.found = true;
+  out.ancestor = hit.best;
+  out.quality = it->quality;
+  out.matches = std::move(r.matches);
+  return out;
+}
+
+std::vector<int64_t> random_widths(common::Xoshiro256& rng) {
+  static constexpr int64_t kWidths[] = {8, 16, 24, 32};
+  size_t len = 4 + rng.below(9);  // 4..12 layers
+  std::vector<int64_t> w(len);
+  for (auto& x : w) x = kWidths[rng.below(4)];
+  return w;
+}
+
+TEST(LcpIndexProperty, ChainFamiliesMatchScanWithoutFallback) {
+  common::Xoshiro256 rng(1234);
+  for (int round = 0; round < 8; ++round) {
+    // A few fine-tune families: base widths plus point-mutated members.
+    std::vector<CatalogEntry> catalog;
+    PrefixIndex idx;
+    uint64_t next_id = 1;
+    std::vector<std::vector<int64_t>> bases;
+    for (int f = 0; f < 4; ++f) bases.push_back(random_widths(rng));
+    for (const auto& base : bases) {
+      for (int member = 0; member < 10; ++member) {
+        std::vector<int64_t> w = base;
+        // Mutate 0..2 positions (0 = exact duplicate architecture, which
+        // exercises equal-depth quality/id tie-breaks).
+        size_t muts = rng.below(3);
+        for (size_t m = 0; m < muts; ++m) {
+          w[1 + rng.below(w.size() - 1)] += 1 + static_cast<int64_t>(rng.below(5));
+        }
+        // Coarse qualities force ties often.
+        double quality = 0.25 * static_cast<double>(rng.below(4));
+        CatalogEntry e{ModelId{next_id++}, quality, widths_graph(w)};
+        idx.insert(e.id, e.quality, e.graph);
+        catalog.push_back(std::move(e));
+      }
+    }
+    size_t found = 0;
+    for (int qi = 0; qi < 60; ++qi) {
+      std::vector<int64_t> w = random_widths(rng);
+      if (rng.below(4) != 0) {
+        // Mostly query near a family (realistic find_ancestor traffic).
+        w = bases[rng.below(bases.size())];
+        w[1 + rng.below(w.size() - 1)] += 1 + static_cast<int64_t>(rng.below(5));
+      }
+      ArchGraph q = widths_graph(w);
+      bool fell_back = false;
+      Answer via_index = index_answer(idx, catalog, q, &fell_back);
+      Answer via_scan = scan_answer(catalog, q);
+      ASSERT_EQ(via_index, via_scan)
+          << "round " << round << " query " << qi;
+      // Chains are inside the exactness contract: the guard never fires.
+      EXPECT_FALSE(fell_back) << "round " << round << " query " << qi;
+      if (via_scan.found) ++found;
+    }
+    EXPECT_GT(found, 0u) << "round " << round;
+  }
+}
+
+TEST(LcpIndexProperty, DeepSpaceGraphsMatchScanViaGuard) {
+  workload::DeepSpace space;
+  common::Xoshiro256 rng(77);
+  std::vector<workload::DeepSpaceSeq> seqs;
+  std::vector<CatalogEntry> catalog;
+  PrefixIndex idx;
+  for (uint64_t i = 0; i < 80; ++i) {
+    auto s = space.random(rng);
+    CatalogEntry e{ModelId{i + 1}, 0.25 * static_cast<double>(rng.below(4)),
+                   space.decode_graph(s)};
+    idx.insert(e.id, e.quality, e.graph);
+    seqs.push_back(std::move(s));
+    catalog.push_back(std::move(e));
+  }
+  size_t found = 0;
+  for (int qi = 0; qi < 120; ++qi) {
+    const auto& parent = seqs[rng.below(seqs.size())];
+    ArchGraph q = space.decode_graph(space.mutate(parent, rng));
+    bool fell_back = false;
+    Answer via_index = index_answer(idx, catalog, q, &fell_back);
+    Answer via_scan = scan_answer(catalog, q);
+    // Branchy graphs step outside the token-equivalence family; the
+    // linearity gate must then hand the query to the scan — the ANSWER must
+    // always match, fallback or not.
+    ASSERT_EQ(via_index, via_scan) << "query " << qi;
+    if (via_scan.found) ++found;
+  }
+  EXPECT_GT(found, 0u);
+}
+
+// ---- cluster-level incremental maintenance --------------------------------
+
+ProviderConfig indexed_config() {
+  ProviderConfig cfg;
+  cfg.pool_bandwidth = 0;  // metadata-only: these tests exercise the catalog
+  cfg.lcp_index = true;
+  cfg.lcp_index_verify = true;  // every query double-checked by the oracle
+  return cfg;
+}
+
+ProviderConfig scan_config() {
+  ProviderConfig cfg;
+  cfg.pool_bandwidth = 0;
+  return cfg;
+}
+
+uint64_t total_verify_mismatches(EvoStoreRepository& repo) {
+  uint64_t n = 0;
+  for (size_t p = 0; p < repo.provider_count(); ++p) {
+    n += repo.provider(p).stats().lcp_index_verify_mismatches;
+  }
+  return n;
+}
+
+uint64_t total_index_answers(EvoStoreRepository& repo) {
+  uint64_t n = 0;
+  for (size_t p = 0; p < repo.provider_count(); ++p) {
+    n += repo.provider(p).stats().lcp_index_answers;
+  }
+  return n;
+}
+
+void expect_index_mirrors_catalog(EvoStoreRepository& repo) {
+  for (size_t p = 0; p < repo.provider_count(); ++p) {
+    EXPECT_EQ(repo.provider(p).prefix_index().model_count(),
+              repo.provider(p).model_count())
+        << "provider " << p;
+  }
+}
+
+// Run the same workload against an indexed cluster and a scan-only cluster
+// and require identical LCP responses at every step, across put, retire,
+// and drain.
+TEST(LcpIndexMaintenance, PutRetireDrainKeepAnswersIdenticalToScan) {
+  ClusterEnv indexed(4, indexed_config());
+  ClusterEnv scan(4, scan_config());
+
+  std::vector<ArchGraph> graphs;
+  for (int f = 0; f < 3; ++f) {
+    for (int member = 0; member < 6; ++member) {
+      graphs.push_back(chain_graph(8, 16 + 8 * f, member % 4, 3 + member));
+    }
+  }
+  std::vector<ModelId> indexed_ids;
+  std::vector<ModelId> scan_ids;
+  auto populate = [](ClusterEnv& env, const std::vector<ArchGraph>& gs,
+                     std::vector<ModelId>& ids) {
+    auto task = [&]() -> sim::CoTask<void> {
+      for (const auto& g : gs) {
+        model::Model m(env.repo->allocate_id(), g);
+        m.set_quality(0.25 * static_cast<double>(m.id().value % 4));
+        ids.push_back(m.id());
+        auto st = co_await env.client().put_model(m, nullptr);
+        EXPECT_TRUE(st.ok()) << st.to_string();
+      }
+    };
+    env.sim.run_until_complete(task());
+  };
+  populate(indexed, graphs, indexed_ids);
+  populate(scan, graphs, scan_ids);
+  ASSERT_EQ(indexed_ids, scan_ids);  // identical id streams => comparable
+  expect_index_mirrors_catalog(*indexed.repo);
+
+  auto queries = [&]() {
+    std::vector<ArchGraph> qs;
+    for (int f = 0; f < 3; ++f) {
+      for (int t = 0; t < 4; ++t) {
+        qs.push_back(chain_graph(8, 16 + 8 * f, t % 3, 40 + t));
+      }
+    }
+    qs.push_back(chain_graph(8, 80));  // no family: found == false
+    return qs;
+  }();
+
+  auto expect_same_answers = [&](const char* phase) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto a = indexed.run(indexed.client().query_lcp(queries[i]));
+      auto b = scan.run(scan.client().query_lcp(queries[i]));
+      ASSERT_TRUE(a.ok() && b.ok()) << phase << " query " << i;
+      ASSERT_EQ(a->found, b->found) << phase << " query " << i;
+      if (a->found) {
+        EXPECT_EQ(a->ancestor, b->ancestor) << phase << " query " << i;
+        EXPECT_EQ(a->quality, b->quality) << phase << " query " << i;
+        EXPECT_EQ(a->matches, b->matches) << phase << " query " << i;
+      }
+    }
+  };
+  expect_same_answers("initial");
+
+  // Retire a third of the catalog (same models in both clusters): the
+  // index must drop them incrementally, no rebuild.
+  for (size_t i = 0; i < indexed_ids.size(); i += 3) {
+    ASSERT_TRUE(
+        indexed.run(indexed.repo->retire(indexed.worker, indexed_ids[i])).ok());
+    ASSERT_TRUE(scan.run(scan.repo->retire(scan.worker, scan_ids[i])).ok());
+  }
+  expect_index_mirrors_catalog(*indexed.repo);
+  expect_same_answers("post-retire");
+
+  // Drain one provider: its catalog migrates to peers (replicate installs
+  // must index incrementally on the receivers; the drained provider's index
+  // must empty with its catalog).
+  ASSERT_TRUE(indexed.run(indexed.repo->drain_provider(1)).ok());
+  ASSERT_TRUE(scan.run(scan.repo->drain_provider(1)).ok());
+  EXPECT_EQ(indexed.repo->provider(1).prefix_index().model_count(), 0u);
+  EXPECT_EQ(indexed.repo->provider(1).prefix_index().node_count(), 0u);
+  expect_index_mirrors_catalog(*indexed.repo);
+  expect_same_answers("post-drain");
+
+  EXPECT_GT(total_index_answers(*indexed.repo), 0u);
+  EXPECT_EQ(total_verify_mismatches(*indexed.repo), 0u);
+  EXPECT_EQ(total_index_answers(*scan.repo), 0u);  // flag off => pure scan
+}
+
+// Backed cluster with a fault injector: crash-restart must REBUILD the
+// index from the restored catalog, and anti-entropy repair must index the
+// replicate-installed models on the rebuilt provider.
+struct BackedEnv {
+  std::vector<std::unique_ptr<storage::MemKv>> backends;
+  sim::Simulation sim;
+  net::Fabric fabric;
+  net::RpcSystem rpc;
+  net::FaultInjector injector;
+  std::vector<common::NodeId> provider_nodes;
+  common::NodeId worker;
+  std::unique_ptr<EvoStoreRepository> repo;
+
+  explicit BackedEnv(int providers, ProviderConfig config)
+      : fabric(sim,
+               net::FabricConfig{.latency = 1.5e-6, .local_latency = 2e-7}),
+        rpc(fabric),
+        injector(sim, net::FaultConfig{.seed = 11,
+                                       .loss_detect_seconds = 0.005}) {
+    rpc.set_fault_injector(&injector);
+    std::vector<storage::KvStore*> raw;
+    for (int i = 0; i < providers; ++i) {
+      provider_nodes.push_back(fabric.add_node(25e9, 25e9));
+      backends.push_back(std::make_unique<storage::MemKv>());
+      raw.push_back(backends.back().get());
+    }
+    worker = fabric.add_node(25e9, 25e9);
+    ClientConfig cc;
+    cc.rpc_timeout = 0.02;
+    cc.retry.max_attempts = 2;
+    cc.retry.initial_backoff = 0.005;
+    cc.retry.max_backoff = 0.01;
+    repo = std::make_unique<EvoStoreRepository>(rpc, provider_nodes, config,
+                                                raw, cc);
+  }
+
+  template <typename T>
+  T run(sim::CoTask<T> task) {
+    return sim.run_until_complete(std::move(task));
+  }
+
+  void settle(double seconds) {
+    auto idle = [this, seconds]() -> sim::CoTask<void> {
+      co_await sim.delay(seconds);
+    };
+    run(idle());
+  }
+};
+
+TEST(LcpIndexMaintenance, RestartRebuildsAndRepairReindexes) {
+  BackedEnv env(3, indexed_config());
+  auto& client = env.repo->client(env.worker);
+
+  std::vector<ArchGraph> graphs;
+  for (int member = 0; member < 8; ++member) {
+    graphs.push_back(chain_graph(8, 16, 1 + member % 4, 3 + member));
+  }
+  auto populate = [&]() -> sim::CoTask<void> {
+    for (const auto& g : graphs) {
+      model::Model m(env.repo->allocate_id(), g);
+      m.set_quality(0.5);
+      auto st = co_await client.put_model(m, nullptr);
+      EXPECT_TRUE(st.ok()) << st.to_string();
+    }
+  };
+  env.run(populate());
+  expect_index_mirrors_catalog(*env.repo);
+
+  auto query_all = [&]() {
+    std::vector<wire::LcpQueryResponse> out;
+    for (const auto& g : graphs) {
+      auto r = env.run(client.query_lcp(g));
+      EXPECT_TRUE(r.ok());
+      out.push_back(r.ok() ? *r : wire::LcpQueryResponse{});
+    }
+    return out;
+  };
+  auto before = query_all();
+
+  // Crash + restart with the backend intact: the catalog restores and the
+  // index is REBUILT from it (it is never persisted).
+  env.injector.crash_node(env.provider_nodes[1]);
+  env.injector.restart_node(env.provider_nodes[1]);
+  env.settle(2.0);
+  EXPECT_GE(env.repo->provider(1).stats().restarts, 1u);
+  expect_index_mirrors_catalog(*env.repo);
+  auto after_restart = query_all();
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].found, after_restart[i].found) << i;
+    EXPECT_EQ(before[i].ancestor, after_restart[i].ancestor) << i;
+    EXPECT_EQ(before[i].matches, after_restart[i].matches) << i;
+  }
+
+  // Permanent loss: wipe the backend, restart empty, repair from peers.
+  // The replicate-install path must feed the index on the rebuilt provider.
+  constexpr ProviderId kLost = 0;
+  env.injector.crash_node(env.provider_nodes[kLost]);
+  for (const std::string& key : env.backends[kLost]->keys()) {
+    ASSERT_TRUE(env.backends[kLost]->erase(key).ok());
+  }
+  env.injector.restart_node(env.provider_nodes[kLost]);
+  env.settle(0.1);
+  ASSERT_EQ(env.repo->provider(kLost).model_count(), 0u);
+  EXPECT_EQ(env.repo->provider(kLost).prefix_index().model_count(), 0u);
+
+  ASSERT_TRUE(env.run(env.repo->repair_provider(kLost)).ok());
+  EXPECT_GT(env.repo->provider(kLost).model_count(), 0u);
+  expect_index_mirrors_catalog(*env.repo);
+
+  auto after_repair = query_all();
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].found, after_repair[i].found) << i;
+    EXPECT_EQ(before[i].ancestor, after_repair[i].ancestor) << i;
+    EXPECT_EQ(before[i].matches, after_repair[i].matches) << i;
+  }
+  EXPECT_EQ(total_verify_mismatches(*env.repo), 0u);
+  EXPECT_GT(total_index_answers(*env.repo), 0u);
+}
+
+}  // namespace
+}  // namespace evostore::core

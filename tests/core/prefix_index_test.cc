@@ -1,0 +1,247 @@
+// Unit tests for the catalog prefix index (DESIGN.md §16): canonical token
+// computation, insert/remove/clear maintenance, subtree best aggregates,
+// pruning, memory accounting, and insertion-order independence.
+#include <gtest/gtest.h>
+
+#include "core/lcp.h"
+#include "core/prefix_index.h"
+#include "model/layer.h"
+#include "tests/core/test_env.h"
+
+namespace evostore::core {
+namespace {
+
+using common::ModelId;
+using testing::chain_graph;
+using testing::widths_graph;
+
+size_t shared_tokens(const model::ArchGraph& a, const model::ArchGraph& b) {
+  auto ta = prefix_tokens(a);
+  auto tb = prefix_tokens(b);
+  size_t d = 0;
+  while (d < ta.size() && d < tb.size() && ta[d] == tb[d]) ++d;
+  return d;
+}
+
+TEST(PrefixTokens, ChainTokensCoverEveryVertex) {
+  auto g = chain_graph(6, 16);
+  EXPECT_EQ(prefix_tokens(g).size(), g.size());
+  EXPECT_TRUE(prefix_tokens(model::ArchGraph{}).empty());
+}
+
+TEST(PrefixTokens, ChainsShareTokensExactlyToDivergence) {
+  auto base = widths_graph({8, 16, 16, 16, 16});
+  // Mutate at layer 3 (vertex 3): shares vertices 0..2.
+  auto tail = widths_graph({8, 16, 16, 24, 16});
+  EXPECT_EQ(shared_tokens(base, tail), 3u);
+  // Different root width: not even token 0 in common.
+  auto other_root = widths_graph({9, 16, 16, 16, 16});
+  EXPECT_EQ(shared_tokens(base, other_root), 0u);
+  // Identical graphs built independently share everything.
+  EXPECT_EQ(shared_tokens(base, widths_graph({8, 16, 16, 16, 16})),
+            base.size());
+}
+
+TEST(PrefixTokens, SequenceStopsAtClosureViolation) {
+  // 0 -> 1, 0 -> 2, 2 -> 3, 3 -> 1: vertex 1 has predecessor 3 > 1, so the
+  // downward-closed canonical prefix ends after the root.
+  std::vector<model::LayerDef> defs;
+  defs.push_back(model::make_input(8));
+  defs.push_back(model::make_dense(8, 8));
+  defs.push_back(model::make_dense(8, 8));
+  defs.push_back(model::make_dense(8, 8));
+  auto g = model::ArchGraph::from_parts(
+      std::move(defs), {{0, 1}, {0, 2}, {2, 3}, {3, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(prefix_tokens(g.value()).size(), 1u);
+}
+
+TEST(PrefixTokens, DiamondIsFullyClosed) {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: every predecessor precedes its
+  // successor, so all four vertices tokenize.
+  std::vector<model::LayerDef> defs;
+  defs.push_back(model::make_input(8));
+  defs.push_back(model::make_dense(8, 8));
+  defs.push_back(model::make_dense(8, 8));
+  defs.push_back(model::make_dense(16, 8));
+  auto g = model::ArchGraph::from_parts(
+      std::move(defs), {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(prefix_tokens(g.value()).size(), 4u);
+}
+
+// Why the serving path gates on linearity (prefix_index.h file comment):
+// with parallel branches, the token walk can diverge in one branch while
+// Algorithm 1 matches a deeper prefix through the other, so the true LCP
+// exceeds the shared token depth and a trie answer could be beaten from a
+// sibling subtree. Pin the counterexample.
+TEST(PrefixTokens, BranchyLcpCanExceedSharedTokenDepth) {
+  auto make = [](int64_t branch_x_width) {
+    std::vector<model::LayerDef> defs;
+    defs.push_back(model::make_input(8));
+    defs.push_back(model::make_dense(branch_x_width, 8));  // branch X
+    defs.push_back(model::make_dense(12, 8));              // branch Y
+    defs.push_back(model::make_dense(12, 12));             // Y's tail
+    auto g = model::ArchGraph::from_parts(std::move(defs),
+                                          {{0, 1}, {0, 2}, {2, 3}});
+    EXPECT_TRUE(g.ok());
+    return std::move(g).value();
+  };
+  auto m = make(10);
+  auto q = make(11);  // branch X mutated; branch Y identical
+  EXPECT_FALSE(is_linear(m));
+  EXPECT_FALSE(is_linear(q));
+  // Tokens diverge right after the root (vertex 1 differs)...
+  EXPECT_EQ(shared_tokens(m, q), 1u);
+  // ...but Algorithm 1 matches root + the whole Y branch.
+  LcpWorkspace ws;
+  EXPECT_EQ(ws.run(q, m, nullptr).length(), 3u);
+}
+
+TEST(PrefixIndex, IsLinearAndAllLinearTracking) {
+  EXPECT_TRUE(is_linear(chain_graph(6, 16)));
+  EXPECT_TRUE(is_linear(widths_graph({8})));
+  std::vector<model::LayerDef> defs;
+  defs.push_back(model::make_input(8));
+  defs.push_back(model::make_dense(8, 8));
+  defs.push_back(model::make_dense(8, 8));
+  defs.push_back(model::make_dense(16, 8));
+  auto diamond = model::ArchGraph::from_parts(
+      std::move(defs), {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  ASSERT_TRUE(diamond.ok());
+  EXPECT_FALSE(is_linear(diamond.value()));
+
+  PrefixIndex idx;
+  EXPECT_TRUE(idx.all_linear());
+  idx.insert(ModelId{1}, 0.5, chain_graph(4, 16));
+  EXPECT_TRUE(idx.all_linear());
+  idx.insert(ModelId{2}, 0.5, diamond.value());
+  EXPECT_FALSE(idx.all_linear());
+  // Branchy models are still indexed (catalog mirror stays exact)...
+  EXPECT_EQ(idx.model_count(), 2u);
+  // ...and the index re-arms once the last one leaves.
+  ASSERT_TRUE(idx.remove(ModelId{2}, diamond.value()));
+  EXPECT_TRUE(idx.all_linear());
+  idx.insert(ModelId{3}, 0.5, diamond.value());
+  EXPECT_FALSE(idx.all_linear());
+  idx.clear();
+  EXPECT_TRUE(idx.all_linear());
+}
+
+TEST(PrefixIndex, LookupPicksDeepestThenQualityThenId) {
+  PrefixIndex idx;
+  auto shallow = widths_graph({8, 16, 24});        // shares 2 with query
+  auto deep_a = widths_graph({8, 16, 16, 32});     // shares 3
+  auto deep_b = widths_graph({8, 16, 16, 33});     // shares 3
+  idx.insert(ModelId{1}, 0.9, shallow);
+  idx.insert(ModelId{2}, 0.5, deep_a);
+  idx.insert(ModelId{3}, 0.8, deep_b);
+  EXPECT_EQ(idx.model_count(), 3u);
+
+  auto query = widths_graph({8, 16, 16, 34});
+  auto hit = idx.lookup(query);
+  ASSERT_TRUE(hit.found);
+  EXPECT_EQ(hit.depth, 3u);  // vertices 0..2 shared with the deep pair
+  EXPECT_EQ(hit.candidates, 2u);
+  // Depth beats quality (model 1 has 0.9 but only depth 2), then quality
+  // picks model 3 over model 2.
+  EXPECT_EQ(hit.best, ModelId{3});
+  EXPECT_DOUBLE_EQ(hit.best_quality, 0.8);
+  EXPECT_GT(hit.nodes_visited, 0u);
+
+  // Equal quality at equal depth: lowest id wins.
+  idx.insert(ModelId{9}, 0.8, widths_graph({8, 16, 16, 35}));
+  EXPECT_EQ(idx.lookup(query).best, ModelId{3});
+  idx.insert(ModelId{1}, 0.8, widths_graph({8, 16, 16, 36}));
+  EXPECT_EQ(idx.lookup(query).best, ModelId{1});
+}
+
+TEST(PrefixIndex, LookupMissesUnknownRoot) {
+  PrefixIndex idx;
+  idx.insert(ModelId{1}, 0.5, widths_graph({8, 16}));
+  auto hit = idx.lookup(widths_graph({9, 16}));
+  EXPECT_FALSE(hit.found);
+  EXPECT_EQ(hit.depth, 0u);
+}
+
+TEST(PrefixIndex, RemoveRecomputesAggregatesAndPrunes) {
+  PrefixIndex idx;
+  auto a = widths_graph({8, 16, 16, 16});
+  auto b = widths_graph({8, 16, 24, 24});
+  idx.insert(ModelId{1}, 0.9, a);
+  idx.insert(ModelId{2}, 0.4, b);
+  size_t nodes_both = idx.node_count();
+  // Both paths share vertices 0..1 then split: 2 + 2 + 2 nodes.
+  EXPECT_EQ(nodes_both, 6u);
+
+  auto query = widths_graph({8, 16, 16, 16});
+  EXPECT_EQ(idx.lookup(query).best, ModelId{1});
+
+  // Removing the best along the query path re-aggregates down to model 2
+  // at the shared depth, and prunes model 1's divergent tail nodes.
+  ASSERT_TRUE(idx.remove(ModelId{1}, a));
+  EXPECT_EQ(idx.model_count(), 1u);
+  EXPECT_EQ(idx.node_count(), 4u);
+  auto hit = idx.lookup(query);
+  ASSERT_TRUE(hit.found);
+  EXPECT_EQ(hit.depth, 2u);
+  EXPECT_EQ(hit.best, ModelId{2});
+
+  // Unknown id / wrong graph: refused, nothing changes.
+  EXPECT_FALSE(idx.remove(ModelId{1}, a));
+  EXPECT_FALSE(idx.remove(ModelId{2}, a));
+  EXPECT_EQ(idx.model_count(), 1u);
+
+  ASSERT_TRUE(idx.remove(ModelId{2}, b));
+  EXPECT_EQ(idx.model_count(), 0u);
+  EXPECT_EQ(idx.node_count(), 0u);
+  EXPECT_FALSE(idx.lookup(query).found);
+}
+
+TEST(PrefixIndex, ClearAndMemoryAccounting) {
+  PrefixIndex idx;
+  size_t empty_bytes = idx.memory_bytes();
+  idx.insert(ModelId{1}, 0.5, chain_graph(8, 16));
+  idx.insert(ModelId{2}, 0.5, chain_graph(8, 16, 2, 5));
+  EXPECT_GT(idx.memory_bytes(), empty_bytes);
+  size_t two_bytes = idx.memory_bytes();
+  idx.insert(ModelId{3}, 0.5, chain_graph(8, 16, 4, 9));
+  EXPECT_GT(idx.memory_bytes(), two_bytes);
+  idx.clear();
+  EXPECT_EQ(idx.model_count(), 0u);
+  EXPECT_EQ(idx.node_count(), 0u);
+  EXPECT_EQ(idx.memory_bytes(), empty_bytes);
+  EXPECT_FALSE(idx.lookup(chain_graph(8, 16)).found);
+}
+
+TEST(PrefixIndex, InsertionOrderDoesNotMatter) {
+  std::vector<std::pair<ModelId, model::ArchGraph>> models;
+  for (uint64_t i = 0; i < 12; ++i) {
+    // Distinct per-model mutated tails (varying length AND salt) so every
+    // graph homes at a unique trie node.
+    models.emplace_back(
+        ModelId{i + 1},
+        chain_graph(10, 16, 1 + static_cast<int>(i % 5),
+                    3 + static_cast<int64_t>(i)));
+  }
+  PrefixIndex fwd;
+  PrefixIndex rev;
+  for (const auto& [id, g] : models) fwd.insert(id, 0.5, g);
+  for (auto it = models.rbegin(); it != models.rend(); ++it) {
+    rev.insert(it->first, 0.5, it->second);
+  }
+  EXPECT_EQ(fwd.node_count(), rev.node_count());
+  EXPECT_EQ(fwd.memory_bytes(), rev.memory_bytes());
+  for (const auto& [id, g] : models) {
+    auto a = fwd.lookup(g);
+    auto b = rev.lookup(g);
+    EXPECT_EQ(a.depth, b.depth);
+    EXPECT_EQ(a.best, b.best);
+    EXPECT_EQ(a.candidates, b.candidates);
+    EXPECT_EQ(a.best, id) << "self-lookup must find the model itself";
+    EXPECT_EQ(a.depth, g.size());
+  }
+}
+
+}  // namespace
+}  // namespace evostore::core
